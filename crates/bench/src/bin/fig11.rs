@@ -1,0 +1,70 @@
+//! Regenerates **Figure 11** — Rheem vs Musketeer on CrocoPR, varying the
+//! dataset size (at 10 iterations) and the iteration count (at 10% of the
+//! dataset). Musketeer re-compiles generated code and materializes to HDFS
+//! per stage/iteration, so its runtime grows with iterations while Rheem's
+//! stays nearly flat.
+
+use rheem_bench::*;
+
+fn main() {
+    let s = scale();
+    let base_edges = (400_000.0 * s) as usize;
+    let mut report = Report::new("fig11_musketeer");
+
+    // --- left panel: dataset size sweep at 10 iterations -----------------
+    for pct in [1.0, 50.0, 100.0] {
+        let edges = ((base_edges as f64) * pct / 100.0).max(64.0) as usize;
+        let (fa, fb) = community_files("fig11", edges, 77);
+        let (plan, _) =
+            xdb::build_crocopr_plan(xdb::CrocoSource::Files(fa.clone(), fb.clone()), 10)
+                .expect("plan");
+        let ctx = graph_context();
+        match ctx.execute(&plan) {
+            Ok(r) => report.row(
+                "Rheem (size)",
+                format!("{pct}%"),
+                r.metrics.virtual_ms,
+                &format!("via {:?}", r.metrics.platforms),
+            ),
+            Err(e) => report.failed("Rheem (size)", format!("{pct}%"), &e.to_string()),
+        }
+        match rheem_baselines::musketeer_crocopr(&fa, &fb, 10) {
+            Ok(m) => report.row(
+                "Musketeer (size)",
+                format!("{pct}%"),
+                m.virtual_ms,
+                &format!("{} jobs", m.jobs),
+            ),
+            Err(e) => report.failed("Musketeer (size)", format!("{pct}%"), &e.to_string()),
+        }
+    }
+
+    // --- right panel: iteration sweep at 10% ------------------------------
+    let edges = base_edges / 10;
+    let (fa, fb) = community_files("fig11", edges.max(64), 77);
+    for iters in [1u32, 10, 50, 100] {
+        let (plan, _) =
+            xdb::build_crocopr_plan(xdb::CrocoSource::Files(fa.clone(), fb.clone()), iters)
+                .expect("plan");
+        let ctx = graph_context();
+        match ctx.execute(&plan) {
+            Ok(r) => report.row(
+                "Rheem (iters)",
+                iters,
+                r.metrics.virtual_ms,
+                &format!("via {:?}", r.metrics.platforms),
+            ),
+            Err(e) => report.failed("Rheem (iters)", iters, &e.to_string()),
+        }
+        match rheem_baselines::musketeer_crocopr(&fa, &fb, iters) {
+            Ok(m) => report.row(
+                "Musketeer (iters)",
+                iters,
+                m.virtual_ms,
+                &format!("{} jobs", m.jobs),
+            ),
+            Err(e) => report.failed("Musketeer (iters)", iters, &e.to_string()),
+        }
+    }
+    report.save();
+}

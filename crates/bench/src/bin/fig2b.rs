@@ -1,0 +1,72 @@
+//! Regenerates **Figure 2(b)** — opportunistic cross-platform via ML4all:
+//! SGD classification on three datasets, ML@Rheem (free to mix Spark and
+//! JavaStreams) vs MLlib-like (all Spark) vs SystemML-like (all Spark +
+//! compilation, constrained memory — OOMs on the synthetic set).
+
+use rheem_bench::*;
+
+fn main() {
+    let s = scale();
+    let mut report = Report::new("fig2b_sgd");
+    // (name, rows, dims): rcv1-like (many dims, few rows), higgs-like, and
+    // a big dense synthetic one. Datasets live on HDFS as CSV, like the
+    // paper's HDFS-resident benchmark files (Table 1).
+    let datasets: Vec<(&str, usize, usize)> = vec![
+        ("rcv1", (60_000.0 * s) as usize, 32),
+        ("higgs", (1_000_000.0 * s) as usize, 8),
+        ("synthetic", (2_500_000.0 * s) as usize, 12),
+    ];
+    for (name, n, dims) in datasets {
+        let n = n.max(100);
+        let path = std::path::PathBuf::from(format!("hdfs://bench/fig2b_{name}_{n}.csv"));
+        let set = rheem_datagen::generate_points(n, dims, 0.05, 3);
+        if rheem_storage::stat(&path).is_err() {
+            rheem_datagen::points::write_points(&path, &set).expect("points written");
+        }
+        let points = set.points;
+        let cfg = ml4all::SgdConfig {
+            dims,
+            batch: 100,
+            iterations: 100,
+            ..Default::default()
+        };
+
+        // ML@Rheem: free choice over the CSV source.
+        let ctx = default_context();
+        let (plan, sink) =
+            ml4all::build_sgd_plan(ml4all::PointSource::Csv(path.clone()), &cfg).expect("plan");
+        match ctx.execute(&plan) {
+            Ok(r) => {
+                let w = ml4all::weights_of(r.sink(sink).expect("weights"));
+                let loss = ml4all::hinge_loss(&points, &w);
+                report.row(
+                    "ML@Rheem",
+                    name,
+                    r.metrics.virtual_ms,
+                    &format!("loss {loss:.3} via {:?}", r.metrics.platforms),
+                );
+            }
+            Err(e) => report.failed("ML@Rheem", name, &e.to_string()),
+        }
+
+        // MLlib: everything on Spark.
+        match rheem_baselines::mllib_sgd(ml4all::PointSource::Csv(path.clone()), &cfg) {
+            Ok((w, m)) => {
+                let loss = ml4all::hinge_loss(&points, &w);
+                report.row("MLlib", name, m.virtual_ms, &format!("loss {loss:.3}"));
+            }
+            Err(e) => report.failed("MLlib", name, &e.to_string()),
+        }
+
+        // SystemML: compilation + constrained memory; the big synthetic
+        // dataset OOMs (the paper's "out of memory" bar).
+        match rheem_baselines::systemml_sgd(ml4all::PointSource::Csv(path.clone()), &cfg) {
+            Ok((w, m)) => {
+                let loss = ml4all::hinge_loss(&points, &w);
+                report.row("SystemML", name, m.virtual_ms, &format!("loss {loss:.3}"));
+            }
+            Err(e) => report.failed("SystemML", name, &e.to_string()),
+        }
+    }
+    report.save();
+}

@@ -1,0 +1,83 @@
+//! Regenerates **Figure 2(c)** — mandatory cross-platform via xDB:
+//! cross-community PageRank with the input residing in Postgres.
+//! xDB@Rheem must move the data out of the store; the "Ideal case" has the
+//! same data already on HDFS and simply runs. The paper's point: Rheem's
+//! automated movement tracks the ideal case closely.
+
+use std::sync::Arc;
+
+use platform_postgres::{PgDatabase, PostgresPlatform};
+use rheem_bench::*;
+
+fn main() {
+    let s = scale();
+    let mut report = Report::new("fig2c_xdb");
+    // dataset sizes scaled 1/10 from the paper's 200MB/500MB/1GB
+    for (tag, mb) in [("200MB", 20.0), ("500MB", 50.0), ("1GB", 100.0)] {
+        let edges = ((mb * s) * 1024.0 * 1024.0 / 18.0) as usize; // ~18 B/edge line
+        let (fa, fb) = community_files("fig2c", edges.max(1000), 33);
+
+        // --- xDB@Rheem: edges live in Postgres tables ---------------------
+        let ea: Vec<(i64, i64)> = rheem_storage::read_lines(&fa)
+            .expect("edges a")
+            .iter()
+            .filter_map(|l| {
+                let mut it = l.split_whitespace();
+                Some((it.next()?.parse().ok()?, it.next()?.parse().ok()?))
+            })
+            .collect();
+        let eb: Vec<(i64, i64)> = rheem_storage::read_lines(&fb)
+            .expect("edges b")
+            .iter()
+            .filter_map(|l| {
+                let mut it = l.split_whitespace();
+                Some((it.next()?.parse().ok()?, it.next()?.parse().ok()?))
+            })
+            .collect();
+        let db = Arc::new(PgDatabase::new());
+        db.load_table(
+            "community_a",
+            vec!["src".to_string(), "dst".to_string()],
+            rheem_datagen::graph::edges_to_values(&ea),
+        );
+        db.load_table(
+            "community_b",
+            vec!["src".to_string(), "dst".to_string()],
+            rheem_datagen::graph::edges_to_values(&eb),
+        );
+        let mut ctx = graph_context();
+        ctx.register_platform(&PostgresPlatform::new(Arc::clone(&db)));
+        let (plan, _) = xdb::build_crocopr_plan(
+            xdb::CrocoSource::Tables("community_a".into(), "community_b".into()),
+            10,
+        )
+        .expect("plan");
+        match ctx.execute(&plan) {
+            Ok(r) => report.row(
+                "xDB@Rheem",
+                tag,
+                r.metrics.virtual_ms,
+                &format!("via {:?}", r.metrics.platforms),
+            ),
+            Err(e) => report.failed("xDB@Rheem", tag, &e.to_string()),
+        }
+
+        // --- Ideal case: same task, data already on HDFS -------------------
+        let ctx = graph_context();
+        let (plan, _) = xdb::build_crocopr_plan(
+            xdb::CrocoSource::Files(fa.clone(), fb.clone()),
+            10,
+        )
+        .expect("plan");
+        match ctx.execute(&plan) {
+            Ok(r) => report.row(
+                "Ideal case",
+                tag,
+                r.metrics.virtual_ms,
+                &format!("via {:?}", r.metrics.platforms),
+            ),
+            Err(e) => report.failed("Ideal case", tag, &e.to_string()),
+        }
+    }
+    report.save();
+}

@@ -1,0 +1,62 @@
+//! Regenerates **Figure 2(d)** — the polystore case via Data Civilizer:
+//! TPC-H Q5 with LINEITEM/ORDERS on HDFS, CUSTOMER/REGION/SUPPLIER in
+//! Postgres and NATION on the local FS. DataCiv@Rheem runs the query in
+//! place; the common practices either migrate everything into Postgres
+//! (paying the bulk load) or move everything to HDFS and use Spark.
+
+use rheem_bench::*;
+use platform_postgres::PostgresPlatform;
+
+fn main() {
+    let s = scale();
+    let mut report = Report::new("fig2d_polystore");
+    // scale factors 1/10 of the paper's 1/10/100 (generator already shrinks
+    // rows 100× from true TPC-H; see rheem_datagen::tpch::ROWS_DIVISOR).
+    for sf in [0.1, 1.0, 10.0] {
+        let sf_eff = sf * s;
+        let data = rheem_datagen::tpch::generate(sf_eff.max(0.01), 7);
+        let tag = format!("sf{sf}");
+
+        // DataCiv@Rheem over the real placement.
+        let p = dataciv::place(&data, &format!("fig2d_{tag}")).expect("placement");
+        let mut ctx = default_context();
+        ctx.register_platform(&PostgresPlatform::new(std::sync::Arc::clone(&p.db)));
+        let (plan, _) = dataciv::build_q5_plan(&p, "ASIA", 1995).expect("plan");
+        match ctx.execute(&plan) {
+            Ok(r) => report.row(
+                "DataCiv@Rheem",
+                &tag,
+                r.metrics.virtual_ms,
+                &format!("via {:?}", r.metrics.platforms),
+            ),
+            Err(e) => report.failed("DataCiv@Rheem", &tag, &e.to_string()),
+        }
+
+        // Common practice 1: migrate into Postgres, query inside.
+        match rheem_baselines::q5_all_in_postgres(&data, "ASIA", 1995) {
+            Ok((_, m, load_ms)) => {
+                report.row(
+                    "Postgres (load+query)",
+                    &tag,
+                    m.virtual_ms + load_ms,
+                    &format!("load alone {load_ms:.0} ms"),
+                );
+            }
+            Err(e) => report.failed("Postgres (load+query)", &tag, &e.to_string()),
+        }
+
+        // Common practice 2: export to HDFS, run on Spark.
+        match rheem_baselines::q5_all_on_spark(&data, "ASIA", 1995) {
+            Ok((_, m, migrate_ms)) => {
+                report.row(
+                    "Spark (migrate+query)",
+                    &tag,
+                    m.virtual_ms + migrate_ms,
+                    &format!("migration {migrate_ms:.0} ms"),
+                );
+            }
+            Err(e) => report.failed("Spark (migrate+query)", &tag, &e.to_string()),
+        }
+    }
+    report.save();
+}

@@ -1,0 +1,258 @@
+//! Regenerates **Figure 9**: platform independence (a–c) and opportunistic
+//! cross-platform processing (d–f).
+//!
+//! Usage: `fig9 [a|b|c|d|e|f|all]` (default `all`). Runtimes are virtual
+//! cluster ms; the ★ marks the platform Rheem's optimizer selects.
+
+
+use rheem_bench::*;
+use rheem_core::platform::ids;
+use rheem_core::value::Value;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let s = scale();
+    match which.as_str() {
+        "a" => fig9a(s),
+        "b" => fig9b(s),
+        "c" => fig9c(s),
+        "d" => fig9d(s),
+        "e" => fig9e(s),
+        "f" => fig9f(s),
+        _ => {
+            fig9a(s);
+            fig9b(s);
+            fig9c(s);
+            fig9d(s);
+            fig9e(s);
+            fig9f(s);
+        }
+    }
+}
+
+const GENERAL: [rheem_core::platform::PlatformId; 3] = [ids::JAVA_STREAMS, ids::SPARK, ids::FLINK];
+
+/// (a) WordCount, forced single platforms + Rheem's choice.
+fn fig9a(s: f64) {
+    let mut report = Report::new("fig9a_wordcount_independence");
+    let base_kb = (8_000.0 * s) as usize; // "100%" ≈ 8 MB of text
+    for pct in [1.0, 10.0, 25.0, 50.0, 100.0, 200.0] {
+        let kb = ((base_kb as f64) * pct / 100.0).max(1.0) as usize;
+        let path = corpus_file("fig9a", kb, 42);
+        let (plan, _) = wordcount_plan(&path).expect("plan");
+        let choice = default_context().optimize(&plan).map(|o| o.platforms.clone());
+        for p in GENERAL {
+            match run_forced(default_context, p, &plan) {
+                Ok(ms) => {
+                    let star = choice
+                        .as_ref()
+                        .map(|c| c.contains(&p))
+                        .unwrap_or(false);
+                    report.row(label(p), format!("{pct}%"), ms, if star { "★ chosen" } else { "" });
+                }
+                Err(e) => report.failed(label(p), format!("{pct}%"), &e.to_string()),
+            }
+        }
+    }
+    report.save();
+}
+
+fn sgd_csv(tag: &str, n: usize, dims: usize) -> std::path::PathBuf {
+    let path = std::path::PathBuf::from(format!("hdfs://bench/{tag}_{n}.csv"));
+    if rheem_storage::stat(&path).is_err() {
+        let set = rheem_datagen::generate_points(n, dims, 0.05, 7);
+        rheem_datagen::points::write_points(&path, &set).expect("points written");
+    }
+    path
+}
+
+fn sgd_plan_for(csv: std::path::PathBuf, dims: usize, batch: usize, iters: u32) -> rheem_core::plan::RheemPlan {
+    let cfg = ml4all::SgdConfig { dims, batch, iterations: iters, ..Default::default() };
+    ml4all::build_sgd_plan(ml4all::PointSource::Csv(csv), &cfg)
+        .expect("sgd plan")
+        .0
+}
+
+/// (b) SGD, forced single platforms + Rheem's choice. The points live on
+/// HDFS as CSV (Table 1's HIGGS placement).
+fn fig9b(s: f64) {
+    let mut report = Report::new("fig9b_sgd_independence");
+    let base_n = (1_200_000.0 * s) as usize;
+    for pct in [1.0, 10.0, 25.0, 50.0, 100.0] {
+        let n = ((base_n as f64) * pct / 100.0).max(10.0) as usize;
+        let plan = sgd_plan_for(sgd_csv("fig9b", n, 8), 8, 100, 50);
+        let choice = default_context().optimize(&plan).map(|o| o.platforms.clone());
+        for p in GENERAL {
+            match run_forced(default_context, p, &plan) {
+                Ok(ms) => {
+                    let star = choice.as_ref().map(|c| c.contains(&p)).unwrap_or(false);
+                    report.row(label(p), format!("{pct}%"), ms, if star { "★ chosen" } else { "" });
+                }
+                Err(e) => report.failed(label(p), format!("{pct}%"), &e.to_string()),
+            }
+        }
+    }
+    report.save();
+}
+
+fn crocopr_plan_for(
+    fa: &std::path::Path,
+    fb: &std::path::Path,
+    iters: u32,
+) -> rheem_core::plan::RheemPlan {
+    xdb::build_crocopr_plan(xdb::CrocoSource::Files(fa.to_path_buf(), fb.to_path_buf()), iters)
+        .expect("crocopr plan")
+        .0
+}
+
+/// Force a CrocoPR plan onto `p`: graph-only engines (Giraph/JGraph/
+/// GraphChi) cannot run the preparation operators, so — as the paper's
+/// Giraph runs do — the graph engine gets the PageRank while the driver-
+/// adjacent engine handles preparation; general-purpose engines are forced
+/// outright.
+fn run_crocopr_forced(
+    make_ctx: &impl Fn() -> rheem_core::api::RheemContext,
+    p: rheem_core::platform::PlatformId,
+    fa: &std::path::Path,
+    fb: &std::path::Path,
+    iters: u32,
+) -> rheem_core::error::Result<f64> {
+    let graph_only = [ids::GIRAPH, ids::JGRAPH, ids::GRAPHCHI].contains(&p);
+    let mut plan = crocopr_plan_for(fa, fb, iters);
+    if graph_only {
+        for i in 0..plan.len() {
+            let id = rheem_core::plan::OperatorId(i as u32);
+            let kind = plan.node(id).op.kind();
+            if kind == rheem_core::plan::OpKind::PageRank {
+                plan.set_target_platform(id, p);
+            } else if !kind.is_source() && !kind.is_sink() && !kind.is_loop_head() {
+                plan.set_target_platform(id, ids::JAVA_STREAMS);
+            }
+        }
+        run_virtual(&make_ctx(), &plan)
+    } else {
+        run_forced(make_ctx, p, &plan)
+    }
+}
+
+/// A graph context whose JGraph heap matches the paper's single-node
+/// library limits (it dies beyond ~10% of the sweep).
+fn crocopr_context(base_edges: usize) -> impl Fn() -> rheem_core::api::RheemContext {
+    let cap_mb = (base_edges as f64 * 40.0 * 3.0 * 0.12) / (1024.0 * 1024.0);
+    move || {
+        let mut ctx = graph_context();
+        ctx.profiles_mut().get_mut(ids::JGRAPH).mem_mb = cap_mb.max(0.5);
+        ctx
+    }
+}
+
+/// (c) CrocoPR, forced single platforms + Rheem's choice.
+fn fig9c(s: f64) {
+    let mut report = Report::new("fig9c_crocopr_independence");
+    let base_edges = (400_000.0 * s) as usize;
+    let make_ctx = crocopr_context(base_edges);
+    let platforms = [ids::JAVA_STREAMS, ids::SPARK, ids::FLINK, ids::GIRAPH, ids::JGRAPH];
+    for pct in [1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0] {
+        let edges = ((base_edges as f64) * pct / 100.0).max(64.0) as usize;
+        let (fa, fb) = community_files("fig9c", edges, 21);
+        let plan = crocopr_plan_for(&fa, &fb, 10);
+        let choice = make_ctx().optimize(&plan).map(|o| o.platforms.clone());
+        for p in platforms {
+            match run_crocopr_forced(&make_ctx, p, &fa, &fb, 10) {
+                Ok(ms) => {
+                    let star = choice.as_ref().map(|c| c.contains(&p)).unwrap_or(false);
+                    report.row(label(p), format!("{pct}%"), ms, if star { "★ chosen" } else { "" });
+                }
+                Err(e) => report.failed(label(p), format!("{pct}%"), &e.to_string()),
+            }
+        }
+    }
+    report.save();
+}
+
+/// (d) WordCount: Rheem free to mix platforms vs the best single platform.
+fn fig9d(s: f64) {
+    let mut report = Report::new("fig9d_wordcount_opportunistic");
+    let base_kb = (8_000.0 * s) as usize;
+    for pct in [1.0, 10.0, 25.0, 50.0, 100.0, 200.0] {
+        let kb = ((base_kb as f64) * pct / 100.0).max(1.0) as usize;
+        let path = corpus_file("fig9a", kb, 42); // same corpus as (a)
+        let (plan, _) = wordcount_plan(&path).expect("plan");
+        for p in GENERAL {
+            if let Ok(ms) = run_forced(default_context, p, &plan) {
+                report.row(label(p), format!("{pct}%"), ms, "");
+            }
+        }
+        let ctx = default_context();
+        match ctx.execute(&plan) {
+            Ok(r) => report.row(
+                "Rheem",
+                format!("{pct}%"),
+                r.metrics.virtual_ms,
+                &format!("mix {:?}", r.metrics.platforms),
+            ),
+            Err(e) => report.failed("Rheem", format!("{pct}%"), &e.to_string()),
+        }
+    }
+    report.save();
+}
+
+/// (e) SGD over batch sizes: Rheem mixes Spark (data side) with JavaStreams
+/// (weight side); pure-Spark pays per-iteration overheads.
+fn fig9e(s: f64) {
+    let mut report = Report::new("fig9e_sgd_opportunistic");
+    let n = (1_200_000.0 * s) as usize;
+    let csv = sgd_csv("fig9b", n.max(10), 8); // reuse (b)'s 100% file
+    for batch in [1usize, 10, 50, 1000] {
+        let plan = sgd_plan_for(csv.clone(), 8, batch, 50);
+        for p in GENERAL {
+            match run_forced(default_context, p, &plan) {
+                Ok(ms) => report.row(label(p), batch, ms, ""),
+                Err(e) => report.failed(label(p), batch, &e.to_string()),
+            }
+        }
+        let ctx = default_context();
+        match ctx.execute(&plan) {
+            Ok(r) => report.row(
+                "Rheem",
+                batch,
+                r.metrics.virtual_ms,
+                &format!("mix {:?}", r.metrics.platforms),
+            ),
+            Err(e) => report.failed("Rheem", batch, &e.to_string()),
+        }
+    }
+    report.save();
+}
+
+/// (f) CrocoPR over iteration counts: Rheem surprisingly prepares on a
+/// distributed engine and ranks on the tiny intersection with JGraph.
+fn fig9f(s: f64) {
+    let mut report = Report::new("fig9f_crocopr_opportunistic");
+    let base_edges = (400_000.0 * s) as usize;
+    let edges = base_edges / 10; // the paper runs (f) on 10% of the dataset
+    let make_ctx = crocopr_context(base_edges);
+    let (fa, fb) = community_files("fig9c", edges.max(64), 21);
+    for iters in [1u32, 10, 100, 1000] {
+        let plan = crocopr_plan_for(&fa, &fb, iters);
+        for p in [ids::JAVA_STREAMS, ids::SPARK, ids::FLINK, ids::GIRAPH, ids::JGRAPH] {
+            match run_crocopr_forced(&make_ctx, p, &fa, &fb, iters) {
+                Ok(ms) => report.row(label(p), iters, ms, ""),
+                Err(e) => report.failed(label(p), iters, &e.to_string()),
+            }
+        }
+        match make_ctx().execute(&plan) {
+            Ok(r) => report.row(
+                "Rheem",
+                iters,
+                r.metrics.virtual_ms,
+                &format!("mix {:?}", r.metrics.platforms),
+            ),
+            Err(e) => report.failed("Rheem", iters, &e.to_string()),
+        }
+    }
+    report.save();
+}
+
+#[allow(dead_code)]
+fn unused(_: Value) {}

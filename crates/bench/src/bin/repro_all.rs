@@ -1,0 +1,26 @@
+//! Run every figure harness in sequence (the full reproduction sweep) and
+//! leave the TSVs under `results/`. Respects `RHEEM_BENCH_SCALE`.
+//!
+//! Expected wall time at scale 1.0: some tens of minutes on one core (each
+//! data point executes the task for real on every platform).
+
+use std::process::Command;
+
+fn main() {
+    let bins = ["fig2a", "fig2b", "fig2c", "fig2d", "fig9", "fig10", "fig11"];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    for bin in bins {
+        println!("\n########## {bin} ##########");
+        let status = Command::new(exe_dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+        }
+    }
+    println!("\nAll figure harnesses finished; see results/*.tsv");
+}

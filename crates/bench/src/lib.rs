@@ -1,0 +1,206 @@
+//! Benchmark harness: shared task builders, contexts and reporting for the
+//! `fig*` binaries that regenerate every table and figure of the paper's
+//! evaluation (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+//! the recorded numbers).
+//!
+//! Reported runtimes are **virtual cluster milliseconds** (see
+//! `rheem_core::platform` for the virtual-time substitution rationale);
+//! the shapes — who wins, by what factor, where crossovers fall — are the
+//! reproduction targets, not absolute numbers.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use rheem_core::api::RheemContext;
+use rheem_core::error::Result;
+use rheem_core::plan::{OperatorId, PlanBuilder, RheemPlan};
+use rheem_core::platform::{ids, PlatformId};
+use rheem_core::udf::{FlatMapUdf, KeyUdf, MapUdf, ReduceUdf};
+use rheem_core::value::Value;
+
+/// A context with JavaStreams + Spark + Flink (the general-purpose trio).
+pub fn default_context() -> RheemContext {
+    RheemContext::new()
+        .with_platform(&platform_javastreams::JavaStreamsPlatform::new())
+        .with_platform(&platform_spark::SparkPlatform::new())
+        .with_platform(&platform_flink::FlinkPlatform::new())
+}
+
+/// The default context plus the graph platforms.
+pub fn graph_context() -> RheemContext {
+    let mut ctx = default_context();
+    ctx.register_platform(&platform_graph::GiraphPlatform::new());
+    ctx.register_platform(&platform_graph::JGraphPlatform::new());
+    ctx.register_platform(&platform_graph::GraphChiPlatform::new());
+    ctx
+}
+
+/// Result collector: prints aligned rows and accumulates a TSV file under
+/// `results/`.
+pub struct Report {
+    name: String,
+    tsv: String,
+}
+
+impl Report {
+    /// Start a report for one figure.
+    pub fn new(name: &str) -> Self {
+        println!("== {name} ==");
+        Self { name: name.to_string(), tsv: String::from("series\tx\tvirtual_ms\tnote\n") }
+    }
+
+    /// Record one measurement.
+    pub fn row(&mut self, series: &str, x: impl std::fmt::Display, virtual_ms: f64, note: &str) {
+        println!("{series:<28} x={x:<10} {:>12.1} ms  {note}", virtual_ms);
+        let _ = writeln!(self.tsv, "{series}\t{x}\t{virtual_ms:.3}\t{note}");
+    }
+
+    /// Record a failure (the paper's red ✗ / "killed" marks).
+    pub fn failed(&mut self, series: &str, x: impl std::fmt::Display, why: &str) {
+        println!("{series:<28} x={x:<10} {:>12}  ✗ {why}", "-");
+        let _ = writeln!(self.tsv, "{series}\t{x}\tNaN\t✗ {why}");
+    }
+
+    /// Flush the TSV under `results/<name>.tsv`.
+    pub fn save(&self) {
+        let dir = PathBuf::from("results");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(format!("{}.tsv", self.name));
+        if std::fs::write(&path, &self.tsv).is_ok() {
+            println!("-- saved {}", path.display());
+        }
+    }
+}
+
+/// Scale knob shared by the harness binaries: `RHEEM_BENCH_SCALE` (default
+/// 1.0) multiplies dataset sizes, letting CI run tiny sweeps and a real
+/// machine run the full ones.
+pub fn scale() -> f64 {
+    std::env::var("RHEEM_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+// ---------------------------------------------------------------------------
+// Task builders
+// ---------------------------------------------------------------------------
+
+/// Build the WordCount plan over a text file (Table 1's text-mining task).
+pub fn wordcount_plan(path: impl Into<PathBuf>) -> Result<(RheemPlan, OperatorId)> {
+    let mut b = PlanBuilder::new();
+    let sink = b
+        .read_text_file(path.into())
+        .flat_map(FlatMapUdf::new("split", |v| {
+            v.as_str().unwrap_or("").split_whitespace().map(Value::from).collect()
+        }))
+        .map(MapUdf::new("pair", |w| Value::pair(w.clone(), Value::from(1))))
+        .reduce_by_key(
+            KeyUdf::field(0),
+            ReduceUdf::new("sum", |a, b| {
+                Value::pair(
+                    a.field(0).clone(),
+                    Value::from(
+                        a.field(1).as_int().unwrap_or(0) + b.field(1).as_int().unwrap_or(0),
+                    ),
+                )
+            }),
+        )
+        .collect();
+    b.build().map(|p| (p, sink))
+}
+
+/// Write a WordCount corpus of `kb` kilobytes to HDFS; returns its URI.
+pub fn corpus_file(tag: &str, kb: usize, seed: u64) -> PathBuf {
+    let path = PathBuf::from(format!("hdfs://bench/{tag}_{kb}kb.txt"));
+    if rheem_storage::stat(&path).is_err() {
+        rheem_datagen::text::write_corpus(&path, kb, seed).expect("corpus written");
+    }
+    path
+}
+
+/// Write a CrocoPR community pair of roughly `edges` edges; returns the two
+/// edge-file URIs.
+pub fn community_files(tag: &str, edges: usize, seed: u64) -> (PathBuf, PathBuf) {
+    let fa = PathBuf::from(format!("hdfs://bench/{tag}_{edges}_a.edges"));
+    let fb = PathBuf::from(format!("hdfs://bench/{tag}_{edges}_b.edges"));
+    if rheem_storage::stat(&fa).is_err() {
+        let vertices = (edges / 4).max(16);
+        let ea = rheem_datagen::generate_graph(vertices, 4, seed);
+        let eb: Vec<(i64, i64)> = ea
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, e)| *e)
+            .chain((0..edges as i64 / 10).map(|i| (i, i + 1)))
+            .collect();
+        rheem_datagen::graph::write_graph(&fa, &ea).expect("graph a");
+        rheem_datagen::graph::write_graph(&fb, &eb).expect("graph b");
+    }
+    (fa, fb)
+}
+
+/// Run a plan on a context, returning the job's virtual ms.
+pub fn run_virtual(ctx: &RheemContext, plan: &RheemPlan) -> Result<f64> {
+    Ok(ctx.execute(plan)?.metrics.virtual_ms)
+}
+
+/// Run a plan forced onto one platform; `Err` maps to the paper's ✗ marks
+/// (platform can't run it / out of memory).
+pub fn run_forced(
+    base: impl Fn() -> RheemContext,
+    platform: PlatformId,
+    plan: &RheemPlan,
+) -> Result<f64> {
+    let mut ctx = base();
+    ctx.forced_platform = Some(platform);
+    run_virtual(&ctx, plan)
+}
+
+/// Pretty platform label used in reports.
+pub fn label(p: PlatformId) -> &'static str {
+    match p {
+        x if x == ids::JAVA_STREAMS => "JavaStreams",
+        x if x == ids::SPARK => "Spark",
+        x if x == ids::FLINK => "Flink",
+        x if x == ids::POSTGRES => "Postgres",
+        x if x == ids::GIRAPH => "Giraph",
+        x if x == ids::JGRAPH => "JGraph",
+        x if x == ids::GRAPHCHI => "GraphChi",
+        _ => "?",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wordcount_task_runs_on_default_context() {
+        let path = corpus_file("libtest", 64, 3);
+        let (plan, sink) = wordcount_plan(&path).unwrap();
+        let ctx = default_context();
+        let result = ctx.execute(&plan).unwrap();
+        assert!(!result.sink(sink).unwrap().is_empty());
+        assert!(result.metrics.virtual_ms > 0.0);
+    }
+
+    #[test]
+    fn community_files_are_cached() {
+        let (fa, _) = community_files("libtest", 2000, 5);
+        let (fa2, _) = community_files("libtest", 2000, 5);
+        assert_eq!(fa, fa2);
+        assert!(rheem_storage::stat(&fa).unwrap().0 > 0);
+    }
+
+    #[test]
+    fn report_collects_rows() {
+        let mut r = Report::new("selftest");
+        r.row("a", 1, 10.0, "");
+        r.failed("b", 2, "killed");
+        assert!(r.tsv.contains("a\t1"));
+        assert!(r.tsv.contains("✗"));
+    }
+}

@@ -1,0 +1,213 @@
+//! The user-facing entry point: [`RheemContext`].
+//!
+//! Mirrors the paper's Fig. 5 flow: applications submit a Rheem plan (1);
+//! the cross-platform optimizer compiles it into an execution plan (2); the
+//! executor dispatches stages to the platform drivers (3); the monitor
+//! collects statistics (4); and the progressive optimizer re-optimizes on
+//! cardinality mismatches (5).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::builtin::register_builtins;
+use crate::cardinality::Estimator;
+use crate::cost::CostModel;
+use crate::error::{Result, RheemError};
+use crate::executor::{ExecConfig, ExplorationBuffer};
+use crate::execplan::{build_exec_plan, ExecPlan};
+use crate::monitor::Monitor;
+use crate::optimizer::{OptimizedPlan, Optimizer};
+use crate::plan::{OperatorId, RheemPlan};
+use crate::platform::{Platform, PlatformId, Profiles};
+use crate::progressive::run_progressive;
+use crate::registry::Registry;
+use crate::value::Dataset;
+
+/// Job-level metrics reported with every result.
+#[derive(Clone, Debug)]
+pub struct JobMetrics {
+    /// Virtual cluster time of the job (the figure the benchmarks report).
+    pub virtual_ms: f64,
+    /// Real local wall time.
+    pub real_ms: f64,
+    /// Progressive re-optimizations performed.
+    pub replans: u32,
+    /// Platforms that executed at least one stage.
+    pub platforms: Vec<PlatformId>,
+    /// The optimizer's cost estimate for the chosen plan.
+    pub est_ms: f64,
+}
+
+/// The output of one job.
+pub struct JobResult {
+    sinks: HashMap<OperatorId, Dataset>,
+    /// Metrics of the run.
+    pub metrics: JobMetrics,
+    /// Exploration taps (exploratory mode only).
+    pub exploration: ExplorationBuffer,
+}
+
+impl JobResult {
+    /// Output of the sink created by [`crate::plan::DataQuanta::collect`].
+    pub fn sink(&self, id: OperatorId) -> Result<&Dataset> {
+        self.sinks
+            .get(&id)
+            .ok_or_else(|| RheemError::Execution(format!("no output recorded for sink {id:?}")))
+    }
+
+    /// All sink outputs.
+    pub fn sinks(&self) -> &HashMap<OperatorId, Dataset> {
+        &self.sinks
+    }
+}
+
+/// The Rheem context: registered platforms, cost model, profiles, executor
+/// configuration and monitor.
+pub struct RheemContext {
+    registry: Registry,
+    profiles: Profiles,
+    model: CostModel,
+    config: ExecConfig,
+    monitor: Monitor,
+    /// Force every mappable operator onto one platform (platform-
+    /// independence experiments; `None` = free choice).
+    pub forced_platform: Option<PlatformId>,
+}
+
+impl Default for RheemContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RheemContext {
+    /// A context with no platforms registered (only driver built-ins).
+    pub fn new() -> Self {
+        let mut registry = Registry::new();
+        register_builtins(&mut registry);
+        Self {
+            registry,
+            profiles: Profiles::paper_testbed(),
+            model: CostModel::new(),
+            config: ExecConfig::default(),
+            monitor: Monitor::new(),
+            forced_platform: None,
+        }
+    }
+
+    /// Register a platform (builder style).
+    pub fn with_platform(mut self, platform: &dyn Platform) -> Self {
+        self.register_platform(platform);
+        self
+    }
+
+    /// Register a platform.
+    pub fn register_platform(&mut self, platform: &dyn Platform) {
+        self.registry.add_platform(platform.id());
+        platform.register(&mut self.registry);
+    }
+
+    /// The extension registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mutable registry access (plug custom operators/mappings, §5).
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// Platform profiles.
+    pub fn profiles(&self) -> &Profiles {
+        &self.profiles
+    }
+
+    /// Mutable profiles (calibration).
+    pub fn profiles_mut(&mut self) -> &mut Profiles {
+        &mut self.profiles
+    }
+
+    /// The cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Mutable cost model (apply learned parameters).
+    pub fn cost_model_mut(&mut self) -> &mut CostModel {
+        &mut self.model
+    }
+
+    /// Executor configuration.
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// Mutable executor configuration.
+    pub fn config_mut(&mut self) -> &mut ExecConfig {
+        &mut self.config
+    }
+
+    /// The monitor (accumulates stage statistics across jobs; feed it to
+    /// the cost learner).
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    fn estimator(&self) -> Estimator {
+        let mut e = Estimator::new();
+        for s in self.registry.source_estimators() {
+            e.add_source_estimator(Arc::clone(s));
+        }
+        e
+    }
+
+    /// Optimize a plan without executing it (inspection / `explain`).
+    pub fn optimize(&self, plan: &RheemPlan) -> Result<OptimizedPlan> {
+        let mut optimizer = Optimizer::new(&self.registry, &self.profiles, &self.model);
+        optimizer.forced_platform = self.forced_platform;
+        optimizer.optimize(plan, &self.estimator())
+    }
+
+    /// Build the executable plan for inspection.
+    pub fn compile(&self, plan: &RheemPlan) -> Result<(OptimizedPlan, ExecPlan)> {
+        let opt = self.optimize(plan)?;
+        let eplan = build_exec_plan(plan, &opt, &self.registry, &self.profiles, &self.model)?;
+        Ok((opt, eplan))
+    }
+
+    /// Human-readable description of the chosen execution plan.
+    pub fn explain(&self, plan: &RheemPlan) -> Result<String> {
+        let (opt, eplan) = self.compile(plan)?;
+        Ok(format!(
+            "estimated cost: {:.1} ms (virtual)\nplatforms: {:?}\n{}",
+            opt.est_ms,
+            opt.platforms,
+            eplan.describe()
+        ))
+    }
+
+    /// Execute a plan end-to-end (Algorithm 1).
+    pub fn execute(&self, plan: &RheemPlan) -> Result<JobResult> {
+        let outcome = run_progressive(
+            plan,
+            &self.registry,
+            &self.profiles,
+            &self.model,
+            || self.estimator(),
+            &self.config,
+            &self.monitor,
+            self.forced_platform,
+        )?;
+        Ok(JobResult {
+            sinks: outcome.sink_data,
+            metrics: JobMetrics {
+                virtual_ms: outcome.virtual_ms,
+                real_ms: outcome.real_ms,
+                replans: outcome.replans,
+                platforms: outcome.platforms,
+                est_ms: outcome.est_ms,
+            },
+            exploration: outcome.exploration,
+        })
+    }
+}

@@ -1,0 +1,192 @@
+//! Persistence of platform profiles and cost-model parameters (§4.1: "the
+//! unit costs depend on hardware characteristics … encoded in a
+//! configuration file for each platform"; §4.5: "the separation of the cost
+//! functions from the cost model parameters allows the optimizer to be
+//! portable across different deployments").
+//!
+//! The format is a minimal, diff-friendly `key = value` text file with
+//! `[section]` headers:
+//!
+//! ```text
+//! [platform.spark]
+//! startup_ms = 2000
+//! cores = 40
+//!
+//! [cost_model]
+//! spark.map.alpha = 231.5
+//! ```
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::cost::CostModel;
+use crate::error::{Result, RheemError};
+use crate::platform::{PlatformId, PlatformProfile, Profiles};
+
+/// Serialize profiles + cost model to the config text format.
+pub fn to_string(profiles: &Profiles, model: &CostModel) -> String {
+    let mut out = String::new();
+    let mut ids: Vec<&'static str> = crate::platform::ids_all();
+    ids.sort();
+    for id in ids {
+        let p = profiles.get(PlatformId(id));
+        let _ = writeln!(out, "[platform.{id}]");
+        let _ = writeln!(out, "startup_ms = {}", p.startup_ms);
+        let _ = writeln!(out, "stage_overhead_ms = {}", p.stage_overhead_ms);
+        let _ = writeln!(out, "task_overhead_ms = {}", p.task_overhead_ms);
+        let _ = writeln!(out, "cores = {}", p.cores);
+        let _ = writeln!(out, "partitions = {}", p.partitions);
+        let _ = writeln!(out, "cpu_scale = {}", p.cpu_scale);
+        let _ = writeln!(out, "net_mb_per_sec = {}", p.net_mb_per_sec);
+        let _ = writeln!(out, "disk_mb_per_sec = {}", p.disk_mb_per_sec);
+        let _ = writeln!(out, "mem_mb = {}", p.mem_mb);
+        let _ = writeln!(out, "barrier_ms = {}", p.barrier_ms);
+        let _ = writeln!(out, "cycles_per_ms = {}", p.cycles_per_ms);
+        out.push('\n');
+    }
+    let _ = writeln!(out, "[cost_model]");
+    let mut params: Vec<(&String, &f64)> = model.params().iter().collect();
+    params.sort_by(|a, b| a.0.cmp(b.0));
+    for (k, v) in params {
+        let _ = writeln!(out, "{k} = {v}");
+    }
+    out
+}
+
+/// Write the configuration to a file.
+pub fn save(path: &Path, profiles: &Profiles, model: &CostModel) -> Result<()> {
+    std::fs::write(path, to_string(profiles, model)).map_err(RheemError::Io)
+}
+
+/// Parse a configuration string, overlaying onto the given defaults.
+pub fn from_string(text: &str, base: &Profiles) -> Result<(Profiles, CostModel)> {
+    let mut profiles = base.clone();
+    let mut model = CostModel::new();
+    let mut section: Option<String> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = Some(name.trim().to_string());
+            continue;
+        }
+        let (key, value) = line.split_once('=').ok_or_else(|| {
+            RheemError::Config(format!("config line {}: expected key = value", lineno + 1))
+        })?;
+        let key = key.trim();
+        let value: f64 = value.trim().parse().map_err(|_| {
+            RheemError::Config(format!("config line {}: bad number '{}'", lineno + 1, value))
+        })?;
+        match section.as_deref() {
+            Some(s) if s.starts_with("platform.") => {
+                let id = &s["platform.".len()..];
+                let Some(id) = crate::platform::ids_all().into_iter().find(|p| *p == id) else {
+                    return Err(RheemError::Config(format!("unknown platform '{id}'")));
+                };
+                let p = profiles.get_mut(PlatformId(id));
+                set_profile_field(p, key, value).map_err(|e| {
+                    RheemError::Config(format!("config line {}: {e}", lineno + 1))
+                })?;
+            }
+            Some("cost_model") => model.set(key, value),
+            other => {
+                return Err(RheemError::Config(format!(
+                    "config line {}: key outside a known section ({other:?})",
+                    lineno + 1
+                )))
+            }
+        }
+    }
+    Ok((profiles, model))
+}
+
+/// Load configuration from a file, overlaying onto defaults.
+pub fn load(path: &Path, base: &Profiles) -> Result<(Profiles, CostModel)> {
+    let text = std::fs::read_to_string(path).map_err(RheemError::Io)?;
+    from_string(&text, base)
+}
+
+fn set_profile_field(p: &mut PlatformProfile, key: &str, v: f64) -> std::result::Result<(), String> {
+    match key {
+        "startup_ms" => p.startup_ms = v,
+        "stage_overhead_ms" => p.stage_overhead_ms = v,
+        "task_overhead_ms" => p.task_overhead_ms = v,
+        "cores" => p.cores = v as u32,
+        "partitions" => p.partitions = v as u32,
+        "cpu_scale" => p.cpu_scale = v,
+        "net_mb_per_sec" => p.net_mb_per_sec = v,
+        "disk_mb_per_sec" => p.disk_mb_per_sec = v,
+        "mem_mb" => p.mem_mb = v,
+        "barrier_ms" => p.barrier_ms = v,
+        "cycles_per_ms" => p.cycles_per_ms = v,
+        other => return Err(format!("unknown profile field '{other}'")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::ids;
+
+    #[test]
+    fn roundtrip_preserves_profiles_and_model() {
+        let mut model = CostModel::new();
+        model.set("spark.map.alpha", 123.5);
+        model.set("flink.join.delta", 42.0);
+        let profiles = Profiles::paper_testbed();
+        let text = to_string(&profiles, &model);
+        let (p2, m2) = from_string(&text, &Profiles::paper_testbed()).unwrap();
+        assert_eq!(p2.get(ids::SPARK).cores, profiles.get(ids::SPARK).cores);
+        assert_eq!(
+            p2.get(ids::FLINK).stage_overhead_ms,
+            profiles.get(ids::FLINK).stage_overhead_ms
+        );
+        assert_eq!(m2.get("spark.map.alpha", 0.0), 123.5);
+        assert_eq!(m2.get("flink.join.delta", 0.0), 42.0);
+    }
+
+    #[test]
+    fn overlay_changes_only_named_fields() {
+        let text = "[platform.spark]\nstartup_ms = 9999\n";
+        let (p, _) = from_string(text, &Profiles::paper_testbed()).unwrap();
+        assert_eq!(p.get(ids::SPARK).startup_ms, 9999.0);
+        // untouched fields keep the base values
+        assert_eq!(
+            p.get(ids::SPARK).cores,
+            Profiles::paper_testbed().get(ids::SPARK).cores
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# deployment: staging\n\n[cost_model]\nspark.map.alpha = 7 # tuned\n";
+        let (_, m) = from_string(text, &Profiles::bare()).unwrap();
+        assert_eq!(m.get("spark.map.alpha", 0.0), 7.0);
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let err = from_string("[platform.spark]\nbogus_field = 1\n", &Profiles::bare())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(from_string("[platform.nope]\nx = 1\n", &Profiles::bare()).is_err());
+        assert!(from_string("loose = 3\n", &Profiles::bare()).is_err());
+        assert!(from_string("[cost_model]\nk = not_a_number\n", &Profiles::bare()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("rheem_config_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rheem.conf");
+        let mut model = CostModel::new();
+        model.set("java.streams.map.alpha", 151.0);
+        save(&path, &Profiles::paper_testbed(), &model).unwrap();
+        let (_, m) = load(&path, &Profiles::paper_testbed()).unwrap();
+        assert_eq!(m.get("java.streams.map.alpha", 0.0), 151.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Interval-based cost and cardinality estimates, resource-usage load
+//! profiles, and the tunable cost model (§4.1, §4.5).
+//!
+//! Every estimate is an interval `[lo, hi]` with a confidence; intervals let
+//! the progressive optimizer (§4.4) decide where to place optimization
+//! checkpoints. The cost of an execution operator is derived from its
+//! resource usage (CPU cycles, disk bytes, network bytes, memory bytes)
+//! multiplied by per-platform unit costs from [`crate::platform::Profiles`].
+//! The parameters of the resource functions (`α`, `β`, `δ` of §4.5) live in
+//! a [`CostModel`] and can be learned from execution logs by
+//! [`crate::learner`].
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::platform::PlatformProfile;
+
+/// An interval estimate with a confidence in `[0, 1]` (Fig. 6's pink boxes).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence that the true value falls within the bounds.
+    pub conf: f64,
+}
+
+impl Interval {
+    /// An exact value with full confidence.
+    pub fn point(v: f64) -> Self {
+        Self { lo: v, hi: v, conf: 1.0 }
+    }
+
+    /// A bounded estimate.
+    pub fn new(lo: f64, hi: f64, conf: f64) -> Self {
+        debug_assert!(lo <= hi, "interval bounds inverted: [{lo}, {hi}]");
+        Self { lo, hi, conf }
+    }
+
+    /// Zero.
+    pub fn zero() -> Self {
+        Self::point(0.0)
+    }
+
+    /// Geometric mean of the bounds — the scalar the paper's loss function
+    /// compares against measured times (§4.5).
+    pub fn geo_mean(&self) -> f64 {
+        if self.lo <= 0.0 {
+            return (self.lo + self.hi) / 2.0;
+        }
+        (self.lo * self.hi).sqrt()
+    }
+
+    /// Midpoint of the bounds.
+    pub fn mid(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+
+    /// Interval addition; confidence degrades to the weaker operand.
+    pub fn add(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+            conf: self.conf.min(other.conf),
+        }
+    }
+
+    /// Scale by a non-negative constant.
+    pub fn scale(&self, k: f64) -> Interval {
+        debug_assert!(k >= 0.0);
+        Interval { lo: self.lo * k, hi: self.hi * k, conf: self.conf }
+    }
+
+    /// Interval multiplication (for cardinality products, all non-negative).
+    pub fn mul(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo * other.lo,
+            hi: self.hi * other.hi,
+            conf: self.conf * other.conf,
+        }
+    }
+
+    /// Widen the bounds by a relative factor and damp confidence — applied
+    /// per estimation hop to express growing uncertainty (§4.1).
+    pub fn widen(&self, rel: f64, conf_damp: f64) -> Interval {
+        Interval {
+            lo: self.lo * (1.0 - rel).max(0.0),
+            hi: self.hi * (1.0 + rel),
+            conf: self.conf * conf_damp,
+        }
+    }
+
+    /// Whether a measured value is inside the bounds.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+
+    /// Relative width `(hi - lo) / max(mid, 1)`: the optimizer places
+    /// optimization checkpoints after wide/low-confidence estimates.
+    pub fn rel_width(&self) -> f64 {
+        (self.hi - self.lo) / self.mid().max(1.0)
+    }
+}
+
+/// Resource usage of one execution operator (the `r^m_o` functions of §4.5).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Load {
+    /// CPU cycles (abstract units).
+    pub cpu_cycles: f64,
+    /// Bytes read/written to disk.
+    pub disk_bytes: f64,
+    /// Bytes moved over the network.
+    pub net_bytes: f64,
+    /// Peak memory bytes.
+    pub mem_bytes: f64,
+    /// Number of parallel tasks the work divides into (1 = sequential).
+    pub tasks: u32,
+}
+
+impl Load {
+    /// CPU-only load.
+    pub fn cpu(cycles: f64) -> Self {
+        Load { cpu_cycles: cycles, tasks: 1, ..Default::default() }
+    }
+
+    /// Convert to a virtual-time estimate in ms under a platform profile:
+    /// `t = t_cpu + t_disk + t_net` (memory contributes no time but is
+    /// checked against the platform cap by engines).
+    pub fn to_ms(&self, profile: &PlatformProfile) -> f64 {
+        let eff_cores = (profile.cores.min(self.tasks.max(1))) as f64;
+        let cpu_ms = self.cpu_cycles / profile.cycles_per_ms / eff_cores;
+        let task_ms = profile.task_overhead_ms * self.tasks as f64 / profile.cores.max(1) as f64;
+        cpu_ms + profile.disk_ms(self.disk_bytes) + profile.net_ms(self.net_bytes) + task_ms
+    }
+}
+
+/// The tunable cost-model parameters: a flat key → value map with keys like
+/// `"spark.map.alpha"` (cycles per input quantum), `".delta"` (fixed cycles),
+/// `".bytes"` (bytes per quantum for transfer-bound operators). §4.5's `x`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CostModel {
+    params: HashMap<String, f64>,
+}
+
+impl CostModel {
+    /// Empty model: every lookup yields its supplied default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a parameter, falling back to `default`.
+    pub fn get(&self, key: &str, default: f64) -> f64 {
+        self.params.get(key).copied().unwrap_or(default)
+    }
+
+    /// Set a parameter.
+    pub fn set(&mut self, key: impl Into<String>, value: f64) {
+        self.params.insert(key.into(), value);
+    }
+
+    /// All explicitly set parameters.
+    pub fn params(&self) -> &HashMap<String, f64> {
+        &self.params
+    }
+
+    /// Bulk-merge learned parameters (learner output).
+    pub fn merge(&mut self, other: &CostModel) {
+        for (k, v) in &other.params {
+            self.params.insert(k.clone(), *v);
+        }
+    }
+}
+
+/// Canonical parameter key for platform `p`, operator token `t`, param `x`.
+pub fn param_key(platform: &str, token: &str, param: &str) -> String {
+    format!("{platform}.{token}.{param}")
+}
+
+/// The standard linear resource function of §4.5:
+/// `cpu = δ + c_in · (α + β_udf)`, with parameters looked up in the model.
+pub fn linear_cpu(
+    model: &CostModel,
+    platform: &str,
+    token: &str,
+    c_in: f64,
+    udf_hint: f64,
+    default_alpha: f64,
+    default_delta: f64,
+) -> f64 {
+    let alpha = model.get(&param_key(platform, token, "alpha"), default_alpha);
+    let delta = model.get(&param_key(platform, token, "delta"), default_delta);
+    let beta = model.get(&param_key(platform, token, "beta"), 1.0);
+    delta + c_in * (alpha + beta * udf_hint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_arithmetic() {
+        let a = Interval::new(1.0, 3.0, 0.9);
+        let b = Interval::new(2.0, 4.0, 0.8);
+        let s = a.add(&b);
+        assert_eq!((s.lo, s.hi), (3.0, 7.0));
+        assert!((s.conf - 0.8).abs() < 1e-12);
+        let m = a.mul(&b);
+        assert_eq!((m.lo, m.hi), (2.0, 12.0));
+        assert!((m.conf - 0.72).abs() < 1e-12);
+        let k = a.scale(2.0);
+        assert_eq!((k.lo, k.hi), (2.0, 6.0));
+    }
+
+    #[test]
+    fn geo_mean_and_contains() {
+        let a = Interval::new(4.0, 9.0, 1.0);
+        assert!((a.geo_mean() - 6.0).abs() < 1e-12);
+        assert!(a.contains(5.0));
+        assert!(!a.contains(10.0));
+        // Degenerate lower bound falls back to midpoint.
+        let z = Interval::new(0.0, 10.0, 1.0);
+        assert_eq!(z.geo_mean(), 5.0);
+    }
+
+    #[test]
+    fn widen_grows_bounds_and_damps_confidence() {
+        let a = Interval::point(100.0).widen(0.1, 0.9);
+        assert!((a.lo - 90.0).abs() < 1e-9);
+        assert!((a.hi - 110.0).abs() < 1e-9);
+        assert!((a.conf - 0.9).abs() < 1e-12);
+        assert!(a.rel_width() > 0.0);
+    }
+
+    #[test]
+    fn load_to_ms_accounts_for_parallelism() {
+        let profile = PlatformProfile {
+            cores: 4,
+            cycles_per_ms: 1000.0,
+            ..PlatformProfile::default()
+        };
+        let seq = Load::cpu(8000.0);
+        assert!((seq.to_ms(&profile) - 8.0).abs() < 1e-9);
+        let par = Load { cpu_cycles: 8000.0, tasks: 8, ..Default::default() };
+        assert!((par.to_ms(&profile) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_model_roundtrip_and_merge() {
+        let mut m = CostModel::new();
+        assert_eq!(m.get("spark.map.alpha", 5.0), 5.0);
+        m.set("spark.map.alpha", 7.0);
+        assert_eq!(m.get("spark.map.alpha", 5.0), 7.0);
+        let mut other = CostModel::new();
+        other.set("flink.map.alpha", 2.0);
+        m.merge(&other);
+        assert_eq!(m.get("flink.map.alpha", 0.0), 2.0);
+    }
+
+    #[test]
+    fn linear_cpu_formula() {
+        let model = CostModel::new();
+        let c = linear_cpu(&model, "spark", "map", 100.0, 2.0, 3.0, 10.0);
+        // delta + cin*(alpha + beta*udf) = 10 + 100*(3+2)
+        assert!((c - 510.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,212 @@
+//! Graphviz (`dot`) export of Rheem plans and execution plans — the
+//! library counterpart of Rheem Studio's drawing surface (§5): render what
+//! the user composed and what the optimizer chose.
+
+use std::fmt::Write as _;
+
+use crate::builtin::CONTROL;
+use crate::execplan::ExecPlan;
+use crate::optimizer::OptimizedPlan;
+use crate::plan::RheemPlan;
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+/// Render a platform-agnostic Rheem plan as a `dot` digraph. Broadcast
+/// edges are dashed, mirroring Fig. 3(a).
+pub fn plan_to_dot(plan: &RheemPlan) -> String {
+    let mut out = String::from("digraph rheem_plan {\n  rankdir=BT;\n  node [shape=box];\n");
+    for node in plan.operators() {
+        let shape = if node.op.kind().is_source() {
+            ", style=filled, fillcolor=lightblue"
+        } else if node.op.kind().is_sink() {
+            ", style=filled, fillcolor=lightgray"
+        } else if node.op.kind().is_loop_head() {
+            ", shape=diamond"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\"{}];",
+            node.id.0,
+            escape(&node.label()),
+            shape
+        );
+    }
+    for node in plan.operators() {
+        for &inp in &node.inputs {
+            let _ = writeln!(out, "  n{} -> n{};", inp.0, node.id.0);
+        }
+        for (name, inp) in &node.broadcasts {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [style=dashed, label=\"{}\"];",
+                inp.0,
+                node.id.0,
+                escape(name)
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render an execution plan as a `dot` digraph with one cluster per stage,
+/// colored by platform — the shape of Fig. 7.
+pub fn exec_plan_to_dot(plan: &RheemPlan, _opt: &OptimizedPlan, eplan: &ExecPlan) -> String {
+    let mut out = String::from("digraph rheem_exec_plan {\n  rankdir=BT;\n  node [shape=box];\n");
+    for stage in &eplan.stages {
+        let color = platform_color(stage.platform.0);
+        let _ = writeln!(out, "  subgraph cluster_stage{} {{", stage.id);
+        let _ = writeln!(
+            out,
+            "    label=\"stage {} [{}]{}\"; style=filled; fillcolor=\"{}\";",
+            stage.id,
+            stage.platform,
+            stage
+                .loop_of
+                .map(|l| format!(" loop {l:?}"))
+                .unwrap_or_default(),
+            color
+        );
+        for &nid in &stage.nodes {
+            let n = &eplan.nodes[nid];
+            let conv = if n.logical.is_empty() { ", shape=ellipse" } else { "" };
+            let _ = writeln!(
+                out,
+                "    e{} [label=\"{}\"{}];",
+                nid,
+                escape(n.exec.name()),
+                conv
+            );
+        }
+        out.push_str("  }\n");
+    }
+    for n in &eplan.nodes {
+        let head = n.is_loop_head(plan);
+        for (slot, &i) in n.inputs.iter().enumerate() {
+            let style = if head && slot == 1 {
+                " [style=bold, color=red, label=\"feedback\"]"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  e{} -> e{}{};", i, n.id, style);
+        }
+        for (name, i) in &n.broadcasts {
+            let _ = writeln!(
+                out,
+                "  e{} -> e{} [style=dashed, label=\"{}\"];",
+                i,
+                n.id,
+                escape(name)
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn platform_color(id: &str) -> &'static str {
+    match id {
+        "java.streams" => "#fff2cc",
+        "spark" => "#ffe0cc",
+        "flink" => "#e0ecff",
+        "postgres" => "#d9ead3",
+        "giraph" => "#ead1dc",
+        "jgraph" => "#f4cccc",
+        "graphchi" => "#d0e0e3",
+        s if s == CONTROL.0 => "#eeeeee",
+        _ => "#ffffff",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanBuilder;
+    use crate::udf::MapUdf;
+    use crate::value::Value;
+
+    fn plan_with_loop() -> RheemPlan {
+        let mut b = PlanBuilder::new();
+        let init = b.collection(vec![Value::from(0)]);
+        let data = b.collection(vec![Value::from(1)]);
+        init.repeat(2, |w| {
+            w.map(MapUdf::with_ctx("step", |v, ctx| {
+                Value::from(v.as_int().unwrap_or(0) + ctx.get_or_empty("d").len() as i64)
+            }))
+            .broadcast("d", &data)
+        })
+        .collect();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn plan_dot_contains_nodes_edges_and_broadcast() {
+        let plan = plan_with_loop();
+        let dot = plan_to_dot(&plan);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("Map[step]"));
+        assert!(dot.contains("style=dashed"), "{dot}");
+        assert!(dot.contains("shape=diamond")); // the loop head
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn exec_dot_clusters_by_stage_and_marks_feedback() {
+        use crate::channel::{kinds, ChannelData, ChannelKind};
+        use crate::cost::Load;
+        use crate::exec::{ExecCtx, ExecutionOperator};
+        use crate::mapping::{Candidate, FnMapping};
+        use crate::plan::OpKind;
+        use crate::platform::PlatformId;
+        use crate::udf::BroadcastCtx;
+        use std::sync::Arc;
+
+        struct TestMap;
+        impl ExecutionOperator for TestMap {
+            fn name(&self) -> &str {
+                "TestMap"
+            }
+            fn platform(&self) -> PlatformId {
+                PlatformId("testp")
+            }
+            fn accepted_inputs(&self, _s: usize) -> Vec<ChannelKind> {
+                vec![kinds::COLLECTION]
+            }
+            fn output_kind(&self) -> ChannelKind {
+                kinds::COLLECTION
+            }
+            fn load(&self, _i: &[f64], _b: f64, _m: &crate::cost::CostModel) -> Load {
+                Load::default()
+            }
+            fn execute(
+                &self,
+                _ctx: &mut ExecCtx<'_>,
+                inputs: &[ChannelData],
+                _bc: &BroadcastCtx,
+            ) -> crate::error::Result<ChannelData> {
+                Ok(inputs[0].clone())
+            }
+        }
+
+        let mut ctx = crate::api::RheemContext::new();
+        ctx.registry_mut().add_mapping(Arc::new(FnMapping(
+            |_p: &RheemPlan, n: &crate::plan::OperatorNode| {
+                if n.op.kind() == OpKind::Map {
+                    vec![Candidate::single(n.id, Arc::new(TestMap) as _)]
+                } else {
+                    vec![]
+                }
+            },
+        )));
+        let plan = plan_with_loop();
+        let (opt, eplan) = ctx.compile(&plan).unwrap();
+        let dot = exec_plan_to_dot(&plan, &opt, &eplan);
+        assert!(dot.contains("cluster_stage"));
+        assert!(dot.contains("feedback"), "{dot}");
+        assert!(dot.contains("TestMap"));
+    }
+}

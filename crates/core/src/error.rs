@@ -1,0 +1,75 @@
+//! Error type shared by all of rheem-rs.
+
+use std::fmt;
+
+/// Errors raised while building, optimizing or executing Rheem plans.
+#[derive(Debug)]
+pub enum RheemError {
+    /// The Rheem plan is structurally invalid (e.g. missing source/sink,
+    /// dangling edge, type of input slot mismatch).
+    Plan(String),
+    /// The optimizer could not produce an execution plan (e.g. an operator
+    /// has no mapping on any registered platform, or no conversion path
+    /// exists between two channels).
+    Optimizer(String),
+    /// A platform driver failed while executing a stage.
+    Execution(String),
+    /// Underlying I/O failure (file channels, HDFS simulacrum).
+    Io(std::io::Error),
+    /// A feature is not supported by the chosen platform or channel.
+    Unsupported(String),
+    /// Invalid configuration (profiles, cost model parameters).
+    Config(String),
+}
+
+impl fmt::Display for RheemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RheemError::Plan(m) => write!(f, "invalid Rheem plan: {m}"),
+            RheemError::Optimizer(m) => write!(f, "optimizer error: {m}"),
+            RheemError::Execution(m) => write!(f, "execution error: {m}"),
+            RheemError::Io(e) => write!(f, "I/O error: {e}"),
+            RheemError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            RheemError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RheemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RheemError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RheemError {
+    fn from(e: std::io::Error) -> Self {
+        RheemError::Io(e)
+    }
+}
+
+/// Convenient result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, RheemError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_variants() {
+        assert!(RheemError::Plan("no sink".into()).to_string().contains("no sink"));
+        assert!(RheemError::Optimizer("x".into()).to_string().starts_with("optimizer"));
+        assert!(RheemError::Unsupported("y".into()).to_string().contains("unsupported"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err: RheemError = io.into();
+        assert!(err.to_string().contains("gone"));
+        use std::error::Error;
+        assert!(err.source().is_some());
+    }
+}

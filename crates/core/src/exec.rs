@@ -1,0 +1,263 @@
+//! Execution operators and the execution context.
+//!
+//! An execution operator implements one or more Rheem operators with
+//! platform-specific code (§3). Platform crates implement
+//! [`ExecutionOperator`] for each of their operators and conversion
+//! operators; the core executor drives them and collects metrics.
+
+use std::fmt;
+use std::time::Instant;
+
+use crate::channel::{ChannelData, ChannelKind};
+use crate::cost::Load;
+use crate::error::{Result, RheemError};
+use crate::platform::{PlatformId, PlatformProfile, Profiles};
+use crate::udf::BroadcastCtx;
+use crate::value::Value;
+
+/// Platform-specific implementation of one (or a chain of) Rheem operators.
+pub trait ExecutionOperator: Send + Sync {
+    /// Display name, e.g. `"SparkMap"`. Also keys cost-model parameters via
+    /// [`crate::cost::param_key`].
+    fn name(&self) -> &str;
+
+    /// Owning platform.
+    fn platform(&self) -> PlatformId;
+
+    /// Channel kinds accepted on input slot `slot`, in preference order.
+    fn accepted_inputs(&self, slot: usize) -> Vec<ChannelKind>;
+
+    /// Channel kind of the output.
+    fn output_kind(&self) -> ChannelKind;
+
+    /// Channel kinds accepted for broadcast inputs (dotted edges); defaults
+    /// to the universal in-memory collection.
+    fn broadcast_input_kinds(&self) -> Vec<ChannelKind> {
+        vec![crate::channel::kinds::COLLECTION]
+    }
+
+    /// Estimated resource usage for the given input cardinalities and
+    /// average quantum size in bytes (the `r^m_o` functions of §4.5).
+    fn load(&self, in_cards: &[f64], avg_bytes: f64, model: &crate::cost::CostModel) -> Load;
+
+    /// Run the operator. Inputs arrive as channels of an accepted kind;
+    /// broadcast variables are pre-bound in `bc`.
+    fn execute(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        inputs: &[ChannelData],
+        bc: &BroadcastCtx,
+    ) -> Result<ChannelData>;
+}
+
+impl fmt::Debug for dyn ExecutionOperator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.name(), self.platform())
+    }
+}
+
+/// Metrics of one execution-operator run, fed to the monitor and the cost
+/// learner (§4.3, §4.5).
+#[derive(Clone, Debug)]
+pub struct OpMetrics {
+    /// Operator name (`ExecutionOperator::name`).
+    pub name: String,
+    /// Owning platform.
+    pub platform: PlatformId,
+    /// Total input cardinality.
+    pub in_card: u64,
+    /// Output cardinality.
+    pub out_card: u64,
+    /// Virtual cluster time attributed to this operator, ms.
+    pub virtual_ms: f64,
+    /// Real local time, ms.
+    pub real_ms: f64,
+}
+
+/// Mutable context handed to execution operators.
+pub struct ExecCtx<'a> {
+    /// Platform profiles (virtual-cluster parameters).
+    pub profiles: &'a Profiles,
+    /// Base RNG seed of the job; engines derive per-op seeds from it.
+    pub seed: u64,
+    /// Current loop iteration (0 outside loops) — lets samplers vary their
+    /// draw across iterations like ML4all's shuffled-partition sampler.
+    pub iteration: u64,
+    ops: Vec<OpMetrics>,
+    virtual_ms: f64,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// New context.
+    pub fn new(profiles: &'a Profiles, seed: u64) -> Self {
+        Self { profiles, seed, iteration: 0, ops: Vec::new(), virtual_ms: 0.0 }
+    }
+
+    /// Profile of a platform.
+    pub fn profile(&self, id: PlatformId) -> &PlatformProfile {
+        self.profiles.get(id)
+    }
+
+    /// Add virtual cluster time not attributable to one operator
+    /// (stage submission, barriers).
+    pub fn add_virtual_ms(&mut self, ms: f64) {
+        self.virtual_ms += ms;
+    }
+
+    /// Record one operator execution.
+    pub fn record(&mut self, m: OpMetrics) {
+        self.virtual_ms += m.virtual_ms;
+        self.ops.push(m);
+    }
+
+    /// Virtual time accumulated so far in this context.
+    pub fn virtual_ms(&self) -> f64 {
+        self.virtual_ms
+    }
+
+    /// Recorded operator metrics.
+    pub fn op_metrics(&self) -> &[OpMetrics] {
+        &self.ops
+    }
+
+    /// Drain recorded metrics (executor moves them into the monitor).
+    pub fn take_metrics(&mut self) -> (Vec<OpMetrics>, f64) {
+        let v = self.virtual_ms;
+        self.virtual_ms = 0.0;
+        (std::mem::take(&mut self.ops), v)
+    }
+
+    /// Fail if a dataset of `bytes` exceeds the platform's memory cap
+    /// (emulates out-of-memory conditions, e.g. SystemML in Fig. 2b).
+    pub fn check_mem(&self, platform: PlatformId, bytes: f64) -> Result<()> {
+        let cap = self.profile(platform).mem_mb * 1024.0 * 1024.0;
+        if bytes > cap {
+            return Err(RheemError::Execution(format!(
+                "{platform}: out of memory ({:.0} MB needed, {:.0} MB cap)",
+                bytes / 1024.0 / 1024.0,
+                cap / 1024.0 / 1024.0
+            )));
+        }
+        Ok(())
+    }
+
+    /// Helper: run `f`, measure real time, and record metrics where the
+    /// virtual time equals real time scaled by the platform's `cpu_scale`
+    /// (appropriate for single-threaded engines).
+    pub fn timed_seq<T>(
+        &mut self,
+        op: &dyn ExecutionOperator,
+        in_card: u64,
+        f: impl FnOnce() -> Result<(T, u64)>,
+    ) -> Result<T> {
+        let start = Instant::now();
+        let (out, out_card) = f()?;
+        let real_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let scale = self.profile(op.platform()).cpu_scale;
+        self.record(OpMetrics {
+            name: op.name().to_string(),
+            platform: op.platform(),
+            in_card,
+            out_card,
+            virtual_ms: real_ms * scale,
+            real_ms,
+        });
+        Ok(out)
+    }
+}
+
+/// Total input cardinality across channels (0 when unknown).
+pub fn total_cardinality(inputs: &[ChannelData]) -> u64 {
+    inputs
+        .iter()
+        .map(|c| c.cardinality().unwrap_or(0) as u64)
+        .sum()
+}
+
+/// Estimate the serialized byte volume of a dataset (for movement costs).
+pub fn dataset_bytes(data: &[Value]) -> f64 {
+    crate::value::avg_quantum_bytes(data) * data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::kinds;
+    use std::sync::Arc as StdArc;
+
+    struct Dummy;
+    impl ExecutionOperator for Dummy {
+        fn name(&self) -> &str {
+            "Dummy"
+        }
+        fn platform(&self) -> PlatformId {
+            PlatformId("test")
+        }
+        fn accepted_inputs(&self, _slot: usize) -> Vec<ChannelKind> {
+            vec![kinds::COLLECTION]
+        }
+        fn output_kind(&self) -> ChannelKind {
+            kinds::COLLECTION
+        }
+        fn load(&self, in_cards: &[f64], _avg_bytes: f64, _model: &crate::cost::CostModel) -> Load {
+            Load::cpu(in_cards.iter().sum())
+        }
+        fn execute(
+            &self,
+            _ctx: &mut ExecCtx<'_>,
+            inputs: &[ChannelData],
+            _bc: &BroadcastCtx,
+        ) -> Result<ChannelData> {
+            Ok(inputs[0].clone())
+        }
+    }
+
+    #[test]
+    fn ctx_accumulates_metrics() {
+        let profiles = Profiles::bare();
+        let mut ctx = ExecCtx::new(&profiles, 42);
+        ctx.add_virtual_ms(5.0);
+        ctx.record(OpMetrics {
+            name: "x".into(),
+            platform: PlatformId("test"),
+            in_card: 10,
+            out_card: 5,
+            virtual_ms: 7.0,
+            real_ms: 1.0,
+        });
+        assert!((ctx.virtual_ms() - 12.0).abs() < 1e-12);
+        let (ops, v) = ctx.take_metrics();
+        assert_eq!(ops.len(), 1);
+        assert!((v - 12.0).abs() < 1e-12);
+        assert_eq!(ctx.virtual_ms(), 0.0);
+    }
+
+    #[test]
+    fn timed_seq_records_and_returns() {
+        let profiles = Profiles::bare();
+        let mut ctx = ExecCtx::new(&profiles, 0);
+        let op = Dummy;
+        let out = ctx
+            .timed_seq(&op, 3, || Ok((vec![1, 2, 3], 3)))
+            .unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(ctx.op_metrics().len(), 1);
+        assert_eq!(ctx.op_metrics()[0].in_card, 3);
+    }
+
+    #[test]
+    fn mem_check_enforces_cap() {
+        let mut profiles = Profiles::bare();
+        profiles.get_mut(PlatformId("tiny")).mem_mb = 1.0;
+        let ctx = ExecCtx::new(&profiles, 0);
+        assert!(ctx.check_mem(PlatformId("tiny"), 512.0 * 1024.0).is_ok());
+        assert!(ctx.check_mem(PlatformId("tiny"), 2.0 * 1024.0 * 1024.0).is_err());
+    }
+
+    #[test]
+    fn total_cardinality_sums_known() {
+        let a = ChannelData::Collection(StdArc::new(vec![Value::from(1)]));
+        let b = ChannelData::None;
+        assert_eq!(total_cardinality(&[a, b]), 1);
+    }
+}

@@ -1,0 +1,583 @@
+//! The executor (§4.2): dispatches stages to platform drivers, owns loop
+//! control (Fig. 7), composes virtual cluster time across stages (stages
+//! with no mutual dependencies overlap — inter-platform parallelism), and
+//! supports the exploratory mode with sniffers and the progressive
+//! optimizer's optimization checkpoints (§4.4).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::builtin::CONTROL;
+use crate::channel::ChannelData;
+use crate::error::{Result, RheemError};
+use crate::exec::{ExecCtx, OpMetrics};
+use crate::execplan::ExecPlan;
+use crate::monitor::{check_cardinality, Health, Monitor, StageRun};
+use crate::optimizer::OptimizedPlan;
+use crate::plan::{LogicalOp, OperatorId, RheemPlan};
+use crate::platform::Profiles;
+use crate::udf::BroadcastCtx;
+use crate::value::{Dataset, Value};
+
+/// Executor configuration.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    /// RNG seed for sampling operators.
+    pub seed: u64,
+    /// Exploratory mode: inject sniffers after every logical operator and
+    /// multiplex a sample of the flowing data to an auxiliary buffer (§4.2).
+    pub exploration: bool,
+    /// Max quanta a sniffer captures per operator execution.
+    pub sniff_limit: usize,
+    /// Enable progressive re-optimization (§4.4).
+    pub progressive: bool,
+    /// Mismatch tolerance: pause when a measured cardinality leaves
+    /// `[lo/tau, hi*tau]`.
+    pub mismatch_tau: f64,
+    /// Place an optimization checkpoint after stages whose estimates have
+    /// confidence below this…
+    pub checkpoint_conf: f64,
+    /// …or relative width above this.
+    pub checkpoint_width: f64,
+    /// Basic cross-platform fault tolerance (§7.1's planned mechanism):
+    /// retry a failed execution operator this many times before giving up.
+    pub retries: u32,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xC0FFEE,
+            exploration: false,
+            sniff_limit: 64,
+            progressive: true,
+            mismatch_tau: 2.0,
+            checkpoint_conf: crate::execplan::CHECKPOINT_CONF,
+            checkpoint_width: crate::execplan::CHECKPOINT_WIDTH,
+            retries: 1,
+        }
+    }
+}
+
+/// Data captured by sniffers in exploratory mode.
+#[derive(Clone, Debug, Default)]
+pub struct ExplorationBuffer {
+    /// `(operator label, sampled quanta)` per sniffed execution.
+    pub taps: Vec<(String, Vec<Value>)>,
+}
+
+/// Outcome of one executor run.
+pub enum Outcome {
+    /// The plan ran to completion.
+    Finished(Execution),
+    /// The progressive optimizer should re-plan from this checkpoint.
+    Paused(Checkpoint),
+}
+
+/// A completed execution.
+pub struct Execution {
+    /// Sink outputs by logical sink operator.
+    pub sink_data: HashMap<OperatorId, Dataset>,
+    /// Virtual cluster time of the whole job, ms.
+    pub virtual_ms: f64,
+    /// Real local wall time, ms.
+    pub real_ms: f64,
+    /// Exploration taps (empty unless exploratory mode).
+    pub exploration: ExplorationBuffer,
+}
+
+/// State captured at an optimization checkpoint (§4.4).
+pub struct Checkpoint {
+    /// Logical operators fully executed.
+    pub executed: HashSet<OperatorId>,
+    /// Materialized outputs that unexecuted operators still need.
+    pub materialized: HashMap<OperatorId, Dataset>,
+    /// Measured output cardinalities of executed operators.
+    pub measured: HashMap<OperatorId, f64>,
+    /// Outputs of sinks that already completed before the pause.
+    pub sink_data: HashMap<OperatorId, Dataset>,
+    /// Virtual time consumed so far, ms.
+    pub virtual_ms: f64,
+    /// Real time consumed so far, ms.
+    pub real_ms: f64,
+    /// Exploration taps so far.
+    pub exploration: ExplorationBuffer,
+}
+
+/// The executor for one (plan, optimized plan, exec plan) triple.
+pub struct Executor<'a> {
+    plan: &'a RheemPlan,
+    opt: &'a OptimizedPlan,
+    eplan: &'a ExecPlan,
+    profiles: &'a Profiles,
+    config: &'a ExecConfig,
+    monitor: &'a Monitor,
+}
+
+struct RunState {
+    values: Vec<Option<ChannelData>>,
+    vfinish: Vec<f64>,
+    /// stage id of the currently open stage run, with its running clock and
+    /// whether overhead is still pending.
+    open_stage: Option<usize>,
+    run_clock: f64,
+    /// Virtual time at which the current stage run was submitted (overhead
+    /// included); multi-core platforms order nodes by data dependencies
+    /// from this base instead of serializing the whole run.
+    run_base: f64,
+    run_ops: Vec<OpMetrics>,
+    run_real_ms: f64,
+    run_virtual_ms: f64,
+    started_platforms: HashSet<&'static str>,
+    /// Virtual-time floor: no node may start before this (loop iterations
+    /// serialize: iteration i+1 starts after iteration i completed).
+    floor: f64,
+    measured: HashMap<OperatorId, f64>,
+    exploration: ExplorationBuffer,
+    iteration: u64,
+    job_virtual_ms: f64,
+    wall_start: Instant,
+}
+
+impl<'a> Executor<'a> {
+    /// New executor.
+    pub fn new(
+        plan: &'a RheemPlan,
+        opt: &'a OptimizedPlan,
+        eplan: &'a ExecPlan,
+        profiles: &'a Profiles,
+        config: &'a ExecConfig,
+        monitor: &'a Monitor,
+    ) -> Self {
+        Self { plan, opt, eplan, profiles, config, monitor }
+    }
+
+    /// Run the plan (until completion or an optimization checkpoint).
+    pub fn run(&self) -> Result<Outcome> {
+        let n = self.eplan.nodes.len();
+        let mut st = RunState {
+            values: (0..n).map(|_| None).collect(),
+            vfinish: vec![0.0; n],
+            open_stage: None,
+            run_clock: 0.0,
+            run_base: 0.0,
+            run_ops: Vec::new(),
+            run_real_ms: 0.0,
+            run_virtual_ms: 0.0,
+            started_platforms: HashSet::new(),
+            floor: 0.0,
+            measured: HashMap::new(),
+            exploration: ExplorationBuffer::default(),
+            iteration: 0,
+            job_virtual_ms: 0.0,
+            wall_start: Instant::now(),
+        };
+        let pause = self.run_region(&mut st, None)?;
+        self.close_stage_run(&mut st);
+        let real_ms = st.wall_start.elapsed().as_secs_f64() * 1000.0;
+        let virtual_ms = st.job_virtual_ms;
+        if let Some(()) = pause {
+            return Ok(Outcome::Paused(self.build_checkpoint(st, virtual_ms, real_ms)));
+        }
+        // Collect sinks.
+        let mut sink_data = HashMap::new();
+        for &(op, nid) in &self.eplan.sinks {
+            let data = st.values[nid]
+                .as_ref()
+                .ok_or_else(|| RheemError::Execution("sink never executed".into()))?
+                .flatten()?;
+            sink_data.insert(op, data);
+        }
+        Ok(Outcome::Finished(Execution {
+            sink_data,
+            virtual_ms,
+            real_ms,
+            exploration: st.exploration,
+        }))
+    }
+
+    /// Execute all nodes of `region` (a loop body, or the top level for
+    /// `None`) in stage order. Returns `Some(())` when a checkpoint fired.
+    fn run_region(&self, st: &mut RunState, region: Option<OperatorId>) -> Result<Option<()>> {
+        let node_ids: Vec<usize> = self
+            .eplan
+            .topo_nodes()
+            .filter(|&nid| self.eplan.nodes[nid].loop_of == region)
+            .collect();
+        for (i, &nid) in node_ids.iter().enumerate() {
+            self.ensure_node(st, nid)?;
+            // Progressive checkpoints: only at top level, at stage
+            // boundaries, with work remaining.
+            let stage_ends = node_ids
+                .get(i + 1)
+                .map(|&next| self.eplan.nodes[next].stage != self.eplan.nodes[nid].stage)
+                .unwrap_or(true);
+            if self.config.progressive
+                && region.is_none()
+                && stage_ends
+                && i + 1 < node_ids.len()
+                && self.checkpoint_triggers(st, nid)
+            {
+                self.close_stage_run(st);
+                return Ok(Some(()));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Compute a node's value if absent, recursively computing its
+    /// providers first (providers may live in outer regions whose stage
+    /// order placed them after a loop head — demand drives them early).
+    fn ensure_node(&self, st: &mut RunState, nid: usize) -> Result<()> {
+        if st.values[nid].is_some() {
+            return Ok(());
+        }
+        if self.eplan.nodes[nid].is_loop_head(self.plan) {
+            self.close_stage_run(st);
+            return self.run_loop(st, nid);
+        }
+        let deps: Vec<usize> = self.eplan.nodes[nid]
+            .inputs
+            .iter()
+            .copied()
+            .chain(self.eplan.nodes[nid].broadcasts.iter().map(|(_, p)| *p))
+            .collect();
+        for d in deps {
+            self.ensure_node(st, d)?;
+        }
+        self.run_node(st, nid)
+    }
+
+    fn run_loop(&self, st: &mut RunState, head: usize) -> Result<()> {
+        let node = &self.eplan.nodes[head];
+        let tail = node.tail().expect("loop head covers its logical op");
+        let (max_iters, cond) = match &self.plan.node(tail).op {
+            LogicalOp::RepeatLoop { iterations } => (*iterations, None),
+            LogicalOp::DoWhile { cond, max_iterations } => (*max_iterations, Some(cond.clone())),
+            other => {
+                return Err(RheemError::Execution(format!(
+                    "node {} is not a loop head ({:?})",
+                    head,
+                    other.kind()
+                )))
+            }
+        };
+        let init_provider = node.inputs[0];
+        let feedback_provider = node.inputs[1];
+        self.ensure_node(st, init_provider)?;
+        let mut state = st.values[init_provider]
+            .clone()
+            .ok_or_else(|| RheemError::Execution("loop initial input missing".into()))?;
+        let mut state_vfinish = st.vfinish[init_provider];
+        let outer_iteration = st.iteration;
+
+        // The loop-head stage itself (condition evaluation) is driver work.
+        let outer_floor = st.floor;
+        for i in 0..max_iters {
+            st.iteration = i as u64;
+            st.values[head] = Some(state.clone());
+            st.vfinish[head] = state_vfinish;
+            st.floor = st.floor.max(state_vfinish);
+            // Clear all nodes nested (transitively) inside this loop.
+            for (vid, v) in st.values.iter_mut().enumerate() {
+                if self.nested_in_loop(vid, tail) {
+                    *v = None;
+                }
+            }
+            if self.run_region(st, Some(tail))?.is_some() {
+                unreachable!("checkpoints never fire inside loop bodies");
+            }
+            self.close_stage_run(st);
+            state = st.values[feedback_provider]
+                .clone()
+                .ok_or_else(|| RheemError::Execution("loop feedback missing".into()))?;
+            state_vfinish = st.vfinish[feedback_provider];
+            if let Some(cond) = &cond {
+                let data = state.flatten()?;
+                let done = data
+                    .first()
+                    .map(|v| cond.call(v, &BroadcastCtx::new()))
+                    .unwrap_or(true);
+                if done {
+                    break;
+                }
+            }
+        }
+        st.iteration = outer_iteration;
+        st.floor = outer_floor;
+        st.values[head] = Some(state);
+        st.vfinish[head] = state_vfinish;
+        if let Some(tail_op) = self.eplan.nodes[head].tail() {
+            if let Some(card) = st.values[head].as_ref().unwrap().cardinality() {
+                st.measured.insert(tail_op, card as f64);
+            }
+        }
+        Ok(())
+    }
+
+    fn nested_in_loop(&self, nid: usize, loop_op: OperatorId) -> bool {
+        let mut ctx = self.eplan.nodes[nid].loop_of;
+        let mut guard = 0;
+        while let Some(l) = ctx {
+            if l == loop_op {
+                return true;
+            }
+            ctx = self.plan.node(l).loop_of;
+            guard += 1;
+            if guard > 64 {
+                break;
+            }
+        }
+        false
+    }
+
+    fn run_node(&self, st: &mut RunState, nid: usize) -> Result<()> {
+        let node = &self.eplan.nodes[nid];
+        let platform = node.exec.platform();
+
+        // Stage-run bookkeeping.
+        let mut pending_overhead = 0.0;
+        let new_run = st.open_stage != Some(node.stage);
+        if new_run {
+            self.close_stage_run(st);
+            st.open_stage = Some(node.stage);
+            st.run_clock = 0.0;
+            st.run_base = 0.0;
+            if platform != CONTROL {
+                pending_overhead += self.profiles.get(platform).stage_overhead_ms;
+                if st.started_platforms.insert(platform.0) {
+                    pending_overhead += self.profiles.get(platform).startup_ms;
+                }
+            }
+        }
+
+        // Gather inputs and broadcasts; the node may start once its
+        // producers finished (dependency order).
+        let mut inputs = Vec::with_capacity(node.inputs.len());
+        let mut vstart: f64 = st.floor.max(st.run_base);
+        for &i in &node.inputs {
+            inputs.push(
+                st.values[i]
+                    .clone()
+                    .ok_or_else(|| RheemError::Execution(format!(
+                        "input node {i} of {} not yet executed",
+                        node.exec.name()
+                    )))?,
+            );
+            vstart = vstart.max(st.vfinish[i]);
+        }
+        let mut bc = BroadcastCtx::new();
+        for (name, i) in &node.broadcasts {
+            let data = st.values[*i]
+                .clone()
+                .ok_or_else(|| RheemError::Execution("broadcast input missing".into()))?
+                .flatten()?;
+            bc.bind(Arc::clone(name), data);
+            vstart = vstart.max(st.vfinish[*i]);
+        }
+        // Single-core platforms (and the driver) serialize their stage run;
+        // multi-core engines overlap independent nodes of a stage.
+        if self.profiles.get(platform).cores <= 1 {
+            vstart = vstart.max(st.run_clock);
+        }
+        if new_run {
+            // Submission overhead counts from the run's floor: platforms
+            // spin up and schedule concurrently with upstream work.
+            st.run_base = st.floor + pending_overhead;
+            vstart = vstart.max(st.run_base);
+        }
+
+        // Execute, with basic fault tolerance: transient execution failures
+        // are retried (the paper's planned cross-platform mechanism, §7.1).
+        let wall = Instant::now();
+        let mut ctx;
+        let out = {
+            let mut attempt = 0;
+            loop {
+                ctx = ExecCtx::new(self.profiles, self.config.seed.wrapping_add(nid as u64));
+                ctx.iteration = st.iteration;
+                match node.exec.execute(&mut ctx, &inputs, &bc) {
+                    Ok(out) => break out,
+                    Err(RheemError::Execution(msg)) if attempt < self.config.retries => {
+                        attempt += 1;
+                        self.monitor.count_retry();
+                        let _ = msg;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        };
+        let real_ms = wall.elapsed().as_secs_f64() * 1000.0;
+        let (mut ops, mut vdur) = ctx.take_metrics();
+        if ops.is_empty() {
+            // Operators that do not self-report get wall-clock attribution.
+            let scaled = real_ms * self.profiles.get(platform).cpu_scale;
+            vdur = vdur.max(scaled);
+            ops.push(OpMetrics {
+                name: node.exec.name().to_string(),
+                platform,
+                in_card: crate::exec::total_cardinality(&inputs),
+                out_card: out.cardinality().unwrap_or(0) as u64,
+                virtual_ms: vdur,
+                real_ms,
+            });
+        }
+
+        // Exploration sniffer (Fig. 7): multiplex a sample of the output.
+        if self.config.exploration && !node.logical.is_empty() {
+            if let Ok(data) = out.flatten() {
+                let sniff_wall = Instant::now();
+                let sample: Vec<Value> = data
+                    .iter()
+                    .take(self.config.sniff_limit)
+                    .cloned()
+                    .collect();
+                let sniff_ms = sniff_wall.elapsed().as_secs_f64() * 1000.0;
+                // Copying at scale costs time proportional to data volume:
+                // charge the multiplex pass over the full output.
+                let multiplex_ms =
+                    sniff_ms + data.len() as f64 * 120.0 / self.profiles.get(platform).cycles_per_ms;
+                vdur += multiplex_ms;
+                ops.push(OpMetrics {
+                    name: "Sniffer".to_string(),
+                    platform,
+                    in_card: data.len() as u64,
+                    out_card: sample.len() as u64,
+                    virtual_ms: multiplex_ms,
+                    real_ms: sniff_ms,
+                });
+                st.exploration
+                    .taps
+                    .push((node.exec.name().to_string(), sample));
+            }
+        }
+
+        st.vfinish[nid] = vstart + vdur;
+        st.run_clock = st.vfinish[nid];
+        st.job_virtual_ms = st.job_virtual_ms.max(st.vfinish[nid]);
+        st.run_real_ms += real_ms;
+        st.run_virtual_ms += vdur + pending_overhead;
+        st.run_ops.extend(ops);
+        if let Some(tail) = node.tail() {
+            if let Some(card) = out.cardinality() {
+                st.measured.insert(tail, card as f64);
+            }
+        }
+        st.values[nid] = Some(out);
+        Ok(())
+    }
+
+    fn close_stage_run(&self, st: &mut RunState) {
+        if let Some(stage) = st.open_stage.take() {
+            let run = StageRun {
+                stage,
+                platform: self.eplan.stages[stage].platform,
+                iteration: st.iteration,
+                ops: std::mem::take(&mut st.run_ops),
+                virtual_ms: st.run_virtual_ms,
+                real_ms: st.run_real_ms,
+            };
+            st.run_virtual_ms = 0.0;
+            st.run_real_ms = 0.0;
+            self.monitor.record(run);
+        }
+    }
+
+    /// Should we pause at this node's stage boundary for re-optimization?
+    fn checkpoint_triggers(&self, st: &RunState, nid: usize) -> bool {
+        let Some(tail) = self.eplan.nodes[nid].tail() else {
+            return false;
+        };
+        let est = self.opt.estimates.out_card(tail);
+        let uncertain =
+            est.conf < self.config.checkpoint_conf || est.rel_width() > self.config.checkpoint_width;
+        if !uncertain {
+            return false;
+        }
+        let Some(&measured) = st.measured.get(&tail) else {
+            return false;
+        };
+        if check_cardinality(est, measured, self.config.mismatch_tau) == Health::Ok {
+            return false;
+        }
+        // Re-planning requires all boundary data to be re-injectable as
+        // collections; skip the checkpoint when any needed value is opaque.
+        self.checkpoint_materializable(st)
+    }
+
+    fn checkpoint_materializable(&self, st: &RunState) -> bool {
+        let executed = self.executed_logical(st);
+        for (op, &nid) in &self.eplan.node_of_logical {
+            if !executed.contains(op) {
+                continue;
+            }
+            let needed = self.plan.consumers()[op.index()]
+                .iter()
+                .any(|c| !executed.contains(c));
+            if needed {
+                match &st.values[nid] {
+                    Some(ChannelData::Collection(_)) | Some(ChannelData::Partitions(_)) => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    fn executed_logical(&self, st: &RunState) -> HashSet<OperatorId> {
+        let mut executed = HashSet::new();
+        for node in &self.eplan.nodes {
+            if st.values[node.id].is_some() {
+                for &op in &node.logical {
+                    executed.insert(op);
+                }
+            }
+        }
+        executed
+    }
+
+    fn build_checkpoint(&self, st: RunState, virtual_ms: f64, real_ms: f64) -> Checkpoint {
+        let executed = self.executed_logical(&st);
+        let mut materialized = HashMap::new();
+        for (op, &nid) in &self.eplan.node_of_logical {
+            if !executed.contains(op) {
+                continue;
+            }
+            let needed = self.plan.consumers()[op.index()]
+                .iter()
+                .any(|c| !executed.contains(c));
+            if needed {
+                if let Some(v) = &st.values[nid] {
+                    if let Ok(data) = v.flatten() {
+                        materialized.insert(*op, data);
+                    }
+                }
+            }
+        }
+        let mut sink_data = HashMap::new();
+        for &(op, nid) in &self.eplan.sinks {
+            if executed.contains(&op) {
+                if let Some(v) = &st.values[nid] {
+                    if let Ok(data) = v.flatten() {
+                        sink_data.insert(op, data);
+                    }
+                }
+            }
+        }
+        Checkpoint {
+            executed,
+            materialized,
+            measured: st.measured,
+            sink_data,
+            virtual_ms,
+            real_ms,
+            exploration: st.exploration,
+        }
+    }
+}
+
+/// Stash shared between executor runs for the progressive optimizer.
+pub type SharedBuffer = Arc<Mutex<ExplorationBuffer>>;

@@ -1,0 +1,410 @@
+//! Shared dataflow kernels: the pure data-transformation cores that platform
+//! simulacra compose. JavaStreams applies them to whole collections;
+//! Spark/Flink apply them per partition and add shuffles; Postgres wraps the
+//! relational subset. Keeping them here means every engine computes
+//! *identical results* and differs only in execution strategy and cost.
+
+use std::collections::HashMap;
+
+use crate::plan::{IneqCond, SampleMethod, SampleSize};
+use crate::udf::{BroadcastCtx, FlatMapUdf, KeyUdf, MapUdf, PredicateUdf, ReduceUdf};
+use crate::value::Value;
+
+/// Apply a map UDF.
+pub fn map(data: &[Value], udf: &MapUdf, bc: &BroadcastCtx) -> Vec<Value> {
+    data.iter().map(|v| udf.call(v, bc)).collect()
+}
+
+/// Apply a flat-map UDF.
+pub fn flat_map(data: &[Value], udf: &FlatMapUdf, bc: &BroadcastCtx) -> Vec<Value> {
+    let mut out = Vec::with_capacity(data.len());
+    for v in data {
+        out.extend(udf.call(v, bc));
+    }
+    out
+}
+
+/// Relational projection: keep the listed tuple fields, in order.
+pub fn project(data: &[Value], fields: &[usize]) -> Vec<Value> {
+    data.iter()
+        .map(|v| Value::Tuple(fields.iter().map(|&i| v.field(i).clone()).collect::<Vec<_>>().into()))
+        .collect()
+}
+
+/// Apply a filter predicate.
+pub fn filter(data: &[Value], pred: &PredicateUdf, bc: &BroadcastCtx) -> Vec<Value> {
+    data.iter().filter(|v| pred.call(v, bc)).cloned().collect()
+}
+
+/// Sort ascending by extracted key (stable).
+pub fn sort_by(data: &[Value], key: &KeyUdf) -> Vec<Value> {
+    let mut keyed: Vec<(Value, Value)> =
+        data.iter().map(|v| (key.call(v), v.clone())).collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    keyed.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Remove duplicates, preserving first occurrence order.
+pub fn distinct(data: &[Value]) -> Vec<Value> {
+    let mut seen = std::collections::HashSet::with_capacity(data.len());
+    let mut out = Vec::new();
+    for v in data {
+        if seen.insert(v.clone()) {
+            out.push(v.clone());
+        }
+    }
+    out
+}
+
+/// Group by key into `(key, Tuple(members…))` pairs. Group order follows
+/// first key occurrence; member order follows input order.
+pub fn group_by(data: &[Value], key: &KeyUdf) -> Vec<Value> {
+    let mut order: Vec<Value> = Vec::new();
+    let mut groups: HashMap<Value, Vec<Value>> = HashMap::new();
+    for v in data {
+        let k = key.call(v);
+        groups
+            .entry(k.clone())
+            .or_insert_with(|| {
+                order.push(k.clone());
+                Vec::new()
+            })
+            .push(v.clone());
+    }
+    order
+        .into_iter()
+        .map(|k| {
+            let members = groups.remove(&k).unwrap_or_default();
+            Value::pair(k, Value::tuple(members))
+        })
+        .collect()
+}
+
+/// Per-key fold with an associative combiner; emits one quantum per key in
+/// first-occurrence order.
+pub fn reduce_by(data: &[Value], key: &KeyUdf, agg: &ReduceUdf) -> Vec<Value> {
+    let mut order: Vec<Value> = Vec::new();
+    let mut acc: HashMap<Value, Value> = HashMap::new();
+    for v in data {
+        let k = key.call(v);
+        match acc.get_mut(&k) {
+            Some(cur) => *cur = agg.call(cur, v),
+            None => {
+                order.push(k.clone());
+                acc.insert(k, v.clone());
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|k| acc.remove(&k).expect("accumulated"))
+        .collect()
+}
+
+/// Fold the whole input into at most one quantum.
+pub fn reduce(data: &[Value], agg: &ReduceUdf) -> Vec<Value> {
+    let mut iter = data.iter();
+    let Some(first) = iter.next() else {
+        return Vec::new();
+    };
+    let mut acc = first.clone();
+    for v in iter {
+        acc = agg.call(&acc, v);
+    }
+    vec![acc]
+}
+
+/// Hash equi-join; emits `(left, right)` pairs, left-major order.
+pub fn hash_join(
+    left: &[Value],
+    right: &[Value],
+    left_key: &KeyUdf,
+    right_key: &KeyUdf,
+) -> Vec<Value> {
+    // Build on the smaller side.
+    if right.len() <= left.len() {
+        let mut table: HashMap<Value, Vec<&Value>> = HashMap::with_capacity(right.len());
+        for r in right {
+            table.entry(right_key.call(r)).or_default().push(r);
+        }
+        let mut out = Vec::new();
+        for l in left {
+            if let Some(matches) = table.get(&left_key.call(l)) {
+                for r in matches {
+                    out.push(Value::pair(l.clone(), (*r).clone()));
+                }
+            }
+        }
+        out
+    } else {
+        let mut table: HashMap<Value, Vec<&Value>> = HashMap::with_capacity(left.len());
+        for l in left {
+            table.entry(left_key.call(l)).or_default().push(l);
+        }
+        let mut out: Vec<(usize, Value)> = Vec::new();
+        let index: HashMap<*const Value, usize> =
+            left.iter().enumerate().map(|(i, v)| (v as *const Value, i)).collect();
+        for r in right {
+            if let Some(matches) = table.get(&right_key.call(r)) {
+                for l in matches {
+                    out.push((index[&(*l as *const Value)], Value::pair((*l).clone(), r.clone())));
+                }
+            }
+        }
+        out.sort_by_key(|(i, _)| *i);
+        out.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+/// Cartesian product; emits `(left, right)` pairs, left-major order.
+pub fn cartesian(left: &[Value], right: &[Value]) -> Vec<Value> {
+    let mut out = Vec::with_capacity(left.len() * right.len());
+    for l in left {
+        for r in right {
+            out.push(Value::pair(l.clone(), r.clone()));
+        }
+    }
+    out
+}
+
+/// Nested-loop inequality join (the naive strategy; BigDansing plugs the
+/// sort-based IEJoin \[42\] as a faster custom operator).
+pub fn ineq_join_nested(left: &[Value], right: &[Value], conds: &[IneqCond]) -> Vec<Value> {
+    let mut out = Vec::new();
+    for l in left {
+        for r in right {
+            if conds.iter().all(|c| c.eval(l, r)) {
+                out.push(Value::pair(l.clone(), r.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Draw a sample. `seed` must vary per loop iteration for iterative
+/// algorithms (SGD) to see fresh batches.
+pub fn sample(data: &[Value], method: SampleMethod, size: SampleSize, seed: u64) -> Vec<Value> {
+    let n = size.resolve(data.len());
+    if n >= data.len() {
+        return data.to_vec();
+    }
+    match method {
+        SampleMethod::First => data[..n].to_vec(),
+        SampleMethod::Random => {
+            // Partial Fisher–Yates over an index vector.
+            let mut rng = SplitMix64(seed);
+            let mut idx: Vec<usize> = (0..data.len()).collect();
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let j = i + (rng.next() as usize) % (idx.len() - i);
+                idx.swap(i, j);
+                out.push(data[idx[i]].clone());
+            }
+            out
+        }
+        SampleMethod::Bernoulli => {
+            let p = n as f64 / data.len() as f64;
+            let mut rng = SplitMix64(seed);
+            let out: Vec<Value> = data
+                .iter()
+                .filter(|_| (rng.next() as f64 / u64::MAX as f64) < p)
+                .cloned()
+                .collect();
+            out
+        }
+    }
+}
+
+/// Tiny deterministic RNG for samplers (fast, dependency-free).
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Next pseudo-random 64-bit value.
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Hash-partition a dataset by key into `n` buckets (the shuffle kernel).
+pub fn hash_partition(data: &[Value], key: &KeyUdf, n: usize) -> Vec<Vec<Value>> {
+    use std::hash::{Hash, Hasher};
+    let n = n.max(1);
+    let mut parts = vec![Vec::new(); n];
+    for v in data {
+        let k = key.call(v);
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        k.hash(&mut h);
+        parts[(h.finish() as usize) % n].push(v.clone());
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udf::CmpOp;
+
+    fn ints(v: &[i64]) -> Vec<Value> {
+        v.iter().map(|&i| Value::from(i)).collect()
+    }
+
+    #[test]
+    fn map_filter_flatmap() {
+        let bc = BroadcastCtx::new();
+        let data = ints(&[1, 2, 3]);
+        let doubled = map(&data, &MapUdf::new("x2", |v| Value::from(v.as_int().unwrap() * 2)), &bc);
+        assert_eq!(doubled, ints(&[2, 4, 6]));
+        let odd = filter(&data, &PredicateUdf::new("odd", |v| v.as_int().unwrap() % 2 == 1), &bc);
+        assert_eq!(odd, ints(&[1, 3]));
+        let dup = flat_map(
+            &data,
+            &FlatMapUdf::new("dup", |v| vec![v.clone(), v.clone()]),
+            &bc,
+        );
+        assert_eq!(dup.len(), 6);
+    }
+
+    #[test]
+    fn sort_distinct_count_shapes() {
+        let data = ints(&[3, 1, 2, 1, 3]);
+        assert_eq!(sort_by(&data, &KeyUdf::identity()), ints(&[1, 1, 2, 3, 3]));
+        assert_eq!(distinct(&data), ints(&[3, 1, 2]));
+    }
+
+    #[test]
+    fn group_and_reduce_by() {
+        let data = vec![
+            Value::pair(Value::from("a"), Value::from(1)),
+            Value::pair(Value::from("b"), Value::from(10)),
+            Value::pair(Value::from("a"), Value::from(2)),
+        ];
+        let grouped = group_by(&data, &KeyUdf::field(0));
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].field(0).as_str(), Some("a"));
+        assert_eq!(grouped[0].field(1).fields().unwrap().len(), 2);
+
+        let summed = reduce_by(
+            &data,
+            &KeyUdf::field(0),
+            &ReduceUdf::new("sum", |a, b| {
+                Value::pair(
+                    a.field(0).clone(),
+                    Value::from(a.field(1).as_int().unwrap() + b.field(1).as_int().unwrap()),
+                )
+            }),
+        );
+        assert_eq!(summed.len(), 2);
+        assert_eq!(summed[0].field(1).as_int(), Some(3));
+    }
+
+    #[test]
+    fn reduce_handles_empty_and_single() {
+        assert!(reduce(&[], &ReduceUdf::sum()).is_empty());
+        assert_eq!(reduce(&ints(&[7]), &ReduceUdf::sum()), ints(&[7]));
+        assert_eq!(reduce(&ints(&[1, 2, 3]), &ReduceUdf::sum()), ints(&[6]));
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop() {
+        let left: Vec<Value> = (0..20)
+            .map(|i| Value::pair(Value::from(i % 5), Value::from(i)))
+            .collect();
+        let right: Vec<Value> = (0..10)
+            .map(|i| Value::pair(Value::from(i % 5), Value::from(100 + i)))
+            .collect();
+        let k = KeyUdf::field(0);
+        let mut j1 = hash_join(&left, &right, &k, &k);
+        let mut j2: Vec<Value> = Vec::new();
+        for l in &left {
+            for r in &right {
+                if l.field(0) == r.field(0) {
+                    j2.push(Value::pair(l.clone(), r.clone()));
+                }
+            }
+        }
+        assert_eq!(j1.len(), j2.len());
+        j1.sort();
+        j2.sort();
+        assert_eq!(j1, j2);
+    }
+
+    #[test]
+    fn join_builds_on_smaller_side_consistently() {
+        let big: Vec<Value> = (0..50).map(|i| Value::pair(Value::from(i % 3), Value::from(i))).collect();
+        let small: Vec<Value> = (0..5).map(|i| Value::pair(Value::from(i % 3), Value::from(i))).collect();
+        let k = KeyUdf::field(0);
+        let mut a = hash_join(&big, &small, &k, &k);
+        let mut b = hash_join(&small, &big, &KeyUdf::field(0), &KeyUdf::field(0));
+        // same pairs modulo (l, r) orientation
+        a.sort();
+        let mut b_flipped: Vec<Value> = b
+            .drain(..)
+            .map(|p| Value::pair(p.field(1).clone(), p.field(0).clone()))
+            .collect();
+        b_flipped.sort();
+        assert_eq!(a, b_flipped);
+    }
+
+    #[test]
+    fn cartesian_and_ineq_join() {
+        let l = ints(&[1, 5]);
+        let r = ints(&[2, 4]);
+        assert_eq!(cartesian(&l, &r).len(), 4);
+        let lt = ineq_join_nested(
+            &l.iter().map(|v| Value::tuple(vec![v.clone()])).collect::<Vec<_>>(),
+            &r.iter().map(|v| Value::tuple(vec![v.clone()])).collect::<Vec<_>>(),
+            &[IneqCond { left_field: 0, op: CmpOp::Lt, right_field: 0 }],
+        );
+        // 1<2, 1<4 only
+        assert_eq!(lt.len(), 2);
+    }
+
+    #[test]
+    fn samples_are_deterministic_per_seed() {
+        let data = ints(&(0..100).collect::<Vec<_>>());
+        let a = sample(&data, SampleMethod::Random, SampleSize::Count(10), 42);
+        let b = sample(&data, SampleMethod::Random, SampleSize::Count(10), 42);
+        let c = sample(&data, SampleMethod::Random, SampleSize::Count(10), 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 10);
+        assert_eq!(
+            sample(&data, SampleMethod::First, SampleSize::Count(3), 0),
+            ints(&[0, 1, 2])
+        );
+        // Full-size sample returns everything.
+        assert_eq!(sample(&data, SampleMethod::Random, SampleSize::Count(1000), 1).len(), 100);
+    }
+
+    #[test]
+    fn bernoulli_sample_is_approximate() {
+        let data = ints(&(0..10_000).collect::<Vec<_>>());
+        let s = sample(&data, SampleMethod::Bernoulli, SampleSize::Fraction(0.1), 7);
+        assert!(s.len() > 700 && s.len() < 1300, "{}", s.len());
+    }
+
+    #[test]
+    fn hash_partition_covers_all() {
+        let data: Vec<Value> = (0..100)
+            .map(|i| Value::pair(Value::from(i % 10), Value::from(i)))
+            .collect();
+        let parts = hash_partition(&data, &KeyUdf::field(0), 4);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);
+        // same key lands in the same partition
+        for p in &parts {
+            for v in p {
+                let k = v.field(0).as_int().unwrap();
+                let home = parts
+                    .iter()
+                    .position(|q| q.iter().any(|w| w.field(0).as_int() == Some(k)))
+                    .unwrap();
+                let here = parts.iter().position(|q| std::ptr::eq(q, p)).unwrap();
+                assert_eq!(home, here, "key {k} split across partitions");
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Operator mappings: from platform-agnostic Rheem operators to
+//! platform-specific execution operators (§3, Fig. 4).
+//!
+//! Mappings are *m-to-n*: a candidate may cover a whole chain of Rheem
+//! operators with a single (composite) execution operator — e.g. Flink
+//! chains `Map∘Filter∘Map` into one pipelined pass, and Postgres folds a
+//! sargable `Filter` into the `TableSource` below it as an index scan.
+//! Conversely, a single Rheem operator may map to a composite execution
+//! operator realizing it with several platform steps (JavaStreams executes
+//! `Reduce` as `GroupBy`+`Map` internally, Fig. 4's mapping (b)+(d)).
+
+use std::sync::Arc;
+
+use crate::exec::ExecutionOperator;
+use crate::plan::{OperatorId, OperatorNode, RheemPlan};
+
+/// One way to execute a chain of Rheem operators on some platform.
+#[derive(Clone)]
+pub struct Candidate {
+    /// The logical operators covered, in dataflow order; the *last* entry is
+    /// the operator whose output the execution operator produces, and the
+    /// *first* entry's inputs are the execution operator's inputs.
+    pub covers: Vec<OperatorId>,
+    /// The execution operator implementing the chain.
+    pub exec: Arc<dyn ExecutionOperator>,
+}
+
+impl Candidate {
+    /// Single-operator candidate (the common 1-to-1 mapping).
+    pub fn single(op: OperatorId, exec: Arc<dyn ExecutionOperator>) -> Self {
+        Self { covers: vec![op], exec }
+    }
+
+    /// The operator whose output this candidate produces.
+    pub fn output_op(&self) -> OperatorId {
+        *self.covers.last().expect("candidate covers at least one op")
+    }
+
+    /// The operator providing the candidate's external inputs.
+    pub fn input_op(&self) -> OperatorId {
+        self.covers[0]
+    }
+}
+
+impl std::fmt::Debug for Candidate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Candidate({:?} -> {}@{})",
+            self.covers,
+            self.exec.name(),
+            self.exec.platform()
+        )
+    }
+}
+
+/// A rule producing execution alternatives for a plan operator. Platforms
+/// register implementations with the [`crate::registry::Registry`]; the
+/// optimizer's inflation phase applies every mapping to every operator.
+pub trait OperatorMapping: Send + Sync {
+    /// Candidates anchored at `node` (i.e. whose `output_op` is `node.id`).
+    /// Chain candidates may extend downward through `node`'s inputs.
+    fn candidates(&self, plan: &RheemPlan, node: &OperatorNode) -> Vec<Candidate>;
+}
+
+/// Closure-backed mapping for concise platform registration.
+pub struct FnMapping<F>(pub F);
+
+impl<F> OperatorMapping for FnMapping<F>
+where
+    F: Fn(&RheemPlan, &OperatorNode) -> Vec<Candidate> + Send + Sync,
+{
+    fn candidates(&self, plan: &RheemPlan, node: &OperatorNode) -> Vec<Candidate> {
+        (self.0)(plan, node)
+    }
+}
+
+/// Walk upstream from `node` through single-input, single-consumer
+/// operators that satisfy `chainable`, returning the maximal chain in
+/// dataflow order ending at `node`. Used by platforms to build fused
+/// (n-to-1) candidates such as Flink's operator chaining.
+pub fn upstream_chain(
+    plan: &RheemPlan,
+    node: &OperatorNode,
+    chainable: impl Fn(&OperatorNode) -> bool,
+) -> Vec<OperatorId> {
+    let consumers = plan.consumers();
+    let mut chain = vec![node.id];
+    let mut cur = node;
+    while chainable(cur) && cur.inputs.len() == 1 && cur.broadcasts.is_empty() {
+        let prev = plan.node(cur.inputs[0]);
+        // the upstream op must feed only `cur`, be chainable itself, live in
+        // the same loop context, and not be pinned to a different platform
+        if consumers[prev.id.index()].len() != 1
+            || !chainable(prev)
+            || prev.loop_of != cur.loop_of
+            || prev.inputs.len() != 1
+            || !prev.broadcasts.is_empty()
+        {
+            break;
+        }
+        chain.push(prev.id);
+        cur = prev;
+    }
+    chain.reverse();
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{kinds, ChannelData, ChannelKind};
+    use crate::cost::Load;
+    use crate::error::Result;
+    use crate::exec::ExecCtx;
+    use crate::plan::{LogicalOp, OpKind};
+    use crate::platform::PlatformId;
+    use crate::udf::{BroadcastCtx, MapUdf, PredicateUdf};
+    use crate::value::Value;
+
+    struct Noop;
+    impl ExecutionOperator for Noop {
+        fn name(&self) -> &str {
+            "Noop"
+        }
+        fn platform(&self) -> PlatformId {
+            PlatformId("test")
+        }
+        fn accepted_inputs(&self, _slot: usize) -> Vec<ChannelKind> {
+            vec![kinds::COLLECTION]
+        }
+        fn output_kind(&self) -> ChannelKind {
+            kinds::COLLECTION
+        }
+        fn load(&self, _in: &[f64], _b: f64, _model: &crate::cost::CostModel) -> Load {
+            Load::default()
+        }
+        fn execute(
+            &self,
+            _ctx: &mut ExecCtx<'_>,
+            inputs: &[ChannelData],
+            _bc: &BroadcastCtx,
+        ) -> Result<ChannelData> {
+            Ok(inputs[0].clone())
+        }
+    }
+
+    fn linear_plan() -> RheemPlan {
+        let mut p = RheemPlan::new();
+        let s = p.add(LogicalOp::CollectionSource { data: Arc::new(vec![Value::from(1)]) }, &[]);
+        let m1 = p.add(LogicalOp::Map(MapUdf::new("m1", |v| v.clone())), &[s]);
+        let f = p.add(
+            LogicalOp::Filter(PredicateUdf::new("f", |_| true)),
+            &[m1],
+        );
+        let m2 = p.add(LogicalOp::Map(MapUdf::new("m2", |v| v.clone())), &[f]);
+        p.add(LogicalOp::CollectionSink, &[m2]);
+        p
+    }
+
+    #[test]
+    fn upstream_chain_fuses_unary_ops() {
+        let plan = linear_plan();
+        let m2 = plan.node(crate::plan::OperatorId(3));
+        let chain = upstream_chain(&plan, m2, |n| {
+            matches!(n.op.kind(), OpKind::Map | OpKind::Filter)
+        });
+        // m1 -> f -> m2 in dataflow order
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain[2], m2.id);
+        assert_eq!(plan.node(chain[0]).op.kind(), OpKind::Map);
+    }
+
+    #[test]
+    fn upstream_chain_stops_at_fanout() {
+        let mut p = RheemPlan::new();
+        let s = p.add(LogicalOp::CollectionSource { data: Arc::new(vec![]) }, &[]);
+        let m1 = p.add(LogicalOp::Map(MapUdf::new("m1", |v| v.clone())), &[s]);
+        // m1 feeds two consumers -> cannot be fused into either
+        let a = p.add(LogicalOp::Map(MapUdf::new("a", |v| v.clone())), &[m1]);
+        let b = p.add(LogicalOp::Map(MapUdf::new("b", |v| v.clone())), &[m1]);
+        let u = p.add(LogicalOp::Union, &[a, b]);
+        p.add(LogicalOp::CollectionSink, &[u]);
+        let chain = upstream_chain(&p, p.node(a), |n| n.op.kind() == OpKind::Map);
+        assert_eq!(chain, vec![a]);
+    }
+
+    #[test]
+    fn candidate_endpoints() {
+        let c = Candidate {
+            covers: vec![OperatorId(1), OperatorId(2), OperatorId(3)],
+            exec: Arc::new(Noop),
+        };
+        assert_eq!(c.input_op(), OperatorId(1));
+        assert_eq!(c.output_op(), OperatorId(3));
+        let s = Candidate::single(OperatorId(5), Arc::new(Noop));
+        assert_eq!(s.input_op(), OperatorId(5));
+    }
+
+    #[test]
+    fn fn_mapping_dispatches() {
+        let mapping = FnMapping(|_p: &RheemPlan, n: &OperatorNode| {
+            if n.op.kind() == OpKind::Map {
+                vec![Candidate::single(n.id, Arc::new(Noop) as Arc<dyn ExecutionOperator>)]
+            } else {
+                vec![]
+            }
+        });
+        let plan = linear_plan();
+        assert_eq!(mapping.candidates(&plan, plan.node(OperatorId(1))).len(), 1);
+        assert_eq!(mapping.candidates(&plan, plan.node(OperatorId(0))).len(), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! The monitor (§4.3): collects light-weight execution statistics —
+//! per-stage runtimes and true cardinalities — attributes them to operators
+//! (aware of platform-internal laziness, which our engines surface by
+//! reporting per-operator metrics themselves), and checks execution health.
+
+use parking_lot::Mutex;
+
+use crate::exec::OpMetrics;
+use crate::platform::PlatformId;
+
+/// Record of one stage run (a stage may run many times inside loops).
+#[derive(Clone, Debug)]
+pub struct StageRun {
+    /// Stage id.
+    pub stage: usize,
+    /// Platform the stage ran on.
+    pub platform: PlatformId,
+    /// Loop iteration the run belonged to (0 outside loops).
+    pub iteration: u64,
+    /// Per-operator metrics in execution order.
+    pub ops: Vec<OpMetrics>,
+    /// Virtual time of the whole run including overheads, ms.
+    pub virtual_ms: f64,
+    /// Real local time, ms.
+    pub real_ms: f64,
+}
+
+/// Health verdict for an observed cardinality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Health {
+    /// Measured cardinality is within tolerance of the estimate.
+    Ok,
+    /// Large mismatch: the progressive optimizer should re-optimize (§4.4).
+    Mismatch,
+}
+
+/// Check a measured cardinality against an interval estimate with tolerance
+/// factor `tau` (≥ 1).
+pub fn check_cardinality(est: crate::cost::Interval, measured: f64, tau: f64) -> Health {
+    let lo = est.lo / tau;
+    let hi = est.hi * tau;
+    if measured + 1.0 < lo || measured > hi + 1.0 {
+        Health::Mismatch
+    } else {
+        Health::Ok
+    }
+}
+
+/// Thread-safe statistics store shared between executor, progressive
+/// optimizer and cost learner.
+#[derive(Default)]
+pub struct Monitor {
+    runs: Mutex<Vec<StageRun>>,
+    replans: Mutex<u32>,
+    retries: Mutex<u32>,
+}
+
+impl Monitor {
+    /// Fresh monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a stage run.
+    pub fn record(&self, run: StageRun) {
+        self.runs.lock().push(run);
+    }
+
+    /// Count a progressive re-optimization.
+    pub fn count_replan(&self) {
+        *self.replans.lock() += 1;
+    }
+
+    /// Number of progressive re-optimizations so far.
+    pub fn replans(&self) -> u32 {
+        *self.replans.lock()
+    }
+
+    /// Count a fault-tolerance retry of a failed execution operator.
+    pub fn count_retry(&self) {
+        *self.retries.lock() += 1;
+    }
+
+    /// Number of operator retries so far.
+    pub fn retries(&self) -> u32 {
+        *self.retries.lock()
+    }
+
+    /// Snapshot of all recorded stage runs.
+    pub fn stage_runs(&self) -> Vec<StageRun> {
+        self.runs.lock().clone()
+    }
+
+    /// Total virtual time across recorded runs (diagnostic; the executor's
+    /// dependency-aware composition is authoritative for job runtime).
+    pub fn total_virtual_ms(&self) -> f64 {
+        self.runs.lock().iter().map(|r| r.virtual_ms).sum()
+    }
+
+    /// Clear all records (between jobs).
+    pub fn reset(&self) {
+        self.runs.lock().clear();
+        *self.replans.lock() = 0;
+        *self.retries.lock() = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Interval;
+
+    #[test]
+    fn cardinality_health_check() {
+        let est = Interval::new(90.0, 110.0, 0.9);
+        assert_eq!(check_cardinality(est, 100.0, 2.0), Health::Ok);
+        assert_eq!(check_cardinality(est, 50.0, 2.0), Health::Ok); // 45 <= 50
+        assert_eq!(check_cardinality(est, 10.0, 2.0), Health::Mismatch);
+        assert_eq!(check_cardinality(est, 100_000.0, 2.0), Health::Mismatch);
+    }
+
+    #[test]
+    fn monitor_records_and_resets() {
+        let m = Monitor::new();
+        m.record(StageRun {
+            stage: 0,
+            platform: PlatformId("x"),
+            iteration: 0,
+            ops: vec![],
+            virtual_ms: 12.0,
+            real_ms: 1.0,
+        });
+        m.count_replan();
+        assert_eq!(m.stage_runs().len(), 1);
+        assert_eq!(m.replans(), 1);
+        assert!((m.total_virtual_ms() - 12.0).abs() < 1e-12);
+        m.reset();
+        assert!(m.stage_runs().is_empty());
+        assert_eq!(m.replans(), 0);
+    }
+}

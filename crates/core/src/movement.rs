@@ -1,0 +1,445 @@
+//! Data-movement planning over the channel conversion graph (§3, §4.1).
+//!
+//! Channels are vertices; conversion operators are directed edges. For a
+//! producer with one consumer we need a cheapest conversion *path*; with
+//! several consumers (possibly on different platforms) we need a *minimal
+//! conversion tree* (MCT) — an NP-hard Steiner-tree variant the paper \[43\]
+//! solves via kernelization. Here the graph is small (a dozen kinds), so we
+//! solve the MCT exactly with a Dreyfus–Wagner-style subset DP, honouring
+//! channel *reusability*: fan-out may only happen at reusable channels
+//! (e.g. a cached RDD or a collection, but not a consumed-once RDD).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::channel::ChannelKind;
+use crate::cost::CostModel;
+use crate::platform::Profiles;
+use crate::registry::{Conversion, Registry};
+
+/// A node of an executable conversion tree. The producer's output enters at
+/// the root; each child edge applies one conversion operator; consumers are
+/// served at the nodes listed in `deliver`.
+#[derive(Clone)]
+pub struct ConvNode {
+    /// Channel kind of the data at this node.
+    pub kind: ChannelKind,
+    /// Indices of consumers served directly at this node.
+    pub deliver: Vec<usize>,
+    /// Conversions applied to this node's data, with their subtrees.
+    pub children: Vec<(Arc<Conversion>, ConvNode)>,
+}
+
+impl ConvNode {
+    /// Total number of conversion edges in the tree.
+    pub fn edge_count(&self) -> usize {
+        self.children
+            .iter()
+            .map(|(_, c)| 1 + c.edge_count())
+            .sum()
+    }
+
+    /// All conversion operator names, in preorder (for tests/diagnostics).
+    pub fn op_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_names(&mut out);
+        out
+    }
+
+    fn collect_names(&self, out: &mut Vec<String>) {
+        for (conv, child) in &self.children {
+            out.push(conv.op.name().to_string());
+            child.collect_names(out);
+        }
+    }
+}
+
+impl std::fmt::Debug for ConvNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{:?}", self.kind, self.deliver)?;
+        if !self.children.is_empty() {
+            write!(f, " -> [")?;
+            for (i, (conv, c)) in self.children.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}: {c:?}", conv.op.name())?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// A solved movement problem: the tree plus its estimated virtual cost.
+#[derive(Clone, Debug)]
+pub struct MovementPlan {
+    /// Executable conversion tree rooted at the producer's output kind.
+    pub tree: ConvNode,
+    /// Estimated virtual time of all conversions, ms.
+    pub cost_ms: f64,
+}
+
+#[derive(Clone, Copy)]
+enum Back {
+    Leaf(usize),
+    Edge { to: usize, conv: usize },
+    Merge { s1: usize },
+    None,
+}
+
+/// The channel conversion graph with solver.
+pub struct ConversionGraph {
+    kinds: Vec<ChannelKind>,
+    kind_idx: HashMap<ChannelKind, usize>,
+    reusable: Vec<bool>,
+    /// edges[v] = outgoing (to, conversion index into `conversions`)
+    edges: Vec<Vec<(usize, usize)>>,
+    conversions: Vec<Arc<Conversion>>,
+}
+
+impl ConversionGraph {
+    /// Build from the registry's channels and conversion operators.
+    pub fn from_registry(registry: &Registry) -> Self {
+        let mut kinds: Vec<ChannelKind> = registry.channel_kinds();
+        // Conversions may mention kinds the registry didn't describe.
+        for c in registry.conversions() {
+            if !kinds.contains(&c.from) {
+                kinds.push(c.from);
+            }
+            if !kinds.contains(&c.to) {
+                kinds.push(c.to);
+            }
+        }
+        let kind_idx: HashMap<ChannelKind, usize> =
+            kinds.iter().enumerate().map(|(i, k)| (*k, i)).collect();
+        let reusable = kinds.iter().map(|k| registry.channel(*k).reusable).collect();
+        let mut edges = vec![Vec::new(); kinds.len()];
+        let mut conversions = Vec::new();
+        for c in registry.conversions() {
+            let from = kind_idx[&c.from];
+            let to = kind_idx[&c.to];
+            edges[from].push((to, conversions.len()));
+            conversions.push(Arc::new(c.clone()));
+        }
+        Self { kinds, kind_idx, reusable, edges, conversions }
+    }
+
+    /// Number of channel kinds (vertices).
+    pub fn kind_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Estimated virtual ms of one conversion for `card` quanta of
+    /// `avg_bytes` each.
+    fn edge_cost(
+        &self,
+        conv: usize,
+        card: f64,
+        avg_bytes: f64,
+        profiles: &Profiles,
+        _model: &CostModel,
+    ) -> f64 {
+        let op = &self.conversions[conv].op;
+        let load = op.load(&[card], avg_bytes, _model);
+        load.to_ms(profiles.get(op.platform())) + 0.01 // epsilon: prefer fewer hops
+    }
+
+    /// Solve the minimal-conversion-tree problem: the producer emits
+    /// `from`; consumer `i` accepts any kind in `consumers[i]`. Returns
+    /// `None` when some consumer is unreachable.
+    pub fn best_tree(
+        &self,
+        from: ChannelKind,
+        consumers: &[Vec<ChannelKind>],
+        card: f64,
+        avg_bytes: f64,
+        profiles: &Profiles,
+        model: &CostModel,
+    ) -> Option<MovementPlan> {
+        let c = consumers.len();
+        assert!(c <= 16, "movement planner supports up to 16 consumers");
+        let root = *self.kind_idx.get(&from)?;
+        let k = self.kinds.len();
+        if c == 0 {
+            return Some(MovementPlan {
+                tree: ConvNode { kind: from, deliver: vec![], children: vec![] },
+                cost_ms: 0.0,
+            });
+        }
+
+        let full = (1usize << c) - 1;
+        let mut dp = vec![vec![f64::INFINITY; k]; full + 1];
+        let mut back = vec![vec![Back::None; k]; full + 1];
+
+        // Pre-compute edge costs once (they depend only on card/bytes).
+        let w: Vec<f64> = (0..self.conversions.len())
+            .map(|e| self.edge_cost(e, card, avg_bytes, profiles, model))
+            .collect();
+
+        for s in 1..=full {
+            // Singleton bases.
+            if s.count_ones() == 1 {
+                let i = s.trailing_zeros() as usize;
+                for (vi, kind) in self.kinds.iter().enumerate() {
+                    if consumers[i].contains(kind) {
+                        dp[s][vi] = 0.0;
+                        back[s][vi] = Back::Leaf(i);
+                    }
+                }
+            }
+            // Merges: split S at a reusable vertex.
+            let mut s1 = (s - 1) & s;
+            while s1 > 0 {
+                let s2 = s & !s1;
+                if s1 < s2 {
+                    // avoid double-counting symmetric splits
+                    s1 = (s1 - 1) & s;
+                    continue;
+                }
+                for vi in 0..k {
+                    if !self.reusable[vi] {
+                        continue;
+                    }
+                    let cost = dp[s1][vi] + dp[s2][vi];
+                    if cost < dp[s][vi] {
+                        dp[s][vi] = cost;
+                        back[s][vi] = Back::Merge { s1 };
+                    }
+                }
+                s1 = (s1 - 1) & s;
+            }
+            // Edge relaxations (Bellman–Ford over the small graph).
+            for _ in 0..k {
+                let mut changed = false;
+                for vi in 0..k {
+                    for &(to, conv) in &self.edges[vi] {
+                        let cost = dp[s][to] + w[conv];
+                        if cost + 1e-12 < dp[s][vi] {
+                            dp[s][vi] = cost;
+                            back[s][vi] = Back::Edge { to, conv };
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+
+        if !dp[full][root].is_finite() {
+            return None;
+        }
+        let tree = self.rebuild(&back, full, root);
+        Some(MovementPlan { tree, cost_ms: dp[full][root] })
+    }
+
+    fn rebuild(&self, back: &[Vec<Back>], s: usize, v: usize) -> ConvNode {
+        match back[s][v] {
+            Back::Leaf(i) => ConvNode {
+                kind: self.kinds[v],
+                deliver: vec![i],
+                children: vec![],
+            },
+            Back::Edge { to, conv } => {
+                let child = self.rebuild(back, s, to);
+                ConvNode {
+                    kind: self.kinds[v],
+                    deliver: vec![],
+                    children: vec![(Arc::clone(&self.conversions[conv]), child)],
+                }
+            }
+            Back::Merge { s1 } => {
+                let a = self.rebuild(back, s1, v);
+                let b = self.rebuild(back, s & !s1, v);
+                ConvNode {
+                    kind: self.kinds[v],
+                    deliver: a.deliver.into_iter().chain(b.deliver).collect(),
+                    children: a.children.into_iter().chain(b.children).collect(),
+                }
+            }
+            Back::None => ConvNode {
+                kind: self.kinds[v],
+                deliver: vec![],
+                children: vec![],
+            },
+        }
+    }
+
+    /// Cheapest conversion cost from `from` to any kind in `targets` for a
+    /// single consumer (the common case during plan enumeration).
+    pub fn best_path_cost(
+        &self,
+        from: ChannelKind,
+        targets: &[ChannelKind],
+        card: f64,
+        avg_bytes: f64,
+        profiles: &Profiles,
+        model: &CostModel,
+    ) -> Option<f64> {
+        self.best_tree(from, &[targets.to_vec()], card, avg_bytes, profiles, model)
+            .map(|p| p.cost_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{kinds, ChannelData, ChannelDescriptor};
+    use crate::cost::Load;
+    use crate::error::Result;
+    use crate::exec::{ExecCtx, ExecutionOperator};
+    use crate::platform::PlatformId;
+    use crate::udf::BroadcastCtx;
+
+    const RDD: ChannelKind = ChannelKind("t.rdd");
+    const RDD_CACHED: ChannelKind = ChannelKind("t.rdd.cached");
+
+    struct Conv(&'static str, f64);
+    impl ExecutionOperator for Conv {
+        fn name(&self) -> &str {
+            self.0
+        }
+        fn platform(&self) -> PlatformId {
+            PlatformId("test")
+        }
+        fn accepted_inputs(&self, _slot: usize) -> Vec<ChannelKind> {
+            vec![]
+        }
+        fn output_kind(&self) -> ChannelKind {
+            kinds::NONE
+        }
+        fn load(&self, in_cards: &[f64], _b: f64, _model: &CostModel) -> Load {
+            Load::cpu(self.1 * in_cards.iter().sum::<f64>().max(1.0) * 1000.0)
+        }
+        fn execute(
+            &self,
+            _ctx: &mut ExecCtx<'_>,
+            inputs: &[ChannelData],
+            _bc: &BroadcastCtx,
+        ) -> Result<ChannelData> {
+            Ok(inputs[0].clone())
+        }
+    }
+
+    fn test_registry() -> Registry {
+        let mut r = Registry::new();
+        r.add_channel(ChannelDescriptor { kind: RDD, reusable: false });
+        r.add_channel(ChannelDescriptor { kind: RDD_CACHED, reusable: true });
+        r.add_conversion(RDD, RDD_CACHED, Arc::new(Conv("Cache", 1.0)));
+        r.add_conversion(RDD_CACHED, kinds::COLLECTION, Arc::new(Conv("Collect", 2.0)));
+        r.add_conversion(RDD, kinds::COLLECTION, Arc::new(Conv("CollectDirect", 2.5)));
+        r.add_conversion(kinds::COLLECTION, RDD, Arc::new(Conv("Parallelize", 2.0)));
+        r
+    }
+
+    #[test]
+    fn direct_delivery_costs_nothing() {
+        let r = test_registry();
+        let g = ConversionGraph::from_registry(&r);
+        let plan = g
+            .best_tree(RDD, &[vec![RDD]], 100.0, 64.0, &Profiles::bare(), &CostModel::new())
+            .unwrap();
+        assert_eq!(plan.cost_ms, 0.0);
+        assert_eq!(plan.tree.edge_count(), 0);
+        assert_eq!(plan.tree.deliver, vec![0]);
+    }
+
+    #[test]
+    fn single_consumer_takes_cheapest_path() {
+        let r = test_registry();
+        let g = ConversionGraph::from_registry(&r);
+        let plan = g
+            .best_tree(
+                RDD,
+                &[vec![kinds::COLLECTION]],
+                100.0,
+                64.0,
+                &Profiles::bare(),
+                &CostModel::new(),
+            )
+            .unwrap();
+        // direct RDD->Collection (2.5) beats Cache(1)+Collect(2)=3
+        assert_eq!(plan.tree.op_names(), vec!["CollectDirect"]);
+    }
+
+    #[test]
+    fn fanout_on_nonreusable_channel_routes_through_cache() {
+        let r = test_registry();
+        let g = ConversionGraph::from_registry(&r);
+        // two consumers both need RDD; RDD is not reusable, so the tree must
+        // cache first and re-derive RDDs... but there is no cached->rdd edge,
+        // so instead it goes rdd -> collection (reusable) -> parallelize x2?
+        // cheapest valid: direct-collect (2.5) then two Parallelize (2+2)
+        // vs cache(1)+collect(2) then 2x parallelize: 1+2+4=7 > 6.5
+        let plan = g
+            .best_tree(
+                RDD,
+                &[vec![RDD], vec![RDD]],
+                1.0,
+                64.0,
+                &Profiles::bare(),
+                &CostModel::new(),
+            )
+            .unwrap();
+        let names = plan.tree.op_names();
+        assert_eq!(
+            names.iter().filter(|n| *n == "Parallelize").count(),
+            2,
+            "{names:?}"
+        );
+        assert!(names.contains(&"CollectDirect".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn shared_prefix_is_not_duplicated() {
+        let r = test_registry();
+        let g = ConversionGraph::from_registry(&r);
+        // one consumer wants a collection, another wants an RDD: share the
+        // collect, then parallelize for the second.
+        let plan = g
+            .best_tree(
+                RDD,
+                &[vec![kinds::COLLECTION], vec![RDD]],
+                1.0,
+                64.0,
+                &Profiles::bare(),
+                &CostModel::new(),
+            )
+            .unwrap();
+        let names = plan.tree.op_names();
+        assert_eq!(names.iter().filter(|n| *n == "CollectDirect").count(), 1);
+        assert_eq!(names.iter().filter(|n| *n == "Parallelize").count(), 1);
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        let r = test_registry();
+        let g = ConversionGraph::from_registry(&r);
+        let plan = g.best_tree(
+            RDD,
+            &[vec![ChannelKind("mars.rover")]],
+            1.0,
+            64.0,
+            &Profiles::bare(),
+            &CostModel::new(),
+        );
+        assert!(plan.is_none());
+    }
+
+    #[test]
+    fn costs_scale_with_cardinality() {
+        let r = test_registry();
+        let g = ConversionGraph::from_registry(&r);
+        let profiles = Profiles::bare();
+        let model = CostModel::new();
+        let small = g
+            .best_path_cost(RDD, &[kinds::COLLECTION], 10.0, 64.0, &profiles, &model)
+            .unwrap();
+        let large = g
+            .best_path_cost(RDD, &[kinds::COLLECTION], 10_000.0, 64.0, &profiles, &model)
+            .unwrap();
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,113 @@
+//! The cross-platform optimizer (§4.1).
+//!
+//! Four phases, mirroring the paper: **plan inflation** (apply all operator
+//! mappings, keeping every alternative), **cardinality & cost annotation**
+//! (interval estimates), **data movement planning** (minimal conversion
+//! trees over the channel conversion graph), and **plan enumeration** (the
+//! Join/Prune algebra with lossless boundary-signature pruning, including
+//! data-movement and platform start-up costs).
+
+mod enumerate;
+
+pub use enumerate::EnumerationStats;
+
+use crate::cardinality::{Estimates, Estimator};
+use crate::cost::{CostModel, Interval};
+use crate::error::{Result, RheemError};
+use crate::mapping::Candidate;
+use crate::movement::ConversionGraph;
+use crate::plan::{OperatorId, RheemPlan};
+use crate::platform::{PlatformId, Profiles};
+use crate::registry::Registry;
+
+/// The optimizer. Borrowers of registry/profiles/model so jobs can share a
+/// context cheaply.
+pub struct Optimizer<'a> {
+    /// Mappings, channels, conversions.
+    pub registry: &'a Registry,
+    /// Virtual-cluster profiles.
+    pub profiles: &'a Profiles,
+    /// Tunable cost-model parameters.
+    pub model: &'a CostModel,
+    /// When set, restrict every mappable operator to this platform (used by
+    /// the platform-independence experiments of §6.2 and by RheemLatin's
+    /// `with platform` clause at plan granularity).
+    pub forced_platform: Option<PlatformId>,
+}
+
+/// The result of optimization: one execution alternative chosen per plan
+/// operator (chains share a choice), plus the annotations needed by the
+/// executor and the progressive optimizer.
+pub struct OptimizedPlan {
+    /// Candidate arena.
+    pub candidates: Vec<Candidate>,
+    /// Per operator: index into `candidates` of the covering choice.
+    pub choice: Vec<usize>,
+    /// Cardinality annotations used.
+    pub estimates: Estimates,
+    /// Scalar enumeration cost of the chosen plan (virtual ms).
+    pub est_ms: f64,
+    /// Interval estimate of total runtime.
+    pub est_interval: Interval,
+    /// Platforms the plan uses (excluding the driver).
+    pub platforms: Vec<PlatformId>,
+    /// Enumeration statistics (for the pruning ablation).
+    pub stats: EnumerationStats,
+}
+
+impl OptimizedPlan {
+    /// The candidate covering operator `id`.
+    pub fn candidate_of(&self, id: OperatorId) -> &Candidate {
+        &self.candidates[self.choice[id.index()]]
+    }
+
+    /// Platform chosen for operator `id`.
+    pub fn platform_of(&self, id: OperatorId) -> PlatformId {
+        self.candidate_of(id).exec.platform()
+    }
+}
+
+impl<'a> Optimizer<'a> {
+    /// New optimizer over a context's registry/profiles/model.
+    pub fn new(registry: &'a Registry, profiles: &'a Profiles, model: &'a CostModel) -> Self {
+        Self { registry, profiles, model, forced_platform: None }
+    }
+
+    /// Optimize a plan end-to-end: validate, estimate, inflate, enumerate.
+    pub fn optimize(&self, plan: &RheemPlan, estimator: &Estimator) -> Result<OptimizedPlan> {
+        plan.validate()?;
+        let estimates = estimator.estimate(plan)?;
+        self.optimize_with_estimates(plan, estimates)
+    }
+
+    /// Optimize with externally supplied estimates (the progressive
+    /// optimizer re-enters here with measured cardinalities, §4.4).
+    pub fn optimize_with_estimates(
+        &self,
+        plan: &RheemPlan,
+        estimates: Estimates,
+    ) -> Result<OptimizedPlan> {
+        let graph = ConversionGraph::from_registry(self.registry);
+        enumerate::enumerate(self, plan, estimates, &graph)
+    }
+
+    /// Enumerate without pruning (exhaustive baseline for the ablation
+    /// bench); identical output plan, exponentially more partials.
+    pub fn optimize_exhaustive(
+        &self,
+        plan: &RheemPlan,
+        estimator: &Estimator,
+    ) -> Result<OptimizedPlan> {
+        plan.validate()?;
+        let estimates = estimator.estimate(plan)?;
+        let graph = ConversionGraph::from_registry(self.registry);
+        enumerate::enumerate_with(self, plan, estimates, &graph, false)
+    }
+
+    pub(crate) fn err_no_candidates(plan: &RheemPlan, id: OperatorId) -> RheemError {
+        RheemError::Optimizer(format!(
+            "no execution operator available for {} on any registered platform",
+            plan.node(id).label()
+        ))
+    }
+}

@@ -1,0 +1,446 @@
+//! The platform-agnostic Rheem operator set.
+//!
+//! These are the primitive operators of §3; applications compose them into
+//! plans and the optimizer maps them to platform-specific *execution
+//! operators* via the mapping registry. The set mirrors the operators the
+//! paper's applications need: relational-style (Filter/Join/ReduceBy...),
+//! general transformations (Map/FlatMap), sampling, loops (RepeatLoop /
+//! DoWhile), a composite graph operator (PageRank, exercised by CrocoPR),
+//! and the plugged-in inequality join of BigDansing \[42\].
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use crate::udf::{CmpOp, FlatMapUdf, KeyUdf, MapUdf, PredicateUdf, ReduceUdf, Sarg};
+use crate::value::{Dataset, Value};
+
+/// Sampling strategies for the `Sample` operator. ML4all plugs efficient
+/// samplers (§2.2); the strategies differ in cost, not semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SampleMethod {
+    /// Uniform random sample (reservoir / index-based).
+    Random,
+    /// Deterministic first-n (cheapest; what ML4all's IO-efficient sampler
+    /// approximates on shuffled data).
+    First,
+    /// Bernoulli coin-flip per quantum.
+    Bernoulli,
+}
+
+/// Sample size specification.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SampleSize {
+    /// Exactly `n` quanta (or all, if fewer).
+    Count(usize),
+    /// A fraction of the input in `(0, 1]`.
+    Fraction(f64),
+}
+
+impl SampleSize {
+    /// Resolve against an input cardinality.
+    pub fn resolve(self, input: usize) -> usize {
+        match self {
+            SampleSize::Count(n) => n.min(input),
+            SampleSize::Fraction(f) => ((input as f64) * f).round() as usize,
+        }
+    }
+}
+
+/// One conjunct of an inequality-join condition:
+/// `left.field(left_field)  op  right.field(right_field)`.
+#[derive(Clone, Debug)]
+pub struct IneqCond {
+    /// Field index on the left input tuple.
+    pub left_field: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Field index on the right input tuple.
+    pub right_field: usize,
+}
+
+impl IneqCond {
+    /// Evaluate the condition over a pair of tuples.
+    pub fn eval(&self, l: &Value, r: &Value) -> bool {
+        self.op.eval(l.field(self.left_field), r.field(self.right_field))
+    }
+}
+
+/// A platform-agnostic Rheem operator.
+#[derive(Clone, Debug)]
+pub enum LogicalOp {
+    // ---- sources -------------------------------------------------------
+    /// Read a text file (local path or `hdfs://` URI), one quantum per line.
+    TextFileSource {
+        /// File path / URI.
+        path: PathBuf,
+    },
+    /// Produce an in-memory collection.
+    CollectionSource {
+        /// The data to produce.
+        data: Dataset,
+    },
+    /// Scan a table of a registered relational store (Postgres simulacrum).
+    TableSource {
+        /// Table name.
+        table: String,
+    },
+
+    // ---- unary transformations -----------------------------------------
+    /// One-to-one transformation.
+    Map(MapUdf),
+    /// One-to-many transformation.
+    FlatMap(FlatMapUdf),
+    /// Keep quanta satisfying the predicate.
+    Filter(PredicateUdf),
+    /// Relational projection: keep the listed tuple fields, in order. The
+    /// structured (UDF-free) form lets relational platforms push it down.
+    Project {
+        /// Tuple field indices to keep.
+        fields: Vec<usize>,
+    },
+    /// Filter with a sargable description (index-scan pushdown candidate).
+    SargFilter {
+        /// The executable predicate.
+        pred: PredicateUdf,
+        /// The structured predicate platforms may push down.
+        sarg: Sarg,
+    },
+    /// Draw a sample of the input.
+    Sample {
+        /// Strategy.
+        method: SampleMethod,
+        /// Size.
+        size: SampleSize,
+        /// Seed for reproducibility (None = derive from context seed).
+        seed: Option<u64>,
+    },
+    /// Sort ascending by extracted key.
+    SortBy(KeyUdf),
+    /// Remove duplicate quanta.
+    Distinct,
+    /// Count quanta; emits a single `Int`.
+    Count,
+    /// Group by key; emits `(key, Tuple-of-group-members)` pairs.
+    GroupBy(KeyUdf),
+    /// Fold the whole input with an associative combiner; emits one quantum.
+    Reduce(ReduceUdf),
+    /// Per-key fold with an associative combiner; emits one quantum per key.
+    ReduceBy {
+        /// Grouping key.
+        key: KeyUdf,
+        /// Associative combiner applied within each group.
+        agg: ReduceUdf,
+    },
+
+    // ---- binary --------------------------------------------------------
+    /// Bag union of two inputs.
+    Union,
+    /// Equi-join on extracted keys; emits `(left, right)` pairs.
+    Join {
+        /// Key extractor for input 0.
+        left_key: KeyUdf,
+        /// Key extractor for input 1.
+        right_key: KeyUdf,
+    },
+    /// Full cartesian product; emits `(left, right)` pairs.
+    Cartesian,
+    /// Inequality join (conjunction of 1–2 inequality conditions); emits
+    /// `(left, right)` pairs. BigDansing's plugged operator \[42\].
+    InequalityJoin {
+        /// The conjunctive conditions (IEJoin handles exactly two).
+        conds: Vec<IneqCond>,
+    },
+
+    // ---- composite / graph ---------------------------------------------
+    /// PageRank over an edge list of `(src, dst)` int pairs; emits
+    /// `(vertex, rank)` pairs. Mapped to Giraph/JGraph/GraphChi/Spark/Flink.
+    PageRank {
+        /// Number of iterations.
+        iterations: u32,
+        /// Damping factor (paper-standard 0.85).
+        damping: f64,
+    },
+
+    // ---- control flow ---------------------------------------------------
+    /// Fixed-iteration loop head. Input 0: initial value; input 1: feedback
+    /// from the loop body tail. Body operators are tagged via
+    /// [`super::RheemPlan::set_loop`]; consumers outside the loop observe
+    /// the final value.
+    RepeatLoop {
+        /// Iteration count.
+        iterations: u32,
+    },
+    /// Conditional loop head: iterate until `cond` holds on the (single)
+    /// feedback quantum, or `max_iterations` is reached.
+    DoWhile {
+        /// Termination predicate over the feedback value.
+        cond: PredicateUdf,
+        /// Hard iteration cap.
+        max_iterations: u32,
+    },
+
+    // ---- sinks -----------------------------------------------------------
+    /// Materialize the result into the job result buffer.
+    CollectionSink,
+    /// Write one line per quantum to a text file.
+    TextFileSink {
+        /// Output path / URI.
+        path: PathBuf,
+    },
+}
+
+/// Field-less discriminant of [`LogicalOp`], used for mapping dispatch and
+/// cost-model parameter keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum OpKind {
+    TextFileSource,
+    CollectionSource,
+    TableSource,
+    Map,
+    FlatMap,
+    Filter,
+    Project,
+    SargFilter,
+    Sample,
+    SortBy,
+    Distinct,
+    Count,
+    GroupBy,
+    Reduce,
+    ReduceBy,
+    Union,
+    Join,
+    Cartesian,
+    InequalityJoin,
+    PageRank,
+    RepeatLoop,
+    DoWhile,
+    CollectionSink,
+    TextFileSink,
+}
+
+impl OpKind {
+    /// Sources produce data and take no data inputs.
+    pub fn is_source(self) -> bool {
+        matches!(
+            self,
+            OpKind::TextFileSource | OpKind::CollectionSource | OpKind::TableSource
+        )
+    }
+
+    /// Sinks terminate a branch of the plan.
+    pub fn is_sink(self) -> bool {
+        matches!(self, OpKind::CollectionSink | OpKind::TextFileSink)
+    }
+
+    /// Loop heads accept a feedback edge on input slot 1.
+    pub fn is_loop_head(self) -> bool {
+        matches!(self, OpKind::RepeatLoop | OpKind::DoWhile)
+    }
+
+    /// Number of regular data input slots.
+    pub fn arity(self) -> usize {
+        match self {
+            k if k.is_source() => 0,
+            OpKind::Union
+            | OpKind::Join
+            | OpKind::Cartesian
+            | OpKind::InequalityJoin
+            | OpKind::RepeatLoop
+            | OpKind::DoWhile => 2,
+            _ => 1,
+        }
+    }
+
+    /// Stable lowercase token used in cost-model parameter keys.
+    pub fn token(self) -> &'static str {
+        match self {
+            OpKind::TextFileSource => "textsource",
+            OpKind::CollectionSource => "collectionsource",
+            OpKind::TableSource => "tablesource",
+            OpKind::Map => "map",
+            OpKind::FlatMap => "flatmap",
+            OpKind::Filter => "filter",
+            OpKind::Project => "project",
+            OpKind::SargFilter => "sargfilter",
+            OpKind::Sample => "sample",
+            OpKind::SortBy => "sortby",
+            OpKind::Distinct => "distinct",
+            OpKind::Count => "count",
+            OpKind::GroupBy => "groupby",
+            OpKind::Reduce => "reduce",
+            OpKind::ReduceBy => "reduceby",
+            OpKind::Union => "union",
+            OpKind::Join => "join",
+            OpKind::Cartesian => "cartesian",
+            OpKind::InequalityJoin => "ineqjoin",
+            OpKind::PageRank => "pagerank",
+            OpKind::RepeatLoop => "repeat",
+            OpKind::DoWhile => "dowhile",
+            OpKind::CollectionSink => "collectionsink",
+            OpKind::TextFileSink => "textsink",
+        }
+    }
+}
+
+impl LogicalOp {
+    /// The discriminant of this operator.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            LogicalOp::TextFileSource { .. } => OpKind::TextFileSource,
+            LogicalOp::CollectionSource { .. } => OpKind::CollectionSource,
+            LogicalOp::TableSource { .. } => OpKind::TableSource,
+            LogicalOp::Map(_) => OpKind::Map,
+            LogicalOp::FlatMap(_) => OpKind::FlatMap,
+            LogicalOp::Filter(_) => OpKind::Filter,
+            LogicalOp::Project { .. } => OpKind::Project,
+            LogicalOp::SargFilter { .. } => OpKind::SargFilter,
+            LogicalOp::Sample { .. } => OpKind::Sample,
+            LogicalOp::SortBy(_) => OpKind::SortBy,
+            LogicalOp::Distinct => OpKind::Distinct,
+            LogicalOp::Count => OpKind::Count,
+            LogicalOp::GroupBy(_) => OpKind::GroupBy,
+            LogicalOp::Reduce(_) => OpKind::Reduce,
+            LogicalOp::ReduceBy { .. } => OpKind::ReduceBy,
+            LogicalOp::Union => OpKind::Union,
+            LogicalOp::Join { .. } => OpKind::Join,
+            LogicalOp::Cartesian => OpKind::Cartesian,
+            LogicalOp::InequalityJoin { .. } => OpKind::InequalityJoin,
+            LogicalOp::PageRank { .. } => OpKind::PageRank,
+            LogicalOp::RepeatLoop { .. } => OpKind::RepeatLoop,
+            LogicalOp::DoWhile { .. } => OpKind::DoWhile,
+            LogicalOp::CollectionSink => OpKind::CollectionSink,
+            LogicalOp::TextFileSink { .. } => OpKind::TextFileSink,
+        }
+    }
+
+    /// Display label: kind plus UDF name where one exists.
+    pub fn label(&self) -> String {
+        match self {
+            LogicalOp::Map(u) => format!("Map[{}]", u.name),
+            LogicalOp::FlatMap(u) => format!("FlatMap[{}]", u.name),
+            LogicalOp::Filter(u) => format!("Filter[{}]", u.name),
+            LogicalOp::Project { fields } => format!("Project{fields:?}"),
+            LogicalOp::SargFilter { pred, .. } => format!("SargFilter[{}]", pred.name),
+            LogicalOp::ReduceBy { agg, .. } => format!("ReduceBy[{}]", agg.name),
+            LogicalOp::Reduce(u) => format!("Reduce[{}]", u.name),
+            LogicalOp::GroupBy(u) => format!("GroupBy[{}]", u.name),
+            LogicalOp::SortBy(u) => format!("SortBy[{}]", u.name),
+            LogicalOp::TableSource { table } => format!("TableSource[{table}]"),
+            LogicalOp::TextFileSource { path } => {
+                format!("TextFileSource[{}]", path.display())
+            }
+            other => format!("{:?}", other.kind()),
+        }
+    }
+
+    /// The UDF cost hint of this operator's payload (cycles per quantum);
+    /// 0 for UDF-less operators.
+    pub fn udf_cost_hint(&self) -> f64 {
+        match self {
+            LogicalOp::Map(u) => u.cost_hint,
+            LogicalOp::FlatMap(u) => u.cost_hint,
+            LogicalOp::Filter(u) => u.cost_hint,
+            LogicalOp::SargFilter { pred, .. } => pred.cost_hint,
+            LogicalOp::SortBy(u) | LogicalOp::GroupBy(u) => u.cost_hint,
+            LogicalOp::Reduce(u) => u.cost_hint,
+            LogicalOp::ReduceBy { key, agg } => key.cost_hint + agg.cost_hint,
+            LogicalOp::Join { left_key, right_key } => {
+                left_key.cost_hint + right_key.cost_hint
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Convenience constructor for an in-memory source from plain values.
+pub fn collection_of<I, V>(items: I) -> LogicalOp
+where
+    I: IntoIterator<Item = V>,
+    V: Into<Value>,
+{
+    LogicalOp::CollectionSource {
+        data: Arc::new(items.into_iter().map(Into::into).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_classify_sources_and_sinks() {
+        assert!(OpKind::TextFileSource.is_source());
+        assert!(OpKind::TableSource.is_source());
+        assert!(OpKind::CollectionSink.is_sink());
+        assert!(!OpKind::Map.is_sink());
+        assert!(OpKind::RepeatLoop.is_loop_head());
+        assert!(OpKind::DoWhile.is_loop_head());
+    }
+
+    #[test]
+    fn arity_matches_inputs() {
+        assert_eq!(OpKind::CollectionSource.arity(), 0);
+        assert_eq!(OpKind::Map.arity(), 1);
+        assert_eq!(OpKind::Join.arity(), 2);
+        assert_eq!(OpKind::RepeatLoop.arity(), 2);
+    }
+
+    #[test]
+    fn sample_size_resolution() {
+        assert_eq!(SampleSize::Count(5).resolve(3), 3);
+        assert_eq!(SampleSize::Count(5).resolve(100), 5);
+        assert_eq!(SampleSize::Fraction(0.5).resolve(100), 50);
+    }
+
+    #[test]
+    fn ineq_cond_evaluates_pairwise() {
+        let c = IneqCond { left_field: 0, op: CmpOp::Gt, right_field: 1 };
+        let l = Value::tuple(vec![Value::from(10), Value::from(0)]);
+        let r = Value::tuple(vec![Value::from(0), Value::from(5)]);
+        assert!(c.eval(&l, &r)); // 10 > 5
+        assert!(!c.eval(&r, &l)); // 0 > 0 is false
+    }
+
+    #[test]
+    fn labels_include_udf_names() {
+        let op = LogicalOp::Map(MapUdf::new("parse", |v| v.clone()));
+        assert_eq!(op.label(), "Map[parse]");
+        assert_eq!(LogicalOp::Distinct.label(), "Distinct");
+    }
+
+    #[test]
+    fn collection_of_builds_source() {
+        let op = collection_of([1i64, 2, 3]);
+        match op {
+            LogicalOp::CollectionSource { data } => assert_eq!(data.len(), 3),
+            _ => panic!("wrong op"),
+        }
+    }
+
+    #[test]
+    fn tokens_are_distinct() {
+        use std::collections::HashSet;
+        let kinds = [
+            OpKind::Map,
+            OpKind::FlatMap,
+            OpKind::Filter,
+            OpKind::SargFilter,
+            OpKind::Sample,
+            OpKind::SortBy,
+            OpKind::Distinct,
+            OpKind::Count,
+            OpKind::GroupBy,
+            OpKind::Reduce,
+            OpKind::ReduceBy,
+            OpKind::Union,
+            OpKind::Join,
+            OpKind::Cartesian,
+            OpKind::InequalityJoin,
+            OpKind::PageRank,
+        ];
+        let tokens: HashSet<_> = kinds.iter().map(|k| k.token()).collect();
+        assert_eq!(tokens.len(), kinds.len());
+    }
+}

@@ -1,0 +1,376 @@
+//! Platform abstraction and performance profiles.
+//!
+//! A [`Platform`] is a data processing engine registered with Rheem. Each
+//! platform contributes execution operators, operator mappings, channel
+//! kinds and conversion operators via [`crate::registry::Registry`], and a
+//! [`PlatformProfile`] describing its virtual-cluster characteristics.
+//!
+//! ## Virtual cluster time
+//!
+//! The paper evaluates on a 10-node cluster. This reproduction runs engines
+//! *for real* (full data, real results) on the local machine, and composes
+//! the **measured** per-task work into *virtual cluster time* using the
+//! profile: job-submission overheads, task waves over `cores` virtual cores,
+//! network/disk transfer terms, and BSP barriers. Virtual time is what the
+//! benchmark harness reports; see DESIGN.md for the substitution rationale.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::registry::Registry;
+
+/// Identifier of a platform, e.g. `PlatformId("spark")`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlatformId(pub &'static str);
+
+impl fmt::Debug for PlatformId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for PlatformId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// All well-known platform id strings (used by the config file parser).
+pub fn ids_all() -> Vec<&'static str> {
+    vec![
+        ids::JAVA_STREAMS.0,
+        ids::SPARK.0,
+        ids::FLINK.0,
+        ids::POSTGRES.0,
+        ids::GIRAPH.0,
+        ids::JGRAPH.0,
+        ids::GRAPHCHI.0,
+    ]
+}
+
+/// Well-known platform ids (platform crates re-export their own).
+pub mod ids {
+    use super::PlatformId;
+
+    /// Single-threaded in-process engine (Java Streams analogue).
+    pub const JAVA_STREAMS: PlatformId = PlatformId("java.streams");
+    /// Distributed batch engine (Apache Spark analogue).
+    pub const SPARK: PlatformId = PlatformId("spark");
+    /// Pipelined batch engine (Apache Flink analogue).
+    pub const FLINK: PlatformId = PlatformId("flink");
+    /// Relational store + engine (PostgreSQL analogue).
+    pub const POSTGRES: PlatformId = PlatformId("postgres");
+    /// Vertex-centric BSP graph engine (Apache Giraph analogue).
+    pub const GIRAPH: PlatformId = PlatformId("giraph");
+    /// Single-threaded graph library (JGraph analogue).
+    pub const JGRAPH: PlatformId = PlatformId("jgraph");
+    /// Out-of-core graph engine (GraphChi analogue).
+    pub const GRAPHCHI: PlatformId = PlatformId("graphchi");
+}
+
+/// Virtual-cluster performance profile of one platform (§6.1's testbed knobs
+/// plus the engine-specific overheads of §2/§6).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PlatformProfile {
+    /// One-time cost of bringing the platform up within a job (JVM spin-up,
+    /// driver hand-shake). Charged once per job that uses the platform.
+    pub startup_ms: f64,
+    /// Per-stage job submission / scheduling overhead.
+    pub stage_overhead_ms: f64,
+    /// Per-task dispatch overhead.
+    pub task_overhead_ms: f64,
+    /// Virtual cores available to the engine (cluster-wide).
+    pub cores: u32,
+    /// Default number of data partitions (task parallelism).
+    pub partitions: u32,
+    /// Multiplier from locally measured CPU time to one virtual core's time
+    /// (cluster cores may be slower/faster than the local machine).
+    pub cpu_scale: f64,
+    /// Aggregate network bandwidth for shuffles/broadcasts, MB/s.
+    pub net_mb_per_sec: f64,
+    /// Aggregate disk bandwidth for materialization, MB/s.
+    pub disk_mb_per_sec: f64,
+    /// Memory cap in MB; engines fail with an out-of-memory execution error
+    /// when a materialized dataset exceeds it (used to emulate SystemML's
+    /// OOM in Fig. 2(b)).
+    pub mem_mb: f64,
+    /// Per-superstep barrier cost for BSP engines.
+    pub barrier_ms: f64,
+    /// Abstract CPU cycles one virtual core executes per millisecond; the
+    /// unit cost linking the learned resource functions (§4.5) to time.
+    pub cycles_per_ms: f64,
+}
+
+impl Default for PlatformProfile {
+    fn default() -> Self {
+        Self {
+            startup_ms: 0.0,
+            stage_overhead_ms: 0.0,
+            task_overhead_ms: 0.0,
+            cores: 1,
+            partitions: 1,
+            cpu_scale: 1.0,
+            net_mb_per_sec: 1000.0,
+            disk_mb_per_sec: 200.0,
+            mem_mb: 20_480.0, // paper: 20 GB max RAM per platform
+            barrier_ms: 0.0,
+            cycles_per_ms: 1_000_000.0,
+        }
+    }
+}
+
+impl PlatformProfile {
+    /// Virtual ms to ship `bytes` over the network.
+    pub fn net_ms(&self, bytes: f64) -> f64 {
+        bytes / (self.net_mb_per_sec * 1024.0 * 1024.0) * 1000.0
+    }
+
+    /// Virtual ms to read/write `bytes` from/to disk.
+    pub fn disk_ms(&self, bytes: f64) -> f64 {
+        bytes / (self.disk_mb_per_sec * 1024.0 * 1024.0) * 1000.0
+    }
+
+    /// Compose measured per-task times (already on the local clock) into the
+    /// virtual wall time of one parallel operator execution: LPT-style wave
+    /// packing over `cores` plus per-task dispatch overhead.
+    pub fn parallel_ms(&self, task_ms: &[f64]) -> f64 {
+        if task_ms.is_empty() {
+            return 0.0;
+        }
+        let cores = self.cores.max(1) as usize;
+        let mut loads = vec![0.0f64; cores.min(task_ms.len())];
+        let mut sorted: Vec<f64> = task_ms.iter().map(|t| t * self.cpu_scale).collect();
+        sorted.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+        for t in sorted {
+            // assign to least-loaded core (longest processing time first)
+            let min = loads
+                .iter_mut()
+                .min_by(|a, b| a.partial_cmp(b).unwrap())
+                .expect("non-empty");
+            *min += t;
+        }
+        let makespan = loads.iter().cloned().fold(0.0f64, f64::max);
+        makespan + self.task_overhead_ms * task_ms.len() as f64 / cores as f64
+    }
+}
+
+/// The profiles of all registered platforms plus defaults mirroring the
+/// paper's testbed (10 nodes × 4 cores, 1 GbE, SATA disks).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Profiles {
+    profiles: HashMap<String, PlatformProfile>,
+    fallback: PlatformProfile,
+}
+
+impl Default for Profiles {
+    fn default() -> Self {
+        Self::paper_testbed()
+    }
+}
+
+impl Profiles {
+    /// Empty set with a neutral fallback (everything instant-startup,
+    /// single-core). Useful in unit tests.
+    pub fn bare() -> Self {
+        Self { profiles: HashMap::new(), fallback: PlatformProfile::default() }
+    }
+
+    /// Profiles calibrated to the paper's testbed: 10 nodes, 4 cores each,
+    /// 1 Gbit network, 32 GB RAM (20 GB per platform), SATA disks. The
+    /// relative overheads reproduce the qualitative behaviour of §2/§6:
+    /// JavaStreams has no overhead but one core; Spark pays job-submission
+    /// and per-task costs; Flink has cheaper stages and iterations; Postgres
+    /// runs indexed/relational work on one node (parallel query = 4);
+    /// Giraph pays BSP barriers; JGraph is a single-core library.
+    pub fn paper_testbed() -> Self {
+        let mut profiles = HashMap::new();
+        // JVM engines execute ~15× slower per core than this machine's
+        // native code: cpu_scale converts measured (Rust) time to virtual
+        // JVM-core time, and cycles_per_ms shrinks accordingly so the
+        // optimizer's cycle-based estimates stay consistent with what the
+        // executor will measure.
+        const JVM: f64 = 15.0;
+        profiles.insert(
+            ids::JAVA_STREAMS.0.to_string(),
+            PlatformProfile {
+                startup_ms: 0.0,
+                stage_overhead_ms: 1.0,
+                task_overhead_ms: 0.0,
+                cores: 1,
+                partitions: 1,
+                cpu_scale: JVM,
+                cycles_per_ms: 1_000_000.0 / JVM,
+                ..PlatformProfile::default()
+            },
+        );
+        profiles.insert(
+            ids::SPARK.0.to_string(),
+            PlatformProfile {
+                startup_ms: 2_000.0,
+                stage_overhead_ms: 120.0,
+                task_overhead_ms: 4.0,
+                cores: 40,
+                partitions: 80,
+                net_mb_per_sec: 110.0,
+                disk_mb_per_sec: 800.0,
+                cpu_scale: JVM,
+                cycles_per_ms: 1_000_000.0 / JVM,
+                ..PlatformProfile::default()
+            },
+        );
+        profiles.insert(
+            ids::FLINK.0.to_string(),
+            PlatformProfile {
+                startup_ms: 1_500.0,
+                stage_overhead_ms: 60.0,
+                task_overhead_ms: 2.5,
+                cores: 40,
+                partitions: 80,
+                net_mb_per_sec: 110.0,
+                disk_mb_per_sec: 800.0,
+                cpu_scale: JVM,
+                cycles_per_ms: 1_000_000.0 / JVM,
+                ..PlatformProfile::default()
+            },
+        );
+        profiles.insert(
+            ids::POSTGRES.0.to_string(),
+            PlatformProfile {
+                startup_ms: 5.0,
+                stage_overhead_ms: 3.0,
+                task_overhead_ms: 0.0,
+                cores: 4, // "parallel query" = 4 (§2.4)
+                partitions: 4,
+                disk_mb_per_sec: 150.0,
+                net_mb_per_sec: 110.0,
+                // C engine, but a tuple-at-a-time interpreter (expression
+                // evaluation, MVCC visibility checks): ~12× native code.
+                cpu_scale: 12.0,
+                cycles_per_ms: 1_000_000.0 / 12.0,
+                ..PlatformProfile::default()
+            },
+        );
+        profiles.insert(
+            ids::GIRAPH.0.to_string(),
+            PlatformProfile {
+                startup_ms: 3_000.0,
+                stage_overhead_ms: 400.0,
+                task_overhead_ms: 4.0,
+                cores: 40,
+                partitions: 40,
+                barrier_ms: 60.0,
+                net_mb_per_sec: 110.0,
+                cpu_scale: JVM,
+                cycles_per_ms: 1_000_000.0 / JVM,
+                ..PlatformProfile::default()
+            },
+        );
+        profiles.insert(
+            ids::JGRAPH.0.to_string(),
+            PlatformProfile {
+                startup_ms: 0.0,
+                stage_overhead_ms: 1.0,
+                cores: 1,
+                partitions: 1,
+                mem_mb: 4_096.0, // small library heap: dies on big graphs
+                cpu_scale: JVM,
+                cycles_per_ms: 1_000_000.0 / JVM,
+                ..PlatformProfile::default()
+            },
+        );
+        profiles.insert(
+            ids::GRAPHCHI.0.to_string(),
+            PlatformProfile {
+                startup_ms: 300.0,
+                stage_overhead_ms: 50.0,
+                cores: 4,
+                partitions: 8,
+                disk_mb_per_sec: 120.0, // out-of-core: disk-bound
+                cpu_scale: 10.0,
+                cycles_per_ms: 100_000.0,
+                ..PlatformProfile::default()
+            },
+        );
+        Self { profiles, fallback: PlatformProfile::default() }
+    }
+
+    /// Profile of a platform (fallback when unregistered).
+    pub fn get(&self, id: PlatformId) -> &PlatformProfile {
+        self.profiles.get(id.0).unwrap_or(&self.fallback)
+    }
+
+    /// Insert/override a profile.
+    pub fn set(&mut self, id: PlatformId, profile: PlatformProfile) {
+        self.profiles.insert(id.0.to_string(), profile);
+    }
+
+    /// Mutable access (for calibration).
+    pub fn get_mut(&mut self, id: PlatformId) -> &mut PlatformProfile {
+        self.profiles
+            .entry(id.0.to_string())
+            .or_insert_with(|| self.fallback.clone())
+    }
+}
+
+/// A data processing platform pluggable into Rheem. Adding a platform takes
+/// (i) execution operators + mappings and (ii) channels with at least one
+/// conversion to an existing channel (§3 "Extensibility").
+pub trait Platform: Send + Sync {
+    /// Unique id.
+    fn id(&self) -> PlatformId;
+    /// Register mappings, channels and conversion operators.
+    fn register(&self, registry: &mut Registry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_ms_packs_waves() {
+        let p = PlatformProfile { cores: 2, ..PlatformProfile::default() };
+        // 4 unit tasks over 2 cores -> 2 waves
+        let t = p.parallel_ms(&[10.0, 10.0, 10.0, 10.0]);
+        assert!((t - 20.0).abs() < 1e-9, "{t}");
+        // single big task dominates
+        let t = p.parallel_ms(&[100.0, 1.0, 1.0]);
+        assert!((t - 100.0).abs() < 1e-6, "{t}");
+        assert_eq!(p.parallel_ms(&[]), 0.0);
+    }
+
+    #[test]
+    fn parallel_ms_applies_cpu_scale_and_task_overhead() {
+        let p = PlatformProfile {
+            cores: 4,
+            cpu_scale: 2.0,
+            task_overhead_ms: 1.0,
+            ..PlatformProfile::default()
+        };
+        let t = p.parallel_ms(&[10.0; 4]);
+        // each task scaled to 20ms, 1 wave, + 4 tasks*1ms/4cores
+        assert!((t - 21.0).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn transfer_costs_scale_with_bytes() {
+        let p = PlatformProfile { net_mb_per_sec: 1.0, ..PlatformProfile::default() };
+        assert!((p.net_ms(1024.0 * 1024.0) - 1000.0).abs() < 1e-6);
+        let p2 = PlatformProfile { disk_mb_per_sec: 2.0, ..PlatformProfile::default() };
+        assert!((p2.disk_ms(2.0 * 1024.0 * 1024.0) - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_testbed_orders_overheads_sensibly() {
+        let p = Profiles::paper_testbed();
+        let js = p.get(ids::JAVA_STREAMS);
+        let spark = p.get(ids::SPARK);
+        let flink = p.get(ids::FLINK);
+        assert!(js.stage_overhead_ms < flink.stage_overhead_ms);
+        assert!(flink.stage_overhead_ms < spark.stage_overhead_ms);
+        assert!(spark.cores > js.cores);
+        // unknown platform falls back
+        assert_eq!(p.get(PlatformId("nope")).cores, 1);
+    }
+}

@@ -1,0 +1,235 @@
+//! The extension registry: platforms plug in mappings, channel kinds and
+//! conversion operators here (§3 "Extensibility").
+//!
+//! Adding a platform requires only (i) its execution operators and their
+//! mappings and (ii) its channels with at least one conversion from/to an
+//! existing channel — the channel conversion graph then connects it to every
+//! other platform transitively, reducing integration effort from `O(nm)` to
+//! `O(n)`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::channel::{ChannelDescriptor, ChannelKind};
+use crate::exec::ExecutionOperator;
+use crate::mapping::{Candidate, OperatorMapping};
+use crate::plan::{OperatorNode, RheemPlan};
+use crate::platform::PlatformId;
+
+/// A conversion-operator edge of the channel conversion graph.
+#[derive(Clone)]
+pub struct Conversion {
+    /// Source channel kind.
+    pub from: ChannelKind,
+    /// Target channel kind.
+    pub to: ChannelKind,
+    /// The conversion operator (a regular execution operator with one input
+    /// of kind `from` producing `to`).
+    pub op: Arc<dyn ExecutionOperator>,
+}
+
+impl std::fmt::Debug for Conversion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -> {} via {}", self.from, self.to, self.op.name())
+    }
+}
+
+/// Registry of everything platforms contribute.
+#[derive(Default)]
+pub struct Registry {
+    mappings: Vec<Arc<dyn OperatorMapping>>,
+    channels: HashMap<ChannelKind, ChannelDescriptor>,
+    conversions: Vec<Conversion>,
+    platforms: Vec<PlatformId>,
+    source_estimators: Vec<crate::cardinality::SourceEstimator>,
+}
+
+impl Registry {
+    /// Empty registry with the core's built-in channel kinds.
+    pub fn new() -> Self {
+        let mut r = Self::default();
+        r.add_channel(ChannelDescriptor { kind: crate::channel::kinds::COLLECTION, reusable: true });
+        r.add_channel(ChannelDescriptor { kind: crate::channel::kinds::LOCAL_FILE, reusable: true });
+        r.add_channel(ChannelDescriptor { kind: crate::channel::kinds::HDFS_FILE, reusable: true });
+        r
+    }
+
+    /// Record that a platform registered itself.
+    pub fn add_platform(&mut self, id: PlatformId) {
+        if !self.platforms.contains(&id) {
+            self.platforms.push(id);
+        }
+    }
+
+    /// Registered platforms, in registration order.
+    pub fn platforms(&self) -> &[PlatformId] {
+        &self.platforms
+    }
+
+    /// Register an operator mapping.
+    pub fn add_mapping(&mut self, mapping: Arc<dyn OperatorMapping>) {
+        self.mappings.push(mapping);
+    }
+
+    /// Register a channel kind.
+    pub fn add_channel(&mut self, desc: ChannelDescriptor) {
+        self.channels.insert(desc.kind, desc);
+    }
+
+    /// Register a conversion operator edge.
+    pub fn add_conversion(&mut self, from: ChannelKind, to: ChannelKind, op: Arc<dyn ExecutionOperator>) {
+        self.conversions.push(Conversion { from, to, op });
+    }
+
+    /// Register a source-cardinality estimator (e.g. the relational store
+    /// reports its table sizes to the optimizer).
+    pub fn add_source_estimator(&mut self, e: crate::cardinality::SourceEstimator) {
+        self.source_estimators.push(e);
+    }
+
+    /// All registered source estimators.
+    pub fn source_estimators(&self) -> &[crate::cardinality::SourceEstimator] {
+        &self.source_estimators
+    }
+
+    /// Channel descriptor lookup (unknown kinds default to non-reusable, the
+    /// conservative choice).
+    pub fn channel(&self, kind: ChannelKind) -> ChannelDescriptor {
+        self.channels
+            .get(&kind)
+            .cloned()
+            .unwrap_or(ChannelDescriptor { kind, reusable: false })
+    }
+
+    /// All registered channel kinds.
+    pub fn channel_kinds(&self) -> Vec<ChannelKind> {
+        let mut v: Vec<ChannelKind> = self.channels.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// All conversion edges.
+    pub fn conversions(&self) -> &[Conversion] {
+        &self.conversions
+    }
+
+    /// All execution alternatives for `node` across every registered
+    /// mapping, honouring a `withTargetPlatform` pin.
+    pub fn candidates_for(&self, plan: &RheemPlan, node: &OperatorNode) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        for m in &self.mappings {
+            out.extend(m.candidates(plan, node));
+        }
+        if let Some(pin) = node.target_platform {
+            out.retain(|c| c.exec.platform() == pin);
+        }
+        // Chain candidates must not absorb operators that are themselves
+        // pinned to a different platform.
+        out.retain(|c| {
+            c.covers.iter().all(|&op| {
+                plan.node(op)
+                    .target_platform
+                    .map(|pin| pin == c.exec.platform())
+                    .unwrap_or(true)
+            })
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{kinds, ChannelData};
+    use crate::cost::Load;
+    use crate::error::Result;
+    use crate::exec::ExecCtx;
+    use crate::mapping::FnMapping;
+    use crate::plan::{LogicalOp, OpKind};
+    use crate::udf::{BroadcastCtx, MapUdf};
+
+    struct Noop(PlatformId);
+    impl ExecutionOperator for Noop {
+        fn name(&self) -> &str {
+            "Noop"
+        }
+        fn platform(&self) -> PlatformId {
+            self.0
+        }
+        fn accepted_inputs(&self, _slot: usize) -> Vec<ChannelKind> {
+            vec![kinds::COLLECTION]
+        }
+        fn output_kind(&self) -> ChannelKind {
+            kinds::COLLECTION
+        }
+        fn load(&self, _in: &[f64], _b: f64, _model: &crate::cost::CostModel) -> Load {
+            Load::default()
+        }
+        fn execute(
+            &self,
+            _ctx: &mut ExecCtx<'_>,
+            inputs: &[ChannelData],
+            _bc: &BroadcastCtx,
+        ) -> Result<ChannelData> {
+            Ok(inputs[0].clone())
+        }
+    }
+
+    fn tiny_plan() -> RheemPlan {
+        let mut p = RheemPlan::new();
+        let s = p.add(LogicalOp::CollectionSource { data: Arc::new(vec![]) }, &[]);
+        let m = p.add(LogicalOp::Map(MapUdf::new("m", |v| v.clone())), &[s]);
+        p.add(LogicalOp::CollectionSink, &[m]);
+        p
+    }
+
+    fn map_mapping(platform: PlatformId) -> Arc<dyn OperatorMapping> {
+        Arc::new(FnMapping(move |_p: &RheemPlan, n: &OperatorNode| {
+            if n.op.kind() == OpKind::Map {
+                vec![Candidate::single(n.id, Arc::new(Noop(platform)) as _)]
+            } else {
+                vec![]
+            }
+        }))
+    }
+
+    #[test]
+    fn builtin_channels_present() {
+        let r = Registry::new();
+        assert!(r.channel(kinds::COLLECTION).reusable);
+        assert!(r.channel(kinds::HDFS_FILE).reusable);
+        // unknown kinds default to non-reusable
+        assert!(!r.channel(ChannelKind("mystery")).reusable);
+    }
+
+    #[test]
+    fn candidates_gather_across_mappings() {
+        let mut r = Registry::new();
+        r.add_mapping(map_mapping(PlatformId("a")));
+        r.add_mapping(map_mapping(PlatformId("b")));
+        let plan = tiny_plan();
+        let node = plan.node(crate::plan::OperatorId(1));
+        assert_eq!(r.candidates_for(&plan, node).len(), 2);
+    }
+
+    #[test]
+    fn target_platform_pin_filters() {
+        let mut r = Registry::new();
+        r.add_mapping(map_mapping(PlatformId("a")));
+        r.add_mapping(map_mapping(PlatformId("b")));
+        let mut plan = tiny_plan();
+        let id = crate::plan::OperatorId(1);
+        plan.set_target_platform(id, PlatformId("b"));
+        let c = r.candidates_for(&plan, plan.node(id));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].exec.platform(), PlatformId("b"));
+    }
+
+    #[test]
+    fn platform_registration_dedupes() {
+        let mut r = Registry::new();
+        r.add_platform(PlatformId("x"));
+        r.add_platform(PlatformId("x"));
+        assert_eq!(r.platforms().len(), 1);
+    }
+}

@@ -1,0 +1,470 @@
+//! User-defined functions attached to Rheem operators.
+//!
+//! UDFs are opaque to the optimizer except for the metadata they carry: a
+//! name (for cost-model parameter lookup), a CPU cost hint (the `β` term of
+//! §4.5's resource functions), and — for predicates — an optional *sargable*
+//! description that lets relational platforms push the predicate into an
+//! index scan.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::{Dataset, Value};
+
+/// Broadcast variables visible to a UDF invocation (the dotted edges of
+/// Fig. 3: e.g. SGD's weights broadcast into the gradient computation).
+#[derive(Clone, Default)]
+pub struct BroadcastCtx {
+    vars: HashMap<Arc<str>, Dataset>,
+}
+
+impl BroadcastCtx {
+    /// Empty context (no broadcasts attached).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a broadcast variable.
+    pub fn bind(&mut self, name: impl Into<Arc<str>>, data: Dataset) {
+        self.vars.insert(name.into(), data);
+    }
+
+    /// Look up a broadcast variable by name.
+    pub fn get(&self, name: &str) -> Option<&Dataset> {
+        self.vars.get(name)
+    }
+
+    /// The broadcast variable `name`, or an empty dataset if unbound.
+    pub fn get_or_empty(&self, name: &str) -> Dataset {
+        self.vars
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| Arc::new(Vec::new()))
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether no variables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Total quanta across all bound variables (used for movement costs).
+    pub fn total_quanta(&self) -> usize {
+        self.vars.values().map(|d| d.len()).sum()
+    }
+}
+
+impl fmt::Debug for BroadcastCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BroadcastCtx({} vars)", self.vars.len())
+    }
+}
+
+macro_rules! udf_type {
+    ($(#[$doc:meta])* $name:ident, $fnty:ty) => {
+        $(#[$doc])*
+        #[derive(Clone)]
+        pub struct $name {
+            /// Human-readable name; also keys cost-model parameters.
+            pub name: Arc<str>,
+            f: Arc<$fnty>,
+            /// CPU cost hint in abstract cycles per quantum (the `β` of §4.5).
+            pub cost_hint: f64,
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.name)
+            }
+        }
+    };
+}
+
+udf_type!(
+    /// One-to-one transformation UDF (the `Map` operator payload).
+    MapUdf,
+    dyn Fn(&Value, &BroadcastCtx) -> Value + Send + Sync
+);
+
+impl MapUdf {
+    /// Wrap a plain closure that ignores broadcasts.
+    pub fn new(
+        name: impl Into<Arc<str>>,
+        f: impl Fn(&Value) -> Value + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            f: Arc::new(move |v, _| f(v)),
+            cost_hint: 1.0,
+        }
+    }
+
+    /// Wrap a closure that reads broadcast variables.
+    pub fn with_ctx(
+        name: impl Into<Arc<str>>,
+        f: impl Fn(&Value, &BroadcastCtx) -> Value + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            f: Arc::new(f),
+            cost_hint: 1.0,
+        }
+    }
+
+    /// Attach a CPU cost hint (abstract cycles per quantum).
+    pub fn cost(mut self, cost_hint: f64) -> Self {
+        self.cost_hint = cost_hint;
+        self
+    }
+
+    /// Apply the UDF.
+    #[inline]
+    pub fn call(&self, v: &Value, ctx: &BroadcastCtx) -> Value {
+        (self.f)(v, ctx)
+    }
+}
+
+udf_type!(
+    /// One-to-many transformation UDF (the `FlatMap` operator payload).
+    FlatMapUdf,
+    dyn Fn(&Value, &BroadcastCtx) -> Vec<Value> + Send + Sync
+);
+
+impl FlatMapUdf {
+    /// Wrap a plain closure that ignores broadcasts.
+    pub fn new(
+        name: impl Into<Arc<str>>,
+        f: impl Fn(&Value) -> Vec<Value> + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            f: Arc::new(move |v, _| f(v)),
+            cost_hint: 1.0,
+        }
+    }
+
+    /// Wrap a closure that reads broadcast variables.
+    pub fn with_ctx(
+        name: impl Into<Arc<str>>,
+        f: impl Fn(&Value, &BroadcastCtx) -> Vec<Value> + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            f: Arc::new(f),
+            cost_hint: 1.0,
+        }
+    }
+
+    /// Attach a CPU cost hint (abstract cycles per quantum).
+    pub fn cost(mut self, cost_hint: f64) -> Self {
+        self.cost_hint = cost_hint;
+        self
+    }
+
+    /// Apply the UDF.
+    #[inline]
+    pub fn call(&self, v: &Value, ctx: &BroadcastCtx) -> Vec<Value> {
+        (self.f)(v, ctx)
+    }
+}
+
+/// Comparison operators a sargable predicate may use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+}
+
+impl CmpOp {
+    /// Evaluate the comparison on two values under the canonical order.
+    pub fn eval(self, a: &Value, b: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        match (self, a.cmp(b)) {
+            (CmpOp::Lt, Less) => true,
+            (CmpOp::Le, Less | Equal) => true,
+            (CmpOp::Gt, Greater) => true,
+            (CmpOp::Ge, Greater | Equal) => true,
+            (CmpOp::Eq, Equal) => true,
+            (CmpOp::Ne, Less | Greater) => true,
+            _ => false,
+        }
+    }
+
+    /// The comparison with operand sides swapped (`a op b` ⇔ `b op' a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+        }
+    }
+}
+
+/// A *search argument*: structured description of a predicate over one tuple
+/// field, enabling index scans / pushdown on relational platforms.
+#[derive(Clone, Debug)]
+pub struct Sarg {
+    /// Tuple field index the predicate constrains.
+    pub field: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal the field is compared against.
+    pub literal: Value,
+}
+
+impl Sarg {
+    /// Evaluate the sarg against a tuple quantum.
+    pub fn eval(&self, v: &Value) -> bool {
+        self.op.eval(v.field(self.field), &self.literal)
+    }
+}
+
+udf_type!(
+    /// Boolean predicate UDF (the `Filter` operator payload).
+    PredicateUdf,
+    dyn Fn(&Value, &BroadcastCtx) -> bool + Send + Sync
+);
+
+impl PredicateUdf {
+    /// Wrap a plain closure that ignores broadcasts.
+    pub fn new(
+        name: impl Into<Arc<str>>,
+        f: impl Fn(&Value) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            f: Arc::new(move |v, _| f(v)),
+            cost_hint: 1.0,
+        }
+    }
+
+    /// Wrap a closure that reads broadcast variables.
+    pub fn with_ctx(
+        name: impl Into<Arc<str>>,
+        f: impl Fn(&Value, &BroadcastCtx) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            f: Arc::new(f),
+            cost_hint: 1.0,
+        }
+    }
+
+    /// Build a predicate directly from a sargable description.
+    pub fn from_sarg(name: impl Into<Arc<str>>, sarg: Sarg) -> SargPredicate {
+        let s = sarg.clone();
+        SargPredicate {
+            pred: Self {
+                name: name.into(),
+                f: Arc::new(move |v, _| s.eval(v)),
+                cost_hint: 1.0,
+            },
+            sarg,
+        }
+    }
+
+    /// Attach a CPU cost hint (abstract cycles per quantum).
+    pub fn cost(mut self, cost_hint: f64) -> Self {
+        self.cost_hint = cost_hint;
+        self
+    }
+
+    /// Apply the predicate.
+    #[inline]
+    pub fn call(&self, v: &Value, ctx: &BroadcastCtx) -> bool {
+        (self.f)(v, ctx)
+    }
+}
+
+/// A predicate together with its sargable description.
+#[derive(Clone, Debug)]
+pub struct SargPredicate {
+    /// The executable predicate.
+    pub pred: PredicateUdf,
+    /// The structured form platforms may push down.
+    pub sarg: Sarg,
+}
+
+udf_type!(
+    /// Key extraction UDF (payload of `ReduceBy`, `GroupBy`, `SortBy`, `Join`).
+    KeyUdf,
+    dyn Fn(&Value) -> Value + Send + Sync
+);
+
+impl KeyUdf {
+    /// Wrap a key extractor closure.
+    pub fn new(
+        name: impl Into<Arc<str>>,
+        f: impl Fn(&Value) -> Value + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            f: Arc::new(f),
+            cost_hint: 1.0,
+        }
+    }
+
+    /// Key extractor that projects tuple field `i`.
+    pub fn field(i: usize) -> Self {
+        Self::new(format!("field{i}"), move |v| v.field(i).clone())
+    }
+
+    /// Identity key extractor (the quantum is its own key).
+    pub fn identity() -> Self {
+        Self::new("identity", |v| v.clone())
+    }
+
+    /// Attach a CPU cost hint (abstract cycles per quantum).
+    pub fn cost(mut self, cost_hint: f64) -> Self {
+        self.cost_hint = cost_hint;
+        self
+    }
+
+    /// Apply the key extractor.
+    #[inline]
+    pub fn call(&self, v: &Value) -> Value {
+        (self.f)(v)
+    }
+}
+
+udf_type!(
+    /// Binary, associative aggregation UDF (payload of `Reduce`/`ReduceBy`).
+    ReduceUdf,
+    dyn Fn(&Value, &Value) -> Value + Send + Sync
+);
+
+impl ReduceUdf {
+    /// Wrap an associative combiner closure.
+    pub fn new(
+        name: impl Into<Arc<str>>,
+        f: impl Fn(&Value, &Value) -> Value + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            f: Arc::new(f),
+            cost_hint: 1.0,
+        }
+    }
+
+    /// Integer/float addition combiner.
+    pub fn sum() -> Self {
+        Self::new("sum", |a, b| match (a, b) {
+            (Value::Int(x), Value::Int(y)) => Value::Int(x + y),
+            _ => Value::Float(a.as_f64().unwrap_or(0.0) + b.as_f64().unwrap_or(0.0)),
+        })
+    }
+
+    /// Attach a CPU cost hint (abstract cycles per quantum).
+    pub fn cost(mut self, cost_hint: f64) -> Self {
+        self.cost_hint = cost_hint;
+        self
+    }
+
+    /// Apply the combiner.
+    #[inline]
+    pub fn call(&self, a: &Value, b: &Value) -> Value {
+        (self.f)(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_ctx_binds_and_reads() {
+        let mut ctx = BroadcastCtx::new();
+        assert!(ctx.is_empty());
+        ctx.bind("w", Arc::new(vec![Value::from(1.0)]));
+        assert_eq!(ctx.len(), 1);
+        assert_eq!(ctx.get("w").unwrap().len(), 1);
+        assert!(ctx.get("missing").is_none());
+        assert!(ctx.get_or_empty("missing").is_empty());
+        assert_eq!(ctx.total_quanta(), 1);
+    }
+
+    #[test]
+    fn map_udf_with_ctx_sees_broadcasts() {
+        let udf = MapUdf::with_ctx("addw", |v, ctx| {
+            let w = ctx.get_or_empty("w");
+            let bias = w.first().and_then(Value::as_f64).unwrap_or(0.0);
+            Value::from(v.as_f64().unwrap_or(0.0) + bias)
+        });
+        let mut ctx = BroadcastCtx::new();
+        ctx.bind("w", Arc::new(vec![Value::from(10.0)]));
+        assert_eq!(udf.call(&Value::from(5.0), &ctx).as_f64(), Some(15.0));
+    }
+
+    #[test]
+    fn cmp_op_semantics_and_flip() {
+        let a = Value::from(1);
+        let b = Value::from(2);
+        assert!(CmpOp::Lt.eval(&a, &b));
+        assert!(!CmpOp::Gt.eval(&a, &b));
+        assert!(CmpOp::Ne.eval(&a, &b));
+        assert!(CmpOp::Eq.eval(&a, &a));
+        assert!(CmpOp::Le.eval(&a, &a));
+        assert!(CmpOp::Ge.eval(&b, &a));
+        // a op b == b op.flip() a for all pairs
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+            assert_eq!(op.eval(&a, &b), op.flip().eval(&b, &a), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn sarg_predicate_matches_closure() {
+        let sp = PredicateUdf::from_sarg(
+            "salary>100",
+            Sarg { field: 1, op: CmpOp::Gt, literal: Value::from(100) },
+        );
+        let row_hi = Value::tuple(vec![Value::from("a"), Value::from(150)]);
+        let row_lo = Value::tuple(vec![Value::from("b"), Value::from(50)]);
+        let ctx = BroadcastCtx::new();
+        assert!(sp.pred.call(&row_hi, &ctx));
+        assert!(!sp.pred.call(&row_lo, &ctx));
+        assert!(sp.sarg.eval(&row_hi));
+    }
+
+    #[test]
+    fn key_udf_field_and_identity() {
+        let row = Value::tuple(vec![Value::from("k"), Value::from(9)]);
+        assert_eq!(KeyUdf::field(0).call(&row).as_str(), Some("k"));
+        assert_eq!(KeyUdf::identity().call(&row), row);
+    }
+
+    #[test]
+    fn reduce_sum_handles_ints_and_floats() {
+        let s = ReduceUdf::sum();
+        assert_eq!(s.call(&Value::from(2), &Value::from(3)).as_int(), Some(5));
+        assert_eq!(
+            s.call(&Value::from(2.5), &Value::from(3)).as_f64(),
+            Some(5.5)
+        );
+    }
+
+    #[test]
+    fn cost_hints_attach() {
+        let m = MapUdf::new("m", |v| v.clone()).cost(4.0);
+        assert_eq!(m.cost_hint, 4.0);
+        let p = PredicateUdf::new("p", |_| true).cost(2.0);
+        assert_eq!(p.cost_hint, 2.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Power-law directed graph (DBpedia-pagelinks stand-in for CrocoPR).
+
+use rheem_core::value::Value;
+
+use crate::Rng;
+
+/// Generate a directed graph with `vertices` vertices and roughly
+/// `vertices * avg_degree` edges via preferential attachment (Barabási–
+/// Albert flavour): in-degree follows a power law like real link graphs.
+pub fn generate_graph(vertices: usize, avg_degree: usize, seed: u64) -> Vec<(i64, i64)> {
+    let mut rng = Rng::new(seed);
+    let vertices = vertices.max(2);
+    let mut edges: Vec<(i64, i64)> = Vec::with_capacity(vertices * avg_degree);
+    // Attachment pool: vertices appear proportionally to their in-degree.
+    let mut pool: Vec<i64> = vec![0, 1];
+    edges.push((0, 1));
+    for v in 1..vertices as i64 {
+        for _ in 0..avg_degree.max(1) {
+            // 80% preferential, 20% uniform (keeps the graph connected-ish).
+            let dst = if rng.unit() < 0.8 && !pool.is_empty() {
+                pool[rng.below(pool.len() as u64) as usize]
+            } else {
+                rng.below(vertices as u64) as i64
+            };
+            if dst != v {
+                edges.push((v, dst));
+                pool.push(dst);
+            }
+        }
+        pool.push(v);
+    }
+    edges
+}
+
+/// Edge list as quanta of `(src, dst)` pairs.
+pub fn edges_to_values(edges: &[(i64, i64)]) -> Vec<Value> {
+    edges
+        .iter()
+        .map(|&(s, d)| Value::pair(Value::from(s), Value::from(d)))
+        .collect()
+}
+
+/// Parse a `src<TAB>dst` line.
+pub fn line_to_edge(line: &str) -> Option<Value> {
+    let mut it = line.split_whitespace();
+    let s = it.next()?.parse::<i64>().ok()?;
+    let d = it.next()?.parse::<i64>().ok()?;
+    Some(Value::pair(Value::from(s), Value::from(d)))
+}
+
+/// Write an edge list file (`src<TAB>dst` per line).
+pub fn write_graph(path: &std::path::Path, edges: &[(i64, i64)]) -> std::io::Result<u64> {
+    rheem_storage::write_lines(path, edges.iter().map(|(s, d)| format!("{s}\t{d}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn graph_has_powerlaw_indegree() {
+        let edges = generate_graph(2000, 5, 5);
+        assert!(edges.len() > 5000);
+        let mut indeg: HashMap<i64, usize> = HashMap::new();
+        for &(_, d) in &edges {
+            *indeg.entry(d).or_default() += 1;
+        }
+        let max = *indeg.values().max().unwrap();
+        let mean = edges.len() as f64 / indeg.len() as f64;
+        // a hub should exist well above the mean
+        assert!(max as f64 > mean * 8.0, "max {max}, mean {mean}");
+        // no self loops
+        assert!(edges.iter().all(|&(s, d)| s != d));
+    }
+
+    #[test]
+    fn edge_serialization_roundtrip() {
+        let edges = generate_graph(50, 3, 1);
+        let vals = edges_to_values(&edges);
+        assert_eq!(vals.len(), edges.len());
+        let line = format!("{}\t{}", edges[0].0, edges[0].1);
+        let v = line_to_edge(&line).unwrap();
+        assert_eq!(v.field(0).as_int(), Some(edges[0].0));
+        assert!(line_to_edge("garbage").is_none());
+    }
+}

@@ -1,0 +1,77 @@
+//! Synthetic dataset generators standing in for the paper's workloads
+//! (Table 1 and §2): a Zipf-worded text corpus (Wikipedia abstracts), dense
+//! labelled points (HIGGS / rcv1 / synthetic SVM), a power-law link graph
+//! (DBpedia pagelinks), tax records with planted denial-constraint
+//! violations (the Tax dataset of \[31\]), and scaled TPC-H tables for Q5.
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod points;
+pub mod tax;
+pub mod text;
+pub mod tpch;
+
+pub use graph::generate_graph;
+pub use points::generate_points;
+pub use tax::generate_tax;
+pub use text::generate_text;
+
+/// Deterministic generator RNG shared by the modules (SplitMix64).
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded RNG.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next pseudo-random u64.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Approximately normal via sum of uniforms.
+    pub fn gaussian(&mut self) -> f64 {
+        (0..12).map(|_| self.unit()).sum::<f64>() - 6.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_uniformish() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = Rng::new(42);
+        let mean: f64 = (0..10_000).map(|_| r.unit()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "{mean}");
+        let g: f64 = (0..10_000).map(|_| r.gaussian()).sum::<f64>() / 10_000.0;
+        assert!(g.abs() < 0.1, "{g}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Labelled dense points (HIGGS / rcv1 / synthetic-SVM stand-ins for SGD).
+
+use rheem_core::value::Value;
+
+use crate::Rng;
+
+/// A generated classification dataset: linearly separable with noise, so
+/// SGD converges and the loss trajectory is meaningful.
+pub struct PointSet {
+    /// Quanta of shape `(label, f0, f1, …)` — label ∈ {-1, +1}.
+    pub points: Vec<Value>,
+    /// The true separating weights (for tests).
+    pub true_weights: Vec<f64>,
+}
+
+/// Generate `n` points of `dims` features.
+pub fn generate_points(n: usize, dims: usize, noise: f64, seed: u64) -> PointSet {
+    let mut rng = Rng::new(seed);
+    let true_weights: Vec<f64> = (0..dims).map(|_| rng.gaussian()).collect();
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        let features: Vec<f64> = (0..dims).map(|_| rng.gaussian()).collect();
+        let margin: f64 = features.iter().zip(&true_weights).map(|(x, w)| x * w).sum();
+        let label = if margin + noise * rng.gaussian() >= 0.0 { 1.0 } else { -1.0 };
+        let mut tuple = Vec::with_capacity(dims + 1);
+        tuple.push(Value::from(label));
+        tuple.extend(features.iter().map(|&f| Value::from(f)));
+        points.push(Value::tuple(tuple));
+    }
+    PointSet { points, true_weights }
+}
+
+/// Encode a point quantum as a CSV line (`label,f0,f1,…`).
+pub fn point_to_csv(p: &Value) -> String {
+    let fields = p.fields().unwrap_or(&[]);
+    let mut s = String::with_capacity(fields.len() * 8);
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("{}", f.as_f64().unwrap_or(0.0)));
+    }
+    s
+}
+
+/// Parse a CSV line back into a point quantum.
+pub fn csv_to_point(line: &str) -> Value {
+    Value::Tuple(
+        line.split(',')
+            .map(|t| Value::from(t.trim().parse::<f64>().unwrap_or(0.0)))
+            .collect::<Vec<_>>()
+            .into(),
+    )
+}
+
+/// Write a point set as a CSV file (local or `hdfs://`).
+pub fn write_points(
+    path: &std::path::Path,
+    set: &PointSet,
+) -> std::io::Result<u64> {
+    rheem_storage::write_lines(path, set.points.iter().map(point_to_csv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_have_shape_and_are_separable() {
+        let set = generate_points(2000, 4, 0.0, 3);
+        assert_eq!(set.points.len(), 2000);
+        assert_eq!(set.points[0].fields().unwrap().len(), 5);
+        // noiseless: the true weights classify everything correctly
+        for p in &set.points {
+            let f = p.fields().unwrap();
+            let label = f[0].as_f64().unwrap();
+            let margin: f64 = f[1..]
+                .iter()
+                .zip(&set.true_weights)
+                .map(|(x, w)| x.as_f64().unwrap() * w)
+                .sum();
+            assert!(label * margin >= 0.0);
+        }
+        // labels are reasonably balanced
+        let pos = set
+            .points
+            .iter()
+            .filter(|p| p.field(0).as_f64() == Some(1.0))
+            .count();
+        assert!(pos > 500 && pos < 1500, "{pos}");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let set = generate_points(5, 3, 0.1, 11);
+        for p in &set.points {
+            let line = point_to_csv(p);
+            let back = csv_to_point(&line);
+            let a = p.fields().unwrap();
+            let b = back.fields().unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x.as_f64().unwrap() - y.as_f64().unwrap()).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Tax records with planted denial-constraint violations (the Tax dataset
+//! of \[31\], driving BigDansing's error detection in Fig. 2(a)).
+//!
+//! The constraint: `∀t1,t2 ¬(t1.salary > t2.salary ∧ t1.tax < t2.tax)` —
+//! someone earning more must not pay less tax.
+
+use rheem_core::value::Value;
+
+use crate::Rng;
+
+/// Tuple layout of a tax record.
+pub mod fields {
+    /// Record id.
+    pub const ID: usize = 0;
+    /// Zip code.
+    pub const ZIP: usize = 1;
+    /// Salary.
+    pub const SALARY: usize = 2;
+    /// Tax paid.
+    pub const TAX: usize = 3;
+}
+
+/// Generate `n` tax records; a `violation_rate` fraction get a tax value
+/// inconsistent with the progressive schedule, planting detectable errors.
+pub fn generate_tax(n: usize, violation_rate: f64, seed: u64) -> Vec<Value> {
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|i| {
+            let salary = 20_000 + rng.below(180_000) as i64;
+            // Progressive schedule: tax strictly increases with salary.
+            let mut tax = salary / 5 + salary * salary / 40_000_000;
+            if rng.unit() < violation_rate {
+                // Plant a violation: dramatically underpaid tax.
+                tax = (tax / 10).max(1);
+            }
+            Value::tuple(vec![
+                Value::from(i),
+                Value::from(10_000 + rng.below(90_000) as i64),
+                Value::from(salary),
+                Value::from(tax),
+            ])
+        })
+        .collect()
+}
+
+/// Count true violating pairs by brute force (test oracle; O(n²)).
+pub fn count_violations_bruteforce(rows: &[Value]) -> usize {
+    let mut count = 0;
+    for t1 in rows {
+        for t2 in rows {
+            if t1.field(fields::SALARY) > t2.field(fields::SALARY)
+                && t1.field(fields::TAX) < t2.field(fields::TAX)
+            {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_data_has_few_violations() {
+        let rows = generate_tax(300, 0.0, 1);
+        // the schedule is monotone: salary> implies tax>=
+        assert_eq!(count_violations_bruteforce(&rows), 0);
+    }
+
+    #[test]
+    fn planted_violations_are_detectable() {
+        let rows = generate_tax(300, 0.1, 2);
+        assert!(count_violations_bruteforce(&rows) > 100);
+    }
+
+    #[test]
+    fn record_shape() {
+        let rows = generate_tax(10, 0.5, 3);
+        assert_eq!(rows.len(), 10);
+        for r in rows {
+            assert_eq!(r.fields().unwrap().len(), 4);
+            assert!(r.field(fields::SALARY).as_int().unwrap() >= 20_000);
+            assert!(r.field(fields::TAX).as_int().unwrap() > 0);
+        }
+    }
+}

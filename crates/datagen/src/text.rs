@@ -1,0 +1,111 @@
+//! Zipf-worded text corpus (the Wikipedia-abstracts stand-in for WordCount).
+
+use crate::Rng;
+
+/// Generate `lines` lines of ~`words_per_line` words drawn from a Zipf
+/// distribution over `vocab` distinct words — the skewed word-frequency
+/// shape WordCount's ReduceBy sees on real text.
+pub fn generate_text(lines: usize, words_per_line: usize, vocab: usize, seed: u64) -> Vec<String> {
+    let mut rng = Rng::new(seed);
+    let vocab = vocab.max(1);
+    // Precompute Zipf CDF (s = 1.07, like English).
+    let s = 1.07;
+    let weights: Vec<f64> = (1..=vocab).map(|r| 1.0 / (r as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(vocab);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let pick = |rng: &mut Rng| -> usize {
+        let u = rng.unit();
+        match cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => i.min(vocab - 1),
+        }
+    };
+    (0..lines)
+        .map(|_| {
+            let n = words_per_line.max(1) + (rng.below(5) as usize);
+            let mut line = String::with_capacity(n * 7);
+            for i in 0..n {
+                if i > 0 {
+                    line.push(' ');
+                }
+                line.push_str(&word_for(pick(&mut rng)));
+            }
+            line
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-word for a vocabulary rank.
+pub fn word_for(rank: usize) -> String {
+    const SYLLABLES: [&str; 16] = [
+        "ka", "ro", "mi", "ta", "ve", "lu", "so", "ne", "pa", "di", "gu", "fa", "zo", "be",
+        "ch", "xi",
+    ];
+    let mut r = rank + 1;
+    let mut w = String::new();
+    while r > 0 {
+        w.push_str(SYLLABLES[r % 16]);
+        r /= 16;
+    }
+    w
+}
+
+/// Write a corpus of roughly `target_kb` kilobytes to `path` (local or
+/// `hdfs://`). Returns the number of lines written.
+pub fn write_corpus(
+    path: &std::path::Path,
+    target_kb: usize,
+    seed: u64,
+) -> std::io::Result<usize> {
+    // ~60 bytes/line with 10 words/line.
+    let lines = (target_kb * 1024 / 60).max(1);
+    let corpus = generate_text(lines, 10, 50_000, seed);
+    rheem_storage::write_lines(path, corpus.iter())?;
+    Ok(corpus.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn corpus_is_skewed_and_deterministic() {
+        let a = generate_text(500, 10, 1000, 1);
+        let b = generate_text(500, 10, 1000, 1);
+        assert_eq!(a, b);
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for line in &a {
+            for w in line.split_whitespace() {
+                *counts.entry(w).or_default() += 1;
+            }
+        }
+        let total: usize = counts.values().sum();
+        let max = *counts.values().max().unwrap();
+        // Zipf: the top word should dominate well beyond uniform share.
+        assert!(max as f64 / total as f64 > 5.0 / 1000.0, "{max}/{total}");
+        assert!(counts.len() > 50);
+    }
+
+    #[test]
+    fn words_are_distinct_per_rank() {
+        let w: Vec<String> = (0..100).map(word_for).collect();
+        let set: std::collections::HashSet<_> = w.iter().collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn write_corpus_hits_target_size() {
+        let dir = std::env::temp_dir().join("rheem_datagen_text");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.txt");
+        let lines = write_corpus(&path, 32, 9).unwrap();
+        assert!(lines > 100);
+        let (bytes, _) = rheem_storage::stat(&path).unwrap();
+        assert!(bytes > 16 * 1024 && bytes < 96 * 1024, "{bytes}");
+    }
+}

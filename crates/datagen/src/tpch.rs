@@ -1,0 +1,240 @@
+//! Scaled TPC-H tables for Q5 and the Fig. 10(a) join subquery.
+//!
+//! Row counts follow TPC-H proportions, shrunk by `ROWS_DIVISOR` so a scale
+//! factor maps to laptop-sized data while preserving the relative table
+//! sizes that drive the polystore trade-offs of Fig. 2(d).
+
+use rheem_core::value::Value;
+
+use crate::Rng;
+
+/// Shrink factor from true TPC-H row counts (SF1 = 6M lineitems) to the
+/// reproduction's scale (SF1 = 60k lineitems).
+pub const ROWS_DIVISOR: usize = 100;
+
+/// Region names (TPC-H standard).
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// A generated TPC-H database.
+pub struct TpchData {
+    /// `(regionkey, name)`
+    pub region: Vec<Value>,
+    /// `(nationkey, name, regionkey)`
+    pub nation: Vec<Value>,
+    /// `(suppkey, name, nationkey)`
+    pub supplier: Vec<Value>,
+    /// `(custkey, name, nationkey)`
+    pub customer: Vec<Value>,
+    /// `(orderkey, custkey, orderyear)`
+    pub orders: Vec<Value>,
+    /// `(orderkey, suppkey, extendedprice, discount)`
+    pub lineitem: Vec<Value>,
+}
+
+/// Generate all six tables at scale factor `sf`.
+pub fn generate(sf: f64, seed: u64) -> TpchData {
+    let mut rng = Rng::new(seed);
+    let n_supplier = ((10_000.0 * sf) as usize / ROWS_DIVISOR).max(10);
+    let n_customer = ((150_000.0 * sf) as usize / ROWS_DIVISOR).max(20);
+    let n_orders = ((1_500_000.0 * sf) as usize / ROWS_DIVISOR).max(50);
+    let n_lineitem = ((6_000_000.0 * sf) as usize / ROWS_DIVISOR).max(150);
+    let nations = 25usize;
+
+    let region: Vec<Value> = REGIONS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| Value::tuple(vec![Value::from(i), Value::from(*name)]))
+        .collect();
+    let nation: Vec<Value> = (0..nations)
+        .map(|i| {
+            Value::tuple(vec![
+                Value::from(i),
+                Value::from(format!("NATION{i:02}")),
+                Value::from(i % 5),
+            ])
+        })
+        .collect();
+    let supplier: Vec<Value> = (0..n_supplier)
+        .map(|i| {
+            Value::tuple(vec![
+                Value::from(i),
+                Value::from(format!("Supplier#{i:06}")),
+                Value::from(rng.below(nations as u64) as i64),
+            ])
+        })
+        .collect();
+    let customer: Vec<Value> = (0..n_customer)
+        .map(|i| {
+            Value::tuple(vec![
+                Value::from(i),
+                Value::from(format!("Customer#{i:06}")),
+                Value::from(rng.below(nations as u64) as i64),
+            ])
+        })
+        .collect();
+    let orders: Vec<Value> = (0..n_orders)
+        .map(|i| {
+            Value::tuple(vec![
+                Value::from(i),
+                Value::from(rng.below(n_customer as u64) as i64),
+                Value::from(1992 + rng.below(7) as i64),
+            ])
+        })
+        .collect();
+    let lineitem: Vec<Value> = (0..n_lineitem)
+        .map(|_| {
+            Value::tuple(vec![
+                Value::from(rng.below(n_orders as u64) as i64),
+                Value::from(rng.below(n_supplier as u64) as i64),
+                Value::from((rng.below(90_000) + 1_000) as f64 / 100.0 * 100.0),
+                Value::from(rng.below(11) as f64 / 100.0),
+            ])
+        })
+        .collect();
+    TpchData { region, nation, supplier, customer, orders, lineitem }
+}
+
+/// Serialize any TPC-H row to a `|`-separated line (TPC-H's tbl format).
+pub fn row_to_line(v: &Value) -> String {
+    let fields = v.fields().unwrap_or(&[]);
+    fields
+        .iter()
+        .map(|f| f.to_string())
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// Parse a `|`-separated line back into a tuple, with each field parsed as
+/// int, then float, then string.
+pub fn line_to_row(line: &str) -> Value {
+    Value::Tuple(
+        line.split('|')
+            .map(|t| {
+                if let Ok(i) = t.parse::<i64>() {
+                    Value::from(i)
+                } else if let Ok(f) = t.parse::<f64>() {
+                    Value::from(f)
+                } else {
+                    Value::from(t)
+                }
+            })
+            .collect::<Vec<_>>()
+            .into(),
+    )
+}
+
+/// Reference Q5 implementation (single-threaded oracle for tests):
+/// revenue per nation for customers & suppliers of the same nation within
+/// `region_name`, orders from `year`.
+pub fn q5_reference(data: &TpchData, region_name: &str, year: i64) -> Vec<(String, f64)> {
+    use std::collections::HashMap;
+    let regionkey = data
+        .region
+        .iter()
+        .find(|r| r.field(1).as_str() == Some(region_name))
+        .and_then(|r| r.field(0).as_int())
+        .unwrap_or(-1);
+    let nations: HashMap<i64, String> = data
+        .nation
+        .iter()
+        .filter(|n| n.field(2).as_int() == Some(regionkey))
+        .map(|n| (n.field(0).as_int().unwrap(), n.field(1).as_str().unwrap().to_string()))
+        .collect();
+    let cust_nation: HashMap<i64, i64> = data
+        .customer
+        .iter()
+        .filter(|c| nations.contains_key(&c.field(2).as_int().unwrap()))
+        .map(|c| (c.field(0).as_int().unwrap(), c.field(2).as_int().unwrap()))
+        .collect();
+    let supp_nation: HashMap<i64, i64> = data
+        .supplier
+        .iter()
+        .filter(|s| nations.contains_key(&s.field(2).as_int().unwrap()))
+        .map(|s| (s.field(0).as_int().unwrap(), s.field(2).as_int().unwrap()))
+        .collect();
+    let order_cust: HashMap<i64, i64> = data
+        .orders
+        .iter()
+        .filter(|o| o.field(2).as_int() == Some(year))
+        .map(|o| (o.field(0).as_int().unwrap(), o.field(1).as_int().unwrap()))
+        .collect();
+    let mut revenue: HashMap<i64, f64> = HashMap::new();
+    for l in &data.lineitem {
+        let ok = l.field(0).as_int().unwrap();
+        let sk = l.field(1).as_int().unwrap();
+        let (Some(&ck), Some(&sn)) = (order_cust.get(&ok), supp_nation.get(&sk)) else {
+            continue;
+        };
+        let Some(&cn) = cust_nation.get(&ck) else { continue };
+        if cn != sn {
+            continue; // Q5: customer and supplier from the same nation
+        }
+        let price = l.field(2).as_f64().unwrap();
+        let disc = l.field(3).as_f64().unwrap();
+        *revenue.entry(cn).or_default() += price * (1.0 - disc);
+    }
+    let mut out: Vec<(String, f64)> = revenue
+        .into_iter()
+        .map(|(n, r)| (nations[&n].clone(), r))
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportions_follow_tpch() {
+        let d = generate(1.0, 42);
+        assert_eq!(d.region.len(), 5);
+        assert_eq!(d.nation.len(), 25);
+        assert_eq!(d.lineitem.len(), 60_000);
+        assert_eq!(d.orders.len(), 15_000);
+        assert_eq!(d.customer.len(), 1_500);
+        assert_eq!(d.supplier.len(), 100);
+        // sf scales linearly
+        let d01 = generate(0.1, 42);
+        assert_eq!(d01.lineitem.len(), 6_000);
+    }
+
+    #[test]
+    fn q5_reference_produces_asia_revenue() {
+        let d = generate(0.1, 7);
+        let rows = q5_reference(&d, "ASIA", 1995);
+        assert!(!rows.is_empty());
+        // sorted descending
+        assert!(rows.windows(2).all(|w| w[0].1 >= w[1].1));
+        // ASIA holds 5 of the 25 nations
+        assert!(rows.len() <= 5);
+        assert!(rows.iter().all(|(n, r)| n.starts_with("NATION") && *r > 0.0));
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let d = generate(0.05, 3);
+        let line = row_to_line(&d.lineitem[0]);
+        let back = line_to_row(&line);
+        assert_eq!(back.field(0).as_int(), d.lineitem[0].field(0).as_int());
+        assert!(
+            (back.field(2).as_f64().unwrap() - d.lineitem[0].field(2).as_f64().unwrap()).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn foreign_keys_are_valid() {
+        let d = generate(0.05, 9);
+        let n_orders = d.orders.len() as i64;
+        let n_supp = d.supplier.len() as i64;
+        for l in &d.lineitem {
+            assert!(l.field(0).as_int().unwrap() < n_orders);
+            assert!(l.field(1).as_int().unwrap() < n_supp);
+        }
+        let n_cust = d.customer.len() as i64;
+        for o in &d.orders {
+            assert!(o.field(1).as_int().unwrap() < n_cust);
+        }
+    }
+}

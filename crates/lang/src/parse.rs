@@ -1,0 +1,417 @@
+//! Recursive-descent parser and plan translator for RheemLatin.
+
+use std::collections::HashMap;
+
+use rheem_core::error::{Result, RheemError};
+use rheem_core::plan::{
+    DataQuanta, OperatorId, PlanBuilder, RheemPlan, SampleMethod, SampleSize,
+};
+use rheem_core::platform::PlatformId;
+use rheem_core::value::Value;
+
+use crate::token::{tokenize, Token};
+use crate::{UdfEntry, UdfRegistry};
+
+/// A parsed, translated program.
+pub struct Program {
+    /// The resulting Rheem plan.
+    pub plan: RheemPlan,
+    /// Sink operator ids by the variable name that was stored/collected.
+    pub sinks: HashMap<String, OperatorId>,
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Program({} ops, {} sinks)", self.plan.len(), self.sinks.len())
+    }
+}
+
+/// RheemLatin parser with a UDF registry and extensible keywords.
+pub struct Parser {
+    udfs: UdfRegistry,
+    aliases: HashMap<String, String>,
+}
+
+struct Ctx {
+    builder: PlanBuilder,
+    vars: HashMap<String, DataQuanta>,
+    sinks: HashMap<String, OperatorId>,
+}
+
+struct Cursor {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+    fn next(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+    fn expect(&mut self, want: &Token) -> Result<()> {
+        match self.next() {
+            Some(t) if &t == want => Ok(()),
+            other => Err(RheemError::Plan(format!(
+                "RheemLatin: expected {want:?}, found {other:?}"
+            ))),
+        }
+    }
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(RheemError::Plan(format!(
+                "RheemLatin: expected identifier, found {other:?}"
+            ))),
+        }
+    }
+    fn string(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(s),
+            other => Err(RheemError::Plan(format!(
+                "RheemLatin: expected string literal, found {other:?}"
+            ))),
+        }
+    }
+    fn int(&mut self) -> Result<i64> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(i),
+            other => Err(RheemError::Plan(format!(
+                "RheemLatin: expected integer, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Parser {
+    /// Parser over a UDF registry.
+    pub fn new(udfs: UdfRegistry) -> Self {
+        Self { udfs, aliases: HashMap::new() }
+    }
+
+    /// Add a keyword alias (`alias("tokenize", "flatmap")`), the paper's
+    /// configurable keyword extension.
+    pub fn alias(&mut self, new_keyword: &str, canonical: &str) -> &mut Self {
+        self.aliases.insert(new_keyword.to_string(), canonical.to_string());
+        self
+    }
+
+    fn canonical<'a>(&'a self, kw: &'a str) -> &'a str {
+        self.aliases.get(kw).map(String::as_str).unwrap_or(kw)
+    }
+
+    /// Parse and translate a program.
+    pub fn parse(&self, src: &str) -> Result<Program> {
+        let mut cur = Cursor { toks: tokenize(src)?, pos: 0 };
+        let mut ctx = Ctx {
+            builder: PlanBuilder::new(),
+            vars: HashMap::new(),
+            sinks: HashMap::new(),
+        };
+        while cur.peek().is_some() {
+            self.statement(&mut cur, &mut ctx)?;
+        }
+        let plan = ctx.builder.build()?;
+        Ok(Program { plan, sinks: ctx.sinks })
+    }
+
+    fn statement(&self, cur: &mut Cursor, ctx: &mut Ctx) -> Result<()> {
+        let first = cur.ident()?;
+        match self.canonical(&first) {
+            "store" => {
+                let var = cur.ident()?;
+                let path = cur.string()?;
+                let dq = lookup(ctx, &var)?;
+                let sink = dq.write_text_file(path);
+                ctx.sinks.insert(var, sink);
+                cur.expect(&Token::Semi)?;
+            }
+            "collect" => {
+                let var = cur.ident()?;
+                let dq = lookup(ctx, &var)?;
+                let sink = dq.collect();
+                ctx.sinks.insert(var, sink);
+                cur.expect(&Token::Semi)?;
+            }
+            name => {
+                // assignment: <var> = <expr> [modifiers] ;
+                let target = name.to_string();
+                cur.expect(&Token::Assign)?;
+                let dq = self.expression(cur, ctx)?;
+                let dq = self.modifiers(cur, ctx, dq)?;
+                ctx.vars.insert(target, dq);
+                cur.expect(&Token::Semi)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn udf_name(&self, cur: &mut Cursor) -> Result<String> {
+        cur.expect(&Token::LBrace)?;
+        let name = cur.ident()?;
+        cur.expect(&Token::RBrace)?;
+        Ok(name)
+    }
+
+    fn expression(&self, cur: &mut Cursor, ctx: &mut Ctx) -> Result<DataQuanta> {
+        let op = cur.ident()?;
+        match self.canonical(&op) {
+            "load" => {
+                let path = cur.string()?;
+                Ok(ctx.builder.read_text_file(path))
+            }
+            "table" => {
+                let name = cur.string()?;
+                Ok(ctx.builder.read_table(name))
+            }
+            "values" => {
+                let mut vals: Vec<Value> = Vec::new();
+                loop {
+                    match cur.peek() {
+                        Some(Token::Int(i)) => {
+                            vals.push(Value::from(*i));
+                            cur.next();
+                        }
+                        Some(Token::Float(f)) => {
+                            vals.push(Value::from(*f));
+                            cur.next();
+                        }
+                        Some(Token::Str(s)) => {
+                            vals.push(Value::from(s.clone()));
+                            cur.next();
+                        }
+                        _ => break,
+                    }
+                }
+                Ok(ctx.builder.collection(vals))
+            }
+            "map" | "flatmap" | "filter" => {
+                let kw = self.canonical(&op).to_string();
+                let input = lookup(ctx, &cur.ident()?)?;
+                cur.expect(&Token::Arrow)?;
+                let udf = self.udf_name(cur)?;
+                match (kw.as_str(), self.udfs.get(&udf)) {
+                    ("map", Some(UdfEntry::Map(u))) => Ok(input.map(u.clone())),
+                    ("flatmap", Some(UdfEntry::FlatMap(u))) => Ok(input.flat_map(u.clone())),
+                    ("filter", Some(UdfEntry::Predicate(u))) => Ok(input.filter(u.clone())),
+                    (_, None) => Err(RheemError::Plan(format!("unknown UDF '{udf}'"))),
+                    _ => Err(RheemError::Plan(format!(
+                        "UDF '{udf}' has the wrong kind for '{kw}'"
+                    ))),
+                }
+            }
+            "project" => {
+                let input = lookup(ctx, &cur.ident()?)?;
+                let mut fields = vec![cur.int()? as usize];
+                while cur.peek() == Some(&Token::Comma) {
+                    cur.next();
+                    fields.push(cur.int()? as usize);
+                }
+                Ok(input.project(fields))
+            }
+            "sample" => {
+                let input = lookup(ctx, &cur.ident()?)?;
+                let n = cur.int()?;
+                Ok(input.sample(SampleMethod::Random, SampleSize::Count(n as usize)))
+            }
+            "distinct" => Ok(lookup(ctx, &cur.ident()?)?.distinct()),
+            "count" => Ok(lookup(ctx, &cur.ident()?)?.count()),
+            "sort" => {
+                let input = lookup(ctx, &cur.ident()?)?;
+                cur.expect(&Token::Arrow)?;
+                let udf = self.udf_name(cur)?;
+                match self.udfs.get(&udf) {
+                    Some(UdfEntry::Key(k)) => Ok(input.sort_by(k.clone())),
+                    Some(_) => Err(RheemError::Plan(format!("'{udf}' is not a key UDF"))),
+                    None => Err(RheemError::Plan(format!("unknown UDF '{udf}'"))),
+                }
+            }
+            "reduce" => {
+                let input = lookup(ctx, &cur.ident()?)?;
+                cur.expect(&Token::Arrow)?;
+                let udf = self.udf_name(cur)?;
+                match self.udfs.get(&udf) {
+                    Some(UdfEntry::Reduce(r)) => Ok(input.reduce(r.clone())),
+                    Some(_) => Err(RheemError::Plan(format!("'{udf}' is not a combiner"))),
+                    None => Err(RheemError::Plan(format!("unknown UDF '{udf}'"))),
+                }
+            }
+            "reduceby" => {
+                let input = lookup(ctx, &cur.ident()?)?;
+                cur.expect(&Token::Arrow)?;
+                let key = self.udf_name(cur)?;
+                let agg = self.udf_name(cur)?;
+                match (self.udfs.get(&key), self.udfs.get(&agg)) {
+                    (Some(UdfEntry::Key(k)), Some(UdfEntry::Reduce(r))) => {
+                        Ok(input.reduce_by_key(k.clone(), r.clone()))
+                    }
+                    _ => Err(RheemError::Plan(format!(
+                        "reduceby needs a key UDF and a combiner: '{key}', '{agg}'"
+                    ))),
+                }
+            }
+            "union" => {
+                let a = lookup(ctx, &cur.ident()?)?;
+                let b = lookup(ctx, &cur.ident()?)?;
+                Ok(a.union(&b))
+            }
+            "join" => {
+                let a = lookup(ctx, &cur.ident()?)?;
+                let b = lookup(ctx, &cur.ident()?)?;
+                cur.expect(&Token::Arrow)?;
+                let k1 = self.udf_name(cur)?;
+                let k2 = self.udf_name(cur)?;
+                match (self.udfs.get(&k1), self.udfs.get(&k2)) {
+                    (Some(UdfEntry::Key(l)), Some(UdfEntry::Key(r))) => {
+                        Ok(a.join(&b, l.clone(), r.clone()))
+                    }
+                    _ => Err(RheemError::Plan("join needs two key UDFs".into())),
+                }
+            }
+            "pagerank" => {
+                let input = lookup(ctx, &cur.ident()?)?;
+                let iters = cur.int()?;
+                Ok(input.page_rank(iters as u32, 0.85))
+            }
+            "repeat" => {
+                // repeat <n> <initvar> { statements…; yield <var>; }
+                let n = cur.int()?;
+                let init = lookup(ctx, &cur.ident()?)?;
+                cur.expect(&Token::LBrace)?;
+                // Collect the body tokens up to the matching brace, then
+                // run them inside the loop closure.
+                let body_start = cur.pos;
+                let mut depth = 1;
+                while depth > 0 {
+                    match cur.next() {
+                        Some(Token::LBrace) => depth += 1,
+                        Some(Token::RBrace) => depth -= 1,
+                        None => {
+                            return Err(RheemError::Plan("unterminated repeat block".into()))
+                        }
+                        _ => {}
+                    }
+                }
+                let body_toks = cur.toks[body_start..cur.pos - 1].to_vec();
+                let mut err = None;
+                // The loop-head variable shadows the init variable name
+                // inside the body (Listing 1's `weights` rebind).
+                let init_name = find_var_name(ctx, &init);
+                let out = init.repeat(n as u32, |w| {
+                    let mut body_cur = Cursor { toks: body_toks.clone(), pos: 0 };
+                    if let Some(name) = &init_name {
+                        ctx.vars.insert(name.clone(), w.clone());
+                    }
+                    let mut yielded = None;
+                    while body_cur.peek().is_some() {
+                        // `yield <var>;` terminates the body
+                        if let Some(Token::Ident(id)) = body_cur.peek() {
+                            if id == "yield" {
+                                body_cur.next();
+                                match body_cur.ident().and_then(|v| lookup(ctx, &v)) {
+                                    Ok(dq) => yielded = Some(dq),
+                                    Err(e) => {
+                                        err = Some(e);
+                                        break;
+                                    }
+                                }
+                                let _ = body_cur.expect(&Token::Semi);
+                                continue;
+                            }
+                        }
+                        if let Err(e) = self.statement(&mut body_cur, ctx) {
+                            err = Some(e);
+                            break;
+                        }
+                    }
+                    yielded.unwrap_or_else(|| w.clone())
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+                Ok(out)
+            }
+            other => Err(RheemError::Plan(format!(
+                "RheemLatin: unknown operator keyword '{other}'"
+            ))),
+        }
+    }
+
+    /// Trailing `with platform '…'` / `with broadcast <var>` clauses.
+    fn modifiers(&self, cur: &mut Cursor, ctx: &mut Ctx, mut dq: DataQuanta) -> Result<DataQuanta> {
+        while let Some(Token::Ident(kw)) = cur.peek() {
+            if kw != "with" {
+                break;
+            }
+            cur.next();
+            let what = cur.ident()?;
+            match what.as_str() {
+                "platform" => {
+                    let name = cur.string()?;
+                    let id = platform_by_name(&name).ok_or_else(|| {
+                        RheemError::Plan(format!("unknown platform '{name}'"))
+                    })?;
+                    dq = dq.with_target_platform(id);
+                }
+                "broadcast" => {
+                    let var = cur.ident()?;
+                    let src = lookup(ctx, &var)?;
+                    dq = dq.broadcast(var.as_str(), &src);
+                }
+                "selectivity" => {
+                    let sel = match cur.next() {
+                        Some(Token::Float(f)) => f,
+                        Some(Token::Int(i)) => i as f64,
+                        other => {
+                            return Err(RheemError::Plan(format!(
+                                "bad selectivity: {other:?}"
+                            )))
+                        }
+                    };
+                    dq = dq.with_selectivity(sel);
+                }
+                other => {
+                    return Err(RheemError::Plan(format!(
+                        "unknown 'with {other}' clause"
+                    )))
+                }
+            }
+        }
+        Ok(dq)
+    }
+}
+
+fn lookup(ctx: &Ctx, var: &str) -> Result<DataQuanta> {
+    ctx.vars
+        .get(var)
+        .cloned()
+        .ok_or_else(|| RheemError::Plan(format!("unknown dataflow variable '{var}'")))
+}
+
+fn find_var_name(ctx: &Ctx, dq: &DataQuanta) -> Option<String> {
+    ctx.vars
+        .iter()
+        .find(|(_, v)| v.id() == dq.id())
+        .map(|(k, _)| k.clone())
+}
+
+/// Map user-facing platform names to ids (case-insensitive, accepts both
+/// the paper's names and our internal ids).
+pub fn platform_by_name(name: &str) -> Option<PlatformId> {
+    use rheem_core::platform::ids;
+    match name.to_ascii_lowercase().as_str() {
+        "javastreams" | "java.streams" | "java" => Some(ids::JAVA_STREAMS),
+        "spark" => Some(ids::SPARK),
+        "flink" => Some(ids::FLINK),
+        "postgres" | "postgresql" => Some(ids::POSTGRES),
+        "giraph" => Some(ids::GIRAPH),
+        "jgraph" => Some(ids::JGRAPH),
+        "graphchi" => Some(ids::GRAPHCHI),
+        _ => None,
+    }
+}

@@ -1,0 +1,149 @@
+//! Tokenizer for RheemLatin.
+
+use rheem_core::error::{Result, RheemError};
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Identifier / keyword.
+    Ident(String),
+    /// Single-quoted string literal (quotes stripped).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `=`
+    Assign,
+    /// `->`
+    Arrow,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+}
+
+/// Tokenize a source string. `--` comments run to end of line.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&'-') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '-' if bytes.get(i + 1) == Some(&'>') => {
+                out.push(Token::Arrow);
+                i += 2;
+            }
+            '=' => {
+                out.push(Token::Assign);
+                i += 1;
+            }
+            '{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != '\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(RheemError::Plan("unterminated string literal".into()));
+                }
+                out.push(Token::Str(bytes[start..j].iter().collect()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).map(|d| d.is_ascii_digit()).unwrap_or(false)) =>
+            {
+                let start = i;
+                i += 1;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || (bytes[i] == '.' && !is_float))
+                {
+                    if bytes[i] == '.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        RheemError::Plan(format!("bad float literal '{text}'"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        RheemError::Plan(format!("bad int literal '{text}'"))
+                    })?));
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '.') {
+                    i += 1;
+                }
+                out.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            other => {
+                return Err(RheemError::Plan(format!(
+                    "unexpected character '{other}' in RheemLatin source"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_statement() {
+        let toks = tokenize("ys = map xs -> {split}; -- comment\nstore ys 'out.txt';").unwrap();
+        assert_eq!(toks[0], Token::Ident("ys".into()));
+        assert_eq!(toks[1], Token::Assign);
+        assert_eq!(toks[4], Token::Arrow);
+        assert!(toks.contains(&Token::Str("out.txt".into())));
+        assert_eq!(toks.iter().filter(|t| **t == Token::Semi).count(), 2);
+    }
+
+    #[test]
+    fn numbers_and_negatives() {
+        let toks = tokenize("sample xs 100 0.5 -3").unwrap();
+        assert!(toks.contains(&Token::Int(100)));
+        assert!(toks.contains(&Token::Float(0.5)));
+        assert!(toks.contains(&Token::Int(-3)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("x = 'unterminated").is_err());
+        assert!(tokenize("x @ y").is_err());
+    }
+}

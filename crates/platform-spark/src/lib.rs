@@ -1,0 +1,1057 @@
+//! Spark platform simulacrum: a partitioned, multi-threaded batch engine
+//! with job-submission overheads, shuffle exchanges, caching and broadcast
+//! variables (§6's `Spark`).
+//!
+//! Operators execute **for real** over partitioned datasets (worker threads
+//! pull partitions off a shared queue); the measured per-partition times are
+//! composed into *virtual cluster time* via the platform profile's task-wave
+//! model, and shuffles/broadcasts add network-transfer terms. Channels:
+//! `spark.rdd` (consumed once — Spark recomputes lineage otherwise) and
+//! `spark.rdd.cached` (reusable, the `Cache` operator of Fig. 3(b)).
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rheem_core::channel::{kinds, ChannelData, ChannelDescriptor, ChannelKind};
+use rheem_core::cost::{linear_cpu, CostModel, Load};
+use rheem_core::error::{Result, RheemError};
+use rheem_core::exec::{dataset_bytes, ExecCtx, ExecutionOperator, OpMetrics};
+use rheem_core::kernels;
+use rheem_core::mapping::{upstream_chain, Candidate, FnMapping};
+use rheem_core::plan::{LogicalOp, OpKind, OperatorNode, RheemPlan};
+use rheem_core::platform::{ids, Platform, PlatformId};
+use rheem_core::registry::Registry;
+use rheem_core::udf::{BroadcastCtx, KeyUdf};
+use rheem_core::value::{Dataset, Value};
+
+/// The RDD channel: Spark's native dataset, consumed exactly once.
+pub const RDD: ChannelKind = ChannelKind("spark.rdd");
+/// A cached RDD: reusable across consumers (`RDD.cache()`).
+pub const RDD_CACHED: ChannelKind = ChannelKind("spark.rdd.cached");
+
+/// The Spark platform.
+#[derive(Default)]
+pub struct SparkPlatform;
+
+impl SparkPlatform {
+    /// Create the platform.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// Decide how many partitions a dataset of `n` quanta gets (HDFS-block-like
+/// splitting, capped by the configured parallelism).
+pub fn partition_count(n: usize, max_partitions: u32) -> usize {
+    ((n / 8_192) + 1).min(max_partitions.max(1) as usize)
+}
+
+/// Run `f` over each partition with a small worker pool; returns the output
+/// partitions and the measured per-partition times (ms).
+pub fn par_map_partitions<F>(parts: &[Dataset], f: F) -> Result<(Vec<Dataset>, Vec<f64>)>
+where
+    F: Fn(usize, &[Value]) -> Result<Vec<Value>> + Send + Sync,
+{
+    let n = parts.len();
+    let results: Vec<parking_lot::Mutex<Option<Result<(Dataset, f64)>>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = n.min(8).max(1);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let start = Instant::now();
+                let out = f(i, &parts[i]);
+                let ms = start.elapsed().as_secs_f64() * 1000.0;
+                *results[i].lock() = Some(out.map(|v| (Arc::new(v), ms)));
+            });
+        }
+    })
+    .map_err(|_| RheemError::Execution("spark worker panicked".into()))?;
+    let mut out_parts = Vec::with_capacity(n);
+    let mut times = Vec::with_capacity(n);
+    for r in results {
+        let (d, ms) = r.into_inner().expect("all partitions processed")?;
+        out_parts.push(d);
+        times.push(ms);
+    }
+    Ok((out_parts, times))
+}
+
+/// Hash-exchange: redistribute partitions by key into `n` output partitions
+/// (the shuffle). Returns the exchanged partitions and the bytes moved
+/// across the (virtual) network.
+pub fn shuffle(parts: &[Dataset], key: &KeyUdf, n: usize) -> (Vec<Dataset>, f64) {
+    let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); n.max(1)];
+    let mut bytes = 0.0;
+    for p in parts {
+        let partials = kernels::hash_partition(p, key, n.max(1));
+        for (i, mut bucket) in partials.into_iter().enumerate() {
+            bytes += dataset_bytes(&bucket);
+            buckets[i].append(&mut bucket);
+        }
+    }
+    // Roughly (1 - 1/nodes) of shuffled bytes cross machine boundaries.
+    (buckets.into_iter().map(Arc::new).collect(), bytes * 0.9)
+}
+
+fn flatten_parts(parts: &[Dataset]) -> Vec<Value> {
+    let total = parts.iter().map(|p| p.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend(p.iter().cloned());
+    }
+    out
+}
+
+/// A Spark execution operator: one logical operator or a fused narrow chain
+/// (Spark's stage pipelining).
+pub struct SparkOperator {
+    ops: Vec<LogicalOp>,
+    name: String,
+}
+
+impl SparkOperator {
+    /// Wrap a chain of logical operators (narrow chains fuse; wide
+    /// operators stand alone).
+    pub fn new(ops: Vec<LogicalOp>) -> Self {
+        let name = match ops.as_slice() {
+            [single] => format!("Spark{:?}", single.kind()),
+            _ => format!("SparkChain{}", ops.len()),
+        };
+        Self { ops, name }
+    }
+
+    fn input_partitions(&self, input: &ChannelData, max_parts: u32) -> Result<Vec<Dataset>> {
+        match input {
+            ChannelData::Partitions(p) => Ok(p.as_ref().clone()),
+            ChannelData::Collection(d) => {
+                let n = partition_count(d.len(), max_parts);
+                let chunk = d.len().div_ceil(n).max(1);
+                let parts: Vec<Dataset> =
+                    d.chunks(chunk).map(|c| Arc::new(c.to_vec())).collect();
+                Ok(if parts.is_empty() { vec![Arc::new(Vec::new())] } else { parts })
+            }
+            other => Err(RheemError::Execution(format!(
+                "spark operator expects an RDD, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Default per-quantum cycle costs on Spark (slightly higher than
+/// JavaStreams: serialization + task framework overhead per record).
+fn default_alpha(kind: OpKind) -> f64 {
+    match kind {
+        OpKind::Map => 220.0,
+        OpKind::FlatMap => 340.0,
+        OpKind::Filter | OpKind::SargFilter => 180.0,
+        OpKind::Project => 130.0,
+        OpKind::Sample => 90.0,
+        OpKind::SortBy => 1_200.0,
+        OpKind::Distinct => 500.0,
+        OpKind::Count => 40.0,
+        OpKind::GroupBy => 650.0,
+        OpKind::Reduce => 280.0,
+        OpKind::ReduceBy => 550.0,
+        OpKind::Union => 60.0,
+        OpKind::Join => 700.0,
+        OpKind::Cartesian => 120.0,
+        OpKind::InequalityJoin => 150.0,
+        OpKind::PageRank => 1_000.0,
+        OpKind::TextFileSource => 260.0,
+        _ => 140.0,
+    }
+}
+
+/// Whether an operator is *wide* (needs a shuffle) on Spark.
+fn is_wide(kind: OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::SortBy
+            | OpKind::Distinct
+            | OpKind::GroupBy
+            | OpKind::ReduceBy
+            | OpKind::Join
+            | OpKind::Cartesian
+            | OpKind::InequalityJoin
+            | OpKind::PageRank
+            | OpKind::Reduce
+            | OpKind::Count
+    )
+}
+
+impl ExecutionOperator for SparkOperator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn platform(&self) -> PlatformId {
+        ids::SPARK
+    }
+
+    fn accepted_inputs(&self, _slot: usize) -> Vec<ChannelKind> {
+        vec![RDD, RDD_CACHED]
+    }
+
+    fn output_kind(&self) -> ChannelKind {
+        RDD
+    }
+
+    fn load(&self, in_cards: &[f64], avg_bytes: f64, model: &CostModel) -> Load {
+        let c_in: f64 = in_cards.iter().sum();
+        let mut cycles = 0.0;
+        let mut net_bytes = 0.0;
+        let mut card = c_in;
+        for (i, op) in self.ops.iter().enumerate() {
+            let kind = op.kind();
+            let size = if matches!(kind, OpKind::Cartesian | OpKind::InequalityJoin) {
+                in_cards.iter().product::<f64>().max(card)
+            } else if kind == OpKind::SortBy {
+                card * card.max(2.0).log2()
+            } else if kind == OpKind::PageRank {
+                card * 12.0
+            } else {
+                card
+            };
+            let delta = if i == 0 { 20_000.0 } else { 0.0 };
+            cycles += linear_cpu(
+                model,
+                "spark",
+                kind.token(),
+                size,
+                op.udf_cost_hint() * 50.0,
+                default_alpha(kind),
+                delta,
+            );
+            if is_wide(kind) {
+                net_bytes += card * avg_bytes * 0.9;
+            }
+            card *= match kind {
+                OpKind::Filter | OpKind::SargFilter => 0.5,
+                OpKind::FlatMap => 4.0,
+                OpKind::ReduceBy | OpKind::GroupBy | OpKind::Distinct => 0.5,
+                OpKind::Count | OpKind::Reduce => 0.0,
+                _ => 1.0,
+            };
+        }
+        Load {
+            cpu_cycles: cycles,
+            net_bytes,
+            tasks: partition_count(c_in as usize, 80) as u32,
+            ..Load::default()
+        }
+    }
+
+    fn execute(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        inputs: &[ChannelData],
+        bc: &BroadcastCtx,
+    ) -> Result<ChannelData> {
+        let profile = ctx.profile(ids::SPARK).clone();
+        let seed = ctx.seed;
+        let iteration = ctx.iteration;
+
+        // Broadcast variables ship once per executor node (~10 nodes).
+        if !bc.is_empty() {
+            let bytes: f64 = bc.total_quanta() as f64 * 24.0;
+            ctx.add_virtual_ms(profile.net_ms(bytes * 10.0) + 1.0);
+        }
+
+        let mut parts: Vec<Dataset> = if self.ops[0].kind().is_source() {
+            Vec::new()
+        } else {
+            self.input_partitions(&inputs[0], profile.partitions)?
+        };
+        let in_card: u64 = parts.iter().map(|p| p.len() as u64).sum::<u64>()
+            + inputs.get(1).and_then(|c| c.cardinality()).unwrap_or(0) as u64;
+        let mut virtual_ms = 0.0;
+        let mut real_ms = 0.0;
+
+        for op in &self.ops {
+            match op {
+                // ---- narrow transformations: pipelined per partition ----
+                LogicalOp::Map(_)
+                | LogicalOp::FlatMap(_)
+                | LogicalOp::Filter(_)
+                | LogicalOp::Project { .. }
+                | LogicalOp::SargFilter { .. } => {
+                    let (out, times) = par_map_partitions(&parts, |_i, data| {
+                        Ok(match op {
+                            LogicalOp::Map(udf) => kernels::map(data, udf, bc),
+                            LogicalOp::FlatMap(udf) => kernels::flat_map(data, udf, bc),
+                            LogicalOp::Filter(p) => kernels::filter(data, p, bc),
+                            LogicalOp::SargFilter { pred, .. } => kernels::filter(data, pred, bc),
+                            LogicalOp::Project { fields } => kernels::project(data, fields),
+                            _ => unreachable!(),
+                        })
+                    })?;
+                    parts = out;
+                    virtual_ms += profile.parallel_ms(&times);
+                    real_ms += times.iter().sum::<f64>();
+                }
+                LogicalOp::Sample { method, size, seed: s } => {
+                    let total: usize = parts.iter().map(|p| p.len()).sum();
+                    let want = size.resolve(total);
+                    let base_seed = s.unwrap_or(seed) ^ iteration.wrapping_mul(0x9E37_79B9);
+                    let (out, times) = par_map_partitions(&parts, |i, data| {
+                        let share = if total == 0 {
+                            0
+                        } else {
+                            (want * data.len()).div_ceil(total.max(1))
+                        };
+                        Ok(kernels::sample(
+                            data,
+                            *method,
+                            rheem_core::plan::SampleSize::Count(share),
+                            base_seed.wrapping_add(i as u64),
+                        ))
+                    })?;
+                    parts = out;
+                    virtual_ms += profile.parallel_ms(&times);
+                    real_ms += times.iter().sum::<f64>();
+                }
+                LogicalOp::Union => {
+                    let other = self.input_partitions(&inputs[1], profile.partitions)?;
+                    parts.extend(other);
+                }
+                // ---- wide operators: shuffle then per-partition work ----
+                LogicalOp::ReduceBy { key, agg } => {
+                    let start = Instant::now();
+                    // map-side combine
+                    let (combined, t1) =
+                        par_map_partitions(&parts, |_i, d| Ok(kernels::reduce_by(d, key, agg)))?;
+                    let n = combined.len();
+                    let (exchanged, bytes) = shuffle(&combined, key, n);
+                    let (out, t2) = par_map_partitions(&exchanged, |_i, d| {
+                        Ok(kernels::reduce_by(d, key, agg))
+                    })?;
+                    parts = out;
+                    virtual_ms += profile.parallel_ms(&t1)
+                        + profile.net_ms(bytes)
+                        + profile.parallel_ms(&t2);
+                    real_ms += start.elapsed().as_secs_f64() * 1000.0;
+                }
+                LogicalOp::GroupBy(key) => {
+                    let start = Instant::now();
+                    let n = parts.len();
+                    let (exchanged, bytes) = shuffle(&parts, key, n);
+                    let (out, t) =
+                        par_map_partitions(&exchanged, |_i, d| Ok(kernels::group_by(d, key)))?;
+                    parts = out;
+                    virtual_ms += profile.net_ms(bytes) + profile.parallel_ms(&t);
+                    real_ms += start.elapsed().as_secs_f64() * 1000.0;
+                }
+                LogicalOp::Distinct => {
+                    let start = Instant::now();
+                    let n = parts.len();
+                    let (exchanged, bytes) = shuffle(&parts, &KeyUdf::identity(), n);
+                    let (out, t) =
+                        par_map_partitions(&exchanged, |_i, d| Ok(kernels::distinct(d)))?;
+                    parts = out;
+                    virtual_ms += profile.net_ms(bytes) + profile.parallel_ms(&t);
+                    real_ms += start.elapsed().as_secs_f64() * 1000.0;
+                }
+                LogicalOp::SortBy(key) => {
+                    // sort partitions, then merge and re-split contiguously
+                    // (range partitioning analogue).
+                    let start = Instant::now();
+                    let (sorted, t) =
+                        par_map_partitions(&parts, |_i, d| Ok(kernels::sort_by(d, key)))?;
+                    let mut all = flatten_parts(&sorted);
+                    all = kernels::sort_by(&all, key);
+                    let bytes = dataset_bytes(&all) * 0.9;
+                    let n = parts.len();
+                    let chunk = all.len().div_ceil(n.max(1)).max(1);
+                    parts = all.chunks(chunk).map(|c| Arc::new(c.to_vec())).collect();
+                    if parts.is_empty() {
+                        parts.push(Arc::new(Vec::new()));
+                    }
+                    virtual_ms += profile.parallel_ms(&t) + profile.net_ms(bytes);
+                    real_ms += start.elapsed().as_secs_f64() * 1000.0;
+                }
+                LogicalOp::Count => {
+                    let start = Instant::now();
+                    let total: usize = parts.iter().map(|p| p.len()).sum();
+                    parts = vec![Arc::new(vec![Value::from(total)])];
+                    virtual_ms += profile.task_overhead_ms * 2.0;
+                    real_ms += start.elapsed().as_secs_f64() * 1000.0;
+                }
+                LogicalOp::Reduce(agg) => {
+                    let start = Instant::now();
+                    let (partials, t) =
+                        par_map_partitions(&parts, |_i, d| Ok(kernels::reduce(d, agg)))?;
+                    let all = flatten_parts(&partials);
+                    parts = vec![Arc::new(kernels::reduce(&all, agg))];
+                    virtual_ms += profile.parallel_ms(&t) + profile.task_overhead_ms;
+                    real_ms += start.elapsed().as_secs_f64() * 1000.0;
+                }
+                LogicalOp::Join { left_key, right_key } => {
+                    let start = Instant::now();
+                    let right = self.input_partitions(&inputs[1], profile.partitions)?;
+                    let n = parts.len().max(right.len());
+                    let (le, b1) = shuffle(&parts, left_key, n);
+                    let (re, b2) = shuffle(&right, right_key, n);
+                    let (out, t) = par_map_partitions(&le, |i, d| {
+                        Ok(kernels::hash_join(d, &re[i], left_key, right_key))
+                    })?;
+                    parts = out;
+                    virtual_ms += profile.net_ms(b1 + b2) + profile.parallel_ms(&t);
+                    real_ms += start.elapsed().as_secs_f64() * 1000.0;
+                }
+                LogicalOp::Cartesian | LogicalOp::InequalityJoin { .. } => {
+                    let start = Instant::now();
+                    let right = self.input_partitions(&inputs[1], profile.partitions)?;
+                    let right_all = Arc::new(flatten_parts(&right));
+                    let bytes = dataset_bytes(&right_all) * parts.len() as f64 * 0.9;
+                    let (out, t) = par_map_partitions(&parts, |_i, d| {
+                        Ok(match op {
+                            LogicalOp::Cartesian => kernels::cartesian(d, &right_all),
+                            LogicalOp::InequalityJoin { conds } => {
+                                kernels::ineq_join_nested(d, &right_all, conds)
+                            }
+                            _ => unreachable!(),
+                        })
+                    })?;
+                    parts = out;
+                    virtual_ms += profile.net_ms(bytes) + profile.parallel_ms(&t);
+                    real_ms += start.elapsed().as_secs_f64() * 1000.0;
+                    let out_bytes: f64 = parts.iter().map(|p| dataset_bytes(p)).sum();
+                    ctx.check_mem(ids::SPARK, out_bytes)?;
+                }
+                LogicalOp::PageRank { iterations, damping } => {
+                    let start = Instant::now();
+                    // Distributed PageRank: the shared kernel computes the
+                    // result; per-iteration contribution shuffles and task
+                    // dispatch are charged to the virtual clock.
+                    let edges = flatten_parts(&parts);
+                    let t0 = Instant::now();
+                    let ranks = pagerank_kernel(&edges, *iterations, *damping);
+                    let compute_ms = t0.elapsed().as_secs_f64() * 1000.0;
+                    let per_iter_bytes = dataset_bytes(&edges) * 0.5;
+                    let n = parts.len();
+                    virtual_ms += compute_ms * profile.cpu_scale / profile.cores.max(1) as f64
+                        + *iterations as f64
+                            * (profile.net_ms(per_iter_bytes)
+                                + profile.task_overhead_ms * n as f64
+                                    / profile.cores.max(1) as f64);
+                    let chunk = ranks.len().div_ceil(n.max(1)).max(1);
+                    parts = ranks.chunks(chunk).map(|c| Arc::new(c.to_vec())).collect();
+                    if parts.is_empty() {
+                        parts.push(Arc::new(Vec::new()));
+                    }
+                    real_ms += start.elapsed().as_secs_f64() * 1000.0;
+                }
+                LogicalOp::TextFileSource { path } => {
+                    let start = Instant::now();
+                    let (bytes, store) = rheem_storage::stat(path).map_err(RheemError::Io)?;
+                    let lines = rheem_storage::read_partitioned(
+                        path,
+                        partition_count((bytes / 40).max(1) as usize, profile.partitions),
+                    )
+                    .map_err(RheemError::Io)?;
+                    parts = lines
+                        .into_iter()
+                        .map(|ls| Arc::new(ls.into_iter().map(Value::from).collect::<Vec<_>>()))
+                        .collect();
+                    let read_ms = rheem_storage::default_costs(store).read_ms(bytes);
+                    virtual_ms += read_ms
+                        + profile.task_overhead_ms * parts.len() as f64
+                            / profile.cores.max(1) as f64;
+                    real_ms += start.elapsed().as_secs_f64() * 1000.0;
+                }
+                other => {
+                    return Err(RheemError::Unsupported(format!(
+                        "Spark cannot execute {:?}",
+                        other.kind()
+                    )))
+                }
+            }
+        }
+
+        let out_card: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        ctx.record(OpMetrics {
+            name: self.name.clone(),
+            platform: ids::SPARK,
+            in_card,
+            out_card,
+            virtual_ms,
+            real_ms,
+        });
+        Ok(ChannelData::Partitions(Arc::new(parts)))
+    }
+}
+
+/// The standard damped power-iteration PageRank kernel (identical results
+/// on every platform simulacrum).
+pub fn pagerank_kernel(edges: &[Value], iterations: u32, damping: f64) -> Vec<Value> {
+    use std::collections::{HashMap, HashSet};
+    let mut out_deg: HashMap<i64, f64> = HashMap::new();
+    let mut incoming: HashMap<i64, Vec<i64>> = HashMap::new();
+    let mut vertices: Vec<i64> = Vec::new();
+    let mut seen = HashSet::new();
+    for e in edges {
+        let (s, d) = (e.field(0).as_int().unwrap_or(0), e.field(1).as_int().unwrap_or(0));
+        *out_deg.entry(s).or_default() += 1.0;
+        incoming.entry(d).or_default().push(s);
+        for v in [s, d] {
+            if seen.insert(v) {
+                vertices.push(v);
+            }
+        }
+    }
+    let n = vertices.len().max(1) as f64;
+    let mut rank: HashMap<i64, f64> = vertices.iter().map(|&v| (v, 1.0 / n)).collect();
+    for _ in 0..iterations {
+        let mut next = HashMap::with_capacity(rank.len());
+        for &v in &vertices {
+            let sum: f64 = incoming
+                .get(&v)
+                .map(|srcs| srcs.iter().map(|s| rank[s] / out_deg[s]).sum())
+                .unwrap_or(0.0);
+            next.insert(v, (1.0 - damping) / n + damping * sum);
+        }
+        rank = next;
+    }
+    vertices
+        .iter()
+        .map(|&v| Value::pair(Value::from(v), Value::from(rank[&v])))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Conversion operators
+// ---------------------------------------------------------------------------
+
+/// `RDD -> cached RDD` (Fig. 3(b)'s Cache operator): makes the channel
+/// reusable for multiple consumers / loop iterations.
+pub struct SparkCache;
+
+impl ExecutionOperator for SparkCache {
+    fn name(&self) -> &str {
+        "SparkCache"
+    }
+    fn platform(&self) -> PlatformId {
+        ids::SPARK
+    }
+    fn accepted_inputs(&self, _slot: usize) -> Vec<ChannelKind> {
+        vec![RDD]
+    }
+    fn output_kind(&self) -> ChannelKind {
+        RDD_CACHED
+    }
+    fn load(&self, in_cards: &[f64], avg_bytes: f64, model: &CostModel) -> Load {
+        let c = in_cards.first().copied().unwrap_or(0.0);
+        Load {
+            cpu_cycles: linear_cpu(model, "spark", "cache", c, 0.0, 30.0, 5_000.0),
+            mem_bytes: c * avg_bytes,
+            tasks: partition_count(c as usize, 80) as u32,
+            ..Load::default()
+        }
+    }
+    fn execute(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        inputs: &[ChannelData],
+        _bc: &BroadcastCtx,
+    ) -> Result<ChannelData> {
+        let parts = inputs[0].as_partitions()?.clone();
+        let bytes: f64 = parts.iter().map(|p| dataset_bytes(p)).sum();
+        ctx.check_mem(ids::SPARK, bytes)?;
+        let card = inputs[0].cardinality().unwrap_or(0) as u64;
+        ctx.record(OpMetrics {
+            name: "SparkCache".into(),
+            platform: ids::SPARK,
+            in_card: card,
+            out_card: card,
+            virtual_ms: 0.2 + bytes / 1e9,
+            real_ms: 0.0,
+        });
+        Ok(ChannelData::Partitions(parts))
+    }
+}
+
+/// A cached RDD serves anywhere a plain RDD is accepted (zero-cost view).
+pub struct SparkUncache;
+
+impl ExecutionOperator for SparkUncache {
+    fn name(&self) -> &str {
+        "SparkUncache"
+    }
+    fn platform(&self) -> PlatformId {
+        ids::SPARK
+    }
+    fn accepted_inputs(&self, _slot: usize) -> Vec<ChannelKind> {
+        vec![RDD_CACHED]
+    }
+    fn output_kind(&self) -> ChannelKind {
+        RDD
+    }
+    fn load(&self, _in: &[f64], _b: f64, _m: &CostModel) -> Load {
+        Load::default()
+    }
+    fn execute(
+        &self,
+        _ctx: &mut ExecCtx<'_>,
+        inputs: &[ChannelData],
+        _bc: &BroadcastCtx,
+    ) -> Result<ChannelData> {
+        Ok(inputs[0].clone())
+    }
+}
+
+/// `RDD -> driver collection` (`RDD.collect()`, which the paper found faster
+/// than `toLocalIterator`).
+pub struct SparkCollect;
+
+impl ExecutionOperator for SparkCollect {
+    fn name(&self) -> &str {
+        "SparkCollect"
+    }
+    fn platform(&self) -> PlatformId {
+        ids::SPARK
+    }
+    fn accepted_inputs(&self, _slot: usize) -> Vec<ChannelKind> {
+        vec![RDD, RDD_CACHED]
+    }
+    fn output_kind(&self) -> ChannelKind {
+        kinds::COLLECTION
+    }
+    fn load(&self, in_cards: &[f64], avg_bytes: f64, model: &CostModel) -> Load {
+        let c = in_cards.first().copied().unwrap_or(0.0);
+        Load {
+            cpu_cycles: linear_cpu(model, "spark", "collect", c, 0.0, 60.0, 10_000.0),
+            net_bytes: c * avg_bytes * 0.9,
+            tasks: 1,
+            ..Load::default()
+        }
+    }
+    fn execute(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        inputs: &[ChannelData],
+        _bc: &BroadcastCtx,
+    ) -> Result<ChannelData> {
+        let data = inputs[0].flatten()?;
+        let profile = ctx.profile(ids::SPARK);
+        let net = profile.net_ms(dataset_bytes(&data) * 0.9);
+        ctx.record(OpMetrics {
+            name: "SparkCollect".into(),
+            platform: ids::SPARK,
+            in_card: data.len() as u64,
+            out_card: data.len() as u64,
+            virtual_ms: net + 0.5,
+            real_ms: 0.0,
+        });
+        Ok(ChannelData::Collection(data))
+    }
+}
+
+/// `driver collection -> RDD` (`sc.parallelize`).
+pub struct SparkParallelize;
+
+impl ExecutionOperator for SparkParallelize {
+    fn name(&self) -> &str {
+        "SparkParallelize"
+    }
+    fn platform(&self) -> PlatformId {
+        ids::SPARK
+    }
+    fn accepted_inputs(&self, _slot: usize) -> Vec<ChannelKind> {
+        vec![kinds::COLLECTION]
+    }
+    fn output_kind(&self) -> ChannelKind {
+        RDD
+    }
+    fn load(&self, in_cards: &[f64], avg_bytes: f64, model: &CostModel) -> Load {
+        let c = in_cards.first().copied().unwrap_or(0.0);
+        Load {
+            cpu_cycles: linear_cpu(model, "spark", "parallelize", c, 0.0, 50.0, 10_000.0),
+            net_bytes: c * avg_bytes * 0.9,
+            tasks: 1,
+            ..Load::default()
+        }
+    }
+    fn execute(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        inputs: &[ChannelData],
+        _bc: &BroadcastCtx,
+    ) -> Result<ChannelData> {
+        let data = inputs[0].flatten()?;
+        let profile = ctx.profile(ids::SPARK);
+        let n = partition_count(data.len(), profile.partitions);
+        let chunk = data.len().div_ceil(n).max(1);
+        let parts: Vec<Dataset> = data.chunks(chunk).map(|c| Arc::new(c.to_vec())).collect();
+        let parts = if parts.is_empty() { vec![Arc::new(Vec::new())] } else { parts };
+        let net = profile.net_ms(dataset_bytes(&data) * 0.9);
+        ctx.record(OpMetrics {
+            name: "SparkParallelize".into(),
+            platform: ids::SPARK,
+            in_card: data.len() as u64,
+            out_card: data.len() as u64,
+            virtual_ms: net + 0.5,
+            real_ms: 0.0,
+        });
+        Ok(ChannelData::Partitions(Arc::new(parts)))
+    }
+}
+
+/// `RDD -> HDFS file` (`saveAsTextFile`): used when downstream platforms
+/// read from the file system, and by the Musketeer baseline which
+/// materializes between every stage.
+pub struct SparkSaveTextFile {
+    dir: std::path::PathBuf,
+    counter: AtomicUsize,
+}
+
+impl SparkSaveTextFile {
+    /// Writer into a scratch directory; each execution gets a fresh file.
+    pub fn new(dir: impl Into<std::path::PathBuf>) -> Self {
+        Self { dir: dir.into(), counter: AtomicUsize::new(0) }
+    }
+}
+
+impl ExecutionOperator for SparkSaveTextFile {
+    fn name(&self) -> &str {
+        "SparkSaveTextFile"
+    }
+    fn platform(&self) -> PlatformId {
+        ids::SPARK
+    }
+    fn accepted_inputs(&self, _slot: usize) -> Vec<ChannelKind> {
+        vec![RDD, RDD_CACHED]
+    }
+    fn output_kind(&self) -> ChannelKind {
+        kinds::HDFS_FILE
+    }
+    fn load(&self, in_cards: &[f64], avg_bytes: f64, model: &CostModel) -> Load {
+        let c = in_cards.first().copied().unwrap_or(0.0);
+        Load {
+            cpu_cycles: linear_cpu(model, "spark", "savetext", c, 0.0, 220.0, 15_000.0),
+            disk_bytes: c * avg_bytes,
+            tasks: partition_count(c as usize, 80) as u32,
+            ..Load::default()
+        }
+    }
+    fn execute(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        inputs: &[ChannelData],
+        _bc: &BroadcastCtx,
+    ) -> Result<ChannelData> {
+        let data = inputs[0].flatten()?;
+        let id = self.counter.fetch_add(1, Ordering::Relaxed);
+        let path = std::path::PathBuf::from(format!(
+            "hdfs://{}/part-{id:05}.txt",
+            self.dir.display()
+        ));
+        let bytes = rheem_storage::write_lines(&path, data.iter().map(|v| v.to_string()))
+            .map_err(RheemError::Io)?;
+        let write_ms =
+            rheem_storage::default_costs(rheem_storage::StoreKind::Hdfs).write_ms(bytes);
+        ctx.record(OpMetrics {
+            name: "SparkSaveTextFile".into(),
+            platform: ids::SPARK,
+            in_card: data.len() as u64,
+            out_card: data.len() as u64,
+            virtual_ms: write_ms,
+            real_ms: 0.0,
+        });
+        Ok(ChannelData::File(Arc::new(path)))
+    }
+}
+
+/// `file -> RDD` (`sc.textFile` over an existing file channel).
+pub struct SparkReadTextFile;
+
+impl ExecutionOperator for SparkReadTextFile {
+    fn name(&self) -> &str {
+        "SparkReadTextFile"
+    }
+    fn platform(&self) -> PlatformId {
+        ids::SPARK
+    }
+    fn accepted_inputs(&self, _slot: usize) -> Vec<ChannelKind> {
+        vec![kinds::HDFS_FILE, kinds::LOCAL_FILE]
+    }
+    fn output_kind(&self) -> ChannelKind {
+        RDD
+    }
+    fn load(&self, in_cards: &[f64], avg_bytes: f64, model: &CostModel) -> Load {
+        let c = in_cards.first().copied().unwrap_or(0.0);
+        Load {
+            cpu_cycles: linear_cpu(model, "spark", "readtext", c, 0.0, 260.0, 15_000.0),
+            disk_bytes: c * avg_bytes,
+            tasks: partition_count(c as usize, 80) as u32,
+            ..Load::default()
+        }
+    }
+    fn execute(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        inputs: &[ChannelData],
+        _bc: &BroadcastCtx,
+    ) -> Result<ChannelData> {
+        let path = inputs[0].as_file()?.clone();
+        let profile = ctx.profile(ids::SPARK);
+        let (bytes, store) = rheem_storage::stat(&path).map_err(RheemError::Io)?;
+        let lines = rheem_storage::read_partitioned(
+            &path,
+            partition_count((bytes / 40).max(1) as usize, profile.partitions),
+        )
+        .map_err(RheemError::Io)?;
+        let parts: Vec<Dataset> = lines
+            .into_iter()
+            .map(|ls| Arc::new(ls.into_iter().map(Value::from).collect::<Vec<_>>()))
+            .collect();
+        let out_card: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        let read_ms = rheem_storage::default_costs(store).read_ms(bytes);
+        ctx.record(OpMetrics {
+            name: "SparkReadTextFile".into(),
+            platform: ids::SPARK,
+            in_card: 0,
+            out_card,
+            virtual_ms: read_ms,
+            real_ms: 0.0,
+        });
+        Ok(ChannelData::Partitions(Arc::new(parts)))
+    }
+}
+
+/// Operator kinds Spark implements (everything JavaStreams has, plus the
+/// parallel text source; loops stay with the driver).
+pub fn supported(kind: OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::Map
+            | OpKind::FlatMap
+            | OpKind::Filter
+            | OpKind::Project
+            | OpKind::SargFilter
+            | OpKind::Sample
+            | OpKind::SortBy
+            | OpKind::Distinct
+            | OpKind::Count
+            | OpKind::GroupBy
+            | OpKind::Reduce
+            | OpKind::ReduceBy
+            | OpKind::Union
+            | OpKind::Join
+            | OpKind::Cartesian
+            | OpKind::InequalityJoin
+            | OpKind::PageRank
+            | OpKind::TextFileSource
+    )
+}
+
+impl Platform for SparkPlatform {
+    fn id(&self) -> PlatformId {
+        ids::SPARK
+    }
+
+    fn register(&self, registry: &mut Registry) {
+        registry.add_channel(ChannelDescriptor { kind: RDD, reusable: false });
+        registry.add_channel(ChannelDescriptor { kind: RDD_CACHED, reusable: true });
+        registry.add_conversion(RDD, RDD_CACHED, Arc::new(SparkCache));
+        registry.add_conversion(RDD_CACHED, RDD, Arc::new(SparkUncache));
+        registry.add_conversion(RDD, kinds::COLLECTION, Arc::new(SparkCollect));
+        registry.add_conversion(RDD_CACHED, kinds::COLLECTION, Arc::new(SparkCollect));
+        registry.add_conversion(kinds::COLLECTION, RDD, Arc::new(SparkParallelize));
+        registry.add_conversion(
+            RDD,
+            kinds::HDFS_FILE,
+            Arc::new(SparkSaveTextFile::new("spark_scratch")),
+        );
+        registry.add_conversion(kinds::HDFS_FILE, RDD, Arc::new(SparkReadTextFile));
+        registry.add_conversion(kinds::LOCAL_FILE, RDD, Arc::new(SparkReadTextFile));
+
+        // 1-to-1 mappings.
+        registry.add_mapping(Arc::new(FnMapping(
+            |_plan: &RheemPlan, node: &OperatorNode| {
+                if !supported(node.op.kind()) {
+                    return vec![];
+                }
+                vec![Candidate::single(
+                    node.id,
+                    Arc::new(SparkOperator::new(vec![node.op.clone()])) as _,
+                )]
+            },
+        )));
+        // Narrow-chain fusion (stage pipelining).
+        registry.add_mapping(Arc::new(FnMapping(
+            |plan: &RheemPlan, node: &OperatorNode| {
+                let fusable = |n: &OperatorNode| {
+                    matches!(
+                        n.op.kind(),
+                        OpKind::Map | OpKind::FlatMap | OpKind::Filter | OpKind::Project
+                    )
+                };
+                if !fusable(node) {
+                    return vec![];
+                }
+                let chain = upstream_chain(plan, node, fusable);
+                if chain.len() < 2 {
+                    return vec![];
+                }
+                let ops: Vec<LogicalOp> =
+                    chain.iter().map(|&id| plan.node(id).op.clone()).collect();
+                vec![Candidate { covers: chain, exec: Arc::new(SparkOperator::new(ops)) as _ }]
+            },
+        )));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rheem_core::api::RheemContext;
+    use rheem_core::plan::PlanBuilder;
+    use rheem_core::udf::{FlatMapUdf, MapUdf, ReduceUdf};
+
+    fn ctx() -> RheemContext {
+        RheemContext::new().with_platform(&SparkPlatform::new())
+    }
+
+    fn sum_udf() -> ReduceUdf {
+        ReduceUdf::new("sum", |a, b| {
+            Value::pair(
+                a.field(0).clone(),
+                Value::from(a.field(1).as_int().unwrap() + b.field(1).as_int().unwrap()),
+            )
+        })
+    }
+
+    #[test]
+    fn wordcount_on_spark_only() {
+        let mut b = PlanBuilder::new();
+        let sink = b
+            .collection(vec![Value::from("x y x"), Value::from("y x z")])
+            .flat_map(FlatMapUdf::new("split", |v| {
+                v.as_str().unwrap().split_whitespace().map(Value::from).collect()
+            }))
+            .map(MapUdf::new("pair", |w| Value::pair(w.clone(), Value::from(1))))
+            .reduce_by_key(KeyUdf::field(0), sum_udf())
+            .collect();
+        let plan = b.build().unwrap();
+        let result = ctx().execute(&plan).unwrap();
+        let data = result.sink(sink).unwrap();
+        assert_eq!(data.len(), 3);
+        let x = data.iter().find(|v| v.field(0).as_str() == Some("x")).unwrap();
+        assert_eq!(x.field(1).as_int(), Some(3));
+        // Spark overhead shows up in virtual time (startup + stages).
+        assert!(result.metrics.virtual_ms > 1000.0, "{}", result.metrics.virtual_ms);
+    }
+
+    #[test]
+    fn shuffle_preserves_all_records() {
+        let parts: Vec<Dataset> = (0..4)
+            .map(|p| {
+                Arc::new(
+                    (0..100i64)
+                        .map(|i| Value::pair(Value::from(i % 7), Value::from(p * 100 + i)))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let (exchanged, bytes) = shuffle(&parts, &KeyUdf::field(0), 4);
+        assert_eq!(exchanged.iter().map(|p| p.len()).sum::<usize>(), 400);
+        assert!(bytes > 0.0);
+        // same key never splits across partitions
+        for key in 0..7i64 {
+            let holders = exchanged
+                .iter()
+                .filter(|p| p.iter().any(|v| v.field(0).as_int() == Some(key)))
+                .count();
+            assert_eq!(holders, 1, "key {key}");
+        }
+    }
+
+    #[test]
+    fn join_matches_expected_cardinality() {
+        let mut b = PlanBuilder::new();
+        let left = b.collection(
+            (0..50i64)
+                .map(|i| Value::pair(Value::from(i % 5), Value::from(i)))
+                .collect::<Vec<_>>(),
+        );
+        let right = b.collection(
+            (0..20i64)
+                .map(|i| Value::pair(Value::from(i % 5), Value::from(100 + i)))
+                .collect::<Vec<_>>(),
+        );
+        let sink = left.join(&right, KeyUdf::field(0), KeyUdf::field(0)).collect();
+        let plan = b.build().unwrap();
+        let result = ctx().execute(&plan).unwrap();
+        // 50 left rows × 4 matches each
+        assert_eq!(result.sink(sink).unwrap().len(), 200);
+    }
+
+    #[test]
+    fn sort_produces_global_order() {
+        let mut b = PlanBuilder::new();
+        let sink = b
+            .collection((0..500i64).rev().map(Value::from).collect::<Vec<_>>())
+            .sort_by(KeyUdf::identity())
+            .collect();
+        let plan = b.build().unwrap();
+        let result = ctx().execute(&plan).unwrap();
+        let data = result.sink(sink).unwrap();
+        assert_eq!(data.len(), 500);
+        assert!(data.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn partition_count_scales() {
+        assert_eq!(partition_count(100, 80), 1);
+        assert!(partition_count(1_000_000, 80) > 1);
+        assert!(partition_count(100_000_000, 80) <= 80);
+    }
+
+    #[test]
+    fn cache_rejects_over_memory() {
+        let mut profiles = rheem_core::platform::Profiles::bare();
+        profiles.get_mut(ids::SPARK).mem_mb = 0.0001;
+        let mut ecx = ExecCtx::new(&profiles, 0);
+        let parts = ChannelData::Partitions(Arc::new(vec![Arc::new(
+            (0..10_000i64).map(Value::from).collect::<Vec<_>>(),
+        )]));
+        let r = SparkCache.execute(&mut ecx, &[parts], &BroadcastCtx::new());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn collect_and_parallelize_roundtrip() {
+        let profiles = rheem_core::platform::Profiles::paper_testbed();
+        let mut ecx = ExecCtx::new(&profiles, 0);
+        let coll =
+            ChannelData::Collection(Arc::new((0..1000i64).map(Value::from).collect::<Vec<_>>()));
+        let rdd = SparkParallelize.execute(&mut ecx, &[coll], &BroadcastCtx::new()).unwrap();
+        assert_eq!(rdd.cardinality(), Some(1000));
+        let back = SparkCollect.execute(&mut ecx, &[rdd], &BroadcastCtx::new()).unwrap();
+        assert_eq!(back.flatten().unwrap().len(), 1000);
+    }
+
+    #[test]
+    fn pagerank_runs_distributed() {
+        let mut b = PlanBuilder::new();
+        let edges: Vec<Value> = (0..100i64)
+            .map(|i| Value::pair(Value::from(i % 10), Value::from((i + 1) % 10)))
+            .collect();
+        let sink = b.collection(edges).page_rank(5, 0.85).collect();
+        let plan = b.build().unwrap();
+        let result = ctx().execute(&plan).unwrap();
+        let ranks = result.sink(sink).unwrap();
+        assert_eq!(ranks.len(), 10);
+        let total: f64 = ranks.iter().map(|r| r.field(1).as_f64().unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+}

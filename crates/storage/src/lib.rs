@@ -1,0 +1,251 @@
+//! Storage substrate for rheem-rs: the local filesystem plus an **HDFS
+//! simulacrum**.
+//!
+//! The paper stores its datasets on HDFS and moves data between stores and
+//! engines; the movement cost is a first-class concern of the optimizer.
+//! Here, `hdfs://…` URIs resolve into a sandbox directory on the local
+//! disk, and every open/read/write carries a *cost descriptor* (per-open
+//! latency, bandwidth) that engines convert into virtual cluster time. Data
+//! and results are always real — only the clock is modeled.
+
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use parking_lot::RwLock;
+
+/// Which store a path belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// The plain local filesystem.
+    Local,
+    /// The HDFS simulacrum (distributed file system of the testbed).
+    Hdfs,
+}
+
+/// Per-store access-cost model (virtual milliseconds).
+#[derive(Clone, Copy, Debug)]
+pub struct StoreCosts {
+    /// Fixed cost per file open (namenode round trip for HDFS).
+    pub open_ms: f64,
+    /// Sequential read bandwidth, MB/s (aggregate).
+    pub read_mb_per_sec: f64,
+    /// Sequential write bandwidth, MB/s (aggregate; HDFS replication makes
+    /// writes slower than reads).
+    pub write_mb_per_sec: f64,
+}
+
+impl StoreCosts {
+    /// Virtual ms to read `bytes` including the open cost.
+    pub fn read_ms(&self, bytes: u64) -> f64 {
+        self.open_ms + bytes as f64 / (self.read_mb_per_sec * 1024.0 * 1024.0) * 1000.0
+    }
+
+    /// Virtual ms to write `bytes` including the open cost.
+    pub fn write_ms(&self, bytes: u64) -> f64 {
+        self.open_ms + bytes as f64 / (self.write_mb_per_sec * 1024.0 * 1024.0) * 1000.0
+    }
+}
+
+/// Defaults mirroring the paper's testbed (SATA disks, 1 GbE, 10 nodes):
+/// HDFS reads stream from many disks in parallel but pay a namenode round
+/// trip; the local FS is a single SATA disk.
+pub fn default_costs(kind: StoreKind) -> StoreCosts {
+    match kind {
+        StoreKind::Local => StoreCosts {
+            open_ms: 0.05,
+            read_mb_per_sec: 120.0,
+            write_mb_per_sec: 100.0,
+        },
+        StoreKind::Hdfs => StoreCosts {
+            open_ms: 2.0,
+            read_mb_per_sec: 800.0,
+            write_mb_per_sec: 300.0,
+        },
+    }
+}
+
+static HDFS_ROOT: OnceLock<RwLock<PathBuf>> = OnceLock::new();
+
+fn hdfs_root_lock() -> &'static RwLock<PathBuf> {
+    HDFS_ROOT.get_or_init(|| {
+        RwLock::new(std::env::temp_dir().join("rheem_hdfs"))
+    })
+}
+
+/// Set the sandbox directory backing `hdfs://` URIs.
+pub fn set_hdfs_root(path: impl Into<PathBuf>) {
+    *hdfs_root_lock().write() = path.into();
+}
+
+/// The sandbox directory backing `hdfs://` URIs.
+pub fn hdfs_root() -> PathBuf {
+    hdfs_root_lock().read().clone()
+}
+
+/// A resolved file: where it really lives and which store it models.
+#[derive(Clone, Debug)]
+pub struct Resolved {
+    /// Real path on the local machine.
+    pub real: PathBuf,
+    /// Which store the URI addressed.
+    pub store: StoreKind,
+}
+
+/// Resolve a path or URI. `hdfs://x/y` maps into the HDFS sandbox;
+/// everything else is local.
+pub fn resolve(path: &Path) -> Resolved {
+    let s = path.to_string_lossy();
+    if let Some(rest) = s.strip_prefix("hdfs://") {
+        Resolved { real: hdfs_root().join(rest), store: StoreKind::Hdfs }
+    } else if let Some(rest) = s.strip_prefix("file://") {
+        Resolved { real: PathBuf::from(rest), store: StoreKind::Local }
+    } else {
+        Resolved { real: path.to_path_buf(), store: StoreKind::Local }
+    }
+}
+
+/// Size and store of a file (for cardinality estimation and cost models).
+pub fn stat(path: &Path) -> io::Result<(u64, StoreKind)> {
+    let r = resolve(path);
+    Ok((fs::metadata(&r.real)?.len(), r.store))
+}
+
+/// Read a whole text file as lines.
+pub fn read_lines(path: &Path) -> io::Result<Vec<String>> {
+    let r = resolve(path);
+    let f = fs::File::open(&r.real)?;
+    BufReader::new(f).lines().collect()
+}
+
+/// Read the first `max_bytes` of a file (cardinality sampling probes).
+pub fn read_head(path: &Path, max_bytes: usize) -> io::Result<Vec<u8>> {
+    let r = resolve(path);
+    let mut f = fs::File::open(&r.real)?;
+    let mut buf = vec![0u8; max_bytes];
+    let n = f.read(&mut buf)?;
+    buf.truncate(n);
+    Ok(buf)
+}
+
+/// Write lines to a text file, creating parent directories.
+pub fn write_lines<S: AsRef<str>>(path: &Path, lines: impl IntoIterator<Item = S>) -> io::Result<u64> {
+    let r = resolve(path);
+    if let Some(parent) = r.real.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut w = BufWriter::new(fs::File::create(&r.real)?);
+    let mut bytes = 0u64;
+    for line in lines {
+        let line = line.as_ref();
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+        bytes += line.len() as u64 + 1;
+    }
+    w.flush()?;
+    Ok(bytes)
+}
+
+/// Split a text file into `n` byte-range partitions aligned to line breaks,
+/// the way HDFS splits drive task parallelism. Returns the lines per
+/// partition.
+pub fn read_partitioned(path: &Path, n: usize) -> io::Result<Vec<Vec<String>>> {
+    let lines = read_lines(path)?;
+    Ok(partition_lines(lines, n))
+}
+
+/// Deal a line vector into `n` contiguous chunks of near-equal size.
+pub fn partition_lines(lines: Vec<String>, n: usize) -> Vec<Vec<String>> {
+    let n = n.max(1);
+    let total = lines.len();
+    let base = total / n;
+    let extra = total % n;
+    let mut out = Vec::with_capacity(n);
+    let mut iter = lines.into_iter();
+    for i in 0..n {
+        let take = base + usize::from(i < extra);
+        out.push(iter.by_ref().take(take).collect());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sandbox() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rheem_storage_test_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn local_roundtrip_and_stat() {
+        let dir = sandbox();
+        let p = dir.join("t.txt");
+        let bytes = write_lines(&p, ["a", "bb", "ccc"]).unwrap();
+        assert_eq!(bytes, 2 + 3 + 4);
+        let lines = read_lines(&p).unwrap();
+        assert_eq!(lines, vec!["a", "bb", "ccc"]);
+        let (sz, kind) = stat(&p).unwrap();
+        assert_eq!(sz, bytes);
+        assert_eq!(kind, StoreKind::Local);
+    }
+
+    #[test]
+    fn hdfs_uri_resolves_into_sandbox() {
+        let dir = sandbox();
+        set_hdfs_root(&dir);
+        let uri = PathBuf::from("hdfs://deep/nested/data.txt");
+        write_lines(&uri, ["x"]).unwrap();
+        let r = resolve(&uri);
+        assert_eq!(r.store, StoreKind::Hdfs);
+        assert!(r.real.starts_with(&dir));
+        assert_eq!(read_lines(&uri).unwrap(), vec!["x"]);
+        let (_, kind) = stat(&uri).unwrap();
+        assert_eq!(kind, StoreKind::Hdfs);
+    }
+
+    #[test]
+    fn file_uri_strips_scheme() {
+        let r = resolve(Path::new("file:///tmp/x"));
+        assert_eq!(r.store, StoreKind::Local);
+        assert_eq!(r.real, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn head_probe_truncates() {
+        let dir = sandbox();
+        let p = dir.join("head.txt");
+        write_lines(&p, vec!["0123456789"; 100]).unwrap();
+        let head = read_head(&p, 64).unwrap();
+        assert_eq!(head.len(), 64);
+    }
+
+    #[test]
+    fn partitioning_balances_lines() {
+        let lines: Vec<String> = (0..10).map(|i| i.to_string()).collect();
+        let parts = partition_lines(lines, 3);
+        assert_eq!(parts.len(), 3);
+        let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        // order preserved
+        assert_eq!(parts[0][0], "0");
+        // degenerate cases
+        assert_eq!(partition_lines(vec![], 4).len(), 4);
+        assert_eq!(partition_lines(vec!["a".into()], 0).len(), 1);
+    }
+
+    #[test]
+    fn store_costs_scale() {
+        let hdfs = default_costs(StoreKind::Hdfs);
+        let local = default_costs(StoreKind::Local);
+        assert!(hdfs.open_ms > local.open_ms);
+        assert!(hdfs.read_ms(100 << 20) < local.read_ms(100 << 20)); // parallel disks win at volume
+        assert!(hdfs.write_ms(1 << 20) > hdfs.read_ms(1 << 20) - hdfs.open_ms); // replication
+    }
+}

@@ -1,0 +1,497 @@
+//! xDB's declarative layer: a small SQL subset compiled to Rheem plans.
+//!
+//! Supported shape:
+//! `SELECT cols | SUM(col) | COUNT(*) FROM table [WHERE col op literal]
+//!  [GROUP BY col] [ORDER BY col [DESC]] [LIMIT n]`
+//!
+//! Column names resolve against the registered relational store's schema;
+//! `WHERE` becomes a sargable filter (so the optimizer can choose an index
+//! scan), aggregation becomes `ReduceBy`, and the whole plan remains
+//! platform-agnostic: xDB's optimizer *produces a plan to be executed in
+//! Rheem* (§2.3) — Rheem decides where it runs.
+
+use std::sync::Arc;
+
+use platform_postgres::PgDatabase;
+use rheem_core::error::{Result, RheemError};
+use rheem_core::plan::{OperatorId, PlanBuilder, RheemPlan, SampleMethod, SampleSize};
+use rheem_core::udf::{CmpOp, KeyUdf, MapUdf, PredicateUdf, ReduceUdf, Sarg};
+use rheem_core::value::Value;
+
+/// A parsed query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Projected columns (by name); empty = `*`.
+    pub select: Vec<String>,
+    /// Aggregate: `(function, column)`; only with GROUP BY or alone.
+    pub aggregate: Option<(AggFn, String)>,
+    /// Source table.
+    pub table: String,
+    /// Optional equi-join: `JOIN table ON left.col = right.col`.
+    pub join: Option<JoinSpec>,
+    /// WHERE predicate.
+    pub filter: Option<(String, CmpOp, Value)>,
+    /// GROUP BY column.
+    pub group_by: Option<String>,
+    /// ORDER BY `(column, descending)`.
+    pub order_by: Option<(String, bool)>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+}
+
+/// An equi-join clause.
+#[derive(Debug, Clone)]
+pub struct JoinSpec {
+    /// The right-hand table.
+    pub table: String,
+    /// Qualified left key, e.g. `emp.dept`.
+    pub left_key: String,
+    /// Qualified right key, e.g. `dept.id`.
+    pub right_key: String,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// `SUM(col)`
+    Sum,
+    /// `COUNT(*)`
+    Count,
+}
+
+fn split_tokens(sql: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in sql.chars() {
+        match c {
+            '\'' => {
+                cur.push(c);
+                in_str = !in_str;
+            }
+            c if in_str => cur.push(c),
+            ',' | '(' | ')' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                out.push(c.to_string());
+            }
+            c if c.is_whitespace() || c == ';' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_literal(tok: &str) -> Value {
+    if tok.starts_with('\'') {
+        Value::from(tok.trim_matches('\''))
+    } else if let Ok(i) = tok.parse::<i64>() {
+        Value::from(i)
+    } else if let Ok(f) = tok.parse::<f64>() {
+        Value::from(f)
+    } else {
+        Value::from(tok)
+    }
+}
+
+/// Parse the SQL subset.
+pub fn parse(sql: &str) -> Result<Query> {
+    let toks = split_tokens(sql);
+    let mut i = 0usize;
+    let eq = |a: &str, b: &str| a.eq_ignore_ascii_case(b);
+    let err = |m: &str| RheemError::Plan(format!("xDB SQL: {m}"));
+
+    if toks.is_empty() || !eq(&toks[0], "select") {
+        return Err(err("expected SELECT"));
+    }
+    i += 1;
+    let mut select = Vec::new();
+    let mut aggregate = None;
+    while i < toks.len() && !eq(&toks[i], "from") {
+        match toks[i].as_str() {
+            "," => i += 1,
+            t if eq(t, "sum") || eq(t, "count") => {
+                let f = if eq(t, "sum") { AggFn::Sum } else { AggFn::Count };
+                if toks.get(i + 1).map(String::as_str) != Some("(") {
+                    return Err(err("expected ( after aggregate"));
+                }
+                let col = toks.get(i + 2).cloned().ok_or_else(|| err("bad aggregate"))?;
+                if toks.get(i + 3).map(String::as_str) != Some(")") {
+                    return Err(err("expected ) after aggregate"));
+                }
+                aggregate = Some((f, col));
+                i += 4;
+            }
+            t if t == "*" => {
+                i += 1;
+            }
+            t => {
+                select.push(t.to_string());
+                i += 1;
+            }
+        }
+    }
+    if i >= toks.len() {
+        return Err(err("expected FROM"));
+    }
+    i += 1; // FROM
+    let table = toks.get(i).cloned().ok_or_else(|| err("expected table name"))?;
+    i += 1;
+
+    let mut join = None;
+    if toks.get(i).map(|t| eq(t, "join")).unwrap_or(false) {
+        let rtable = toks.get(i + 1).cloned().ok_or_else(|| err("bad JOIN table"))?;
+        if !eq(toks.get(i + 2).map(String::as_str).unwrap_or(""), "on") {
+            return Err(err("expected ON after JOIN"));
+        }
+        let lk = toks.get(i + 3).cloned().ok_or_else(|| err("bad JOIN key"))?;
+        if toks.get(i + 4).map(String::as_str) != Some("=") {
+            return Err(err("only equi-joins are supported (ON a.x = b.y)"));
+        }
+        let rk = toks.get(i + 5).cloned().ok_or_else(|| err("bad JOIN key"))?;
+        join = Some(JoinSpec { table: rtable, left_key: lk, right_key: rk });
+        i += 6;
+    }
+
+    let mut q = Query {
+        select,
+        aggregate,
+        table,
+        join,
+        filter: None,
+        group_by: None,
+        order_by: None,
+        limit: None,
+    };
+    while i < toks.len() {
+        match toks[i].to_ascii_lowercase().as_str() {
+            "where" => {
+                let col = toks.get(i + 1).cloned().ok_or_else(|| err("bad WHERE"))?;
+                let op = match toks.get(i + 2).map(String::as_str) {
+                    Some("<") => CmpOp::Lt,
+                    Some("<=") => CmpOp::Le,
+                    Some(">") => CmpOp::Gt,
+                    Some(">=") => CmpOp::Ge,
+                    Some("=") => CmpOp::Eq,
+                    Some("<>") | Some("!=") => CmpOp::Ne,
+                    other => return Err(err(&format!("bad WHERE operator {other:?}"))),
+                };
+                let lit = parse_literal(toks.get(i + 3).ok_or_else(|| err("bad WHERE literal"))?);
+                q.filter = Some((col, op, lit));
+                i += 4;
+            }
+            "group" => {
+                if !eq(toks.get(i + 1).map(String::as_str).unwrap_or(""), "by") {
+                    return Err(err("expected GROUP BY"));
+                }
+                q.group_by = Some(toks.get(i + 2).cloned().ok_or_else(|| err("bad GROUP BY"))?);
+                i += 3;
+            }
+            "order" => {
+                if !eq(toks.get(i + 1).map(String::as_str).unwrap_or(""), "by") {
+                    return Err(err("expected ORDER BY"));
+                }
+                let col = toks.get(i + 2).cloned().ok_or_else(|| err("bad ORDER BY"))?;
+                let desc = toks
+                    .get(i + 3)
+                    .map(|t| eq(t, "desc"))
+                    .unwrap_or(false);
+                q.order_by = Some((col, desc));
+                i += if desc { 4 } else { 3 };
+            }
+            "limit" => {
+                q.limit = Some(
+                    toks.get(i + 1)
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("bad LIMIT"))?,
+                );
+                i += 2;
+            }
+            other => return Err(err(&format!("unexpected token '{other}'"))),
+        }
+    }
+    Ok(q)
+}
+
+/// Compile a parsed query into a Rheem plan (schema resolved against the
+/// store). Returns the plan and the result sink.
+pub fn compile(db: &Arc<PgDatabase>, q: &Query) -> Result<(RheemPlan, OperatorId)> {
+    let columns = db
+        .columns(&q.table)
+        .ok_or_else(|| RheemError::Plan(format!("xDB: unknown table '{}'", q.table)))?;
+
+    let mut b = PlanBuilder::new();
+    let mut dq = b.read_table(q.table.clone());
+    // Schema after the FROM (+ optional JOIN): joined schemas concatenate
+    // with table-qualified names.
+    let mut schema: Vec<String> = columns.iter().map(|c| format!("{}.{c}", q.table)).collect();
+    schema.extend(columns.iter().cloned()); // bare names resolve too (left wins)
+    let bare_len = columns.len();
+
+    if let Some(join) = &q.join {
+        let rcolumns = db.columns(&join.table).ok_or_else(|| {
+            RheemError::Plan(format!("xDB: unknown table '{}'", join.table))
+        })?;
+        let lkey = columns
+            .iter()
+            .position(|c| {
+                join.left_key.eq_ignore_ascii_case(&format!("{}.{c}", q.table))
+                    || join.left_key.eq_ignore_ascii_case(c)
+            })
+            .ok_or_else(|| RheemError::Plan(format!("xDB: bad join key '{}'", join.left_key)))?;
+        let rkey = rcolumns
+            .iter()
+            .position(|c| {
+                join.right_key.eq_ignore_ascii_case(&format!("{}.{c}", join.table))
+                    || join.right_key.eq_ignore_ascii_case(c)
+            })
+            .ok_or_else(|| RheemError::Plan(format!("xDB: bad join key '{}'", join.right_key)))?;
+        let rdq = b.read_table(join.table.clone());
+        let lwidth = columns.len();
+        let rwidth = rcolumns.len();
+        dq = dq
+            .join(&rdq, KeyUdf::field(lkey), KeyUdf::field(rkey))
+            .map(MapUdf::new("flatten_join", move |pair| {
+                let mut out = Vec::with_capacity(lwidth + rwidth);
+                for i in 0..lwidth {
+                    out.push(pair.field(0).field(i).clone());
+                }
+                for i in 0..rwidth {
+                    out.push(pair.field(1).field(i).clone());
+                }
+                Value::Tuple(out.into())
+            }));
+        // combined schema: l.qualified…, r.qualified… (bare left names kept
+        // at their original positions conceptually via resolution below)
+        schema = columns.iter().map(|c| format!("{}.{c}", q.table)).collect();
+        schema.extend(rcolumns.iter().map(|c| format!("{}.{c}", join.table)));
+    }
+
+    let resolve = |name: &str| -> Result<usize> {
+        if q.join.is_none() {
+            if let Some(i) = columns.iter().position(|c| c.eq_ignore_ascii_case(name)) {
+                return Ok(i);
+            }
+        }
+        schema
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+            .map(|i| if q.join.is_none() && i >= bare_len { i - bare_len } else { i })
+            .ok_or_else(|| RheemError::Plan(format!("xDB: unknown column '{name}'")))
+    };
+
+    if let Some((col, op, lit)) = &q.filter {
+        let field = resolve(col)?;
+        let sarg = Sarg { field, op: *op, literal: lit.clone() };
+        let s2 = sarg.clone();
+        if q.join.is_none() {
+            dq = dq.filter_sarg(
+                PredicateUdf::new(format!("where_{col}"), move |v| s2.eval(v)),
+                sarg,
+            );
+        } else {
+            dq = dq.filter(PredicateUdf::new(format!("where_{col}"), move |v| s2.eval(v)));
+        }
+    }
+
+    // Track the post-projection schema for ORDER BY resolution.
+    let mut out_schema: Vec<String> = if q.join.is_some() { schema.clone() } else { columns.clone() };
+    if let Some(group_col) = &q.group_by {
+        let gf = resolve(group_col)?;
+        let agg = q
+            .aggregate
+            .clone()
+            .ok_or_else(|| RheemError::Plan("xDB: GROUP BY requires an aggregate".into()))?;
+        let (f, agg_col) = agg;
+        let af = if f == AggFn::Count { 0 } else { resolve(&agg_col)? };
+        // rows -> (key, value) pairs, then per-key fold.
+        dq = dq
+            .map(MapUdf::new("kv", move |row| {
+                let v = match f {
+                    AggFn::Count => Value::from(1),
+                    AggFn::Sum => row.field(af).clone(),
+                };
+                Value::pair(row.field(gf).clone(), v)
+            }))
+            .reduce_by_key(
+                KeyUdf::field(0),
+                ReduceUdf::new("agg", move |a, b| {
+                    let s = match (a.field(1), b.field(1)) {
+                        (Value::Int(x), Value::Int(y)) => Value::from(x + y),
+                        (x, y) => Value::from(
+                            x.as_f64().unwrap_or(0.0) + y.as_f64().unwrap_or(0.0),
+                        ),
+                    };
+                    Value::pair(a.field(0).clone(), s)
+                }),
+            );
+        out_schema = vec![group_col.clone(), "agg".to_string()];
+    } else if !q.select.is_empty() {
+        let fields: Vec<usize> = q
+            .select
+            .iter()
+            .map(|c| resolve(c))
+            .collect::<Result<_>>()?;
+        out_schema = q.select.clone();
+        dq = dq.project(fields);
+    }
+
+    if let Some((col, desc)) = &q.order_by {
+        let field = out_schema
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(col))
+            .ok_or_else(|| RheemError::Plan(format!("xDB: ORDER BY unknown column '{col}'")))?;
+        let desc = *desc;
+        dq = dq.sort_by(KeyUdf::new("orderby", move |v| {
+            if desc {
+                // numeric descending via negation; strings fall back asc
+                match v.field(field) {
+                    Value::Int(i) => Value::from(-i),
+                    Value::Float(f) => Value::from(-f),
+                    other => other.clone(),
+                }
+            } else {
+                v.field(field).clone()
+            }
+        }));
+    }
+    if let Some(n) = q.limit {
+        dq = dq.sample(SampleMethod::First, SampleSize::Count(n));
+    }
+    let sink = dq.collect();
+    b.build().map(|plan| (plan, sink))
+}
+
+/// Parse + compile in one step.
+pub fn query(db: &Arc<PgDatabase>, sql: &str) -> Result<(RheemPlan, OperatorId)> {
+    compile(db, &parse(sql)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platform_javastreams::JavaStreamsPlatform;
+    use platform_postgres::PostgresPlatform;
+    use rheem_core::api::RheemContext;
+
+    fn setup() -> (Arc<PgDatabase>, RheemContext) {
+        let db = Arc::new(PgDatabase::new());
+        let rows: Vec<Value> = (0..500i64)
+            .map(|i| {
+                Value::tuple(vec![
+                    Value::from(i),
+                    Value::from(i % 10), // dept
+                    Value::from(1000 + i), // salary
+                ])
+            })
+            .collect();
+        db.load_table(
+            "emp",
+            vec!["id".to_string(), "dept".to_string(), "salary".to_string()],
+            rows,
+        );
+        let mut ctx = RheemContext::new().with_platform(&JavaStreamsPlatform::new());
+        ctx.register_platform(&PostgresPlatform::new(Arc::clone(&db)));
+        (db, ctx)
+    }
+
+    #[test]
+    fn select_where_runs() {
+        let (db, ctx) = setup();
+        let (plan, sink) = query(&db, "SELECT id FROM emp WHERE salary >= 1450").unwrap();
+        let result = ctx.execute(&plan).unwrap();
+        assert_eq!(result.sink(sink).unwrap().len(), 50);
+    }
+
+    #[test]
+    fn group_by_sum() {
+        let (db, ctx) = setup();
+        let (plan, sink) =
+            query(&db, "SELECT dept, SUM(salary) FROM emp GROUP BY dept").unwrap();
+        let result = ctx.execute(&plan).unwrap();
+        let rows = result.sink(sink).unwrap();
+        assert_eq!(rows.len(), 10);
+        let total: f64 = rows
+            .iter()
+            .map(|r| r.field(1).as_f64().unwrap())
+            .sum();
+        // sum of 1000..1500
+        assert_eq!(total as i64, (1000..1500).sum::<i64>());
+    }
+
+    #[test]
+    fn order_by_desc_limit() {
+        let (db, ctx) = setup();
+        let (plan, sink) =
+            query(&db, "SELECT id, salary FROM emp ORDER BY salary DESC LIMIT 3").unwrap();
+        let result = ctx.execute(&plan).unwrap();
+        let rows = result.sink(sink).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].field(1).as_int(), Some(1499));
+    }
+
+    #[test]
+    fn count_star() {
+        let (db, ctx) = setup();
+        let (plan, sink) =
+            query(&db, "SELECT dept, COUNT(*) FROM emp GROUP BY dept").unwrap();
+        let result = ctx.execute(&plan).unwrap();
+        let rows = result.sink(sink).unwrap();
+        assert!(rows.iter().all(|r| r.field(1).as_int() == Some(50)));
+    }
+
+    #[test]
+    fn join_on_two_tables() {
+        let (db, ctx) = setup();
+        let depts: Vec<Value> = (0..10i64)
+            .map(|i| Value::tuple(vec![Value::from(i), Value::from(format!("dept{i}"))]))
+            .collect();
+        db.load_table("dept", vec!["id".to_string(), "name".to_string()], depts);
+        let (plan, sink) = query(
+            &db,
+            "SELECT emp.id, dept.name FROM emp JOIN dept ON emp.dept = dept.id WHERE emp.salary >= 1490",
+        )
+        .unwrap();
+        let result = ctx.execute(&plan).unwrap();
+        let rows = result.sink(sink).unwrap();
+        assert_eq!(rows.len(), 10); // salaries 1490..1499
+        assert!(rows.iter().all(|r| r.field(1).as_str().unwrap().starts_with("dept")));
+    }
+
+    #[test]
+    fn join_with_aggregate() {
+        let (db, ctx) = setup();
+        let depts: Vec<Value> = (0..10i64)
+            .map(|i| Value::tuple(vec![Value::from(i), Value::from(format!("dept{i}"))]))
+            .collect();
+        db.load_table("dept", vec!["id".to_string(), "name".to_string()], depts);
+        let (plan, sink) = query(
+            &db,
+            "SELECT dept.name, COUNT(*) FROM emp JOIN dept ON emp.dept = dept.id GROUP BY dept.name",
+        )
+        .unwrap();
+        let result = ctx.execute(&plan).unwrap();
+        let rows = result.sink(sink).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert!(rows.iter().all(|r| r.field(1).as_int() == Some(50)));
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        assert!(parse("FROM x").is_err());
+        assert!(parse("SELECT a").is_err());
+        assert!(parse("SELECT a FROM t WHERE b ~ 3").is_err());
+        assert!(parse("SELECT a FROM t JOIN u ON a.x < u.y").is_err());
+        let (db, _) = setup();
+        assert!(query(&db, "SELECT nope FROM emp").is_err());
+        assert!(query(&db, "SELECT id FROM ghost").is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build a platform-agnostic plan, let the cross-platform
+//! optimizer pick engines, and inspect what it chose.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rheem::prelude::*;
+use rheem_core::plan::PlanBuilder;
+
+fn main() -> Result<()> {
+    // A context with JavaStreams, Spark and Flink registered.
+    let ctx = rheem::default_context();
+
+    // WordCount over a small generated corpus (platform-agnostic plan).
+    let lines: Vec<Value> = rheem::datagen::generate_text(2_000, 10, 2_000, 42)
+        .into_iter()
+        .map(Value::from)
+        .collect();
+
+    let mut b = PlanBuilder::new();
+    let sink = b
+        .collection(lines)
+        .flat_map(FlatMapUdf::new("split", |v| {
+            v.as_str().unwrap_or("").split_whitespace().map(Value::from).collect()
+        }))
+        .map(MapUdf::new("pair", |w| Value::pair(w.clone(), Value::from(1))))
+        .reduce_by_key(
+            KeyUdf::field(0),
+            ReduceUdf::new("sum", |a, b| {
+                Value::pair(
+                    a.field(0).clone(),
+                    Value::from(a.field(1).as_int().unwrap() + b.field(1).as_int().unwrap()),
+                )
+            }),
+        )
+        .collect();
+    let plan = b.build()?;
+
+    // Ask the optimizer to explain itself before running.
+    println!("{}", ctx.explain(&plan)?);
+
+    let result = ctx.execute(&plan)?;
+    let mut counts: Vec<(String, i64)> = result
+        .sink(sink)?
+        .iter()
+        .map(|v| (v.field(0).to_string(), v.field(1).as_int().unwrap_or(0)))
+        .collect();
+    counts.sort_by_key(|(_, c)| -c);
+
+    println!("\ntop words:");
+    for (w, c) in counts.iter().take(10) {
+        println!("  {w:<12} {c}");
+    }
+    println!(
+        "\nexecuted on {:?} in {:.1} virtual ms ({:.1} real ms)",
+        result.metrics.platforms, result.metrics.virtual_ms, result.metrics.real_ms
+    );
+    Ok(())
+}

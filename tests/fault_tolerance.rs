@@ -1,0 +1,179 @@
+//! Fault injection, concurrency and inter-platform parallelism tests —
+//! the §7.1 "basic fault-tolerance mechanism at the cross-platform level"
+//! and the executor's parallel-stage virtual-time composition.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use rheem::prelude::*;
+use rheem_core::channel::{kinds, ChannelData, ChannelKind};
+use rheem_core::cost::{CostModel, Load};
+use rheem_core::exec::{ExecCtx, ExecutionOperator};
+use rheem_core::mapping::{Candidate, FnMapping};
+use rheem_core::plan::{LogicalOp, OpKind, PlanBuilder};
+use rheem_core::udf::BroadcastCtx;
+
+/// A map operator whose first `fail_times` executions die with a transient
+/// error — the injection point for the fault-tolerance test.
+struct FlakyMap {
+    fails_left: AtomicU32,
+}
+
+impl ExecutionOperator for FlakyMap {
+    fn name(&self) -> &str {
+        "FlakyMap"
+    }
+    fn platform(&self) -> PlatformId {
+        ids::JAVA_STREAMS
+    }
+    fn accepted_inputs(&self, _slot: usize) -> Vec<ChannelKind> {
+        vec![kinds::COLLECTION]
+    }
+    fn output_kind(&self) -> ChannelKind {
+        kinds::COLLECTION
+    }
+    fn load(&self, _in: &[f64], _b: f64, _m: &CostModel) -> Load {
+        // dirt cheap so the optimizer picks it over the real JavaMap
+        Load::default()
+    }
+    fn execute(
+        &self,
+        _ctx: &mut ExecCtx<'_>,
+        inputs: &[ChannelData],
+        _bc: &BroadcastCtx,
+    ) -> rheem_core::error::Result<ChannelData> {
+        if self
+            .fails_left
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok()
+        {
+            return Err(rheem_core::error::RheemError::Execution(
+                "injected transient failure (simulated executor loss)".into(),
+            ));
+        }
+        let data = inputs[0].flatten()?;
+        let out: Vec<Value> = data
+            .iter()
+            .map(|v| Value::from(v.as_int().unwrap_or(0) * 2))
+            .collect();
+        Ok(ChannelData::Collection(Arc::new(out)))
+    }
+}
+
+fn flaky_ctx(fail_times: u32) -> RheemContext {
+    let mut ctx = rheem::default_context();
+    let flaky = Arc::new(FlakyMap { fails_left: AtomicU32::new(fail_times) });
+    ctx.registry_mut().add_mapping(Arc::new(FnMapping(
+        move |_p: &rheem_core::plan::RheemPlan, n: &rheem_core::plan::OperatorNode| {
+            if n.op.kind() == OpKind::Map {
+                if let LogicalOp::Map(u) = &n.op {
+                    if &*u.name == "double" {
+                        return vec![Candidate::single(
+                            n.id,
+                            Arc::clone(&flaky) as Arc<dyn ExecutionOperator>,
+                        )];
+                    }
+                }
+            }
+            vec![]
+        },
+    )));
+    ctx
+}
+
+fn double_plan() -> (rheem_core::plan::RheemPlan, rheem_core::plan::OperatorId) {
+    let mut b = PlanBuilder::new();
+    let sink = b
+        .collection((0..100i64).map(Value::from).collect::<Vec<_>>())
+        .map(MapUdf::new("double", |v| Value::from(v.as_int().unwrap() * 2)))
+        .collect();
+    (b.build().unwrap(), sink)
+}
+
+#[test]
+fn transient_failure_is_retried_and_recovers() {
+    let mut ctx = flaky_ctx(1);
+    ctx.config_mut().retries = 2;
+    // Pin to the flaky operator by making the plan choose it (it is free).
+    let (plan, sink) = double_plan();
+    let result = ctx.execute(&plan).unwrap();
+    assert_eq!(result.sink(sink).unwrap()[0].as_int(), Some(0));
+    assert_eq!(result.sink(sink).unwrap()[99].as_int(), Some(198));
+    assert!(ctx.monitor().retries() >= 1);
+}
+
+#[test]
+fn persistent_failure_surfaces_after_retry_budget() {
+    let mut ctx = flaky_ctx(100);
+    ctx.config_mut().retries = 2;
+    let (plan, _) = double_plan();
+    let err = match ctx.execute(&plan) {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("expected failure"),
+    };
+    assert!(err.contains("injected transient failure"), "{err}");
+}
+
+#[test]
+fn concurrent_jobs_share_one_context() {
+    let ctx = Arc::new(rheem::default_context());
+    let mut handles = Vec::new();
+    for t in 0..4i64 {
+        let ctx = Arc::clone(&ctx);
+        handles.push(std::thread::spawn(move || {
+            let mut b = PlanBuilder::new();
+            let sink = b
+                .collection((0..2_000).map(|i| Value::from(i + t)).collect::<Vec<_>>())
+                .filter(PredicateUdf::new("even", |v| v.as_int().unwrap() % 2 == 0))
+                .count()
+                .collect();
+            let plan = b.build().unwrap();
+            let result = ctx.execute(&plan).unwrap();
+            result.sink(sink).unwrap()[0].as_int().unwrap()
+        }));
+    }
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 1_000);
+    }
+}
+
+#[test]
+fn independent_branches_overlap_in_virtual_time() {
+    // Two branches pinned to different platforms: the job's virtual time
+    // must be well below the sum of sequential execution (inter-platform
+    // parallelism, challenge (iv) of §1).
+    let mut b = PlanBuilder::new();
+    let data: Vec<Value> = (0..400_000i64)
+        .map(|i| Value::pair(Value::from(i % 1000), Value::from(i)))
+        .collect();
+    let left = b
+        .collection(data.clone())
+        .map(MapUdf::new("l", |v| v.clone()))
+        .with_target_platform(ids::SPARK)
+        .distinct()
+        .with_target_platform(ids::SPARK)
+        .count();
+    let right = b
+        .collection(data)
+        .map(MapUdf::new("r", |v| v.clone()))
+        .with_target_platform(ids::FLINK)
+        .distinct()
+        .with_target_platform(ids::FLINK)
+        .count();
+    left.union(&right).collect();
+    let plan = b.build().unwrap();
+    let ctx = rheem::default_context();
+    let result = ctx.execute(&plan).unwrap();
+    let total: f64 = ctx
+        .monitor()
+        .stage_runs()
+        .iter()
+        .map(|r| r.virtual_ms)
+        .sum();
+    assert!(
+        result.metrics.virtual_ms < total * 0.85,
+        "no overlap: job {} vs serial {}",
+        result.metrics.virtual_ms,
+        total
+    );
+}

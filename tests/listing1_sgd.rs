@@ -1,0 +1,112 @@
+//! Reproduction of **Listing 1**: the SGD task expressed in RheemLatin,
+//! with the loop, the broadcast clause and a platform pin — parsed,
+//! translated and executed end-to-end.
+
+use rheem::lang::{Parser, UdfRegistry};
+use rheem::prelude::*;
+
+fn sgd_udfs(dims: usize) -> UdfRegistry {
+    let mut udfs = UdfRegistry::new();
+    udfs.map(
+        "parsePoints",
+        MapUdf::new("parsePoints", |line| {
+            rheem_datagen::points::csv_to_point(line.as_str().unwrap_or(""))
+        }),
+    );
+    udfs.map(
+        "computeGradient",
+        MapUdf::with_ctx("computeGradient", move |p, ctx| {
+            let w = ctx.get_or_empty("weights");
+            let wv = w.first().cloned().unwrap_or(Value::Null);
+            let f = p.fields().unwrap_or(&[]);
+            let label = f.first().and_then(Value::as_f64).unwrap_or(0.0);
+            let margin: f64 = (0..dims)
+                .map(|i| {
+                    f.get(i + 1).and_then(Value::as_f64).unwrap_or(0.0)
+                        * wv.field(i).as_f64().unwrap_or(0.0)
+                })
+                .sum();
+            let scale = if label * margin < 1.0 { -label } else { 0.0 };
+            Value::Tuple(
+                (0..dims)
+                    .map(|i| {
+                        Value::from(scale * f.get(i + 1).and_then(Value::as_f64).unwrap_or(0.0))
+                    })
+                    .collect::<Vec<_>>()
+                    .into(),
+            )
+        }),
+    );
+    udfs.reduce(
+        "sumcount",
+        ReduceUdf::new("sumcount", move |a, b| {
+            Value::Tuple(
+                (0..dims)
+                    .map(|i| {
+                        Value::from(
+                            a.field(i).as_f64().unwrap_or(0.0) + b.field(i).as_f64().unwrap_or(0.0),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .into(),
+            )
+        }),
+    );
+    udfs.map(
+        "average",
+        MapUdf::with_ctx("average", move |w, ctx| {
+            let g = ctx.get_or_empty("gradient_sum");
+            let gv = g.first().cloned().unwrap_or(Value::Null);
+            Value::Tuple(
+                (0..dims)
+                    .map(|i| {
+                        Value::from(
+                            w.field(i).as_f64().unwrap_or(0.0)
+                                - 0.05 * gv.field(i).as_f64().unwrap_or(0.0) / 16.0,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .into(),
+            )
+        }),
+    );
+    udfs
+}
+
+#[test]
+fn listing1_sgd_in_rheemlatin_runs_end_to_end() {
+    let dims = 3;
+    let set = rheem_datagen::generate_points(2_000, dims, 0.05, 21);
+    let csv = std::path::PathBuf::from("hdfs://tests/listing1/points.csv");
+    rheem_datagen::points::write_points(&csv, &set).unwrap();
+
+    // Listing 1, adapted to our grammar: load → map(parse) → repeat { sample
+    // → map(gradient) with broadcast weights → reduce → map(update) with
+    // broadcast gradient_sum; yield }.
+    let program_src = format!(
+        "lines = load '{}';\n\
+         points = map lines -> {{parsePoints}};\n\
+         winit = values '0,0,0';\n\
+         weights = map winit -> {{parsePoints}};\n\
+         final_weights = repeat 50 weights {{\n\
+            sample_points = sample points 16;\n\
+            gradient = map sample_points -> {{computeGradient}} with broadcast weights;\n\
+            gradient_sum = reduce gradient -> {{sumcount}};\n\
+            weights2 = map weights -> {{average}} with broadcast gradient_sum with platform 'JavaStreams';\n\
+            yield weights2;\n\
+         }};\n\
+         collect final_weights;",
+        csv.display()
+    );
+    let program = Parser::new(sgd_udfs(dims)).parse(&program_src).unwrap();
+    let ctx = rheem::default_context();
+    let result = ctx.execute(&program.plan).unwrap();
+    let w = result.sink(program.sinks["final_weights"]).unwrap();
+    assert_eq!(w.len(), 1);
+    let weights: Vec<f64> = (0..dims).map(|i| w[0].field(i).as_f64().unwrap()).collect();
+    assert!(weights.iter().any(|&x| x != 0.0), "{weights:?}");
+    // the learned weights actually classify better than zero weights
+    let loss0 = ml4all::hinge_loss(&set.points, &vec![0.0; dims]);
+    let loss = ml4all::hinge_loss(&set.points, &weights);
+    assert!(loss < loss0, "{loss0} -> {loss}");
+}

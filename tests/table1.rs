@@ -1,0 +1,96 @@
+//! Table 1 of the paper: the three §6 tasks with their Rheem-operator
+//! counts and dataset kinds. We assert our plan builders produce the same
+//! task shapes (operator counts in the paper's ballpark) over the
+//! corresponding synthetic datasets.
+
+use rheem_core::plan::{OpKind, PlanBuilder};
+use rheem_core::udf::{FlatMapUdf, KeyUdf, MapUdf, ReduceUdf};
+use rheem_core::value::Value;
+
+fn wordcount_plan(path: &std::path::Path) -> rheem_core::plan::RheemPlan {
+    let mut b = PlanBuilder::new();
+    b.read_text_file(path)
+        .flat_map(FlatMapUdf::new("split", |v| {
+            v.as_str().unwrap_or("").split_whitespace().map(Value::from).collect()
+        }))
+        .map(MapUdf::new("pair", |w| Value::pair(w.clone(), Value::from(1))))
+        .reduce_by_key(KeyUdf::field(0), ReduceUdf::sum())
+        .collect();
+    b.build().unwrap()
+}
+
+#[test]
+fn wordcount_uses_about_four_operators() {
+    // Paper: WordCount = 4 Rheem operators (source, flatmap, map/reduce…).
+    let dir = std::env::temp_dir().join("rheem_table1");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wc.txt");
+    rheem_storage::write_lines(&path, ["a b"]).unwrap();
+    let plan = wordcount_plan(&path);
+    // source + flatmap + map + reduceby (+ sink)
+    let non_sink = plan
+        .operators()
+        .iter()
+        .filter(|n| !n.op.kind().is_sink())
+        .count();
+    assert_eq!(non_sink, 4);
+}
+
+#[test]
+fn sgd_uses_about_nine_operators() {
+    // Paper: SGD = 9 Rheem operators (Fig. 3a).
+    let points = std::sync::Arc::new(rheem_datagen::generate_points(10, 2, 0.1, 1).points);
+    let cfg = ml4all::SgdConfig { dims: 2, iterations: 2, ..Default::default() };
+    let (plan, _) = ml4all::build_sgd_plan(ml4all::PointSource::InMemory(points), &cfg).unwrap();
+    let non_sink = plan
+        .operators()
+        .iter()
+        .filter(|n| !n.op.kind().is_sink())
+        .count();
+    // sources (points, weights), loop, sample, compute, tag, reduce, update
+    assert!((7..=10).contains(&non_sink), "{non_sink} operators");
+    assert!(plan
+        .operators()
+        .iter()
+        .any(|n| n.op.kind() == OpKind::RepeatLoop));
+}
+
+#[test]
+fn crocopr_is_the_biggest_plan() {
+    // Paper: CrocoPR = 27 Rheem operators; ours is the same pipeline at a
+    // somewhat higher abstraction (PageRank is one composite operator), so
+    // we assert it is the largest of the three tasks.
+    let dir = std::env::temp_dir().join("rheem_table1");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (fa, fb) = (dir.join("a.edges"), dir.join("b.edges"));
+    let edges = rheem_datagen::generate_graph(50, 3, 1);
+    rheem_datagen::graph::write_graph(&fa, &edges).unwrap();
+    rheem_datagen::graph::write_graph(&fb, &edges).unwrap();
+    let (croco, _) = xdb::build_crocopr_plan(xdb::CrocoSource::Files(fa, fb), 3).unwrap();
+
+    let path = dir.join("wc.txt");
+    rheem_storage::write_lines(&path, ["a b"]).unwrap();
+    let wc = wordcount_plan(&path);
+    assert!(croco.len() > wc.len());
+    assert!(croco.len() >= 12, "{}", croco.len());
+}
+
+#[test]
+fn q5_spans_about_two_dozen_operators_and_three_stores() {
+    let data = rheem_datagen::tpch::generate(0.02, 1);
+    let p = dataciv::place(&data, "table1_q5").unwrap();
+    let (plan, _) = dataciv::build_q5_plan(&p, "ASIA", 1995).unwrap();
+    assert!(plan.len() >= 20, "{}", plan.len());
+    let table_sources = plan
+        .operators()
+        .iter()
+        .filter(|n| n.op.kind() == OpKind::TableSource)
+        .count();
+    let file_sources = plan
+        .operators()
+        .iter()
+        .filter(|n| n.op.kind() == OpKind::TextFileSource)
+        .count();
+    assert_eq!(table_sources, 3); // region, customer, supplier in the store
+    assert_eq!(file_sources, 3); // lineitem, orders (HDFS), nation (local)
+}
