@@ -91,9 +91,7 @@ pub fn systemml_sgd(
     // SystemML materializes the dataset as dense double matrix blocks in
     // its buffer pool (plus copies during conversion): ~4× the raw size.
     let bytes = match &source {
-        ml4all::PointSource::InMemory(points) => {
-            rheem_core::exec::dataset_bytes(points) * 4.0
-        }
+        ml4all::PointSource::InMemory(points) => rheem_core::exec::dataset_bytes(points) * 4.0,
         ml4all::PointSource::Csv(path) => {
             rheem_storage::stat(path).map(|(b, _)| b as f64).unwrap_or(0.0) * 6.0
         }
@@ -140,11 +138,7 @@ pub fn q5_all_in_postgres(
         load_ms += profile.net_ms(bytes)
             + profile.disk_ms(bytes * 5.0)
             + rows.len() as f64 * 1_200.0 / profile.cycles_per_ms;
-        db.load_table(
-            name,
-            cols.into_iter().map(String::from).collect::<Vec<_>>(),
-            rows.clone(),
-        );
+        db.load_table(name, cols.into_iter().map(String::from).collect::<Vec<_>>(), rows.clone());
     }
 
     // Q5 inside the DB: all six tables are relational now.
@@ -201,12 +195,12 @@ fn q5_tables_only_plan(
         )
         .project(vec![0usize]);
     let nation = b.read_table("nation");
-    let region_nations = nation
-        .join(&regionkeys, KeyUdf::field(2), KeyUdf::field(0))
-        .map(MapUdf::new("nat_flat", |pair| {
+    let region_nations = nation.join(&regionkeys, KeyUdf::field(2), KeyUdf::field(0)).map(
+        MapUdf::new("nat_flat", |pair| {
             let n = pair.field(0);
             Value::pair(n.field(0).clone(), n.field(1).clone())
-        }));
+        }),
+    );
     let customers = b
         .read_table("customer")
         .project(vec![0usize, 2])
@@ -245,8 +239,7 @@ fn q5_tables_only_plan(
                 l.field(1).clone(),
                 o.field(1).clone(),
                 Value::from(
-                    l.field(2).as_f64().unwrap_or(0.0)
-                        * (1.0 - l.field(3).as_f64().unwrap_or(0.0)),
+                    l.field(2).as_f64().unwrap_or(0.0) * (1.0 - l.field(3).as_f64().unwrap_or(0.0)),
                 ),
             ])
         }))
@@ -273,9 +266,7 @@ fn q5_tables_only_plan(
         .map(MapUdf::new("name_rev", |pair| {
             Value::pair(pair.field(1).field(1).clone(), pair.field(0).field(1).clone())
         }))
-        .sort_by(KeyUdf::new("neg_rev", |v| {
-            Value::from(-v.field(1).as_f64().unwrap_or(0.0))
-        }))
+        .sort_by(KeyUdf::new("neg_rev", |v| Value::from(-v.field(1).as_f64().unwrap_or(0.0))))
         .collect();
     let _ = p;
     b.build().map(|plan| (plan, sink))
@@ -381,9 +372,7 @@ fn q5_files_only_plan(
     let year_orders = b
         .read_text_file(p.orders.clone())
         .map(parse())
-        .filter(PredicateUdf::new("order_year", move |o| {
-            o.field(2).as_int() == Some(year)
-        }))
+        .filter(PredicateUdf::new("order_year", move |o| o.field(2).as_int() == Some(year)))
         .join(&customers, KeyUdf::field(1), KeyUdf::field(0))
         .map(MapUdf::new("ord_flat", |pair| {
             let o = pair.field(0);
@@ -401,8 +390,7 @@ fn q5_files_only_plan(
                 l.field(1).clone(),
                 o.field(1).clone(),
                 Value::from(
-                    l.field(2).as_f64().unwrap_or(0.0)
-                        * (1.0 - l.field(3).as_f64().unwrap_or(0.0)),
+                    l.field(2).as_f64().unwrap_or(0.0) * (1.0 - l.field(3).as_f64().unwrap_or(0.0)),
                 ),
             ])
         }))
@@ -429,9 +417,7 @@ fn q5_files_only_plan(
         .map(MapUdf::new("name_rev", |pair| {
             Value::pair(pair.field(1).field(1).clone(), pair.field(0).field(1).clone())
         }))
-        .sort_by(KeyUdf::new("neg_rev", |v| {
-            Value::from(-v.field(1).as_f64().unwrap_or(0.0))
-        }))
+        .sort_by(KeyUdf::new("neg_rev", |v| Value::from(-v.field(1).as_f64().unwrap_or(0.0))))
         .collect();
     b.build().map(|plan| (plan, sink))
 }
@@ -439,10 +425,7 @@ fn q5_files_only_plan(
 fn extract_q5(rows: &Dataset) -> Vec<(String, f64)> {
     rows.iter()
         .map(|v| {
-            (
-                v.field(0).as_str().unwrap_or("?").to_string(),
-                v.field(1).as_f64().unwrap_or(0.0),
-            )
+            (v.field(0).as_str().unwrap_or("?").to_string(), v.field(1).as_f64().unwrap_or(0.0))
         })
         .collect()
 }
@@ -503,9 +486,7 @@ pub fn musketeer_crocopr(
     // Stage 1: prepare community A.
     let parse = || {
         FlatMapUdf::new("parse_edge", |line| {
-            rheem_datagen::graph::line_to_edge(line.as_str().unwrap_or(""))
-                .into_iter()
-                .collect()
+            rheem_datagen::graph::line_to_edge(line.as_str().unwrap_or("")).into_iter().collect()
         })
     };
     let clean_plan = |file: &std::path::Path| {
@@ -548,9 +529,7 @@ pub fn musketeer_crocopr(
     let mut b = rheem_core::plan::PlanBuilder::new();
     let r = b.dataset(ranks);
     let sink = r
-        .sort_by(KeyUdf::new("neg_rank", |v| {
-            Value::from(-v.field(1).as_f64().unwrap_or(0.0))
-        }))
+        .sort_by(KeyUdf::new("neg_rank", |v| Value::from(-v.field(1).as_f64().unwrap_or(0.0))))
         .sample(SampleMethod::First, SampleSize::Count(100))
         .collect();
     let top = run_stage(b.build().unwrap(), sink)?;

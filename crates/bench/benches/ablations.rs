@@ -5,26 +5,24 @@
 //!   partials.
 //! * **Minimal conversion trees** (§4.1): MCT fan-out sharing vs routing
 //!   every consumer independently.
-//! * **Operator fusion / chaining**: optimizer cost of a fused pipeline vs
-//!   the same plan with fusion mappings unavailable (approximated by
-//!   per-operator cost accounting).
+//! * **Operator fusion**: the real toggle — the same WordCount executed
+//!   with chain candidates enabled (fused single-pass pipelines) vs
+//!   disabled (operator-at-a-time), measured in wall-clock ms.
 //! * **Cost-model learning** (§4.5): prediction loss of the learned model
 //!   vs the untuned defaults on real execution logs.
+//!
+//! Run with `cargo bench --bench ablations`.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use rheem_bench::harness::bench;
 use rheem_bench::{community_files, default_context, graph_context};
 use rheem_core::cardinality::Estimator;
 use rheem_core::learner::{samples_from_monitor, CostLearner};
 use rheem_core::optimizer::Optimizer;
+use rheem_core::platform::ids;
 
 fn croco_plan() -> rheem_core::plan::RheemPlan {
     let (fa, fb) = community_files("bench_abl", 5_000, 8);
-    xdb::build_crocopr_plan(xdb::CrocoSource::Files(fa, fb), 3)
-        .unwrap()
-        .0
+    xdb::build_crocopr_plan(xdb::CrocoSource::Files(fa, fb), 3).unwrap().0
 }
 
 /// A mid-size pipeline the exhaustive baseline can still enumerate (the
@@ -43,29 +41,20 @@ fn pipeline_plan(ops: usize) -> rheem_core::plan::RheemPlan {
     b.build().unwrap()
 }
 
-fn bench_pruning(c: &mut Criterion) {
+fn bench_pruning() {
+    println!("-- enumeration --");
     let small = pipeline_plan(6);
     let croco = croco_plan();
     let ctx = graph_context();
-    let mut group = c.benchmark_group("enumeration");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
-    group.bench_function("pruned_crocopr_16ops", |b| {
-        b.iter(|| {
-            let opt = ctx.optimize(&croco).unwrap();
-            (opt.est_ms, opt.stats.partials_created)
-        })
+    bench("enumeration/pruned_crocopr_16ops", 10, || {
+        let opt = ctx.optimize(&croco).unwrap();
+        (opt.est_ms, opt.stats.partials_created)
     });
-    group.bench_function("pruned_pipeline_8ops", |b| {
-        b.iter(|| ctx.optimize(&small).unwrap().est_ms)
+    bench("enumeration/pruned_pipeline_8ops", 10, || ctx.optimize(&small).unwrap().est_ms);
+    bench("enumeration/exhaustive_pipeline_8ops", 10, || {
+        let optimizer = Optimizer::new(ctx.registry(), ctx.profiles(), ctx.cost_model());
+        optimizer.optimize_exhaustive(&small, &Estimator::new()).unwrap().est_ms
     });
-    group.bench_function("exhaustive_pipeline_8ops", |b| {
-        b.iter(|| {
-            let optimizer =
-                Optimizer::new(ctx.registry(), ctx.profiles(), ctx.cost_model());
-            optimizer.optimize_exhaustive(&small, &Estimator::new()).unwrap().est_ms
-        })
-    });
-    group.finish();
 
     // Sanity: identical chosen cost, far fewer partials — on the plan the
     // exhaustive baseline can still finish.
@@ -74,14 +63,16 @@ fn bench_pruning(c: &mut Criterion) {
     let full = optimizer.optimize_exhaustive(&small, &Estimator::new()).unwrap();
     assert!((pruned.est_ms - full.est_ms).abs() < 1e-6, "pruning must be lossless");
     println!(
-        "ablation/pruning: partials {} (pruned) vs {} (exhaustive) on the 8-op pipeline;          the 16-op CrocoPR plan is enumerable only with pruning ({} partials)",
+        "ablation/pruning: partials {} (pruned) vs {} (exhaustive) on the 8-op pipeline; \
+         the 16-op CrocoPR plan is enumerable only with pruning ({} partials)",
         pruned.stats.partials_created,
         full.stats.partials_created,
         ctx.optimize(&croco).unwrap().stats.partials_created
     );
 }
 
-fn bench_movement(c: &mut Criterion) {
+fn bench_movement() {
+    println!("-- movement --");
     use rheem_core::channel::kinds;
     use rheem_core::cost::CostModel;
     use rheem_core::movement::ConversionGraph;
@@ -95,39 +86,19 @@ fn bench_movement(c: &mut Criterion) {
     // comparison would be unfair the other way: per-consumer paths would
     // implicitly assume free lineage recomputation.)
     let root = platform_spark::RDD_CACHED;
-    let consumers = vec![
-        vec![kinds::COLLECTION],
-        vec![kinds::COLLECTION],
-        vec![platform_flink::DATASET],
-    ];
-    let mut group = c.benchmark_group("movement");
-    group.sample_size(20).measurement_time(Duration::from_secs(5));
-    group.bench_function("mct_shared_tree", |b| {
-        b.iter(|| {
-            graph
-                .best_tree(root, &consumers, 1e6, 64.0, &profiles, &model)
-                .unwrap()
-                .cost_ms
-        })
+    let consumers =
+        vec![vec![kinds::COLLECTION], vec![kinds::COLLECTION], vec![platform_flink::DATASET]];
+    bench("movement/mct_shared_tree", 20, || {
+        graph.best_tree(root, &consumers, 1e6, 64.0, &profiles, &model).unwrap().cost_ms
     });
-    group.bench_function("per_consumer_paths", |b| {
-        b.iter(|| {
-            consumers
-                .iter()
-                .map(|kinds| {
-                    graph
-                        .best_path_cost(root, kinds, 1e6, 64.0, &profiles, &model)
-                        .unwrap()
-                })
-                .sum::<f64>()
-        })
+    bench("movement/per_consumer_paths", 20, || {
+        consumers
+            .iter()
+            .map(|kinds| graph.best_path_cost(root, kinds, 1e6, 64.0, &profiles, &model).unwrap())
+            .sum::<f64>()
     });
-    group.finish();
 
-    let shared = graph
-        .best_tree(root, &consumers, 1e6, 64.0, &profiles, &model)
-        .unwrap()
-        .cost_ms;
+    let shared = graph.best_tree(root, &consumers, 1e6, 64.0, &profiles, &model).unwrap().cost_ms;
     let separate: f64 = consumers
         .iter()
         .map(|k| graph.best_path_cost(root, k, 1e6, 64.0, &profiles, &model).unwrap())
@@ -136,7 +107,8 @@ fn bench_movement(c: &mut Criterion) {
     assert!(shared <= separate + 1e-9);
 }
 
-fn bench_costlearn(c: &mut Criterion) {
+fn bench_costlearn() {
+    println!("-- cost_learner --");
     // Gather real execution logs from a few WordCount runs, then compare
     // the learned model's stage-time predictions against the defaults.
     let ctx = default_context();
@@ -149,49 +121,80 @@ fn bench_costlearn(c: &mut Criterion) {
     assert!(!samples.is_empty());
     let learner = CostLearner { generations: 60, ..Default::default() };
 
-    let mut group = c.benchmark_group("cost_learner");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
-    group.bench_function("ga_fit", |b| {
-        b.iter(|| learner.fit(&samples, ctx.profiles()))
-    });
-    group.finish();
+    bench("cost_learner/ga_fit", 5, || learner.fit(&samples, ctx.profiles()));
 
     let fitted = learner.fit(&samples, ctx.profiles());
     let loss_learned = learner.evaluate(&fitted, &samples, ctx.profiles());
     let loss_default =
         learner.evaluate(&rheem_core::cost::CostModel::new(), &samples, ctx.profiles());
-    println!(
-        "ablation/costlearn: loss learned {loss_learned:.4} vs defaults {loss_default:.4}"
-    );
+    println!("ablation/costlearn: loss learned {loss_learned:.4} vs defaults {loss_default:.4}");
     assert!(loss_learned <= loss_default);
 }
 
-fn bench_fusion(c: &mut Criterion) {
-    // Optimizer view of fusion: compare the chosen (fused) plan's estimate
-    // with the sum of per-operator singles on the same platform.
-    use rheem_core::plan::PlanBuilder;
-    use rheem_core::udf::{MapUdf, PredicateUdf};
-    use rheem_core::value::Value;
-    let mut b = PlanBuilder::new();
-    b.collection((0..50_000i64).map(Value::from).collect::<Vec<_>>())
-        .map(MapUdf::new("a", |v| Value::from(v.as_int().unwrap() + 1)))
-        .filter(PredicateUdf::new("b", |v| v.as_int().unwrap() % 2 == 0))
-        .map(MapUdf::new("c", |v| Value::from(v.as_int().unwrap() * 3)))
-        .collect();
-    let plan = b.build().unwrap();
-    let ctx = default_context();
-    let mut group = c.benchmark_group("fusion");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
-    group.bench_function("fused_pipeline_exec", |bch| {
-        bch.iter(|| ctx.execute(&plan).unwrap().metrics.virtual_ms)
-    });
-    group.finish();
+fn bench_fusion() {
+    println!("-- fusion --");
+    // The real fusion toggle: the identical WordCount job, JavaStreams
+    // forced (deterministic, no thread noise), with chain candidates on vs
+    // off. Fused runs traverse each partition once per narrow chain; the
+    // unfused baseline materializes an intermediate dataset per operator.
+    let path = rheem_bench::corpus_file("bench_abl_fu", 512, 6);
+    let (plan, _) = rheem_bench::wordcount_plan(&path).unwrap();
 
-    let opt = ctx.optimize(&plan).unwrap();
-    let fused = opt.candidates[opt.choice[1]].covers.len();
-    println!("ablation/fusion: chain length chosen by the optimizer = {fused}");
-    assert!(fused >= 2, "fusion should be chosen");
+    let mut fused_ctx = default_context().with_fusion(true);
+    fused_ctx.forced_platform = Some(ids::JAVA_STREAMS);
+    let mut unfused_ctx = default_context().with_fusion(false);
+    unfused_ctx.forced_platform = Some(ids::JAVA_STREAMS);
+
+    // Interleave the two series (fused, unfused, fused, …): measuring one
+    // series to completion before the other lets allocator/frequency drift
+    // masquerade as a fusion effect.
+    let iters = 15u32;
+    fused_ctx.execute(&plan).unwrap();
+    unfused_ctx.execute(&plan).unwrap();
+    let (mut on, mut off) = (0.0f64, 0.0f64);
+    for _ in 0..iters {
+        let t = std::time::Instant::now();
+        std::hint::black_box(fused_ctx.execute(&plan).unwrap());
+        on += t.elapsed().as_secs_f64() * 1000.0;
+        let t = std::time::Instant::now();
+        std::hint::black_box(unfused_ctx.execute(&plan).unwrap());
+        off += t.elapsed().as_secs_f64() * 1000.0;
+    }
+    let (on, off) = (on / iters as f64, off / iters as f64);
+    println!(
+        "{:<40} {:>10.2} ms/iter  ({} iters, interleaved)",
+        "fusion/wordcount_fused", on, iters
+    );
+    println!(
+        "{:<40} {:>10.2} ms/iter  ({} iters, interleaved)",
+        "fusion/wordcount_unfused", off, iters
+    );
+    println!(
+        "ablation/fusion: fused {:.2} ms vs unfused {:.2} ms wall-clock ({:.2}x)",
+        on,
+        off,
+        off / on.max(1e-9)
+    );
+    assert!(on < off, "fused must beat unfused wall-clock");
+
+    // The optimizer must actually pick a chain when fusion is on.
+    let opt = fused_ctx.optimize(&plan).unwrap();
+    let max_cover = opt.choice.iter().map(|&c| opt.candidates[c].covers.len()).max().unwrap();
+    assert!(max_cover >= 2, "fusion should be chosen");
+    let opt_off = unfused_ctx.optimize(&plan).unwrap();
+    assert!(
+        opt_off.choice.iter().all(|&c| opt_off.candidates[c].covers.len() == 1),
+        "toggle must suppress chains"
+    );
 }
 
-criterion_group!(abl, bench_pruning, bench_movement, bench_costlearn, bench_fusion);
-criterion_main!(abl);
+// Fusion runs first: its baseline pays for the intermediate materializations
+// fusion avoids, and a fresh-process allocator is what makes that cost real
+// (after the other benches have grown the heap, the unfused intermediates
+// recycle warm pages and the contrast flattens).
+fn main() {
+    bench_fusion();
+    bench_pruning();
+    bench_movement();
+    bench_costlearn();
+}

@@ -1,97 +1,77 @@
-//! Criterion micro-benchmarks over the paper's three task families
-//! (WordCount, SGD, CrocoPR) plus the polystore Q5 and the IEJoin ablation.
-//! These run the real execution path end-to-end at small scale; wall-clock
-//! here tracks the *reproduction's* performance, while the `fig*` binaries
-//! report virtual cluster time.
+//! Micro-benchmarks over the paper's three task families (WordCount, SGD,
+//! CrocoPR) plus the polystore Q5 and the IEJoin ablation, on the repo's
+//! own wall-clock harness (`rheem_bench::harness`). These run the real
+//! execution path end-to-end at small scale; wall-clock here tracks the
+//! *reproduction's* performance, while the `fig*` binaries report virtual
+//! cluster time.
+//!
+//! Run with `cargo bench --bench tasks`.
 
 use std::sync::Arc;
-use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use rheem_bench::harness::bench;
 use rheem_bench::{community_files, corpus_file, default_context, graph_context, wordcount_plan};
 use rheem_core::platform::ids;
 
-fn bench_wordcount(c: &mut Criterion) {
+fn bench_wordcount() {
+    println!("-- wordcount_256kb --");
     let path = corpus_file("bench_wc", 256, 5);
     let (plan, _) = wordcount_plan(&path).unwrap();
-    let mut group = c.benchmark_group("wordcount_256kb");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
     for platform in [ids::JAVA_STREAMS, ids::SPARK, ids::FLINK] {
-        group.bench_with_input(
-            BenchmarkId::new("forced", platform.0),
-            &platform,
-            |b, &p| {
-                let mut ctx = default_context();
-                ctx.forced_platform = Some(p);
-                b.iter(|| ctx.execute(&plan).unwrap().metrics.virtual_ms)
-            },
-        );
+        let mut ctx = default_context();
+        ctx.forced_platform = Some(platform);
+        bench(&format!("wordcount/forced_{}", platform.0), 10, || {
+            ctx.execute(&plan).unwrap().metrics.virtual_ms
+        });
     }
-    group.bench_function("rheem_free", |b| {
-        let ctx = default_context();
-        b.iter(|| ctx.execute(&plan).unwrap().metrics.virtual_ms)
-    });
-    group.finish();
+    let ctx = default_context();
+    bench("wordcount/rheem_free", 10, || ctx.execute(&plan).unwrap().metrics.virtual_ms);
 }
 
-fn bench_sgd(c: &mut Criterion) {
+fn bench_sgd() {
+    println!("-- sgd_20k_20iters --");
     let points = Arc::new(rheem_datagen::generate_points(20_000, 4, 0.05, 9).points);
     let cfg = ml4all::SgdConfig { iterations: 20, batch: 64, ..Default::default() };
     let (plan, _) = ml4all::build_sgd_plan(ml4all::PointSource::InMemory(points), &cfg).unwrap();
-    let mut group = c.benchmark_group("sgd_20k_20iters");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
-    group.bench_function("rheem_free", |b| {
-        let ctx = default_context();
-        b.iter(|| ctx.execute(&plan).unwrap().metrics.virtual_ms)
-    });
-    group.finish();
+    let ctx = default_context();
+    bench("sgd/rheem_free", 10, || ctx.execute(&plan).unwrap().metrics.virtual_ms);
 }
 
-fn bench_crocopr(c: &mut Criterion) {
+fn bench_crocopr() {
+    println!("-- crocopr_20k_edges --");
     let (fa, fb) = community_files("bench_cpr", 20_000, 5);
     let (plan, _) = xdb::build_crocopr_plan(xdb::CrocoSource::Files(fa, fb), 5).unwrap();
-    let mut group = c.benchmark_group("crocopr_20k_edges");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
-    group.bench_function("rheem_free", |b| {
-        let ctx = graph_context();
-        b.iter(|| ctx.execute(&plan).unwrap().metrics.virtual_ms)
-    });
-    group.finish();
+    let ctx = graph_context();
+    bench("crocopr/rheem_free", 10, || ctx.execute(&plan).unwrap().metrics.virtual_ms);
 }
 
-fn bench_q5(c: &mut Criterion) {
+fn bench_q5() {
+    println!("-- tpch_q5_sf005 --");
     let data = rheem_datagen::tpch::generate(0.05, 3);
     let p = dataciv::place(&data, "bench_q5").unwrap();
     let (plan, _) = dataciv::build_q5_plan(&p, "ASIA", 1995).unwrap();
     let mut ctx = default_context();
     ctx.register_platform(&platform_postgres::PostgresPlatform::new(Arc::clone(&p.db)));
-    let mut group = c.benchmark_group("tpch_q5_sf005");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
-    group.bench_function("polystore", |b| {
-        b.iter(|| ctx.execute(&plan).unwrap().metrics.virtual_ms)
-    });
-    group.finish();
+    bench("q5/polystore", 10, || ctx.execute(&plan).unwrap().metrics.virtual_ms);
 }
 
-fn bench_iejoin(c: &mut Criterion) {
+fn bench_iejoin() {
+    println!("-- inequality_join_4k --");
     use rheem_core::plan::IneqCond;
     use rheem_core::udf::CmpOp;
     let rows = rheem_datagen::generate_tax(4_000, 0.001, 3);
     let c1 = IneqCond { left_field: 2, op: CmpOp::Gt, right_field: 2 };
     let c2 = IneqCond { left_field: 3, op: CmpOp::Lt, right_field: 3 };
-    let mut group = c.benchmark_group("inequality_join_4k");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
-    group.bench_function("iejoin_sort_based", |b| {
-        b.iter(|| bigdansing::iejoin::iejoin(&rows, &rows, &c1, &c2).len())
+    bench("iejoin/sort_based", 10, || bigdansing::iejoin::iejoin(&rows, &rows, &c1, &c2).len());
+    bench("iejoin/nested_loop", 10, || {
+        rheem_core::kernels::ineq_join_nested(&rows, &rows, &[c1.clone(), c2.clone()]).len()
     });
-    group.bench_function("nested_loop", |b| {
-        b.iter(|| {
-            rheem_core::kernels::ineq_join_nested(&rows, &rows, &[c1.clone(), c2.clone()]).len()
-        })
-    });
-    group.finish();
 }
 
-criterion_group!(benches, bench_wordcount, bench_sgd, bench_crocopr, bench_q5, bench_iejoin);
-criterion_main!(benches);
+fn main() {
+    bench_wordcount();
+    bench_sgd();
+    bench_crocopr();
+    bench_q5();
+    bench_iejoin();
+}

@@ -88,15 +88,15 @@ fn misestimated_plan(n: usize) -> (rheem_core::plan::RheemPlan, rheem_core::plan
         .with_selectivity(0.0001); // wrong: the truth is ≈1.0
     let sink = filtered
         .join(&customers, KeyUdf::field(1), KeyUdf::field(1))
-        .map(MapUdf::new("nk", |p| {
-            Value::pair(p.field(0).field(1).clone(), Value::from(1))
-        }))
+        .map(MapUdf::new("nk", |p| Value::pair(p.field(0).field(1).clone(), Value::from(1))))
         .reduce_by_key(
             KeyUdf::field(0),
             ReduceUdf::new("cnt", |a, b| {
                 Value::pair(
                     a.field(0).clone(),
-                    Value::from(a.field(1).as_int().unwrap_or(0) + b.field(1).as_int().unwrap_or(0)),
+                    Value::from(
+                        a.field(1).as_int().unwrap_or(0) + b.field(1).as_int().unwrap_or(0),
+                    ),
                 )
             }),
         )
@@ -120,11 +120,9 @@ fn fig10b(s: f64) {
                 r.metrics.virtual_ms,
                 &format!("replans={} via {:?}", r.metrics.replans, r.metrics.platforms),
             ),
-            Err(e) => report.failed(
-                if progressive { "PO on" } else { "PO off" },
-                n,
-                &e.to_string(),
-            ),
+            Err(e) => {
+                report.failed(if progressive { "PO on" } else { "PO off" }, n, &e.to_string())
+            }
         }
     }
     report.save();
@@ -152,7 +150,9 @@ fn fig10c(s: f64) {
             ReduceUdf::new("cnt", |a, b| {
                 Value::pair(
                     a.field(0).clone(),
-                    Value::from(a.field(1).as_int().unwrap_or(0) + b.field(1).as_int().unwrap_or(0)),
+                    Value::from(
+                        a.field(1).as_int().unwrap_or(0) + b.field(1).as_int().unwrap_or(0),
+                    ),
                 )
             }),
         )

@@ -57,12 +57,9 @@ fn main() {
             Err(e) => report.failed("Rheem (iters)", iters, &e.to_string()),
         }
         match rheem_baselines::musketeer_crocopr(&fa, &fb, iters) {
-            Ok(m) => report.row(
-                "Musketeer (iters)",
-                iters,
-                m.virtual_ms,
-                &format!("{} jobs", m.jobs),
-            ),
+            Ok(m) => {
+                report.row("Musketeer (iters)", iters, m.virtual_ms, &format!("{} jobs", m.jobs))
+            }
             Err(e) => report.failed("Musketeer (iters)", iters, &e.to_string()),
         }
     }

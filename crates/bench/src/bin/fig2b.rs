@@ -24,12 +24,7 @@ fn main() {
             rheem_datagen::points::write_points(&path, &set).expect("points written");
         }
         let points = set.points;
-        let cfg = ml4all::SgdConfig {
-            dims,
-            batch: 100,
-            iterations: 100,
-            ..Default::default()
-        };
+        let cfg = ml4all::SgdConfig { dims, batch: 100, iterations: 100, ..Default::default() };
 
         // ML@Rheem: free choice over the CSV source.
         let ctx = default_context();

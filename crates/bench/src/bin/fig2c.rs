@@ -64,11 +64,9 @@ fn main() {
 
         // --- Ideal case: same task, data already on HDFS -------------------
         let ctx = graph_context();
-        let (plan, _) = xdb::build_crocopr_plan(
-            xdb::CrocoSource::Files(fa.clone(), fb.clone()),
-            10,
-        )
-        .expect("plan");
+        let (plan, _) =
+            xdb::build_crocopr_plan(xdb::CrocoSource::Files(fa.clone(), fb.clone()), 10)
+                .expect("plan");
         match ctx.execute(&plan) {
             Ok(r) => report.row(
                 "Ideal case",

@@ -4,8 +4,8 @@
 //! place; the common practices either migrate everything into Postgres
 //! (paying the bulk load) or move everything to HDFS and use Spark.
 
-use rheem_bench::*;
 use platform_postgres::PostgresPlatform;
+use rheem_bench::*;
 
 fn main() {
     let s = scale();

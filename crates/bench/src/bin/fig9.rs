@@ -4,7 +4,6 @@
 //! Usage: `fig9 [a|b|c|d|e|f|all]` (default `all`). Runtimes are virtual
 //! cluster ms; the ★ marks the platform Rheem's optimizer selects.
 
-
 use rheem_bench::*;
 use rheem_core::platform::ids;
 use rheem_core::value::Value;
@@ -44,10 +43,7 @@ fn fig9a(s: f64) {
         for p in GENERAL {
             match run_forced(default_context, p, &plan) {
                 Ok(ms) => {
-                    let star = choice
-                        .as_ref()
-                        .map(|c| c.contains(&p))
-                        .unwrap_or(false);
+                    let star = choice.as_ref().map(|c| c.contains(&p)).unwrap_or(false);
                     report.row(label(p), format!("{pct}%"), ms, if star { "★ chosen" } else { "" });
                 }
                 Err(e) => report.failed(label(p), format!("{pct}%"), &e.to_string()),
@@ -66,11 +62,14 @@ fn sgd_csv(tag: &str, n: usize, dims: usize) -> std::path::PathBuf {
     path
 }
 
-fn sgd_plan_for(csv: std::path::PathBuf, dims: usize, batch: usize, iters: u32) -> rheem_core::plan::RheemPlan {
+fn sgd_plan_for(
+    csv: std::path::PathBuf,
+    dims: usize,
+    batch: usize,
+    iters: u32,
+) -> rheem_core::plan::RheemPlan {
     let cfg = ml4all::SgdConfig { dims, batch, iterations: iters, ..Default::default() };
-    ml4all::build_sgd_plan(ml4all::PointSource::Csv(csv), &cfg)
-        .expect("sgd plan")
-        .0
+    ml4all::build_sgd_plan(ml4all::PointSource::Csv(csv), &cfg).expect("sgd plan").0
 }
 
 /// (b) SGD, forced single platforms + Rheem's choice. The points live on

@@ -1,0 +1,90 @@
+//! Quick end-to-end benchmark: WordCount, SGD and CrocoPR at a small fixed
+//! scale, real wall-clock milliseconds, written to `BENCH_PR1.json` at the
+//! repo root (plus stdout). Used to track the reproduction's own execution
+//! performance across PRs — virtual cluster time is reported separately by
+//! the `fig*` binaries.
+//!
+//! Run with `cargo run --release --bin quickbench`.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rheem_bench::{community_files, corpus_file, default_context, graph_context, wordcount_plan};
+
+struct Entry {
+    task: &'static str,
+    mean_ms: f64,
+    min_ms: f64,
+    iters: u32,
+}
+
+fn measure(task: &'static str, iters: u32, mut f: impl FnMut()) -> Entry {
+    f(); // warm-up
+    let mut total = 0.0;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        let ms = t.elapsed().as_secs_f64() * 1000.0;
+        total += ms;
+        min = min.min(ms);
+    }
+    let e = Entry { task, mean_ms: total / iters as f64, min_ms: min, iters };
+    println!(
+        "{:<12} {:>9.2} ms mean  {:>9.2} ms min  ({} iters)",
+        e.task, e.mean_ms, e.min_ms, e.iters
+    );
+    e
+}
+
+fn main() {
+    let mut entries = Vec::new();
+
+    // WordCount: 256 KB corpus, free platform choice.
+    {
+        let path = corpus_file("quick_wc", 256, 5);
+        let (plan, _) = wordcount_plan(&path).unwrap();
+        let ctx = default_context();
+        entries.push(measure("wordcount", 10, || {
+            ctx.execute(&plan).unwrap();
+        }));
+    }
+
+    // SGD: 10k points, 4 features, 15 iterations.
+    {
+        let points = Arc::new(rheem_datagen::generate_points(10_000, 4, 0.05, 9).points);
+        let cfg = ml4all::SgdConfig { iterations: 15, batch: 64, ..Default::default() };
+        let (plan, _) =
+            ml4all::build_sgd_plan(ml4all::PointSource::InMemory(points), &cfg).unwrap();
+        let ctx = default_context();
+        entries.push(measure("sgd", 10, || {
+            ctx.execute(&plan).unwrap();
+        }));
+    }
+
+    // CrocoPR: ~10k edges, 5 PageRank iterations.
+    {
+        let (fa, fb) = community_files("quick_cpr", 10_000, 5);
+        let (plan, _) = xdb::build_crocopr_plan(xdb::CrocoSource::Files(fa, fb), 5).unwrap();
+        let ctx = graph_context();
+        entries.push(measure("crocopr", 10, || {
+            ctx.execute(&plan).unwrap();
+        }));
+    }
+
+    let mut json = String::from(
+        "{\n  \"bench\": \"quickbench\",\n  \"unit\": \"wall_clock_ms\",\n  \"tasks\": {\n",
+    );
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"mean_ms\": {:.3}, \"min_ms\": {:.3}, \"iters\": {} }}{comma}",
+            e.task, e.mean_ms, e.min_ms, e.iters
+        );
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_PR1.json", &json).expect("write BENCH_PR1.json");
+    println!("-- wrote BENCH_PR1.json");
+}

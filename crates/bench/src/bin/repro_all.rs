@@ -8,11 +8,8 @@ use std::process::Command;
 
 fn main() {
     let bins = ["fig2a", "fig2b", "fig2c", "fig2d", "fig9", "fig10", "fig11"];
-    let exe_dir = std::env::current_exe()
-        .expect("current exe")
-        .parent()
-        .expect("bin dir")
-        .to_path_buf();
+    let exe_dir =
+        std::env::current_exe().expect("current exe").parent().expect("bin dir").to_path_buf();
     for bin in bins {
         println!("\n########## {bin} ##########");
         let status = Command::new(exe_dir.join(bin))

@@ -74,14 +74,57 @@ impl Report {
     }
 }
 
+/// Minimal wall-clock micro-benchmark support (replaces the external
+/// criterion dependency): warm up once, run a fixed iteration count, report
+/// mean and min wall-clock ms.
+pub mod harness {
+    use std::time::Instant;
+
+    /// One measured series.
+    #[derive(Clone, Debug)]
+    pub struct Measurement {
+        /// Series label.
+        pub name: String,
+        /// Mean wall-clock per iteration.
+        pub mean_ms: f64,
+        /// Fastest iteration.
+        pub min_ms: f64,
+        /// Iterations measured (after one warm-up run).
+        pub iters: u32,
+    }
+
+    /// Time `f` over `iters` runs after one warm-up; prints an aligned row
+    /// and returns the measurement.
+    pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> Measurement {
+        let _ = f(); // warm-up
+        let mut total = 0.0;
+        let mut min = f64::INFINITY;
+        for _ in 0..iters.max(1) {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            let ms = t.elapsed().as_secs_f64() * 1000.0;
+            total += ms;
+            min = min.min(ms);
+        }
+        let m = Measurement {
+            name: name.to_string(),
+            mean_ms: total / iters.max(1) as f64,
+            min_ms: min,
+            iters: iters.max(1),
+        };
+        println!(
+            "{:<40} {:>10.2} ms/iter  (min {:>8.2} ms, {} iters)",
+            m.name, m.mean_ms, m.min_ms, m.iters
+        );
+        m
+    }
+}
+
 /// Scale knob shared by the harness binaries: `RHEEM_BENCH_SCALE` (default
 /// 1.0) multiplies dataset sizes, letting CI run tiny sweeps and a real
 /// machine run the full ones.
 pub fn scale() -> f64 {
-    std::env::var("RHEEM_BENCH_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0)
+    std::env::var("RHEEM_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
 }
 
 // ---------------------------------------------------------------------------

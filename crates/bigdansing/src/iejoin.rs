@@ -12,9 +12,9 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use rheem_core::channel::{kinds, ChannelData, ChannelKind};
-use rheem_core::exec::{dataset_bytes, OpMetrics};
 use rheem_core::cost::{linear_cpu, CostModel, Load};
 use rheem_core::error::Result;
+use rheem_core::exec::{dataset_bytes, OpMetrics};
 use rheem_core::exec::{ExecCtx, ExecutionOperator};
 use rheem_core::plan::IneqCond;
 use rheem_core::platform::{ids, PlatformId};
@@ -60,10 +60,7 @@ pub fn iejoin(left: &[Value], right: &[Value], c1: &IneqCond, c2: &IneqCond) -> 
     for (rk1, rk2, ri) in &rights {
         // Stream in every left whose first key satisfies c1 against rk1.
         while li < lefts.len() && qualifies(&lefts[li].0, rk1) {
-            index
-                .entry(lefts[li].1.clone())
-                .or_default()
-                .push(lefts[li].2);
+            index.entry(lefts[li].1.clone()).or_default().push(lefts[li].2);
             li += 1;
         }
         // Ordered range scan for condition 2: l.k2 op2 rk2.
@@ -207,8 +204,7 @@ impl ExecutionOperator for SparkIEJoinOperator {
     fn load(&self, in_cards: &[f64], avg_bytes: f64, model: &CostModel) -> Load {
         let n: f64 = in_cards.iter().sum();
         let sort_work = n * n.max(2.0).log2();
-        let sort_cycles =
-            linear_cpu(model, "spark", "iejoin", sort_work, 0.0, 380.0, 30_000.0);
+        let sort_cycles = linear_cpu(model, "spark", "iejoin", sort_work, 0.0, 380.0, 30_000.0);
         let out_sel = model.get("spark.iejoin.outsel", 0.001);
         let out_cycles = in_cards.iter().product::<f64>() * out_sel * 60.0;
         Load {
@@ -243,11 +239,7 @@ impl ExecutionOperator for SparkIEJoinOperator {
         let chunk = out.len().div_ceil(n).max(1);
         let parts: Vec<rheem_core::value::Dataset> =
             out.chunks(chunk).map(|c| std::sync::Arc::new(c.to_vec())).collect();
-        let parts = if parts.is_empty() {
-            vec![std::sync::Arc::new(Vec::new())]
-        } else {
-            parts
-        };
+        let parts = if parts.is_empty() { vec![std::sync::Arc::new(Vec::new())] } else { parts };
         ctx.record(OpMetrics {
             name: "SparkIEJoin".into(),
             platform: ids::SPARK,
@@ -290,11 +282,7 @@ mod tests {
                 let c2 = IneqCond { left_field: 2, op: op2, right_field: 2 };
                 let fast = iejoin(&l, &r, &c1, &c2);
                 let slow = ineq_join_nested(&l, &r, &[c1.clone(), c2.clone()]);
-                assert_eq!(
-                    sorted(fast),
-                    sorted(slow),
-                    "mismatch for {op1:?}/{op2:?}"
-                );
+                assert_eq!(sorted(fast), sorted(slow), "mismatch for {op1:?}/{op2:?}");
             }
         }
     }
@@ -305,10 +293,7 @@ mod tests {
         let c1 = IneqCond { left_field: 2, op: CmpOp::Gt, right_field: 2 };
         let c2 = IneqCond { left_field: 3, op: CmpOp::Lt, right_field: 3 };
         let fast = iejoin(&rows, &rows, &c1, &c2);
-        assert_eq!(
-            fast.len(),
-            rheem_datagen::tax::count_violations_bruteforce(&rows)
-        );
+        assert_eq!(fast.len(), rheem_datagen::tax::count_violations_bruteforce(&rows));
     }
 
     #[test]

@@ -13,8 +13,8 @@ use crate::builtin::register_builtins;
 use crate::cardinality::Estimator;
 use crate::cost::CostModel;
 use crate::error::{Result, RheemError};
-use crate::executor::{ExecConfig, ExplorationBuffer};
 use crate::execplan::{build_exec_plan, ExecPlan};
+use crate::executor::{ExecConfig, ExplorationBuffer};
 use crate::monitor::Monitor;
 use crate::optimizer::{OptimizedPlan, Optimizer};
 use crate::plan::{OperatorId, RheemPlan};
@@ -98,6 +98,14 @@ impl RheemContext {
     /// Register a platform (builder style).
     pub fn with_platform(mut self, platform: &dyn Platform) -> Self {
         self.register_platform(platform);
+        self
+    }
+
+    /// Enable or disable operator fusion (builder style). With fusion off,
+    /// the optimizer only considers 1-to-1 candidates: every operator runs
+    /// standalone — the ablation baseline for the fused pipelines.
+    pub fn with_fusion(mut self, on: bool) -> Self {
+        self.registry.set_fusion(on);
         self
     }
 

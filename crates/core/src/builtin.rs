@@ -140,12 +140,7 @@ impl ExecutionOperator for DriverTextFileSource {
     fn load(&self, in_cards: &[f64], avg_bytes: f64, _model: &crate::cost::CostModel) -> Load {
         // in_cards[0] carries the estimated line count for sources.
         let card = in_cards.first().copied().unwrap_or(0.0);
-        Load {
-            cpu_cycles: card * 200.0,
-            disk_bytes: card * avg_bytes,
-            tasks: 1,
-            ..Load::default()
-        }
+        Load { cpu_cycles: card * 200.0, disk_bytes: card * avg_bytes, tasks: 1, ..Load::default() }
     }
     fn execute(
         &self,
@@ -185,12 +180,7 @@ impl ExecutionOperator for DriverTextFileSink {
     }
     fn load(&self, in_cards: &[f64], avg_bytes: f64, _model: &crate::cost::CostModel) -> Load {
         let card = in_cards.first().copied().unwrap_or(0.0);
-        Load {
-            cpu_cycles: card * 200.0,
-            disk_bytes: card * avg_bytes,
-            tasks: 1,
-            ..Load::default()
-        }
+        Load { cpu_cycles: card * 200.0, disk_bytes: card * avg_bytes, tasks: 1, ..Load::default() }
     }
     fn execute(
         &self,
@@ -218,22 +208,19 @@ impl ExecutionOperator for DriverTextFileSink {
 pub fn register_builtins(registry: &mut Registry) {
     registry.add_mapping(Arc::new(FnMapping(
         |_plan: &RheemPlan, node: &OperatorNode| match &node.op {
-            LogicalOp::RepeatLoop { .. } => vec![Candidate::single(
-                node.id,
-                Arc::new(LoopRelay { label: "RepeatLoop" }) as _,
-            )],
-            LogicalOp::DoWhile { .. } => vec![Candidate::single(
-                node.id,
-                Arc::new(LoopRelay { label: "DoWhile" }) as _,
-            )],
+            LogicalOp::RepeatLoop { .. } => {
+                vec![Candidate::single(node.id, Arc::new(LoopRelay { label: "RepeatLoop" }) as _)]
+            }
+            LogicalOp::DoWhile { .. } => {
+                vec![Candidate::single(node.id, Arc::new(LoopRelay { label: "DoWhile" }) as _)]
+            }
             LogicalOp::CollectionSource { data } => vec![Candidate::single(
                 node.id,
                 Arc::new(DriverCollectionSource { data: Arc::clone(data) }) as _,
             )],
-            LogicalOp::CollectionSink => vec![Candidate::single(
-                node.id,
-                Arc::new(DriverCollectionSink) as _,
-            )],
+            LogicalOp::CollectionSink => {
+                vec![Candidate::single(node.id, Arc::new(DriverCollectionSink) as _)]
+            }
             LogicalOp::TextFileSource { path } => vec![Candidate::single(
                 node.id,
                 Arc::new(DriverTextFileSource { path: path.clone() }) as _,
@@ -262,10 +249,7 @@ mod tests {
         let mut reg = Registry::new();
         register_builtins(&mut reg);
         let mut plan = RheemPlan::new();
-        let s = plan.add(
-            LogicalOp::CollectionSource { data: Arc::new(vec![Value::from(1)]) },
-            &[],
-        );
+        let s = plan.add(LogicalOp::CollectionSource { data: Arc::new(vec![Value::from(1)]) }, &[]);
         let sink = plan.add(LogicalOp::CollectionSink, &[s]);
         assert_eq!(reg.candidates_for(&plan, plan.node(s)).len(), 1);
         assert_eq!(reg.candidates_for(&plan, plan.node(sink)).len(), 1);
@@ -279,9 +263,7 @@ mod tests {
         let out = src.execute(&mut ctx, &[], &BroadcastCtx::new()).unwrap();
         assert_eq!(out.cardinality(), Some(1));
         let sink = DriverCollectionSink;
-        let kept = sink
-            .execute(&mut ctx, &[out], &BroadcastCtx::new())
-            .unwrap();
+        let kept = sink.execute(&mut ctx, &[out], &BroadcastCtx::new()).unwrap();
         assert_eq!(kept.cardinality(), Some(1));
     }
 
@@ -293,10 +275,8 @@ mod tests {
         let profiles = Profiles::bare();
         let mut ctx = ExecCtx::new(&profiles, 0);
         let sink = DriverTextFileSink { path: path.clone() };
-        let data = ChannelData::Collection(Arc::new(vec![
-            Value::from("hello"),
-            Value::from("world"),
-        ]));
+        let data =
+            ChannelData::Collection(Arc::new(vec![Value::from("hello"), Value::from("world")]));
         sink.execute(&mut ctx, &[data], &BroadcastCtx::new()).unwrap();
         let src = DriverTextFileSource { path };
         let out = src.execute(&mut ctx, &[], &BroadcastCtx::new()).unwrap();

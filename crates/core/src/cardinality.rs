@@ -54,11 +54,7 @@ impl Estimates {
 
     /// Input cardinalities of a node (its producers' outputs).
     pub fn in_cards(&self, plan: &RheemPlan, id: OperatorId) -> Vec<Interval> {
-        plan.node(id)
-            .inputs
-            .iter()
-            .map(|&i| self.card[i.index()])
-            .collect()
+        plan.node(id).inputs.iter().map(|&i| self.card[i.index()]).collect()
     }
 }
 
@@ -136,9 +132,7 @@ impl Estimator {
         for id in plan.topological_order()? {
             let node = plan.node(id);
             let i = id.index();
-            let sel = node
-                .selectivity
-                .unwrap_or_else(|| default_selectivity(node.op.kind()));
+            let sel = node.selectivity.unwrap_or_else(|| default_selectivity(node.op.kind()));
             let ins: Vec<Interval> = node.inputs.iter().map(|&p| card[p.index()]).collect();
             let in_bytes: Vec<f64> = node.inputs.iter().map(|&p| avg_bytes[p.index()]).collect();
             let (est, bytes) = self.estimate_one(&node.op, sel, &ins, &in_bytes);
@@ -162,19 +156,15 @@ impl Estimator {
         let one_in = ins.first().copied().unwrap_or(Interval::point(0.0));
         let b0 = in_bytes.first().copied().unwrap_or(64.0);
         match op {
-            LogicalOp::CollectionSource { data } => (
-                Interval::point(data.len() as f64),
-                avg_quantum_bytes(data),
-            ),
-            LogicalOp::TextFileSource { path } => {
-                match estimate_text_file_lines(path) {
-                    Some((lines, avg_line)) => (
-                        Interval::point(lines).widen(0.1, 0.9),
-                        avg_line.max(8.0),
-                    ),
-                    None => (Interval::new(0.0, 1e9, 0.1), 64.0),
-                }
+            LogicalOp::CollectionSource { data } => {
+                (Interval::point(data.len() as f64), avg_quantum_bytes(data))
             }
+            LogicalOp::TextFileSource { path } => match estimate_text_file_lines(path) {
+                Some((lines, avg_line)) => {
+                    (Interval::point(lines).widen(0.1, 0.9), avg_line.max(8.0))
+                }
+                None => (Interval::new(0.0, 1e9, 0.1), 64.0),
+            },
             LogicalOp::TableSource { .. } => match self.source_card(op) {
                 Some(rows) => (Interval::point(rows), 64.0),
                 None => (Interval::new(0.0, 1e9, 0.1), 64.0),
@@ -189,13 +179,11 @@ impl Estimator {
             }
             LogicalOp::Sample { size, .. } => {
                 let out = match size {
-                    SampleSize::Count(c) => {
-                        Interval::new(
-                            (*c as f64).min(one_in.lo),
-                            (*c as f64).min(one_in.hi.max(*c as f64)),
-                            one_in.conf,
-                        )
-                    }
+                    SampleSize::Count(c) => Interval::new(
+                        (*c as f64).min(one_in.lo),
+                        (*c as f64).min(one_in.hi.max(*c as f64)),
+                        one_in.conf,
+                    ),
                     SampleSize::Fraction(f) => one_in.scale(*f),
                 };
                 (out, b0)
@@ -307,15 +295,10 @@ mod tests {
     fn loop_bodies_get_iteration_factor() {
         let mut b = PlanBuilder::new();
         let init = b.collection(vec![Value::from(0)]);
-        init.repeat(7, |w| w.map(MapUdf::new("inc", |v| v.clone())))
-            .collect();
+        init.repeat(7, |w| w.map(MapUdf::new("inc", |v| v.clone()))).collect();
         let plan = b.build().unwrap();
         let e = est(&plan);
-        let body = plan
-            .operators()
-            .iter()
-            .find(|n| n.loop_of.is_some())
-            .unwrap();
+        let body = plan.operators().iter().find(|n| n.loop_of.is_some()).unwrap();
         assert_eq!(e.iter_factor[body.id.index()], 7.0);
         assert_eq!(e.iter_factor[0], 1.0);
     }

@@ -94,9 +94,9 @@ impl ChannelData {
     pub fn as_collection(&self) -> Result<&Dataset> {
         match self {
             ChannelData::Collection(d) => Ok(d),
-            other => Err(RheemError::Execution(format!(
-                "expected collection channel, found {other:?}"
-            ))),
+            other => {
+                Err(RheemError::Execution(format!("expected collection channel, found {other:?}")))
+            }
         }
     }
 
@@ -104,9 +104,9 @@ impl ChannelData {
     pub fn as_partitions(&self) -> Result<&Arc<Vec<Dataset>>> {
         match self {
             ChannelData::Partitions(p) => Ok(p),
-            other => Err(RheemError::Execution(format!(
-                "expected partitioned channel, found {other:?}"
-            ))),
+            other => {
+                Err(RheemError::Execution(format!("expected partitioned channel, found {other:?}")))
+            }
         }
     }
 
@@ -114,9 +114,7 @@ impl ChannelData {
     pub fn as_file(&self) -> Result<&PathBuf> {
         match self {
             ChannelData::File(p) => Ok(p),
-            other => Err(RheemError::Execution(format!(
-                "expected file channel, found {other:?}"
-            ))),
+            other => Err(RheemError::Execution(format!("expected file channel, found {other:?}"))),
         }
     }
 
@@ -127,9 +125,9 @@ impl ChannelData {
                 .clone()
                 .downcast::<T>()
                 .map_err(|_| RheemError::Execution("opaque payload type mismatch".into())),
-            other => Err(RheemError::Execution(format!(
-                "expected opaque channel, found {other:?}"
-            ))),
+            other => {
+                Err(RheemError::Execution(format!("expected opaque channel, found {other:?}")))
+            }
         }
     }
 
@@ -149,9 +147,7 @@ impl ChannelData {
                 }
                 Ok(Arc::new(out))
             }
-            other => Err(RheemError::Execution(format!(
-                "cannot flatten channel {other:?}"
-            ))),
+            other => Err(RheemError::Execution(format!("cannot flatten channel {other:?}"))),
         }
     }
 }
@@ -215,10 +211,8 @@ mod tests {
     fn opaque_downcast() {
         #[derive(Debug, PartialEq)]
         struct Payload(u32);
-        let ch = ChannelData::Opaque {
-            kind: ChannelKind("test.opaque"),
-            payload: Arc::new(Payload(7)),
-        };
+        let ch =
+            ChannelData::Opaque { kind: ChannelKind("test.opaque"), payload: Arc::new(Payload(7)) };
         assert_eq!(ch.as_opaque::<Payload>().unwrap().0, 7);
         assert!(ch.as_opaque::<String>().is_err());
     }

@@ -86,9 +86,8 @@ pub fn from_string(text: &str, base: &Profiles) -> Result<(Profiles, CostModel)>
                     return Err(RheemError::Config(format!("unknown platform '{id}'")));
                 };
                 let p = profiles.get_mut(PlatformId(id));
-                set_profile_field(p, key, value).map_err(|e| {
-                    RheemError::Config(format!("config line {}: {e}", lineno + 1))
-                })?;
+                set_profile_field(p, key, value)
+                    .map_err(|e| RheemError::Config(format!("config line {}: {e}", lineno + 1)))?;
             }
             Some("cost_model") => model.set(key, value),
             other => {
@@ -108,7 +107,11 @@ pub fn load(path: &Path, base: &Profiles) -> Result<(Profiles, CostModel)> {
     from_string(&text, base)
 }
 
-fn set_profile_field(p: &mut PlatformProfile, key: &str, v: f64) -> std::result::Result<(), String> {
+fn set_profile_field(
+    p: &mut PlatformProfile,
+    key: &str,
+    v: f64,
+) -> std::result::Result<(), String> {
     match key {
         "startup_ms" => p.startup_ms = v,
         "stage_overhead_ms" => p.stage_overhead_ms = v,
@@ -154,10 +157,7 @@ mod tests {
         let (p, _) = from_string(text, &Profiles::paper_testbed()).unwrap();
         assert_eq!(p.get(ids::SPARK).startup_ms, 9999.0);
         // untouched fields keep the base values
-        assert_eq!(
-            p.get(ids::SPARK).cores,
-            Profiles::paper_testbed().get(ids::SPARK).cores
-        );
+        assert_eq!(p.get(ids::SPARK).cores, Profiles::paper_testbed().get(ids::SPARK).cores);
     }
 
     #[test]

@@ -12,12 +12,10 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::platform::PlatformProfile;
 
 /// An interval estimate with a confidence in `[0, 1]` (Fig. 6's pink boxes).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Interval {
     /// Lower bound.
     pub lo: f64,
@@ -60,11 +58,7 @@ impl Interval {
 
     /// Interval addition; confidence degrades to the weaker operand.
     pub fn add(&self, other: &Interval) -> Interval {
-        Interval {
-            lo: self.lo + other.lo,
-            hi: self.hi + other.hi,
-            conf: self.conf.min(other.conf),
-        }
+        Interval { lo: self.lo + other.lo, hi: self.hi + other.hi, conf: self.conf.min(other.conf) }
     }
 
     /// Scale by a non-negative constant.
@@ -75,11 +69,7 @@ impl Interval {
 
     /// Interval multiplication (for cardinality products, all non-negative).
     pub fn mul(&self, other: &Interval) -> Interval {
-        Interval {
-            lo: self.lo * other.lo,
-            hi: self.hi * other.hi,
-            conf: self.conf * other.conf,
-        }
+        Interval { lo: self.lo * other.lo, hi: self.hi * other.hi, conf: self.conf * other.conf }
     }
 
     /// Widen the bounds by a relative factor and damp confidence — applied
@@ -139,7 +129,7 @@ impl Load {
 /// The tunable cost-model parameters: a flat key → value map with keys like
 /// `"spark.map.alpha"` (cycles per input quantum), `".delta"` (fixed cycles),
 /// `".bytes"` (bytes per quantum for transfer-bound operators). §4.5's `x`.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct CostModel {
     params: HashMap<String, f64>,
 }
@@ -235,11 +225,8 @@ mod tests {
 
     #[test]
     fn load_to_ms_accounts_for_parallelism() {
-        let profile = PlatformProfile {
-            cores: 4,
-            cycles_per_ms: 1000.0,
-            ..PlatformProfile::default()
-        };
+        let profile =
+            PlatformProfile { cores: 4, cycles_per_ms: 1000.0, ..PlatformProfile::default() };
         let seq = Load::cpu(8000.0);
         assert!((seq.to_ms(&profile) - 8.0).abs() < 1e-9);
         let par = Load { cpu_cycles: 8000.0, tasks: 8, ..Default::default() };

@@ -27,13 +27,7 @@ pub fn plan_to_dot(plan: &RheemPlan) -> String {
         } else {
             ""
         };
-        let _ = writeln!(
-            out,
-            "  n{} [label=\"{}\"{}];",
-            node.id.0,
-            escape(&node.label()),
-            shape
-        );
+        let _ = writeln!(out, "  n{} [label=\"{}\"{}];", node.id.0, escape(&node.label()), shape);
     }
     for node in plan.operators() {
         for &inp in &node.inputs {
@@ -65,43 +59,26 @@ pub fn exec_plan_to_dot(plan: &RheemPlan, _opt: &OptimizedPlan, eplan: &ExecPlan
             "    label=\"stage {} [{}]{}\"; style=filled; fillcolor=\"{}\";",
             stage.id,
             stage.platform,
-            stage
-                .loop_of
-                .map(|l| format!(" loop {l:?}"))
-                .unwrap_or_default(),
+            stage.loop_of.map(|l| format!(" loop {l:?}")).unwrap_or_default(),
             color
         );
         for &nid in &stage.nodes {
             let n = &eplan.nodes[nid];
             let conv = if n.logical.is_empty() { ", shape=ellipse" } else { "" };
-            let _ = writeln!(
-                out,
-                "    e{} [label=\"{}\"{}];",
-                nid,
-                escape(n.exec.name()),
-                conv
-            );
+            let _ = writeln!(out, "    e{} [label=\"{}\"{}];", nid, escape(n.exec.name()), conv);
         }
         out.push_str("  }\n");
     }
     for n in &eplan.nodes {
         let head = n.is_loop_head(plan);
         for (slot, &i) in n.inputs.iter().enumerate() {
-            let style = if head && slot == 1 {
-                " [style=bold, color=red, label=\"feedback\"]"
-            } else {
-                ""
-            };
+            let style =
+                if head && slot == 1 { " [style=bold, color=red, label=\"feedback\"]" } else { "" };
             let _ = writeln!(out, "  e{} -> e{}{};", i, n.id, style);
         }
         for (name, i) in &n.broadcasts {
-            let _ = writeln!(
-                out,
-                "  e{} -> e{} [style=dashed, label=\"{}\"];",
-                i,
-                n.id,
-                escape(name)
-            );
+            let _ =
+                writeln!(out, "  e{} -> e{} [style=dashed, label=\"{}\"];", i, n.id, escape(name));
         }
     }
     out.push_str("}\n");

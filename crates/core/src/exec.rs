@@ -168,10 +168,7 @@ impl<'a> ExecCtx<'a> {
 
 /// Total input cardinality across channels (0 when unknown).
 pub fn total_cardinality(inputs: &[ChannelData]) -> u64 {
-    inputs
-        .iter()
-        .map(|c| c.cardinality().unwrap_or(0) as u64)
-        .sum()
+    inputs.iter().map(|c| c.cardinality().unwrap_or(0) as u64).sum()
 }
 
 /// Estimate the serialized byte volume of a dataset (for movement costs).
@@ -237,9 +234,7 @@ mod tests {
         let profiles = Profiles::bare();
         let mut ctx = ExecCtx::new(&profiles, 0);
         let op = Dummy;
-        let out = ctx
-            .timed_seq(&op, 3, || Ok((vec![1, 2, 3], 3)))
-            .unwrap();
+        let out = ctx.timed_seq(&op, 3, || Ok((vec![1, 2, 3], 3))).unwrap();
         assert_eq!(out.len(), 3);
         assert_eq!(ctx.op_metrics().len(), 1);
         assert_eq!(ctx.op_metrics()[0].in_card, 3);

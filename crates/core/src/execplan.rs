@@ -11,13 +11,13 @@ use std::sync::Arc;
 
 use crate::builtin::CONTROL;
 use crate::channel::ChannelKind;
+use crate::cost::CostModel;
 use crate::error::{Result, RheemError};
 use crate::exec::ExecutionOperator;
 use crate::movement::{ConvNode, ConversionGraph};
 use crate::optimizer::OptimizedPlan;
 use crate::plan::{LogicalOp, OperatorId, RheemPlan};
 use crate::platform::{PlatformId, Profiles};
-use crate::cost::CostModel;
 
 /// Estimates with confidence below this get an optimization checkpoint
 /// (stage seal) after them (§4.4).
@@ -52,9 +52,7 @@ impl ExecNode {
 
     /// Whether this node is a loop head (RepeatLoop / DoWhile relay).
     pub fn is_loop_head(&self, plan: &RheemPlan) -> bool {
-        self.tail()
-            .map(|t| plan.node(t).op.kind().is_loop_head())
-            .unwrap_or(false)
+        self.tail().map(|t| plan.node(t).op.kind().is_loop_head()).unwrap_or(false)
     }
 }
 
@@ -229,9 +227,9 @@ pub fn build_exec_plan(
         // per iteration of loop L (a body operator or the loop head itself)
         // must re-convert inside L for consumers within L, but convert the
         // *final* value once, after the loop, for outside consumers.
-        let producer_dynamic_loop = b.effective_loop(p).filter(|_l| {
-            plan.node(p).op.kind().is_loop_head() || plan.node(p).loop_of.is_some()
-        });
+        let producer_dynamic_loop = b
+            .effective_loop(p)
+            .filter(|_l| plan.node(p).op.kind().is_loop_head() || plan.node(p).loop_of.is_some());
         let in_loop = |mut ctx: Option<OperatorId>, l: OperatorId| -> bool {
             let mut guard = 0;
             while let Some(c) = ctx {
@@ -251,11 +249,7 @@ pub fn build_exec_plan(
             let consumer_ctx = plan.node(tail).loop_of.or_else(|| {
                 // Loop-head consumers (the feedback edge) convert inside the
                 // loop body: the transfer happens every iteration.
-                plan.node(tail)
-                    .op
-                    .kind()
-                    .is_loop_head()
-                    .then_some(tail)
+                plan.node(tail).op.kind().is_loop_head().then_some(tail)
             });
             match producer_dynamic_loop {
                 Some(l) if consumer_ctx.map(|c| in_loop(Some(c), l)).unwrap_or(false) => Some(l),
@@ -363,9 +357,7 @@ pub fn build_exec_plan(
         }
     }
     if order.len() != n {
-        return Err(RheemError::Optimizer(
-            "execution graph contains an unexpected cycle".into(),
-        ));
+        return Err(RheemError::Optimizer("execution graph contains an unexpected cycle".into()));
     }
 
     // 4. Stage partition: consecutive topo runs grouped by (platform, loop
@@ -473,7 +465,10 @@ impl ExecPlan {
                     } else {
                         format!(
                             " broadcasts={:?}",
-                            n.broadcasts.iter().map(|(n, p)| (n.to_string(), *p)).collect::<Vec<_>>()
+                            n.broadcasts
+                                .iter()
+                                .map(|(n, p)| (n.to_string(), *p))
+                                .collect::<Vec<_>>()
                         )
                     }
                 );
@@ -575,43 +570,28 @@ mod tests {
         let mut ctx = RheemContext::new();
         ctx.registry_mut().add_mapping(Arc::new(FnMapping(
             |_p: &RheemPlan, n: &crate::plan::OperatorNode| match n.op.kind() {
-                OpKind::Map | OpKind::Filter => vec![Candidate::single(
-                    n.id,
-                    Arc::new(TestOp("T", PlatformId("tp"))) as _,
-                )],
+                OpKind::Map | OpKind::Filter => {
+                    vec![Candidate::single(n.id, Arc::new(TestOp("T", PlatformId("tp"))) as _)]
+                }
                 _ => vec![],
             },
         )));
         let (_, eplan) = ctx.compile(&plan).unwrap();
-        let filter_node = eplan
-            .nodes
-            .iter()
-            .find(|n| n.tail() == Some(crate::plan::OperatorId(1)))
-            .unwrap();
-        let map_node = eplan
-            .nodes
-            .iter()
-            .find(|n| n.tail() == Some(crate::plan::OperatorId(2)))
-            .unwrap();
-        assert_ne!(
-            filter_node.stage, map_node.stage,
-            "stage must seal after the uncertain filter"
-        );
+        let filter_node =
+            eplan.nodes.iter().find(|n| n.tail() == Some(crate::plan::OperatorId(1))).unwrap();
+        let map_node =
+            eplan.nodes.iter().find(|n| n.tail() == Some(crate::plan::OperatorId(2))).unwrap();
+        assert_ne!(filter_node.stage, map_node.stage, "stage must seal after the uncertain filter");
     }
 
     #[test]
     fn loop_heads_get_their_own_stage() {
         let mut b = PlanBuilder::new();
         let init = b.collection(vec![Value::from(0)]);
-        init.repeat(2, |w| w.map(MapUdf::new("inc", |v| v.clone())))
-            .collect();
+        init.repeat(2, |w| w.map(MapUdf::new("inc", |v| v.clone()))).collect();
         let plan = b.build().unwrap();
         let (_, eplan) = test_ctx().compile(&plan).unwrap();
-        let head = eplan
-            .nodes
-            .iter()
-            .find(|n| n.is_loop_head(&plan))
-            .expect("loop head node");
+        let head = eplan.nodes.iter().find(|n| n.is_loop_head(&plan)).expect("loop head node");
         let stage = &eplan.stages[head.stage];
         assert_eq!(stage.nodes, vec![head.id], "Fig. 7: the loop head stands alone");
     }
@@ -619,9 +599,7 @@ mod tests {
     #[test]
     fn describe_mentions_every_stage() {
         let mut b = PlanBuilder::new();
-        b.collection(vec![Value::from(1)])
-            .map(MapUdf::new("m", |v| v.clone()))
-            .collect();
+        b.collection(vec![Value::from(1)]).map(MapUdf::new("m", |v| v.clone())).collect();
         let plan = b.build().unwrap();
         let (_, eplan) = test_ctx().compile(&plan).unwrap();
         let text = eplan.describe();

@@ -8,7 +8,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::builtin::CONTROL;
 use crate::channel::ChannelData;
@@ -297,10 +297,7 @@ impl<'a> Executor<'a> {
             state_vfinish = st.vfinish[feedback_provider];
             if let Some(cond) = &cond {
                 let data = state.flatten()?;
-                let done = data
-                    .first()
-                    .map(|v| cond.call(v, &BroadcastCtx::new()))
-                    .unwrap_or(true);
+                let done = data.first().map(|v| cond.call(v, &BroadcastCtx::new())).unwrap_or(true);
                 if done {
                     break;
                 }
@@ -359,14 +356,12 @@ impl<'a> Executor<'a> {
         let mut inputs = Vec::with_capacity(node.inputs.len());
         let mut vstart: f64 = st.floor.max(st.run_base);
         for &i in &node.inputs {
-            inputs.push(
-                st.values[i]
-                    .clone()
-                    .ok_or_else(|| RheemError::Execution(format!(
-                        "input node {i} of {} not yet executed",
-                        node.exec.name()
-                    )))?,
-            );
+            inputs.push(st.values[i].clone().ok_or_else(|| {
+                RheemError::Execution(format!(
+                    "input node {i} of {} not yet executed",
+                    node.exec.name()
+                ))
+            })?);
             vstart = vstart.max(st.vfinish[i]);
         }
         let mut bc = BroadcastCtx::new();
@@ -430,16 +425,13 @@ impl<'a> Executor<'a> {
         if self.config.exploration && !node.logical.is_empty() {
             if let Ok(data) = out.flatten() {
                 let sniff_wall = Instant::now();
-                let sample: Vec<Value> = data
-                    .iter()
-                    .take(self.config.sniff_limit)
-                    .cloned()
-                    .collect();
+                let sample: Vec<Value> =
+                    data.iter().take(self.config.sniff_limit).cloned().collect();
                 let sniff_ms = sniff_wall.elapsed().as_secs_f64() * 1000.0;
                 // Copying at scale costs time proportional to data volume:
                 // charge the multiplex pass over the full output.
-                let multiplex_ms =
-                    sniff_ms + data.len() as f64 * 120.0 / self.profiles.get(platform).cycles_per_ms;
+                let multiplex_ms = sniff_ms
+                    + data.len() as f64 * 120.0 / self.profiles.get(platform).cycles_per_ms;
                 vdur += multiplex_ms;
                 ops.push(OpMetrics {
                     name: "Sniffer".to_string(),
@@ -449,9 +441,7 @@ impl<'a> Executor<'a> {
                     virtual_ms: multiplex_ms,
                     real_ms: sniff_ms,
                 });
-                st.exploration
-                    .taps
-                    .push((node.exec.name().to_string(), sample));
+                st.exploration.taps.push((node.exec.name().to_string(), sample));
             }
         }
 
@@ -492,8 +482,8 @@ impl<'a> Executor<'a> {
             return false;
         };
         let est = self.opt.estimates.out_card(tail);
-        let uncertain =
-            est.conf < self.config.checkpoint_conf || est.rel_width() > self.config.checkpoint_width;
+        let uncertain = est.conf < self.config.checkpoint_conf
+            || est.rel_width() > self.config.checkpoint_width;
         if !uncertain {
             return false;
         }
@@ -514,9 +504,7 @@ impl<'a> Executor<'a> {
             if !executed.contains(op) {
                 continue;
             }
-            let needed = self.plan.consumers()[op.index()]
-                .iter()
-                .any(|c| !executed.contains(c));
+            let needed = self.plan.consumers()[op.index()].iter().any(|c| !executed.contains(c));
             if needed {
                 match &st.values[nid] {
                     Some(ChannelData::Collection(_)) | Some(ChannelData::Partitions(_)) => {}
@@ -546,9 +534,7 @@ impl<'a> Executor<'a> {
             if !executed.contains(op) {
                 continue;
             }
-            let needed = self.plan.consumers()[op.index()]
-                .iter()
-                .any(|c| !executed.contains(c));
+            let needed = self.plan.consumers()[op.index()].iter().any(|c| !executed.contains(c));
             if needed {
                 if let Some(v) = &st.values[nid] {
                     if let Ok(data) = v.flatten() {

@@ -27,7 +27,9 @@ pub fn flat_map(data: &[Value], udf: &FlatMapUdf, bc: &BroadcastCtx) -> Vec<Valu
 /// Relational projection: keep the listed tuple fields, in order.
 pub fn project(data: &[Value], fields: &[usize]) -> Vec<Value> {
     data.iter()
-        .map(|v| Value::Tuple(fields.iter().map(|&i| v.field(i).clone()).collect::<Vec<_>>().into()))
+        .map(|v| {
+            Value::Tuple(fields.iter().map(|&i| v.field(i).clone()).collect::<Vec<_>>().into())
+        })
         .collect()
 }
 
@@ -38,18 +40,19 @@ pub fn filter(data: &[Value], pred: &PredicateUdf, bc: &BroadcastCtx) -> Vec<Val
 
 /// Sort ascending by extracted key (stable).
 pub fn sort_by(data: &[Value], key: &KeyUdf) -> Vec<Value> {
-    let mut keyed: Vec<(Value, Value)> =
-        data.iter().map(|v| (key.call(v), v.clone())).collect();
+    let mut keyed: Vec<(Value, Value)> = data.iter().map(|v| (key.call(v), v.clone())).collect();
     keyed.sort_by(|a, b| a.0.cmp(&b.0));
     keyed.into_iter().map(|(_, v)| v).collect()
 }
 
 /// Remove duplicates, preserving first occurrence order.
 pub fn distinct(data: &[Value]) -> Vec<Value> {
-    let mut seen = std::collections::HashSet::with_capacity(data.len());
+    // Dedup over borrowed values: only quanta that survive are cloned, once.
+    let mut seen: std::collections::HashSet<&Value> =
+        std::collections::HashSet::with_capacity(data.len());
     let mut out = Vec::new();
     for v in data {
-        if seen.insert(v.clone()) {
+        if seen.insert(v) {
             out.push(v.clone());
         }
     }
@@ -63,13 +66,14 @@ pub fn group_by(data: &[Value], key: &KeyUdf) -> Vec<Value> {
     let mut groups: HashMap<Value, Vec<Value>> = HashMap::new();
     for v in data {
         let k = key.call(v);
-        groups
-            .entry(k.clone())
-            .or_insert_with(|| {
+        // get_mut-then-insert avoids cloning the key on every group hit.
+        match groups.get_mut(&k) {
+            Some(members) => members.push(v.clone()),
+            None => {
                 order.push(k.clone());
-                Vec::new()
-            })
-            .push(v.clone());
+                groups.insert(k, vec![v.clone()]);
+            }
+        }
     }
     order
         .into_iter()
@@ -83,22 +87,65 @@ pub fn group_by(data: &[Value], key: &KeyUdf) -> Vec<Value> {
 /// Per-key fold with an associative combiner; emits one quantum per key in
 /// first-occurrence order.
 pub fn reduce_by(data: &[Value], key: &KeyUdf, agg: &ReduceUdf) -> Vec<Value> {
-    let mut order: Vec<Value> = Vec::new();
-    let mut acc: HashMap<Value, Value> = HashMap::new();
+    let mut state = ReduceByState::new(key, agg);
     for v in data {
-        let k = key.call(v);
-        match acc.get_mut(&k) {
-            Some(cur) => *cur = agg.call(cur, v),
+        state.feed(v);
+    }
+    state.finish()
+}
+
+/// Streaming accumulator behind [`reduce_by`]: feed quanta one at a time,
+/// then [`finish`](ReduceByState::finish) to emit one quantum per key in
+/// first-occurrence order (identical to [`reduce_by`] by construction).
+///
+/// Engines use it for *fused terminal aggregation*: survivors of a
+/// [`crate::fused::FusedPipeline`] stream straight into the hash table via
+/// [`feed_owned`](ReduceByState::feed_owned), so the pair dataset between
+/// the narrow chain and the aggregation is never materialized.
+pub struct ReduceByState<'a> {
+    key: &'a KeyUdf,
+    agg: &'a ReduceUdf,
+    order: Vec<Value>,
+    acc: HashMap<Value, Value>,
+}
+
+impl<'a> ReduceByState<'a> {
+    /// Start an empty accumulation under `key`/`agg`.
+    pub fn new(key: &'a KeyUdf, agg: &'a ReduceUdf) -> Self {
+        Self { key, agg, order: Vec::new(), acc: HashMap::new() }
+    }
+
+    /// Fold one borrowed quantum into its key's accumulator.
+    #[inline]
+    pub fn feed(&mut self, v: &Value) {
+        let k = self.key.call(v);
+        match self.acc.get_mut(&k) {
+            Some(cur) => *cur = self.agg.call(cur, v),
             None => {
-                order.push(k.clone());
-                acc.insert(k, v.clone());
+                self.order.push(k.clone());
+                self.acc.insert(k, v.clone());
             }
         }
     }
-    order
-        .into_iter()
-        .map(|k| acc.remove(&k).expect("accumulated"))
-        .collect()
+
+    /// Fold one owned quantum — a first-seen key keeps the value without
+    /// cloning it (the fused-pipeline sink always owns its survivors).
+    #[inline]
+    pub fn feed_owned(&mut self, v: Value) {
+        let k = self.key.call(&v);
+        match self.acc.get_mut(&k) {
+            Some(cur) => *cur = self.agg.call(cur, &v),
+            None => {
+                self.order.push(k.clone());
+                self.acc.insert(k, v);
+            }
+        }
+    }
+
+    /// Emit one quantum per key, in first-occurrence order.
+    pub fn finish(mut self) -> Vec<Value> {
+        self.order.into_iter().map(|k| self.acc.remove(&k).expect("accumulated")).collect()
+    }
 }
 
 /// Fold the whole input into at most one quantum.
@@ -196,7 +243,7 @@ pub fn sample(data: &[Value], method: SampleMethod, size: SampleSize, seed: u64)
             let mut idx: Vec<usize> = (0..data.len()).collect();
             let mut out = Vec::with_capacity(n);
             for i in 0..n {
-                let j = i + (rng.next() as usize) % (idx.len() - i);
+                let j = i + (rng.next_u64() as usize) % (idx.len() - i);
                 idx.swap(i, j);
                 out.push(data[idx[i]].clone());
             }
@@ -207,7 +254,7 @@ pub fn sample(data: &[Value], method: SampleMethod, size: SampleSize, seed: u64)
             let mut rng = SplitMix64(seed);
             let out: Vec<Value> = data
                 .iter()
-                .filter(|_| (rng.next() as f64 / u64::MAX as f64) < p)
+                .filter(|_| (rng.next_u64() as f64 / u64::MAX as f64) < p)
                 .cloned()
                 .collect();
             out
@@ -220,26 +267,63 @@ pub struct SplitMix64(pub u64);
 
 impl SplitMix64 {
     /// Next pseudo-random 64-bit value.
-    pub fn next(&mut self) -> u64 {
+    pub fn next_u64(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
         z ^ (z >> 31)
     }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Uniform `usize` in `[0, n)` (`n` must be non-zero).
+    pub fn range_usize(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// Stable bucket index of one quantum under a key extractor (the shuffle's
+/// routing function).
+#[inline]
+pub fn bucket_of(v: &Value, key: &KeyUdf, n: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.call(v).hash(&mut h);
+    (h.finish() as usize) % n.max(1)
+}
+
+/// Hash-partition a dataset by key, appending directly into the caller's
+/// per-bucket buffers (the zero-copy shuffle kernel: engines route many
+/// input partitions into one shared set of pre-sized buckets without
+/// building Vec-of-Vec partials that get re-appended).
+pub fn hash_partition_into(data: &[Value], key: &KeyUdf, parts: &mut [Vec<Value>]) {
+    let n = parts.len().max(1);
+    for v in data {
+        parts[bucket_of(v, key, n)].push(v.clone());
+    }
 }
 
 /// Hash-partition a dataset by key into `n` buckets (the shuffle kernel).
 pub fn hash_partition(data: &[Value], key: &KeyUdf, n: usize) -> Vec<Vec<Value>> {
-    use std::hash::{Hash, Hasher};
     let n = n.max(1);
-    let mut parts = vec![Vec::new(); n];
-    for v in data {
-        let k = key.call(v);
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        k.hash(&mut h);
-        parts[(h.finish() as usize) % n].push(v.clone());
-    }
+    let mut parts: Vec<Vec<Value>> =
+        (0..n).map(|_| Vec::with_capacity(data.len() / n + 1)).collect();
+    hash_partition_into(data, key, &mut parts);
     parts
 }
 
@@ -260,11 +344,7 @@ mod tests {
         assert_eq!(doubled, ints(&[2, 4, 6]));
         let odd = filter(&data, &PredicateUdf::new("odd", |v| v.as_int().unwrap() % 2 == 1), &bc);
         assert_eq!(odd, ints(&[1, 3]));
-        let dup = flat_map(
-            &data,
-            &FlatMapUdf::new("dup", |v| vec![v.clone(), v.clone()]),
-            &bc,
-        );
+        let dup = flat_map(&data, &FlatMapUdf::new("dup", |v| vec![v.clone(), v.clone()]), &bc);
         assert_eq!(dup.len(), 6);
     }
 
@@ -310,12 +390,10 @@ mod tests {
 
     #[test]
     fn hash_join_matches_nested_loop() {
-        let left: Vec<Value> = (0..20)
-            .map(|i| Value::pair(Value::from(i % 5), Value::from(i)))
-            .collect();
-        let right: Vec<Value> = (0..10)
-            .map(|i| Value::pair(Value::from(i % 5), Value::from(100 + i)))
-            .collect();
+        let left: Vec<Value> =
+            (0..20).map(|i| Value::pair(Value::from(i % 5), Value::from(i))).collect();
+        let right: Vec<Value> =
+            (0..10).map(|i| Value::pair(Value::from(i % 5), Value::from(100 + i))).collect();
         let k = KeyUdf::field(0);
         let mut j1 = hash_join(&left, &right, &k, &k);
         let mut j2: Vec<Value> = Vec::new();
@@ -334,17 +412,17 @@ mod tests {
 
     #[test]
     fn join_builds_on_smaller_side_consistently() {
-        let big: Vec<Value> = (0..50).map(|i| Value::pair(Value::from(i % 3), Value::from(i))).collect();
-        let small: Vec<Value> = (0..5).map(|i| Value::pair(Value::from(i % 3), Value::from(i))).collect();
+        let big: Vec<Value> =
+            (0..50).map(|i| Value::pair(Value::from(i % 3), Value::from(i))).collect();
+        let small: Vec<Value> =
+            (0..5).map(|i| Value::pair(Value::from(i % 3), Value::from(i))).collect();
         let k = KeyUdf::field(0);
         let mut a = hash_join(&big, &small, &k, &k);
         let mut b = hash_join(&small, &big, &KeyUdf::field(0), &KeyUdf::field(0));
         // same pairs modulo (l, r) orientation
         a.sort();
-        let mut b_flipped: Vec<Value> = b
-            .drain(..)
-            .map(|p| Value::pair(p.field(1).clone(), p.field(0).clone()))
-            .collect();
+        let mut b_flipped: Vec<Value> =
+            b.drain(..).map(|p| Value::pair(p.field(1).clone(), p.field(0).clone())).collect();
         b_flipped.sort();
         assert_eq!(a, b_flipped);
     }
@@ -372,10 +450,7 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(a.len(), 10);
-        assert_eq!(
-            sample(&data, SampleMethod::First, SampleSize::Count(3), 0),
-            ints(&[0, 1, 2])
-        );
+        assert_eq!(sample(&data, SampleMethod::First, SampleSize::Count(3), 0), ints(&[0, 1, 2]));
         // Full-size sample returns everything.
         assert_eq!(sample(&data, SampleMethod::Random, SampleSize::Count(1000), 1).len(), 100);
     }
@@ -389,9 +464,8 @@ mod tests {
 
     #[test]
     fn hash_partition_covers_all() {
-        let data: Vec<Value> = (0..100)
-            .map(|i| Value::pair(Value::from(i % 10), Value::from(i)))
-            .collect();
+        let data: Vec<Value> =
+            (0..100).map(|i| Value::pair(Value::from(i % 10), Value::from(i))).collect();
         let parts = hash_partition(&data, &KeyUdf::field(0), 4);
         assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);
         // same key lands in the same partition

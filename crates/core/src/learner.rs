@@ -13,14 +13,13 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::Path;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::kernels::SplitMix64;
 
 use crate::cost::{param_key, CostModel, Load};
 use crate::error::{Result, RheemError};
+use crate::monitor::Monitor;
 #[allow(unused_imports)]
 use crate::plan::RheemPlan;
-use crate::monitor::Monitor;
 use crate::platform::{PlatformId, Profiles};
 
 /// One operator observation inside a stage sample.
@@ -96,12 +95,9 @@ pub fn read_samples(path: &Path) -> Result<Vec<StageSample>> {
             continue;
         }
         let mut parts = line.split('\t');
-        let t = parts
-            .next()
-            .and_then(|t| t.parse::<f64>().ok())
-            .ok_or_else(|| {
-                RheemError::Config(format!("log line {}: bad stage time", lineno + 1))
-            })?;
+        let t = parts.next().and_then(|t| t.parse::<f64>().ok()).ok_or_else(|| {
+            RheemError::Config(format!("log line {}: bad stage time", lineno + 1))
+        })?;
         let mut ops = Vec::new();
         for p in parts {
             let f: Vec<&str> = p.split(':').collect();
@@ -146,13 +142,7 @@ pub struct CostLearner {
 
 impl Default for CostLearner {
     fn default() -> Self {
-        Self {
-            population: 48,
-            generations: 120,
-            mutation_rate: 0.15,
-            smoothing: 5.0,
-            seed: 7,
-        }
+        Self { population: 48, generations: 120, mutation_rate: 0.15, smoothing: 5.0, seed: 7 }
     }
 }
 
@@ -182,12 +172,7 @@ impl Layout {
 
 impl CostLearner {
     /// Predicted stage time under a genome (the `Σ f_i(x, C_i)` of §4.5).
-    fn predict(
-        genome: &[f64],
-        layout: &Layout,
-        sample: &StageSample,
-        profiles: &Profiles,
-    ) -> f64 {
+    fn predict(genome: &[f64], layout: &Layout, sample: &StageSample, profiles: &Profiles) -> f64 {
         let mut total = 0.0;
         for o in &sample.ops {
             let gi = layout.index[&o.key("")];
@@ -232,7 +217,7 @@ impl CostLearner {
         }
         let layout = Layout::from_samples(samples);
         let genes = layout.keys.len() * 2;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64(self.seed);
 
         // Stage weights: sum of relative operator frequencies.
         let mut op_count: HashMap<String, f64> = HashMap::new();
@@ -246,21 +231,13 @@ impl CostLearner {
         let weights: Vec<f64> = samples
             .iter()
             .map(|s| {
-                s.ops
-                    .iter()
-                    .map(|o| 1.0 - (op_count[&o.key("")] / total_ops))
-                    .sum::<f64>()
-                    .max(0.1)
+                s.ops.iter().map(|o| 1.0 - (op_count[&o.key("")] / total_ops)).sum::<f64>().max(0.1)
             })
             .collect();
 
         // Initial population: log-uniform positive parameters.
         let mut pop: Vec<Vec<f64>> = (0..self.population)
-            .map(|_| {
-                (0..genes)
-                    .map(|_| 10f64.powf(rng.random_range(0.0..6.0)))
-                    .collect()
-            })
+            .map(|_| (0..genes).map(|_| 10f64.powf(rng.range_f64(0.0, 6.0))).collect())
             .collect();
         let mut losses: Vec<f64> = pop
             .iter()
@@ -276,9 +253,9 @@ impl CostLearner {
             next.push(pop[order[1]].clone());
             while next.len() < self.population {
                 // Tournament selection.
-                let pick = |rng: &mut StdRng| {
-                    let a = rng.random_range(0..pop.len());
-                    let b = rng.random_range(0..pop.len());
+                let pick = |rng: &mut SplitMix64| {
+                    let a = rng.range_usize(pop.len());
+                    let b = rng.range_usize(pop.len());
                     if losses[a] < losses[b] {
                         a
                     } else {
@@ -288,19 +265,13 @@ impl CostLearner {
                 let pa = pick(&mut rng);
                 let pb = pick(&mut rng);
                 let mut child: Vec<f64> = (0..genes)
-                    .map(|i| {
-                        if rng.random_bool(0.5) {
-                            pop[pa][i]
-                        } else {
-                            pop[pb][i]
-                        }
-                    })
+                    .map(|i| if rng.chance(0.5) { pop[pa][i] } else { pop[pb][i] })
                     .collect();
                 for g in child.iter_mut() {
-                    if rng.random_bool(self.mutation_rate) {
+                    if rng.chance(self.mutation_rate) {
                         // Log-space jitter keeps parameters positive and
                         // explores magnitudes.
-                        let factor = 10f64.powf(rng.random_range(-0.5..0.5));
+                        let factor = 10f64.powf(rng.range_f64(-0.5, 0.5));
                         *g *= factor;
                     }
                 }
@@ -337,10 +308,7 @@ impl CostLearner {
             .keys
             .iter()
             .flat_map(|k| {
-                [
-                    model.get(&format!("{k}alpha"), 100.0),
-                    model.get(&format!("{k}delta"), 1000.0),
-                ]
+                [model.get(&format!("{k}alpha"), 100.0), model.get(&format!("{k}delta"), 1000.0)]
             })
             .collect();
         let weights = vec![1.0; samples.len()];
@@ -470,12 +438,11 @@ impl LogGenerator {
 /// Intern a platform string to the `&'static str` that `PlatformId` wants.
 /// Platform id strings form a tiny closed set, so leaking is bounded.
 fn leak_str(s: &str) -> &'static str {
-    use parking_lot::Mutex;
     use std::collections::HashSet;
-    use std::sync::OnceLock;
+    use std::sync::{Mutex, OnceLock};
     static INTERN: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
     let set = INTERN.get_or_init(|| Mutex::new(HashSet::new()));
-    let mut guard = set.lock();
+    let mut guard = set.lock().unwrap();
     if let Some(&existing) = guard.get(s) {
         return existing;
     }

@@ -34,12 +34,13 @@ pub mod builtin;
 pub mod cardinality;
 pub mod channel;
 pub mod config;
-pub mod dot;
 pub mod cost;
+pub mod dot;
 pub mod error;
 pub mod exec;
 pub mod execplan;
 pub mod executor;
+pub mod fused;
 pub mod kernels;
 pub mod learner;
 pub mod mapping;

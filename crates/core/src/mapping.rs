@@ -44,13 +44,7 @@ impl Candidate {
 
 impl std::fmt::Debug for Candidate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "Candidate({:?} -> {}@{})",
-            self.covers,
-            self.exec.name(),
-            self.exec.platform()
-        )
+        write!(f, "Candidate({:?} -> {}@{})", self.covers, self.exec.name(), self.exec.platform())
     }
 }
 
@@ -149,10 +143,7 @@ mod tests {
         let mut p = RheemPlan::new();
         let s = p.add(LogicalOp::CollectionSource { data: Arc::new(vec![Value::from(1)]) }, &[]);
         let m1 = p.add(LogicalOp::Map(MapUdf::new("m1", |v| v.clone())), &[s]);
-        let f = p.add(
-            LogicalOp::Filter(PredicateUdf::new("f", |_| true)),
-            &[m1],
-        );
+        let f = p.add(LogicalOp::Filter(PredicateUdf::new("f", |_| true)), &[m1]);
         let m2 = p.add(LogicalOp::Map(MapUdf::new("m2", |v| v.clone())), &[f]);
         p.add(LogicalOp::CollectionSink, &[m2]);
         p
@@ -162,9 +153,8 @@ mod tests {
     fn upstream_chain_fuses_unary_ops() {
         let plan = linear_plan();
         let m2 = plan.node(crate::plan::OperatorId(3));
-        let chain = upstream_chain(&plan, m2, |n| {
-            matches!(n.op.kind(), OpKind::Map | OpKind::Filter)
-        });
+        let chain =
+            upstream_chain(&plan, m2, |n| matches!(n.op.kind(), OpKind::Map | OpKind::Filter));
         // m1 -> f -> m2 in dataflow order
         assert_eq!(chain.len(), 3);
         assert_eq!(chain[2], m2.id);

@@ -3,7 +3,7 @@
 //! (aware of platform-internal laziness, which our engines surface by
 //! reporting per-operator metrics themselves), and checks execution health.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::exec::OpMetrics;
 use crate::platform::PlatformId;
@@ -63,45 +63,45 @@ impl Monitor {
 
     /// Record a stage run.
     pub fn record(&self, run: StageRun) {
-        self.runs.lock().push(run);
+        self.runs.lock().unwrap().push(run);
     }
 
     /// Count a progressive re-optimization.
     pub fn count_replan(&self) {
-        *self.replans.lock() += 1;
+        *self.replans.lock().unwrap() += 1;
     }
 
     /// Number of progressive re-optimizations so far.
     pub fn replans(&self) -> u32 {
-        *self.replans.lock()
+        *self.replans.lock().unwrap()
     }
 
     /// Count a fault-tolerance retry of a failed execution operator.
     pub fn count_retry(&self) {
-        *self.retries.lock() += 1;
+        *self.retries.lock().unwrap() += 1;
     }
 
     /// Number of operator retries so far.
     pub fn retries(&self) -> u32 {
-        *self.retries.lock()
+        *self.retries.lock().unwrap()
     }
 
     /// Snapshot of all recorded stage runs.
     pub fn stage_runs(&self) -> Vec<StageRun> {
-        self.runs.lock().clone()
+        self.runs.lock().unwrap().clone()
     }
 
     /// Total virtual time across recorded runs (diagnostic; the executor's
     /// dependency-aware composition is authoritative for job runtime).
     pub fn total_virtual_ms(&self) -> f64 {
-        self.runs.lock().iter().map(|r| r.virtual_ms).sum()
+        self.runs.lock().unwrap().iter().map(|r| r.virtual_ms).sum()
     }
 
     /// Clear all records (between jobs).
     pub fn reset(&self) {
-        self.runs.lock().clear();
-        *self.replans.lock() = 0;
-        *self.retries.lock() = 0;
+        self.runs.lock().unwrap().clear();
+        *self.replans.lock().unwrap() = 0;
+        *self.retries.lock().unwrap() = 0;
     }
 }
 

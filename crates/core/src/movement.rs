@@ -33,10 +33,7 @@ pub struct ConvNode {
 impl ConvNode {
     /// Total number of conversion edges in the tree.
     pub fn edge_count(&self) -> usize {
-        self.children
-            .iter()
-            .map(|(_, c)| 1 + c.edge_count())
-            .sum()
+        self.children.iter().map(|(_, c)| 1 + c.edge_count()).sum()
     }
 
     /// All conversion operator names, in preorder (for tests/diagnostics).
@@ -237,11 +234,7 @@ impl ConversionGraph {
 
     fn rebuild(&self, back: &[Vec<Back>], s: usize, v: usize) -> ConvNode {
         match back[s][v] {
-            Back::Leaf(i) => ConvNode {
-                kind: self.kinds[v],
-                deliver: vec![i],
-                children: vec![],
-            },
+            Back::Leaf(i) => ConvNode { kind: self.kinds[v], deliver: vec![i], children: vec![] },
             Back::Edge { to, conv } => {
                 let child = self.rebuild(back, s, to);
                 ConvNode {
@@ -259,11 +252,7 @@ impl ConversionGraph {
                     children: a.children.into_iter().chain(b.children).collect(),
                 }
             }
-            Back::None => ConvNode {
-                kind: self.kinds[v],
-                deliver: vec![],
-                children: vec![],
-            },
+            Back::None => ConvNode { kind: self.kinds[v], deliver: vec![], children: vec![] },
         }
     }
 
@@ -384,11 +373,7 @@ mod tests {
             )
             .unwrap();
         let names = plan.tree.op_names();
-        assert_eq!(
-            names.iter().filter(|n| *n == "Parallelize").count(),
-            2,
-            "{names:?}"
-        );
+        assert_eq!(names.iter().filter(|n| *n == "Parallelize").count(), 2, "{names:?}");
         assert!(names.contains(&"CollectDirect".to_string()), "{names:?}");
     }
 
@@ -434,12 +419,10 @@ mod tests {
         let g = ConversionGraph::from_registry(&r);
         let profiles = Profiles::bare();
         let model = CostModel::new();
-        let small = g
-            .best_path_cost(RDD, &[kinds::COLLECTION], 10.0, 64.0, &profiles, &model)
-            .unwrap();
-        let large = g
-            .best_path_cost(RDD, &[kinds::COLLECTION], 10_000.0, 64.0, &profiles, &model)
-            .unwrap();
+        let small =
+            g.best_path_cost(RDD, &[kinds::COLLECTION], 10.0, 64.0, &profiles, &model).unwrap();
+        let large =
+            g.best_path_cost(RDD, &[kinds::COLLECTION], 10_000.0, 64.0, &profiles, &model).unwrap();
         assert!(large > small);
     }
 }

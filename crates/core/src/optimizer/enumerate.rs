@@ -77,11 +77,7 @@ struct Partial {
     mask: u32,
 }
 
-fn build_inflated(
-    opt: &Optimizer<'_>,
-    plan: &RheemPlan,
-    estimates: Estimates,
-) -> Result<Inflated> {
+fn build_inflated(opt: &Optimizer<'_>, plan: &RheemPlan, estimates: Estimates) -> Result<Inflated> {
     let n = plan.len();
     let topo = plan.topological_order()?;
     let mut pos = vec![0usize; n];
@@ -258,8 +254,7 @@ impl Inflated {
             let kinds = match edge.slot {
                 Some(slot) => {
                     debug_assert_eq!(
-                        ccand.covers[0],
-                        edge.op,
+                        ccand.covers[0], edge.op,
                         "regular edges must enter a chain at its head"
                     );
                     ccand.exec.accepted_inputs(slot)
@@ -287,14 +282,8 @@ impl Inflated {
         }
         let card = self.estimates.out_card(p).geo_mean().max(0.0);
         let avg_bytes = self.estimates.avg_bytes[p.index()];
-        let tree = graph.best_tree(
-            out_kind,
-            &consumer_kinds,
-            card,
-            avg_bytes,
-            opt.profiles,
-            opt.model,
-        )?;
+        let tree =
+            graph.best_tree(out_kind, &consumer_kinds, card, avg_bytes, opt.profiles, opt.model)?;
         // Every external edge materializes an intermediate channel — a small
         // per-quantum handoff cost that makes operator fusion (chains)
         // strictly cheaper than equivalent sequences of single operators.
@@ -356,8 +345,7 @@ pub(super) fn enumerate_with(
     let n = plan.len();
     let mut stats = EnumerationStats { candidates: inf.cands.len(), ..Default::default() };
 
-    let mut frontier: Vec<Partial> =
-        vec![Partial { choice: vec![UNSET; n], cost: 0.0, mask: 0 }];
+    let mut frontier: Vec<Partial> = vec![Partial { choice: vec![UNSET; n], cost: 0.0, mask: 0 }];
 
     for (k, &op) in inf.topo.iter().enumerate() {
         let mut next: Vec<Partial> = Vec::new();
@@ -370,11 +358,7 @@ pub(super) fn enumerate_with(
             for &ci in &inf.by_head[op.index()] {
                 let cand = &inf.cands[ci];
                 // All covered ops must be free in this partial.
-                if cand
-                    .covers
-                    .iter()
-                    .any(|o| partial.choice[o.index()] != UNSET)
-                {
+                if cand.covers.iter().any(|o| partial.choice[o.index()] != UNSET) {
                     continue;
                 }
                 let mut p2 = partial.clone();

@@ -83,10 +83,7 @@ impl PlanBuilder {
 
     /// Source: an in-memory collection.
     pub fn collection(&mut self, data: impl Into<Vec<Value>>) -> DataQuanta {
-        let id = self.add(
-            LogicalOp::CollectionSource { data: Arc::new(data.into()) },
-            &[],
-        );
+        let id = self.add(LogicalOp::CollectionSource { data: Arc::new(data.into()) }, &[]);
         self.wrap(id)
     }
 
@@ -243,11 +240,7 @@ impl DataQuanta {
         self.do_loop(LogicalOp::DoWhile { cond, max_iterations }, body)
     }
 
-    fn do_loop(
-        &self,
-        head: LogicalOp,
-        body: impl FnOnce(&DataQuanta) -> DataQuanta,
-    ) -> DataQuanta {
+    fn do_loop(&self, head: LogicalOp, body: impl FnOnce(&DataQuanta) -> DataQuanta) -> DataQuanta {
         // Temporarily wire the feedback slot to the initial input; patch
         // after the body is built.
         let loop_id = {
@@ -268,10 +261,7 @@ impl DataQuanta {
 
     /// Attach a named broadcast edge from `producer` into this operator.
     pub fn broadcast(&self, name: impl Into<Arc<str>>, producer: &DataQuanta) -> DataQuanta {
-        self.inner
-            .borrow_mut()
-            .plan
-            .add_broadcast(self.op, name, producer.op);
+        self.inner.borrow_mut().plan.add_broadcast(self.op, name, producer.op);
         self.clone()
     }
 
@@ -283,25 +273,18 @@ impl DataQuanta {
 
     /// Terminal: write one line per quantum.
     pub fn write_text_file(&self, path: impl Into<PathBuf>) -> OperatorId {
-        self.chain(LogicalOp::TextFileSink { path: path.into() }, &[self.op])
-            .op
+        self.chain(LogicalOp::TextFileSink { path: path.into() }, &[self.op]).op
     }
 
     /// Attach a selectivity hint to the most recent operator.
     pub fn with_selectivity(self, selectivity: f64) -> DataQuanta {
-        self.inner
-            .borrow_mut()
-            .plan
-            .set_selectivity(self.op, selectivity);
+        self.inner.borrow_mut().plan.set_selectivity(self.op, selectivity);
         self
     }
 
     /// Pin the most recent operator to a platform.
     pub fn with_target_platform(self, platform: PlatformId) -> DataQuanta {
-        self.inner
-            .borrow_mut()
-            .plan
-            .set_target_platform(self.op, platform);
+        self.inner.borrow_mut().plan.set_target_platform(self.op, platform);
         self
     }
 }
@@ -316,11 +299,7 @@ mod tests {
         let mut b = PlanBuilder::new();
         b.collection(vec![Value::from("a b a")])
             .flat_map(FlatMapUdf::new("split", |v| {
-                v.as_str()
-                    .unwrap_or("")
-                    .split_whitespace()
-                    .map(Value::from)
-                    .collect()
+                v.as_str().unwrap_or("").split_whitespace().map(Value::from).collect()
             }))
             .map(MapUdf::new("pair", |w| Value::pair(w.clone(), Value::from(1))))
             .reduce_by_key(
@@ -328,9 +307,7 @@ mod tests {
                 ReduceUdf::new("sumc", |a, b| {
                     Value::pair(
                         a.field(0).clone(),
-                        Value::from(
-                            a.field(1).as_int().unwrap() + b.field(1).as_int().unwrap(),
-                        ),
+                        Value::from(a.field(1).as_int().unwrap() + b.field(1).as_int().unwrap()),
                     )
                 }),
             )
@@ -344,18 +321,14 @@ mod tests {
     fn repeat_builds_loop_structure() {
         let mut b = PlanBuilder::new();
         let init = b.collection(vec![Value::from(0)]);
-        let out = init.repeat(3, |w| {
-            w.map(MapUdf::new("inc", |v| Value::from(v.as_int().unwrap() + 1)))
-        });
+        let out =
+            init.repeat(3, |w| w.map(MapUdf::new("inc", |v| Value::from(v.as_int().unwrap() + 1))));
         out.collect();
         let plan = b.build().unwrap();
         // collection, loop, body-map, sink
         assert_eq!(plan.len(), 4);
-        let loop_node = plan
-            .operators()
-            .iter()
-            .find(|n| n.op.kind() == OpKind::RepeatLoop)
-            .unwrap();
+        let loop_node =
+            plan.operators().iter().find(|n| n.op.kind() == OpKind::RepeatLoop).unwrap();
         // feedback is the body map
         let fb = loop_node.inputs[1];
         assert_eq!(plan.node(fb).loop_of, Some(loop_node.id));
@@ -374,11 +347,7 @@ mod tests {
             .broadcast("w", &weights);
         mapped.collect();
         let plan = b.build().unwrap();
-        let map_node = plan
-            .operators()
-            .iter()
-            .find(|n| n.op.kind() == OpKind::Map)
-            .unwrap();
+        let map_node = plan.operators().iter().find(|n| n.op.kind() == OpKind::Map).unwrap();
         assert_eq!(map_node.broadcasts.len(), 1);
         assert_eq!(&*map_node.broadcasts[0].0, "w");
     }
@@ -392,11 +361,7 @@ mod tests {
             .with_selectivity(0.25);
         s.collect();
         let plan = b.build().unwrap();
-        let f = plan
-            .operators()
-            .iter()
-            .find(|n| n.op.kind() == OpKind::Filter)
-            .unwrap();
+        let f = plan.operators().iter().find(|n| n.op.kind() == OpKind::Filter).unwrap();
         assert_eq!(f.selectivity, Some(0.25));
     }
 

@@ -97,9 +97,7 @@ impl RheemPlan {
         name: impl Into<Arc<str>>,
         producer: OperatorId,
     ) {
-        self.ops[consumer.index()]
-            .broadcasts
-            .push((name.into(), producer));
+        self.ops[consumer.index()].broadcasts.push((name.into(), producer));
     }
 
     /// Set the selectivity hint of an operator.
@@ -145,20 +143,12 @@ impl RheemPlan {
 
     /// Ids of all sink operators.
     pub fn sinks(&self) -> Vec<OperatorId> {
-        self.ops
-            .iter()
-            .filter(|n| n.op.kind().is_sink())
-            .map(|n| n.id)
-            .collect()
+        self.ops.iter().filter(|n| n.op.kind().is_sink()).map(|n| n.id).collect()
     }
 
     /// Ids of all source operators.
     pub fn sources(&self) -> Vec<OperatorId> {
-        self.ops
-            .iter()
-            .filter(|n| n.op.kind().is_source())
-            .map(|n| n.id)
-            .collect()
+        self.ops.iter().filter(|n| n.op.kind().is_source()).map(|n| n.id).collect()
     }
 
     /// Consumers of each operator's output, including broadcast consumers.
@@ -224,11 +214,7 @@ impl RheemPlan {
 
     /// Operators belonging to the body of the given loop.
     pub fn loop_body(&self, loop_op: OperatorId) -> Vec<OperatorId> {
-        self.ops
-            .iter()
-            .filter(|n| n.loop_of == Some(loop_op))
-            .map(|n| n.id)
-            .collect()
+        self.ops.iter().filter(|n| n.loop_of == Some(loop_op)).map(|n| n.id).collect()
     }
 }
 
@@ -245,11 +231,7 @@ mod tests {
         );
         let split = p.add(
             LogicalOp::FlatMap(FlatMapUdf::new("split", |v| {
-                v.as_str()
-                    .unwrap_or("")
-                    .split_whitespace()
-                    .map(crate::value::Value::from)
-                    .collect()
+                v.as_str().unwrap_or("").split_whitespace().map(crate::value::Value::from).collect()
             })),
             &[src],
         );
@@ -259,10 +241,8 @@ mod tests {
             })),
             &[split],
         );
-        let red = p.add(
-            LogicalOp::ReduceBy { key: KeyUdf::field(0), agg: ReduceUdf::sum() },
-            &[pair],
-        );
+        let red =
+            p.add(LogicalOp::ReduceBy { key: KeyUdf::field(0), agg: ReduceUdf::sum() }, &[pair]);
         p.add(LogicalOp::CollectionSink, &[red]);
         p
     }
@@ -280,9 +260,8 @@ mod tests {
     fn topological_order_respects_edges() {
         let p = wordcount_plan();
         let order = p.topological_order().unwrap();
-        let pos: Vec<usize> = (0..p.len())
-            .map(|i| order.iter().position(|o| o.index() == i).unwrap())
-            .collect();
+        let pos: Vec<usize> =
+            (0..p.len()).map(|i| order.iter().position(|o| o.index() == i).unwrap()).collect();
         for n in p.operators() {
             for &i in &n.inputs {
                 assert!(pos[i.index()] < pos[n.id.index()]);
@@ -301,10 +280,7 @@ mod tests {
     #[test]
     fn missing_sink_is_rejected() {
         let mut p = RheemPlan::new();
-        let src = p.add(
-            LogicalOp::CollectionSource { data: Arc::new(vec![]) },
-            &[],
-        );
+        let src = p.add(LogicalOp::CollectionSource { data: Arc::new(vec![]) }, &[]);
         let _ = p.add(LogicalOp::Map(MapUdf::new("id", |v| v.clone())), &[src]);
         assert!(p.validate().is_err());
     }
@@ -324,9 +300,6 @@ mod tests {
         p.set_selectivity(OperatorId(1), 7.0);
         p.set_target_platform(OperatorId(2), PlatformId("java.streams"));
         assert_eq!(p.node(OperatorId(1)).selectivity, Some(7.0));
-        assert_eq!(
-            p.node(OperatorId(2)).target_platform,
-            Some(PlatformId("java.streams"))
-        );
+        assert_eq!(p.node(OperatorId(2)).target_platform, Some(PlatformId("java.streams")));
     }
 }

@@ -223,10 +223,7 @@ pub enum OpKind {
 impl OpKind {
     /// Sources produce data and take no data inputs.
     pub fn is_source(self) -> bool {
-        matches!(
-            self,
-            OpKind::TextFileSource | OpKind::CollectionSource | OpKind::TableSource
-        )
+        matches!(self, OpKind::TextFileSource | OpKind::CollectionSource | OpKind::TableSource)
     }
 
     /// Sinks terminate a branch of the plan.
@@ -346,9 +343,7 @@ impl LogicalOp {
             LogicalOp::SortBy(u) | LogicalOp::GroupBy(u) => u.cost_hint,
             LogicalOp::Reduce(u) => u.cost_hint,
             LogicalOp::ReduceBy { key, agg } => key.cost_hint + agg.cost_hint,
-            LogicalOp::Join { left_key, right_key } => {
-                left_key.cost_hint + right_key.cost_hint
-            }
+            LogicalOp::Join { left_key, right_key } => left_key.cost_hint + right_key.cost_hint,
             _ => 0.0,
         }
     }
@@ -360,9 +355,7 @@ where
     I: IntoIterator<Item = V>,
     V: Into<Value>,
 {
-    LogicalOp::CollectionSource {
-        data: Arc::new(items.into_iter().map(Into::into).collect()),
-    }
+    LogicalOp::CollectionSource { data: Arc::new(items.into_iter().map(Into::into).collect()) }
 }
 
 #[cfg(test)]

@@ -35,10 +35,7 @@ pub(super) fn validate(plan: &RheemPlan) -> Result<()> {
                 )));
             }
             if inp == node.id {
-                return Err(RheemError::Plan(format!(
-                    "{} is its own input",
-                    node.label()
-                )));
+                return Err(RheemError::Plan(format!("{} is its own input", node.label())));
             }
             if plan.node(inp).op.kind().is_sink() {
                 return Err(RheemError::Plan(format!(
@@ -163,10 +160,7 @@ mod tests {
     #[test]
     fn loop_feedback_must_be_in_body() {
         let mut p = RheemPlan::new();
-        let init = p.add(
-            LogicalOp::CollectionSource { data: Arc::new(vec![Value::from(0)]) },
-            &[],
-        );
+        let init = p.add(LogicalOp::CollectionSource { data: Arc::new(vec![Value::from(0)]) }, &[]);
         // Feedback comes from a node NOT tagged as body: invalid.
         let bogus = p.add(LogicalOp::Map(MapUdf::new("x", |v| v.clone())), &[init]);
         let l = p.add(LogicalOp::RepeatLoop { iterations: 2 }, &[init, bogus]);
@@ -178,15 +172,10 @@ mod tests {
     #[test]
     fn valid_loop_passes() {
         let mut p = RheemPlan::new();
-        let init = p.add(
-            LogicalOp::CollectionSource { data: Arc::new(vec![Value::from(0)]) },
-            &[],
-        );
+        let init = p.add(LogicalOp::CollectionSource { data: Arc::new(vec![Value::from(0)]) }, &[]);
         let l = p.add(LogicalOp::RepeatLoop { iterations: 2 }, &[init, OperatorId(2)]);
         let body = p.add(
-            LogicalOp::Map(MapUdf::new("inc", |v| {
-                Value::from(v.as_int().unwrap_or(0) + 1)
-            })),
+            LogicalOp::Map(MapUdf::new("inc", |v| Value::from(v.as_int().unwrap_or(0) + 1))),
             &[l],
         );
         p.set_loop(body, l);

@@ -17,8 +17,6 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::registry::Registry;
 
 /// Identifier of a platform, e.g. `PlatformId("spark")`.
@@ -72,7 +70,7 @@ pub mod ids {
 
 /// Virtual-cluster performance profile of one platform (§6.1's testbed knobs
 /// plus the engine-specific overheads of §2/§6).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PlatformProfile {
     /// One-time cost of bringing the platform up within a job (JVM spin-up,
     /// driver hand-shake). Charged once per job that uses the platform.
@@ -145,10 +143,7 @@ impl PlatformProfile {
         sorted.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
         for t in sorted {
             // assign to least-loaded core (longest processing time first)
-            let min = loads
-                .iter_mut()
-                .min_by(|a, b| a.partial_cmp(b).unwrap())
-                .expect("non-empty");
+            let min = loads.iter_mut().min_by(|a, b| a.partial_cmp(b).unwrap()).expect("non-empty");
             *min += t;
         }
         let makespan = loads.iter().cloned().fold(0.0f64, f64::max);
@@ -158,7 +153,7 @@ impl PlatformProfile {
 
 /// The profiles of all registered platforms plus defaults mirroring the
 /// paper's testbed (10 nodes × 4 cores, 1 GbE, SATA disks).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Profiles {
     profiles: HashMap<String, PlatformProfile>,
     fallback: PlatformProfile,
@@ -308,9 +303,7 @@ impl Profiles {
 
     /// Mutable access (for calibration).
     pub fn get_mut(&mut self, id: PlatformId) -> &mut PlatformProfile {
-        self.profiles
-            .entry(id.0.to_string())
-            .or_insert_with(|| self.fallback.clone())
+        self.profiles.entry(id.0.to_string()).or_insert_with(|| self.fallback.clone())
     }
 }
 

@@ -11,10 +11,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::cardinality::Estimator;
-use crate::error::{Result, RheemError};
-use crate::executor::{Checkpoint, ExecConfig, Execution, Executor, ExplorationBuffer, Outcome};
-use crate::execplan::build_exec_plan;
 use crate::cost::CostModel;
+use crate::error::{Result, RheemError};
+use crate::execplan::build_exec_plan;
+use crate::executor::{Checkpoint, ExecConfig, Execution, Executor, ExplorationBuffer, Outcome};
 use crate::monitor::Monitor;
 use crate::optimizer::Optimizer;
 use crate::plan::{LogicalOp, OperatorId, RheemPlan};
@@ -56,10 +56,7 @@ fn rewrite_plan(
         let node = plan.node(id);
         if cp.executed.contains(&id) {
             if let Some(data) = cp.materialized.get(&id) {
-                let new_id = out.add(
-                    LogicalOp::CollectionSource { data: Arc::clone(data) },
-                    &[],
-                );
+                let new_id = out.add(LogicalOp::CollectionSource { data: Arc::clone(data) }, &[]);
                 remap.insert(id, new_id);
             }
             continue;

@@ -35,23 +35,54 @@ impl std::fmt::Debug for Conversion {
 }
 
 /// Registry of everything platforms contribute.
-#[derive(Default)]
 pub struct Registry {
     mappings: Vec<Arc<dyn OperatorMapping>>,
     channels: HashMap<ChannelKind, ChannelDescriptor>,
     conversions: Vec<Conversion>,
     platforms: Vec<PlatformId>,
     source_estimators: Vec<crate::cardinality::SourceEstimator>,
+    fusion: bool,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self {
+            mappings: Vec::new(),
+            channels: HashMap::new(),
+            conversions: Vec::new(),
+            platforms: Vec::new(),
+            source_estimators: Vec::new(),
+            fusion: true,
+        }
+    }
 }
 
 impl Registry {
     /// Empty registry with the core's built-in channel kinds.
     pub fn new() -> Self {
         let mut r = Self::default();
-        r.add_channel(ChannelDescriptor { kind: crate::channel::kinds::COLLECTION, reusable: true });
-        r.add_channel(ChannelDescriptor { kind: crate::channel::kinds::LOCAL_FILE, reusable: true });
+        r.add_channel(ChannelDescriptor {
+            kind: crate::channel::kinds::COLLECTION,
+            reusable: true,
+        });
+        r.add_channel(ChannelDescriptor {
+            kind: crate::channel::kinds::LOCAL_FILE,
+            reusable: true,
+        });
         r.add_channel(ChannelDescriptor { kind: crate::channel::kinds::HDFS_FILE, reusable: true });
         r
+    }
+
+    /// Enable or disable operator fusion: with fusion off, multi-operator
+    /// chain candidates are discarded and every operator executes through
+    /// its 1-to-1 mapping (the ablation baseline).
+    pub fn set_fusion(&mut self, on: bool) {
+        self.fusion = on;
+    }
+
+    /// Whether chain (fused) candidates are considered.
+    pub fn fusion(&self) -> bool {
+        self.fusion
     }
 
     /// Record that a platform registered itself.
@@ -77,7 +108,12 @@ impl Registry {
     }
 
     /// Register a conversion operator edge.
-    pub fn add_conversion(&mut self, from: ChannelKind, to: ChannelKind, op: Arc<dyn ExecutionOperator>) {
+    pub fn add_conversion(
+        &mut self,
+        from: ChannelKind,
+        to: ChannelKind,
+        op: Arc<dyn ExecutionOperator>,
+    ) {
         self.conversions.push(Conversion { from, to, op });
     }
 
@@ -95,10 +131,7 @@ impl Registry {
     /// Channel descriptor lookup (unknown kinds default to non-reusable, the
     /// conservative choice).
     pub fn channel(&self, kind: ChannelKind) -> ChannelDescriptor {
-        self.channels
-            .get(&kind)
-            .cloned()
-            .unwrap_or(ChannelDescriptor { kind, reusable: false })
+        self.channels.get(&kind).cloned().unwrap_or(ChannelDescriptor { kind, reusable: false })
     }
 
     /// All registered channel kinds.
@@ -120,6 +153,9 @@ impl Registry {
         for m in &self.mappings {
             out.extend(m.candidates(plan, node));
         }
+        if !self.fusion {
+            out.retain(|c| c.covers.len() == 1);
+        }
         if let Some(pin) = node.target_platform {
             out.retain(|c| c.exec.platform() == pin);
         }
@@ -127,10 +163,7 @@ impl Registry {
         // pinned to a different platform.
         out.retain(|c| {
             c.covers.iter().all(|&op| {
-                plan.node(op)
-                    .target_platform
-                    .map(|pin| pin == c.exec.platform())
-                    .unwrap_or(true)
+                plan.node(op).target_platform.map(|pin| pin == c.exec.platform()).unwrap_or(true)
             })
         });
         out
@@ -223,6 +256,30 @@ mod tests {
         let c = r.candidates_for(&plan, plan.node(id));
         assert_eq!(c.len(), 1);
         assert_eq!(c[0].exec.platform(), PlatformId("b"));
+    }
+
+    #[test]
+    fn fusion_toggle_drops_chain_candidates() {
+        let mut r = Registry::new();
+        r.add_mapping(map_mapping(PlatformId("a")));
+        // a chain candidate covering the source + the map
+        r.add_mapping(Arc::new(FnMapping(|_p: &RheemPlan, n: &OperatorNode| {
+            if n.op.kind() == OpKind::Map {
+                vec![Candidate {
+                    covers: vec![crate::plan::OperatorId(0), n.id],
+                    exec: Arc::new(Noop(PlatformId("a"))) as _,
+                }]
+            } else {
+                vec![]
+            }
+        })));
+        let plan = tiny_plan();
+        let node = plan.node(crate::plan::OperatorId(1));
+        assert_eq!(r.candidates_for(&plan, node).len(), 2);
+        r.set_fusion(false);
+        let c = r.candidates_for(&plan, node);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].covers.len(), 1);
     }
 
     #[test]

@@ -37,10 +37,7 @@ impl BroadcastCtx {
 
     /// The broadcast variable `name`, or an empty dataset if unbound.
     pub fn get_or_empty(&self, name: &str) -> Dataset {
-        self.vars
-            .get(name)
-            .cloned()
-            .unwrap_or_else(|| Arc::new(Vec::new()))
+        self.vars.get(name).cloned().unwrap_or_else(|| Arc::new(Vec::new()))
     }
 
     /// Number of bound variables.
@@ -97,11 +94,7 @@ impl MapUdf {
         name: impl Into<Arc<str>>,
         f: impl Fn(&Value) -> Value + Send + Sync + 'static,
     ) -> Self {
-        Self {
-            name: name.into(),
-            f: Arc::new(move |v, _| f(v)),
-            cost_hint: 1.0,
-        }
+        Self { name: name.into(), f: Arc::new(move |v, _| f(v)), cost_hint: 1.0 }
     }
 
     /// Wrap a closure that reads broadcast variables.
@@ -109,11 +102,7 @@ impl MapUdf {
         name: impl Into<Arc<str>>,
         f: impl Fn(&Value, &BroadcastCtx) -> Value + Send + Sync + 'static,
     ) -> Self {
-        Self {
-            name: name.into(),
-            f: Arc::new(f),
-            cost_hint: 1.0,
-        }
+        Self { name: name.into(), f: Arc::new(f), cost_hint: 1.0 }
     }
 
     /// Attach a CPU cost hint (abstract cycles per quantum).
@@ -141,11 +130,7 @@ impl FlatMapUdf {
         name: impl Into<Arc<str>>,
         f: impl Fn(&Value) -> Vec<Value> + Send + Sync + 'static,
     ) -> Self {
-        Self {
-            name: name.into(),
-            f: Arc::new(move |v, _| f(v)),
-            cost_hint: 1.0,
-        }
+        Self { name: name.into(), f: Arc::new(move |v, _| f(v)), cost_hint: 1.0 }
     }
 
     /// Wrap a closure that reads broadcast variables.
@@ -153,11 +138,7 @@ impl FlatMapUdf {
         name: impl Into<Arc<str>>,
         f: impl Fn(&Value, &BroadcastCtx) -> Vec<Value> + Send + Sync + 'static,
     ) -> Self {
-        Self {
-            name: name.into(),
-            f: Arc::new(f),
-            cost_hint: 1.0,
-        }
+        Self { name: name.into(), f: Arc::new(f), cost_hint: 1.0 }
     }
 
     /// Attach a CPU cost hint (abstract cycles per quantum).
@@ -194,15 +175,15 @@ impl CmpOp {
     /// Evaluate the comparison on two values under the canonical order.
     pub fn eval(self, a: &Value, b: &Value) -> bool {
         use std::cmp::Ordering::*;
-        match (self, a.cmp(b)) {
-            (CmpOp::Lt, Less) => true,
-            (CmpOp::Le, Less | Equal) => true,
-            (CmpOp::Gt, Greater) => true,
-            (CmpOp::Ge, Greater | Equal) => true,
-            (CmpOp::Eq, Equal) => true,
-            (CmpOp::Ne, Less | Greater) => true,
-            _ => false,
-        }
+        matches!(
+            (self, a.cmp(b)),
+            (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less | Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater | Equal)
+                | (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less | Greater)
+        )
     }
 
     /// The comparison with operand sides swapped (`a op b` ⇔ `b op' a`).
@@ -249,11 +230,7 @@ impl PredicateUdf {
         name: impl Into<Arc<str>>,
         f: impl Fn(&Value) -> bool + Send + Sync + 'static,
     ) -> Self {
-        Self {
-            name: name.into(),
-            f: Arc::new(move |v, _| f(v)),
-            cost_hint: 1.0,
-        }
+        Self { name: name.into(), f: Arc::new(move |v, _| f(v)), cost_hint: 1.0 }
     }
 
     /// Wrap a closure that reads broadcast variables.
@@ -261,22 +238,14 @@ impl PredicateUdf {
         name: impl Into<Arc<str>>,
         f: impl Fn(&Value, &BroadcastCtx) -> bool + Send + Sync + 'static,
     ) -> Self {
-        Self {
-            name: name.into(),
-            f: Arc::new(f),
-            cost_hint: 1.0,
-        }
+        Self { name: name.into(), f: Arc::new(f), cost_hint: 1.0 }
     }
 
     /// Build a predicate directly from a sargable description.
     pub fn from_sarg(name: impl Into<Arc<str>>, sarg: Sarg) -> SargPredicate {
         let s = sarg.clone();
         SargPredicate {
-            pred: Self {
-                name: name.into(),
-                f: Arc::new(move |v, _| s.eval(v)),
-                cost_hint: 1.0,
-            },
+            pred: Self { name: name.into(), f: Arc::new(move |v, _| s.eval(v)), cost_hint: 1.0 },
             sarg,
         }
     }
@@ -315,11 +284,7 @@ impl KeyUdf {
         name: impl Into<Arc<str>>,
         f: impl Fn(&Value) -> Value + Send + Sync + 'static,
     ) -> Self {
-        Self {
-            name: name.into(),
-            f: Arc::new(f),
-            cost_hint: 1.0,
-        }
+        Self { name: name.into(), f: Arc::new(f), cost_hint: 1.0 }
     }
 
     /// Key extractor that projects tuple field `i`.
@@ -357,11 +322,7 @@ impl ReduceUdf {
         name: impl Into<Arc<str>>,
         f: impl Fn(&Value, &Value) -> Value + Send + Sync + 'static,
     ) -> Self {
-        Self {
-            name: name.into(),
-            f: Arc::new(f),
-            cost_hint: 1.0,
-        }
+        Self { name: name.into(), f: Arc::new(f), cost_hint: 1.0 }
     }
 
     /// Integer/float addition combiner.
@@ -454,10 +415,7 @@ mod tests {
     fn reduce_sum_handles_ints_and_floats() {
         let s = ReduceUdf::sum();
         assert_eq!(s.call(&Value::from(2), &Value::from(3)).as_int(), Some(5));
-        assert_eq!(
-            s.call(&Value::from(2.5), &Value::from(3)).as_f64(),
-            Some(5.5)
-        );
+        assert_eq!(s.call(&Value::from(2.5), &Value::from(3)).as_f64(), Some(5.5));
     }
 
     #[test]

@@ -307,13 +307,8 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_numeric_across_int_float() {
-        let mut v = vec![
-            Value::from(2.0),
-            Value::from(1),
-            Value::from("a"),
-            Value::Null,
-            Value::from(3),
-        ];
+        let mut v =
+            [Value::from(2.0), Value::from(1), Value::from("a"), Value::Null, Value::from(3)];
         v.sort();
         assert_eq!(v[0], Value::Null);
         assert_eq!(v[1].as_int(), Some(1));

@@ -46,11 +46,7 @@ pub fn place(data: &TpchData, scratch: &str) -> Result<Placement> {
         vec!["suppkey".to_string(), "name".to_string(), "nationkey".to_string()],
         data.supplier.clone(),
     );
-    db.load_table(
-        "region",
-        vec!["regionkey".to_string(), "name".to_string()],
-        data.region.clone(),
-    );
+    db.load_table("region", vec!["regionkey".to_string(), "name".to_string()], data.region.clone());
     let lineitem = PathBuf::from(format!("hdfs://{scratch}/lineitem.tbl"));
     let orders = PathBuf::from(format!("hdfs://{scratch}/orders.tbl"));
     let nation = std::env::temp_dir().join(scratch).join("nation.tbl");
@@ -69,11 +65,7 @@ fn parse_tbl() -> MapUdf {
 /// orders from `year`, sorted by revenue descending.
 ///
 /// Output quanta: `(nation_name, revenue)`.
-pub fn build_q5_plan(
-    p: &Placement,
-    region: &str,
-    year: i64,
-) -> Result<(RheemPlan, OperatorId)> {
+pub fn build_q5_plan(p: &Placement, region: &str, year: i64) -> Result<(RheemPlan, OperatorId)> {
     let mut b = PlanBuilder::new();
 
     // REGION (Postgres): filter to the asked region, keep its key.
@@ -93,12 +85,12 @@ pub fn build_q5_plan(
     // NATION (local file): `(nationkey, name, regionkey)`.
     let nation = b.read_text_file(p.nation.clone()).map(parse_tbl());
     // nations of the region: (nationkey, name)
-    let region_nations = nation
-        .join(&regionkeys, KeyUdf::field(2), KeyUdf::field(0))
-        .map(MapUdf::new("nat_flat", |pair| {
+    let region_nations = nation.join(&regionkeys, KeyUdf::field(2), KeyUdf::field(0)).map(
+        MapUdf::new("nat_flat", |pair| {
             let n = pair.field(0);
             Value::pair(n.field(0).clone(), n.field(1).clone())
-        }));
+        }),
+    );
 
     // CUSTOMER (Postgres): (custkey, nationkey) for region nations.
     let customers = b
@@ -125,9 +117,7 @@ pub fn build_q5_plan(
     let year_orders = b
         .read_text_file(p.orders.clone())
         .map(parse_tbl())
-        .filter(PredicateUdf::new("order_year", move |o| {
-            o.field(2).as_int() == Some(year)
-        }))
+        .filter(PredicateUdf::new("order_year", move |o| o.field(2).as_int() == Some(year)))
         .with_selectivity(1.0 / 7.0)
         .join(&customers, KeyUdf::field(1), KeyUdf::field(0))
         .map(MapUdf::new("ord_flat", |pair| {
@@ -150,8 +140,7 @@ pub fn build_q5_plan(
                 l.field(1).clone(),
                 o.field(1).clone(),
                 Value::from(
-                    l.field(2).as_f64().unwrap_or(0.0)
-                        * (1.0 - l.field(3).as_f64().unwrap_or(0.0)),
+                    l.field(2).as_f64().unwrap_or(0.0) * (1.0 - l.field(3).as_f64().unwrap_or(0.0)),
                 ),
             ])
         }))
@@ -180,14 +169,9 @@ pub fn build_q5_plan(
         )
         .join(&region_nations, KeyUdf::field(0), KeyUdf::field(0))
         .map(MapUdf::new("name_rev", |pair| {
-            Value::pair(
-                pair.field(1).field(1).clone(),
-                pair.field(0).field(1).clone(),
-            )
+            Value::pair(pair.field(1).field(1).clone(), pair.field(0).field(1).clone())
         }))
-        .sort_by(KeyUdf::new("neg_rev", |v| {
-            Value::from(-v.field(1).as_f64().unwrap_or(0.0))
-        }));
+        .sort_by(KeyUdf::new("neg_rev", |v| Value::from(-v.field(1).as_f64().unwrap_or(0.0))));
     let sink = result.collect();
     b.build().map(|plan| (plan, sink))
 }
@@ -210,7 +194,9 @@ pub fn build_join_task(_db: &Arc<PgDatabase>) -> Result<(RheemPlan, OperatorId)>
             ReduceUdf::new("cnt", |a, b| {
                 Value::pair(
                     a.field(0).clone(),
-                    Value::from(a.field(1).as_int().unwrap_or(0) + b.field(1).as_int().unwrap_or(0)),
+                    Value::from(
+                        a.field(1).as_int().unwrap_or(0) + b.field(1).as_int().unwrap_or(0),
+                    ),
                 )
             }),
         )
@@ -229,10 +215,8 @@ pub fn join_task_reference(data: &TpchData) -> Vec<(i64, i64)> {
     for row in &data.customer {
         *c.entry(row.field(2).as_int().unwrap()).or_default() += 1;
     }
-    let mut out: Vec<(i64, i64)> = s
-        .iter()
-        .filter_map(|(k, sv)| c.get(k).map(|cv| (*k, sv * cv)))
-        .collect();
+    let mut out: Vec<(i64, i64)> =
+        s.iter().filter_map(|(k, sv)| c.get(k).map(|cv| (*k, sv * cv))).collect();
     out.sort();
     out
 }
@@ -266,12 +250,7 @@ mod tests {
             .sink(sink)
             .unwrap()
             .iter()
-            .map(|v| {
-                (
-                    v.field(0).as_str().unwrap().to_string(),
-                    v.field(1).as_f64().unwrap(),
-                )
-            })
+            .map(|v| (v.field(0).as_str().unwrap().to_string(), v.field(1).as_f64().unwrap()))
             .collect();
         let expected = tpch::q5_reference(&data, "ASIA", 1995);
         assert_eq!(got.len(), expected.len());

@@ -34,10 +34,7 @@ pub fn generate_graph(vertices: usize, avg_degree: usize, seed: u64) -> Vec<(i64
 
 /// Edge list as quanta of `(src, dst)` pairs.
 pub fn edges_to_values(edges: &[(i64, i64)]) -> Vec<Value> {
-    edges
-        .iter()
-        .map(|&(s, d)| Value::pair(Value::from(s), Value::from(d)))
-        .collect()
+    edges.iter().map(|&(s, d)| Value::pair(Value::from(s), Value::from(d))).collect()
 }
 
 /// Parse a `src<TAB>dst` line.

@@ -54,10 +54,7 @@ pub fn csv_to_point(line: &str) -> Value {
 }
 
 /// Write a point set as a CSV file (local or `hdfs://`).
-pub fn write_points(
-    path: &std::path::Path,
-    set: &PointSet,
-) -> std::io::Result<u64> {
+pub fn write_points(path: &std::path::Path, set: &PointSet) -> std::io::Result<u64> {
     rheem_storage::write_lines(path, set.points.iter().map(point_to_csv))
 }
 
@@ -74,19 +71,12 @@ mod tests {
         for p in &set.points {
             let f = p.fields().unwrap();
             let label = f[0].as_f64().unwrap();
-            let margin: f64 = f[1..]
-                .iter()
-                .zip(&set.true_weights)
-                .map(|(x, w)| x.as_f64().unwrap() * w)
-                .sum();
+            let margin: f64 =
+                f[1..].iter().zip(&set.true_weights).map(|(x, w)| x.as_f64().unwrap() * w).sum();
             assert!(label * margin >= 0.0);
         }
         // labels are reasonably balanced
-        let pos = set
-            .points
-            .iter()
-            .filter(|p| p.field(0).as_f64() == Some(1.0))
-            .count();
+        let pos = set.points.iter().filter(|p| p.field(0).as_f64() == Some(1.0)).count();
         assert!(pos > 500 && pos < 1500, "{pos}");
     }
 

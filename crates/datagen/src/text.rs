@@ -42,8 +42,8 @@ pub fn generate_text(lines: usize, words_per_line: usize, vocab: usize, seed: u6
 /// Deterministic pseudo-word for a vocabulary rank.
 pub fn word_for(rank: usize) -> String {
     const SYLLABLES: [&str; 16] = [
-        "ka", "ro", "mi", "ta", "ve", "lu", "so", "ne", "pa", "di", "gu", "fa", "zo", "be",
-        "ch", "xi",
+        "ka", "ro", "mi", "ta", "ve", "lu", "so", "ne", "pa", "di", "gu", "fa", "zo", "be", "ch",
+        "xi",
     ];
     let mut r = rank + 1;
     let mut w = String::new();
@@ -56,11 +56,7 @@ pub fn word_for(rank: usize) -> String {
 
 /// Write a corpus of roughly `target_kb` kilobytes to `path` (local or
 /// `hdfs://`). Returns the number of lines written.
-pub fn write_corpus(
-    path: &std::path::Path,
-    target_kb: usize,
-    seed: u64,
-) -> std::io::Result<usize> {
+pub fn write_corpus(path: &std::path::Path, target_kb: usize, seed: u64) -> std::io::Result<usize> {
     // ~60 bytes/line with 10 words/line.
     let lines = (target_kb * 1024 / 60).max(1);
     let corpus = generate_text(lines, 10, 50_000, seed);

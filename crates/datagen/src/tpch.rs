@@ -97,11 +97,7 @@ pub fn generate(sf: f64, seed: u64) -> TpchData {
 /// Serialize any TPC-H row to a `|`-separated line (TPC-H's tbl format).
 pub fn row_to_line(v: &Value) -> String {
     let fields = v.fields().unwrap_or(&[]);
-    fields
-        .iter()
-        .map(|f| f.to_string())
-        .collect::<Vec<_>>()
-        .join("|")
+    fields.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("|")
 }
 
 /// Parse a `|`-separated line back into a tuple, with each field parsed as
@@ -173,10 +169,8 @@ pub fn q5_reference(data: &TpchData, region_name: &str, year: i64) -> Vec<(Strin
         let disc = l.field(3).as_f64().unwrap();
         *revenue.entry(cn).or_default() += price * (1.0 - disc);
     }
-    let mut out: Vec<(String, f64)> = revenue
-        .into_iter()
-        .map(|(n, r)| (nations[&n].clone(), r))
-        .collect();
+    let mut out: Vec<(String, f64)> =
+        revenue.into_iter().map(|(n, r)| (nations[&n].clone(), r)).collect();
     out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     out
 }

@@ -105,10 +105,7 @@ mod tests {
                 v.as_str().unwrap_or("").split_whitespace().map(Value::from).collect()
             }),
         )
-        .map(
-            "pair",
-            MapUdf::new("pair", |w| Value::pair(w.clone(), Value::from(1))),
-        )
+        .map("pair", MapUdf::new("pair", |w| Value::pair(w.clone(), Value::from(1))))
         .reduce(
             "sumcount",
             ReduceUdf::new("sumcount", |a, b| {
@@ -138,8 +135,8 @@ mod tests {
             path.display()
         );
         let program = Parser::new(wc_registry()).parse(&src).unwrap();
-        let ctx = RheemContext::new()
-            .with_platform(&platform_javastreams::JavaStreamsPlatform::new());
+        let ctx =
+            RheemContext::new().with_platform(&platform_javastreams::JavaStreamsPlatform::new());
         let result = ctx.execute(&program.plan).unwrap();
         let sink = program.sinks["counts"];
         let data = result.sink(sink).unwrap();
@@ -160,25 +157,19 @@ mod tests {
             .iter()
             .find(|n| n.op.kind() == rheem_core::plan::OpKind::Map)
             .unwrap();
-        assert_eq!(
-            pinned.target_platform,
-            Some(rheem_core::platform::ids::JAVA_STREAMS)
-        );
+        assert_eq!(pinned.target_platform, Some(rheem_core::platform::ids::JAVA_STREAMS));
     }
 
     #[test]
     fn repeat_block_builds_loop() {
         let mut reg = wc_registry();
-        reg.map(
-            "inc",
-            MapUdf::new("inc", |v| Value::from(v.as_int().unwrap_or(0) + 1)),
-        );
+        reg.map("inc", MapUdf::new("inc", |v| Value::from(v.as_int().unwrap_or(0) + 1)));
         let src = "w = values 0;\n\
                    out = repeat 5 w { w2 = map w -> {inc}; yield w2; };\n\
                    collect out;";
         let program = Parser::new(reg).parse(src).unwrap();
-        let ctx = RheemContext::new()
-            .with_platform(&platform_javastreams::JavaStreamsPlatform::new());
+        let ctx =
+            RheemContext::new().with_platform(&platform_javastreams::JavaStreamsPlatform::new());
         let result = ctx.execute(&program.plan).unwrap();
         let data = result.sink(program.sinks["out"]).unwrap();
         assert_eq!(data[0].as_int(), Some(5));
@@ -198,8 +189,8 @@ mod tests {
                    ys = map xs -> {usebc} with broadcast ws;\n\
                    collect ys;";
         let program = Parser::new(reg).parse(src).unwrap();
-        let ctx = RheemContext::new()
-            .with_platform(&platform_javastreams::JavaStreamsPlatform::new());
+        let ctx =
+            RheemContext::new().with_platform(&platform_javastreams::JavaStreamsPlatform::new());
         let result = ctx.execute(&program.plan).unwrap();
         assert_eq!(result.sink(program.sinks["ys"]).unwrap()[0].as_int(), Some(3));
     }
@@ -209,13 +200,10 @@ mod tests {
         let dir = std::env::temp_dir().join("rheem_latin_store");
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("out.txt");
-        let src = format!(
-            "xs = values 3 1 2;\nys = distinct xs;\nstore ys '{}';",
-            out.display()
-        );
+        let src = format!("xs = values 3 1 2;\nys = distinct xs;\nstore ys '{}';", out.display());
         let program = Parser::new(UdfRegistry::new()).parse(&src).unwrap();
-        let ctx = RheemContext::new()
-            .with_platform(&platform_javastreams::JavaStreamsPlatform::new());
+        let ctx =
+            RheemContext::new().with_platform(&platform_javastreams::JavaStreamsPlatform::new());
         ctx.execute(&program.plan).unwrap();
         let lines = rheem_storage::read_lines(&out).unwrap();
         assert_eq!(lines.len(), 3);
@@ -230,8 +218,8 @@ mod tests {
                    ws = tokenize xs -> {split};\n\
                    collect ws;";
         let program = parser.parse(src).unwrap();
-        let ctx = RheemContext::new()
-            .with_platform(&platform_javastreams::JavaStreamsPlatform::new());
+        let ctx =
+            RheemContext::new().with_platform(&platform_javastreams::JavaStreamsPlatform::new());
         let result = ctx.execute(&program.plan).unwrap();
         assert_eq!(result.sink(program.sinks["ws"]).unwrap().len(), 2);
     }

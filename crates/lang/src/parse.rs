@@ -3,9 +3,7 @@
 use std::collections::HashMap;
 
 use rheem_core::error::{Result, RheemError};
-use rheem_core::plan::{
-    DataQuanta, OperatorId, PlanBuilder, RheemPlan, SampleMethod, SampleSize,
-};
+use rheem_core::plan::{DataQuanta, OperatorId, PlanBuilder, RheemPlan, SampleMethod, SampleSize};
 use rheem_core::platform::PlatformId;
 use rheem_core::value::Value;
 
@@ -57,17 +55,17 @@ impl Cursor {
     fn expect(&mut self, want: &Token) -> Result<()> {
         match self.next() {
             Some(t) if &t == want => Ok(()),
-            other => Err(RheemError::Plan(format!(
-                "RheemLatin: expected {want:?}, found {other:?}"
-            ))),
+            other => {
+                Err(RheemError::Plan(format!("RheemLatin: expected {want:?}, found {other:?}")))
+            }
         }
     }
     fn ident(&mut self) -> Result<String> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(RheemError::Plan(format!(
-                "RheemLatin: expected identifier, found {other:?}"
-            ))),
+            other => {
+                Err(RheemError::Plan(format!("RheemLatin: expected identifier, found {other:?}")))
+            }
         }
     }
     fn string(&mut self) -> Result<String> {
@@ -81,9 +79,9 @@ impl Cursor {
     fn int(&mut self) -> Result<i64> {
         match self.next() {
             Some(Token::Int(i)) => Ok(i),
-            other => Err(RheemError::Plan(format!(
-                "RheemLatin: expected integer, found {other:?}"
-            ))),
+            other => {
+                Err(RheemError::Plan(format!("RheemLatin: expected integer, found {other:?}")))
+            }
         }
     }
 }
@@ -108,11 +106,8 @@ impl Parser {
     /// Parse and translate a program.
     pub fn parse(&self, src: &str) -> Result<Program> {
         let mut cur = Cursor { toks: tokenize(src)?, pos: 0 };
-        let mut ctx = Ctx {
-            builder: PlanBuilder::new(),
-            vars: HashMap::new(),
-            sinks: HashMap::new(),
-        };
+        let mut ctx =
+            Ctx { builder: PlanBuilder::new(), vars: HashMap::new(), sinks: HashMap::new() };
         while cur.peek().is_some() {
             self.statement(&mut cur, &mut ctx)?;
         }
@@ -200,9 +195,9 @@ impl Parser {
                     ("flatmap", Some(UdfEntry::FlatMap(u))) => Ok(input.flat_map(u.clone())),
                     ("filter", Some(UdfEntry::Predicate(u))) => Ok(input.filter(u.clone())),
                     (_, None) => Err(RheemError::Plan(format!("unknown UDF '{udf}'"))),
-                    _ => Err(RheemError::Plan(format!(
-                        "UDF '{udf}' has the wrong kind for '{kw}'"
-                    ))),
+                    _ => {
+                        Err(RheemError::Plan(format!("UDF '{udf}' has the wrong kind for '{kw}'")))
+                    }
                 }
             }
             "project" => {
@@ -291,9 +286,7 @@ impl Parser {
                     match cur.next() {
                         Some(Token::LBrace) => depth += 1,
                         Some(Token::RBrace) => depth -= 1,
-                        None => {
-                            return Err(RheemError::Plan("unterminated repeat block".into()))
-                        }
+                        None => return Err(RheemError::Plan("unterminated repeat block".into())),
                         _ => {}
                     }
                 }
@@ -336,9 +329,9 @@ impl Parser {
                 }
                 Ok(out)
             }
-            other => Err(RheemError::Plan(format!(
-                "RheemLatin: unknown operator keyword '{other}'"
-            ))),
+            other => {
+                Err(RheemError::Plan(format!("RheemLatin: unknown operator keyword '{other}'")))
+            }
         }
     }
 
@@ -353,9 +346,8 @@ impl Parser {
             match what.as_str() {
                 "platform" => {
                     let name = cur.string()?;
-                    let id = platform_by_name(&name).ok_or_else(|| {
-                        RheemError::Plan(format!("unknown platform '{name}'"))
-                    })?;
+                    let id = platform_by_name(&name)
+                        .ok_or_else(|| RheemError::Plan(format!("unknown platform '{name}'")))?;
                     dq = dq.with_target_platform(id);
                 }
                 "broadcast" => {
@@ -368,18 +360,12 @@ impl Parser {
                         Some(Token::Float(f)) => f,
                         Some(Token::Int(i)) => i as f64,
                         other => {
-                            return Err(RheemError::Plan(format!(
-                                "bad selectivity: {other:?}"
-                            )))
+                            return Err(RheemError::Plan(format!("bad selectivity: {other:?}")))
                         }
                     };
                     dq = dq.with_selectivity(sel);
                 }
-                other => {
-                    return Err(RheemError::Plan(format!(
-                        "unknown 'with {other}' clause"
-                    )))
-                }
+                other => return Err(RheemError::Plan(format!("unknown 'with {other}' clause"))),
             }
         }
         Ok(dq)
@@ -394,10 +380,7 @@ fn lookup(ctx: &Ctx, var: &str) -> Result<DataQuanta> {
 }
 
 fn find_var_name(ctx: &Ctx, dq: &DataQuanta) -> Option<String> {
-    ctx.vars
-        .iter()
-        .find(|(_, v)| v.id() == dq.id())
-        .map(|(k, _)| k.clone())
+    ctx.vars.iter().find(|(_, v)| v.id() == dq.id()).map(|(k, _)| k.clone())
 }
 
 /// Map user-facing platform names to ids (case-insensitive, accepts both

@@ -93,18 +93,22 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 }
                 let text: String = bytes[start..i].iter().collect();
                 if is_float {
-                    out.push(Token::Float(text.parse().map_err(|_| {
-                        RheemError::Plan(format!("bad float literal '{text}'"))
-                    })?));
+                    out.push(Token::Float(
+                        text.parse()
+                            .map_err(|_| RheemError::Plan(format!("bad float literal '{text}'")))?,
+                    ));
                 } else {
-                    out.push(Token::Int(text.parse().map_err(|_| {
-                        RheemError::Plan(format!("bad int literal '{text}'"))
-                    })?));
+                    out.push(Token::Int(
+                        text.parse()
+                            .map_err(|_| RheemError::Plan(format!("bad int literal '{text}'")))?,
+                    ));
                 }
             }
             c if c.is_alphanumeric() || c == '_' => {
                 let start = i;
-                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '.') {
+                while i < bytes.len()
+                    && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
+                {
                     i += 1;
                 }
                 out.push(Token::Ident(bytes[start..i].iter().collect()));

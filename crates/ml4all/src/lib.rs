@@ -114,9 +114,7 @@ pub fn build_sgd_plan(source: PointSource, cfg: &SgdConfig) -> Result<(RheemPlan
             rheem_datagen::points::csv_to_point(line.as_str().unwrap_or(""))
         })),
     };
-    let initial = b.collection(vec![Value::Tuple(
-        vec![Value::from(0.0); dims].into(),
-    )]);
+    let initial = b.collection(vec![Value::Tuple(vec![Value::from(0.0); dims].into())]);
 
     // --- processing + convergence: the loop ------------------------------
     let batch = cfg.batch;
@@ -138,9 +136,7 @@ pub fn build_sgd_plan(source: PointSource, cfg: &SgdConfig) -> Result<(RheemPlan
             )
             .broadcast("weights", w)
             // sum & count (Fig. 3's Reduce).
-            .map(MapUdf::new("tag1", |g| {
-                Value::pair(g.clone(), Value::from(1))
-            }))
+            .map(MapUdf::new("tag1", |g| Value::pair(g.clone(), Value::from(1))))
             .reduce(ReduceUdf::new("sumcount", move |a, b| {
                 let (ga, ca) = (a.field(0), a.field(1));
                 let (gb, cb) = (b.field(0), b.field(1));
@@ -186,11 +182,7 @@ pub fn build_sgd_plan(source: PointSource, cfg: &SgdConfig) -> Result<(RheemPlan
             // weights quantum itself; a weight-delta criterion would carry
             // the previous weights alongside. We stop when every weight is
             // finite and the iteration cap protects against divergence.
-            initial.do_while(
-                PredicateUdf::new("converged", |_w| false),
-                cfg.iterations,
-                body,
-            )
+            initial.do_while(PredicateUdf::new("converged", |_w| false), cfg.iterations, body)
         }
     };
     let sink = final_weights.collect();
@@ -213,7 +205,7 @@ pub fn sgd_reference(points: &[Value], cfg: &SgdConfig, seed: u64) -> Vec<f64> {
         let mut grad = vec![0.0; cfg.dims];
         let mut count = 0.0f64;
         for _ in 0..cfg.batch.min(points.len()) {
-            let p = &points[(rng.next() as usize) % points.len()];
+            let p = &points[(rng.next_u64() as usize) % points.len()];
             let wv = Value::Tuple(w.iter().map(|&x| Value::from(x)).collect::<Vec<_>>().into());
             let g = point_gradient(p, &wv, cfg.dims);
             for i in 0..cfg.dims {
@@ -230,10 +222,10 @@ pub fn sgd_reference(points: &[Value], cfg: &SgdConfig, seed: u64) -> Vec<f64> {
 
 #[cfg(test)]
 mod tests {
-    use std::sync::Arc;
     use super::*;
     use platform_javastreams::JavaStreamsPlatform;
     use platform_spark::SparkPlatform;
+    use std::sync::Arc;
 
     fn data(n: usize) -> Dataset {
         Arc::new(rheem_datagen::generate_points(n, 4, 0.05, 11).points)
@@ -251,19 +243,13 @@ mod tests {
         assert_eq!(w.len(), 4);
         let initial_loss = hinge_loss(&points, &[0.0; 4]);
         let final_loss = hinge_loss(&points, &w);
-        assert!(
-            final_loss < initial_loss * 0.7,
-            "loss {initial_loss} -> {final_loss}"
-        );
+        assert!(final_loss < initial_loss * 0.7, "loss {initial_loss} -> {final_loss}");
     }
 
     #[test]
     fn plan_has_the_fig3_shape() {
-        let (plan, _) = build_sgd_plan(
-            PointSource::InMemory(data(100)),
-            &SgdConfig::default(),
-        )
-        .unwrap();
+        let (plan, _) =
+            build_sgd_plan(PointSource::InMemory(data(100)), &SgdConfig::default()).unwrap();
         use rheem_core::plan::OpKind;
         let kinds: Vec<OpKind> = plan.operators().iter().map(|n| n.op.kind()).collect();
         assert!(kinds.contains(&OpKind::Sample));
@@ -315,11 +301,7 @@ mod tests {
 
     #[test]
     fn dowhile_variant_builds_and_runs() {
-        let cfg = SgdConfig {
-            iterations: 10,
-            tolerance: Some(1e-3),
-            ..Default::default()
-        };
+        let cfg = SgdConfig { iterations: 10, tolerance: Some(1e-3), ..Default::default() };
         let w = train_sgd(&ctx(), PointSource::InMemory(data(300)), &cfg).unwrap();
         assert_eq!(w.len(), 4);
     }

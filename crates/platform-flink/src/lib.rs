@@ -18,6 +18,7 @@ use rheem_core::channel::{kinds, ChannelData, ChannelDescriptor, ChannelKind};
 use rheem_core::cost::{linear_cpu, CostModel, Load};
 use rheem_core::error::{Result, RheemError};
 use rheem_core::exec::{dataset_bytes, ExecCtx, ExecutionOperator, OpMetrics};
+use rheem_core::fused::{self, Segment};
 use rheem_core::kernels;
 use rheem_core::mapping::{upstream_chain, Candidate, FnMapping};
 use rheem_core::plan::{LogicalOp, OpKind, OperatorNode, RheemPlan, SampleSize};
@@ -44,48 +45,67 @@ fn partition_count(n: usize, max_partitions: u32) -> usize {
     ((n / 8_192) + 1).min(max_partitions.max(1) as usize)
 }
 
-fn par_each<F>(parts: &[Dataset], f: F) -> Result<(Vec<Dataset>, Vec<f64>)>
+/// Worker-pool size for a stage: the profile's core count, capped by what
+/// the host can actually run in parallel.
+fn pool_size(profile: &rheem_core::platform::PlatformProfile) -> usize {
+    let host = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    (profile.cores as usize).clamp(1, host)
+}
+
+fn par_each<F>(parts: &[Dataset], workers: usize, f: F) -> Result<(Vec<Dataset>, Vec<f64>)>
 where
     F: Fn(usize, &[Value]) -> Result<Vec<Value>> + Send + Sync,
 {
     let n = parts.len();
-    let results: Vec<parking_lot::Mutex<Option<Result<(Dataset, f64)>>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let workers = workers.clamp(1, n.max(1));
     let next = AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..n.min(8).max(1) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let start = Instant::now();
-                let out = f(i, &parts[i]);
-                let ms = start.elapsed().as_secs_f64() * 1000.0;
-                *results[i].lock() = Some(out.map(|v| (Arc::new(v), ms)));
-            });
+    let f = &f;
+    let batches: Vec<Result<Vec<(usize, Dataset, f64)>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| -> Result<Vec<(usize, Dataset, f64)>> {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let start = Instant::now();
+                        let out = f(i, &parts[i])?;
+                        let ms = start.elapsed().as_secs_f64() * 1000.0;
+                        mine.push((i, Arc::new(out), ms));
+                    }
+                    Ok(mine)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(RheemError::Execution("flink worker panicked".into())))
+            })
+            .collect()
+    });
+    let mut out_parts: Vec<Dataset> = vec![Arc::new(Vec::new()); n];
+    let mut times = vec![0.0; n];
+    for batch in batches {
+        for (i, d, ms) in batch? {
+            out_parts[i] = d;
+            times[i] = ms;
         }
-    })
-    .map_err(|_| RheemError::Execution("flink worker panicked".into()))?;
-    let mut out_parts = Vec::with_capacity(n);
-    let mut times = Vec::with_capacity(n);
-    for r in results {
-        let (d, ms) = r.into_inner().expect("all partitions processed")?;
-        out_parts.push(d);
-        times.push(ms);
     }
     Ok((out_parts, times))
 }
 
 fn exchange(parts: &[Dataset], key: &KeyUdf, n: usize) -> (Vec<Dataset>, f64) {
-    let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); n.max(1)];
-    let mut bytes = 0.0;
+    let n = n.max(1);
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut buckets: Vec<Vec<Value>> = (0..n).map(|_| Vec::with_capacity(total / n + 1)).collect();
     for p in parts {
-        for (i, mut b) in kernels::hash_partition(p, key, n.max(1)).into_iter().enumerate() {
-            bytes += dataset_bytes(&b);
-            buckets[i].append(&mut b);
-        }
+        kernels::hash_partition_into(p, key, &mut buckets);
     }
+    let bytes: f64 = buckets.iter().map(|b| dataset_bytes(b)).sum();
     (buckets.into_iter().map(Arc::new).collect(), bytes * 0.9)
 }
 
@@ -139,39 +159,6 @@ fn is_wide(kind: OpKind) -> bool {
     )
 }
 
-fn narrow_step(
-    op: &LogicalOp,
-    data: &[Value],
-    bc: &BroadcastCtx,
-    part: usize,
-    total: usize,
-    seed: u64,
-    iteration: u64,
-) -> Option<Vec<Value>> {
-    Some(match op {
-        LogicalOp::Map(udf) => kernels::map(data, udf, bc),
-        LogicalOp::FlatMap(udf) => kernels::flat_map(data, udf, bc),
-        LogicalOp::Filter(p) => kernels::filter(data, p, bc),
-        LogicalOp::SargFilter { pred, .. } => kernels::filter(data, pred, bc),
-        LogicalOp::Project { fields } => kernels::project(data, fields),
-        LogicalOp::Sample { method, size, seed: s } => {
-            let want = size.resolve(total);
-            let share = if total == 0 {
-                0
-            } else {
-                (want * data.len()).div_ceil(total.max(1))
-            };
-            kernels::sample(
-                data,
-                *method,
-                SampleSize::Count(share),
-                (s.unwrap_or(seed) ^ iteration.wrapping_mul(0x9E37_79B9)).wrapping_add(part as u64),
-            )
-        }
-        _ => return None,
-    })
-}
-
 /// A Flink execution operator: a pipelined chain of narrow operators ending
 /// in at most one wide operator, executed per partition in a single pass.
 pub struct FlinkOperator {
@@ -184,6 +171,11 @@ impl FlinkOperator {
     pub fn new(ops: Vec<LogicalOp>) -> Self {
         let name = match ops.as_slice() {
             [single] => format!("Flink{:?}", single.kind()),
+            // A chain ending in a wide operator names its tail so monitor
+            // logs still show what the stage aggregates into.
+            [head @ .., last] if !fused::fusable(last) => {
+                format!("FlinkChain{}\u{2218}{:?}", head.len(), last.kind())
+            }
             _ => format!("FlinkChain{}", ops.len()),
         };
         Self { ops, name }
@@ -195,8 +187,7 @@ impl FlinkOperator {
             ChannelData::Collection(d) => {
                 let n = partition_count(d.len(), max_parts);
                 let chunk = d.len().div_ceil(n).max(1);
-                let parts: Vec<Dataset> =
-                    d.chunks(chunk).map(|c| Arc::new(c.to_vec())).collect();
+                let parts: Vec<Dataset> = d.chunks(chunk).map(|c| Arc::new(c.to_vec())).collect();
                 Ok(if parts.is_empty() { vec![Arc::new(Vec::new())] } else { parts })
             }
             other => Err(RheemError::Execution(format!(
@@ -228,7 +219,32 @@ impl ExecutionOperator for FlinkOperator {
         let mut cycles = 0.0;
         let mut net_bytes = 0.0;
         let mut card = c_in;
-        for (i, op) in self.ops.iter().enumerate() {
+        let mut after_fused = false;
+        for (si, seg) in fused::segment_chain(&self.ops).into_iter().enumerate() {
+            let delta = if si == 0 { 12_000.0 } else { 0.0 };
+            match seg {
+                // A chained run pays its submission δ once plus one
+                // per-tuple term with the summed step cost.
+                Segment::Fused { pipeline, .. } if pipeline.len() > 1 => {
+                    cycles += linear_cpu(
+                        model,
+                        "flink",
+                        "fused",
+                        card,
+                        pipeline.cost_hint() * 50.0,
+                        170.0,
+                        delta,
+                    );
+                    card *= pipeline.selectivity();
+                    after_fused = true;
+                    continue;
+                }
+                _ => {}
+            }
+            let op = match seg {
+                Segment::Fused { start, .. } => &self.ops[start],
+                Segment::Single { op, .. } => op,
+            };
             let kind = op.kind();
             let size = if matches!(kind, OpKind::Cartesian | OpKind::InequalityJoin) {
                 in_cards.iter().product::<f64>().max(card)
@@ -239,14 +255,22 @@ impl ExecutionOperator for FlinkOperator {
             } else {
                 card
             };
-            let delta = if i == 0 { 12_000.0 } else { 0.0 };
+            // A ReduceBy chained behind a fused run combines inside the
+            // pipeline pass (fused terminal aggregation): no materialized
+            // chained output, no input re-scan.
+            let alpha = if after_fused && kind == OpKind::ReduceBy {
+                default_alpha(kind) * 0.75
+            } else {
+                default_alpha(kind)
+            };
+            after_fused = false;
             cycles += linear_cpu(
                 model,
                 "flink",
                 kind.token(),
                 size,
                 op.udf_cost_hint() * 50.0,
-                default_alpha(kind),
+                alpha,
                 delta,
             );
             if is_wide(kind) {
@@ -275,6 +299,7 @@ impl ExecutionOperator for FlinkOperator {
         bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
         let profile = ctx.profile(ids::FLINK).clone();
+        let workers = pool_size(&profile);
         let seed = ctx.seed;
         let iteration = ctx.iteration;
 
@@ -293,43 +318,68 @@ impl ExecutionOperator for FlinkOperator {
         let mut virtual_ms = 0.0;
         let mut real_ms = 0.0;
 
-        // Execute maximal narrow runs in one pipelined pass per partition.
-        let mut i = 0usize;
-        while i < self.ops.len() {
-            let run_end = self.ops[i..]
-                .iter()
-                .position(|op| is_wide(op.kind()) || matches!(op, LogicalOp::Union | LogicalOp::TextFileSource { .. }))
-                .map(|off| i + off)
-                .unwrap_or(self.ops.len());
-            if run_end > i {
-                // narrow run [i, run_end)
-                let run = &self.ops[i..run_end];
-                let total: usize = parts.iter().map(|p| p.len()).sum();
-                let (out, times) = par_each(&parts, |pi, data| {
-                    // Pipelined: the first step reads the input partition by
-                    // reference (no upfront copy), later steps consume the
-                    // previous step's output.
-                    let mut cur: Option<Vec<Value>> = None;
-                    for op in run {
-                        let slice: &[Value] = cur.as_deref().unwrap_or(data);
-                        cur = Some(
-                            narrow_step(op, slice, bc, pi, total, seed, iteration).ok_or_else(
-                                || RheemError::Unsupported("non-narrow op in narrow run".into()),
-                            )?,
-                        );
-                    }
-                    Ok(cur.unwrap_or_else(|| data.to_vec()))
-                })?;
+        // Execute operator-chained (fused) runs in one pipelined pass per
+        // partition; wide/special operators stand alone between them.
+        let segs = fused::segment_chain(&self.ops);
+        let mut si = 0;
+        while si < segs.len() {
+            let seg = &segs[si];
+            si += 1;
+            if let Segment::Fused { pipeline, .. } = seg {
+                // Fused terminal aggregation: a chain ending the job-vertex
+                // pipeline in a ReduceBy streams survivors straight into the
+                // per-partition combine accumulator — the chained output is
+                // never materialized before the combine.
+                if let Some(Segment::Single { op: LogicalOp::ReduceBy { key, agg }, .. }) =
+                    segs.get(si)
+                {
+                    si += 1;
+                    let start = Instant::now();
+                    let (combined, t1) = par_each(&parts, workers, |_pi, data| {
+                        let mut state = kernels::ReduceByState::new(key, agg);
+                        pipeline.run_each(data, bc, |v| state.feed_owned(v));
+                        Ok(state.finish())
+                    })?;
+                    let n = combined.len();
+                    let (ex, bytes) = exchange(&combined, key, n);
+                    let (out, t2) =
+                        par_each(&ex, workers, |_i, d| Ok(kernels::reduce_by(d, key, agg)))?;
+                    parts = out;
+                    virtual_ms +=
+                        profile.parallel_ms(&t1) + profile.net_ms(bytes) + profile.parallel_ms(&t2);
+                    real_ms += start.elapsed().as_secs_f64() * 1000.0;
+                    continue;
+                }
+                let (out, times) =
+                    par_each(&parts, workers, |_pi, data| Ok(pipeline.run(data, bc)))?;
                 parts = out;
                 virtual_ms += profile.parallel_ms(&times);
                 real_ms += times.iter().sum::<f64>();
-                i = run_end;
                 continue;
             }
-            // single wide/special operator
-            let op = &self.ops[i];
-            i += 1;
+            let op = match seg {
+                Segment::Single { op, .. } => op,
+                Segment::Fused { .. } => unreachable!(),
+            };
             match op {
+                LogicalOp::Sample { method, size, seed: s } => {
+                    let total: usize = parts.iter().map(|p| p.len()).sum();
+                    let want = size.resolve(total);
+                    let base_seed = s.unwrap_or(seed) ^ iteration.wrapping_mul(0x9E37_79B9);
+                    let (out, times) = par_each(&parts, workers, |pi, data| {
+                        let share =
+                            if total == 0 { 0 } else { (want * data.len()).div_ceil(total.max(1)) };
+                        Ok(kernels::sample(
+                            data,
+                            *method,
+                            SampleSize::Count(share),
+                            base_seed.wrapping_add(pi as u64),
+                        ))
+                    })?;
+                    parts = out;
+                    virtual_ms += profile.parallel_ms(&times);
+                    real_ms += times.iter().sum::<f64>();
+                }
                 LogicalOp::Union => {
                     let other = self.input_partitions(&inputs[1], profile.partitions)?;
                     parts.extend(other);
@@ -337,10 +387,11 @@ impl ExecutionOperator for FlinkOperator {
                 LogicalOp::ReduceBy { key, agg } => {
                     let start = Instant::now();
                     let (combined, t1) =
-                        par_each(&parts, |_i, d| Ok(kernels::reduce_by(d, key, agg)))?;
+                        par_each(&parts, workers, |_i, d| Ok(kernels::reduce_by(d, key, agg)))?;
                     let n = combined.len();
                     let (ex, bytes) = exchange(&combined, key, n);
-                    let (out, t2) = par_each(&ex, |_i, d| Ok(kernels::reduce_by(d, key, agg)))?;
+                    let (out, t2) =
+                        par_each(&ex, workers, |_i, d| Ok(kernels::reduce_by(d, key, agg)))?;
                     parts = out;
                     virtual_ms +=
                         profile.parallel_ms(&t1) + profile.net_ms(bytes) + profile.parallel_ms(&t2);
@@ -350,7 +401,7 @@ impl ExecutionOperator for FlinkOperator {
                     let start = Instant::now();
                     let n = parts.len();
                     let (ex, bytes) = exchange(&parts, key, n);
-                    let (out, t) = par_each(&ex, |_i, d| Ok(kernels::group_by(d, key)))?;
+                    let (out, t) = par_each(&ex, workers, |_i, d| Ok(kernels::group_by(d, key)))?;
                     parts = out;
                     virtual_ms += profile.net_ms(bytes) + profile.parallel_ms(&t);
                     real_ms += start.elapsed().as_secs_f64() * 1000.0;
@@ -359,14 +410,15 @@ impl ExecutionOperator for FlinkOperator {
                     let start = Instant::now();
                     let n = parts.len();
                     let (ex, bytes) = exchange(&parts, &KeyUdf::identity(), n);
-                    let (out, t) = par_each(&ex, |_i, d| Ok(kernels::distinct(d)))?;
+                    let (out, t) = par_each(&ex, workers, |_i, d| Ok(kernels::distinct(d)))?;
                     parts = out;
                     virtual_ms += profile.net_ms(bytes) + profile.parallel_ms(&t);
                     real_ms += start.elapsed().as_secs_f64() * 1000.0;
                 }
                 LogicalOp::SortBy(key) => {
                     let start = Instant::now();
-                    let (sorted, t) = par_each(&parts, |_i, d| Ok(kernels::sort_by(d, key)))?;
+                    let (sorted, t) =
+                        par_each(&parts, workers, |_i, d| Ok(kernels::sort_by(d, key)))?;
                     let mut all = flatten_parts(&sorted);
                     all = kernels::sort_by(&all, key);
                     let bytes = dataset_bytes(&all) * 0.9;
@@ -386,7 +438,8 @@ impl ExecutionOperator for FlinkOperator {
                 }
                 LogicalOp::Reduce(agg) => {
                     let start = Instant::now();
-                    let (partials, t) = par_each(&parts, |_i, d| Ok(kernels::reduce(d, agg)))?;
+                    let (partials, t) =
+                        par_each(&parts, workers, |_i, d| Ok(kernels::reduce(d, agg)))?;
                     let all = flatten_parts(&partials);
                     parts = vec![Arc::new(kernels::reduce(&all, agg))];
                     virtual_ms += profile.parallel_ms(&t) + profile.task_overhead_ms;
@@ -398,7 +451,7 @@ impl ExecutionOperator for FlinkOperator {
                     let n = parts.len().max(right.len());
                     let (le, b1) = exchange(&parts, left_key, n);
                     let (re, b2) = exchange(&right, right_key, n);
-                    let (out, t) = par_each(&le, |i, d| {
+                    let (out, t) = par_each(&le, workers, |i, d| {
                         Ok(kernels::hash_join(d, &re[i], left_key, right_key))
                     })?;
                     parts = out;
@@ -410,7 +463,7 @@ impl ExecutionOperator for FlinkOperator {
                     let right = self.input_partitions(&inputs[1], profile.partitions)?;
                     let right_all = Arc::new(flatten_parts(&right));
                     let bytes = dataset_bytes(&right_all) * parts.len() as f64 * 0.9;
-                    let (out, t) = par_each(&parts, |_i, d| {
+                    let (out, t) = par_each(&parts, workers, |_i, d| {
                         Ok(match op {
                             LogicalOp::Cartesian => kernels::cartesian(d, &right_all),
                             LogicalOp::InequalityJoin { conds } => {
@@ -516,10 +569,7 @@ fn platform_spark_free_pagerank(edges: &[Value], iterations: u32, damping: f64) 
         }
         rank = next;
     }
-    vertices
-        .iter()
-        .map(|&v| Value::pair(Value::from(v), Value::from(rank[&v])))
-        .collect()
+    vertices.iter().map(|&v| Value::pair(Value::from(v), Value::from(rank[&v]))).collect()
 }
 
 /// `DataSet -> driver collection` (`DataSet.collect()`).
@@ -711,62 +761,48 @@ impl Platform for FlinkPlatform {
         registry.add_conversion(kinds::HDFS_FILE, DATASET, Arc::new(FlinkReadTextFile));
         registry.add_conversion(kinds::LOCAL_FILE, DATASET, Arc::new(FlinkReadTextFile));
 
-        registry.add_mapping(Arc::new(FnMapping(
-            |_plan: &RheemPlan, node: &OperatorNode| {
-                if !supported(node.op.kind()) {
-                    return vec![];
-                }
-                vec![Candidate::single(
-                    node.id,
-                    Arc::new(FlinkOperator::new(vec![node.op.clone()])) as _,
-                )]
-            },
-        )));
+        registry.add_mapping(Arc::new(FnMapping(|_plan: &RheemPlan, node: &OperatorNode| {
+            if !supported(node.op.kind()) {
+                return vec![];
+            }
+            vec![Candidate::single(
+                node.id,
+                Arc::new(FlinkOperator::new(vec![node.op.clone()])) as _,
+            )]
+        })));
         // Operator chaining: Flink fuses longer narrow chains and can end
         // them with one wide operator (the chain executes as one job
         // vertex pipeline).
-        registry.add_mapping(Arc::new(FnMapping(
-            |plan: &RheemPlan, node: &OperatorNode| {
-                let narrow = |n: &OperatorNode| {
-                    matches!(
-                        n.op.kind(),
-                        OpKind::Map
-                            | OpKind::FlatMap
-                            | OpKind::Filter
-                            | OpKind::Project
-                            | OpKind::SargFilter
-                    )
-                };
-                let wide_anchor =
-                    matches!(node.op.kind(), OpKind::ReduceBy | OpKind::GroupBy | OpKind::Distinct);
-                let chain = if narrow(node) {
-                    upstream_chain(plan, node, narrow)
-                } else if wide_anchor && node.inputs.len() == 1 && node.broadcasts.is_empty() {
-                    // A wide operator can terminate a chained pipeline: fuse
-                    // the narrow run feeding it (if it feeds only this op).
-                    let inp = plan.node(node.inputs[0]);
-                    let consumers = plan.consumers();
-                    if consumers[inp.id.index()].len() == 1
-                        && narrow(inp)
-                        && inp.loop_of == node.loop_of
-                    {
-                        let mut c = upstream_chain(plan, inp, narrow);
-                        c.push(node.id);
-                        c
-                    } else {
-                        return vec![];
-                    }
+        registry.add_mapping(Arc::new(FnMapping(|plan: &RheemPlan, node: &OperatorNode| {
+            let narrow = |n: &OperatorNode| fused::fusable(&n.op);
+            let wide_anchor =
+                matches!(node.op.kind(), OpKind::ReduceBy | OpKind::GroupBy | OpKind::Distinct);
+            let chain = if narrow(node) {
+                upstream_chain(plan, node, narrow)
+            } else if wide_anchor && node.inputs.len() == 1 && node.broadcasts.is_empty() {
+                // A wide operator can terminate a chained pipeline: fuse
+                // the narrow run feeding it (if it feeds only this op).
+                let inp = plan.node(node.inputs[0]);
+                let consumers = plan.consumers();
+                if consumers[inp.id.index()].len() == 1
+                    && narrow(inp)
+                    && inp.loop_of == node.loop_of
+                {
+                    let mut c = upstream_chain(plan, inp, narrow);
+                    c.push(node.id);
+                    c
                 } else {
                     return vec![];
-                };
-                if chain.len() < 2 {
-                    return vec![];
                 }
-                let ops: Vec<LogicalOp> =
-                    chain.iter().map(|&id| plan.node(id).op.clone()).collect();
-                vec![Candidate { covers: chain, exec: Arc::new(FlinkOperator::new(ops)) as _ }]
-            },
-        )));
+            } else {
+                return vec![];
+            };
+            if chain.len() < 2 {
+                return vec![];
+            }
+            let ops: Vec<LogicalOp> = chain.iter().map(|&id| plan.node(id).op.clone()).collect();
+            vec![Candidate { covers: chain, exec: Arc::new(FlinkOperator::new(ops)) as _ }]
+        })));
     }
 }
 
@@ -836,21 +872,15 @@ mod tests {
         let reduce_choice = opt.choice[4];
         assert!(opt.candidates[reduce_choice].covers.len() >= 2);
         let result = c.execute(&plan).unwrap();
-        let total: i64 = result
-            .sink(sink)
-            .unwrap()
-            .iter()
-            .map(|v| v.field(1).as_int().unwrap())
-            .sum();
+        let total: i64 =
+            result.sink(sink).unwrap().iter().map(|v| v.field(1).as_int().unwrap()).sum();
         assert_eq!(total, 100); // 100 even numbers in 1..=200
     }
 
     #[test]
     fn flink_cheaper_than_spark_on_stage_overheads() {
         let p = rheem_core::platform::Profiles::paper_testbed();
-        assert!(
-            p.get(ids::FLINK).stage_overhead_ms < p.get(ids::SPARK).stage_overhead_ms
-        );
+        assert!(p.get(ids::FLINK).stage_overhead_ms < p.get(ids::SPARK).stage_overhead_ms);
     }
 
     #[test]

@@ -54,16 +54,13 @@ pub fn pagerank_bsp(
     let home = |v: i64| (v.unsigned_abs() as usize) % partitions;
 
     // Partitioned vertex state.
-    let mut state: Vec<HashMap<i64, VertexState>> = (0..partitions).map(|_| HashMap::new()).collect();
+    let mut state: Vec<HashMap<i64, VertexState>> =
+        (0..partitions).map(|_| HashMap::new()).collect();
     for &v in &vertices {
         state[home(v)].insert(v, VertexState { rank: 1.0 / n, out_neighbors: Vec::new() });
     }
     for &(s, d) in edges {
-        state[home(s)]
-            .get_mut(&s)
-            .expect("source vertex registered")
-            .out_neighbors
-            .push(d);
+        state[home(s)].get_mut(&s).expect("source vertex registered").out_neighbors.push(d);
     }
 
     let mut supersteps = Vec::new();

@@ -30,12 +30,7 @@ use rheem_core::value::Value;
 /// Parse `(src, dst)` edge pairs from quanta.
 pub fn parse_edges(data: &[Value]) -> Vec<(i64, i64)> {
     data.iter()
-        .map(|e| {
-            (
-                e.field(0).as_int().unwrap_or(0),
-                e.field(1).as_int().unwrap_or(0),
-            )
-        })
+        .map(|e| (e.field(0).as_int().unwrap_or(0), e.field(1).as_int().unwrap_or(0)))
         .collect()
 }
 
@@ -73,10 +68,7 @@ pub fn pagerank_reference(edges: &[(i64, i64)], iterations: u32, damping: f64) -
 }
 
 fn ranks_to_values(ranks: Vec<(i64, f64)>) -> Vec<Value> {
-    ranks
-        .into_iter()
-        .map(|(v, r)| Value::pair(Value::from(v), Value::from(r)))
-        .collect()
+    ranks.into_iter().map(|(v, r)| Value::pair(Value::from(v), Value::from(r))).collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -327,11 +319,9 @@ impl ExecutionOperator for GraphChiPageRank {
         sorted.sort_unstable_by_key(|&(_, d)| d);
         for (i, chunk) in sorted.chunks(sorted.len().div_ceil(shards).max(1)).enumerate() {
             let path = dir.join(format!("shard{i}.txt"));
-            shard_bytes += rheem_storage::write_lines(
-                &path,
-                chunk.iter().map(|(s, d)| format!("{s}\t{d}")),
-            )
-            .map_err(RheemError::Io)?;
+            shard_bytes +=
+                rheem_storage::write_lines(&path, chunk.iter().map(|(s, d)| format!("{s}\t{d}")))
+                    .map_err(RheemError::Io)?;
         }
 
         // Compute (streaming the shards would re-read them each iteration;
@@ -379,9 +369,7 @@ mod tests {
     use rheem_core::plan::PlanBuilder;
 
     fn ring_edges(n: i64) -> Vec<Value> {
-        (0..n)
-            .map(|i| Value::pair(Value::from(i), Value::from((i + 1) % n)))
-            .collect()
+        (0..n).map(|i| Value::pair(Value::from(i), Value::from((i + 1) % n))).collect()
     }
 
     #[test]
@@ -399,11 +387,7 @@ mod tests {
         ] {
             let mut ctx = ExecCtx::new(&profiles, 0);
             let out = op
-                .execute(
-                    &mut ctx,
-                    &[ChannelData::Collection(Arc::new(data.clone()))],
-                    &bc,
-                )
+                .execute(&mut ctx, &[ChannelData::Collection(Arc::new(data.clone()))], &bc)
                 .unwrap();
             let ranks = out.flatten().unwrap();
             assert_eq!(ranks.len(), reference.len(), "{}", op.name());

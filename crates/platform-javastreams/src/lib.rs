@@ -14,6 +14,7 @@ use rheem_core::channel::{kinds, ChannelData, ChannelKind};
 use rheem_core::cost::{linear_cpu, CostModel, Load};
 use rheem_core::error::{Result, RheemError};
 use rheem_core::exec::{ExecCtx, ExecutionOperator};
+use rheem_core::fused::{self, Segment};
 use rheem_core::kernels;
 use rheem_core::mapping::{upstream_chain, Candidate, FnMapping};
 use rheem_core::plan::{LogicalOp, OpKind, OperatorNode, RheemPlan};
@@ -46,6 +47,11 @@ impl JavaOperator {
     pub fn new(ops: Vec<LogicalOp>) -> Self {
         let name = match ops.as_slice() {
             [single] => format!("Java{:?}", single.kind()),
+            // A chain ending in a wide operator names its tail so monitor
+            // logs still show what the stage aggregates into.
+            [head @ .., last] if !fused::fusable(last) => {
+                format!("JavaChain{}\u{2218}{:?}", head.len(), last.kind())
+            }
             _ => format!("JavaChain{}", ops.len()),
         };
         Self { ops, name }
@@ -137,10 +143,7 @@ pub fn page_rank(edges: &[Value], iterations: u32, damping: f64) -> Vec<Value> {
         }
         rank = next;
     }
-    vertices
-        .iter()
-        .map(|&v| Value::pair(Value::from(v), Value::from(rank[&v])))
-        .collect()
+    vertices.iter().map(|&v| Value::pair(Value::from(v), Value::from(rank[&v]))).collect()
 }
 
 /// Default CPU cost (abstract cycles per input quantum) per operator kind on
@@ -188,37 +191,76 @@ impl ExecutionOperator for JavaOperator {
         let c_in: f64 = in_cards.iter().sum();
         let mut cycles = 0.0;
         let mut card = c_in;
-        for (i, op) in self.ops.iter().enumerate() {
-            let kind = op.kind();
-            let size = if matches!(kind, OpKind::Cartesian | OpKind::InequalityJoin) {
-                in_cards.iter().product::<f64>().max(card)
-            } else if kind == OpKind::SortBy {
-                card * card.max(2.0).log2()
-            } else if kind == OpKind::PageRank {
-                card * 10.0
-            } else {
-                card
-            };
-            // Fused chains pay the operator-setup δ only once: that is what
-            // fusing buys (no per-operator scheduling/materialization).
-            let delta = if i == 0 { 2_000.0 } else { 0.0 };
-            cycles += linear_cpu(
-                model,
-                "java.streams",
-                kind.token(),
-                size,
-                op.udf_cost_hint() * 50.0,
-                default_alpha(kind),
-                delta,
-            );
-            // rough per-op cardinality propagation inside the chain
-            card *= match kind {
-                OpKind::Filter | OpKind::SargFilter => 0.5,
-                OpKind::FlatMap => 4.0,
-                OpKind::ReduceBy | OpKind::GroupBy | OpKind::Distinct => 0.5,
-                OpKind::Count | OpKind::Reduce => 0.0,
-                _ => 1.0,
-            };
+        let mut first = true;
+        let mut after_fused = false;
+        for seg in fused::segment_chain(&self.ops) {
+            match seg {
+                // A fused run pays its setup δ once and one per-tuple term
+                // whose UDF weight is the whole chain's: that is what fusing
+                // buys (no per-operator scheduling/materialization).
+                Segment::Fused { pipeline, .. } if pipeline.len() > 1 => {
+                    let delta = if first { 2_000.0 } else { 0.0 };
+                    cycles += linear_cpu(
+                        model,
+                        "java.streams",
+                        "fused",
+                        card,
+                        pipeline.cost_hint() * 50.0,
+                        150.0,
+                        delta,
+                    );
+                    card *= pipeline.selectivity();
+                    after_fused = true;
+                    first = false;
+                    continue;
+                }
+                seg => {
+                    let op = match &seg {
+                        Segment::Single { op, .. } => *op,
+                        Segment::Fused { start, .. } => &self.ops[*start],
+                    };
+                    let kind = op.kind();
+                    let size = if matches!(kind, OpKind::Cartesian | OpKind::InequalityJoin) {
+                        in_cards.iter().product::<f64>().max(card)
+                    } else if kind == OpKind::SortBy {
+                        card * card.max(2.0).log2()
+                    } else if kind == OpKind::PageRank {
+                        card * 10.0
+                    } else {
+                        card
+                    };
+                    let delta = if first { 2_000.0 } else { 0.0 };
+                    // A ReduceBy fed by the preceding fused segment streams
+                    // its input straight out of the pipeline (fused terminal
+                    // aggregation): no materialized-input scan, no
+                    // first-occurrence clone — cheaper per tuple than the
+                    // standalone kernel.
+                    let alpha = if after_fused && kind == OpKind::ReduceBy {
+                        default_alpha(kind) * 0.75
+                    } else {
+                        default_alpha(kind)
+                    };
+                    cycles += linear_cpu(
+                        model,
+                        "java.streams",
+                        kind.token(),
+                        size,
+                        op.udf_cost_hint() * 50.0,
+                        alpha,
+                        delta,
+                    );
+                    // rough per-op cardinality propagation inside the chain
+                    card *= match kind {
+                        OpKind::Filter | OpKind::SargFilter => 0.5,
+                        OpKind::FlatMap => 4.0,
+                        OpKind::ReduceBy | OpKind::GroupBy | OpKind::Distinct => 0.5,
+                        OpKind::Count | OpKind::Reduce => 0.0,
+                        _ => 1.0,
+                    };
+                }
+            }
+            after_fused = false;
+            first = false;
         }
         Load::cpu(cycles)
     }
@@ -236,14 +278,47 @@ impl ExecutionOperator for JavaOperator {
         let in_card: u64 = input_data.iter().map(|d| d.len() as u64).sum();
         let ops = &self.ops;
         ctx.timed_seq(self, in_card, || {
+            // Fused runs of narrow operators execute in one traversal with
+            // no intermediate collection; only wide/sampling operators
+            // materialize between segments.
+            let segs = fused::segment_chain(ops);
             let mut current: Option<Vec<Value>> = None;
-            for (i, op) in ops.iter().enumerate() {
-                let borrowed: Vec<&[Value]> = if i == 0 {
-                    input_data.iter().map(|d| d.as_slice()).collect()
-                } else {
-                    vec![current.as_deref().unwrap_or(&[])]
-                };
-                current = Some(JavaOperator::apply_one(op, &borrowed, bc, seed, iteration)?);
+            let mut si = 0;
+            while si < segs.len() {
+                current = Some(match &segs[si] {
+                    Segment::Fused { pipeline, .. } => {
+                        let input: &[Value] = if si == 0 {
+                            input_data.first().map(|d| d.as_slice()).unwrap_or(&[])
+                        } else {
+                            current.as_deref().unwrap_or(&[])
+                        };
+                        // Fused terminal aggregation: a chain feeding a
+                        // ReduceBy streams its survivors straight into the
+                        // hash accumulator — the dataset between chain and
+                        // aggregation is never materialized.
+                        if let Some(Segment::Single {
+                            op: LogicalOp::ReduceBy { key, agg }, ..
+                        }) = segs.get(si + 1)
+                        {
+                            let mut state = kernels::ReduceByState::new(key, agg);
+                            pipeline.run_each(input, bc, |v| state.feed_owned(v));
+                            si += 2;
+                            state.finish()
+                        } else {
+                            si += 1;
+                            pipeline.run(input, bc)
+                        }
+                    }
+                    Segment::Single { op, .. } => {
+                        let borrowed: Vec<&[Value]> = if si == 0 {
+                            input_data.iter().map(|d| d.as_slice()).collect()
+                        } else {
+                            vec![current.as_deref().unwrap_or(&[])]
+                        };
+                        si += 1;
+                        JavaOperator::apply_one(op, &borrowed, bc, seed, iteration)?
+                    }
+                });
             }
             let out = current.unwrap_or_default();
             let n = out.len() as u64;
@@ -283,40 +358,45 @@ impl Platform for JavaStreamsPlatform {
 
     fn register(&self, registry: &mut Registry) {
         // 1-to-1 mappings for every supported operator.
-        registry.add_mapping(Arc::new(FnMapping(
-            |_plan: &RheemPlan, node: &OperatorNode| {
-                if !supported(node.op.kind()) {
-                    return vec![];
-                }
-                vec![Candidate::single(
-                    node.id,
-                    Arc::new(JavaOperator::new(vec![node.op.clone()])) as _,
-                )]
-            },
-        )));
+        registry.add_mapping(Arc::new(FnMapping(|_plan: &RheemPlan, node: &OperatorNode| {
+            if !supported(node.op.kind()) {
+                return vec![];
+            }
+            vec![Candidate::single(
+                node.id,
+                Arc::new(JavaOperator::new(vec![node.op.clone()])) as _,
+            )]
+        })));
         // n-to-1 fusion of unary pipelines (map/filter/flatmap), the
         // JavaStreams counterpart of Fig. 4's subplan mappings: one pass,
         // no intermediate collections.
-        registry.add_mapping(Arc::new(FnMapping(
-            |plan: &RheemPlan, node: &OperatorNode| {
-                let fusable = |n: &OperatorNode| {
-                    matches!(
-                        n.op.kind(),
-                        OpKind::Map | OpKind::FlatMap | OpKind::Filter | OpKind::Project
-                    )
-                };
-                if !fusable(node) {
-                    return vec![];
-                }
-                let chain = upstream_chain(plan, node, fusable);
-                if chain.len() < 2 {
-                    return vec![];
-                }
-                let ops: Vec<LogicalOp> =
-                    chain.iter().map(|&id| plan.node(id).op.clone()).collect();
-                vec![Candidate { covers: chain, exec: Arc::new(JavaOperator::new(ops)) as _ }]
-            },
-        )));
+        registry.add_mapping(Arc::new(FnMapping(|plan: &RheemPlan, node: &OperatorNode| {
+            let fusable = |n: &OperatorNode| fused::fusable(&n.op);
+            if !fusable(node) {
+                return vec![];
+            }
+            let chain = upstream_chain(plan, node, fusable);
+            if chain.len() < 2 {
+                return vec![];
+            }
+            let ops: Vec<LogicalOp> = chain.iter().map(|&id| plan.node(id).op.clone()).collect();
+            vec![Candidate { covers: chain, exec: Arc::new(JavaOperator::new(ops)) as _ }]
+        })));
+        // n-to-1 fusion *into* a terminal ReduceBy: the narrow chain plus
+        // the aggregation execute as one operator whose pipeline survivors
+        // stream straight into the hash accumulator (fused terminal
+        // aggregation) — no pair dataset between chain and aggregation.
+        registry.add_mapping(Arc::new(FnMapping(|plan: &RheemPlan, node: &OperatorNode| {
+            if node.op.kind() != OpKind::ReduceBy {
+                return vec![];
+            }
+            let chain = upstream_chain(plan, node, |n| fused::fusable(&n.op) || n.id == node.id);
+            if chain.len() < 2 {
+                return vec![];
+            }
+            let ops: Vec<LogicalOp> = chain.iter().map(|&id| plan.node(id).op.clone()).collect();
+            vec![Candidate { covers: chain, exec: Arc::new(JavaOperator::new(ops)) as _ }]
+        })));
     }
 }
 
@@ -430,9 +510,8 @@ mod tests {
         let data = b.collection((1..=1000i64).map(Value::from).collect::<Vec<_>>());
         let acc = b.collection(vec![Value::from(0)]);
         let out = acc.repeat(2, |w| {
-            let s = data
-                .sample(SampleMethod::Random, SampleSize::Count(5))
-                .reduce(ReduceUdf::sum());
+            let s =
+                data.sample(SampleMethod::Random, SampleSize::Count(5)).reduce(ReduceUdf::sum());
             w.map(MapUdf::with_ctx("addsum", |v, ctx| {
                 let s = ctx.get_or_empty("batch");
                 Value::from(v.as_int().unwrap() + s.first().and_then(Value::as_int).unwrap_or(0))

@@ -15,18 +15,19 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use rheem_core::channel::{kinds, ChannelData, ChannelDescriptor, ChannelKind};
 use rheem_core::cost::{linear_cpu, CostModel, Load};
 use rheem_core::error::{Result, RheemError};
 use rheem_core::exec::{dataset_bytes, ExecCtx, ExecutionOperator, OpMetrics};
+use rheem_core::fused::{FusedPipeline, FusedStep};
 use rheem_core::kernels;
 use rheem_core::mapping::{Candidate, FnMapping};
 use rheem_core::plan::{LogicalOp, OpKind, OperatorNode, RheemPlan};
 use rheem_core::platform::{ids, Platform, PlatformId};
 use rheem_core::registry::Registry;
-use rheem_core::udf::{BroadcastCtx, CmpOp, Sarg};
+use rheem_core::udf::{BroadcastCtx, CmpOp, PredicateUdf, Sarg};
 use rheem_core::value::{Dataset, Value};
 
 /// The relation channel: rows materialized inside the store (reusable).
@@ -117,7 +118,7 @@ impl PgDatabase {
         columns: impl Into<Vec<String>>,
         rows: Vec<Value>,
     ) {
-        self.tables.write().insert(
+        self.tables.write().unwrap().insert(
             name.into(),
             Table { columns: columns.into(), rows: Arc::new(rows), indexes: HashMap::new() },
         );
@@ -125,7 +126,7 @@ impl PgDatabase {
 
     /// Create a B-tree index on a field of a table.
     pub fn create_index(&self, table: &str, field: usize) -> Result<()> {
-        let mut tables = self.tables.write();
+        let mut tables = self.tables.write().unwrap();
         let t = tables
             .get_mut(table)
             .ok_or_else(|| RheemError::Execution(format!("no such table: {table}")))?;
@@ -136,13 +137,14 @@ impl PgDatabase {
 
     /// Row count of a table.
     pub fn row_count(&self, table: &str) -> Option<usize> {
-        self.tables.read().get(table).map(|t| t.rows.len())
+        self.tables.read().unwrap().get(table).map(|t| t.rows.len())
     }
 
     /// Whether an index exists on `table.field`.
     pub fn has_index(&self, table: &str, field: usize) -> bool {
         self.tables
             .read()
+            .unwrap()
             .get(table)
             .map(|t| t.indexes.contains_key(&field))
             .unwrap_or(false)
@@ -152,6 +154,7 @@ impl PgDatabase {
     pub fn rows(&self, table: &str) -> Result<Dataset> {
         self.tables
             .read()
+            .unwrap()
             .get(table)
             .map(|t| Arc::clone(&t.rows))
             .ok_or_else(|| RheemError::Execution(format!("no such table: {table}")))
@@ -159,12 +162,12 @@ impl PgDatabase {
 
     /// Column names of a table.
     pub fn columns(&self, table: &str) -> Option<Vec<String>> {
-        self.tables.read().get(table).map(|t| t.columns.clone())
+        self.tables.read().unwrap().get(table).map(|t| t.columns.clone())
     }
 
     /// All table names.
     pub fn table_names(&self) -> Vec<String> {
-        self.tables.read().keys().cloned().collect()
+        self.tables.read().unwrap().keys().cloned().collect()
     }
 }
 
@@ -265,7 +268,13 @@ impl ExecutionOperator for PgOperator {
                 let matched = in_cards.last().copied().unwrap_or(0.0);
                 Load {
                     cpu_cycles: linear_cpu(
-                        model, "postgres", "indexscan", matched, 0.0, 250.0, 8_000.0,
+                        model,
+                        "postgres",
+                        "indexscan",
+                        matched,
+                        0.0,
+                        250.0,
+                        8_000.0,
                     ),
                     disk_bytes: matched * avg_bytes,
                     tasks: 1,
@@ -311,25 +320,32 @@ impl ExecutionOperator for PgOperator {
             PgOp::SeqScan { table, filter, project } => {
                 let data = self.db.rows(table)?;
                 let disk_ms = profile.disk_ms(dataset_bytes(&data)) / profile.cores.max(1) as f64;
-                let mut rows: Vec<Value> = match filter {
-                    Some(sarg) => data.iter().filter(|r| sarg.eval(r)).cloned().collect(),
-                    None => data.to_vec(),
-                };
-                if let Some(fields) = project {
-                    rows = kernels::project(&rows, fields);
+                // Pushed-down filter + projection run as one fused pass over
+                // the heap pages — no intermediate row vector.
+                let mut steps = Vec::new();
+                if let Some(sarg) = filter {
+                    let s = sarg.clone();
+                    steps.push(FusedStep::Filter(PredicateUdf::new("sarg", move |v| s.eval(v))));
                 }
+                if let Some(fields) = project {
+                    steps.push(FusedStep::Project(fields.clone()));
+                }
+                let rows = if steps.is_empty() {
+                    data.to_vec()
+                } else {
+                    FusedPipeline::new(steps).run(&data, bc)
+                };
                 (rows, data.len() as u64, disk_ms)
             }
             PgOp::IndexScan { table, sarg, project } => {
-                let tables = self.db.tables.read();
+                let tables = self.db.tables.read().unwrap();
                 let t = tables
                     .get(table)
                     .ok_or_else(|| RheemError::Execution(format!("no such table: {table}")))?;
                 let positions = t.index_lookup(sarg).ok_or_else(|| {
                     RheemError::Execution(format!("no usable index on {table}.{}", sarg.field))
                 })?;
-                let mut rows: Vec<Value> =
-                    positions.iter().map(|&i| t.rows[i].clone()).collect();
+                let mut rows: Vec<Value> = positions.iter().map(|&i| t.rows[i].clone()).collect();
                 if let Some(fields) = project {
                     rows = kernels::project(&rows, fields);
                 }
@@ -388,8 +404,7 @@ impl ExecutionOperator for PgOperator {
         };
         let real_ms = start.elapsed().as_secs_f64() * 1000.0;
         // parallel_query: relational operators use up to 4 workers.
-        let virtual_ms =
-            real_ms * profile.cpu_scale / profile.cores.max(1) as f64 + extra_virtual;
+        let virtual_ms = real_ms * profile.cpu_scale / profile.cores.max(1) as f64 + extra_virtual;
         let out_card = rows.len() as u64;
         ctx.record(OpMetrics {
             name: self.name.clone(),
@@ -399,7 +414,10 @@ impl ExecutionOperator for PgOperator {
             virtual_ms,
             real_ms,
         });
-        Ok(ChannelData::Opaque { kind: RELATION, payload: Arc::new(Relation { rows: Arc::new(rows) }) })
+        Ok(ChannelData::Opaque {
+            kind: RELATION,
+            payload: Arc::new(Relation { rows: Arc::new(rows) }),
+        })
     }
 }
 
@@ -725,19 +743,16 @@ mod tests {
     fn index_lookup_ranges() {
         let db = db_with_people();
         db.create_index("people", 0).unwrap();
-        let tables = db.tables.read();
+        let tables = db.tables.read().unwrap();
         let t = tables.get("people").unwrap();
-        let lt = t
-            .index_lookup(&Sarg { field: 0, op: CmpOp::Lt, literal: Value::from(5) })
-            .unwrap();
+        let lt =
+            t.index_lookup(&Sarg { field: 0, op: CmpOp::Lt, literal: Value::from(5) }).unwrap();
         assert_eq!(lt.len(), 5);
-        let ge = t
-            .index_lookup(&Sarg { field: 0, op: CmpOp::Ge, literal: Value::from(995) })
-            .unwrap();
+        let ge =
+            t.index_lookup(&Sarg { field: 0, op: CmpOp::Ge, literal: Value::from(995) }).unwrap();
         assert_eq!(ge.len(), 5);
-        let gt = t
-            .index_lookup(&Sarg { field: 0, op: CmpOp::Gt, literal: Value::from(995) })
-            .unwrap();
+        let gt =
+            t.index_lookup(&Sarg { field: 0, op: CmpOp::Gt, literal: Value::from(995) }).unwrap();
         assert_eq!(gt.len(), 4);
         assert!(t
             .index_lookup(&Sarg { field: 1, op: CmpOp::Eq, literal: Value::from("x") })
@@ -751,10 +766,7 @@ mod tests {
         let sink = b
             .read_table("people")
             .project(vec![2]) // age
-            .reduce_by_key(
-                KeyUdf::field(0),
-                ReduceUdf::new("cnt", |a, _b| a.clone()),
-            )
+            .reduce_by_key(KeyUdf::field(0), ReduceUdf::new("cnt", |a, _b| a.clone()))
             .sort_by(KeyUdf::field(0))
             .collect();
         let plan = b.build().unwrap();

@@ -19,6 +19,7 @@ use rheem_core::channel::{kinds, ChannelData, ChannelDescriptor, ChannelKind};
 use rheem_core::cost::{linear_cpu, CostModel, Load};
 use rheem_core::error::{Result, RheemError};
 use rheem_core::exec::{dataset_bytes, ExecCtx, ExecutionOperator, OpMetrics};
+use rheem_core::fused::{self, Segment};
 use rheem_core::kernels;
 use rheem_core::mapping::{upstream_chain, Candidate, FnMapping};
 use rheem_core::plan::{LogicalOp, OpKind, OperatorNode, RheemPlan};
@@ -49,55 +50,90 @@ pub fn partition_count(n: usize, max_partitions: u32) -> usize {
     ((n / 8_192) + 1).min(max_partitions.max(1) as usize)
 }
 
-/// Run `f` over each partition with a small worker pool; returns the output
-/// partitions and the measured per-partition times (ms).
+/// How many worker threads a stage gets: the profile's core count, capped by
+/// what the host can actually run in parallel (so measured per-partition
+/// times stay honest).
+pub fn pool_size(profile: &rheem_core::platform::PlatformProfile) -> usize {
+    let host = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    (profile.cores as usize).clamp(1, host)
+}
+
+/// Run `f` over each partition with a default-sized worker pool; returns the
+/// output partitions and the measured per-partition times (ms).
 pub fn par_map_partitions<F>(parts: &[Dataset], f: F) -> Result<(Vec<Dataset>, Vec<f64>)>
 where
     F: Fn(usize, &[Value]) -> Result<Vec<Value>> + Send + Sync,
 {
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    par_map_partitions_pooled(parts, workers, f)
+}
+
+/// [`par_map_partitions`] with an explicit pool size (the operator derives it
+/// from the platform profile via [`pool_size`]). Workers pull partition
+/// indices off a shared queue and hand back their `(index, output, ms)`
+/// batches through scoped join handles — no per-partition locks.
+pub fn par_map_partitions_pooled<F>(
+    parts: &[Dataset],
+    workers: usize,
+    f: F,
+) -> Result<(Vec<Dataset>, Vec<f64>)>
+where
+    F: Fn(usize, &[Value]) -> Result<Vec<Value>> + Send + Sync,
+{
     let n = parts.len();
-    let results: Vec<parking_lot::Mutex<Option<Result<(Dataset, f64)>>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let workers = workers.clamp(1, n.max(1));
     let next = AtomicUsize::new(0);
-    let workers = n.min(8).max(1);
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let start = Instant::now();
-                let out = f(i, &parts[i]);
-                let ms = start.elapsed().as_secs_f64() * 1000.0;
-                *results[i].lock() = Some(out.map(|v| (Arc::new(v), ms)));
-            });
+    let f = &f;
+    let batches: Vec<Result<Vec<(usize, Dataset, f64)>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| -> Result<Vec<(usize, Dataset, f64)>> {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let start = Instant::now();
+                        let out = f(i, &parts[i])?;
+                        let ms = start.elapsed().as_secs_f64() * 1000.0;
+                        mine.push((i, Arc::new(out), ms));
+                    }
+                    Ok(mine)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(RheemError::Execution("spark worker panicked".into())))
+            })
+            .collect()
+    });
+    let mut out_parts: Vec<Dataset> = vec![Arc::new(Vec::new()); n];
+    let mut times = vec![0.0; n];
+    for batch in batches {
+        for (i, d, ms) in batch? {
+            out_parts[i] = d;
+            times[i] = ms;
         }
-    })
-    .map_err(|_| RheemError::Execution("spark worker panicked".into()))?;
-    let mut out_parts = Vec::with_capacity(n);
-    let mut times = Vec::with_capacity(n);
-    for r in results {
-        let (d, ms) = r.into_inner().expect("all partitions processed")?;
-        out_parts.push(d);
-        times.push(ms);
     }
     Ok((out_parts, times))
 }
 
 /// Hash-exchange: redistribute partitions by key into `n` output partitions
-/// (the shuffle). Returns the exchanged partitions and the bytes moved
-/// across the (virtual) network.
+/// (the shuffle). Every record is routed straight into a shared, pre-sized
+/// destination bucket — no per-partition partials re-appended. Returns the
+/// exchanged partitions and the bytes moved across the (virtual) network.
 pub fn shuffle(parts: &[Dataset], key: &KeyUdf, n: usize) -> (Vec<Dataset>, f64) {
-    let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); n.max(1)];
-    let mut bytes = 0.0;
+    let n = n.max(1);
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut buckets: Vec<Vec<Value>> = (0..n).map(|_| Vec::with_capacity(total / n + 1)).collect();
     for p in parts {
-        let partials = kernels::hash_partition(p, key, n.max(1));
-        for (i, mut bucket) in partials.into_iter().enumerate() {
-            bytes += dataset_bytes(&bucket);
-            buckets[i].append(&mut bucket);
-        }
+        kernels::hash_partition_into(p, key, &mut buckets);
     }
+    let bytes: f64 = buckets.iter().map(|b| dataset_bytes(b)).sum();
     // Roughly (1 - 1/nodes) of shuffled bytes cross machine boundaries.
     (buckets.into_iter().map(Arc::new).collect(), bytes * 0.9)
 }
@@ -124,6 +160,11 @@ impl SparkOperator {
     pub fn new(ops: Vec<LogicalOp>) -> Self {
         let name = match ops.as_slice() {
             [single] => format!("Spark{:?}", single.kind()),
+            // A chain ending in a wide operator names its tail so monitor
+            // logs still show what the stage aggregates into.
+            [head @ .., last] if !fused::fusable(last) => {
+                format!("SparkChain{}\u{2218}{:?}", head.len(), last.kind())
+            }
             _ => format!("SparkChain{}", ops.len()),
         };
         Self { ops, name }
@@ -135,8 +176,7 @@ impl SparkOperator {
             ChannelData::Collection(d) => {
                 let n = partition_count(d.len(), max_parts);
                 let chunk = d.len().div_ceil(n).max(1);
-                let parts: Vec<Dataset> =
-                    d.chunks(chunk).map(|c| Arc::new(c.to_vec())).collect();
+                let parts: Vec<Dataset> = d.chunks(chunk).map(|c| Arc::new(c.to_vec())).collect();
                 Ok(if parts.is_empty() { vec![Arc::new(Vec::new())] } else { parts })
             }
             other => Err(RheemError::Execution(format!(
@@ -210,7 +250,32 @@ impl ExecutionOperator for SparkOperator {
         let mut cycles = 0.0;
         let mut net_bytes = 0.0;
         let mut card = c_in;
-        for (i, op) in self.ops.iter().enumerate() {
+        let mut after_fused = false;
+        for (si, seg) in fused::segment_chain(&self.ops).into_iter().enumerate() {
+            let delta = if si == 0 { 20_000.0 } else { 0.0 };
+            match seg {
+                // A fused chain pays its job-submission δ once and one
+                // per-tuple term whose UDF weight is the summed step cost.
+                Segment::Fused { pipeline, .. } if pipeline.len() > 1 => {
+                    cycles += linear_cpu(
+                        model,
+                        "spark",
+                        "fused",
+                        card,
+                        pipeline.cost_hint() * 50.0,
+                        220.0,
+                        delta,
+                    );
+                    card *= pipeline.selectivity();
+                    after_fused = true;
+                    continue;
+                }
+                _ => {}
+            }
+            let op = match seg {
+                Segment::Fused { start, .. } => &self.ops[start],
+                Segment::Single { op, .. } => op,
+            };
             let kind = op.kind();
             let size = if matches!(kind, OpKind::Cartesian | OpKind::InequalityJoin) {
                 in_cards.iter().product::<f64>().max(card)
@@ -221,14 +286,22 @@ impl ExecutionOperator for SparkOperator {
             } else {
                 card
             };
-            let delta = if i == 0 { 20_000.0 } else { 0.0 };
+            // A ReduceBy fed by the preceding fused segment runs its
+            // map-side combine inside the pipeline pass (fused terminal
+            // aggregation): no materialized narrow output, no input re-scan.
+            let alpha = if after_fused && kind == OpKind::ReduceBy {
+                default_alpha(kind) * 0.75
+            } else {
+                default_alpha(kind)
+            };
+            after_fused = false;
             cycles += linear_cpu(
                 model,
                 "spark",
                 kind.token(),
                 size,
                 op.udf_cost_hint() * 50.0,
-                default_alpha(kind),
+                alpha,
                 delta,
             );
             if is_wide(kind) {
@@ -257,6 +330,7 @@ impl ExecutionOperator for SparkOperator {
         bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
         let profile = ctx.profile(ids::SPARK).clone();
+        let workers = pool_size(&profile);
         let seed = ctx.seed;
         let iteration = ctx.iteration;
 
@@ -276,38 +350,59 @@ impl ExecutionOperator for SparkOperator {
         let mut virtual_ms = 0.0;
         let mut real_ms = 0.0;
 
-        for op in &self.ops {
-            match op {
-                // ---- narrow transformations: pipelined per partition ----
-                LogicalOp::Map(_)
-                | LogicalOp::FlatMap(_)
-                | LogicalOp::Filter(_)
-                | LogicalOp::Project { .. }
-                | LogicalOp::SargFilter { .. } => {
-                    let (out, times) = par_map_partitions(&parts, |_i, data| {
-                        Ok(match op {
-                            LogicalOp::Map(udf) => kernels::map(data, udf, bc),
-                            LogicalOp::FlatMap(udf) => kernels::flat_map(data, udf, bc),
-                            LogicalOp::Filter(p) => kernels::filter(data, p, bc),
-                            LogicalOp::SargFilter { pred, .. } => kernels::filter(data, pred, bc),
-                            LogicalOp::Project { fields } => kernels::project(data, fields),
-                            _ => unreachable!(),
-                        })
+        let segs = fused::segment_chain(&self.ops);
+        let mut si = 0;
+        while si < segs.len() {
+            let seg = &segs[si];
+            si += 1;
+            // ---- narrow transformations: the whole fused run traverses
+            // each partition exactly once (stage pipelining made literal) ----
+            if let Segment::Fused { pipeline, .. } = seg {
+                // Fused terminal aggregation: a chain feeding a ReduceBy runs
+                // inside the map-side combine — pipeline survivors stream
+                // straight into each partition's hash accumulator, so the
+                // narrow output is never materialized before the combine.
+                if let Some(Segment::Single { op: LogicalOp::ReduceBy { key, agg }, .. }) =
+                    segs.get(si)
+                {
+                    si += 1;
+                    let start = Instant::now();
+                    let (combined, t1) = par_map_partitions_pooled(&parts, workers, |_i, data| {
+                        let mut state = kernels::ReduceByState::new(key, agg);
+                        pipeline.run_each(data, bc, |v| state.feed_owned(v));
+                        Ok(state.finish())
+                    })?;
+                    let n = combined.len();
+                    let (exchanged, bytes) = shuffle(&combined, key, n);
+                    let (out, t2) = par_map_partitions_pooled(&exchanged, workers, |_i, d| {
+                        Ok(kernels::reduce_by(d, key, agg))
                     })?;
                     parts = out;
-                    virtual_ms += profile.parallel_ms(&times);
-                    real_ms += times.iter().sum::<f64>();
+                    virtual_ms +=
+                        profile.parallel_ms(&t1) + profile.net_ms(bytes) + profile.parallel_ms(&t2);
+                    real_ms += start.elapsed().as_secs_f64() * 1000.0;
+                    continue;
                 }
+                let (out, times) = par_map_partitions_pooled(&parts, workers, |_i, data| {
+                    Ok(pipeline.run(data, bc))
+                })?;
+                parts = out;
+                virtual_ms += profile.parallel_ms(&times);
+                real_ms += times.iter().sum::<f64>();
+                continue;
+            }
+            let op = match seg {
+                Segment::Single { op, .. } => op,
+                Segment::Fused { .. } => unreachable!(),
+            };
+            match op {
                 LogicalOp::Sample { method, size, seed: s } => {
                     let total: usize = parts.iter().map(|p| p.len()).sum();
                     let want = size.resolve(total);
                     let base_seed = s.unwrap_or(seed) ^ iteration.wrapping_mul(0x9E37_79B9);
-                    let (out, times) = par_map_partitions(&parts, |i, data| {
-                        let share = if total == 0 {
-                            0
-                        } else {
-                            (want * data.len()).div_ceil(total.max(1))
-                        };
+                    let (out, times) = par_map_partitions_pooled(&parts, workers, |i, data| {
+                        let share =
+                            if total == 0 { 0 } else { (want * data.len()).div_ceil(total.max(1)) };
                         Ok(kernels::sample(
                             data,
                             *method,
@@ -327,25 +422,26 @@ impl ExecutionOperator for SparkOperator {
                 LogicalOp::ReduceBy { key, agg } => {
                     let start = Instant::now();
                     // map-side combine
-                    let (combined, t1) =
-                        par_map_partitions(&parts, |_i, d| Ok(kernels::reduce_by(d, key, agg)))?;
+                    let (combined, t1) = par_map_partitions_pooled(&parts, workers, |_i, d| {
+                        Ok(kernels::reduce_by(d, key, agg))
+                    })?;
                     let n = combined.len();
                     let (exchanged, bytes) = shuffle(&combined, key, n);
-                    let (out, t2) = par_map_partitions(&exchanged, |_i, d| {
+                    let (out, t2) = par_map_partitions_pooled(&exchanged, workers, |_i, d| {
                         Ok(kernels::reduce_by(d, key, agg))
                     })?;
                     parts = out;
-                    virtual_ms += profile.parallel_ms(&t1)
-                        + profile.net_ms(bytes)
-                        + profile.parallel_ms(&t2);
+                    virtual_ms +=
+                        profile.parallel_ms(&t1) + profile.net_ms(bytes) + profile.parallel_ms(&t2);
                     real_ms += start.elapsed().as_secs_f64() * 1000.0;
                 }
                 LogicalOp::GroupBy(key) => {
                     let start = Instant::now();
                     let n = parts.len();
                     let (exchanged, bytes) = shuffle(&parts, key, n);
-                    let (out, t) =
-                        par_map_partitions(&exchanged, |_i, d| Ok(kernels::group_by(d, key)))?;
+                    let (out, t) = par_map_partitions_pooled(&exchanged, workers, |_i, d| {
+                        Ok(kernels::group_by(d, key))
+                    })?;
                     parts = out;
                     virtual_ms += profile.net_ms(bytes) + profile.parallel_ms(&t);
                     real_ms += start.elapsed().as_secs_f64() * 1000.0;
@@ -354,8 +450,9 @@ impl ExecutionOperator for SparkOperator {
                     let start = Instant::now();
                     let n = parts.len();
                     let (exchanged, bytes) = shuffle(&parts, &KeyUdf::identity(), n);
-                    let (out, t) =
-                        par_map_partitions(&exchanged, |_i, d| Ok(kernels::distinct(d)))?;
+                    let (out, t) = par_map_partitions_pooled(&exchanged, workers, |_i, d| {
+                        Ok(kernels::distinct(d))
+                    })?;
                     parts = out;
                     virtual_ms += profile.net_ms(bytes) + profile.parallel_ms(&t);
                     real_ms += start.elapsed().as_secs_f64() * 1000.0;
@@ -364,8 +461,9 @@ impl ExecutionOperator for SparkOperator {
                     // sort partitions, then merge and re-split contiguously
                     // (range partitioning analogue).
                     let start = Instant::now();
-                    let (sorted, t) =
-                        par_map_partitions(&parts, |_i, d| Ok(kernels::sort_by(d, key)))?;
+                    let (sorted, t) = par_map_partitions_pooled(&parts, workers, |_i, d| {
+                        Ok(kernels::sort_by(d, key))
+                    })?;
                     let mut all = flatten_parts(&sorted);
                     all = kernels::sort_by(&all, key);
                     let bytes = dataset_bytes(&all) * 0.9;
@@ -387,8 +485,9 @@ impl ExecutionOperator for SparkOperator {
                 }
                 LogicalOp::Reduce(agg) => {
                     let start = Instant::now();
-                    let (partials, t) =
-                        par_map_partitions(&parts, |_i, d| Ok(kernels::reduce(d, agg)))?;
+                    let (partials, t) = par_map_partitions_pooled(&parts, workers, |_i, d| {
+                        Ok(kernels::reduce(d, agg))
+                    })?;
                     let all = flatten_parts(&partials);
                     parts = vec![Arc::new(kernels::reduce(&all, agg))];
                     virtual_ms += profile.parallel_ms(&t) + profile.task_overhead_ms;
@@ -400,7 +499,7 @@ impl ExecutionOperator for SparkOperator {
                     let n = parts.len().max(right.len());
                     let (le, b1) = shuffle(&parts, left_key, n);
                     let (re, b2) = shuffle(&right, right_key, n);
-                    let (out, t) = par_map_partitions(&le, |i, d| {
+                    let (out, t) = par_map_partitions_pooled(&le, workers, |i, d| {
                         Ok(kernels::hash_join(d, &re[i], left_key, right_key))
                     })?;
                     parts = out;
@@ -412,7 +511,7 @@ impl ExecutionOperator for SparkOperator {
                     let right = self.input_partitions(&inputs[1], profile.partitions)?;
                     let right_all = Arc::new(flatten_parts(&right));
                     let bytes = dataset_bytes(&right_all) * parts.len() as f64 * 0.9;
-                    let (out, t) = par_map_partitions(&parts, |_i, d| {
+                    let (out, t) = par_map_partitions_pooled(&parts, workers, |_i, d| {
                         Ok(match op {
                             LogicalOp::Cartesian => kernels::cartesian(d, &right_all),
                             LogicalOp::InequalityJoin { conds } => {
@@ -521,10 +620,7 @@ pub fn pagerank_kernel(edges: &[Value], iterations: u32, damping: f64) -> Vec<Va
         }
         rank = next;
     }
-    vertices
-        .iter()
-        .map(|&v| Value::pair(Value::from(v), Value::from(rank[&v])))
-        .collect()
+    vertices.iter().map(|&v| Value::pair(Value::from(v), Value::from(rank[&v]))).collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -750,14 +846,11 @@ impl ExecutionOperator for SparkSaveTextFile {
     ) -> Result<ChannelData> {
         let data = inputs[0].flatten()?;
         let id = self.counter.fetch_add(1, Ordering::Relaxed);
-        let path = std::path::PathBuf::from(format!(
-            "hdfs://{}/part-{id:05}.txt",
-            self.dir.display()
-        ));
+        let path =
+            std::path::PathBuf::from(format!("hdfs://{}/part-{id:05}.txt", self.dir.display()));
         let bytes = rheem_storage::write_lines(&path, data.iter().map(|v| v.to_string()))
             .map_err(RheemError::Io)?;
-        let write_ms =
-            rheem_storage::default_costs(rheem_storage::StoreKind::Hdfs).write_ms(bytes);
+        let write_ms = rheem_storage::default_costs(rheem_storage::StoreKind::Hdfs).write_ms(bytes);
         ctx.record(OpMetrics {
             name: "SparkSaveTextFile".into(),
             platform: ids::SPARK,
@@ -875,38 +968,43 @@ impl Platform for SparkPlatform {
         registry.add_conversion(kinds::LOCAL_FILE, RDD, Arc::new(SparkReadTextFile));
 
         // 1-to-1 mappings.
-        registry.add_mapping(Arc::new(FnMapping(
-            |_plan: &RheemPlan, node: &OperatorNode| {
-                if !supported(node.op.kind()) {
-                    return vec![];
-                }
-                vec![Candidate::single(
-                    node.id,
-                    Arc::new(SparkOperator::new(vec![node.op.clone()])) as _,
-                )]
-            },
-        )));
+        registry.add_mapping(Arc::new(FnMapping(|_plan: &RheemPlan, node: &OperatorNode| {
+            if !supported(node.op.kind()) {
+                return vec![];
+            }
+            vec![Candidate::single(
+                node.id,
+                Arc::new(SparkOperator::new(vec![node.op.clone()])) as _,
+            )]
+        })));
         // Narrow-chain fusion (stage pipelining).
-        registry.add_mapping(Arc::new(FnMapping(
-            |plan: &RheemPlan, node: &OperatorNode| {
-                let fusable = |n: &OperatorNode| {
-                    matches!(
-                        n.op.kind(),
-                        OpKind::Map | OpKind::FlatMap | OpKind::Filter | OpKind::Project
-                    )
-                };
-                if !fusable(node) {
-                    return vec![];
-                }
-                let chain = upstream_chain(plan, node, fusable);
-                if chain.len() < 2 {
-                    return vec![];
-                }
-                let ops: Vec<LogicalOp> =
-                    chain.iter().map(|&id| plan.node(id).op.clone()).collect();
-                vec![Candidate { covers: chain, exec: Arc::new(SparkOperator::new(ops)) as _ }]
-            },
-        )));
+        registry.add_mapping(Arc::new(FnMapping(|plan: &RheemPlan, node: &OperatorNode| {
+            let fusable = |n: &OperatorNode| fused::fusable(&n.op);
+            if !fusable(node) {
+                return vec![];
+            }
+            let chain = upstream_chain(plan, node, fusable);
+            if chain.len() < 2 {
+                return vec![];
+            }
+            let ops: Vec<LogicalOp> = chain.iter().map(|&id| plan.node(id).op.clone()).collect();
+            vec![Candidate { covers: chain, exec: Arc::new(SparkOperator::new(ops)) as _ }]
+        })));
+        // Narrow-chain fusion *into* a terminal ReduceBy: the chain runs
+        // inside the map-side combine, streaming survivors straight into the
+        // per-partition hash accumulator (fused terminal aggregation) — the
+        // narrow output is never materialized before the combine.
+        registry.add_mapping(Arc::new(FnMapping(|plan: &RheemPlan, node: &OperatorNode| {
+            if node.op.kind() != OpKind::ReduceBy {
+                return vec![];
+            }
+            let chain = upstream_chain(plan, node, |n| fused::fusable(&n.op) || n.id == node.id);
+            if chain.len() < 2 {
+                return vec![];
+            }
+            let ops: Vec<LogicalOp> = chain.iter().map(|&id| plan.node(id).op.clone()).collect();
+            vec![Candidate { covers: chain, exec: Arc::new(SparkOperator::new(ops)) as _ }]
+        })));
     }
 }
 
@@ -979,9 +1077,7 @@ mod tests {
     fn join_matches_expected_cardinality() {
         let mut b = PlanBuilder::new();
         let left = b.collection(
-            (0..50i64)
-                .map(|i| Value::pair(Value::from(i % 5), Value::from(i)))
-                .collect::<Vec<_>>(),
+            (0..50i64).map(|i| Value::pair(Value::from(i % 5), Value::from(i))).collect::<Vec<_>>(),
         );
         let right = b.collection(
             (0..20i64)

@@ -15,7 +15,7 @@ use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 /// Which store a path belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -55,35 +55,29 @@ impl StoreCosts {
 /// trip; the local FS is a single SATA disk.
 pub fn default_costs(kind: StoreKind) -> StoreCosts {
     match kind {
-        StoreKind::Local => StoreCosts {
-            open_ms: 0.05,
-            read_mb_per_sec: 120.0,
-            write_mb_per_sec: 100.0,
-        },
-        StoreKind::Hdfs => StoreCosts {
-            open_ms: 2.0,
-            read_mb_per_sec: 800.0,
-            write_mb_per_sec: 300.0,
-        },
+        StoreKind::Local => {
+            StoreCosts { open_ms: 0.05, read_mb_per_sec: 120.0, write_mb_per_sec: 100.0 }
+        }
+        StoreKind::Hdfs => {
+            StoreCosts { open_ms: 2.0, read_mb_per_sec: 800.0, write_mb_per_sec: 300.0 }
+        }
     }
 }
 
 static HDFS_ROOT: OnceLock<RwLock<PathBuf>> = OnceLock::new();
 
 fn hdfs_root_lock() -> &'static RwLock<PathBuf> {
-    HDFS_ROOT.get_or_init(|| {
-        RwLock::new(std::env::temp_dir().join("rheem_hdfs"))
-    })
+    HDFS_ROOT.get_or_init(|| RwLock::new(std::env::temp_dir().join("rheem_hdfs")))
 }
 
 /// Set the sandbox directory backing `hdfs://` URIs.
 pub fn set_hdfs_root(path: impl Into<PathBuf>) {
-    *hdfs_root_lock().write() = path.into();
+    *hdfs_root_lock().write().unwrap() = path.into();
 }
 
 /// The sandbox directory backing `hdfs://` URIs.
 pub fn hdfs_root() -> PathBuf {
-    hdfs_root_lock().read().clone()
+    hdfs_root_lock().read().unwrap().clone()
 }
 
 /// A resolved file: where it really lives and which store it models.
@@ -132,7 +126,10 @@ pub fn read_head(path: &Path, max_bytes: usize) -> io::Result<Vec<u8>> {
 }
 
 /// Write lines to a text file, creating parent directories.
-pub fn write_lines<S: AsRef<str>>(path: &Path, lines: impl IntoIterator<Item = S>) -> io::Result<u64> {
+pub fn write_lines<S: AsRef<str>>(
+    path: &Path,
+    lines: impl IntoIterator<Item = S>,
+) -> io::Result<u64> {
     let r = resolve(path);
     if let Some(parent) = r.real.parent() {
         fs::create_dir_all(parent)?;

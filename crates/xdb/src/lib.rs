@@ -31,10 +31,7 @@ pub enum CrocoSource {
 /// the intersection, and emit the 100 best-ranked pages. This mirrors the
 /// paper's CrocoPR pipeline (footnote 4) — a plan of ~two dozen operators
 /// spanning preparation and graph analytics.
-pub fn build_crocopr_plan(
-    source: CrocoSource,
-    iterations: u32,
-) -> Result<(RheemPlan, OperatorId)> {
+pub fn build_crocopr_plan(source: CrocoSource, iterations: u32) -> Result<(RheemPlan, OperatorId)> {
     let mut b = PlanBuilder::new();
     let (a, bq) = match source {
         CrocoSource::Tables(t1, t2) => (b.read_table(t1), b.read_table(t2)),
@@ -46,19 +43,14 @@ pub fn build_crocopr_plan(
                         .collect()
                 })
             };
-            (
-                b.read_text_file(f1).flat_map(parse()),
-                b.read_text_file(f2).flat_map(parse()),
-            )
+            (b.read_text_file(f1).flat_map(parse()), b.read_text_file(f2).flat_map(parse()))
         }
     };
 
     // Preparation: normalize both link sets (drop self-loops, dedupe).
     let clean = |dq: &rheem_core::plan::DataQuanta| {
-        dq.filter(PredicateUdf::new("no_selfloop", |e| {
-            e.field(0).as_int() != e.field(1).as_int()
-        }))
-        .distinct()
+        dq.filter(PredicateUdf::new("no_selfloop", |e| e.field(0).as_int() != e.field(1).as_int()))
+            .distinct()
     };
     let ca = clean(&a);
     let cb = clean(&bq);
@@ -73,13 +65,8 @@ pub fn build_crocopr_plan(
     // (sort descending + First-sample = LIMIT).
     let top = common
         .page_rank(iterations, 0.85)
-        .sort_by(KeyUdf::new("neg_rank", |v| {
-            Value::from(-v.field(1).as_f64().unwrap_or(0.0))
-        }))
-        .sample(
-            rheem_core::plan::SampleMethod::First,
-            rheem_core::plan::SampleSize::Count(100),
-        );
+        .sort_by(KeyUdf::new("neg_rank", |v| Value::from(-v.field(1).as_f64().unwrap_or(0.0))))
+        .sample(rheem_core::plan::SampleMethod::First, rheem_core::plan::SampleSize::Count(100));
     let sink = top.collect();
     b.build().map(|plan| (plan, sink))
 }
@@ -87,11 +74,7 @@ pub fn build_crocopr_plan(
 /// Reference implementation of the intersection step (test oracle).
 pub fn intersect_reference(a: &[(i64, i64)], b: &[(i64, i64)]) -> Vec<(i64, i64)> {
     use std::collections::HashSet;
-    let sb: HashSet<(i64, i64)> = b
-        .iter()
-        .filter(|(s, d)| s != d)
-        .copied()
-        .collect();
+    let sb: HashSet<(i64, i64)> = b.iter().filter(|(s, d)| s != d).copied().collect();
     let mut seen = HashSet::new();
     a.iter()
         .filter(|(s, d)| s != d && sb.contains(&(*s, *d)) && seen.insert((*s, *d)))
@@ -137,11 +120,9 @@ mod tests {
         let mut ctx = RheemContext::new().with_platform(&JavaStreamsPlatform::new());
         ctx.register_platform(&PostgresPlatform::new(Arc::clone(&db)));
 
-        let (plan, sink) = build_crocopr_plan(
-            CrocoSource::Tables("community_a".into(), "community_b".into()),
-            5,
-        )
-        .unwrap();
+        let (plan, sink) =
+            build_crocopr_plan(CrocoSource::Tables("community_a".into(), "community_b".into()), 5)
+                .unwrap();
         let result = ctx.execute(&plan).unwrap();
         let top = result.sink(sink).unwrap();
         assert!(!top.is_empty() && top.len() <= 100);

@@ -200,18 +200,13 @@ pub fn parse(sql: &str) -> Result<Query> {
                     return Err(err("expected ORDER BY"));
                 }
                 let col = toks.get(i + 2).cloned().ok_or_else(|| err("bad ORDER BY"))?;
-                let desc = toks
-                    .get(i + 3)
-                    .map(|t| eq(t, "desc"))
-                    .unwrap_or(false);
+                let desc = toks.get(i + 3).map(|t| eq(t, "desc")).unwrap_or(false);
                 q.order_by = Some((col, desc));
                 i += if desc { 4 } else { 3 };
             }
             "limit" => {
                 q.limit = Some(
-                    toks.get(i + 1)
-                        .and_then(|t| t.parse().ok())
-                        .ok_or_else(|| err("bad LIMIT"))?,
+                    toks.get(i + 1).and_then(|t| t.parse().ok()).ok_or_else(|| err("bad LIMIT"))?,
                 );
                 i += 2;
             }
@@ -237,9 +232,9 @@ pub fn compile(db: &Arc<PgDatabase>, q: &Query) -> Result<(RheemPlan, OperatorId
     let bare_len = columns.len();
 
     if let Some(join) = &q.join {
-        let rcolumns = db.columns(&join.table).ok_or_else(|| {
-            RheemError::Plan(format!("xDB: unknown table '{}'", join.table))
-        })?;
+        let rcolumns = db
+            .columns(&join.table)
+            .ok_or_else(|| RheemError::Plan(format!("xDB: unknown table '{}'", join.table)))?;
         let lkey = columns
             .iter()
             .position(|c| {
@@ -257,9 +252,9 @@ pub fn compile(db: &Arc<PgDatabase>, q: &Query) -> Result<(RheemPlan, OperatorId
         let rdq = b.read_table(join.table.clone());
         let lwidth = columns.len();
         let rwidth = rcolumns.len();
-        dq = dq
-            .join(&rdq, KeyUdf::field(lkey), KeyUdf::field(rkey))
-            .map(MapUdf::new("flatten_join", move |pair| {
+        dq = dq.join(&rdq, KeyUdf::field(lkey), KeyUdf::field(rkey)).map(MapUdf::new(
+            "flatten_join",
+            move |pair| {
                 let mut out = Vec::with_capacity(lwidth + rwidth);
                 for i in 0..lwidth {
                     out.push(pair.field(0).field(i).clone());
@@ -268,7 +263,8 @@ pub fn compile(db: &Arc<PgDatabase>, q: &Query) -> Result<(RheemPlan, OperatorId
                     out.push(pair.field(1).field(i).clone());
                 }
                 Value::Tuple(out.into())
-            }));
+            },
+        ));
         // combined schema: l.qualified…, r.qualified… (bare left names kept
         // at their original positions conceptually via resolution below)
         schema = columns.iter().map(|c| format!("{}.{c}", q.table)).collect();
@@ -293,17 +289,16 @@ pub fn compile(db: &Arc<PgDatabase>, q: &Query) -> Result<(RheemPlan, OperatorId
         let sarg = Sarg { field, op: *op, literal: lit.clone() };
         let s2 = sarg.clone();
         if q.join.is_none() {
-            dq = dq.filter_sarg(
-                PredicateUdf::new(format!("where_{col}"), move |v| s2.eval(v)),
-                sarg,
-            );
+            dq = dq
+                .filter_sarg(PredicateUdf::new(format!("where_{col}"), move |v| s2.eval(v)), sarg);
         } else {
             dq = dq.filter(PredicateUdf::new(format!("where_{col}"), move |v| s2.eval(v)));
         }
     }
 
     // Track the post-projection schema for ORDER BY resolution.
-    let mut out_schema: Vec<String> = if q.join.is_some() { schema.clone() } else { columns.clone() };
+    let mut out_schema: Vec<String> =
+        if q.join.is_some() { schema.clone() } else { columns.clone() };
     if let Some(group_col) = &q.group_by {
         let gf = resolve(group_col)?;
         let agg = q
@@ -326,20 +321,16 @@ pub fn compile(db: &Arc<PgDatabase>, q: &Query) -> Result<(RheemPlan, OperatorId
                 ReduceUdf::new("agg", move |a, b| {
                     let s = match (a.field(1), b.field(1)) {
                         (Value::Int(x), Value::Int(y)) => Value::from(x + y),
-                        (x, y) => Value::from(
-                            x.as_f64().unwrap_or(0.0) + y.as_f64().unwrap_or(0.0),
-                        ),
+                        (x, y) => {
+                            Value::from(x.as_f64().unwrap_or(0.0) + y.as_f64().unwrap_or(0.0))
+                        }
                     };
                     Value::pair(a.field(0).clone(), s)
                 }),
             );
         out_schema = vec![group_col.clone(), "agg".to_string()];
     } else if !q.select.is_empty() {
-        let fields: Vec<usize> = q
-            .select
-            .iter()
-            .map(|c| resolve(c))
-            .collect::<Result<_>>()?;
+        let fields: Vec<usize> = q.select.iter().map(|c| resolve(c)).collect::<Result<_>>()?;
         out_schema = q.select.clone();
         dq = dq.project(fields);
     }
@@ -388,7 +379,7 @@ mod tests {
             .map(|i| {
                 Value::tuple(vec![
                     Value::from(i),
-                    Value::from(i % 10), // dept
+                    Value::from(i % 10),   // dept
                     Value::from(1000 + i), // salary
                 ])
             })
@@ -414,15 +405,11 @@ mod tests {
     #[test]
     fn group_by_sum() {
         let (db, ctx) = setup();
-        let (plan, sink) =
-            query(&db, "SELECT dept, SUM(salary) FROM emp GROUP BY dept").unwrap();
+        let (plan, sink) = query(&db, "SELECT dept, SUM(salary) FROM emp GROUP BY dept").unwrap();
         let result = ctx.execute(&plan).unwrap();
         let rows = result.sink(sink).unwrap();
         assert_eq!(rows.len(), 10);
-        let total: f64 = rows
-            .iter()
-            .map(|r| r.field(1).as_f64().unwrap())
-            .sum();
+        let total: f64 = rows.iter().map(|r| r.field(1).as_f64().unwrap()).sum();
         // sum of 1000..1500
         assert_eq!(total as i64, (1000..1500).sum::<i64>());
     }
@@ -441,8 +428,7 @@ mod tests {
     #[test]
     fn count_star() {
         let (db, ctx) = setup();
-        let (plan, sink) =
-            query(&db, "SELECT dept, COUNT(*) FROM emp GROUP BY dept").unwrap();
+        let (plan, sink) = query(&db, "SELECT dept, COUNT(*) FROM emp GROUP BY dept").unwrap();
         let result = ctx.execute(&plan).unwrap();
         let rows = result.sink(sink).unwrap();
         assert!(rows.iter().all(|r| r.field(1).as_int() == Some(50)));

@@ -13,10 +13,8 @@ fn main() -> Result<()> {
     let ctx = rheem::default_context();
 
     // WordCount over a small generated corpus (platform-agnostic plan).
-    let lines: Vec<Value> = rheem::datagen::generate_text(2_000, 10, 2_000, 42)
-        .into_iter()
-        .map(Value::from)
-        .collect();
+    let lines: Vec<Value> =
+        rheem::datagen::generate_text(2_000, 10, 2_000, 42).into_iter().map(Value::from).collect();
 
     let mut b = PlanBuilder::new();
     let sink = b

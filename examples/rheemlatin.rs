@@ -50,11 +50,7 @@ fn main() -> Result<()> {
     let ctx = rheem::default_context();
     let result = ctx.execute(&program.plan)?;
     let counts = result.sink(program.sinks["counts"])?;
-    println!(
-        "{} distinct words, via {:?}\n",
-        counts.len(),
-        result.metrics.platforms
-    );
+    println!("{} distinct words, via {:?}\n", counts.len(), result.metrics.platforms);
 
     // A loop in the language (Listing 1's `repeat` clause).
     let looped = "w   = values 0;\n\
@@ -62,9 +58,6 @@ fn main() -> Result<()> {
                   collect out;";
     let program = Parser::new(udfs).parse(looped)?;
     let result = ctx.execute(&program.plan)?;
-    println!(
-        "repeat 10 {{ +1 }} over 0 = {}",
-        result.sink(program.sinks["out"])?[0]
-    );
+    println!("repeat 10 {{ +1 }} over 0 = {}", result.sink(program.sinks["out"])?[0]);
     Ok(())
 }

@@ -15,13 +15,8 @@ fn main() -> Result<()> {
     let set = rheem::datagen::generate_points(50_000, 6, 0.05, 11);
     let points: Dataset = Arc::new(set.points);
 
-    let cfg = SgdConfig {
-        dims: 6,
-        batch: 128,
-        iterations: 150,
-        learning_rate: 0.05,
-        tolerance: None,
-    };
+    let cfg =
+        SgdConfig { dims: 6, batch: 128, iterations: 150, learning_rate: 0.05, tolerance: None };
     let (plan, sink) = build_sgd_plan(PointSource::InMemory(Arc::clone(&points)), &cfg)?;
 
     let ctx = rheem::default_context();

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Repo gate: formatting, lints on the core crate, and the tier-1 suite.
+# Run from the repo root: ./scripts/check.sh
+set -eu
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy -p rheem-core (deny warnings)"
+cargo clippy -p rheem-core --all-targets -- -D warnings
+
+echo "== tier-1: build + full test suite"
+cargo build --release
+cargo test -q
+
+echo "== all checks passed"

@@ -29,10 +29,7 @@ fn wordcount_plan(lines: Vec<Value>) -> (RheemPlan, rheem_core::plan::OperatorId
 }
 
 fn corpus(lines: usize) -> Vec<Value> {
-    rheem_datagen::generate_text(lines, 10, 5_000, 7)
-        .into_iter()
-        .map(Value::from)
-        .collect()
+    rheem_datagen::generate_text(lines, 10, 5_000, 7).into_iter().map(Value::from).collect()
 }
 
 #[test]
@@ -83,22 +80,13 @@ fn all_platforms_agree_on_wordcount_result() {
             .sink(sink)
             .unwrap()
             .iter()
-            .map(|v| {
-                (
-                    v.field(0).as_str().unwrap().to_string(),
-                    v.field(1).as_int().unwrap(),
-                )
-            })
+            .map(|v| (v.field(0).as_str().unwrap().to_string(), v.field(1).as_int().unwrap()))
             .collect();
         data.sort();
         results.push((forced, data));
     }
     for w in results.windows(2) {
-        assert_eq!(
-            w[0].1, w[1].1,
-            "{} and {} disagree",
-            w[0].0, w[1].0
-        );
+        assert_eq!(w[0].1, w[1].1, "{} and {} disagree", w[0].0, w[1].0);
     }
 }
 
@@ -128,10 +116,7 @@ fn sgd_shape_mixes_platforms_on_large_data() {
     ])]);
     let final_w = weights.repeat(3, |w| {
         let grad = data
-            .sample(
-                rheem_core::plan::SampleMethod::Random,
-                rheem_core::plan::SampleSize::Count(16),
-            )
+            .sample(rheem_core::plan::SampleMethod::Random, rheem_core::plan::SampleSize::Count(16))
             .map(MapUdf::with_ctx("gradient", |p, ctx| {
                 let w = ctx.get_or_empty("weights");
                 let wf = w.first().cloned().unwrap_or(Value::Null);
@@ -217,11 +202,7 @@ fn mandatory_movement_out_of_postgres() {
         result.metrics.platforms
     );
     assert!(
-        result
-            .metrics
-            .platforms
-            .iter()
-            .any(|p| *p != ids::POSTGRES),
+        result.metrics.platforms.iter().any(|p| *p != ids::POSTGRES),
         "pagerank must leave the store: {:?}",
         result.metrics.platforms
     );

@@ -52,10 +52,8 @@ impl ExecutionOperator for FlakyMap {
             ));
         }
         let data = inputs[0].flatten()?;
-        let out: Vec<Value> = data
-            .iter()
-            .map(|v| Value::from(v.as_int().unwrap_or(0) * 2))
-            .collect();
+        let out: Vec<Value> =
+            data.iter().map(|v| Value::from(v.as_int().unwrap_or(0) * 2)).collect();
         Ok(ChannelData::Collection(Arc::new(out)))
     }
 }
@@ -143,9 +141,8 @@ fn independent_branches_overlap_in_virtual_time() {
     // must be well below the sum of sequential execution (inter-platform
     // parallelism, challenge (iv) of §1).
     let mut b = PlanBuilder::new();
-    let data: Vec<Value> = (0..400_000i64)
-        .map(|i| Value::pair(Value::from(i % 1000), Value::from(i)))
-        .collect();
+    let data: Vec<Value> =
+        (0..400_000i64).map(|i| Value::pair(Value::from(i % 1000), Value::from(i))).collect();
     let left = b
         .collection(data.clone())
         .map(MapUdf::new("l", |v| v.clone()))
@@ -164,12 +161,7 @@ fn independent_branches_overlap_in_virtual_time() {
     let plan = b.build().unwrap();
     let ctx = rheem::default_context();
     let result = ctx.execute(&plan).unwrap();
-    let total: f64 = ctx
-        .monitor()
-        .stage_runs()
-        .iter()
-        .map(|r| r.virtual_ms)
-        .sum();
+    let total: f64 = ctx.monitor().stage_runs().iter().map(|r| r.virtual_ms).sum();
     assert!(
         result.metrics.virtual_ms < total * 0.85,
         "no overlap: job {} vs serial {}",

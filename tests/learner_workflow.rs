@@ -8,18 +8,12 @@ use rheem_core::learner::{read_samples, write_samples, CostLearner, LogGenerator
 #[test]
 fn log_generator_covers_three_topologies() {
     let ctx = rheem::default_context();
-    let generator = LogGenerator {
-        sizes: vec![500, 5_000],
-        udf_costs: vec![1.0],
-        iterations: 3,
-    };
+    let generator = LogGenerator { sizes: vec![500, 5_000], udf_costs: vec![1.0], iterations: 3 };
     let samples = generator.generate(&ctx).unwrap();
     // pipeline + merge + iterative plans, several stages each, 2 sizes
     assert!(samples.len() >= 10, "{}", samples.len());
-    let ops: std::collections::HashSet<String> = samples
-        .iter()
-        .flat_map(|s| s.ops.iter().map(|o| o.op.clone()))
-        .collect();
+    let ops: std::collections::HashSet<String> =
+        samples.iter().flat_map(|s| s.ops.iter().map(|o| o.op.clone())).collect();
     // evidence of all three topologies in the logs
     assert!(ops.iter().any(|o| o.contains("ReduceBy")), "{ops:?}");
     assert!(ops.iter().any(|o| o.contains("Join")), "{ops:?}");
@@ -29,11 +23,8 @@ fn log_generator_covers_three_topologies() {
 #[test]
 fn learned_model_beats_defaults_and_roundtrips() {
     let ctx = rheem::default_context();
-    let generator = LogGenerator {
-        sizes: vec![1_000, 20_000],
-        udf_costs: vec![1.0, 8.0],
-        iterations: 3,
-    };
+    let generator =
+        LogGenerator { sizes: vec![1_000, 20_000], udf_costs: vec![1.0, 8.0], iterations: 3 };
     let samples = generator.generate(&ctx).unwrap();
 
     // Persist + reload the execution log (the offline workflow).
@@ -47,8 +38,7 @@ fn learned_model_beats_defaults_and_roundtrips() {
     let learner = CostLearner { generations: 80, ..Default::default() };
     let model = learner.fit(&reloaded, ctx.profiles());
     let fitted = learner.evaluate(&model, &reloaded, ctx.profiles());
-    let default =
-        learner.evaluate(&rheem_core::cost::CostModel::new(), &reloaded, ctx.profiles());
+    let default = learner.evaluate(&rheem_core::cost::CostModel::new(), &reloaded, ctx.profiles());
     assert!(fitted <= default, "fitted {fitted} vs default {default}");
 
     // The learned parameters flow into the optimizer's estimates.

@@ -10,9 +10,7 @@ use rheem_core::udf::Sarg;
 fn misestimated_plan(n: i64) -> (rheem_core::plan::RheemPlan, rheem_core::plan::OperatorId) {
     let mut b = PlanBuilder::new();
     let left = b.collection(
-        (0..n)
-            .map(|i| Value::tuple(vec![Value::from(i), Value::from(i % 25)]))
-            .collect::<Vec<_>>(),
+        (0..n).map(|i| Value::tuple(vec![Value::from(i), Value::from(i % 25)])).collect::<Vec<_>>(),
     );
     let right = b.collection(
         (0..n * 2)
@@ -25,10 +23,7 @@ fn misestimated_plan(n: i64) -> (rheem_core::plan::RheemPlan, rheem_core::plan::
             Sarg { field: 0, op: CmpOp::Ge, literal: Value::from(2) },
         )
         .with_selectivity(0.0001); // truth ≈ 1.0
-    let sink = filtered
-        .join(&right, KeyUdf::field(1), KeyUdf::field(1))
-        .count()
-        .collect();
+    let sink = filtered.join(&right, KeyUdf::field(1), KeyUdf::field(1)).count().collect();
     (b.build().unwrap(), sink)
 }
 
@@ -39,10 +34,7 @@ fn progressive_reoptimizes_on_bad_estimates() {
     let mut ctx = rheem::default_context();
     ctx.config_mut().progressive = true;
     let with_po = ctx.execute(&plan).unwrap();
-    assert!(
-        with_po.metrics.replans >= 1,
-        "the wrong hint must trigger a re-optimization"
-    );
+    assert!(with_po.metrics.replans >= 1, "the wrong hint must trigger a re-optimization");
     // correctness is preserved across the re-plan: compute the expected
     // join cardinality directly.
     let mut left_keys = [0i64; 25];
@@ -67,10 +59,7 @@ fn progressive_results_match_non_progressive() {
     off.config_mut().progressive = false;
     let a = on.execute(&plan).unwrap();
     let b = off.execute(&plan).unwrap();
-    assert_eq!(
-        a.sink(sink).unwrap()[0].as_int(),
-        b.sink(sink).unwrap()[0].as_int()
-    );
+    assert_eq!(a.sink(sink).unwrap()[0].as_int(), b.sink(sink).unwrap()[0].as_int());
 }
 
 #[test]

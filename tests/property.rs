@@ -1,24 +1,27 @@
 //! Property-based tests over core invariants: every platform computes the
-//! same results as the single-threaded kernels, the optimizer's pruning is
-//! lossless, IEJoin equals the nested loop, and the movement planner's
-//! trees are valid and minimal-ish.
+//! same results as the single-threaded kernels, fused chains are
+//! indistinguishable from the unfused operator-at-a-time path, the
+//! optimizer's pruning is lossless, IEJoin equals the nested loop, and the
+//! movement planner's trees are valid and minimal-ish.
+//!
+//! Cases are generated with the repo's own deterministic `SplitMix64` so the
+//! suite needs no external property-testing dependency and every failure is
+//! reproducible from its case number.
 
-use proptest::prelude::*;
 use std::sync::Arc;
 
-use rheem_core::kernels;
+use rheem_core::kernels::{self, SplitMix64};
 use rheem_core::plan::{IneqCond, PlanBuilder};
 use rheem_core::udf::{CmpOp, KeyUdf, MapUdf, PredicateUdf, ReduceUdf};
 use rheem_core::value::Value;
 
-fn int_rows() -> impl Strategy<Value = Vec<(i64, i64)>> {
-    prop::collection::vec((0i64..40, -100i64..100), 0..120)
+fn int_rows(rng: &mut SplitMix64) -> Vec<(i64, i64)> {
+    let len = rng.range_usize(120);
+    (0..len).map(|_| (rng.range_usize(40) as i64, rng.range_usize(200) as i64 - 100)).collect()
 }
 
 fn rows_to_values(rows: &[(i64, i64)]) -> Vec<Value> {
-    rows.iter()
-        .map(|&(k, v)| Value::pair(Value::from(k), Value::from(v)))
-        .collect()
+    rows.iter().map(|&(k, v)| Value::pair(Value::from(k), Value::from(v))).collect()
 }
 
 fn sum_udf() -> ReduceUdf {
@@ -30,15 +33,14 @@ fn sum_udf() -> ReduceUdf {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every registered platform produces the same multiset of results for
-    /// a map→filter→reduce_by pipeline.
-    #[test]
-    fn platforms_agree_on_pipelines(rows in int_rows()) {
-        use rheem_core::platform::ids;
-        let data = rows_to_values(&rows);
+/// Every registered platform produces the same multiset of results for
+/// a map→filter→reduce_by pipeline.
+#[test]
+fn platforms_agree_on_pipelines() {
+    use rheem_core::platform::ids;
+    for case in 0u64..12 {
+        let mut rng = SplitMix64(0xA11CE ^ case);
+        let data = rows_to_values(&int_rows(&mut rng));
         let mut outputs: Vec<Vec<Value>> = Vec::new();
         for forced in [ids::JAVA_STREAMS, ids::SPARK, ids::FLINK] {
             let mut ctx = rheem::default_context();
@@ -58,21 +60,94 @@ proptest! {
             out.sort();
             outputs.push(out);
         }
-        prop_assert_eq!(&outputs[0], &outputs[1]);
-        prop_assert_eq!(&outputs[1], &outputs[2]);
+        assert_eq!(outputs[0], outputs[1], "case {case}: streams vs spark");
+        assert_eq!(outputs[1], outputs[2], "case {case}: spark vs flink");
     }
+}
 
-    /// The distributed reduce_by kernel path (partition + shuffle + merge)
-    /// agrees with the sequential kernel for any associative combiner.
-    #[test]
-    fn shuffle_reduce_matches_sequential(rows in int_rows(), parts in 1usize..6) {
-        let data = rows_to_values(&rows);
+/// A fused narrow chain produces *identical* output (same values, same
+/// order) to the unfused operator-at-a-time path on every platform.
+#[test]
+fn fused_chain_matches_unfused_on_all_platforms() {
+    use rheem_core::platform::ids;
+    for case in 0u64..8 {
+        let mut rng = SplitMix64(0xF05E ^ case);
+        let data = rows_to_values(&int_rows(&mut rng));
+        for forced in [ids::JAVA_STREAMS, ids::SPARK, ids::FLINK] {
+            let run = |fusion: bool| -> Vec<Value> {
+                let mut ctx = rheem::default_context().with_fusion(fusion);
+                ctx.forced_platform = Some(forced);
+                let mut b = PlanBuilder::new();
+                let sink = b
+                    .collection(data.clone())
+                    .map(MapUdf::new("inc", |v| {
+                        Value::pair(
+                            v.field(0).clone(),
+                            Value::from(v.field(1).as_int().unwrap() + 1),
+                        )
+                    }))
+                    .filter(PredicateUdf::new("pos", |v| v.field(1).as_int().unwrap() > 0))
+                    .flat_map(rheem_core::udf::FlatMapUdf::new("dup", |v| {
+                        vec![v.clone(), v.clone()]
+                    }))
+                    .project(vec![1])
+                    .collect();
+                let plan = b.build().unwrap();
+                ctx.execute(&plan).unwrap().sink(sink).unwrap().to_vec()
+            };
+            let fused = run(true);
+            let unfused = run(false);
+            assert_eq!(fused, unfused, "case {case} on {forced:?}");
+        }
+    }
+}
+
+/// Fused terminal aggregation — a narrow chain streaming straight into a
+/// ReduceBy's hash accumulator — produces identical output to the unfused
+/// operator-at-a-time path on every platform (the combined cover never
+/// materializes the pair dataset, but the result must not change).
+#[test]
+fn fused_terminal_aggregation_matches_unfused() {
+    use rheem_core::platform::ids;
+    for case in 0u64..8 {
+        let mut rng = SplitMix64(0xA66 ^ case);
+        let data = rows_to_values(&int_rows(&mut rng));
+        for forced in [ids::JAVA_STREAMS, ids::SPARK, ids::FLINK] {
+            let run = |fusion: bool| -> Vec<Value> {
+                let mut ctx = rheem::default_context().with_fusion(fusion);
+                ctx.forced_platform = Some(forced);
+                let mut b = PlanBuilder::new();
+                let sink = b
+                    .collection(data.clone())
+                    .flat_map(rheem_core::udf::FlatMapUdf::new("dup", |v| {
+                        vec![v.clone(), v.clone()]
+                    }))
+                    .filter(PredicateUdf::new("pos", |v| v.field(1).as_int().unwrap() > -50))
+                    .map(MapUdf::new("tag", |v| Value::pair(v.field(0).clone(), Value::from(1))))
+                    .reduce_by_key(KeyUdf::field(0), sum_udf())
+                    .collect();
+                let plan = b.build().unwrap();
+                ctx.execute(&plan).unwrap().sink(sink).unwrap().to_vec()
+            };
+            let fused = run(true);
+            let unfused = run(false);
+            assert_eq!(fused, unfused, "case {case} on {forced:?}");
+        }
+    }
+}
+
+/// The distributed reduce_by kernel path (partition + shuffle + merge)
+/// agrees with the sequential kernel for any associative combiner.
+#[test]
+fn shuffle_reduce_matches_sequential() {
+    for case in 0u64..24 {
+        let mut rng = SplitMix64(0x5AFF1E ^ case);
+        let data = rows_to_values(&int_rows(&mut rng));
+        let parts = 1 + rng.range_usize(5);
         let mut seq = kernels::reduce_by(&data, &KeyUdf::field(0), &sum_udf());
         // partitioned: local combine, hash exchange, final combine
-        let chunks: Vec<Arc<Vec<Value>>> = data
-            .chunks(data.len().div_ceil(parts).max(1))
-            .map(|c| Arc::new(c.to_vec()))
-            .collect();
+        let chunks: Vec<Arc<Vec<Value>>> =
+            data.chunks(data.len().div_ceil(parts).max(1)).map(|c| Arc::new(c.to_vec())).collect();
         let combined: Vec<Arc<Vec<Value>>> = chunks
             .iter()
             .map(|c| Arc::new(kernels::reduce_by(c, &KeyUdf::field(0), &sum_udf())))
@@ -84,33 +159,39 @@ proptest! {
             .collect();
         seq.sort();
         dist.sort();
-        prop_assert_eq!(seq, dist);
+        assert_eq!(seq, dist, "case {case} with {parts} partitions");
     }
+}
 
-    /// IEJoin equals the nested loop for arbitrary data and operators.
-    #[test]
-    fn iejoin_equals_nested_loop(
-        left in int_rows(),
-        right in int_rows(),
-        op1 in prop::sample::select(vec![CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]),
-        op2 in prop::sample::select(vec![CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]),
-    ) {
-        let l = rows_to_values(&left);
-        let r = rows_to_values(&right);
+/// IEJoin equals the nested loop for arbitrary data and operators.
+#[test]
+fn iejoin_equals_nested_loop() {
+    let cmp_ops = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+    for case in 0u64..24 {
+        let mut rng = SplitMix64(0x1E101 ^ case);
+        let l = rows_to_values(&int_rows(&mut rng));
+        let r = rows_to_values(&int_rows(&mut rng));
+        let op1 = cmp_ops[rng.range_usize(cmp_ops.len())];
+        let op2 = cmp_ops[rng.range_usize(cmp_ops.len())];
         let c1 = IneqCond { left_field: 0, op: op1, right_field: 0 };
         let c2 = IneqCond { left_field: 1, op: op2, right_field: 1 };
         let mut fast = bigdansing::iejoin::iejoin(&l, &r, &c1, &c2);
         let mut slow = kernels::ineq_join_nested(&l, &r, &[c1, c2]);
         fast.sort();
         slow.sort();
-        prop_assert_eq!(fast, slow);
+        assert_eq!(fast, slow, "case {case} ops {op1:?}/{op2:?}");
     }
+}
 
-    /// Lossless pruning: the pruned enumeration finds a plan with exactly
-    /// the exhaustive enumeration's optimal cost.
-    #[test]
-    fn pruning_is_lossless(rows in prop::collection::vec(-50i64..50, 1..40)) {
-        let data: Vec<Value> = rows.iter().map(|&v| Value::from(v)).collect();
+/// Lossless pruning: the pruned enumeration finds a plan with exactly
+/// the exhaustive enumeration's optimal cost.
+#[test]
+fn pruning_is_lossless() {
+    for case in 0u64..12 {
+        let mut rng = SplitMix64(0x10551E55 ^ case);
+        let len = 1 + rng.range_usize(39);
+        let data: Vec<Value> =
+            (0..len).map(|_| Value::from(rng.range_usize(100) as i64 - 50)).collect();
         let mut b = PlanBuilder::new();
         let s = b.collection(data);
         let m = s.map(MapUdf::new("m", |v| v.clone()));
@@ -120,37 +201,45 @@ proptest! {
         let plan = b.build().unwrap();
         let ctx = rheem::default_context();
         let pruned = ctx.optimize(&plan).unwrap();
-        let optimizer = rheem_core::optimizer::Optimizer::new(
-            ctx.registry(),
-            ctx.profiles(),
-            ctx.cost_model(),
-        );
+        let optimizer =
+            rheem_core::optimizer::Optimizer::new(ctx.registry(), ctx.profiles(), ctx.cost_model());
         let full = optimizer
             .optimize_exhaustive(&plan, &rheem_core::cardinality::Estimator::new())
             .unwrap();
-        prop_assert!((pruned.est_ms - full.est_ms).abs() < 1e-6,
-            "pruned {} vs exhaustive {}", pruned.est_ms, full.est_ms);
-        prop_assert!(pruned.stats.partials_created <= full.stats.partials_created);
+        assert!(
+            (pruned.est_ms - full.est_ms).abs() < 1e-6,
+            "case {case}: pruned {} vs exhaustive {}",
+            pruned.est_ms,
+            full.est_ms
+        );
+        assert!(pruned.stats.partials_created <= full.stats.partials_created);
     }
+}
 
-    /// Values survive ordering laws: sort is idempotent and total.
-    #[test]
-    fn value_order_is_total(a in int_rows()) {
-        let mut v = rows_to_values(&a);
+/// Values survive ordering laws: sort is idempotent and total.
+#[test]
+fn value_order_is_total() {
+    for case in 0u64..24 {
+        let mut rng = SplitMix64(0x07DE7 ^ case);
+        let mut v = rows_to_values(&int_rows(&mut rng));
         v.sort();
         let once = v.clone();
         v.sort();
-        prop_assert_eq!(once, v.clone());
+        assert_eq!(once, v, "case {case}: sort not idempotent");
         for w in v.windows(2) {
-            prop_assert!(w[0] <= w[1]);
+            assert!(w[0] <= w[1], "case {case}: order not total");
         }
     }
+}
 
-    /// Movement trees deliver every consumer exactly once.
-    #[test]
-    fn movement_tree_serves_all_consumers(card in 1f64..1e6) {
-        use rheem_core::channel::kinds;
-        use rheem_core::movement::ConversionGraph;
+/// Movement trees deliver every consumer exactly once.
+#[test]
+fn movement_tree_serves_all_consumers() {
+    use rheem_core::channel::kinds;
+    use rheem_core::movement::ConversionGraph;
+    for case in 0u64..12 {
+        let mut rng = SplitMix64(0x30BE ^ case);
+        let card = rng.range_f64(1.0, 1e6);
         let ctx = rheem::default_context();
         let graph = ConversionGraph::from_registry(ctx.registry());
         let consumers = vec![
@@ -171,8 +260,8 @@ proptest! {
         let mut served: Vec<usize> = Vec::new();
         collect_deliveries(&plan.tree, &mut served);
         served.sort_unstable();
-        prop_assert_eq!(served, vec![0, 1, 2]);
-        prop_assert!(plan.cost_ms >= 0.0);
+        assert_eq!(served, vec![0, 1, 2], "case {case} card {card}");
+        assert!(plan.cost_ms >= 0.0);
     }
 }
 

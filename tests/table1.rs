@@ -28,11 +28,7 @@ fn wordcount_uses_about_four_operators() {
     rheem_storage::write_lines(&path, ["a b"]).unwrap();
     let plan = wordcount_plan(&path);
     // source + flatmap + map + reduceby (+ sink)
-    let non_sink = plan
-        .operators()
-        .iter()
-        .filter(|n| !n.op.kind().is_sink())
-        .count();
+    let non_sink = plan.operators().iter().filter(|n| !n.op.kind().is_sink()).count();
     assert_eq!(non_sink, 4);
 }
 
@@ -42,17 +38,10 @@ fn sgd_uses_about_nine_operators() {
     let points = std::sync::Arc::new(rheem_datagen::generate_points(10, 2, 0.1, 1).points);
     let cfg = ml4all::SgdConfig { dims: 2, iterations: 2, ..Default::default() };
     let (plan, _) = ml4all::build_sgd_plan(ml4all::PointSource::InMemory(points), &cfg).unwrap();
-    let non_sink = plan
-        .operators()
-        .iter()
-        .filter(|n| !n.op.kind().is_sink())
-        .count();
+    let non_sink = plan.operators().iter().filter(|n| !n.op.kind().is_sink()).count();
     // sources (points, weights), loop, sample, compute, tag, reduce, update
     assert!((7..=10).contains(&non_sink), "{non_sink} operators");
-    assert!(plan
-        .operators()
-        .iter()
-        .any(|n| n.op.kind() == OpKind::RepeatLoop));
+    assert!(plan.operators().iter().any(|n| n.op.kind() == OpKind::RepeatLoop));
 }
 
 #[test]
@@ -81,16 +70,10 @@ fn q5_spans_about_two_dozen_operators_and_three_stores() {
     let p = dataciv::place(&data, "table1_q5").unwrap();
     let (plan, _) = dataciv::build_q5_plan(&p, "ASIA", 1995).unwrap();
     assert!(plan.len() >= 20, "{}", plan.len());
-    let table_sources = plan
-        .operators()
-        .iter()
-        .filter(|n| n.op.kind() == OpKind::TableSource)
-        .count();
-    let file_sources = plan
-        .operators()
-        .iter()
-        .filter(|n| n.op.kind() == OpKind::TextFileSource)
-        .count();
+    let table_sources =
+        plan.operators().iter().filter(|n| n.op.kind() == OpKind::TableSource).count();
+    let file_sources =
+        plan.operators().iter().filter(|n| n.op.kind() == OpKind::TextFileSource).count();
     assert_eq!(table_sources, 3); // region, customer, supplier in the store
     assert_eq!(file_sources, 3); // lineitem, orders (HDFS), nation (local)
 }
