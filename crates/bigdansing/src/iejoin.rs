@@ -156,6 +156,7 @@ impl ExecutionOperator for IEJoinOperator {
         inputs: &[ChannelData],
         _bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
+        ctx.fault_gate(ids::JAVA_STREAMS, self.name())?;
         let left = inputs[0].flatten()?;
         let right = inputs[1].flatten()?;
         let (c1, c2) = (self.c1.clone(), self.c2.clone());
@@ -221,6 +222,7 @@ impl ExecutionOperator for SparkIEJoinOperator {
         inputs: &[ChannelData],
         _bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
+        ctx.fault_gate(ids::SPARK, self.name())?;
         let left = inputs[0].flatten()?;
         let right = inputs[1].flatten()?;
         let profile = ctx.profile(ids::SPARK).clone();

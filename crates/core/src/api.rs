@@ -32,6 +32,11 @@ pub struct JobMetrics {
     pub real_ms: f64,
     /// Progressive re-optimizations performed.
     pub replans: u32,
+    /// Fault-tolerance retries absorbed (faults survived in place).
+    pub retries: u32,
+    /// Cross-platform failovers performed (retry budget exhausted on a
+    /// platform; the remainder re-planned over the survivors, §7.1).
+    pub failovers: u32,
     /// Platforms that executed at least one stage.
     pub platforms: Vec<PlatformId>,
     /// The optimizer's cost estimate for the chosen plan.
@@ -196,6 +201,8 @@ impl RheemContext {
 
     /// Execute a plan end-to-end (Algorithm 1).
     pub fn execute(&self, plan: &RheemPlan) -> Result<JobResult> {
+        // The monitor accumulates across jobs; report this job's delta.
+        let retries_before = self.monitor.retries();
         let outcome = run_progressive(
             plan,
             &self.registry,
@@ -212,6 +219,8 @@ impl RheemContext {
                 virtual_ms: outcome.virtual_ms,
                 real_ms: outcome.real_ms,
                 replans: outcome.replans,
+                retries: self.monitor.retries() - retries_before,
+                failovers: outcome.failovers,
                 platforms: outcome.platforms,
                 est_ms: outcome.est_ms,
             },

@@ -20,6 +20,29 @@ pub enum RheemError {
     Unsupported(String),
     /// Invalid configuration (profiles, cost model parameters).
     Config(String),
+    /// A deterministic fault injected by the active
+    /// [`crate::fault::FaultPlan`] (chaos testing, §7.1).
+    Fault(crate::fault::InjectedFault),
+    /// A stage exhausted its retry budget on one platform; carries what the
+    /// failover machinery needs to blacklist the platform and re-plan.
+    Exhausted(crate::fault::BudgetExhausted),
+}
+
+impl RheemError {
+    /// Whether retrying the same stage on the same platform may succeed.
+    /// Plan/optimizer/config errors are deterministic; I/O and injected or
+    /// platform execution failures may be transient.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RheemError::Execution(_) | RheemError::Fault(_) | RheemError::Io(_))
+    }
+
+    /// The injected fault behind this error, if any.
+    pub fn fault(&self) -> Option<&crate::fault::InjectedFault> {
+        match self {
+            RheemError::Fault(f) => Some(f),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for RheemError {
@@ -31,6 +54,8 @@ impl fmt::Display for RheemError {
             RheemError::Io(e) => write!(f, "I/O error: {e}"),
             RheemError::Unsupported(m) => write!(f, "unsupported: {m}"),
             RheemError::Config(m) => write!(f, "configuration error: {m}"),
+            RheemError::Fault(i) => write!(f, "fault: {i}"),
+            RheemError::Exhausted(b) => write!(f, "exhausted: {b}"),
         }
     }
 }

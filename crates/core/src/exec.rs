@@ -6,11 +6,13 @@
 //! operators; the core executor drives them and collects metrics.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::channel::{ChannelData, ChannelKind};
 use crate::cost::Load;
 use crate::error::{Result, RheemError};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::platform::{PlatformId, PlatformProfile, Profiles};
 use crate::udf::BroadcastCtx;
 use crate::value::Value;
@@ -83,6 +85,9 @@ pub struct ExecCtx<'a> {
     /// Current loop iteration (0 outside loops) — lets samplers vary their
     /// draw across iterations like ML4all's shuffled-partition sampler.
     pub iteration: u64,
+    /// Stage id of the node being executed (keys fault-injection sites).
+    pub stage: usize,
+    faults: Option<Arc<FaultPlan>>,
     ops: Vec<OpMetrics>,
     virtual_ms: f64,
 }
@@ -90,7 +95,41 @@ pub struct ExecCtx<'a> {
 impl<'a> ExecCtx<'a> {
     /// New context.
     pub fn new(profiles: &'a Profiles, seed: u64) -> Self {
-        Self { profiles, seed, iteration: 0, ops: Vec::new(), virtual_ms: 0.0 }
+        Self {
+            profiles,
+            seed,
+            iteration: 0,
+            stage: 0,
+            faults: None,
+            ops: Vec::new(),
+            virtual_ms: 0.0,
+        }
+    }
+
+    /// Arm the context with the job's fault plan (chaos testing).
+    pub fn set_faults(&mut self, faults: Option<Arc<FaultPlan>>) {
+        self.faults = faults;
+    }
+
+    /// Called by platform operators at the top of `execute`: inject a
+    /// transient failure if the active fault plan targets this site.
+    pub fn fault_gate(&mut self, platform: PlatformId, op: &str) -> Result<()> {
+        self.gate(FaultKind::Transient, platform, op)
+    }
+
+    /// Called by channel-conversion operators (collect/parallelize/export/
+    /// load): inject a transfer failure if the fault plan targets this site.
+    pub fn transfer_gate(&mut self, platform: PlatformId, op: &str) -> Result<()> {
+        self.gate(FaultKind::Transfer, platform, op)
+    }
+
+    fn gate(&mut self, kind: FaultKind, platform: PlatformId, op: &str) -> Result<()> {
+        if let Some(plan) = &self.faults {
+            if let Some(f) = plan.check(kind, platform, op, self.stage, self.iteration) {
+                return Err(RheemError::Fault(f));
+            }
+        }
+        Ok(())
     }
 
     /// Profile of a platform.

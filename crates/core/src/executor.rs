@@ -15,7 +15,8 @@ use crate::channel::ChannelData;
 use crate::error::{Result, RheemError};
 use crate::exec::{ExecCtx, OpMetrics};
 use crate::execplan::ExecPlan;
-use crate::monitor::{check_cardinality, Health, Monitor, StageRun};
+use crate::fault::{BudgetExhausted, FaultKind, FaultPlan};
+use crate::monitor::{check_cardinality, FaultRecord, Health, Monitor, StageRun};
 use crate::optimizer::OptimizedPlan;
 use crate::plan::{LogicalOp, OperatorId, RheemPlan};
 use crate::platform::Profiles;
@@ -42,9 +43,41 @@ pub struct ExecConfig {
     pub checkpoint_conf: f64,
     /// …or relative width above this.
     pub checkpoint_width: f64,
-    /// Basic cross-platform fault tolerance (§7.1's planned mechanism):
-    /// retry a failed execution operator this many times before giving up.
-    pub retries: u32,
+    /// Cross-platform fault tolerance (§7.1): max transient failures
+    /// tolerated per (stage, loop iteration) before the platform is given up
+    /// on — each one retried with exponential backoff; one more exhausts the
+    /// budget and triggers failover.
+    pub retry_budget: u32,
+    /// Base of the exponential retry backoff, in *virtual* cluster
+    /// milliseconds (failure `f` waits `backoff_base_ms · 2^(f-1)`), so
+    /// chaos runs stay deterministic and fast in wall-clock terms.
+    pub backoff_base_ms: f64,
+    /// Fail over to a surviving platform (re-plan from the last consistent
+    /// cut over non-blacklisted platforms) when a stage exhausts its retry
+    /// budget; with `false` the exhaustion surfaces as an error.
+    pub failover: bool,
+    /// Seeded chaos mode: inject deterministic faults at this density-0.05
+    /// seed (see [`crate::fault::FaultPlan::seeded`]). Ignored when
+    /// `fault_plan` is set.
+    pub chaos_seed: Option<u64>,
+    /// Explicit fault plan (targeted rules); takes precedence over
+    /// `chaos_seed`.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+}
+
+impl ExecConfig {
+    /// Density used by [`ExecConfig::chaos_seed`]'s seeded fault plans.
+    pub const CHAOS_DENSITY: f64 = 0.05;
+
+    /// The fault plan this configuration asks for, if any: `fault_plan`
+    /// verbatim, else a seeded plan from `chaos_seed`. Resolve **once per
+    /// job** — attempt counters live inside the plan and must survive
+    /// replans/failovers for fail-N-then-succeed semantics to hold.
+    pub fn resolve_fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault_plan.clone().or_else(|| {
+            self.chaos_seed.map(|s| Arc::new(FaultPlan::seeded(s, Self::CHAOS_DENSITY)))
+        })
+    }
 }
 
 impl Default for ExecConfig {
@@ -57,7 +90,11 @@ impl Default for ExecConfig {
             mismatch_tau: 2.0,
             checkpoint_conf: crate::execplan::CHECKPOINT_CONF,
             checkpoint_width: crate::execplan::CHECKPOINT_WIDTH,
-            retries: 1,
+            retry_budget: 2,
+            backoff_base_ms: 10.0,
+            failover: true,
+            chaos_seed: None,
+            fault_plan: None,
         }
     }
 }
@@ -75,6 +112,16 @@ pub enum Outcome {
     Finished(Execution),
     /// The progressive optimizer should re-plan from this checkpoint.
     Paused(Checkpoint),
+    /// A stage exhausted its retry budget: blacklist `cause.platform` and
+    /// re-plan the remainder over the surviving platforms from this
+    /// consistent cut (§7.1's "possibly on a different platform").
+    Failover {
+        /// State up to the last consistent cut (in-flight loops excluded —
+        /// their partial iterations re-run from scratch after failover).
+        checkpoint: Checkpoint,
+        /// What exhausted the budget, including the platform to blacklist.
+        cause: BudgetExhausted,
+    },
 }
 
 /// A completed execution.
@@ -115,6 +162,7 @@ pub struct Executor<'a> {
     profiles: &'a Profiles,
     config: &'a ExecConfig,
     monitor: &'a Monitor,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 struct RunState {
@@ -140,6 +188,13 @@ struct RunState {
     iteration: u64,
     job_virtual_ms: f64,
     wall_start: Instant,
+    /// Failed attempts per (stage, iteration) — the retry-budget meter.
+    stage_attempts: HashMap<(usize, u64), u32>,
+    /// Retries absorbed by the currently open stage run.
+    run_retries: u32,
+    /// Loops currently in flight (innermost last); their nodes hold partial
+    /// state and must not count as executed in a failover cut.
+    active_loops: Vec<OperatorId>,
 }
 
 impl<'a> Executor<'a> {
@@ -152,7 +207,16 @@ impl<'a> Executor<'a> {
         config: &'a ExecConfig,
         monitor: &'a Monitor,
     ) -> Self {
-        Self { plan, opt, eplan, profiles, config, monitor }
+        let faults = config.resolve_fault_plan();
+        Self { plan, opt, eplan, profiles, config, monitor, faults }
+    }
+
+    /// Use this (job-wide, shared) fault plan instead of resolving one from
+    /// the config — the progressive optimizer passes the same plan to every
+    /// phase so attempt counters survive replans and failovers.
+    pub fn with_faults(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Run the plan (until completion or an optimization checkpoint).
@@ -174,13 +238,24 @@ impl<'a> Executor<'a> {
             iteration: 0,
             job_virtual_ms: 0.0,
             wall_start: Instant::now(),
+            stage_attempts: HashMap::new(),
+            run_retries: 0,
+            active_loops: Vec::new(),
         };
-        let pause = self.run_region(&mut st, None)?;
+        let pause = match self.run_region(&mut st, None) {
+            Ok(pause) => pause,
+            Err(RheemError::Exhausted(cause)) if self.config.failover => {
+                self.close_stage_run(&mut st);
+                return self.build_failover(st, cause);
+            }
+            Err(e) => return Err(e),
+        };
         self.close_stage_run(&mut st);
         let real_ms = st.wall_start.elapsed().as_secs_f64() * 1000.0;
         let virtual_ms = st.job_virtual_ms;
         if let Some(()) = pause {
-            return Ok(Outcome::Paused(self.build_checkpoint(st, virtual_ms, real_ms)));
+            let executed = self.executed_logical(&st);
+            return Ok(Outcome::Paused(self.build_checkpoint(st, executed, virtual_ms, real_ms)));
         }
         // Collect sinks.
         let mut sink_data = HashMap::new();
@@ -275,6 +350,10 @@ impl<'a> Executor<'a> {
         let outer_iteration = st.iteration;
 
         // The loop-head stage itself (condition evaluation) is driver work.
+        // The loop is "in flight" until it completes: a failover cut taken
+        // mid-loop must discard its partial iteration state (on error we
+        // deliberately do NOT pop, so `run` sees the loop as active).
+        st.active_loops.push(tail);
         let outer_floor = st.floor;
         for i in 0..max_iters {
             st.iteration = i as u64;
@@ -303,6 +382,7 @@ impl<'a> Executor<'a> {
                 }
             }
         }
+        st.active_loops.pop();
         st.iteration = outer_iteration;
         st.floor = outer_floor;
         st.values[head] = Some(state);
@@ -385,24 +465,71 @@ impl<'a> Executor<'a> {
             vstart = vstart.max(st.run_base);
         }
 
-        // Execute, with basic fault tolerance: transient execution failures
-        // are retried (the paper's planned cross-platform mechanism, §7.1).
+        // Execute, with cross-platform fault tolerance (§7.1): transient
+        // failures — organic or injected by the fault plan — are retried
+        // with exponential virtual-time backoff against the stage's retry
+        // budget; exhausting it escalates to failover.
         let wall = Instant::now();
         let mut ctx;
-        let out = {
-            let mut attempt = 0;
-            loop {
-                ctx = ExecCtx::new(self.profiles, self.config.seed.wrapping_add(nid as u64));
-                ctx.iteration = st.iteration;
-                match node.exec.execute(&mut ctx, &inputs, &bc) {
-                    Ok(out) => break out,
-                    Err(RheemError::Execution(msg)) if attempt < self.config.retries => {
-                        attempt += 1;
-                        self.monitor.count_retry();
-                        let _ = msg;
+        let mut backoff_ms = 0.0;
+        let out = loop {
+            ctx = ExecCtx::new(self.profiles, self.config.seed.wrapping_add(nid as u64));
+            ctx.iteration = st.iteration;
+            ctx.stage = node.stage;
+            ctx.set_faults(self.faults.clone());
+            // Stage crashes strike the submission itself, before any
+            // operator code runs; operator/transfer faults strike inside
+            // `execute` via the context's gates.
+            let crashed = self.faults.as_ref().and_then(|fp| {
+                fp.check(
+                    FaultKind::StageCrash,
+                    platform,
+                    node.exec.name(),
+                    node.stage,
+                    st.iteration,
+                )
+            });
+            let result = match crashed {
+                Some(f) => Err(RheemError::Fault(f)),
+                None => node.exec.execute(&mut ctx, &inputs, &bc),
+            };
+            match result {
+                Ok(out) => break out,
+                Err(e) if e.is_transient() => {
+                    let failures = {
+                        let f = st.stage_attempts.entry((node.stage, st.iteration)).or_insert(0);
+                        *f += 1;
+                        *f
+                    };
+                    let within_budget = failures <= self.config.retry_budget;
+                    self.monitor.record_fault(FaultRecord {
+                        stage: node.stage,
+                        iteration: st.iteration,
+                        platform,
+                        op: node.exec.name().to_string(),
+                        kind: e.fault().map(|i| i.kind),
+                        attempt: failures,
+                        recovered: within_budget,
+                    });
+                    if !within_budget {
+                        if platform == CONTROL {
+                            // The driver is the failover mechanism itself —
+                            // it cannot be blacklisted; surface the failure.
+                            return Err(e);
+                        }
+                        return Err(RheemError::Exhausted(BudgetExhausted {
+                            platform,
+                            stage: node.stage,
+                            attempts: failures,
+                            cause: e.to_string(),
+                        }));
                     }
-                    Err(e) => return Err(e),
+                    self.monitor.count_retry();
+                    st.run_retries += 1;
+                    backoff_ms +=
+                        self.config.backoff_base_ms * (1u64 << (failures - 1).min(20)) as f64;
                 }
+                Err(e) => return Err(e),
             }
         };
         let real_ms = wall.elapsed().as_secs_f64() * 1000.0;
@@ -418,6 +545,20 @@ impl<'a> Executor<'a> {
                 out_card: out.cardinality().unwrap_or(0) as u64,
                 virtual_ms: vdur,
                 real_ms,
+            });
+        }
+        if backoff_ms > 0.0 {
+            // Retries and their backoff consume cluster time; charge them in
+            // virtual ms so chaos runs report realistic (yet deterministic)
+            // job times.
+            vdur += backoff_ms;
+            ops.push(OpMetrics {
+                name: "RetryBackoff".to_string(),
+                platform,
+                in_card: 0,
+                out_card: 0,
+                virtual_ms: backoff_ms,
+                real_ms: 0.0,
             });
         }
 
@@ -469,9 +610,13 @@ impl<'a> Executor<'a> {
                 ops: std::mem::take(&mut st.run_ops),
                 virtual_ms: st.run_virtual_ms,
                 real_ms: st.run_real_ms,
+                retries: st.run_retries,
+                phase: 0, // stamped by Monitor::record
+                superseded: false,
             };
             st.run_virtual_ms = 0.0;
             st.run_real_ms = 0.0;
+            st.run_retries = 0;
             self.monitor.record(run);
         }
     }
@@ -495,11 +640,75 @@ impl<'a> Executor<'a> {
         }
         // Re-planning requires all boundary data to be re-injectable as
         // collections; skip the checkpoint when any needed value is opaque.
-        self.checkpoint_materializable(st)
+        self.checkpoint_materializable(st, &self.executed_logical(st))
     }
 
-    fn checkpoint_materializable(&self, st: &RunState) -> bool {
-        let executed = self.executed_logical(st);
+    /// Turn a retry-budget exhaustion into a failover checkpoint, or surface
+    /// it as an error when the consistent cut cannot be re-injected.
+    fn build_failover(&self, mut st: RunState, cause: BudgetExhausted) -> Result<Outcome> {
+        let executed = self.failover_executed(&st);
+        if !self.checkpoint_materializable(&st, &executed) {
+            return Err(RheemError::Exhausted(cause));
+        }
+        // In-flight loops restart from iteration 0 after failover: their
+        // already-recorded iteration runs would double-count in the learner.
+        let stale_stages: HashSet<usize> = self
+            .eplan
+            .nodes
+            .iter()
+            .filter(|n| self.in_active_loop(&st, n.id))
+            .map(|n| n.stage)
+            .collect();
+        if !stale_stages.is_empty() {
+            self.monitor.supersede_current_phase(&stale_stages);
+        }
+        // Partial-iteration measurements of in-flight loop bodies must not
+        // leak into the re-optimizer's estimates.
+        let stale_ops: Vec<OperatorId> = st
+            .measured
+            .keys()
+            .copied()
+            .filter(|op| {
+                self.eplan
+                    .node_of_logical
+                    .get(op)
+                    .map(|&nid| self.in_active_loop(&st, nid))
+                    .unwrap_or(false)
+            })
+            .collect();
+        for op in stale_ops {
+            st.measured.remove(&op);
+        }
+        let real_ms = st.wall_start.elapsed().as_secs_f64() * 1000.0;
+        let virtual_ms = st.job_virtual_ms;
+        let checkpoint = self.build_checkpoint(st, executed, virtual_ms, real_ms);
+        Ok(Outcome::Failover { checkpoint, cause })
+    }
+
+    /// Logical operators safe to treat as executed when failing over: all
+    /// computed nodes *except* heads/bodies of loops still in flight, whose
+    /// values are partial iteration state, not final results.
+    fn failover_executed(&self, st: &RunState) -> HashSet<OperatorId> {
+        let mut executed = HashSet::new();
+        for node in &self.eplan.nodes {
+            if st.values[node.id].is_none() || self.in_active_loop(st, node.id) {
+                continue;
+            }
+            for &op in &node.logical {
+                executed.insert(op);
+            }
+        }
+        executed
+    }
+
+    /// Whether a node belongs to (or is the head of) a loop still in flight.
+    fn in_active_loop(&self, st: &RunState, nid: usize) -> bool {
+        st.active_loops
+            .iter()
+            .any(|&l| self.eplan.nodes[nid].logical.contains(&l) || self.nested_in_loop(nid, l))
+    }
+
+    fn checkpoint_materializable(&self, st: &RunState, executed: &HashSet<OperatorId>) -> bool {
         for (op, &nid) in &self.eplan.node_of_logical {
             if !executed.contains(op) {
                 continue;
@@ -527,8 +736,13 @@ impl<'a> Executor<'a> {
         executed
     }
 
-    fn build_checkpoint(&self, st: RunState, virtual_ms: f64, real_ms: f64) -> Checkpoint {
-        let executed = self.executed_logical(&st);
+    fn build_checkpoint(
+        &self,
+        st: RunState,
+        executed: HashSet<OperatorId>,
+        virtual_ms: f64,
+        real_ms: f64,
+    ) -> Checkpoint {
         let mut materialized = HashMap::new();
         for (op, &nid) in &self.eplan.node_of_logical {
             if !executed.contains(op) {

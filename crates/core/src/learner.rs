@@ -51,16 +51,19 @@ pub struct StageSample {
     pub measured_ms: f64,
 }
 
-/// Extract training samples from a monitor's stage records.
+/// Extract training samples from a monitor's stage records. Superseded runs
+/// (re-executed by a failover) are excluded — they would double-count loop
+/// iterations — and backoff padding is not an operator observation.
 pub fn samples_from_monitor(monitor: &Monitor) -> Vec<StageSample> {
     monitor
-        .stage_runs()
+        .stage_runs_effective()
         .into_iter()
         .filter(|r| !r.ops.is_empty() && r.virtual_ms > 0.0)
         .map(|r| StageSample {
             ops: r
                 .ops
                 .iter()
+                .filter(|o| o.name != "RetryBackoff")
                 .map(|o| OpObs {
                     platform: o.platform.0.to_string(),
                     op: o.name.clone(),

@@ -40,6 +40,7 @@ pub mod error;
 pub mod exec;
 pub mod execplan;
 pub mod executor;
+pub mod fault;
 pub mod fused;
 pub mod kernels;
 pub mod learner;

@@ -3,9 +3,11 @@
 //! (aware of platform-internal laziness, which our engines surface by
 //! reporting per-operator metrics themselves), and checks execution health.
 
+use std::collections::HashSet;
 use std::sync::Mutex;
 
 use crate::exec::OpMetrics;
+use crate::fault::FaultKind;
 use crate::platform::PlatformId;
 
 /// Record of one stage run (a stage may run many times inside loops).
@@ -23,6 +25,35 @@ pub struct StageRun {
     pub virtual_ms: f64,
     /// Real local time, ms.
     pub real_ms: f64,
+    /// Fault-tolerance retries absorbed by this run.
+    pub retries: u32,
+    /// Execution phase (bumped on every progressive replan/failover) the run
+    /// belongs to — stamped by [`Monitor::record`].
+    pub phase: u32,
+    /// A later phase re-executed this run's work (e.g. a failover restarted
+    /// an in-flight loop from iteration 0), so its metrics would be
+    /// double-counted: the learner must skip it.
+    pub superseded: bool,
+}
+
+/// Record of one injected or organic fault handled by the executor.
+#[derive(Clone, Debug)]
+pub struct FaultRecord {
+    /// Stage the failure struck.
+    pub stage: usize,
+    /// Loop iteration at the time (0 outside loops).
+    pub iteration: u64,
+    /// Platform that failed.
+    pub platform: PlatformId,
+    /// Execution-operator name at the failure site.
+    pub op: String,
+    /// Injected fault kind (`None` for organic platform errors).
+    pub kind: Option<FaultKind>,
+    /// How many failures the stage's budget had absorbed, this one included.
+    pub attempt: u32,
+    /// Whether the executor retried (true) or gave up on the platform and
+    /// escalated to failover (false).
+    pub recovered: bool,
 }
 
 /// Health verdict for an observed cardinality.
@@ -51,8 +82,11 @@ pub fn check_cardinality(est: crate::cost::Interval, measured: f64, tau: f64) ->
 #[derive(Default)]
 pub struct Monitor {
     runs: Mutex<Vec<StageRun>>,
+    faults: Mutex<Vec<FaultRecord>>,
     replans: Mutex<u32>,
     retries: Mutex<u32>,
+    failovers: Mutex<u32>,
+    phase: Mutex<u32>,
 }
 
 impl Monitor {
@@ -61,9 +95,41 @@ impl Monitor {
         Self::default()
     }
 
-    /// Record a stage run.
-    pub fn record(&self, run: StageRun) {
+    /// Record a stage run, stamping it with the current phase.
+    pub fn record(&self, mut run: StageRun) {
+        run.phase = *self.phase.lock().unwrap();
         self.runs.lock().unwrap().push(run);
+    }
+
+    /// Enter the next execution phase (called before each progressive
+    /// executor run); subsequent stage runs are stamped with it.
+    pub fn begin_phase(&self) -> u32 {
+        let mut p = self.phase.lock().unwrap();
+        *p += 1;
+        *p
+    }
+
+    /// Mark the current phase's runs of the given stages superseded: a
+    /// failover is about to re-execute their work (an in-flight loop
+    /// restarts from iteration 0), so keeping them live would double-count
+    /// iterations in the learner.
+    pub fn supersede_current_phase(&self, stages: &HashSet<usize>) {
+        let phase = *self.phase.lock().unwrap();
+        for run in self.runs.lock().unwrap().iter_mut() {
+            if run.phase == phase && stages.contains(&run.stage) {
+                run.superseded = true;
+            }
+        }
+    }
+
+    /// Record a handled fault (retry or budget exhaustion).
+    pub fn record_fault(&self, record: FaultRecord) {
+        self.faults.lock().unwrap().push(record);
+    }
+
+    /// Snapshot of all handled faults.
+    pub fn fault_records(&self) -> Vec<FaultRecord> {
+        self.faults.lock().unwrap().clone()
     }
 
     /// Count a progressive re-optimization.
@@ -86,9 +152,26 @@ impl Monitor {
         *self.retries.lock().unwrap()
     }
 
-    /// Snapshot of all recorded stage runs.
+    /// Count a cross-platform failover (retry budget exhausted, plan
+    /// re-enumerated over the surviving platforms).
+    pub fn count_failover(&self) {
+        *self.failovers.lock().unwrap() += 1;
+    }
+
+    /// Number of failovers so far.
+    pub fn failovers(&self) -> u32 {
+        *self.failovers.lock().unwrap()
+    }
+
+    /// Snapshot of all recorded stage runs (superseded ones included).
     pub fn stage_runs(&self) -> Vec<StageRun> {
         self.runs.lock().unwrap().clone()
+    }
+
+    /// Snapshot of the stage runs that still count (superseded runs —
+    /// re-executed by a failover — excluded).
+    pub fn stage_runs_effective(&self) -> Vec<StageRun> {
+        self.runs.lock().unwrap().iter().filter(|r| !r.superseded).cloned().collect()
     }
 
     /// Total virtual time across recorded runs (diagnostic; the executor's
@@ -100,8 +183,11 @@ impl Monitor {
     /// Clear all records (between jobs).
     pub fn reset(&self) {
         self.runs.lock().unwrap().clear();
+        self.faults.lock().unwrap().clear();
         *self.replans.lock().unwrap() = 0;
         *self.retries.lock().unwrap() = 0;
+        *self.failovers.lock().unwrap() = 0;
+        *self.phase.lock().unwrap() = 0;
     }
 }
 
@@ -119,17 +205,24 @@ mod tests {
         assert_eq!(check_cardinality(est, 100_000.0, 2.0), Health::Mismatch);
     }
 
-    #[test]
-    fn monitor_records_and_resets() {
-        let m = Monitor::new();
-        m.record(StageRun {
-            stage: 0,
+    fn run(stage: usize, virtual_ms: f64) -> StageRun {
+        StageRun {
+            stage,
             platform: PlatformId("x"),
             iteration: 0,
             ops: vec![],
-            virtual_ms: 12.0,
+            virtual_ms,
             real_ms: 1.0,
-        });
+            retries: 0,
+            phase: 0,
+            superseded: false,
+        }
+    }
+
+    #[test]
+    fn monitor_records_and_resets() {
+        let m = Monitor::new();
+        m.record(run(0, 12.0));
         m.count_replan();
         assert_eq!(m.stage_runs().len(), 1);
         assert_eq!(m.replans(), 1);
@@ -137,5 +230,41 @@ mod tests {
         m.reset();
         assert!(m.stage_runs().is_empty());
         assert_eq!(m.replans(), 0);
+    }
+
+    #[test]
+    fn supersede_hits_only_current_phase_and_listed_stages() {
+        let m = Monitor::new();
+        m.begin_phase();
+        m.record(run(0, 1.0));
+        m.begin_phase();
+        m.record(run(0, 2.0));
+        m.record(run(1, 3.0));
+        m.supersede_current_phase(&HashSet::from([0]));
+        let runs = m.stage_runs();
+        assert!(!runs[0].superseded, "earlier phase untouched");
+        assert!(runs[1].superseded, "current phase + listed stage marked");
+        assert!(!runs[2].superseded, "unlisted stage untouched");
+        assert_eq!(m.stage_runs_effective().len(), 2);
+    }
+
+    #[test]
+    fn fault_and_failover_accounting() {
+        let m = Monitor::new();
+        m.record_fault(FaultRecord {
+            stage: 2,
+            iteration: 0,
+            platform: PlatformId("x"),
+            op: "XMap".into(),
+            kind: Some(FaultKind::Transient),
+            attempt: 1,
+            recovered: true,
+        });
+        m.count_failover();
+        assert_eq!(m.fault_records().len(), 1);
+        assert_eq!(m.failovers(), 1);
+        m.reset();
+        assert!(m.fault_records().is_empty());
+        assert_eq!(m.failovers(), 0);
     }
 }

@@ -97,6 +97,14 @@ fn build_inflated(opt: &Optimizer<'_>, plan: &RheemPlan, estimates: Estimates) -
                 p == forced || p == CONTROL
             });
         }
+        if !opt.blacklist.is_empty() {
+            // Failover: blacklisted platforms are out for the rest of the
+            // job; the driver survives (it is the failover mechanism).
+            alts.retain(|c| {
+                let p = c.exec.platform();
+                p == CONTROL || !opt.blacklist.contains(&p)
+            });
+        }
         if alts.is_empty() {
             return Err(Optimizer::err_no_candidates(plan, node.id));
         }

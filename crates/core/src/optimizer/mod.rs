@@ -33,6 +33,10 @@ pub struct Optimizer<'a> {
     /// the platform-independence experiments of §6.2 and by RheemLatin's
     /// `with platform` clause at plan granularity).
     pub forced_platform: Option<PlatformId>,
+    /// Platforms excluded from enumeration (failover: a platform that
+    /// exhausted its retry budget is blacklisted for the rest of the job;
+    /// the driver's control operators are never excluded).
+    pub blacklist: Vec<PlatformId>,
 }
 
 /// The result of optimization: one execution alternative chosen per plan
@@ -70,7 +74,7 @@ impl OptimizedPlan {
 impl<'a> Optimizer<'a> {
     /// New optimizer over a context's registry/profiles/model.
     pub fn new(registry: &'a Registry, profiles: &'a Profiles, model: &'a CostModel) -> Self {
-        Self { registry, profiles, model, forced_platform: None }
+        Self { registry, profiles, model, forced_platform: None, blacklist: Vec::new() }
     }
 
     /// Optimize a plan end-to-end: validate, estimate, inflate, enumerate.

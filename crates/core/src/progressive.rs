@@ -33,6 +33,9 @@ pub struct ProgressiveOutcome {
     pub real_ms: f64,
     /// Number of re-optimizations performed.
     pub replans: u32,
+    /// Number of cross-platform failovers performed (retry budget exhausted
+    /// on a platform; remainder re-planned over the survivors).
+    pub failovers: u32,
     /// Platforms used across all phases.
     pub platforms: Vec<PlatformId>,
     /// Estimated cost of the first chosen execution plan (virtual ms).
@@ -52,6 +55,10 @@ fn rewrite_plan(
     let mut out = RheemPlan::new();
     let mut remap: HashMap<OperatorId, OperatorId> = HashMap::new();
     let mut sink_map = HashMap::new();
+    // A loop head's feedback producer (input slot 1) orders *after* the head
+    // in the feedback-free topological order, so it cannot be resolved while
+    // copying the head — collect and patch once its body has been copied.
+    let mut feedback_patches: Vec<(OperatorId, OperatorId)> = Vec::new();
     for &id in &plan.topological_order()? {
         let node = plan.node(id);
         if cp.executed.contains(&id) {
@@ -61,10 +68,15 @@ fn rewrite_plan(
             }
             continue;
         }
+        let is_loop_head = node.op.kind().is_loop_head();
         let inputs: Vec<OperatorId> = node
             .inputs
             .iter()
-            .map(|i| {
+            .enumerate()
+            .map(|(slot, i)| {
+                if is_loop_head && slot == 1 {
+                    return Ok(*i); // stale id, patched below
+                }
                 remap.get(i).copied().ok_or_else(|| {
                     RheemError::Optimizer(format!(
                         "checkpoint boundary missing materialization for input of {}",
@@ -74,6 +86,9 @@ fn rewrite_plan(
             })
             .collect::<Result<_>>()?;
         let new_id = out.add(node.op.clone(), &inputs);
+        if is_loop_head {
+            feedback_patches.push((new_id, node.inputs[1]));
+        }
         for (name, b) in &node.broadcasts {
             let nb = remap.get(b).copied().ok_or_else(|| {
                 RheemError::Optimizer("checkpoint missing broadcast materialization".into())
@@ -96,6 +111,12 @@ fn rewrite_plan(
         if node.op.kind().is_sink() {
             sink_map.insert(new_id, id);
         }
+    }
+    for (new_id, fb) in feedback_patches {
+        let nfb = remap.get(&fb).copied().ok_or_else(|| {
+            RheemError::Optimizer("checkpoint missing loop feedback producer".into())
+        })?;
+        out.node_mut(new_id).inputs[1] = nfb;
     }
     Ok((out, sink_map))
 }
@@ -127,14 +148,21 @@ pub fn run_progressive(
     let mut virtual_ms = 0.0;
     let mut real_ms = 0.0;
     let mut replans = 0;
+    let mut failovers = 0;
     let mut platforms: Vec<PlatformId> = Vec::new();
     let mut est_ms = None;
     let mut exploration = ExplorationBuffer::default();
+    // Resolved once per job: attempt counters live inside the plan and must
+    // survive replans/failovers (fail-N-then-succeed semantics).
+    let faults = config.resolve_fault_plan();
+    // Platforms that exhausted a retry budget; excluded from re-enumeration.
+    let mut blacklist: Vec<PlatformId> = Vec::new();
 
     loop {
         let phase_plan = current.as_ref().unwrap_or(plan);
         let mut optimizer = Optimizer::new(registry, profiles, model);
         optimizer.forced_platform = forced_platform;
+        optimizer.blacklist = blacklist.clone();
         let estimator = base_estimator();
         let opt = optimizer.optimize(phase_plan, &estimator)?;
         if est_ms.is_none() {
@@ -146,7 +174,9 @@ pub fn run_progressive(
             }
         }
         let eplan = build_exec_plan(phase_plan, &opt, registry, profiles, model)?;
-        let executor = Executor::new(phase_plan, &opt, &eplan, profiles, config, monitor);
+        let executor = Executor::new(phase_plan, &opt, &eplan, profiles, config, monitor)
+            .with_faults(faults.clone());
+        monitor.begin_phase();
         match executor.run()? {
             Outcome::Finished(Execution {
                 sink_data: sinks,
@@ -166,14 +196,32 @@ pub fn run_progressive(
                     virtual_ms,
                     real_ms,
                     replans,
+                    failovers,
                     platforms,
                     est_ms: est_ms.unwrap_or(0.0),
                     exploration,
                 });
             }
-            Outcome::Paused(cp) => {
-                replans += 1;
-                monitor.count_replan();
+            outcome => {
+                let cp = match outcome {
+                    Outcome::Paused(cp) => {
+                        replans += 1;
+                        monitor.count_replan();
+                        cp
+                    }
+                    Outcome::Failover { checkpoint, cause } => {
+                        if forced_platform == Some(cause.platform) {
+                            // Pinned to the failing platform: nothing to
+                            // fail over to.
+                            return Err(RheemError::Exhausted(cause));
+                        }
+                        failovers += 1;
+                        monitor.count_failover();
+                        blacklist.push(cause.platform);
+                        checkpoint
+                    }
+                    Outcome::Finished(_) => unreachable!("handled above"),
+                };
                 virtual_ms += cp.virtual_ms + REPLAN_MS;
                 real_ms += cp.real_ms;
                 exploration.taps.extend(cp.exploration.taps.clone());

@@ -298,6 +298,7 @@ impl ExecutionOperator for FlinkOperator {
         inputs: &[ChannelData],
         bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
+        ctx.fault_gate(ids::FLINK, self.name())?;
         let profile = ctx.profile(ids::FLINK).clone();
         let workers = pool_size(&profile);
         let seed = ctx.seed;
@@ -603,6 +604,7 @@ impl ExecutionOperator for FlinkCollect {
         inputs: &[ChannelData],
         _bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
+        ctx.transfer_gate(ids::FLINK, self.name())?;
         let data = inputs[0].flatten()?;
         let profile = ctx.profile(ids::FLINK);
         let net = profile.net_ms(dataset_bytes(&data) * 0.9);
@@ -649,6 +651,7 @@ impl ExecutionOperator for FlinkFromCollection {
         inputs: &[ChannelData],
         _bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
+        ctx.transfer_gate(ids::FLINK, self.name())?;
         let data = inputs[0].flatten()?;
         let profile = ctx.profile(ids::FLINK);
         let n = partition_count(data.len(), profile.partitions);
@@ -699,6 +702,7 @@ impl ExecutionOperator for FlinkReadTextFile {
         inputs: &[ChannelData],
         _bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
+        ctx.transfer_gate(ids::FLINK, self.name())?;
         let path = inputs[0].as_file()?.clone();
         let profile = ctx.profile(ids::FLINK);
         let (bytes, store) = rheem_storage::stat(&path).map_err(RheemError::Io)?;

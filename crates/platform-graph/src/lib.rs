@@ -121,6 +121,7 @@ impl ExecutionOperator for GiraphPageRank {
         inputs: &[ChannelData],
         _bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
+        ctx.fault_gate(ids::GIRAPH, self.name())?;
         let data = inputs[0].flatten()?;
         let edges = parse_edges(&data);
         let profile = ctx.profile(ids::GIRAPH).clone();
@@ -220,6 +221,7 @@ impl ExecutionOperator for JGraphPageRank {
         inputs: &[ChannelData],
         _bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
+        ctx.fault_gate(ids::JGRAPH, self.name())?;
         let data = inputs[0].flatten()?;
         // A library with a small heap: building the in-memory graph triples
         // the footprint; beyond the cap the JVM dies (Fig. 9(c)'s ✗).
@@ -305,6 +307,7 @@ impl ExecutionOperator for GraphChiPageRank {
         inputs: &[ChannelData],
         _bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
+        ctx.fault_gate(ids::GRAPHCHI, self.name())?;
         let data = inputs[0].flatten()?;
         let edges = parse_edges(&data);
         let profile = ctx.profile(ids::GRAPHCHI).clone();

@@ -271,6 +271,7 @@ impl ExecutionOperator for JavaOperator {
         inputs: &[ChannelData],
         bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
+        ctx.fault_gate(ids::JAVA_STREAMS, &self.name)?;
         let seed = ctx.seed;
         let iteration = ctx.iteration;
         let input_data: Vec<rheem_core::value::Dataset> =

@@ -314,6 +314,7 @@ impl ExecutionOperator for PgOperator {
         inputs: &[ChannelData],
         bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
+        ctx.fault_gate(ids::POSTGRES, self.name())?;
         let profile = ctx.profile(ids::POSTGRES).clone();
         let start = Instant::now();
         let (rows, in_card, extra_virtual): (Vec<Value>, u64, f64) = match &self.op {
@@ -458,6 +459,7 @@ impl ExecutionOperator for PgExport {
         inputs: &[ChannelData],
         _bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
+        ctx.transfer_gate(ids::POSTGRES, self.name())?;
         let rows = relation_rows(&inputs[0])?;
         let profile = ctx.profile(ids::POSTGRES);
         let virtual_ms = profile.net_ms(dataset_bytes(&rows))
@@ -509,6 +511,7 @@ impl ExecutionOperator for PgLoad {
         inputs: &[ChannelData],
         _bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
+        ctx.transfer_gate(ids::POSTGRES, self.name())?;
         let rows = inputs[0].flatten()?;
         let profile = ctx.profile(ids::POSTGRES);
         let bytes = dataset_bytes(&rows);

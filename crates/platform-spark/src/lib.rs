@@ -329,6 +329,7 @@ impl ExecutionOperator for SparkOperator {
         inputs: &[ChannelData],
         bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
+        ctx.fault_gate(ids::SPARK, self.name())?;
         let profile = ctx.profile(ids::SPARK).clone();
         let workers = pool_size(&profile);
         let seed = ctx.seed;
@@ -659,6 +660,7 @@ impl ExecutionOperator for SparkCache {
         inputs: &[ChannelData],
         _bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
+        ctx.transfer_gate(ids::SPARK, self.name())?;
         let parts = inputs[0].as_partitions()?.clone();
         let bytes: f64 = parts.iter().map(|p| dataset_bytes(p)).sum();
         ctx.check_mem(ids::SPARK, bytes)?;
@@ -736,6 +738,7 @@ impl ExecutionOperator for SparkCollect {
         inputs: &[ChannelData],
         _bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
+        ctx.transfer_gate(ids::SPARK, self.name())?;
         let data = inputs[0].flatten()?;
         let profile = ctx.profile(ids::SPARK);
         let net = profile.net_ms(dataset_bytes(&data) * 0.9);
@@ -782,6 +785,7 @@ impl ExecutionOperator for SparkParallelize {
         inputs: &[ChannelData],
         _bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
+        ctx.transfer_gate(ids::SPARK, self.name())?;
         let data = inputs[0].flatten()?;
         let profile = ctx.profile(ids::SPARK);
         let n = partition_count(data.len(), profile.partitions);
@@ -844,6 +848,7 @@ impl ExecutionOperator for SparkSaveTextFile {
         inputs: &[ChannelData],
         _bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
+        ctx.transfer_gate(ids::SPARK, self.name())?;
         let data = inputs[0].flatten()?;
         let id = self.counter.fetch_add(1, Ordering::Relaxed);
         let path =
@@ -894,6 +899,7 @@ impl ExecutionOperator for SparkReadTextFile {
         inputs: &[ChannelData],
         _bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
+        ctx.transfer_gate(ids::SPARK, self.name())?;
         let path = inputs[0].as_file()?.clone();
         let profile = ctx.profile(ids::SPARK);
         let (bytes, store) = rheem_storage::stat(&path).map_err(RheemError::Io)?;

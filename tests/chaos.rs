@@ -1,0 +1,373 @@
+//! Chaos sweep (§7.1): an exhaustive matrix of injection points over the
+//! WordCount and SGD (Listing 1) plans. Every `(stage, fault kind, fail
+//! count)` cell must either recover within the retry budget (byte-identical
+//! answer, zero failovers) or escalate cleanly — fail over to a surviving
+//! platform or die with a *typed* error. Alongside each cell we check that
+//! the monitor's retry/fault annotations match the injected plan exactly:
+//! chaos without bookkeeping honesty would hide exactly the bugs it is
+//! supposed to find.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use rheem::prelude::*;
+use rheem_core::builtin::CONTROL;
+use rheem_core::fault::{FaultKind, FaultPlan, FaultRule, PERSISTENT};
+use rheem_core::plan::{OperatorId, RheemPlan};
+use rheem_core::udf::FlatMapUdf;
+
+/// Fixed chaos-seed matrix (mirrored in CI and `tests/differential.rs`).
+const CHAOS_SEEDS: [u64; 3] = [0xC0FFEE, 42, 7];
+/// Retry budget used by every cell — small enough that `failing(3)` spills
+/// over into the failover path.
+const BUDGET: u32 = 2;
+const KINDS: [FaultKind; 3] = [FaultKind::Transient, FaultKind::StageCrash, FaultKind::Transfer];
+
+fn chaos_seeds() -> Vec<u64> {
+    let mut seeds = CHAOS_SEEDS.to_vec();
+    if let Some(extra) = std::env::var("CHAOS_SEED").ok().and_then(|s| s.parse().ok()) {
+        if !seeds.contains(&extra) {
+            seeds.push(extra);
+        }
+    }
+    seeds
+}
+
+// ---- the two workloads --------------------------------------------------
+
+fn corpus() -> Vec<Value> {
+    rheem_datagen::generate_text(60, 10, 5_000, 7).into_iter().map(Value::from).collect()
+}
+
+fn wordcount_chain(q: rheem_core::plan::DataQuanta) -> rheem_core::plan::DataQuanta {
+    q.flat_map(FlatMapUdf::new("split", |v| {
+        v.as_str().unwrap_or("").split_whitespace().map(Value::from).collect()
+    }))
+    .map(MapUdf::new("pair", |w| Value::pair(w.clone(), Value::from(1))))
+    .reduce_by_key(
+        KeyUdf::field(0),
+        ReduceUdf::new("sum", |a, b| {
+            Value::pair(
+                a.field(0).clone(),
+                Value::from(a.field(1).as_int().unwrap_or(0) + b.field(1).as_int().unwrap_or(0)),
+            )
+        }),
+    )
+}
+
+/// WordCount with free platform choice.
+fn wordcount_plan() -> (RheemPlan, OperatorId) {
+    let mut b = PlanBuilder::new();
+    let sink = wordcount_chain(b.collection(corpus())).collect();
+    (b.build().unwrap(), sink)
+}
+
+/// WordCount spanning two pinned platforms, so the plan must cross channel
+/// boundaries — this is what puts `Transfer` fault sites on the map.
+fn hybrid_wordcount_plan() -> (RheemPlan, OperatorId) {
+    let mut b = PlanBuilder::new();
+    let sink = wordcount_chain(
+        b.collection(corpus())
+            .map(MapUdf::new("lower", |v| Value::from(v.as_str().unwrap_or("").to_lowercase())))
+            .with_target_platform(ids::SPARK),
+    )
+    .with_target_platform(ids::FLINK)
+    .collect();
+    (b.build().unwrap(), sink)
+}
+
+/// Listing 1's SGD shape over integers (batch gradient, no sampling), so the
+/// learned weight is exactly reproducible: the loop head, the broadcast of
+/// the weights into the gradient map, and the broadcast of the gradient sum
+/// into the update map are all there — only the arithmetic is made exact.
+fn sgd_plan() -> (RheemPlan, OperatorId) {
+    let mut b = PlanBuilder::new();
+    let points: Vec<Value> = (0..24i64)
+        .map(|i| {
+            let x = i % 5 - 2;
+            Value::pair(Value::from(x), Value::from(3 * x + 1))
+        })
+        .collect();
+    let points = b.collection(points);
+    let winit = b.collection(vec![Value::from(0i64)]);
+    let sink = winit
+        .repeat(3, |w| {
+            let grad = points
+                .map(MapUdf::with_ctx("gradient", |p, ctx| {
+                    let wv =
+                        ctx.get_or_empty("weights").first().and_then(Value::as_int).unwrap_or(0);
+                    let x = p.field(0).as_int().unwrap_or(0);
+                    let y = p.field(1).as_int().unwrap_or(0);
+                    Value::from(x * (x * wv - y))
+                }))
+                .broadcast("weights", w)
+                .reduce(ReduceUdf::new("gsum", |a, b| {
+                    Value::from(a.as_int().unwrap_or(0) + b.as_int().unwrap_or(0))
+                }));
+            w.map(MapUdf::with_ctx("update", |w, ctx| {
+                let g =
+                    ctx.get_or_empty("gradient_sum").first().and_then(Value::as_int).unwrap_or(0);
+                Value::from(w.as_int().unwrap_or(0) - g / 64)
+            }))
+            .broadcast("gradient_sum", &grad)
+        })
+        .collect();
+    (b.build().unwrap(), sink)
+}
+
+type PlanFn = fn() -> (RheemPlan, OperatorId);
+const PLANS: [(&str, PlanFn); 3] =
+    [("wordcount", wordcount_plan), ("hybrid-wordcount", hybrid_wordcount_plan), ("sgd", sgd_plan)];
+
+// ---- harness ------------------------------------------------------------
+
+/// Fault-free reference run: canonical (sorted) output plus the stage ids
+/// the optimizer actually scheduled — those are the sweep's injection axis.
+fn baseline(make: PlanFn) -> (Vec<Value>, Vec<usize>) {
+    let ctx = rheem::default_context();
+    let (plan, sink) = make();
+    let result = ctx.execute(&plan).unwrap();
+    let mut out = result.sink(sink).unwrap().to_vec();
+    out.sort();
+    let mut stages: Vec<usize> = ctx.monitor().stage_runs().iter().map(|r| r.stage).collect();
+    stages.sort_unstable();
+    stages.dedup();
+    (out, stages)
+}
+
+fn run_sorted(ctx: &RheemContext, make: PlanFn) -> Result<(Vec<Value>, u32, u32)> {
+    let (plan, sink) = make();
+    let result = ctx.execute(&plan)?;
+    let mut out = result.sink(sink)?.to_vec();
+    out.sort();
+    Ok((out, result.metrics.retries, result.metrics.failovers))
+}
+
+/// Effective (non-superseded) stage runs must account every loop iteration
+/// exactly once per phase — the monitor invariant behind the learner's
+/// sample extraction, and the regression guard for the replayed-iteration
+/// accounting bug fixed in this PR.
+fn assert_no_duplicate_iteration_accounting(ctx: &RheemContext, what: &str) {
+    let mut seen = HashSet::new();
+    for r in ctx.monitor().stage_runs_effective() {
+        assert!(
+            seen.insert((r.phase, r.stage, r.iteration)),
+            "{what}: stage {} iteration {} recorded twice in phase {}",
+            r.stage,
+            r.iteration,
+            r.phase
+        );
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    transient: usize,
+    crash: usize,
+    transfer: usize,
+}
+
+impl Tally {
+    fn bump(&mut self, kind: FaultKind, n: usize) {
+        match kind {
+            FaultKind::Transient => self.transient += n,
+            FaultKind::StageCrash => self.crash += n,
+            FaultKind::Transfer => self.transfer += n,
+        }
+    }
+}
+
+// ---- the matrix ---------------------------------------------------------
+
+/// Sweep every `(stage, kind, fail count)` cell of every workload. Cells
+/// inside the budget must recover in place with the exact baseline answer;
+/// cells beyond it must fail over or surface a typed error. In every
+/// surviving cell the monitor's annotations are reconciled against the
+/// injected plan: all records carry the injected kind and stage, and the
+/// global retry counter, the per-run `StageRun::retries` sums and the
+/// recovered fault records all agree.
+#[test]
+fn fault_matrix_recovers_in_budget_or_escalates_cleanly() {
+    let mut tally = Tally::default();
+    for (name, make) in PLANS {
+        let (expected, stages) = baseline(make);
+        for &stage in &stages {
+            for kind in KINDS {
+                for fail_n in [1u32, BUDGET + 1] {
+                    let cell = format!("{name}: stage {stage}, {kind} x{fail_n}");
+                    let mut ctx = rheem::default_context();
+                    ctx.config_mut().retry_budget = BUDGET;
+                    ctx.config_mut().fault_plan = Some(Arc::new(
+                        FaultPlan::none()
+                            .with_rule(FaultRule::new(kind).on_stage(stage).failing(fail_n)),
+                    ));
+                    match run_sorted(&ctx, make) {
+                        Ok((out, retries, failovers)) => {
+                            assert_eq!(out, expected, "{cell}: wrong answer");
+                            let recs = ctx.monitor().fault_records();
+                            for r in &recs {
+                                assert_eq!(r.kind, Some(kind), "{cell}: alien fault {r:?}");
+                                assert_eq!(r.stage, stage, "{cell}: strayed to {r:?}");
+                            }
+                            let recovered = recs.iter().filter(|r| r.recovered).count() as u32;
+                            assert_eq!(
+                                ctx.monitor().retries(),
+                                recovered,
+                                "{cell}: retry counter out of sync with fault records"
+                            );
+                            let per_run: u32 =
+                                ctx.monitor().stage_runs().iter().map(|r| r.retries).sum();
+                            assert_eq!(per_run, recovered, "{cell}: StageRun retries drifted");
+                            assert_eq!(retries, recovered, "{cell}: JobMetrics retries drifted");
+                            assert_eq!(
+                                failovers,
+                                ctx.monitor().failovers(),
+                                "{cell}: JobMetrics failovers drifted"
+                            );
+                            if fail_n <= BUDGET {
+                                assert!(
+                                    recs.iter().all(|r| r.recovered),
+                                    "{cell}: in-budget fault not recovered"
+                                );
+                                assert_eq!(failovers, 0, "{cell}: needless failover");
+                            } else if recs.iter().any(|r| !r.recovered) {
+                                assert!(
+                                    failovers >= 1,
+                                    "{cell}: exhausted budget but no failover recorded"
+                                );
+                            }
+                            tally.bump(kind, recs.len());
+                        }
+                        // Beyond the budget a cell may legitimately run out of
+                        // platforms (pinned operators, repeated exhaustion) —
+                        // but only with a *typed* error, and never in budget.
+                        Err(
+                            e @ (RheemError::Fault(_)
+                            | RheemError::Exhausted(_)
+                            | RheemError::Optimizer(_)),
+                        ) => {
+                            assert!(fail_n > BUDGET, "{cell}: in-budget cell died: {e}");
+                        }
+                        Err(other) => panic!("{cell}: untyped error {other}"),
+                    }
+                }
+            }
+        }
+    }
+    // The matrix must actually hit all three kinds of site (deterministic,
+    // so this cannot flake): transient + crash everywhere, transfer via the
+    // hybrid plan's cross-platform channels.
+    assert!(tally.transient > 0, "matrix never injected a transient fault");
+    assert!(tally.crash > 0, "matrix never injected a stage crash");
+    assert!(tally.transfer > 0, "matrix never injected a transfer fault");
+}
+
+/// Kill the platform that actually ran each workload's first stage,
+/// persistently: the job must complete on a surviving platform with the
+/// baseline answer, and both the monitor and the job metrics must report
+/// the failover.
+#[test]
+fn exhausted_stage_fails_over_and_completes() {
+    for (name, make) in [("wordcount", wordcount_plan as PlanFn), ("sgd", sgd_plan as PlanFn)] {
+        let (expected, _) = baseline(make);
+        let victim = {
+            let ctx = rheem::default_context();
+            let (plan, _) = make();
+            ctx.execute(&plan).unwrap();
+            // The driver pseudo-platform is never injected; kill the first
+            // real engine the job touched.
+            ctx.monitor()
+                .stage_runs()
+                .iter()
+                .map(|r| r.platform)
+                .find(|&p| p != CONTROL)
+                .expect("job must touch a real platform")
+        };
+        let mut ctx = rheem::default_context();
+        ctx.config_mut().retry_budget = BUDGET;
+        ctx.config_mut().fault_plan = Some(Arc::new(FaultPlan::none().with_rule(
+            FaultRule::new(FaultKind::Transient).on_platform(victim).failing(PERSISTENT),
+        )));
+        let (out, retries, failovers) = run_sorted(&ctx, make).unwrap();
+        assert_eq!(out, expected, "{name}: failover from {victim:?} changed the answer");
+        assert!(failovers >= 1, "{name}: JobMetrics must report the failover");
+        assert!(ctx.monitor().failovers() >= 1, "{name}: monitor must count the failover");
+        assert!(retries >= BUDGET, "{name}: the budget must be consumed before failing over");
+        assert!(
+            ctx.monitor().fault_records().iter().any(|r| !r.recovered),
+            "{name}: the exhaustion must be recorded"
+        );
+        // Work finished on the victim *before* the exhaustion survives via
+        // the checkpoint, but the re-planned final phase must avoid it.
+        let runs = ctx.monitor().stage_runs();
+        let last_phase = runs.iter().map(|r| r.phase).max().unwrap();
+        assert!(
+            runs.iter().filter(|r| r.phase == last_phase).all(|r| r.platform != victim),
+            "{name}: re-planned phase still scheduled the blacklisted platform"
+        );
+    }
+}
+
+/// Persistent failure *inside the SGD loop body*: the failover checkpoint
+/// must restart the loop cleanly — same final weights, and no loop
+/// iteration double-counted in the effective stage runs (the learner feeds
+/// on those).
+#[test]
+fn mid_loop_failover_replays_without_duplicate_iteration_accounting() {
+    let (expected, _) = baseline(sgd_plan);
+    // Find a stage that actually iterates, and the platform it ran on.
+    let (loop_stage, victim) = {
+        let ctx = rheem::default_context();
+        let (plan, _) = sgd_plan();
+        ctx.execute(&plan).unwrap();
+        let runs = ctx.monitor().stage_runs();
+        let r = runs
+            .iter()
+            .find(|r| r.iteration > 0 && r.platform != CONTROL)
+            .expect("sgd must iterate on a real platform");
+        (r.stage, r.platform)
+    };
+    let mut ctx = rheem::default_context();
+    ctx.config_mut().retry_budget = BUDGET;
+    ctx.config_mut().fault_plan = Some(Arc::new(
+        FaultPlan::none().with_rule(
+            FaultRule::new(FaultKind::Transient)
+                .on_platform(victim)
+                .on_stage(loop_stage)
+                .failing(PERSISTENT),
+        ),
+    ));
+    let (out, _, failovers) = run_sorted(&ctx, sgd_plan).unwrap();
+    assert_eq!(out, expected, "mid-loop failover changed the learned weights");
+    assert!(failovers >= 1, "expected a mid-loop failover");
+    assert_no_duplicate_iteration_accounting(&ctx, "sgd mid-loop failover");
+}
+
+/// Seeded chaos over both workloads for the fixed CI seed matrix: survive
+/// with the exact baseline answer or die typed; surviving runs keep the
+/// monitor's iteration accounting duplicate-free.
+#[test]
+fn seeded_chaos_on_wordcount_and_sgd_is_survivable_or_typed() {
+    let mut survived = 0usize;
+    let mut injected = 0usize;
+    for seed in chaos_seeds() {
+        for (name, make) in PLANS {
+            let (expected, _) = baseline(make);
+            let mut ctx = rheem::default_context();
+            ctx.config_mut().chaos_seed = Some(seed);
+            match run_sorted(&ctx, make) {
+                Ok((out, _, _)) => {
+                    assert_eq!(out, expected, "seed {seed:#x} on {name}: wrong answer");
+                    assert_no_duplicate_iteration_accounting(&ctx, name);
+                    survived += 1;
+                }
+                Err(RheemError::Fault(_) | RheemError::Exhausted(_) | RheemError::Optimizer(_)) => {
+                }
+                Err(other) => panic!("seed {seed:#x} on {name}: untyped error {other}"),
+            }
+            injected += ctx.monitor().fault_records().len();
+        }
+    }
+    assert!(injected > 0, "seed matrix injected nothing");
+    assert!(survived > 0, "seed matrix never survived a run");
+}

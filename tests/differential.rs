@@ -1,0 +1,310 @@
+//! Differential test suite: seeded random plans must compute *identical*
+//! results on every platform simulacrum — with and without fusion, with and
+//! without an active fault plan. Heterogeneous backends only stay
+//! trustworthy under exactly this kind of harness (cf. Calcite's experience
+//! with differential testing): an injected fault may be survived (retry or
+//! failover) or surfaced as a typed error, but it must never produce a
+//! wrong answer.
+//!
+//! Plans are generated from the repo's own deterministic `SplitMix64`, so
+//! every failure reproduces from its case number. The chaos seeds below are
+//! the fixed CI matrix; set `CHAOS_SEED=<n>` to add one more.
+
+use std::sync::Arc;
+
+use rheem::prelude::*;
+use rheem_core::fault::{FaultKind, FaultPlan, FaultRule, PERSISTENT};
+use rheem_core::kernels::SplitMix64;
+use rheem_core::udf::FlatMapUdf;
+
+const PLATFORMS: [PlatformId; 3] = [ids::JAVA_STREAMS, ids::SPARK, ids::FLINK];
+/// Fixed chaos-seed matrix (mirrored in CI).
+const CHAOS_SEEDS: [u64; 3] = [0xC0FFEE, 42, 7];
+
+fn chaos_seeds() -> Vec<u64> {
+    let mut seeds = CHAOS_SEEDS.to_vec();
+    if let Some(extra) = std::env::var("CHAOS_SEED").ok().and_then(|s| s.parse().ok()) {
+        if !seeds.contains(&extra) {
+            seeds.push(extra);
+        }
+    }
+    seeds
+}
+
+// ---- seeded plan generator ---------------------------------------------
+
+/// One randomly generated plan: one or two op chains over (key, value)
+/// pairs, optionally joined, with an optional terminal aggregation.
+#[derive(Clone, Debug)]
+struct Spec {
+    chain_a: Vec<u8>,
+    chain_b: Option<Vec<u8>>, // joined on field(0) when present
+    terminal: u8,             // 0 = none, 1 = reduce_by_key, 2 = distinct, 3 = count
+    data_a: Vec<Value>,
+    data_b: Vec<Value>,
+}
+
+fn pairs(rng: &mut SplitMix64, max_len: usize) -> Vec<Value> {
+    let len = rng.range_usize(max_len);
+    (0..len)
+        .map(|_| {
+            Value::pair(
+                Value::from(rng.range_usize(8) as i64),
+                Value::from(rng.range_usize(200) as i64 - 100),
+            )
+        })
+        .collect()
+}
+
+fn gen_spec(case: u64) -> Spec {
+    let mut rng = SplitMix64(0xD1FF ^ case.wrapping_mul(0x9E37_79B9));
+    let chain = |rng: &mut SplitMix64| -> Vec<u8> {
+        let len = 2 + rng.range_usize(3);
+        (0..len).map(|_| rng.range_usize(7) as u8).collect()
+    };
+    let chain_a = chain(&mut rng);
+    let chain_b = rng.chance(0.4).then(|| chain(&mut rng));
+    Spec {
+        chain_a,
+        chain_b,
+        terminal: rng.range_usize(4) as u8,
+        data_a: pairs(&mut rng, 60),
+        data_b: pairs(&mut rng, 40),
+    }
+}
+
+fn apply_op(q: rheem_core::plan::DataQuanta, code: u8) -> rheem_core::plan::DataQuanta {
+    let k = |v: &Value| v.field(0).as_int().unwrap_or(0);
+    let x = |v: &Value| v.field(1).as_int().unwrap_or(0);
+    match code {
+        0 => q.map(MapUdf::new("inc", move |v| {
+            Value::pair(v.field(0).clone(), Value::from(x(v) + 1))
+        })),
+        1 => q.map(MapUdf::new("scale", move |v| {
+            Value::pair(v.field(0).clone(), Value::from(x(v) * 3))
+        })),
+        2 => q.map(MapUdf::new("rekey", move |v| {
+            Value::pair(Value::from((k(v) + x(v)).rem_euclid(7)), v.field(1).clone())
+        })),
+        3 => q.filter(PredicateUdf::new("pos", move |v| x(v) > 0)),
+        4 => q.filter(PredicateUdf::new("even", move |v| x(v) % 2 == 0)),
+        5 => q.flat_map(FlatMapUdf::new("dup", |v| vec![v.clone(), v.clone()])),
+        _ => q.flat_map(FlatMapUdf::new("split", move |v| {
+            vec![v.clone(), Value::pair(Value::from(k(v) + 1), Value::from(x(v) - 1))]
+        })),
+    }
+}
+
+fn sum_udf() -> ReduceUdf {
+    ReduceUdf::new("sum", |a, b| {
+        Value::pair(
+            a.field(0).clone(),
+            Value::from(a.field(1).as_int().unwrap_or(0) + b.field(1).as_int().unwrap_or(0)),
+        )
+    })
+}
+
+fn build_plan(spec: &Spec) -> (rheem_core::plan::RheemPlan, rheem_core::plan::OperatorId) {
+    let mut b = PlanBuilder::new();
+    let mut q = b.collection(spec.data_a.clone());
+    for &code in &spec.chain_a {
+        q = apply_op(q, code);
+    }
+    if let Some(chain_b) = &spec.chain_b {
+        let mut r = b.collection(spec.data_b.clone());
+        for &code in chain_b {
+            r = apply_op(r, code);
+        }
+        // Join on key, then flatten (l, r) pairs back into (key, sum) shape
+        // so terminals compose.
+        q = q.join(&r, KeyUdf::field(0), KeyUdf::field(0)).map(MapUdf::new("flatten", |v| {
+            let (l, r) = (v.field(0), v.field(1));
+            Value::pair(
+                l.field(0).clone(),
+                Value::from(l.field(1).as_int().unwrap_or(0) + r.field(1).as_int().unwrap_or(0)),
+            )
+        }));
+    }
+    q = match spec.terminal {
+        1 => q.reduce_by_key(KeyUdf::field(0), sum_udf()),
+        2 => q.distinct(),
+        3 => q.count(),
+        _ => q,
+    };
+    let sink = q.collect();
+    (b.build().unwrap(), sink)
+}
+
+/// Execute the spec and return the sink output in canonical (sorted) order.
+fn run_spec(spec: &Spec, ctx: &RheemContext) -> Result<Vec<Value>> {
+    let (plan, sink) = build_plan(spec);
+    let result = ctx.execute(&plan)?;
+    let mut out = result.sink(sink)?.to_vec();
+    out.sort();
+    Ok(out)
+}
+
+// ---- cross-platform agreement ------------------------------------------
+
+/// Every random plan computes identical results on all three general-purpose
+/// platforms, fused and unfused (6 executions per case).
+#[test]
+fn random_plans_agree_across_platforms_and_fusion() {
+    for case in 0u64..10 {
+        let spec = gen_spec(case);
+        let reference = run_spec(&spec, &rheem::default_context()).unwrap();
+        for forced in PLATFORMS {
+            for fusion in [true, false] {
+                let mut ctx = rheem::default_context().with_fusion(fusion);
+                ctx.forced_platform = Some(forced);
+                let out = run_spec(&spec, &ctx).unwrap();
+                assert_eq!(
+                    out, reference,
+                    "case {case} diverged on {forced:?} (fusion={fusion}): {spec:?}"
+                );
+            }
+        }
+    }
+}
+
+// ---- chaos: seeded random faults ---------------------------------------
+
+/// Under a seeded fault plan every run either survives (identical answer via
+/// retry/failover) or dies with a *typed* error — never a wrong answer.
+#[test]
+fn seeded_chaos_never_produces_wrong_answers() {
+    let mut injected_total = 0usize;
+    let mut survived = 0usize;
+    for chaos_seed in chaos_seeds() {
+        for case in 0u64..6 {
+            let spec = gen_spec(case);
+            let baseline = run_spec(&spec, &rheem::default_context()).unwrap();
+            let mut ctx = rheem::default_context();
+            ctx.config_mut().chaos_seed = Some(chaos_seed);
+            match run_spec(&spec, &ctx) {
+                Ok(out) => {
+                    assert_eq!(
+                        out, baseline,
+                        "chaos seed {chaos_seed:#x} case {case} changed the answer: {spec:?}"
+                    );
+                    survived += 1;
+                }
+                Err(RheemError::Fault(_) | RheemError::Exhausted(_) | RheemError::Optimizer(_)) => {
+                } // typed failure: acceptable
+                Err(other) => {
+                    panic!("chaos seed {chaos_seed:#x} case {case}: untyped error {other}")
+                }
+            }
+            injected_total += ctx.monitor().fault_records().len();
+        }
+    }
+    // The fixed seeds must actually exercise the machinery (deterministic,
+    // so this can never flake).
+    assert!(injected_total > 0, "chaos matrix injected nothing");
+    assert!(survived > 0, "chaos matrix never survived a run");
+}
+
+// ---- targeted faults ---------------------------------------------------
+
+/// Recoverable transient faults on every platform's operators leave results
+/// byte-identical to the fault-free baseline.
+#[test]
+fn recoverable_transient_faults_keep_answers_identical() {
+    for case in 0u64..4 {
+        let spec = gen_spec(case);
+        for forced in PLATFORMS {
+            let baseline = {
+                let mut ctx = rheem::default_context();
+                ctx.forced_platform = Some(forced);
+                run_spec(&spec, &ctx).unwrap()
+            };
+            let mut ctx = rheem::default_context();
+            ctx.forced_platform = Some(forced);
+            // Every operator site fails once; a generous budget keeps all
+            // recovery in place (no failover possible under forcing).
+            ctx.config_mut().retry_budget = 16;
+            ctx.config_mut().fault_plan = Some(Arc::new(
+                FaultPlan::none()
+                    .with_rule(FaultRule::new(FaultKind::Transient).on_platform(forced).failing(1)),
+            ));
+            let out = run_spec(&spec, &ctx).unwrap();
+            assert_eq!(out, baseline, "case {case} on {forced:?} changed under faults");
+            assert!(
+                ctx.monitor().retries() >= 1,
+                "case {case} on {forced:?}: no fault was injected"
+            );
+        }
+    }
+}
+
+/// Recoverable channel-transfer faults (collect/parallelize conversions)
+/// likewise never change answers.
+#[test]
+fn recoverable_transfer_faults_keep_answers_identical() {
+    for case in 0u64..4 {
+        let spec = gen_spec(case);
+        for forced in [ids::SPARK, ids::FLINK] {
+            let baseline = {
+                let mut ctx = rheem::default_context();
+                ctx.forced_platform = Some(forced);
+                run_spec(&spec, &ctx).unwrap()
+            };
+            let mut ctx = rheem::default_context();
+            ctx.forced_platform = Some(forced);
+            ctx.config_mut().retry_budget = 16;
+            ctx.config_mut().fault_plan = Some(Arc::new(
+                FaultPlan::none()
+                    .with_rule(FaultRule::new(FaultKind::Transfer).on_platform(forced).failing(1)),
+            ));
+            let out = run_spec(&spec, &ctx).unwrap();
+            assert_eq!(out, baseline, "case {case} on {forced:?} changed under transfer faults");
+        }
+    }
+}
+
+/// A persistent fault on a *forced* platform cannot fail over: it must
+/// surface as a typed budget-exhaustion error, never as a wrong answer.
+#[test]
+fn persistent_fault_on_forced_platform_surfaces_typed() {
+    let spec = gen_spec(1);
+    for forced in PLATFORMS {
+        let mut ctx = rheem::default_context();
+        ctx.forced_platform = Some(forced);
+        ctx.config_mut().fault_plan = Some(Arc::new(FaultPlan::none().with_rule(
+            FaultRule::new(FaultKind::Transient).on_platform(forced).failing(PERSISTENT),
+        )));
+        match run_spec(&spec, &ctx) {
+            Ok(_) => panic!("persistent fault on {forced:?} must not succeed"),
+            Err(RheemError::Exhausted(x)) => assert_eq!(x.platform, forced),
+            Err(other) => panic!("expected typed exhaustion on {forced:?}, got {other}"),
+        }
+    }
+}
+
+/// A persistent fault on the preferred platform *with free platform choice*
+/// completes via failover and still matches the baseline byte-for-byte.
+#[test]
+fn persistent_fault_fails_over_and_matches_baseline() {
+    for case in 0u64..4 {
+        let spec = gen_spec(case);
+        let baseline = run_spec(&spec, &rheem::default_context()).unwrap();
+        // Whichever platform the optimizer prefers first, kill it for good.
+        let preferred = {
+            let ctx = rheem::default_context();
+            let (plan, _) = build_plan(&spec);
+            *ctx.optimize(&plan)
+                .unwrap()
+                .platforms
+                .iter()
+                .find(|p| PLATFORMS.contains(p))
+                .expect("plan uses a general-purpose platform")
+        };
+        let mut ctx = rheem::default_context();
+        ctx.config_mut().fault_plan = Some(Arc::new(FaultPlan::none().with_rule(
+            FaultRule::new(FaultKind::Transient).on_platform(preferred).failing(PERSISTENT),
+        )));
+        let out = run_spec(&spec, &ctx).unwrap();
+        assert_eq!(out, baseline, "case {case}: failover from {preferred:?} changed the answer");
+        assert!(ctx.monitor().failovers() >= 1, "case {case}: expected a failover");
+    }
+}

@@ -91,24 +91,50 @@ fn double_plan() -> (rheem_core::plan::RheemPlan, rheem_core::plan::OperatorId) 
 #[test]
 fn transient_failure_is_retried_and_recovers() {
     let mut ctx = flaky_ctx(1);
-    ctx.config_mut().retries = 2;
+    ctx.config_mut().retry_budget = 2;
     // Pin to the flaky operator by making the plan choose it (it is free).
     let (plan, sink) = double_plan();
     let result = ctx.execute(&plan).unwrap();
     assert_eq!(result.sink(sink).unwrap()[0].as_int(), Some(0));
     assert_eq!(result.sink(sink).unwrap()[99].as_int(), Some(198));
     assert!(ctx.monitor().retries() >= 1);
+    assert!(result.metrics.retries >= 1);
+    assert_eq!(result.metrics.failovers, 0, "survived in place, no failover");
 }
 
 #[test]
-fn persistent_failure_surfaces_after_retry_budget() {
-    let mut ctx = flaky_ctx(100);
-    ctx.config_mut().retries = 2;
+fn budget_exhaustion_fails_over_to_surviving_platform() {
+    // FlakyMap (java.streams) never recovers: the stage exhausts its retry
+    // budget, java.streams is blacklisted, and the remainder re-plans onto a
+    // surviving platform — the §7.1 "possibly on a different platform".
+    let mut ctx = flaky_ctx(u32::MAX);
+    ctx.config_mut().retry_budget = 2;
+    let (plan, sink) = double_plan();
+    let result = ctx.execute(&plan).unwrap();
+    assert_eq!(result.sink(sink).unwrap()[0].as_int(), Some(0));
+    assert_eq!(result.sink(sink).unwrap()[99].as_int(), Some(198));
+    assert!(result.metrics.failovers >= 1, "must report the failover");
+    assert!(result.metrics.retries >= 2, "budget was consumed before failover");
+    assert!(
+        result.metrics.platforms.iter().any(|p| *p == ids::SPARK || *p == ids::FLINK),
+        "remainder must run on a surviving platform, got {:?}",
+        result.metrics.platforms
+    );
+    let faults = ctx.monitor().fault_records();
+    assert!(faults.iter().any(|f| !f.recovered), "exhaustion must be recorded");
+}
+
+#[test]
+fn persistent_failure_surfaces_with_failover_disabled() {
+    let mut ctx = flaky_ctx(u32::MAX);
+    ctx.config_mut().retry_budget = 2;
+    ctx.config_mut().failover = false;
     let (plan, _) = double_plan();
     let err = match ctx.execute(&plan) {
         Err(e) => e.to_string(),
         Ok(_) => panic!("expected failure"),
     };
+    assert!(err.contains("retry budget exhausted"), "{err}");
     assert!(err.contains("injected transient failure"), "{err}");
 }
 
