@@ -1,0 +1,77 @@
+//! Tracing-overhead benchmark: WordCount wall-clock with the trace
+//! subsystem on vs off, plus trace-derived per-stage virtual timings,
+//! written to `BENCH_PR3.json` at the repo root.
+//!
+//! The acceptance bar is that span collection costs < 5% wall-clock on
+//! WordCount (minimum over many iterations, so scheduler noise cancels).
+//!
+//! Run with `cargo run --release --bin trace_bench`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rheem_bench::{corpus_file, default_context, wordcount_plan};
+
+const ITERS: u32 = 40;
+
+fn min_wall_ms(tracing: bool, plan: &rheem_core::plan::RheemPlan) -> f64 {
+    let mut ctx = default_context();
+    ctx.config_mut().tracing = tracing;
+    ctx.execute(plan).unwrap(); // warm-up
+    let mut min = f64::INFINITY;
+    for _ in 0..ITERS {
+        let t = Instant::now();
+        ctx.execute(plan).unwrap();
+        min = min.min(t.elapsed().as_secs_f64() * 1000.0);
+    }
+    min
+}
+
+fn main() {
+    let path = corpus_file("trace_bench", 256, 5);
+    let (plan, _) = wordcount_plan(&path).unwrap();
+
+    let off_ms = min_wall_ms(false, &plan);
+    let on_ms = min_wall_ms(true, &plan);
+    let overhead_pct = ((on_ms - off_ms) / off_ms * 100.0).max(0.0);
+    println!(
+        "wordcount: tracing off {off_ms:.3} ms, on {on_ms:.3} ms -> overhead {overhead_pct:.2}% \
+         (min of {ITERS})"
+    );
+    assert!(
+        overhead_pct < 5.0,
+        "tracing overhead {overhead_pct:.2}% exceeds the 5% budget ({off_ms:.3} -> {on_ms:.3} ms)"
+    );
+
+    // Per-stage virtual timings straight from the trace of one traced run.
+    let ctx = default_context();
+    let result = ctx.execute(&plan).unwrap();
+    let trace = result.trace.expect("tracing on");
+    let mut stages: Vec<(String, f64, u32)> = Vec::new();
+    for r in trace.runs.iter().filter(|r| !r.superseded) {
+        let key = format!("phase{}/stage{} [{}]", r.phase, r.stage, r.platform);
+        match stages.iter_mut().find(|(k, _, _)| *k == key) {
+            Some((_, ms, n)) => {
+                *ms += r.virtual_ms;
+                *n += 1;
+            }
+            None => stages.push((key, r.virtual_ms, 1)),
+        }
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"trace_bench\",\n  \"task\": \"wordcount\",\n");
+    let _ = writeln!(json, "  \"iters\": {ITERS},");
+    let _ = writeln!(json, "  \"tracing_off_min_ms\": {off_ms:.3},");
+    let _ = writeln!(json, "  \"tracing_on_min_ms\": {on_ms:.3},");
+    let _ = writeln!(json, "  \"overhead_pct\": {overhead_pct:.3},");
+    let _ = writeln!(json, "  \"job_virtual_ms\": {:.3},", result.metrics.virtual_ms);
+    json.push_str("  \"stages_virtual_ms\": {\n");
+    for (i, (key, ms, runs)) in stages.iter().enumerate() {
+        let comma = if i + 1 < stages.len() { "," } else { "" };
+        let _ =
+            writeln!(json, "    \"{key}\": {{ \"virtual_ms\": {ms:.3}, \"runs\": {runs} }}{comma}");
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
+    println!("-- wrote BENCH_PR3.json ({} stage rows)", stages.len());
+}

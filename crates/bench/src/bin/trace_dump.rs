@@ -1,0 +1,79 @@
+//! Chaos trace dump: run WordCount under a seeded fault plan with tracing
+//! on, write the job trace as both the native JSON schema and a Chrome
+//! trace-event file (`chrome://tracing` / Perfetto), and validate that the
+//! native schema round-trips losslessly and the span-tree *structure* is
+//! byte-identical across two executions of the same seed.
+//!
+//! `CHAOS_SEED` selects the seed (default `0xC0FFEE`, the head of the CI
+//! chaos matrix). CI uploads the produced files as workflow artifacts.
+//!
+//! Run with `cargo run --release --bin trace_dump`.
+
+use rheem_bench::{corpus_file, default_context, wordcount_plan};
+use rheem_core::trace::{json, JobTrace};
+
+fn traced_run(seed: u64) -> (JobTrace, String) {
+    let path = corpus_file("trace_dump", 64, 5);
+    let (plan, _) = wordcount_plan(&path).unwrap();
+    let mut ctx = default_context();
+    ctx.config_mut().chaos_seed = Some(seed);
+    match ctx.execute(&plan) {
+        Ok(r) => {
+            let t = r.trace.expect("tracing is on by default");
+            (t, "survived".into())
+        }
+        Err(e) => {
+            // The seed killed the job (budget exhausted on every platform).
+            // Fall back to a fault-free run so the artifact still shows a
+            // complete span tree, and record why.
+            let ctx = default_context();
+            let r = ctx.execute(&plan).unwrap();
+            (r.trace.expect("tracing is on by default"), format!("fault-free fallback: {e}"))
+        }
+    }
+}
+
+fn main() {
+    let seed: u64 =
+        std::env::var("CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xC0FFEE);
+
+    let (trace, outcome) = traced_run(seed);
+    let (again, _) = traced_run(seed);
+    assert_eq!(
+        trace.render_structure(),
+        again.render_structure(),
+        "seed {seed:#x}: span-tree structure must be byte-identical across runs"
+    );
+
+    // Native schema round-trips losslessly (floats use shortest-round-trip
+    // formatting, so the parsed trace is equal, not merely close).
+    let encoded = trace.to_json();
+    let decoded = JobTrace::from_json(&encoded).expect("trace JSON must parse");
+    assert_eq!(decoded, trace, "trace JSON round-trip lost data");
+    assert_eq!(decoded.to_json(), encoded, "trace JSON round-trip not byte-stable");
+
+    // The Chrome export is valid JSON with one event per span at least.
+    let chrome = trace.to_chrome_json();
+    let parsed = json::parse(&chrome).expect("chrome trace must be valid JSON");
+    let top = parsed.as_obj("chrome trace").expect("chrome trace must be an object");
+    let events = json::get(top, "traceEvents")
+        .and_then(|e| e.as_arr("traceEvents"))
+        .expect("chrome trace must carry traceEvents");
+    assert!(events.len() >= trace.spans.len(), "chrome export dropped spans");
+
+    std::fs::create_dir_all("results").expect("mkdir results");
+    let native = format!("results/trace_{seed:#x}.json");
+    let chrome_path = format!("results/trace_{seed:#x}.chrome.json");
+    std::fs::write(&native, &encoded).expect("write native trace");
+    std::fs::write(&chrome_path, &chrome).expect("write chrome trace");
+
+    println!("seed {seed:#x}: {outcome}");
+    println!(
+        "spans={} profiles={} runs={} (effective {})",
+        trace.spans.len(),
+        trace.profiles.len(),
+        trace.runs.len(),
+        trace.runs.iter().filter(|r| !r.superseded).count()
+    );
+    println!("wrote {native} and {chrome_path}; round-trip + structure checks passed");
+}

@@ -7,20 +7,24 @@
 //! cardinality mismatches (5).
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 
 use crate::builtin::register_builtins;
 use crate::cardinality::Estimator;
-use crate::cost::CostModel;
+use crate::cost::{CostModel, Interval};
 use crate::error::{Result, RheemError};
 use crate::execplan::{build_exec_plan, ExecPlan};
 use crate::executor::{ExecConfig, ExplorationBuffer};
-use crate::monitor::Monitor;
+use crate::learner::{samples_from_trace, StageSample};
+use crate::metrics::MetricsRegistry;
+use crate::monitor::{check_cardinality, Health, Monitor};
 use crate::optimizer::{OptimizedPlan, Optimizer};
 use crate::plan::{OperatorId, RheemPlan};
 use crate::platform::{Platform, PlatformId, Profiles};
 use crate::progressive::run_progressive;
 use crate::registry::Registry;
+use crate::trace::JobTrace;
 use crate::value::Dataset;
 
 /// Job-level metrics reported with every result.
@@ -50,6 +54,9 @@ pub struct JobResult {
     pub metrics: JobMetrics,
     /// Exploration taps (exploratory mode only).
     pub exploration: ExplorationBuffer,
+    /// Span tree + per-operator profiles (when [`ExecConfig::tracing`] is
+    /// on, the default).
+    pub trace: Option<JobTrace>,
 }
 
 impl JobResult {
@@ -74,6 +81,7 @@ pub struct RheemContext {
     model: CostModel,
     config: ExecConfig,
     monitor: Monitor,
+    metrics: MetricsRegistry,
     /// Force every mappable operator onto one platform (platform-
     /// independence experiments; `None` = free choice).
     pub forced_platform: Option<PlatformId>,
@@ -96,6 +104,7 @@ impl RheemContext {
             model: CostModel::new(),
             config: ExecConfig::default(),
             monitor: Monitor::new(),
+            metrics: MetricsRegistry::new(),
             forced_platform: None,
         }
     }
@@ -166,6 +175,12 @@ impl RheemContext {
         &self.monitor
     }
 
+    /// The metrics registry (counters + virtual-time histograms accumulated
+    /// across jobs; snapshot as JSON or Prometheus text).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
     fn estimator(&self) -> Estimator {
         let mut e = Estimator::new();
         for s in self.registry.source_estimators() {
@@ -201,6 +216,12 @@ impl RheemContext {
 
     /// Execute a plan end-to-end (Algorithm 1).
     pub fn execute(&self, plan: &RheemPlan) -> Result<JobResult> {
+        self.execute_with(plan, &self.config)
+    }
+
+    /// Execute a plan with an explicit executor configuration (used by
+    /// [`RheemContext::explain_analyze`] to force tracing on).
+    fn execute_with(&self, plan: &RheemPlan, config: &ExecConfig) -> Result<JobResult> {
         // The monitor accumulates across jobs; report this job's delta.
         let retries_before = self.monitor.retries();
         let outcome = run_progressive(
@@ -209,11 +230,11 @@ impl RheemContext {
             &self.profiles,
             &self.model,
             || self.estimator(),
-            &self.config,
+            config,
             &self.monitor,
             self.forced_platform,
         )?;
-        Ok(JobResult {
+        let result = JobResult {
             sinks: outcome.sink_data,
             metrics: JobMetrics {
                 virtual_ms: outcome.virtual_ms,
@@ -225,6 +246,232 @@ impl RheemContext {
                 est_ms: outcome.est_ms,
             },
             exploration: outcome.exploration,
-        })
+            trace: outcome.trace,
+        };
+        self.record_job_metrics(&result);
+        Ok(result)
+    }
+
+    /// Feed the registry from a finished job: job-level counters plus
+    /// per-stage and per-operator virtual-time histograms from the trace.
+    fn record_job_metrics(&self, result: &JobResult) {
+        let m = &result.metrics;
+        self.metrics.inc("rheem_jobs_total", 1);
+        self.metrics.inc("rheem_replans_total", m.replans as u64);
+        self.metrics.inc("rheem_retries_total", m.retries as u64);
+        self.metrics.inc("rheem_failovers_total", m.failovers as u64);
+        self.metrics.observe("rheem_job_virtual_ms", m.virtual_ms);
+        if let Some(trace) = &result.trace {
+            for r in trace.runs.iter().filter(|r| !r.superseded) {
+                self.metrics.inc("rheem_stage_runs_total", 1);
+                self.metrics.observe("rheem_stage_virtual_ms", r.virtual_ms);
+            }
+            for p in trace.profiles_effective().filter(|p| !p.is_pseudo()) {
+                self.metrics.inc("rheem_operator_runs_total", 1);
+                self.metrics.inc("rheem_tuples_out_total", p.tuples_out);
+                self.metrics.observe("rheem_operator_virtual_ms", p.virtual_ms);
+            }
+        }
+    }
+
+    /// EXPLAIN ANALYZE: execute the plan with tracing forced on and join the
+    /// optimizer's per-operator cardinality intervals against the measured
+    /// profiles. Estimate misses beyond the configured cardinality-health
+    /// tau are flagged, and the same rows feed the cost learner via
+    /// [`ExplainAnalysis::samples`].
+    pub fn explain_analyze(&self, plan: &RheemPlan) -> Result<ExplainAnalysis> {
+        let opt = self.optimize(plan)?;
+        let mut config = self.config.clone();
+        config.tracing = true;
+        let result = self.execute_with(plan, &config)?;
+        let trace = result.trace.clone().expect("tracing forced on");
+        let tau = self.config.mismatch_tau;
+        let n_ops = plan.operators().len() as u32;
+
+        // One row per (phase, exec node, chain position), aggregated over
+        // repeated runs (loop iterations). Conversion nodes (no logical
+        // operator) get a single row keyed on position 0.
+        let mut order: Vec<(u32, usize, usize)> = Vec::new();
+        let mut agg: HashMap<(u32, usize, usize), AnalyzeRow> = HashMap::new();
+        for p in trace.profiles_effective().filter(|p| !p.is_pseudo()) {
+            let members: Vec<Option<u32>> = if p.logical.is_empty() {
+                vec![None]
+            } else {
+                p.logical.iter().copied().map(Some).collect()
+            };
+            for (pos, &lid) in members.iter().enumerate() {
+                let key = (p.phase, p.node, pos);
+                let row = agg.entry(key).or_insert_with(|| {
+                    order.push(key);
+                    // Logical ids of rewritten (phase > 1) plans do not name
+                    // operators of the submitted plan; annotate those rows
+                    // by id only.
+                    let in_original = lid.is_some() && p.phase == 1 && lid.unwrap() < n_ops;
+                    let op = lid.map(OperatorId);
+                    AnalyzeRow {
+                        op,
+                        label: match (op, in_original) {
+                            (Some(o), true) => plan.node(o).label(),
+                            (Some(o), false) => format!("op{}", o.0),
+                            (None, _) => p.name.clone(),
+                        },
+                        exec_name: p.name.clone(),
+                        platform: p.platform.clone(),
+                        est: in_original.then(|| opt.estimates.out_card(op.unwrap())),
+                        measured_tuples: 0,
+                        tuples_in: 0,
+                        virtual_ms: 0.0,
+                        runs: 0,
+                        retries: 0,
+                        fused: p.logical.len(),
+                        chain_tail: pos + 1 == members.len(),
+                        miss: false,
+                    }
+                });
+                row.runs += 1;
+                row.retries += p.retries;
+                row.virtual_ms += p.virtual_ms;
+                row.measured_tuples = p.tuples_out;
+                row.tuples_in = p.tuples_in;
+            }
+        }
+        let mut rows: Vec<AnalyzeRow> =
+            order.into_iter().map(|k| agg.remove(&k).unwrap()).collect();
+        for row in &mut rows {
+            if let (true, Some(est)) = (row.chain_tail, row.est) {
+                row.miss =
+                    check_cardinality(est, row.measured_tuples as f64, tau) == Health::Mismatch;
+            }
+        }
+        let samples = samples_from_trace(&trace);
+        Ok(ExplainAnalysis { rows, metrics: result.metrics.clone(), trace, samples, tau })
+    }
+}
+
+/// One EXPLAIN ANALYZE row: a logical operator (or channel-conversion
+/// operator) with its estimated cardinality interval and measured profile.
+#[derive(Clone, Debug)]
+pub struct AnalyzeRow {
+    /// Logical operator id (`None` for channel-conversion rows).
+    pub op: Option<OperatorId>,
+    /// Logical operator label (or execution-operator name for conversions).
+    pub label: String,
+    /// Execution operator that ran it (fused chains cover several rows).
+    pub exec_name: String,
+    /// Platform id string.
+    pub platform: String,
+    /// The optimizer's output-cardinality interval (`None` for conversions
+    /// and for operators introduced by a progressive plan rewrite).
+    pub est: Option<Interval>,
+    /// Measured output tuples of the covering execution operator (for fused
+    /// chain members this is the chain's output; see `fused`).
+    pub measured_tuples: u64,
+    /// Measured input tuples of the covering execution operator.
+    pub tuples_in: u64,
+    /// Virtual ms of the covering execution operator, summed over runs.
+    pub virtual_ms: f64,
+    /// Number of runs aggregated into this row (loop iterations).
+    pub runs: u32,
+    /// Retries absorbed across those runs.
+    pub retries: u32,
+    /// Length of the fused chain this operator ran in (0 for conversions,
+    /// 1 for standalone).
+    pub fused: usize,
+    /// Whether this row is the tail of its execution operator's chain (the
+    /// only position whose measured output is the operator's own).
+    pub chain_tail: bool,
+    /// Estimate miss: the measured cardinality left `[lo/tau, hi*tau]`.
+    pub miss: bool,
+}
+
+/// The result of [`RheemContext::explain_analyze`].
+pub struct ExplainAnalysis {
+    /// Per-operator rows in execution order.
+    pub rows: Vec<AnalyzeRow>,
+    /// Job metrics of the analyzed execution.
+    pub metrics: JobMetrics,
+    /// Full job trace of the analyzed execution.
+    pub trace: JobTrace,
+    /// Learner-ready stage samples extracted from the trace (the same rows
+    /// [`crate::learner::CostLearner`] trains on).
+    pub samples: Vec<StageSample>,
+    /// Cardinality-health tolerance used for the miss flags.
+    pub tau: f64,
+}
+
+impl ExplainAnalysis {
+    /// Rows flagged as estimate misses.
+    pub fn misses(&self) -> impl Iterator<Item = &AnalyzeRow> {
+        self.rows.iter().filter(|r| r.miss)
+    }
+}
+
+impl fmt::Display for ExplainAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "EXPLAIN ANALYZE (virtual time; tau={})", self.tau)?;
+        writeln!(
+            f,
+            "job: {:.3} ms virtual | est {:.3} ms | replans {} | retries {} | failovers {}",
+            self.metrics.virtual_ms,
+            self.metrics.est_ms,
+            self.metrics.replans,
+            self.metrics.retries,
+            self.metrics.failovers
+        )?;
+        let platforms: Vec<&str> = self.metrics.platforms.iter().map(|p| p.0).collect();
+        writeln!(f, "platforms: {}", platforms.join(", "))?;
+        writeln!(
+            f,
+            "{:<34} {:<13} {:>22} {:>10} {:>10} {:>12} {:>5}  flags",
+            "operator",
+            "platform",
+            "est.card [lo..hi]@conf",
+            "measured",
+            "in",
+            "virtual ms",
+            "runs"
+        )?;
+        for r in &self.rows {
+            let est = match r.est {
+                Some(e) => format!("[{:.0}..{:.0}]@{:.2}", e.lo, e.hi, e.conf),
+                None => "-".to_string(),
+            };
+            let mut flags = Vec::new();
+            if r.miss {
+                flags.push("MISS".to_string());
+            }
+            if r.fused > 1 {
+                flags.push(format!("fused({}/{})", r.fused, r.exec_name));
+            }
+            if r.op.is_none() {
+                flags.push("conversion".to_string());
+            }
+            if r.retries > 0 {
+                flags.push(format!("retries={}", r.retries));
+            }
+            writeln!(
+                f,
+                "{:<34} {:<13} {:>22} {:>10} {:>10} {:>12.3} {:>5}  {}",
+                truncate(&r.label, 34),
+                r.platform,
+                est,
+                r.measured_tuples,
+                r.tuples_in,
+                r.virtual_ms,
+                r.runs,
+                flags.join(" ")
+            )?;
+        }
+        let misses = self.misses().count();
+        writeln!(f, "estimate misses: {misses} | learner samples: {}", self.samples.len())
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(max.saturating_sub(1)).collect();
+        format!("{cut}…")
     }
 }

@@ -8,6 +8,7 @@ use crate::builtin::CONTROL;
 use crate::execplan::ExecPlan;
 use crate::optimizer::OptimizedPlan;
 use crate::plan::RheemPlan;
+use crate::trace::JobTrace;
 
 fn escape(s: &str) -> String {
     s.replace('"', "\\\"")
@@ -49,7 +50,17 @@ pub fn plan_to_dot(plan: &RheemPlan) -> String {
 
 /// Render an execution plan as a `dot` digraph with one cluster per stage,
 /// colored by platform — the shape of Fig. 7.
-pub fn exec_plan_to_dot(plan: &RheemPlan, _opt: &OptimizedPlan, eplan: &ExecPlan) -> String {
+///
+/// When a [`JobTrace`] from a run of this plan is supplied, every node is
+/// annotated with its measured profile (tuples in/out, virtual ms, retries)
+/// next to the optimizer's cardinality estimate — EXPLAIN ANALYZE in
+/// graph form.
+pub fn exec_plan_to_dot(
+    plan: &RheemPlan,
+    opt: &OptimizedPlan,
+    eplan: &ExecPlan,
+    trace: Option<&JobTrace>,
+) -> String {
     let mut out = String::from("digraph rheem_exec_plan {\n  rankdir=BT;\n  node [shape=box];\n");
     for stage in &eplan.stages {
         let color = platform_color(stage.platform.0);
@@ -65,7 +76,38 @@ pub fn exec_plan_to_dot(plan: &RheemPlan, _opt: &OptimizedPlan, eplan: &ExecPlan
         for &nid in &stage.nodes {
             let n = &eplan.nodes[nid];
             let conv = if n.logical.is_empty() { ", shape=ellipse" } else { "" };
-            let _ = writeln!(out, "    e{} [label=\"{}\"{}];", nid, escape(n.exec.name()), conv);
+            let mut label = escape(n.exec.name());
+            // Estimated output cardinality of the node's chain tail.
+            if let Some(&tail) = n.logical.last() {
+                let est = opt.estimates.out_card(tail);
+                let _ = write!(label, "\\nest [{:.0}..{:.0}]", est.lo, est.hi);
+            }
+            if let Some(t) = trace {
+                // Aggregate the node's effective main-operator profiles
+                // (phase 1 only: later phases re-number nodes).
+                let mut runs = 0u32;
+                let (mut tin, mut tout, mut vms) = (0u64, 0u64, 0.0f64);
+                let mut retries = 0u32;
+                for p in t.profiles_effective() {
+                    if p.phase == 1 && p.node == nid && !p.is_pseudo() {
+                        runs += 1;
+                        tin = p.tuples_in;
+                        tout = p.tuples_out;
+                        vms += p.virtual_ms;
+                        retries += p.retries;
+                    }
+                }
+                if runs > 0 {
+                    let _ = write!(label, "\\nmeasured {tin}→{tout}, {vms:.3} ms");
+                    if runs > 1 {
+                        let _ = write!(label, " ({runs} runs)");
+                    }
+                    if retries > 0 {
+                        let _ = write!(label, ", {retries} retries");
+                    }
+                }
+            }
+            let _ = writeln!(out, "    e{} [label=\"{}\"{}];", nid, label, conv);
         }
         out.push_str("  }\n");
     }
@@ -181,9 +223,11 @@ mod tests {
         )));
         let plan = plan_with_loop();
         let (opt, eplan) = ctx.compile(&plan).unwrap();
-        let dot = exec_plan_to_dot(&plan, &opt, &eplan);
+        let dot = exec_plan_to_dot(&plan, &opt, &eplan, None);
         assert!(dot.contains("cluster_stage"));
         assert!(dot.contains("feedback"), "{dot}");
         assert!(dot.contains("TestMap"));
+        assert!(dot.contains("est ["), "{dot}");
+        assert!(!dot.contains("measured"), "{dot}");
     }
 }

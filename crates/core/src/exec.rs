@@ -14,8 +14,20 @@ use crate::cost::Load;
 use crate::error::{Result, RheemError};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::platform::{PlatformId, PlatformProfile, Profiles};
+use crate::trace::AttrValue;
 use crate::udf::BroadcastCtx;
 use crate::value::Value;
+
+/// A platform-reported trace event: a named instant attached to the
+/// currently executing operator's span (shuffle volumes, BSP supersteps,
+/// pushed-down SQL, …). Collected only when tracing is enabled.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Event name, conventionally `platform.detail` (e.g. `spark.shuffle`).
+    pub name: String,
+    /// Typed attributes.
+    pub attrs: Vec<(String, AttrValue)>,
+}
 
 /// Platform-specific implementation of one (or a chain of) Rheem operators.
 pub trait ExecutionOperator: Send + Sync {
@@ -90,6 +102,8 @@ pub struct ExecCtx<'a> {
     faults: Option<Arc<FaultPlan>>,
     ops: Vec<OpMetrics>,
     virtual_ms: f64,
+    tracing: bool,
+    events: Vec<TraceEvent>,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -103,7 +117,34 @@ impl<'a> ExecCtx<'a> {
             faults: None,
             ops: Vec::new(),
             virtual_ms: 0.0,
+            tracing: false,
+            events: Vec::new(),
         }
+    }
+
+    /// Enable or disable trace-event collection (the executor turns it on
+    /// when a job trace is being recorded).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Whether trace events are being collected.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Report a platform-level trace event. The attribute closure only runs
+    /// when tracing is enabled, so disabled runs pay a single branch.
+    pub fn trace_event(&mut self, name: &str, attrs: impl FnOnce() -> Vec<(String, AttrValue)>) {
+        if self.tracing {
+            self.events.push(TraceEvent { name: name.to_string(), attrs: attrs() });
+        }
+    }
+
+    /// Drain collected trace events (the executor attaches them to the
+    /// operator span).
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// Arm the context with the job's fault plan (chaos testing).

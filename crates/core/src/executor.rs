@@ -20,6 +20,7 @@ use crate::monitor::{check_cardinality, FaultRecord, Health, Monitor, StageRun};
 use crate::optimizer::OptimizedPlan;
 use crate::plan::{LogicalOp, OperatorId, RheemPlan};
 use crate::platform::Profiles;
+use crate::trace::{OpProfile, RunProfile, SpanKind, Trace};
 use crate::udf::BroadcastCtx;
 use crate::value::{Dataset, Value};
 
@@ -63,6 +64,9 @@ pub struct ExecConfig {
     /// Explicit fault plan (targeted rules); takes precedence over
     /// `chaos_seed`.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Record a job trace (span tree + per-operator profiles) with every
+    /// execution; see [`crate::trace`].
+    pub tracing: bool,
 }
 
 impl ExecConfig {
@@ -95,8 +99,22 @@ impl Default for ExecConfig {
             failover: true,
             chaos_seed: None,
             fault_plan: None,
+            tracing: true,
         }
     }
+}
+
+/// Where an executor writes its trace: the shared collector, the span to
+/// parent stage spans under, and the job-timeline offset of this phase
+/// (virtual ms already consumed by earlier phases).
+#[derive(Clone)]
+pub struct TraceHandle {
+    /// Shared trace collector.
+    pub trace: Arc<Trace>,
+    /// Parent span for this phase's stage/loop spans.
+    pub parent: u32,
+    /// Virtual-time offset of this executor run on the job timeline, ms.
+    pub base_ms: f64,
 }
 
 /// Data captured by sniffers in exploratory mode.
@@ -163,6 +181,7 @@ pub struct Executor<'a> {
     config: &'a ExecConfig,
     monitor: &'a Monitor,
     faults: Option<Arc<FaultPlan>>,
+    trace: Option<TraceHandle>,
 }
 
 struct RunState {
@@ -192,6 +211,11 @@ struct RunState {
     stage_attempts: HashMap<(usize, u64), u32>,
     /// Retries absorbed by the currently open stage run.
     run_retries: u32,
+    /// Open trace span of the current stage run, with its run ordinal.
+    run_span: Option<(u32, u32)>,
+    /// Parent span for new stage spans (phase span, or the innermost
+    /// iteration span inside loops). `None` when tracing is off.
+    span_parent: Option<u32>,
     /// Loops currently in flight (innermost last); their nodes hold partial
     /// state and must not count as executed in a failover cut.
     active_loops: Vec<OperatorId>,
@@ -208,7 +232,7 @@ impl<'a> Executor<'a> {
         monitor: &'a Monitor,
     ) -> Self {
         let faults = config.resolve_fault_plan();
-        Self { plan, opt, eplan, profiles, config, monitor, faults }
+        Self { plan, opt, eplan, profiles, config, monitor, faults, trace: None }
     }
 
     /// Use this (job-wide, shared) fault plan instead of resolving one from
@@ -216,6 +240,14 @@ impl<'a> Executor<'a> {
     /// phase so attempt counters survive replans and failovers.
     pub fn with_faults(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Record spans and operator profiles into this trace (the progressive
+    /// driver hands every phase the same collector with a fresh parent span
+    /// and the cumulative virtual-time offset).
+    pub fn with_trace(mut self, trace: Option<TraceHandle>) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -240,6 +272,8 @@ impl<'a> Executor<'a> {
             wall_start: Instant::now(),
             stage_attempts: HashMap::new(),
             run_retries: 0,
+            run_span: None,
+            span_parent: self.trace.as_ref().map(|h| h.parent),
             active_loops: Vec::new(),
         };
         let pause = match self.run_region(&mut st, None) {
@@ -355,11 +389,36 @@ impl<'a> Executor<'a> {
         // deliberately do NOT pop, so `run` sees the loop as active).
         st.active_loops.push(tail);
         let outer_floor = st.floor;
+        let outer_parent = st.span_parent;
+        let loop_span = self.trace.as_ref().map(|h| {
+            let sid = h.trace.begin(
+                outer_parent,
+                SpanKind::Loop,
+                &self.plan.node(tail).label(),
+                None,
+                h.base_ms + st.floor.max(state_vfinish),
+            );
+            h.trace.attr(sid, "op", tail.0.into());
+            h.trace.attr(sid, "max_iterations", max_iters.into());
+            sid
+        });
         for i in 0..max_iters {
             st.iteration = i as u64;
             st.values[head] = Some(state.clone());
             st.vfinish[head] = state_vfinish;
             st.floor = st.floor.max(state_vfinish);
+            let iter_span = self.trace.as_ref().map(|h| {
+                h.trace.begin(
+                    loop_span,
+                    SpanKind::Iteration,
+                    &format!("iteration {i}"),
+                    None,
+                    h.base_ms + st.floor,
+                )
+            });
+            if iter_span.is_some() {
+                st.span_parent = iter_span;
+            }
             // Clear all nodes nested (transitively) inside this loop.
             for (vid, v) in st.values.iter_mut().enumerate() {
                 if self.nested_in_loop(vid, tail) {
@@ -374,6 +433,9 @@ impl<'a> Executor<'a> {
                 .clone()
                 .ok_or_else(|| RheemError::Execution("loop feedback missing".into()))?;
             state_vfinish = st.vfinish[feedback_provider];
+            if let (Some(h), Some(sid)) = (&self.trace, iter_span) {
+                h.trace.end(sid, h.base_ms + state_vfinish);
+            }
             if let Some(cond) = &cond {
                 let data = state.flatten()?;
                 let done = data.first().map(|v| cond.call(v, &BroadcastCtx::new())).unwrap_or(true);
@@ -385,6 +447,10 @@ impl<'a> Executor<'a> {
         st.active_loops.pop();
         st.iteration = outer_iteration;
         st.floor = outer_floor;
+        st.span_parent = outer_parent;
+        if let (Some(h), Some(sid)) = (&self.trace, loop_span) {
+            h.trace.end(sid, h.base_ms + state_vfinish);
+        }
         st.values[head] = Some(state);
         st.vfinish[head] = state_vfinish;
         if let Some(tail_op) = self.eplan.nodes[head].tail() {
@@ -463,6 +529,24 @@ impl<'a> Executor<'a> {
             // spin up and schedule concurrently with upstream work.
             st.run_base = st.floor + pending_overhead;
             vstart = vstart.max(st.run_base);
+            if let Some(h) = &self.trace {
+                let run_id = h.trace.next_run_id();
+                let sid = h.trace.begin(
+                    st.span_parent,
+                    SpanKind::Stage,
+                    &format!("stage {}", node.stage),
+                    Some(self.eplan.stages[node.stage].platform),
+                    h.base_ms + st.floor,
+                );
+                h.trace.attr(sid, "stage", node.stage.into());
+                h.trace.attr(sid, "iteration", st.iteration.into());
+                h.trace.attr(sid, "phase", h.trace.phase().into());
+                h.trace.attr(sid, "run", run_id.into());
+                if pending_overhead > 0.0 {
+                    h.trace.attr(sid, "overhead_ms", pending_overhead.into());
+                }
+                st.run_span = Some((sid, run_id));
+            }
         }
 
         // Execute, with cross-platform fault tolerance (§7.1): transient
@@ -472,10 +556,12 @@ impl<'a> Executor<'a> {
         let wall = Instant::now();
         let mut ctx;
         let mut backoff_ms = 0.0;
+        let mut node_retries = 0u32;
         let out = loop {
             ctx = ExecCtx::new(self.profiles, self.config.seed.wrapping_add(nid as u64));
             ctx.iteration = st.iteration;
             ctx.stage = node.stage;
+            ctx.set_tracing(self.trace.is_some());
             ctx.set_faults(self.faults.clone());
             // Stage crashes strike the submission itself, before any
             // operator code runs; operator/transfer faults strike inside
@@ -511,6 +597,23 @@ impl<'a> Executor<'a> {
                         attempt: failures,
                         recovered: within_budget,
                     });
+                    if let Some(h) = &self.trace {
+                        let parent = st.run_span.map(|(s, _)| s).or(st.span_parent);
+                        let sid = h.trace.instant(
+                            parent,
+                            SpanKind::Retry,
+                            node.exec.name(),
+                            Some(platform),
+                            h.base_ms + vstart,
+                        );
+                        h.trace.attr(sid, "attempt", failures.into());
+                        let kind = e
+                            .fault()
+                            .map(|i| format!("{:?}", i.kind))
+                            .unwrap_or_else(|| "organic".to_string());
+                        h.trace.attr(sid, "kind", kind.into());
+                        h.trace.attr(sid, "recovered", i64::from(within_budget).into());
+                    }
                     if !within_budget {
                         if platform == CONTROL {
                             // The driver is the failover mechanism itself —
@@ -526,6 +629,7 @@ impl<'a> Executor<'a> {
                     }
                     self.monitor.count_retry();
                     st.run_retries += 1;
+                    node_retries += 1;
                     backoff_ms +=
                         self.config.backoff_base_ms * (1u64 << (failures - 1).min(20)) as f64;
                 }
@@ -534,6 +638,7 @@ impl<'a> Executor<'a> {
         };
         let real_ms = wall.elapsed().as_secs_f64() * 1000.0;
         let (mut ops, mut vdur) = ctx.take_metrics();
+        let events = ctx.take_events();
         if ops.is_empty() {
             // Operators that do not self-report get wall-clock attribution.
             let scaled = real_ms * self.profiles.get(platform).cpu_scale;
@@ -586,6 +691,75 @@ impl<'a> Executor<'a> {
             }
         }
 
+        // Trace: lay the node's operator metrics out sequentially from its
+        // dependency-ordered start, and record a profile per metric so the
+        // learner and EXPLAIN ANALYZE see uniform per-operator rows.
+        if let Some(h) = &self.trace {
+            let parent = st.run_span.map(|(s, _)| s).or(st.span_parent);
+            let run_id = st.run_span.map(|(_, r)| r).unwrap_or(0);
+            let phase = h.trace.phase();
+            let mut t = vstart;
+            let mut main_span = None;
+            for m in &ops {
+                let kind = match m.name.as_str() {
+                    "RetryBackoff" => SpanKind::Backoff,
+                    "Sniffer" => SpanKind::Sniffer,
+                    _ if node.logical.is_empty() => SpanKind::Conversion,
+                    _ => SpanKind::Operator,
+                };
+                let is_main = matches!(kind, SpanKind::Operator | SpanKind::Conversion);
+                let first_main = is_main && main_span.is_none();
+                let sid = h.trace.begin(parent, kind, &m.name, Some(m.platform), h.base_ms + t);
+                h.trace.attr(sid, "node", nid.into());
+                h.trace.attr(sid, "tuples_in", m.in_card.into());
+                h.trace.attr(sid, "tuples_out", m.out_card.into());
+                if first_main && node.logical.len() > 1 {
+                    h.trace.attr(sid, "fused", node.logical.len().into());
+                }
+                if first_main && node_retries > 0 {
+                    h.trace.attr(sid, "retries", node_retries.into());
+                }
+                h.trace.end(sid, h.base_ms + t + m.virtual_ms);
+                t += m.virtual_ms;
+                if first_main {
+                    main_span = Some(sid);
+                }
+                h.trace.add_profile(OpProfile {
+                    name: m.name.clone(),
+                    platform: m.platform.0.to_string(),
+                    node: nid,
+                    stage: node.stage,
+                    iteration: st.iteration,
+                    phase,
+                    run: run_id,
+                    logical: if first_main {
+                        node.logical.iter().map(|l| l.0).collect()
+                    } else {
+                        Vec::new()
+                    },
+                    tuples_in: m.in_card,
+                    tuples_out: m.out_card,
+                    virtual_ms: m.virtual_ms,
+                    retries: if first_main { node_retries } else { 0 },
+                    superseded: false,
+                });
+            }
+            if let Some(ms) = main_span {
+                for ev in &events {
+                    let sid = h.trace.instant(
+                        Some(ms),
+                        SpanKind::Event,
+                        &ev.name,
+                        Some(platform),
+                        h.base_ms + vstart,
+                    );
+                    for (k, v) in &ev.attrs {
+                        h.trace.attr(sid, k, v.clone());
+                    }
+                }
+            }
+        }
+
         st.vfinish[nid] = vstart + vdur;
         st.run_clock = st.vfinish[nid];
         st.job_virtual_ms = st.job_virtual_ms.max(st.vfinish[nid]);
@@ -603,6 +777,22 @@ impl<'a> Executor<'a> {
 
     fn close_stage_run(&self, st: &mut RunState) {
         if let Some(stage) = st.open_stage.take() {
+            if let Some(h) = &self.trace {
+                if let Some((sid, run_id)) = st.run_span.take() {
+                    h.trace.end(sid, h.base_ms + st.run_clock.max(st.run_base));
+                    h.trace.attr(sid, "virtual_ms", st.run_virtual_ms.into());
+                    h.trace.add_run(RunProfile {
+                        phase: h.trace.phase(),
+                        run: run_id,
+                        stage,
+                        platform: self.eplan.stages[stage].platform.0.to_string(),
+                        iteration: st.iteration,
+                        virtual_ms: st.run_virtual_ms,
+                        retries: st.run_retries,
+                        superseded: false,
+                    });
+                }
+            }
             let run = StageRun {
                 stage,
                 platform: self.eplan.stages[stage].platform,
@@ -661,6 +851,21 @@ impl<'a> Executor<'a> {
             .collect();
         if !stale_stages.is_empty() {
             self.monitor.supersede_current_phase(&stale_stages);
+            if let Some(h) = &self.trace {
+                h.trace.supersede_current_phase(&stale_stages);
+            }
+        }
+        if let Some(h) = &self.trace {
+            let sid = h.trace.instant(
+                Some(h.parent),
+                SpanKind::Failover,
+                &format!("failover from {}", cause.platform),
+                Some(cause.platform),
+                h.base_ms + st.job_virtual_ms,
+            );
+            h.trace.attr(sid, "stage", cause.stage.into());
+            h.trace.attr(sid, "attempts", cause.attempts.into());
+            h.trace.attr(sid, "cause", cause.cause.clone().into());
         }
         // Partial-iteration measurements of in-flight loop bodies must not
         // leak into the re-optimizer's estimates.

@@ -76,6 +76,33 @@ pub fn samples_from_monitor(monitor: &Monitor) -> Vec<StageSample> {
         .collect()
 }
 
+/// Extract training samples from a job trace: one sample per effective
+/// (non-superseded) stage run, joining the run's measured virtual time with
+/// its operators' true cardinalities. Produces the same rows as
+/// [`samples_from_monitor`] for the same job, so calibration can run off
+/// traces alone — no ad-hoc `StageRun` filtering needed.
+pub fn samples_from_trace(trace: &crate::trace::JobTrace) -> Vec<StageSample> {
+    trace
+        .runs
+        .iter()
+        .filter(|r| !r.superseded && r.virtual_ms > 0.0)
+        .filter_map(|r| {
+            let ops: Vec<OpObs> = trace
+                .profiles
+                .iter()
+                .filter(|p| p.phase == r.phase && p.run == r.run && p.name != "RetryBackoff")
+                .map(|p| OpObs {
+                    platform: p.platform.clone(),
+                    op: p.name.clone(),
+                    in_card: p.tuples_in as f64,
+                    out_card: p.tuples_out as f64,
+                })
+                .collect();
+            (!ops.is_empty()).then_some(StageSample { ops, measured_ms: r.virtual_ms })
+        })
+        .collect()
+}
+
 /// Serialize samples to the tab-separated execution-log format.
 pub fn write_samples(path: &Path, samples: &[StageSample]) -> Result<()> {
     let mut out = String::new();

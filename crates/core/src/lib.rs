@@ -45,6 +45,7 @@ pub mod fused;
 pub mod kernels;
 pub mod learner;
 pub mod mapping;
+pub mod metrics;
 pub mod monitor;
 pub mod movement;
 pub mod optimizer;
@@ -52,18 +53,21 @@ pub mod plan;
 pub mod platform;
 pub mod progressive;
 pub mod registry;
+pub mod trace;
 pub mod udf;
 pub mod value;
 
 /// Convenient re-exports for application code.
 pub mod prelude {
-    pub use crate::api::{JobMetrics, JobResult, RheemContext};
+    pub use crate::api::{AnalyzeRow, ExplainAnalysis, JobMetrics, JobResult, RheemContext};
     pub use crate::error::{Result, RheemError};
+    pub use crate::metrics::MetricsRegistry;
     pub use crate::plan::{
         DataQuanta, IneqCond, LogicalOp, OperatorId, PlanBuilder, RheemPlan, SampleMethod,
         SampleSize,
     };
     pub use crate::platform::{ids, Platform, PlatformId};
+    pub use crate::trace::{JobTrace, OpProfile, Span, SpanKind};
     pub use crate::udf::{
         BroadcastCtx, CmpOp, FlatMapUdf, KeyUdf, MapUdf, PredicateUdf, ReduceUdf, Sarg,
     };

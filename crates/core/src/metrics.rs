@@ -1,0 +1,196 @@
+//! Job metrics registry: monotonic counters and virtual-time histograms
+//! with JSON and Prometheus text-exposition snapshots.
+//!
+//! [`crate::api::RheemContext`] owns one registry and feeds it after every
+//! job from the job's [`crate::api::JobMetrics`] and trace, so long-running
+//! drivers can scrape cumulative operational metrics without keeping every
+//! [`crate::trace::JobTrace`] around.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Default bucket upper bounds for virtual-millisecond histograms.
+pub const DEFAULT_MS_BOUNDS: [f64; 12] =
+    [0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1_000.0, 5_000.0];
+
+/// A cumulative histogram over fixed bucket bounds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    /// Bucket upper bounds (an implicit `+Inf` bucket follows the last).
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (len = `bounds.len() + 1`).
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Self { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], count: 0, sum: 0.0 }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe metrics registry (counters + histograms).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment counter `name` by `delta`.
+    pub fn inc(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Observe `value` in histogram `name` (created with
+    /// [`DEFAULT_MS_BOUNDS`] on first use).
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(&DEFAULT_MS_BOUNDS))
+            .observe(value);
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.lock().unwrap().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of a histogram, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner.lock().unwrap().histograms.get(name).cloned()
+    }
+
+    /// JSON snapshot of every counter and histogram (key-sorted, so the
+    /// output is deterministic given the same observations).
+    pub fn snapshot_json(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in inner.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in inner.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ =
+                write!(out, "\"{k}\":{{\"count\":{},\"sum\":{:.6},\"buckets\":[", h.count, h.sum);
+            for (j, (&b, &c)) in h.bounds.iter().zip(&h.counts).enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{b},{c}]");
+            }
+            if !h.bounds.is_empty() {
+                out.push(',');
+            }
+            let _ = write!(out, "[null,{}]]}}", h.counts[h.bounds.len()]);
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Prometheus text-exposition snapshot (counters as `counter`,
+    /// histograms as cumulative-bucket `histogram` families).
+    pub fn snapshot_prometheus(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for (k, v) in &inner.counters {
+            let _ = writeln!(out, "# TYPE {k} counter");
+            let _ = writeln!(out, "{k} {v}");
+        }
+        for (k, h) in &inner.histograms {
+            let _ = writeln!(out, "# TYPE {k} histogram");
+            let mut cum = 0u64;
+            for (&b, &c) in h.bounds.iter().zip(&h.counts) {
+                cum += c;
+                let _ = writeln!(out, "{k}_bucket{{le=\"{b}\"}} {cum}");
+            }
+            cum += h.counts[h.bounds.len()];
+            let _ = writeln!(out, "{k}_bucket{{le=\"+Inf\"}} {cum}");
+            let _ = writeln!(out, "{k}_sum {}", h.sum);
+            let _ = writeln!(out, "{k}_count {}", h.count);
+        }
+        out
+    }
+
+    /// Clear every counter and histogram.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.counters.clear();
+        inner.histograms.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let m = MetricsRegistry::new();
+        m.inc("rheem_jobs_total", 1);
+        m.inc("rheem_jobs_total", 2);
+        assert_eq!(m.counter("rheem_jobs_total"), 3);
+        assert_eq!(m.counter("missing"), 0);
+        m.reset();
+        assert_eq!(m.counter("rheem_jobs_total"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let m = MetricsRegistry::new();
+        m.observe("rheem_job_virtual_ms", 0.4);
+        m.observe("rheem_job_virtual_ms", 7.0);
+        m.observe("rheem_job_virtual_ms", 1_000_000.0);
+        let h = m.histogram("rheem_job_virtual_ms").unwrap();
+        assert_eq!(h.count, 3);
+        assert!((h.sum - 1_000_007.4).abs() < 1e-9);
+        assert_eq!(h.counts[0], 1); // <= 0.5
+        assert_eq!(h.counts[h.bounds.len()], 1); // +Inf overflow bucket
+    }
+
+    #[test]
+    fn snapshots_render_both_families() {
+        let m = MetricsRegistry::new();
+        m.inc("rheem_retries_total", 2);
+        m.observe("rheem_stage_virtual_ms", 3.0);
+        let json = m.snapshot_json();
+        assert!(json.contains("\"rheem_retries_total\":2"));
+        assert!(json.contains("\"rheem_stage_virtual_ms\""));
+        // Valid JSON by our own parser.
+        assert!(crate::trace::json::parse(&json).is_ok());
+        let prom = m.snapshot_prometheus();
+        assert!(prom.contains("# TYPE rheem_retries_total counter"));
+        assert!(prom.contains("rheem_stage_virtual_ms_bucket{le=\"+Inf\"} 1"));
+        assert!(prom.contains("rheem_stage_virtual_ms_count 1"));
+    }
+}

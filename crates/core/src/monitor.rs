@@ -174,10 +174,13 @@ impl Monitor {
         self.runs.lock().unwrap().iter().filter(|r| !r.superseded).cloned().collect()
     }
 
-    /// Total virtual time across recorded runs (diagnostic; the executor's
-    /// dependency-aware composition is authoritative for job runtime).
+    /// Total virtual time across effective runs — superseded runs (work a
+    /// failover re-executed elsewhere) are excluded, so the sum reflects
+    /// work that contributed to the job's results (diagnostic; the
+    /// executor's dependency-aware composition is authoritative for job
+    /// runtime).
     pub fn total_virtual_ms(&self) -> f64 {
-        self.runs.lock().unwrap().iter().map(|r| r.virtual_ms).sum()
+        self.runs.lock().unwrap().iter().filter(|r| !r.superseded).map(|r| r.virtual_ms).sum()
     }
 
     /// Clear all records (between jobs).
@@ -246,6 +249,8 @@ mod tests {
         assert!(runs[1].superseded, "current phase + listed stage marked");
         assert!(!runs[2].superseded, "unlisted stage untouched");
         assert_eq!(m.stage_runs_effective().len(), 2);
+        // total_virtual_ms counts effective runs only (1.0 + 3.0).
+        assert!((m.total_virtual_ms() - 4.0).abs() < 1e-12);
     }
 
     #[test]

@@ -14,12 +14,15 @@ use crate::cardinality::Estimator;
 use crate::cost::CostModel;
 use crate::error::{Result, RheemError};
 use crate::execplan::build_exec_plan;
-use crate::executor::{Checkpoint, ExecConfig, Execution, Executor, ExplorationBuffer, Outcome};
+use crate::executor::{
+    Checkpoint, ExecConfig, Execution, Executor, ExplorationBuffer, Outcome, TraceHandle,
+};
 use crate::monitor::Monitor;
 use crate::optimizer::Optimizer;
 use crate::plan::{LogicalOp, OperatorId, RheemPlan};
 use crate::platform::{PlatformId, Profiles};
 use crate::registry::Registry;
+use crate::trace::{JobTrace, SpanKind, Trace};
 use crate::value::Dataset;
 
 /// Result of a progressive run: Algorithm 1's output.
@@ -42,6 +45,9 @@ pub struct ProgressiveOutcome {
     pub est_ms: f64,
     /// Exploration taps across all phases.
     pub exploration: ExplorationBuffer,
+    /// Span tree + per-operator profiles of the whole job (when
+    /// [`ExecConfig::tracing`] is on).
+    pub trace: Option<JobTrace>,
 }
 
 /// Rewrite a plan at a checkpoint: executed operators with still-needed
@@ -157,14 +163,41 @@ pub fn run_progressive(
     let faults = config.resolve_fault_plan();
     // Platforms that exhausted a retry budget; excluded from re-enumeration.
     let mut blacklist: Vec<PlatformId> = Vec::new();
+    // Job trace: one shared collector; every phase parents its spans under
+    // a fresh phase span at the cumulative virtual-time offset.
+    let trace = if config.tracing { Some(Arc::new(Trace::new())) } else { None };
+    let job_span = trace.as_ref().map(|t| {
+        let sid = t.begin(None, SpanKind::Job, "job", None, 0.0);
+        t.instant(Some(sid), SpanKind::Submit, "submit", None, 0.0);
+        sid
+    });
 
     loop {
+        let phase_span = trace.as_ref().map(|t| {
+            let p = t.begin_phase();
+            t.begin(job_span, SpanKind::Phase, &format!("phase {p}"), None, virtual_ms)
+        });
         let phase_plan = current.as_ref().unwrap_or(plan);
         let mut optimizer = Optimizer::new(registry, profiles, model);
         optimizer.forced_platform = forced_platform;
         optimizer.blacklist = blacklist.clone();
         let estimator = base_estimator();
         let opt = optimizer.optimize(phase_plan, &estimator)?;
+        if let (Some(t), Some(ps)) = (&trace, phase_span) {
+            let os = t.begin(Some(ps), SpanKind::Optimize, "optimize", None, virtual_ms);
+            t.attr(os, "operators", phase_plan.operators().len().into());
+            t.attr(os, "est_ms", opt.est_ms.into());
+            let es = t.instant(Some(os), SpanKind::Enumeration, "enumerate", None, virtual_ms);
+            t.attr(es, "candidates", opt.stats.candidates.into());
+            t.attr(es, "partials_created", opt.stats.partials_created.into());
+            t.attr(es, "partials_pruned", opt.stats.partials_pruned.into());
+            let cs = t.instant(Some(os), SpanKind::Costing, "cost", None, virtual_ms);
+            t.attr(cs, "est_lo_ms", opt.est_interval.lo.into());
+            t.attr(cs, "est_hi_ms", opt.est_interval.hi.into());
+            t.attr(cs, "confidence", opt.est_interval.conf.into());
+            t.attr(cs, "platforms", format!("{:?}", opt.platforms).into());
+            t.end(os, virtual_ms);
+        }
         if est_ms.is_none() {
             est_ms = Some(opt.est_ms);
         }
@@ -174,8 +207,15 @@ pub fn run_progressive(
             }
         }
         let eplan = build_exec_plan(phase_plan, &opt, registry, profiles, model)?;
+        let handle = match (&trace, phase_span) {
+            (Some(t), Some(ps)) => {
+                Some(TraceHandle { trace: Arc::clone(t), parent: ps, base_ms: virtual_ms })
+            }
+            _ => None,
+        };
         let executor = Executor::new(phase_plan, &opt, &eplan, profiles, config, monitor)
-            .with_faults(faults.clone());
+            .with_faults(faults.clone())
+            .with_trace(handle);
         monitor.begin_phase();
         match executor.run()? {
             Outcome::Finished(Execution {
@@ -191,6 +231,14 @@ pub fn run_progressive(
                     let orig = sink_map.get(&new_id).copied().unwrap_or(new_id);
                     sink_data.insert(orig, data);
                 }
+                if let (Some(t), Some(ps)) = (&trace, phase_span) {
+                    t.end(ps, virtual_ms);
+                }
+                if let (Some(t), Some(js)) = (&trace, job_span) {
+                    t.attr(js, "replans", replans.into());
+                    t.attr(js, "failovers", failovers.into());
+                    t.end(js, virtual_ms);
+                }
                 return Ok(ProgressiveOutcome {
                     sink_data,
                     virtual_ms,
@@ -200,14 +248,15 @@ pub fn run_progressive(
                     platforms,
                     est_ms: est_ms.unwrap_or(0.0),
                     exploration,
+                    trace: trace.map(|t| t.snapshot()),
                 });
             }
             outcome => {
-                let cp = match outcome {
+                let (cp, rewrite_cause) = match outcome {
                     Outcome::Paused(cp) => {
                         replans += 1;
                         monitor.count_replan();
-                        cp
+                        (cp, "cardinality-mismatch")
                     }
                     Outcome::Failover { checkpoint, cause } => {
                         if forced_platform == Some(cause.platform) {
@@ -218,10 +267,23 @@ pub fn run_progressive(
                         failovers += 1;
                         monitor.count_failover();
                         blacklist.push(cause.platform);
-                        checkpoint
+                        (checkpoint, "failover")
                     }
                     Outcome::Finished(_) => unreachable!("handled above"),
                 };
+                if let (Some(t), Some(ps)) = (&trace, phase_span) {
+                    t.end(ps, virtual_ms + cp.virtual_ms);
+                    let sid = t.instant(
+                        job_span,
+                        SpanKind::PlanRewrite,
+                        "plan-rewrite",
+                        None,
+                        virtual_ms + cp.virtual_ms,
+                    );
+                    t.attr(sid, "cause", rewrite_cause.into());
+                    t.attr(sid, "executed_ops", cp.executed.len().into());
+                    t.attr(sid, "materialized", cp.materialized.len().into());
+                }
                 virtual_ms += cp.virtual_ms + REPLAN_MS;
                 real_ms += cp.real_ms;
                 exploration.taps.extend(cp.exploration.taps.clone());

@@ -316,6 +316,14 @@ impl ExecutionOperator for FlinkOperator {
         };
         let in_card: u64 = parts.iter().map(|p| p.len() as u64).sum::<u64>()
             + inputs.get(1).and_then(|c| c.cardinality()).unwrap_or(0) as u64;
+        let n_parts = parts.len();
+        ctx.trace_event("flink.vertex", || {
+            vec![
+                ("workers".to_string(), workers.into()),
+                ("partitions".to_string(), n_parts.into()),
+                ("in_card".to_string(), in_card.into()),
+            ]
+        });
         let mut virtual_ms = 0.0;
         let mut real_ms = 0.0;
 

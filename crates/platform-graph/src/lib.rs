@@ -141,6 +141,14 @@ impl ExecutionOperator for GiraphPageRank {
                 + profile.barrier_ms
                 + profile.net_ms(step.message_bytes * 0.9);
         }
+        let supersteps = outcome.supersteps.len();
+        let message_bytes: f64 = outcome.supersteps.iter().map(|s| s.message_bytes).sum();
+        ctx.trace_event("giraph.bsp", || {
+            vec![
+                ("supersteps".to_string(), supersteps.into()),
+                ("message_bytes".to_string(), message_bytes.into()),
+            ]
+        });
         let out = ranks_to_values(outcome.ranks);
         ctx.record(OpMetrics {
             name: "GiraphPageRank".into(),

@@ -278,6 +278,26 @@ impl ExecutionOperator for JavaOperator {
             inputs.iter().map(|c| c.flatten()).collect::<Result<_>>()?;
         let in_card: u64 = input_data.iter().map(|d| d.len() as u64).sum();
         let ops = &self.ops;
+        if ctx.tracing() {
+            let segs = fused::segment_chain(ops);
+            for (i, seg) in segs.iter().enumerate() {
+                if let Segment::Fused { pipeline, .. } = seg {
+                    if pipeline.len() > 1 {
+                        let terminal = matches!(
+                            segs.get(i + 1),
+                            Some(Segment::Single { op: LogicalOp::ReduceBy { .. }, .. })
+                        );
+                        let steps = pipeline.len();
+                        ctx.trace_event("java.fused", || {
+                            vec![
+                                ("steps".to_string(), steps.into()),
+                                ("terminal_agg".to_string(), i64::from(terminal).into()),
+                            ]
+                        });
+                    }
+                }
+            }
+        }
         ctx.timed_seq(self, in_card, || {
             // Fused runs of narrow operators execute in one traversal with
             // no intermediate collection; only wide/sampling operators

@@ -407,6 +407,19 @@ impl ExecutionOperator for PgOperator {
         // parallel_query: relational operators use up to 4 workers.
         let virtual_ms = real_ms * profile.cpu_scale / profile.cores.max(1) as f64 + extra_virtual;
         let out_card = rows.len() as u64;
+        let access = match &self.op {
+            PgOp::SeqScan { table, filter, .. } => {
+                format!(
+                    "seq-scan {table}{}",
+                    if filter.is_some() { " (sarg pushdown)" } else { "" }
+                )
+            }
+            PgOp::IndexScan { table, sarg, .. } => format!("index-scan {table}.{}", sarg.field),
+            PgOp::Logical(op) => format!("{:?}", op.kind()),
+        };
+        ctx.trace_event("pg.exec", || {
+            vec![("access".to_string(), access.into()), ("rows".to_string(), out_card.into())]
+        });
         ctx.record(OpMetrics {
             name: self.name.clone(),
             platform: ids::POSTGRES,

@@ -138,6 +138,18 @@ pub fn shuffle(parts: &[Dataset], key: &KeyUdf, n: usize) -> (Vec<Dataset>, f64)
     (buckets.into_iter().map(Arc::new).collect(), bytes * 0.9)
 }
 
+/// Report a shuffle to the job trace (bytes moved, destination partitions).
+fn shuffle_event(ctx: &mut ExecCtx<'_>, op: &str, bytes: f64, partitions: usize) {
+    let op = op.to_string();
+    ctx.trace_event("spark.shuffle", || {
+        vec![
+            ("op".to_string(), op.into()),
+            ("bytes".to_string(), bytes.into()),
+            ("partitions".to_string(), partitions.into()),
+        ]
+    });
+}
+
 fn flatten_parts(parts: &[Dataset]) -> Vec<Value> {
     let total = parts.iter().map(|p| p.len()).sum();
     let mut out = Vec::with_capacity(total);
@@ -375,6 +387,7 @@ impl ExecutionOperator for SparkOperator {
                     })?;
                     let n = combined.len();
                     let (exchanged, bytes) = shuffle(&combined, key, n);
+                    shuffle_event(ctx, "FusedReduceBy", bytes, n);
                     let (out, t2) = par_map_partitions_pooled(&exchanged, workers, |_i, d| {
                         Ok(kernels::reduce_by(d, key, agg))
                     })?;
@@ -428,6 +441,7 @@ impl ExecutionOperator for SparkOperator {
                     })?;
                     let n = combined.len();
                     let (exchanged, bytes) = shuffle(&combined, key, n);
+                    shuffle_event(ctx, "ReduceBy", bytes, n);
                     let (out, t2) = par_map_partitions_pooled(&exchanged, workers, |_i, d| {
                         Ok(kernels::reduce_by(d, key, agg))
                     })?;
@@ -440,6 +454,7 @@ impl ExecutionOperator for SparkOperator {
                     let start = Instant::now();
                     let n = parts.len();
                     let (exchanged, bytes) = shuffle(&parts, key, n);
+                    shuffle_event(ctx, "GroupBy", bytes, n);
                     let (out, t) = par_map_partitions_pooled(&exchanged, workers, |_i, d| {
                         Ok(kernels::group_by(d, key))
                     })?;
@@ -451,6 +466,7 @@ impl ExecutionOperator for SparkOperator {
                     let start = Instant::now();
                     let n = parts.len();
                     let (exchanged, bytes) = shuffle(&parts, &KeyUdf::identity(), n);
+                    shuffle_event(ctx, "Distinct", bytes, n);
                     let (out, t) = par_map_partitions_pooled(&exchanged, workers, |_i, d| {
                         Ok(kernels::distinct(d))
                     })?;
@@ -500,6 +516,7 @@ impl ExecutionOperator for SparkOperator {
                     let n = parts.len().max(right.len());
                     let (le, b1) = shuffle(&parts, left_key, n);
                     let (re, b2) = shuffle(&right, right_key, n);
+                    shuffle_event(ctx, "Join", b1 + b2, n);
                     let (out, t) = par_map_partitions_pooled(&le, workers, |i, d| {
                         Ok(kernels::hash_join(d, &re[i], left_key, right_key))
                     })?;

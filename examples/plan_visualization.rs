@@ -17,13 +17,16 @@ fn main() -> Result<()> {
 
     let ctx = rheem::default_context();
     let (opt, eplan) = ctx.compile(&plan)?;
+    // Execute once so the physical rendering carries measured profiles
+    // (tuples, virtual ms, retries) next to the optimizer's estimates.
+    let result = ctx.execute(&plan)?;
 
     let dir = std::env::temp_dir().join("rheem_viz");
     std::fs::create_dir_all(&dir).map_err(rheem_core::error::RheemError::Io)?;
     let logical = dir.join("sgd_plan.dot");
     let physical = dir.join("sgd_exec.dot");
     std::fs::write(&logical, plan_to_dot(&plan)).map_err(rheem_core::error::RheemError::Io)?;
-    std::fs::write(&physical, exec_plan_to_dot(&plan, &opt, &eplan))
+    std::fs::write(&physical, exec_plan_to_dot(&plan, &opt, &eplan, result.trace.as_ref()))
         .map_err(rheem_core::error::RheemError::Io)?;
 
     println!("Rheem plan (Fig. 3a analogue):      {}", logical.display());

@@ -13,4 +13,7 @@ echo "== tier-1: build + full test suite"
 cargo build --release
 cargo test -q
 
+echo "== trace round-trip (native JSON + chrome export)"
+cargo run --release -q -p rheem-bench --bin trace_dump
+
 echo "== all checks passed"
