@@ -16,6 +16,9 @@ use rheem_core::value::{Dataset, Value};
 
 pub use bigdansing::nadeef_baseline;
 
+/// A Q5 baseline's outcome: `(result rows, job metrics, data-load ms)`.
+pub type Q5Baseline = Result<(Vec<(String, f64)>, JobMetrics, f64)>;
+
 /// Context forcing every mappable operator onto one platform.
 pub fn forced_context(platform: rheem_core::platform::PlatformId) -> RheemContext {
     let mut ctx = RheemContext::new()
@@ -119,7 +122,7 @@ pub fn q5_all_in_postgres(
     data: &rheem_datagen::tpch::TpchData,
     _region: &str,
     _year: i64,
-) -> Result<(Vec<(String, f64)>, JobMetrics, f64)> {
+) -> Q5Baseline {
     use platform_postgres::{PgDatabase, PostgresPlatform};
     let db = Arc::new(PgDatabase::new());
     // Load *everything* into the store, paying the bulk-load cost.
@@ -279,7 +282,7 @@ pub fn q5_all_on_spark(
     data: &rheem_datagen::tpch::TpchData,
     region: &str,
     year: i64,
-) -> Result<(Vec<(String, f64)>, JobMetrics, f64)> {
+) -> Q5Baseline {
     // Export the DB tables to HDFS (cursor export + HDFS write).
     let profiles = rheem_core::platform::Profiles::paper_testbed();
     let pg = profiles.get(ids::POSTGRES);

@@ -131,6 +131,30 @@ impl ChannelData {
         }
     }
 
+    /// First data quantum of an in-memory channel without merging
+    /// partitions (loop-condition probes read one element; a full
+    /// [`ChannelData::flatten`] would deep-copy every partition).
+    pub fn first(&self) -> Result<Option<&Value>> {
+        match self {
+            ChannelData::Collection(d) => Ok(d.first()),
+            ChannelData::Partitions(p) => Ok(p.iter().find_map(|d| d.first())),
+            other => Err(RheemError::Execution(format!("cannot read from channel {other:?}"))),
+        }
+    }
+
+    /// Up to `limit` leading quanta of an in-memory channel, in partition
+    /// order (what a flatten-then-take would return, minus the copy of the
+    /// full dataset). `None` for file/opaque layouts.
+    pub fn sample(&self, limit: usize) -> Option<Vec<Value>> {
+        match self {
+            ChannelData::Collection(d) => Some(d.iter().take(limit).cloned().collect()),
+            ChannelData::Partitions(p) => {
+                Some(p.iter().flat_map(|d| d.iter()).take(limit).cloned().collect())
+            }
+            _ => None,
+        }
+    }
+
     /// Flatten to a single in-memory dataset, merging partitions (used by
     /// conversion operators and the result collector).
     pub fn flatten(&self) -> Result<Dataset> {
@@ -196,6 +220,20 @@ mod tests {
         // single partition short-circuits without copy
         let single = ChannelData::Partitions(Arc::new(vec![Arc::new(vec![Value::from(9)])]));
         assert_eq!(single.flatten().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn first_and_sample_avoid_flattening() {
+        let p = ChannelData::Partitions(Arc::new(vec![
+            Arc::new(vec![]),
+            Arc::new(vec![Value::from(1), Value::from(2)]),
+            Arc::new(vec![Value::from(3)]),
+        ]));
+        assert_eq!(p.first().unwrap(), Some(&Value::from(1)));
+        assert_eq!(p.sample(2).unwrap(), vec![Value::from(1), Value::from(2)]);
+        assert_eq!(p.sample(9).unwrap().len(), 3);
+        assert!(ChannelData::None.first().is_err());
+        assert!(ChannelData::None.sample(1).is_none());
     }
 
     #[test]

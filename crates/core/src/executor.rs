@@ -5,7 +5,7 @@
 //! optimizer's optimization checkpoints (§4.4).
 
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 use std::sync::Mutex;
@@ -13,9 +13,9 @@ use std::sync::Mutex;
 use crate::builtin::CONTROL;
 use crate::channel::ChannelData;
 use crate::error::{Result, RheemError};
-use crate::exec::{ExecCtx, OpMetrics};
+use crate::exec::{ExecCtx, OpMetrics, TraceEvent};
 use crate::execplan::ExecPlan;
-use crate::fault::{BudgetExhausted, FaultKind, FaultPlan};
+use crate::fault::{BudgetExhausted, FaultKind, FaultPlan, InjectedFault};
 use crate::monitor::{check_cardinality, FaultRecord, Health, Monitor, StageRun};
 use crate::optimizer::OptimizedPlan;
 use crate::plan::{LogicalOp, OperatorId, RheemPlan};
@@ -67,6 +67,15 @@ pub struct ExecConfig {
     /// Record a job trace (span tree + per-operator profiles) with every
     /// execution; see [`crate::trace`].
     pub tracing: bool,
+    /// Scheduler mode: `Some(true)` forces dependency-driven concurrent
+    /// stage dispatch over the shared worker pool, `Some(false)` forces the
+    /// classic sequential stage walk, and `None` (the default) adapts —
+    /// concurrent dispatch when the pool has more than one worker, the
+    /// in-line walk otherwise (on a single CPU, cross-thread stage handoffs
+    /// only add context-switch overhead). Both modes produce byte-identical
+    /// results, traces and virtual times; the env var `RHEEM_SCHED`
+    /// (`conc` / `seq`) pins the default for A/B matrices.
+    pub concurrent: Option<bool>,
 }
 
 impl ExecConfig {
@@ -100,6 +109,9 @@ impl Default for ExecConfig {
             chaos_seed: None,
             fault_plan: None,
             tracing: true,
+            concurrent: std::env::var("RHEEM_SCHED")
+                .ok()
+                .map(|v| !matches!(v.as_str(), "seq" | "sequential" | "off" | "0")),
         }
     }
 }
@@ -195,10 +207,20 @@ struct RunState {
     /// included); multi-core platforms order nodes by data dependencies
     /// from this base instead of serializing the whole run.
     run_base: f64,
+    /// Latest virtual finish over the current run's nodes (the run span's
+    /// end and the time its lane frees up).
+    run_end: f64,
     run_ops: Vec<OpMetrics>,
     run_real_ms: f64,
     run_virtual_ms: f64,
     started_platforms: HashSet<&'static str>,
+    /// Per-platform lane occupancy (virtual finish time of the last run on
+    /// each lane). Engines accept only [`crate::platform::PlatformProfile::
+    /// slots`] concurrent stage submissions; a new run waits for the
+    /// earliest-free lane. The driver (CONTROL) is unconstrained.
+    lanes: HashMap<&'static str, Vec<f64>>,
+    /// Lane held by the currently open stage run, released on close.
+    run_lane: Option<(&'static str, usize)>,
     /// Virtual-time floor: no node may start before this (loop iterations
     /// serialize: iteration i+1 starts after iteration i completed).
     floor: f64,
@@ -219,6 +241,45 @@ struct RunState {
     /// Loops currently in flight (innermost last); their nodes hold partial
     /// state and must not count as executed in a failover cut.
     active_loops: Vec<OperatorId>,
+}
+
+/// One failed attempt observed inside [`Executor::exec_node`]'s retry loop,
+/// buffered so the coordinator can replay monitor records and retry spans in
+/// deterministic commit order regardless of which thread executed the node.
+struct RetryRec {
+    /// The injected fault behind the failure (`None` for organic errors).
+    fault: Option<InjectedFault>,
+    /// Cumulative failed attempts on the (stage, iteration) budget meter.
+    failures: u32,
+    /// Whether the retry budget absorbed this failure (`false` exhausts it).
+    within_budget: bool,
+}
+
+/// Worker-side result of executing one node: everything `commit_node` needs
+/// to account virtual time, spans and monitor records on the coordinator.
+struct NodeExec {
+    out: ChannelData,
+    ops: Vec<OpMetrics>,
+    vdur: f64,
+    events: Vec<TraceEvent>,
+    real_ms: f64,
+    node_retries: u32,
+}
+
+/// Execution outcome of one node, including the retry history that must be
+/// replayed even when the node ultimately failed.
+struct NodeOutcome {
+    retries: Vec<RetryRec>,
+    /// Budget-meter value after this node (`stage_attempts` parity).
+    failures_after: u32,
+    result: Result<NodeExec>,
+}
+
+/// Worker-side result of one pooled stage execution: per-node outcomes in
+/// stage order (a failing node truncates the tail — its predecessors still
+/// commit, matching the sequential walk's partial-stage state).
+struct StageExec {
+    nodes: Vec<(usize, NodeOutcome)>,
 }
 
 impl<'a> Executor<'a> {
@@ -260,10 +321,13 @@ impl<'a> Executor<'a> {
             open_stage: None,
             run_clock: 0.0,
             run_base: 0.0,
+            run_end: 0.0,
             run_ops: Vec::new(),
             run_real_ms: 0.0,
             run_virtual_ms: 0.0,
             started_platforms: HashSet::new(),
+            lanes: HashMap::new(),
+            run_lane: None,
             floor: 0.0,
             measured: HashMap::new(),
             exploration: ExplorationBuffer::default(),
@@ -276,7 +340,12 @@ impl<'a> Executor<'a> {
             span_parent: self.trace.as_ref().map(|h| h.parent),
             active_loops: Vec::new(),
         };
-        let pause = match self.run_region(&mut st, None) {
+        let top = if self.config.concurrent.unwrap_or_else(|| crate::pool::size() > 1) {
+            self.run_region_concurrent(&mut st)
+        } else {
+            self.run_region(&mut st, None)
+        };
+        let pause = match top {
             Ok(pause) => pause,
             Err(RheemError::Exhausted(cause)) if self.config.failover => {
                 self.close_stage_run(&mut st);
@@ -437,8 +506,8 @@ impl<'a> Executor<'a> {
                 h.trace.end(sid, h.base_ms + state_vfinish);
             }
             if let Some(cond) = &cond {
-                let data = state.flatten()?;
-                let done = data.first().map(|v| cond.call(v, &BroadcastCtx::new())).unwrap_or(true);
+                let done =
+                    state.first()?.map(|v| cond.call(v, &BroadcastCtx::new())).unwrap_or(true);
                 if done {
                     break;
                 }
@@ -479,76 +548,57 @@ impl<'a> Executor<'a> {
 
     fn run_node(&self, st: &mut RunState, nid: usize) -> Result<()> {
         let node = &self.eplan.nodes[nid];
-        let platform = node.exec.platform();
+        let (inputs, bc) = self.gather(nid, |i| st.values[i].clone())?;
+        let mut failures = st.stage_attempts.get(&(node.stage, st.iteration)).copied().unwrap_or(0);
+        let outcome = self.exec_node(nid, &inputs, &bc, st.iteration, &mut failures);
+        self.commit_node(st, nid, outcome)
+    }
 
-        // Stage-run bookkeeping.
-        let mut pending_overhead = 0.0;
-        let new_run = st.open_stage != Some(node.stage);
-        if new_run {
-            self.close_stage_run(st);
-            st.open_stage = Some(node.stage);
-            st.run_clock = 0.0;
-            st.run_base = 0.0;
-            if platform != CONTROL {
-                pending_overhead += self.profiles.get(platform).stage_overhead_ms;
-                if st.started_platforms.insert(platform.0) {
-                    pending_overhead += self.profiles.get(platform).startup_ms;
-                }
-            }
-        }
-
-        // Gather inputs and broadcasts; the node may start once its
-        // producers finished (dependency order).
+    /// Gather a node's inputs and bind its broadcasts from `get` (the run
+    /// state's committed values, or a worker's execution-value snapshot).
+    fn gather(
+        &self,
+        nid: usize,
+        get: impl Fn(usize) -> Option<ChannelData>,
+    ) -> Result<(Vec<ChannelData>, BroadcastCtx)> {
+        let node = &self.eplan.nodes[nid];
         let mut inputs = Vec::with_capacity(node.inputs.len());
-        let mut vstart: f64 = st.floor.max(st.run_base);
         for &i in &node.inputs {
-            inputs.push(st.values[i].clone().ok_or_else(|| {
+            inputs.push(get(i).ok_or_else(|| {
                 RheemError::Execution(format!(
                     "input node {i} of {} not yet executed",
                     node.exec.name()
                 ))
             })?);
-            vstart = vstart.max(st.vfinish[i]);
         }
         let mut bc = BroadcastCtx::new();
         for (name, i) in &node.broadcasts {
-            let data = st.values[*i]
-                .clone()
+            let data = get(*i)
                 .ok_or_else(|| RheemError::Execution("broadcast input missing".into()))?
                 .flatten()?;
             bc.bind(Arc::clone(name), data);
-            vstart = vstart.max(st.vfinish[*i]);
         }
-        // Single-core platforms (and the driver) serialize their stage run;
-        // multi-core engines overlap independent nodes of a stage.
-        if self.profiles.get(platform).cores <= 1 {
-            vstart = vstart.max(st.run_clock);
-        }
-        if new_run {
-            // Submission overhead counts from the run's floor: platforms
-            // spin up and schedule concurrently with upstream work.
-            st.run_base = st.floor + pending_overhead;
-            vstart = vstart.max(st.run_base);
-            if let Some(h) = &self.trace {
-                let run_id = h.trace.next_run_id();
-                let sid = h.trace.begin(
-                    st.span_parent,
-                    SpanKind::Stage,
-                    &format!("stage {}", node.stage),
-                    Some(self.eplan.stages[node.stage].platform),
-                    h.base_ms + st.floor,
-                );
-                h.trace.attr(sid, "stage", node.stage.into());
-                h.trace.attr(sid, "iteration", st.iteration.into());
-                h.trace.attr(sid, "phase", h.trace.phase().into());
-                h.trace.attr(sid, "run", run_id.into());
-                if pending_overhead > 0.0 {
-                    h.trace.attr(sid, "overhead_ms", pending_overhead.into());
-                }
-                st.run_span = Some((sid, run_id));
-            }
-        }
+        Ok((inputs, bc))
+    }
 
+    /// Execute one node: the retry loop with its fault gates, and the
+    /// operator itself. Touches no `RunState` — safe to run on a pool
+    /// worker; every side effect is buffered into the returned
+    /// [`NodeOutcome`] and replayed by [`Executor::commit_node`] in
+    /// deterministic commit order. `stage_failures` is the (stage,
+    /// iteration) budget meter, owned by the caller (exclusively owned by
+    /// one stage's worker under the concurrent scheduler).
+    fn exec_node(
+        &self,
+        nid: usize,
+        inputs: &[ChannelData],
+        bc: &BroadcastCtx,
+        iteration: u64,
+        stage_failures: &mut u32,
+    ) -> NodeOutcome {
+        let node = &self.eplan.nodes[nid];
+        let platform = node.exec.platform();
+        let mut retries = Vec::new();
         // Execute, with cross-platform fault tolerance (§7.1): transient
         // failures — organic or injected by the fault plan — are retried
         // with exponential virtual-time backoff against the stage's retry
@@ -559,7 +609,7 @@ impl<'a> Executor<'a> {
         let mut node_retries = 0u32;
         let out = loop {
             ctx = ExecCtx::new(self.profiles, self.config.seed.wrapping_add(nid as u64));
-            ctx.iteration = st.iteration;
+            ctx.iteration = iteration;
             ctx.stage = node.stage;
             ctx.set_tracing(self.trace.is_some());
             ctx.set_faults(self.faults.clone());
@@ -567,73 +617,41 @@ impl<'a> Executor<'a> {
             // operator code runs; operator/transfer faults strike inside
             // `execute` via the context's gates.
             let crashed = self.faults.as_ref().and_then(|fp| {
-                fp.check(
-                    FaultKind::StageCrash,
-                    platform,
-                    node.exec.name(),
-                    node.stage,
-                    st.iteration,
-                )
+                fp.check(FaultKind::StageCrash, platform, node.exec.name(), node.stage, iteration)
             });
             let result = match crashed {
                 Some(f) => Err(RheemError::Fault(f)),
-                None => node.exec.execute(&mut ctx, &inputs, &bc),
+                None => node.exec.execute(&mut ctx, inputs, bc),
             };
             match result {
                 Ok(out) => break out,
                 Err(e) if e.is_transient() => {
-                    let failures = {
-                        let f = st.stage_attempts.entry((node.stage, st.iteration)).or_insert(0);
-                        *f += 1;
-                        *f
-                    };
+                    *stage_failures += 1;
+                    let failures = *stage_failures;
                     let within_budget = failures <= self.config.retry_budget;
-                    self.monitor.record_fault(FaultRecord {
-                        stage: node.stage,
-                        iteration: st.iteration,
-                        platform,
-                        op: node.exec.name().to_string(),
-                        kind: e.fault().map(|i| i.kind),
-                        attempt: failures,
-                        recovered: within_budget,
-                    });
-                    if let Some(h) = &self.trace {
-                        let parent = st.run_span.map(|(s, _)| s).or(st.span_parent);
-                        let sid = h.trace.instant(
-                            parent,
-                            SpanKind::Retry,
-                            node.exec.name(),
-                            Some(platform),
-                            h.base_ms + vstart,
-                        );
-                        h.trace.attr(sid, "attempt", failures.into());
-                        let kind = e
-                            .fault()
-                            .map(|i| format!("{:?}", i.kind))
-                            .unwrap_or_else(|| "organic".to_string());
-                        h.trace.attr(sid, "kind", kind.into());
-                        h.trace.attr(sid, "recovered", i64::from(within_budget).into());
-                    }
+                    retries.push(RetryRec { fault: e.fault().cloned(), failures, within_budget });
                     if !within_budget {
-                        if platform == CONTROL {
+                        let err = if platform == CONTROL {
                             // The driver is the failover mechanism itself —
                             // it cannot be blacklisted; surface the failure.
-                            return Err(e);
-                        }
-                        return Err(RheemError::Exhausted(BudgetExhausted {
-                            platform,
-                            stage: node.stage,
-                            attempts: failures,
-                            cause: e.to_string(),
-                        }));
+                            e
+                        } else {
+                            RheemError::Exhausted(BudgetExhausted {
+                                platform,
+                                stage: node.stage,
+                                attempts: failures,
+                                cause: e.to_string(),
+                            })
+                        };
+                        return NodeOutcome { retries, failures_after: failures, result: Err(err) };
                     }
-                    self.monitor.count_retry();
-                    st.run_retries += 1;
                     node_retries += 1;
                     backoff_ms +=
                         self.config.backoff_base_ms * (1u64 << (failures - 1).min(20)) as f64;
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    return NodeOutcome { retries, failures_after: *stage_failures, result: Err(e) }
+                }
             }
         };
         let real_ms = wall.elapsed().as_secs_f64() * 1000.0;
@@ -646,7 +664,7 @@ impl<'a> Executor<'a> {
             ops.push(OpMetrics {
                 name: node.exec.name().to_string(),
                 platform,
-                in_card: crate::exec::total_cardinality(&inputs),
+                in_card: crate::exec::total_cardinality(inputs),
                 out_card: out.cardinality().unwrap_or(0) as u64,
                 virtual_ms: vdur,
                 real_ms,
@@ -666,23 +684,153 @@ impl<'a> Executor<'a> {
                 real_ms: 0.0,
             });
         }
+        NodeOutcome {
+            retries,
+            failures_after: *stage_failures,
+            result: Ok(NodeExec { out, ops, vdur, events, real_ms, node_retries }),
+        }
+    }
+
+    /// Commit one executed node on the coordinator: stage-run bookkeeping,
+    /// lane assignment, critical-path virtual-time composition, trace spans,
+    /// monitor records and value publication. Runs in deterministic stage
+    /// order under both scheduler modes, so results and traces are
+    /// byte-identical regardless of which thread executed the node.
+    fn commit_node(&self, st: &mut RunState, nid: usize, outcome: NodeOutcome) -> Result<()> {
+        let node = &self.eplan.nodes[nid];
+        let platform = node.exec.platform();
+
+        // Stage-run bookkeeping.
+        let mut pending_overhead = 0.0;
+        let new_run = st.open_stage != Some(node.stage);
+        if new_run {
+            self.close_stage_run(st);
+            st.open_stage = Some(node.stage);
+            st.run_clock = 0.0;
+            st.run_base = 0.0;
+            st.run_end = 0.0;
+            if platform != CONTROL {
+                pending_overhead += self.profiles.get(platform).stage_overhead_ms;
+                if st.started_platforms.insert(platform.0) {
+                    pending_overhead += self.profiles.get(platform).startup_ms;
+                }
+            }
+        }
+
+        // The node may start once its producers finished (dependency order).
+        let mut vstart: f64 = st.floor.max(st.run_base);
+        for &i in &node.inputs {
+            vstart = vstart.max(st.vfinish[i]);
+        }
+        for (_, i) in &node.broadcasts {
+            vstart = vstart.max(st.vfinish[*i]);
+        }
+        // Single-core platforms (and the driver) serialize their stage run;
+        // multi-core engines overlap independent nodes of a stage.
+        if self.profiles.get(platform).cores <= 1 {
+            vstart = vstart.max(st.run_clock);
+        }
+        if new_run {
+            // Submission overhead counts from the run's floor: platforms
+            // spin up and schedule concurrently with upstream work. The run
+            // then waits for a free lane — an engine admits only `slots()`
+            // concurrent stage submissions (critical-path semantics: lanes
+            // model the cluster's parallel stage capacity).
+            st.run_base = st.floor + pending_overhead;
+            let mut lane = None;
+            if platform != CONTROL {
+                let slots = self.profiles.get(platform).slots();
+                let lanes = st.lanes.entry(platform.0).or_insert_with(|| vec![0.0; slots]);
+                let mut li = 0;
+                for (i, &free) in lanes.iter().enumerate() {
+                    if free < lanes[li] {
+                        li = i;
+                    }
+                }
+                st.run_base = st.run_base.max(lanes[li]);
+                st.run_lane = Some((platform.0, li));
+                lane = Some(li);
+            }
+            vstart = vstart.max(st.run_base);
+            if let Some(h) = &self.trace {
+                let run_id = h.trace.next_run_id();
+                let sid = h.trace.begin(
+                    st.span_parent,
+                    SpanKind::Stage,
+                    &format!("stage {}", node.stage),
+                    Some(self.eplan.stages[node.stage].platform),
+                    h.base_ms + st.floor,
+                );
+                h.trace.attr(sid, "stage", node.stage.into());
+                h.trace.attr(sid, "iteration", st.iteration.into());
+                h.trace.attr(sid, "phase", h.trace.phase().into());
+                h.trace.attr(sid, "run", run_id.into());
+                if let Some(li) = lane {
+                    h.trace.attr(sid, "lane", li.into());
+                }
+                if pending_overhead > 0.0 {
+                    h.trace.attr(sid, "overhead_ms", pending_overhead.into());
+                }
+                st.run_span = Some((sid, run_id));
+            }
+        }
+
+        // Replay the retry history: monitor records and retry spans, in the
+        // exact order the sequential walk would have recorded them live.
+        let NodeOutcome { retries, failures_after, result } = outcome;
+        for rec in &retries {
+            self.monitor.record_fault(FaultRecord {
+                stage: node.stage,
+                iteration: st.iteration,
+                platform,
+                op: node.exec.name().to_string(),
+                kind: rec.fault.as_ref().map(|i| i.kind),
+                attempt: rec.failures,
+                recovered: rec.within_budget,
+            });
+            if let Some(h) = &self.trace {
+                let parent = st.run_span.map(|(s, _)| s).or(st.span_parent);
+                let sid = h.trace.instant(
+                    parent,
+                    SpanKind::Retry,
+                    node.exec.name(),
+                    Some(platform),
+                    h.base_ms + vstart,
+                );
+                h.trace.attr(sid, "attempt", rec.failures.into());
+                let kind = rec
+                    .fault
+                    .as_ref()
+                    .map(|i| format!("{:?}", i.kind))
+                    .unwrap_or_else(|| "organic".to_string());
+                h.trace.attr(sid, "kind", kind.into());
+                h.trace.attr(sid, "recovered", i64::from(rec.within_budget).into());
+            }
+            if rec.within_budget {
+                self.monitor.count_retry();
+                st.run_retries += 1;
+            }
+        }
+        if failures_after > 0 {
+            st.stage_attempts.insert((node.stage, st.iteration), failures_after);
+        }
+        let NodeExec { out, mut ops, mut vdur, events, real_ms, node_retries } = result?;
 
         // Exploration sniffer (Fig. 7): multiplex a sample of the output.
         if self.config.exploration && !node.logical.is_empty() {
-            if let Ok(data) = out.flatten() {
+            if let Some(total) = out.cardinality() {
                 let sniff_wall = Instant::now();
-                let sample: Vec<Value> =
-                    data.iter().take(self.config.sniff_limit).cloned().collect();
+                let sample = out.sample(self.config.sniff_limit).unwrap_or_default();
                 let sniff_ms = sniff_wall.elapsed().as_secs_f64() * 1000.0;
                 // Copying at scale costs time proportional to data volume:
                 // charge the multiplex pass over the full output.
-                let multiplex_ms = sniff_ms
-                    + data.len() as f64 * 120.0 / self.profiles.get(platform).cycles_per_ms;
+                let multiplex_ms =
+                    sniff_ms + total as f64 * 120.0 / self.profiles.get(platform).cycles_per_ms;
                 vdur += multiplex_ms;
                 ops.push(OpMetrics {
                     name: "Sniffer".to_string(),
                     platform,
-                    in_card: data.len() as u64,
+                    in_card: total as u64,
                     out_card: sample.len() as u64,
                     virtual_ms: multiplex_ms,
                     real_ms: sniff_ms,
@@ -762,6 +910,7 @@ impl<'a> Executor<'a> {
 
         st.vfinish[nid] = vstart + vdur;
         st.run_clock = st.vfinish[nid];
+        st.run_end = st.run_end.max(st.vfinish[nid]);
         st.job_virtual_ms = st.job_virtual_ms.max(st.vfinish[nid]);
         st.run_real_ms += real_ms;
         st.run_virtual_ms += vdur + pending_overhead;
@@ -775,11 +924,268 @@ impl<'a> Executor<'a> {
         Ok(())
     }
 
+    /// Execute every node of one stage on the calling thread (a pool
+    /// worker), reading cross-stage inputs from the `values` snapshot and
+    /// intra-stage inputs from the outputs produced so far. A failing node
+    /// truncates the stage; earlier nodes still commit.
+    fn exec_stage(&self, sid: usize, values: &[Option<ChannelData>], iteration: u64) -> StageExec {
+        let mut local: HashMap<usize, ChannelData> = HashMap::new();
+        let mut failures = 0u32;
+        let mut nodes = Vec::new();
+        for &nid in &self.eplan.stages[sid].nodes {
+            let gathered =
+                self.gather(nid, |i| local.get(&i).cloned().or_else(|| values[i].clone()));
+            let outcome = match gathered {
+                Ok((inputs, bc)) => self.exec_node(nid, &inputs, &bc, iteration, &mut failures),
+                Err(e) => {
+                    NodeOutcome { retries: Vec::new(), failures_after: failures, result: Err(e) }
+                }
+            };
+            let failed = outcome.result.is_err();
+            if let Ok(ex) = &outcome.result {
+                local.insert(nid, ex.out.clone());
+            }
+            nodes.push((nid, outcome));
+            if failed {
+                break;
+            }
+        }
+        StageExec { nodes }
+    }
+
+    /// Commit a pooled stage's node outcomes, in stage order.
+    fn commit_stage(&self, st: &mut RunState, sx: StageExec) -> Result<()> {
+        for (nid, outcome) in sx.nodes {
+            self.commit_node(st, nid, outcome)?;
+        }
+        Ok(())
+    }
+
+    /// Roll back the fault-plan quota consumed by a speculatively executed
+    /// stage that will never commit (checkpoint pause, failover, or an
+    /// earlier stage's error), so the post-pause replay sees the same fault
+    /// schedule the sequential walk would.
+    fn undo_stage_faults(&self, sx: &StageExec) {
+        let Some(faults) = &self.faults else { return };
+        for (_, outcome) in &sx.nodes {
+            for rec in &outcome.retries {
+                if let Some(f) = &rec.fault {
+                    faults.undo(f);
+                }
+            }
+        }
+    }
+
+    /// The concurrent scheduler: compute the top-level stage DAG from
+    /// channel producers/consumers, dispatch ready stages onto the shared
+    /// worker pool, and commit finished stages in sequential stage order so
+    /// spans, monitor records and virtual-time accounting stay
+    /// byte-identical with the sequential walk. Loop-head stages and stages
+    /// a loop body demand-pulls run inline on the coordinator, exactly
+    /// where the sequential walk runs them.
+    fn run_region_concurrent(&self, st: &mut RunState) -> Result<Option<()>> {
+        let order: Vec<usize> =
+            self.eplan.stages.iter().filter(|s| s.loop_of.is_none()).map(|s| s.id).collect();
+        let pos_of: HashMap<usize, usize> =
+            order.iter().enumerate().map(|(p, &s)| (s, p)).collect();
+        let stage_of = |nid: usize| self.eplan.nodes[nid].stage;
+
+        // Stage DAG: a top-level stage depends on the earlier top-level
+        // stages of its nodes' input/broadcast producers (feedback edges
+        // from loop bodies are not top-level and drop out here).
+        let mut deps: HashMap<usize, HashSet<usize>> = HashMap::new();
+        for &s in &order {
+            let mut d = HashSet::new();
+            for &nid in &self.eplan.stages[s].nodes {
+                let node = &self.eplan.nodes[nid];
+                for &i in node.inputs.iter().chain(node.broadcasts.iter().map(|(_, p)| p)) {
+                    let ps = stage_of(i);
+                    if ps != s && pos_of.get(&ps).map(|&pp| pp < pos_of[&s]).unwrap_or(false) {
+                        d.insert(ps);
+                    }
+                }
+            }
+            deps.insert(s, d);
+        }
+
+        // Stages a loop demand-pulls mid-iteration (transitive providers of
+        // the loop's head/body placed after the head stage) must run inline
+        // on the coordinator — dispatching them too would execute them
+        // twice.
+        let mut demanded: HashSet<usize> = HashSet::new();
+        for &s in &order {
+            let Some(&head_nid) = self.eplan.stages[s]
+                .nodes
+                .iter()
+                .find(|&&nid| self.eplan.nodes[nid].is_loop_head(self.plan))
+            else {
+                continue;
+            };
+            let tail = self.eplan.nodes[head_nid].tail().expect("loop head covers its logical op");
+            let mut frontier: Vec<usize> = self
+                .eplan
+                .nodes
+                .iter()
+                .filter(|n| n.id == head_nid || self.nested_in_loop(n.id, tail))
+                .map(|n| n.id)
+                .collect();
+            let mut seen: HashSet<usize> = frontier.iter().copied().collect();
+            while let Some(nid) = frontier.pop() {
+                let node = &self.eplan.nodes[nid];
+                for &p in node.inputs.iter().chain(node.broadcasts.iter().map(|(_, b)| b)) {
+                    if seen.insert(p) {
+                        frontier.push(p);
+                    }
+                }
+            }
+            let head_pos = pos_of[&s];
+            for &p in &seen {
+                let ps = stage_of(p);
+                if pos_of.get(&ps).map(|&pp| pp > head_pos).unwrap_or(false) {
+                    demanded.insert(ps);
+                }
+            }
+        }
+
+        let poolable: HashSet<usize> = order
+            .iter()
+            .copied()
+            .filter(|&s| {
+                // Driver (CONTROL) data stages pool like any other — only
+                // loop heads and demand-pulled providers need the
+                // coordinator's loop state.
+                !demanded.contains(&s)
+                    && !self.eplan.stages[s]
+                        .nodes
+                        .iter()
+                        .any(|&nid| self.eplan.nodes[nid].is_loop_head(self.plan))
+                    // Defensive: a pooled stage must see every producer in
+                    // the top-level DAG, else readiness can't be tracked.
+                    && self.eplan.stages[s].nodes.iter().all(|&nid| {
+                        let node = &self.eplan.nodes[nid];
+                        node.inputs
+                            .iter()
+                            .chain(node.broadcasts.iter().map(|(_, p)| p))
+                            .all(|&i| stage_of(i) == s || pos_of.contains_key(&stage_of(i)))
+                    })
+            })
+            .collect();
+
+        // Execution values mirror: what workers gather from. Fed by pooled
+        // completions as they land (pipelining — dependents dispatch on
+        // exec-completion while commits lag in strict stage order) and by
+        // inline stages from the committed state.
+        let n_nodes = self.eplan.nodes.len();
+        let mut exec_values: Vec<Option<ChannelData>> = vec![None; n_nodes];
+        let (tx, rx) = mpsc::channel::<(usize, std::result::Result<StageExec, String>)>();
+        let mut results: HashMap<usize, StageExec> = HashMap::new();
+        let mut dispatched: HashSet<usize> = HashSet::new();
+        let mut exec_done: HashSet<usize> = HashSet::new();
+
+        let outcome = crate::pool::scope(|scope| -> Result<Option<()>> {
+            let mut pos = 0usize;
+            while pos < order.len() {
+                // Dispatch every ready, undispatched poolable stage.
+                for &s in &order {
+                    if poolable.contains(&s)
+                        && !dispatched.contains(&s)
+                        && deps[&s].iter().all(|d| exec_done.contains(d))
+                    {
+                        dispatched.insert(s);
+                        let snapshot = exec_values.clone();
+                        let tx = tx.clone();
+                        let iteration = st.iteration;
+                        scope.spawn(move || {
+                            let run =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    self.exec_stage(s, &snapshot, iteration)
+                                }));
+                            match run {
+                                Ok(sx) => {
+                                    let _ = tx.send((s, Ok(sx)));
+                                }
+                                Err(p) => {
+                                    // Unblock the coordinator's recv before
+                                    // re-raising on the pool scope.
+                                    let _ = tx.send((s, Err(format!("stage {s} worker panicked"))));
+                                    std::panic::resume_unwind(p);
+                                }
+                            }
+                        });
+                    }
+                }
+                let s = order[pos];
+                if poolable.contains(&s) && !results.contains_key(&s) {
+                    // Bank one completion, then rescan: it may have
+                    // unblocked further dispatches.
+                    let (rs, r) = rx.recv().expect("stage workers outlive the dispatch loop");
+                    let sx = r.map_err(RheemError::Execution)?;
+                    for (nid, oc) in &sx.nodes {
+                        if let Ok(ex) = &oc.result {
+                            exec_values[*nid] = Some(ex.out.clone());
+                        }
+                    }
+                    exec_done.insert(rs);
+                    results.insert(rs, sx);
+                    continue;
+                }
+                if poolable.contains(&s) {
+                    let sx = results.remove(&s).expect("banked above");
+                    self.commit_stage(st, sx)?;
+                } else {
+                    // Inline on the coordinator: loop heads and demand-pulled
+                    // providers. `ensure_node` no-ops for values a loop body
+                    // already pulled.
+                    for nid in self.eplan.stages[s].nodes.clone() {
+                        self.ensure_node(st, nid)?;
+                    }
+                    for (ev, v) in exec_values.iter_mut().zip(&st.values) {
+                        if ev.is_none() && v.is_some() {
+                            *ev = v.clone();
+                        }
+                    }
+                }
+                exec_done.insert(s);
+                pos += 1;
+                // Progressive checkpoints at stage boundaries, with work
+                // remaining — the same predicate as the sequential walk.
+                let last = *self.eplan.stages[s].nodes.last().expect("stages are non-empty");
+                if self.config.progressive
+                    && pos < order.len()
+                    && self.checkpoint_triggers(st, last)
+                {
+                    self.close_stage_run(st);
+                    return Ok(Some(()));
+                }
+            }
+            Ok(None)
+        });
+        // The pool scope joined every worker; anything still un-committed is
+        // speculative. Return its consumed fault quota so a replay (next
+        // phase, failover, or the sequential walk) sees the same schedule.
+        drop(tx);
+        while let Ok((rs, r)) = rx.try_recv() {
+            if let Ok(sx) = r {
+                results.insert(rs, sx);
+            }
+        }
+        for sx in results.values() {
+            self.undo_stage_faults(sx);
+        }
+        outcome
+    }
+
     fn close_stage_run(&self, st: &mut RunState) {
         if let Some(stage) = st.open_stage.take() {
+            let run_end = st.run_end.max(st.run_base);
+            if let Some((p, lane)) = st.run_lane.take() {
+                if let Some(lanes) = st.lanes.get_mut(p) {
+                    lanes[lane] = run_end;
+                }
+            }
             if let Some(h) = &self.trace {
                 if let Some((sid, run_id)) = st.run_span.take() {
-                    h.trace.end(sid, h.base_ms + st.run_clock.max(st.run_base));
+                    h.trace.end(sid, h.base_ms + run_end);
                     h.trace.attr(sid, "virtual_ms", st.run_virtual_ms.into());
                     h.trace.add_run(RunProfile {
                         phase: h.trace.phase(),

@@ -51,6 +51,7 @@ pub mod movement;
 pub mod optimizer;
 pub mod plan;
 pub mod platform;
+pub mod pool;
 pub mod progressive;
 pub mod registry;
 pub mod trace;

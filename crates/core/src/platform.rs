@@ -99,6 +99,11 @@ pub struct PlatformProfile {
     /// Abstract CPU cycles one virtual core executes per millisecond; the
     /// unit cost linking the learned resource functions (§4.5) to time.
     pub cycles_per_ms: f64,
+    /// Concurrent stage submissions the engine accepts (scheduler lanes):
+    /// independent stages beyond this serialize in virtual time. `0` = auto
+    /// (one lane per 8 cores, minimum one) — single-threaded engines get
+    /// exactly one lane, so the cost model and the schedule agree.
+    pub stage_slots: u32,
 }
 
 impl Default for PlatformProfile {
@@ -115,11 +120,21 @@ impl Default for PlatformProfile {
             mem_mb: 20_480.0, // paper: 20 GB max RAM per platform
             barrier_ms: 0.0,
             cycles_per_ms: 1_000_000.0,
+            stage_slots: 0,
         }
     }
 }
 
 impl PlatformProfile {
+    /// Resolved scheduler-lane count: explicit [`PlatformProfile::stage_slots`]
+    /// when set, else one lane per 8 cores (minimum one).
+    pub fn slots(&self) -> usize {
+        if self.stage_slots > 0 {
+            return self.stage_slots as usize;
+        }
+        ((self.cores / 8) as usize).max(1)
+    }
+
     /// Virtual ms to ship `bytes` over the network.
     pub fn net_ms(&self, bytes: f64) -> f64 {
         bytes / (self.net_mb_per_sec * 1024.0 * 1024.0) * 1000.0
@@ -238,6 +253,7 @@ impl Profiles {
                 task_overhead_ms: 0.0,
                 cores: 4, // "parallel query" = 4 (§2.4)
                 partitions: 4,
+                stage_slots: 4, // concurrent connections run queries in parallel
                 disk_mb_per_sec: 150.0,
                 net_mb_per_sec: 110.0,
                 // C engine, but a tuple-at-a-time interpreter (expression
@@ -352,6 +368,19 @@ mod tests {
         assert!((p.net_ms(1024.0 * 1024.0) - 1000.0).abs() < 1e-6);
         let p2 = PlatformProfile { disk_mb_per_sec: 2.0, ..PlatformProfile::default() };
         assert!((p2.disk_ms(2.0 * 1024.0 * 1024.0) - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slots_resolve_auto_and_explicit() {
+        let single = PlatformProfile { cores: 1, ..PlatformProfile::default() };
+        assert_eq!(single.slots(), 1, "single-core engines get one lane");
+        let wide = PlatformProfile { cores: 40, ..PlatformProfile::default() };
+        assert_eq!(wide.slots(), 5);
+        let pinned = PlatformProfile { cores: 40, stage_slots: 2, ..PlatformProfile::default() };
+        assert_eq!(pinned.slots(), 2, "explicit slots win over auto");
+        let p = Profiles::paper_testbed();
+        assert_eq!(p.get(ids::JAVA_STREAMS).slots(), 1);
+        assert_eq!(p.get(ids::POSTGRES).slots(), 4);
     }
 
     #[test]

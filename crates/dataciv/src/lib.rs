@@ -204,6 +204,84 @@ pub fn build_join_task(_db: &Arc<PgDatabase>) -> Result<(RheemPlan, OperatorId)>
     b.build().map(|plan| (plan, sink))
 }
 
+/// Build a **batch of independent analytic tasks** over the lake placement
+/// as one multi-sink plan — the data-lake scenario (§2.1): several tenants'
+/// tasks run against the same stores at once. The tasks share no operators,
+/// so their stage DAGs are disjoint and a concurrent scheduler can overlap
+/// them across stores; a sequential executor pays their costs back-to-back.
+///
+/// * join: SUPPLIER ⋈ CUSTOMER on `nationkey` out of Postgres (Fig. 10a),
+/// * revenue: discounted revenue per supplier from LINEITEM on HDFS,
+/// * years: order count per year from ORDERS on HDFS.
+///
+/// Returns the plan plus the three sink ids in that order.
+pub fn build_task_batch(p: &Placement) -> Result<(RheemPlan, Vec<OperatorId>)> {
+    let mut b = PlanBuilder::new();
+
+    let suppliers = b.read_table("supplier").project(vec![0usize, 2]);
+    let customers = b.read_table("customer").project(vec![0usize, 2]);
+    let join_sink = suppliers
+        .join(&customers, KeyUdf::field(1), KeyUdf::field(1))
+        .map(MapUdf::new("nk_one", |pair| {
+            Value::pair(pair.field(0).field(1).clone(), Value::from(1))
+        }))
+        .reduce_by_key(
+            KeyUdf::field(0),
+            ReduceUdf::new("cnt", |a, b| {
+                Value::pair(
+                    a.field(0).clone(),
+                    Value::from(
+                        a.field(1).as_int().unwrap_or(0) + b.field(1).as_int().unwrap_or(0),
+                    ),
+                )
+            }),
+        )
+        .collect();
+
+    let revenue_sink = b
+        .read_text_file(p.lineitem.clone())
+        .map(parse_tbl())
+        .map(MapUdf::new("supp_rev", |l| {
+            Value::pair(
+                l.field(1).clone(),
+                Value::from(
+                    l.field(2).as_f64().unwrap_or(0.0) * (1.0 - l.field(3).as_f64().unwrap_or(0.0)),
+                ),
+            )
+        }))
+        .reduce_by_key(
+            KeyUdf::field(0),
+            ReduceUdf::new("sum_rev", |a, b| {
+                Value::pair(
+                    a.field(0).clone(),
+                    Value::from(
+                        a.field(1).as_f64().unwrap_or(0.0) + b.field(1).as_f64().unwrap_or(0.0),
+                    ),
+                )
+            }),
+        )
+        .collect();
+
+    let years_sink = b
+        .read_text_file(p.orders.clone())
+        .map(parse_tbl())
+        .map(MapUdf::new("year_one", |o| Value::pair(o.field(2).clone(), Value::from(1))))
+        .reduce_by_key(
+            KeyUdf::field(0),
+            ReduceUdf::new("cnt", |a, b| {
+                Value::pair(
+                    a.field(0).clone(),
+                    Value::from(
+                        a.field(1).as_int().unwrap_or(0) + b.field(1).as_int().unwrap_or(0),
+                    ),
+                )
+            }),
+        )
+        .collect();
+
+    b.build().map(|plan| (plan, vec![join_sink, revenue_sink, years_sink]))
+}
+
 /// Reference result for the join task (oracle).
 pub fn join_task_reference(data: &TpchData) -> Vec<(i64, i64)> {
     use std::collections::HashMap;
@@ -262,6 +340,32 @@ mod tests {
         // HDFS/local-FS sides are read by whichever engine the optimizer
         // picked (possibly the driver itself at this tiny scale)
         assert!(result.metrics.platforms.contains(&rheem_core::platform::ids::POSTGRES));
+    }
+
+    #[test]
+    fn task_batch_join_sink_matches_reference() {
+        let data = tpch::generate(0.1, 29);
+        let p = place(&data, "dataciv_test_batch").unwrap();
+        let ctx = polystore_ctx(&p.db);
+        let (plan, sinks) = build_task_batch(&p).unwrap();
+        let result = ctx.execute(&plan).unwrap();
+        // Sink 0 is the Fig. 10(a) join — check it against the oracle.
+        let mut got: Vec<(i64, i64)> = result
+            .sink(sinks[0])
+            .unwrap()
+            .iter()
+            .map(|v| (v.field(0).as_int().unwrap(), v.field(1).as_int().unwrap()))
+            .collect();
+        got.sort();
+        assert_eq!(got, join_task_reference(&data));
+        // The other tasks' sinks materialized: one revenue row per supplier
+        // appearing in LINEITEM and one count per distinct order year.
+        let rev_suppliers: std::collections::HashSet<i64> =
+            data.lineitem.iter().map(|l| l.field(1).as_int().unwrap()).collect();
+        assert_eq!(result.sink(sinks[1]).unwrap().len(), rev_suppliers.len());
+        let years: std::collections::HashSet<i64> =
+            data.orders.iter().map(|o| o.field(2).as_int().unwrap()).collect();
+        assert_eq!(result.sink(sinks[2]).unwrap().len(), years.len());
     }
 
     #[test]

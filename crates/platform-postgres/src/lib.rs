@@ -357,10 +357,10 @@ impl ExecutionOperator for PgOperator {
             PgOp::Logical(op) => {
                 let a = inputs
                     .first()
-                    .map(|c| relation_rows(c))
+                    .map(relation_rows)
                     .transpose()?
                     .unwrap_or_else(|| Arc::new(Vec::new()));
-                let b = inputs.get(1).map(|c| relation_rows(c)).transpose()?;
+                let b = inputs.get(1).map(relation_rows).transpose()?;
                 let in_card = a.len() as u64 + b.as_ref().map(|d| d.len() as u64).unwrap_or(0);
                 let out = match op {
                     LogicalOp::Map(udf) => kernels::map(&a, udf, bc),

@@ -12,7 +12,7 @@
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use rheem_core::channel::{kinds, ChannelData, ChannelDescriptor, ChannelKind};
@@ -51,12 +51,15 @@ pub fn partition_count(n: usize, max_partitions: u32) -> usize {
 }
 
 /// How many worker threads a stage gets: the profile's core count, capped by
-/// what the host can actually run in parallel (so measured per-partition
-/// times stay honest).
+/// the shared worker pool's size (so measured per-partition times stay
+/// honest).
 pub fn pool_size(profile: &rheem_core::platform::PlatformProfile) -> usize {
-    let host = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    (profile.cores as usize).clamp(1, host)
+    (profile.cores as usize).clamp(1, rheem_core::pool::size())
 }
+
+/// One worker's output: `(partition index, output, elapsed ms)` per
+/// partition it processed, or the first error it hit.
+type WorkerBatch = Result<Vec<(usize, Dataset, f64)>>;
 
 /// Run `f` over each partition with a default-sized worker pool; returns the
 /// output partitions and the measured per-partition times (ms).
@@ -64,14 +67,15 @@ pub fn par_map_partitions<F>(parts: &[Dataset], f: F) -> Result<(Vec<Dataset>, V
 where
     F: Fn(usize, &[Value]) -> Result<Vec<Value>> + Send + Sync,
 {
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    par_map_partitions_pooled(parts, workers, f)
+    par_map_partitions_pooled(parts, rheem_core::pool::size(), f)
 }
 
-/// [`par_map_partitions`] with an explicit pool size (the operator derives it
-/// from the platform profile via [`pool_size`]). Workers pull partition
-/// indices off a shared queue and hand back their `(index, output, ms)`
-/// batches through scoped join handles — no per-partition locks.
+/// [`par_map_partitions`] with an explicit worker count (the operator derives
+/// it from the platform profile via [`pool_size`]). Workers run on the
+/// process-wide shared pool ([`rheem_core::pool`]) — no per-call thread
+/// spawns — pull partition indices off a shared queue, and hand back their
+/// `(index, output, ms)` batches; indices keep the merge order-stable no
+/// matter which worker produced what.
 pub fn par_map_partitions_pooled<F>(
     parts: &[Dataset],
     workers: usize,
@@ -82,38 +86,44 @@ where
 {
     let n = parts.len();
     let workers = workers.clamp(1, n.max(1));
-    let next = AtomicUsize::new(0);
+    let next = &AtomicUsize::new(0);
     let f = &f;
-    let batches: Vec<Result<Vec<(usize, Dataset, f64)>>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| -> Result<Vec<(usize, Dataset, f64)>> {
-                    let mut mine = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+    let batches: Mutex<Vec<WorkerBatch>> = Mutex::new(Vec::with_capacity(workers));
+    rheem_core::pool::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut mine = Vec::new();
+                let mut failed = None;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let start = Instant::now();
+                    match f(i, &parts[i]) {
+                        Ok(out) => {
+                            let ms = start.elapsed().as_secs_f64() * 1000.0;
+                            mine.push((i, Arc::new(out), ms));
+                        }
+                        Err(e) => {
+                            failed = Some(e);
                             break;
                         }
-                        let start = Instant::now();
-                        let out = f(i, &parts[i])?;
-                        let ms = start.elapsed().as_secs_f64() * 1000.0;
-                        mine.push((i, Arc::new(out), ms));
                     }
-                    Ok(mine)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .unwrap_or_else(|_| Err(RheemError::Execution("spark worker panicked".into())))
-            })
-            .collect()
+                }
+                let batch = match failed {
+                    Some(e) => Err(e),
+                    None => Ok(mine),
+                };
+                batches.lock().unwrap().push(batch);
+            });
+        }
     });
-    let mut out_parts: Vec<Dataset> = vec![Arc::new(Vec::new()); n];
+    // Placeholder slots all share one empty Arc; every slot is overwritten.
+    let empty: Dataset = Arc::new(Vec::new());
+    let mut out_parts: Vec<Dataset> = vec![empty; n];
     let mut times = vec![0.0; n];
-    for batch in batches {
+    for batch in batches.into_inner().unwrap() {
         for (i, d, ms) in batch? {
             out_parts[i] = d;
             times[i] = ms;
@@ -803,22 +813,40 @@ impl ExecutionOperator for SparkParallelize {
         _bc: &BroadcastCtx,
     ) -> Result<ChannelData> {
         ctx.transfer_gate(ids::SPARK, self.name())?;
-        let data = inputs[0].flatten()?;
         let profile = ctx.profile(ids::SPARK);
-        let n = partition_count(data.len(), profile.partitions);
-        let chunk = data.len().div_ceil(n).max(1);
-        let parts: Vec<Dataset> = data.chunks(chunk).map(|c| Arc::new(c.to_vec())).collect();
-        let parts = if parts.is_empty() { vec![Arc::new(Vec::new())] } else { parts };
-        let net = profile.net_ms(dataset_bytes(&data) * 0.9);
+        // Already-partitioned handoffs pass through by Arc — no flatten +
+        // re-chunk round trip through a fresh Vec.
+        let (parts, card, bytes) = match &inputs[0] {
+            ChannelData::Partitions(p) => {
+                let card: usize = p.iter().map(|d| d.len()).sum();
+                let bytes: f64 = p.iter().map(|d| dataset_bytes(d)).sum();
+                (Arc::clone(p), card, bytes)
+            }
+            other => {
+                let data = other.flatten()?;
+                let n = partition_count(data.len(), profile.partitions);
+                let chunk = data.len().div_ceil(n).max(1);
+                let parts: Vec<Dataset> = if n <= 1 {
+                    // Single partition: share the driver's Arc outright.
+                    vec![Arc::clone(&data)]
+                } else {
+                    data.chunks(chunk).map(|c| Arc::new(c.to_vec())).collect()
+                };
+                let parts = if parts.is_empty() { vec![Arc::new(Vec::new())] } else { parts };
+                let (card, bytes) = (data.len(), dataset_bytes(&data));
+                (Arc::new(parts), card, bytes)
+            }
+        };
+        let net = profile.net_ms(bytes * 0.9);
         ctx.record(OpMetrics {
             name: "SparkParallelize".into(),
             platform: ids::SPARK,
-            in_card: data.len() as u64,
-            out_card: data.len() as u64,
+            in_card: card as u64,
+            out_card: card as u64,
             virtual_ms: net + 0.5,
             real_ms: 0.0,
         });
-        Ok(ChannelData::Partitions(Arc::new(parts)))
+        Ok(ChannelData::Partitions(parts))
     }
 }
 

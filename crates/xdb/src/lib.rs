@@ -90,7 +90,9 @@ mod tests {
     use rheem_core::api::RheemContext;
     use std::sync::Arc;
 
-    fn communities(seed: u64) -> (Vec<(i64, i64)>, Vec<(i64, i64)>) {
+    type Edges = Vec<(i64, i64)>;
+
+    fn communities(seed: u64) -> (Edges, Edges) {
         let base = rheem_datagen::generate_graph(300, 4, seed);
         // community B = subset of A's edges plus noise
         let b: Vec<(i64, i64)> = base

@@ -130,7 +130,7 @@ pub fn parse(sql: &str) -> Result<Query> {
                 aggregate = Some((f, col));
                 i += 4;
             }
-            t if t == "*" => {
+            "*" => {
                 i += 1;
             }
             t => {

@@ -9,11 +9,18 @@ cargo fmt --check
 echo "== cargo clippy -p rheem-core (deny warnings)"
 cargo clippy -p rheem-core --all-targets -- -D warnings
 
-echo "== tier-1: build + full test suite"
+echo "== tier-1: build + full test suite (adaptive scheduler)"
 cargo build --release
 cargo test -q
 
+echo "== tier-1 under both forced scheduler modes"
+RHEEM_SCHED=conc cargo test -q
+RHEEM_SCHED=seq cargo test -q
+
 echo "== trace round-trip (native JSON + chrome export)"
 cargo run --release -q -p rheem-bench --bin trace_dump
+
+echo "== scheduler bench gate (makespan < sequential sum; pool < spawn)"
+cargo run --release -q -p rheem-bench --bin sched_bench
 
 echo "== all checks passed"

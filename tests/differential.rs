@@ -204,6 +204,87 @@ fn seeded_chaos_never_produces_wrong_answers() {
     assert!(survived > 0, "chaos matrix never survived a run");
 }
 
+// ---- scheduler modes ----------------------------------------------------
+
+/// Run the spec under one scheduler mode; returns the canonical (sorted)
+/// sink output and the deterministic span-tree structure.
+fn run_spec_mode(
+    spec: &Spec,
+    concurrent: bool,
+    chaos_seed: Option<u64>,
+) -> Result<(Vec<Value>, String)> {
+    let mut ctx = rheem::default_context();
+    // Force the mode (`Some`) so the concurrent dispatcher is exercised even
+    // on single-CPU hosts, where the adaptive default would walk in-line.
+    ctx.config_mut().concurrent = Some(concurrent);
+    ctx.config_mut().chaos_seed = chaos_seed;
+    let (plan, sink) = build_plan(spec);
+    let result = ctx.execute(&plan)?;
+    let mut out = result.sink(sink)?.to_vec();
+    out.sort();
+    let structure = result.trace.as_ref().map(|t| t.render_structure()).unwrap_or_default();
+    Ok((out, structure))
+}
+
+/// The concurrent DAG scheduler must be invisible in every observable:
+/// multi-branch random plans produce byte-identical sink outputs *and*
+/// byte-identical span trees (same spans, same order, same lane
+/// assignments) as the sequential stage walk.
+#[test]
+fn scheduler_modes_agree_on_results_and_traces() {
+    for case in 0u64..10 {
+        let spec = gen_spec(case);
+        let (seq_out, seq_trace) = run_spec_mode(&spec, false, None).unwrap();
+        let (conc_out, conc_trace) = run_spec_mode(&spec, true, None).unwrap();
+        assert_eq!(
+            conc_out, seq_out,
+            "case {case}: concurrent scheduler changed the answer: {spec:?}"
+        );
+        assert_eq!(
+            conc_trace, seq_trace,
+            "case {case}: concurrent scheduler changed the span tree: {spec:?}"
+        );
+    }
+}
+
+/// Mode-agreement must also hold under seeded chaos: retry/failover of one
+/// stage while others are in flight may not corrupt a concurrent lane. Both
+/// modes must survive identically (same answer, same trace) or die with the
+/// same typed error.
+#[test]
+fn scheduler_modes_agree_under_chaos() {
+    for chaos_seed in chaos_seeds() {
+        for case in 0u64..6 {
+            let spec = gen_spec(case);
+            let seq = run_spec_mode(&spec, false, Some(chaos_seed));
+            let conc = run_spec_mode(&spec, true, Some(chaos_seed));
+            match (seq, conc) {
+                (Ok((so, st)), Ok((co, ct))) => {
+                    assert_eq!(
+                        co, so,
+                        "chaos seed {chaos_seed:#x} case {case}: modes disagree on the answer"
+                    );
+                    assert_eq!(
+                        ct, st,
+                        "chaos seed {chaos_seed:#x} case {case}: modes disagree on the span tree"
+                    );
+                }
+                (Err(se), Err(ce)) => assert_eq!(
+                    se.to_string(),
+                    ce.to_string(),
+                    "chaos seed {chaos_seed:#x} case {case}: modes fail differently"
+                ),
+                (seq, conc) => panic!(
+                    "chaos seed {chaos_seed:#x} case {case}: one mode survived, the other \
+                     failed (seq ok={}, conc ok={})",
+                    seq.is_ok(),
+                    conc.is_ok()
+                ),
+            }
+        }
+    }
+}
+
 // ---- targeted faults ---------------------------------------------------
 
 /// Recoverable transient faults on every platform's operators leave results

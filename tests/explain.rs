@@ -209,7 +209,7 @@ fn explain_analyze_wordcount_golden_structure() {
       [costing] cost platforms=[java.streams]
     [stage] stage 0 @rheem.driver stage=0 iteration=0 phase=1 run=0
       [operator] DriverCollectionSource @rheem.driver node=0 tuples_in=0 tuples_out=60
-    [stage] stage 1 @java.streams stage=1 iteration=0 phase=1 run=1
+    [stage] stage 1 @java.streams stage=1 iteration=0 phase=1 run=1 lane=0
       [operator] JavaChain2∘ReduceBy @java.streams node=1 tuples_in=60 tuples_out=306 fused=3
         [event] java.fused @java.streams steps=2 terminal_agg=1
     [stage] stage 2 @rheem.driver stage=2 iteration=0 phase=1 run=2
