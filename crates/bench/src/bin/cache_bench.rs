@@ -1,0 +1,168 @@
+//! Cross-job result-cache benchmark: the repeated-exploration scenario of
+//! §6 (an analyst re-evaluates the same queries while exploring a dataset,
+//! Fig. 10(c)'s sniffer setting) with the cache cold, warm, and disabled.
+//!
+//! Measures, per workload,
+//!
+//! * **off** — virtual time with the cache disabled (the PR-4 baseline),
+//! * **cold** — first run against an empty cache (publication overhead is
+//!   zero virtual time: commits publish already-materialized channels), and
+//! * **warm** — rerun against the populated cache, where enumeration picks
+//!   `CachedSource` replays over recomputation.
+//!
+//! Results must be byte-identical across all three. Writes `BENCH_PR5.json`
+//! at the repo root and exits non-zero if the warm rerun of the wordcount
+//! exploration is not at least 2x cheaper in virtual time than the cold
+//! run — `scripts/check.sh` runs this as a gate.
+//!
+//! Run with `cargo run --release --bin cache_bench`.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use rheem_bench::*;
+use rheem_core::cache::ResultCache;
+use rheem_core::plan::{OperatorId, RheemPlan};
+use rheem_core::value::Value;
+
+const WARM_ITERS: u32 = 3;
+
+struct Row {
+    task: &'static str,
+    off_ms: f64,
+    cold_ms: f64,
+    warm_ms: f64,
+    hits: u64,
+    inserts: u64,
+}
+
+fn sorted_sink(
+    ctx: &rheem_core::api::RheemContext,
+    plan: &RheemPlan,
+    sink: OperatorId,
+) -> (Vec<Value>, f64) {
+    let r = ctx.execute(plan).expect("bench job");
+    let mut out = r.sink(sink).expect("sink").to_vec();
+    out.sort();
+    (out, r.metrics.virtual_ms)
+}
+
+/// Cold-vs-warm on one plan: off-reference, cold run on a fresh cache, then
+/// `WARM_ITERS` reruns (min virtual time). Asserts byte-identical results.
+fn bench_rerun(task: &'static str, plan: &RheemPlan, sink: OperatorId) -> Row {
+    let mut off_ctx = default_context();
+    off_ctx.set_cache(None);
+    let (reference, off_ms) = sorted_sink(&off_ctx, plan, sink);
+
+    let cache = Arc::new(ResultCache::new(256 << 20));
+    let ctx = default_context().with_shared_cache(Arc::clone(&cache));
+    let (cold, cold_ms) = sorted_sink(&ctx, plan, sink);
+    assert_eq!(cold, reference, "{task}: cold cached run diverged from the uncached run");
+
+    let mut warm_ms = f64::INFINITY;
+    for _ in 0..WARM_ITERS {
+        let (warm, v) = sorted_sink(&ctx, plan, sink);
+        assert_eq!(warm, reference, "{task}: warm cached run diverged from the uncached run");
+        warm_ms = warm_ms.min(v);
+    }
+    let stats = cache.stats();
+    println!(
+        "{task}: off {off_ms:.1} ms, cold {cold_ms:.1} ms, warm {warm_ms:.1} ms \
+         (min of {WARM_ITERS}; {} hits, {} inserts) — warm speedup {:.1}x",
+        stats.hits,
+        stats.inserts,
+        cold_ms / warm_ms.max(1e-9)
+    );
+    Row { task, off_ms, cold_ms, warm_ms, hits: stats.hits, inserts: stats.inserts }
+}
+
+fn main() {
+    let s = scale();
+    let mut rows = Vec::new();
+
+    // Fig. 10(c)-style repeated exploration: WordCount over the corpus the
+    // analyst keeps re-querying.
+    {
+        let kb = ((2048.0 * s) as usize).max(64);
+        let path = corpus_file("cache_bench", kb, 23);
+        let (plan, sink) = wordcount_plan(&path).expect("wordcount plan");
+        rows.push(bench_rerun("wordcount_rerun", &plan, sink));
+    }
+
+    // A narrower projection query over the same corpus — a second entry in
+    // the exploration session, with its own reuse opportunity.
+    {
+        let kb = ((2048.0 * s) as usize).max(64);
+        let path = corpus_file("cache_bench", kb, 23);
+        let mut b = rheem_core::plan::PlanBuilder::new();
+        let sink = b
+            .read_text_file(path)
+            .flat_map(rheem_core::udf::FlatMapUdf::new("split", |v| {
+                v.as_str().unwrap_or("").split_whitespace().map(Value::from).collect()
+            }))
+            .filter(rheem_core::udf::PredicateUdf::new("long", |v| {
+                v.as_str().map(|s| s.len() > 6).unwrap_or(false)
+            }))
+            .distinct()
+            .count()
+            .collect();
+        let plan = b.build().expect("projection plan");
+        rows.push(bench_rerun("long_words_count", &plan, sink));
+    }
+
+    // Gates: every warm rerun must actually reuse (hits > 0) and never cost
+    // more than its cold run; the headline wordcount exploration must be at
+    // least 2x cheaper warm than cold.
+    for r in &rows {
+        assert!(r.hits > 0, "{}: warm reruns never hit the cache", r.task);
+        assert!(r.inserts > 0, "{}: cold run published nothing", r.task);
+        assert!(
+            r.warm_ms <= r.cold_ms + 1e-9,
+            "{}: warm rerun ({:.1} ms) costs more than cold ({:.1} ms)",
+            r.task,
+            r.warm_ms,
+            r.cold_ms
+        );
+    }
+    let wc = rows.iter().find(|r| r.task == "wordcount_rerun").expect("wordcount benched");
+    let speedup = wc.cold_ms / wc.warm_ms.max(1e-9);
+    assert!(
+        speedup >= 2.0,
+        "wordcount warm rerun speedup {speedup:.2}x below the 2x gate \
+         (cold {:.1} ms, warm {:.1} ms)",
+        wc.cold_ms,
+        wc.warm_ms
+    );
+
+    let mut report = Report::new("cache_bench");
+    for r in &rows {
+        report.row("off", r.task, r.off_ms, "");
+        report.row("cold", r.task, r.cold_ms, "");
+        report.row("warm", r.task, r.warm_ms, &format!("{} hits", r.hits));
+    }
+    report.save();
+
+    let mut json = String::from("{\n  \"bench\": \"cache_bench\",\n");
+    let _ = writeln!(json, "  \"warm_iters\": {WARM_ITERS},");
+    json.push_str("  \"tasks\": {\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"off_virtual_ms\": {:.3}, \"cold_virtual_ms\": {:.3}, \
+             \"warm_virtual_ms\": {:.3}, \"warm_speedup\": {:.3}, \"hits\": {}, \
+             \"inserts\": {} }}{}",
+            r.task,
+            r.off_ms,
+            r.cold_ms,
+            r.warm_ms,
+            r.cold_ms / r.warm_ms.max(1e-9),
+            r.hits,
+            r.inserts,
+            comma
+        );
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_PR5.json", &json).expect("write BENCH_PR5.json");
+    println!("-- wrote BENCH_PR5.json ({} tasks)", rows.len());
+}

@@ -11,6 +11,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::builtin::register_builtins;
+use crate::cache::ResultCache;
 use crate::cardinality::Estimator;
 use crate::cost::{CostModel, Interval};
 use crate::error::{Result, RheemError};
@@ -82,6 +83,7 @@ pub struct RheemContext {
     config: ExecConfig,
     monitor: Monitor,
     metrics: MetricsRegistry,
+    cache: Option<Arc<ResultCache>>,
     /// Force every mappable operator onto one platform (platform-
     /// independence experiments; `None` = free choice).
     pub forced_platform: Option<PlatformId>,
@@ -105,6 +107,7 @@ impl RheemContext {
             config: ExecConfig::default(),
             monitor: Monitor::new(),
             metrics: MetricsRegistry::new(),
+            cache: ResultCache::from_env(),
             forced_platform: None,
         }
     }
@@ -121,6 +124,31 @@ impl RheemContext {
     pub fn with_fusion(mut self, on: bool) -> Self {
         self.registry.set_fusion(on);
         self
+    }
+
+    /// Enable the cross-job result cache with a byte budget (builder
+    /// style). Overrides the `RHEEM_CACHE` environment setting.
+    pub fn with_cache(mut self, budget_bytes: u64) -> Self {
+        self.cache = Some(Arc::new(ResultCache::new(budget_bytes)));
+        self
+    }
+
+    /// Share an existing cache handle with this context (builder style) —
+    /// how several contexts of one interactive session reuse each other's
+    /// intermediate results.
+    pub fn with_shared_cache(mut self, cache: Arc<ResultCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The cross-job result cache, when enabled.
+    pub fn cache(&self) -> Option<&Arc<ResultCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Replace or disable the cross-job result cache.
+    pub fn set_cache(&mut self, cache: Option<Arc<ResultCache>>) {
+        self.cache = cache;
     }
 
     /// Register a platform.
@@ -193,6 +221,7 @@ impl RheemContext {
     pub fn optimize(&self, plan: &RheemPlan) -> Result<OptimizedPlan> {
         let mut optimizer = Optimizer::new(&self.registry, &self.profiles, &self.model);
         optimizer.forced_platform = self.forced_platform;
+        optimizer.cache = self.cache.clone();
         optimizer.optimize(plan, &self.estimator())
     }
 
@@ -224,6 +253,7 @@ impl RheemContext {
     fn execute_with(&self, plan: &RheemPlan, config: &ExecConfig) -> Result<JobResult> {
         // The monitor accumulates across jobs; report this job's delta.
         let retries_before = self.monitor.retries();
+        let cache_before = self.cache.as_ref().map(|c| c.stats());
         let outcome = run_progressive(
             plan,
             &self.registry,
@@ -233,6 +263,7 @@ impl RheemContext {
             config,
             &self.monitor,
             self.forced_platform,
+            self.cache.clone(),
         )?;
         let result = JobResult {
             sinks: outcome.sink_data,
@@ -249,6 +280,13 @@ impl RheemContext {
             trace: outcome.trace,
         };
         self.record_job_metrics(&result);
+        if let (Some(c), Some(before)) = (&self.cache, cache_before) {
+            let after = c.stats();
+            self.metrics.inc("rheem_cache_hits_total", after.hits - before.hits);
+            self.metrics.inc("rheem_cache_misses_total", after.misses - before.misses);
+            self.metrics.inc("rheem_cache_inserts_total", after.inserts - before.inserts);
+            self.metrics.inc("rheem_cache_evictions_total", after.evictions - before.evictions);
+        }
         Ok(result)
     }
 

@@ -1,0 +1,543 @@
+//! Cross-job result cache (RHEEMix-style reuse of intermediate results).
+//!
+//! The paper's data-lake and polystore workloads resubmit overlapping plans
+//! over the same sources; RHEEMix makes *reusable channels* (collections,
+//! cached RDDs, relations) first-class in costing. This module closes the
+//! loop across jobs: the executor publishes reusable committed channels
+//! keyed by a canonical **subplan fingerprint**, and the optimizer's
+//! inflation phase injects zero-upstream [`CachedSource`] candidates for
+//! fingerprint hits — so enumeration *chooses* reuse only when the cache
+//! read (costed via [`rheem_storage::StoreCosts`]) beats recomputation.
+//!
+//! Fingerprints are structural: operator kind + parameters + UDF identity
+//! (name + cost hint — names key cost-model parameters and are the UDF
+//! identity contract throughout), combined bottom-up with the fingerprints
+//! of all inputs and broadcasts. File sources fold in the backing file's
+//! length and mtime from [`rheem_storage::stat_meta`], so rewriting a source
+//! changes the fingerprint and stale entries can never be served — they age
+//! out of the LRU instead. Operators whose output is not a pure function of
+//! the fingerprint (samplers, loop heads and bodies, mutable table scans)
+//! have no fingerprint, and neither does anything downstream of them.
+//!
+//! The cache is off unless `RHEEM_CACHE=on` (budget: `RHEEM_CACHE_MB`,
+//! default 256); entries are evicted least-recently-used under the byte
+//! budget.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+use crate::builtin::CONTROL;
+use crate::channel::{kinds, ChannelData, ChannelKind};
+use crate::cost::Load;
+use crate::error::Result;
+use crate::exec::{dataset_bytes, ExecCtx, ExecutionOperator, OpMetrics};
+use crate::plan::{LogicalOp, OperatorNode, RheemPlan};
+use crate::platform::PlatformId;
+use crate::udf::BroadcastCtx;
+use crate::value::Dataset;
+use rheem_storage::{default_costs, StoreKind};
+
+/// Canonical fingerprint of an operator subplan: a hash over the operator
+/// chain, UDF identities, parameters and source-file identity of the whole
+/// transitive input closure.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64);
+
+impl fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fp:{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Version salt: bump when the fingerprint recipe changes so entries from
+/// an older recipe cannot alias.
+const FP_VERSION: &str = "rheem.cache.v1";
+
+/// Hash cap for in-memory collection sources: content-hashing beyond this
+/// many quanta costs more than it saves, so larger collections simply have
+/// no fingerprint.
+const COLLECTION_HASH_CAP: usize = 1 << 20;
+
+/// Per-operator fingerprints for a plan, indexed by operator id. `None`
+/// marks operators whose result is not safely reusable across jobs.
+pub fn plan_fingerprints(plan: &RheemPlan) -> Vec<Option<Fingerprint>> {
+    let n = plan.len();
+    let mut fps: Vec<Option<Fingerprint>> = vec![None; n];
+    let Ok(topo) = plan.topological_order() else {
+        return fps;
+    };
+    for id in topo {
+        let node = plan.node(id);
+        fps[id.index()] = node_fingerprint(node, &fps);
+    }
+    fps
+}
+
+fn node_fingerprint(node: &OperatorNode, fps: &[Option<Fingerprint>]) -> Option<Fingerprint> {
+    // Loop bodies and heads replay with iteration-dependent state; their
+    // per-commit values are not THE result of the subplan.
+    if node.loop_of.is_some() || node.op.kind().is_loop_head() || node.op.kind().is_sink() {
+        return None;
+    }
+    let mut h = DefaultHasher::new();
+    FP_VERSION.hash(&mut h);
+    node.op.kind().token().hash(&mut h);
+    op_params(&node.op, &mut h)?;
+    // Inputs in slot order, then broadcasts by name: any non-reusable
+    // upstream poisons the whole subtree.
+    for inp in &node.inputs {
+        fps[inp.index()]?.0.hash(&mut h);
+    }
+    for (name, b) in &node.broadcasts {
+        name.hash(&mut h);
+        fps[b.index()]?.0.hash(&mut h);
+    }
+    Some(Fingerprint(h.finish()))
+}
+
+/// Hash the identity-relevant parameters of one operator; `None` when the
+/// operator's output is not a pure function of its structure and inputs.
+/// Optimizer hints (`selectivity`, `target_platform`) are deliberately
+/// excluded — they steer plan choice, not results.
+fn op_params(op: &LogicalOp, h: &mut DefaultHasher) -> Option<()> {
+    match op {
+        LogicalOp::TextFileSource { path } => {
+            path.hash(h);
+            // File identity: a rewrite bumps len or mtime and thereby the
+            // fingerprint — mtime-based invalidation without a sweeper.
+            let meta = rheem_storage::stat_meta(path).ok()?;
+            meta.len.hash(h);
+            meta.mtime_ns.hash(h);
+            (meta.store == StoreKind::Hdfs).hash(h);
+        }
+        LogicalOp::CollectionSource { data } => {
+            if data.len() > COLLECTION_HASH_CAP {
+                return None;
+            }
+            data.len().hash(h);
+            for v in data.iter() {
+                v.hash(h);
+            }
+        }
+        // The table store is mutable between jobs and exposes no version.
+        LogicalOp::TableSource { .. } => return None,
+        LogicalOp::Map(u) => hash_udf(h, &u.name, u.cost_hint),
+        LogicalOp::FlatMap(u) => hash_udf(h, &u.name, u.cost_hint),
+        LogicalOp::Filter(u) => hash_udf(h, &u.name, u.cost_hint),
+        LogicalOp::Project { fields } => fields.hash(h),
+        LogicalOp::SargFilter { pred, sarg } => {
+            hash_udf(h, &pred.name, pred.cost_hint);
+            sarg.field.hash(h);
+            (sarg.op as u8).hash(h);
+            sarg.literal.hash(h);
+        }
+        // Sample draws depend on the job seed and iteration.
+        LogicalOp::Sample { .. } => return None,
+        LogicalOp::SortBy(u) => hash_udf(h, &u.name, u.cost_hint),
+        LogicalOp::Distinct | LogicalOp::Count | LogicalOp::Union | LogicalOp::Cartesian => {}
+        LogicalOp::GroupBy(u) => hash_udf(h, &u.name, u.cost_hint),
+        LogicalOp::Reduce(u) => hash_udf(h, &u.name, u.cost_hint),
+        LogicalOp::ReduceBy { key, agg } => {
+            hash_udf(h, &key.name, key.cost_hint);
+            hash_udf(h, &agg.name, agg.cost_hint);
+        }
+        LogicalOp::Join { left_key, right_key } => {
+            hash_udf(h, &left_key.name, left_key.cost_hint);
+            hash_udf(h, &right_key.name, right_key.cost_hint);
+        }
+        LogicalOp::InequalityJoin { conds } => {
+            for c in conds {
+                c.left_field.hash(h);
+                (c.op as u8).hash(h);
+                c.right_field.hash(h);
+            }
+        }
+        LogicalOp::PageRank { iterations, damping } => {
+            iterations.hash(h);
+            damping.to_bits().hash(h);
+        }
+        // Handled by the guard above; unreachable here.
+        LogicalOp::RepeatLoop { .. }
+        | LogicalOp::DoWhile { .. }
+        | LogicalOp::CollectionSink
+        | LogicalOp::TextFileSink { .. } => return None,
+    }
+    Some(())
+}
+
+fn hash_udf(h: &mut DefaultHasher, name: &str, cost_hint: f64) {
+    name.hash(h);
+    cost_hint.to_bits().hash(h);
+}
+
+/// A successful cache lookup.
+#[derive(Clone)]
+pub struct CacheHit {
+    /// The cached result (shared, never copied).
+    pub data: Dataset,
+    /// Its accounted byte size.
+    pub bytes: u64,
+}
+
+/// Counters of a [`ResultCache`], cumulative since creation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries evicted under the byte budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Bytes currently resident.
+    pub bytes: u64,
+}
+
+struct Entry {
+    data: Dataset,
+    bytes: u64,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<u64, Entry>,
+    clock: u64,
+    bytes: u64,
+    hits: u64,
+    misses: u64,
+    inserts: u64,
+    evictions: u64,
+}
+
+/// Default byte budget (256 MB), overridable via `RHEEM_CACHE_MB`.
+pub const DEFAULT_BUDGET_BYTES: u64 = 256 << 20;
+
+/// Shared, size-budgeted cross-job cache of reusable intermediate results,
+/// keyed by subplan [`Fingerprint`]. Thread-safe; share one handle across
+/// contexts via [`crate::api::RheemContext::with_shared_cache`].
+pub struct ResultCache {
+    budget: u64,
+    inner: Mutex<Inner>,
+}
+
+impl ResultCache {
+    /// A cache with an explicit byte budget.
+    pub fn new(budget_bytes: u64) -> Self {
+        Self { budget: budget_bytes.max(1), inner: Mutex::new(Inner::default()) }
+    }
+
+    /// Build from the environment: `Some` iff `RHEEM_CACHE` is `on`/`1`/
+    /// `true` (case-insensitive), with the budget from `RHEEM_CACHE_MB`.
+    pub fn from_env() -> Option<Arc<ResultCache>> {
+        let v = std::env::var("RHEEM_CACHE").ok()?;
+        if !matches!(v.to_ascii_lowercase().as_str(), "on" | "1" | "true") {
+            return None;
+        }
+        let budget = std::env::var("RHEEM_CACHE_MB")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .map(|mb| mb << 20)
+            .unwrap_or(DEFAULT_BUDGET_BYTES);
+        Some(Arc::new(ResultCache::new(budget)))
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    /// Look up a fingerprint; counts a hit or miss and refreshes LRU age.
+    pub fn lookup(&self, fp: Fingerprint) -> Option<CacheHit> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(&fp.0) {
+            Some(e) => {
+                e.last_used = clock;
+                let hit = CacheHit { data: Arc::clone(&e.data), bytes: e.bytes };
+                inner.hits += 1;
+                Some(hit)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Publish a result. Re-publishing an existing fingerprint only
+    /// refreshes its age; results over the whole budget are rejected.
+    /// Evicts least-recently-used entries until the budget holds (the
+    /// LRU clock is unique per operation, so eviction order is
+    /// deterministic).
+    pub fn insert(&self, fp: Fingerprint, data: Dataset) {
+        let bytes = (dataset_bytes(&data).ceil() as u64).max(1);
+        if bytes > self.budget {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(e) = inner.map.get_mut(&fp.0) {
+            e.last_used = clock;
+            return;
+        }
+        inner.map.insert(fp.0, Entry { data, bytes, last_used: clock });
+        inner.bytes += bytes;
+        inner.inserts += 1;
+        while inner.bytes > self.budget {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+                .expect("over budget implies non-empty");
+            let evicted = inner.map.remove(&victim).unwrap();
+            inner.bytes -= evicted.bytes;
+            inner.evictions += 1;
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            inserts: inner.inserts,
+            evictions: inner.evictions,
+            entries: inner.map.len() as u64,
+            bytes: inner.bytes,
+        }
+    }
+
+    /// Drop all entries (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.bytes = 0;
+        inner.map.clear();
+    }
+}
+
+impl fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "ResultCache({} entries, {}/{} bytes, {} hits, {} misses)",
+            s.entries, s.bytes, self.budget, s.hits, s.misses
+        )
+    }
+}
+
+/// Zero-input execution operator replaying a cached subplan result. The
+/// optimizer injects one per fingerprint hit, covering the hit operator's
+/// whole input closure; enumeration picks it only when the replay cost
+/// (local-store read via [`rheem_storage::StoreCosts`] plus conversion out
+/// of the collection channel) undercuts recomputation.
+pub struct CachedSource {
+    data: Dataset,
+    bytes: u64,
+    card: u64,
+    read_ms: f64,
+    fp: Fingerprint,
+}
+
+impl CachedSource {
+    /// Wrap a cache hit for operator-level replay.
+    pub fn new(hit: CacheHit, fp: Fingerprint) -> Self {
+        let card = hit.data.len() as u64;
+        let read_ms = default_costs(StoreKind::Local).read_ms(hit.bytes);
+        Self { data: hit.data, bytes: hit.bytes, card, read_ms, fp }
+    }
+}
+
+impl ExecutionOperator for CachedSource {
+    fn name(&self) -> &str {
+        "CachedSource"
+    }
+    fn platform(&self) -> PlatformId {
+        CONTROL
+    }
+    fn accepted_inputs(&self, _slot: usize) -> Vec<ChannelKind> {
+        vec![]
+    }
+    fn output_kind(&self) -> ChannelKind {
+        kinds::COLLECTION
+    }
+    fn load(&self, _in_cards: &[f64], _avg_bytes: f64, _model: &crate::cost::CostModel) -> Load {
+        // Mirror the runtime charge: a local-store read of the cached bytes
+        // plus a token per-quantum touch.
+        Load {
+            cpu_cycles: self.card as f64 * 10.0,
+            disk_bytes: self.bytes as f64,
+            net_bytes: 0.0,
+            mem_bytes: self.bytes as f64,
+            tasks: 1,
+        }
+    }
+    fn execute(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        _inputs: &[ChannelData],
+        _bc: &BroadcastCtx,
+    ) -> Result<ChannelData> {
+        ctx.trace_event("cache.hit", || {
+            vec![
+                ("fingerprint".to_string(), self.fp.to_string().into()),
+                ("tuples".to_string(), (self.card as usize).into()),
+                ("bytes".to_string(), (self.bytes as usize).into()),
+            ]
+        });
+        // Fixed virtual charge (not wall time): replays must cost the same
+        // in every scheduler mode for results and traces to stay identical.
+        ctx.record(OpMetrics {
+            name: "CachedSource".to_string(),
+            platform: CONTROL,
+            in_card: 0,
+            out_card: self.card,
+            virtual_ms: self.read_ms,
+            real_ms: 0.0,
+        });
+        Ok(ChannelData::Collection(Arc::clone(&self.data)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanBuilder;
+    use crate::udf::{KeyUdf, MapUdf, ReduceUdf};
+    use crate::value::Value;
+
+    fn dataset(n: usize) -> Dataset {
+        Arc::new((0..n as i64).map(Value::from).collect())
+    }
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint(n)
+    }
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let cache = ResultCache::new(1 << 20);
+        assert!(cache.lookup(fp(1)).is_none());
+        cache.insert(fp(1), dataset(10));
+        let hit = cache.lookup(fp(1)).expect("hit");
+        assert_eq!(hit.data.len(), 10);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts, s.entries), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_under_budget() {
+        // Each 100-int dataset accounts a few hundred bytes; a small budget
+        // holds roughly two of them.
+        let one = (dataset_bytes(&dataset(100)).ceil() as u64).max(1);
+        let cache = ResultCache::new(2 * one + one / 2);
+        cache.insert(fp(1), dataset(100));
+        cache.insert(fp(2), dataset(100));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.lookup(fp(1)).is_some());
+        cache.insert(fp(3), dataset(100));
+        assert!(cache.lookup(fp(2)).is_none(), "LRU entry evicted");
+        assert!(cache.lookup(fp(1)).is_some());
+        assert!(cache.lookup(fp(3)).is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(s.bytes <= cache.budget_bytes());
+    }
+
+    #[test]
+    fn oversized_result_rejected() {
+        let cache = ResultCache::new(8);
+        cache.insert(fp(1), dataset(1000));
+        assert!(cache.lookup(fp(1)).is_none());
+        assert_eq!(cache.stats().inserts, 0);
+    }
+
+    #[test]
+    fn reinsert_refreshes_not_duplicates() {
+        let cache = ResultCache::new(1 << 20);
+        cache.insert(fp(1), dataset(5));
+        cache.insert(fp(1), dataset(5));
+        let s = cache.stats();
+        assert_eq!((s.inserts, s.entries), (1, 1));
+    }
+
+    fn wordcount_like(udf_name: &str) -> crate::plan::RheemPlan {
+        let mut b = PlanBuilder::new();
+        let data: Vec<Value> = (0..100i64).map(Value::from).collect();
+        b.collection(data)
+            .map(MapUdf::new(udf_name.to_string(), |v| v.clone()))
+            .reduce_by_key(KeyUdf::identity(), ReduceUdf::sum())
+            .collect();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fingerprints_are_structural() {
+        let p1 = wordcount_like("tokenize");
+        let p2 = wordcount_like("tokenize");
+        let f1 = plan_fingerprints(&p1);
+        let f2 = plan_fingerprints(&p2);
+        assert_eq!(f1, f2, "identical plans fingerprint identically");
+        // Sources, maps and reduces are fingerprintable; the sink is not.
+        assert!(f1[0].is_some() && f1[1].is_some() && f1[2].is_some());
+        assert!(f1[3].is_none(), "sinks have no fingerprint");
+        // A different UDF identity changes every downstream fingerprint.
+        let p3 = wordcount_like("tokenize_v2");
+        let f3 = plan_fingerprints(&p3);
+        assert_eq!(f1[0], f3[0], "shared source keeps its fingerprint");
+        assert_ne!(f1[1], f3[1]);
+        assert_ne!(f1[2], f3[2]);
+    }
+
+    #[test]
+    fn loops_and_samples_have_no_fingerprint() {
+        use crate::plan::{SampleMethod, SampleSize};
+        let mut b = PlanBuilder::new();
+        let data: Vec<Value> = (0..10i64).map(Value::from).collect();
+        b.collection(data)
+            .sample(SampleMethod::First, SampleSize::Count(3))
+            .map(MapUdf::new("m", |v| v.clone()))
+            .collect();
+        let plan = b.build().unwrap();
+        let fps = plan_fingerprints(&plan);
+        assert!(fps[0].is_some());
+        assert!(fps[1].is_none(), "sample output is seed-dependent");
+        assert!(fps[2].is_none(), "downstream of a sample is poisoned");
+    }
+
+    #[test]
+    fn cached_source_replays_with_fixed_virtual_cost() {
+        use crate::platform::Profiles;
+        let cache = ResultCache::new(1 << 20);
+        cache.insert(fp(7), dataset(50));
+        let hit = cache.lookup(fp(7)).unwrap();
+        let src = CachedSource::new(hit, fp(7));
+        let profiles = Profiles::bare();
+        let mut ctx = ExecCtx::new(&profiles, 0);
+        let out = src.execute(&mut ctx, &[], &BroadcastCtx::new()).unwrap();
+        assert_eq!(out.cardinality(), Some(50));
+        assert_eq!(ctx.op_metrics().len(), 1);
+        assert!(ctx.virtual_ms() > 0.0, "replay charges the store read");
+        // Deterministic: a second replay charges exactly the same time.
+        let mut ctx2 = ExecCtx::new(&profiles, 99);
+        src.execute(&mut ctx2, &[], &BroadcastCtx::new()).unwrap();
+        assert_eq!(ctx.virtual_ms(), ctx2.virtual_ms());
+    }
+}

@@ -194,6 +194,9 @@ pub struct Executor<'a> {
     monitor: &'a Monitor,
     faults: Option<Arc<FaultPlan>>,
     trace: Option<TraceHandle>,
+    /// Cross-job result cache plus per-node publication fingerprints
+    /// (computed by the progressive driver from the phase plan).
+    cache: Option<(Arc<crate::cache::ResultCache>, Vec<Option<crate::cache::Fingerprint>>)>,
 }
 
 struct RunState {
@@ -293,7 +296,7 @@ impl<'a> Executor<'a> {
         monitor: &'a Monitor,
     ) -> Self {
         let faults = config.resolve_fault_plan();
-        Self { plan, opt, eplan, profiles, config, monitor, faults, trace: None }
+        Self { plan, opt, eplan, profiles, config, monitor, faults, trace: None, cache: None }
     }
 
     /// Use this (job-wide, shared) fault plan instead of resolving one from
@@ -309,6 +312,17 @@ impl<'a> Executor<'a> {
     /// and the cumulative virtual-time offset).
     pub fn with_trace(mut self, trace: Option<TraceHandle>) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Publish committed node values into a cross-job result cache. The
+    /// vector maps each exec-plan node to the subplan fingerprint its value
+    /// is published under (`None` = not reusable).
+    pub fn with_cache(
+        mut self,
+        cache: Option<(Arc<crate::cache::ResultCache>, Vec<Option<crate::cache::Fingerprint>>)>,
+    ) -> Self {
+        self.cache = cache;
         self
     }
 
@@ -918,6 +932,17 @@ impl<'a> Executor<'a> {
         if let Some(tail) = node.tail() {
             if let Some(card) = out.cardinality() {
                 st.measured.insert(tail, card as f64);
+            }
+        }
+        // Commit is the single deterministic value-publication point in both
+        // scheduler modes: publish reusable committed results cross-job.
+        // (Errors returned above never reach here, so only correct values
+        // are ever published.)
+        if let Some((cache, fps)) = &self.cache {
+            if let Some(fp) = fps[nid] {
+                if let Ok(data) = out.flatten() {
+                    cache.insert(fp, data);
+                }
             }
         }
         st.values[nid] = Some(out);

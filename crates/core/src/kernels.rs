@@ -146,6 +146,52 @@ impl<'a> ReduceByState<'a> {
     pub fn finish(mut self) -> Vec<Value> {
         self.order.into_iter().map(|k| self.acc.remove(&k).expect("accumulated")).collect()
     }
+
+    /// Emit one `(key, accumulator)` pair per key, in first-occurrence
+    /// order. Distributed two-phase aggregation must carry the group key
+    /// alongside each map-side partial: the merged accumulator is an
+    /// arbitrary UDF value, so re-extracting keys from it (instead of from
+    /// the original rows) silently merges unrelated groups whenever the
+    /// aggregator does not preserve the key in its output.
+    pub fn finish_keyed(mut self) -> Vec<Value> {
+        self.order
+            .into_iter()
+            .map(|k| {
+                let acc = self.acc.remove(&k).expect("accumulated");
+                Value::pair(k, acc)
+            })
+            .collect()
+    }
+}
+
+/// Map-side combine for distributed `ReduceBy`: per-partition partials as
+/// `(key, accumulator)` pairs, first-occurrence key order.
+pub fn combine_by(data: &[Value], key: &KeyUdf, agg: &ReduceUdf) -> Vec<Value> {
+    let mut state = ReduceByState::new(key, agg);
+    for v in data {
+        state.feed(v);
+    }
+    state.finish_keyed()
+}
+
+/// Reduce-side merge for distributed `ReduceBy`: fold `(key, accumulator)`
+/// partials from [`combine_by`]/[`ReduceByState::finish_keyed`] by their
+/// *carried* key and emit the bare accumulators, first-occurrence order —
+/// identical to a single-pass [`reduce_by`] over the original rows.
+pub fn merge_by(pairs: &[Value], agg: &ReduceUdf) -> Vec<Value> {
+    let mut order: Vec<Value> = Vec::new();
+    let mut acc: HashMap<Value, Value> = HashMap::new();
+    for p in pairs {
+        let k = p.field(0);
+        match acc.get_mut(k) {
+            Some(cur) => *cur = agg.call(cur, p.field(1)),
+            None => {
+                order.push(k.clone());
+                acc.insert(k.clone(), p.field(1).clone());
+            }
+        }
+    }
+    order.into_iter().map(|k| acc.remove(&k).expect("merged")).collect()
 }
 
 /// Fold the whole input into at most one quantum.
@@ -379,6 +425,29 @@ mod tests {
         );
         assert_eq!(summed.len(), 2);
         assert_eq!(summed[0].field(1).as_int(), Some(3));
+    }
+
+    /// Two-phase reduce must equal single-pass reduce even when the
+    /// aggregator's output does not preserve the group key (regression:
+    /// the merge phase used to re-extract keys from partial accumulators,
+    /// collapsing unrelated groups).
+    #[test]
+    fn two_phase_reduce_carries_group_keys() {
+        let data: Vec<Value> =
+            (0..12).map(|i| Value::pair(Value::from(i % 3), Value::from(i))).collect();
+        let key = KeyUdf::field(0);
+        // Key-destroying aggregator: merged value is a bare sum, not a pair.
+        let n = |v: &Value| v.as_int().unwrap_or_else(|| v.field(1).as_int().unwrap_or(0));
+        let agg = ReduceUdf::new("lossy-sum", move |a, b| Value::from(n(a) + n(b)));
+        let single = reduce_by(&data, &key, &agg);
+        assert_eq!(single.len(), 3, "three groups in the reference");
+
+        // Simulate two partitions: combine each, concat partials, merge.
+        let (left, right) = data.split_at(7);
+        let mut partials = combine_by(left, &key, &agg);
+        partials.extend(combine_by(right, &key, &agg));
+        let merged = merge_by(&partials, &agg);
+        assert_eq!(merged, single, "carried keys must keep groups apart");
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 pub mod api;
 pub mod builtin;
+pub mod cache;
 pub mod cardinality;
 pub mod channel;
 pub mod config;

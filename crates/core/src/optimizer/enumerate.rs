@@ -115,6 +115,60 @@ fn build_inflated(opt: &Optimizer<'_>, plan: &RheemPlan, estimates: Estimates) -
         }
     }
 
+    // --- cache-aware inflation -------------------------------------------
+    // For every subplan-fingerprint hit, add a zero-input CachedSource
+    // candidate covering the hit operator's whole input closure. It rides
+    // through costing and enumeration like any other source-headed chain
+    // candidate, so reuse is *chosen*, never forced: the replay cost (cache
+    // read + conversion out of the collection channel) competes against
+    // recomputation. Skipped under a forced platform — a driver-side replay
+    // would bypass the pin.
+    if let Some(cache) = opt.cache.as_ref().filter(|_| opt.forced_platform.is_none()) {
+        let fps = crate::cache::plan_fingerprints(plan);
+        for node in plan.operators() {
+            let i = node.id.index();
+            let Some(fp) = fps[i] else { continue };
+            // An in-memory collection source replays for free already.
+            if matches!(node.op, crate::plan::LogicalOp::CollectionSource { .. }) {
+                continue;
+            }
+            let Some(hit) = cache.lookup(fp) else { continue };
+            // Transitive input closure of the hit operator (fingerprintable
+            // ops only, so no loop edges and no cycles).
+            let mut covered = vec![false; n];
+            let mut stack = vec![node.id];
+            while let Some(o) = stack.pop() {
+                if covered[o.index()] {
+                    continue;
+                }
+                covered[o.index()] = true;
+                let nd = plan.node(o);
+                stack.extend(nd.inputs.iter().copied());
+                stack.extend(nd.broadcasts.iter().map(|(_, b)| *b));
+            }
+            // The closure must be closed: an interior operator feeding a
+            // consumer outside it would leave that consumer unwired when
+            // the whole closure collapses into one execution operator.
+            let closed = plan.operators().iter().filter(|m| !covered[m.id.index()]).all(|m| {
+                m.inputs
+                    .iter()
+                    .chain(m.broadcasts.iter().map(|(_, b)| b))
+                    .all(|inp| !covered[inp.index()] || *inp == node.id)
+            });
+            if !closed {
+                continue;
+            }
+            // Dataflow order; input-closedness makes covers[0] a source.
+            let covers: Vec<OperatorId> =
+                topo.iter().copied().filter(|o| covered[o.index()]).collect();
+            debug_assert!(plan.node(covers[0]).inputs.is_empty());
+            debug_assert_eq!(*covers.last().unwrap(), node.id);
+            let exec = std::sync::Arc::new(crate::cache::CachedSource::new(hit, fp));
+            by_head[covers[0].index()].push(cands.len());
+            cands.push(Candidate { covers, exec });
+        }
+    }
+
     // --- platform bitmask order ------------------------------------------
     let mut platforms: Vec<PlatformId> = Vec::new();
     for c in &cands {
@@ -163,8 +217,12 @@ fn build_inflated(opt: &Optimizer<'_>, plan: &RheemPlan, estimates: Estimates) -
             (lo, hi, conf, bytes)
         };
         let profile = opt.profiles.get(c.exec.platform());
-        let t_lo = c.exec.load(&lo_cards, avg_bytes, opt.model).to_ms(profile);
-        let t_hi = c.exec.load(&hi_cards, avg_bytes, opt.model).to_ms(profile);
+        // A NaN load (pathological calibration, e.g. a NaN UDF cost hint)
+        // must lose to every finite alternative instead of poisoning the
+        // interval algebra or panicking the enumerator.
+        let sane = |t: f64| if t.is_nan() { f64::INFINITY } else { t };
+        let t_lo = sane(c.exec.load(&lo_cards, avg_bytes, opt.model).to_ms(profile));
+        let t_hi = sane(c.exec.load(&hi_cards, avg_bytes, opt.model).to_ms(profile));
         let (mut t_lo, mut t_hi) = if t_lo <= t_hi { (t_lo, t_hi) } else { (t_hi, t_lo) };
         // Loop bodies re-dispatch their stages every iteration: charge the
         // platform's stage-submission overhead per iteration (this is what
@@ -414,12 +472,20 @@ pub(super) fn enumerate_with(
             for partial in settled {
                 let sig = inf.signature(&partial, k);
                 match best.get_mut(&sig) {
-                    Some(cur) if cur.cost <= partial.cost => {
-                        stats.partials_pruned += 1;
-                    }
+                    // Keep the winner under a *total* order (total_cmp sorts
+                    // NaN costs last instead of panicking) with the choice
+                    // vector as tie-break, so equal-cost partials survive
+                    // pruning identically regardless of arrival order.
                     Some(cur) => {
                         stats.partials_pruned += 1;
-                        *cur = partial;
+                        if partial
+                            .cost
+                            .total_cmp(&cur.cost)
+                            .then_with(|| partial.choice.cmp(&cur.choice))
+                            .is_lt()
+                        {
+                            *cur = partial;
+                        }
                     }
                     None => {
                         best.insert(sig, partial);
@@ -432,9 +498,14 @@ pub(super) fn enumerate_with(
         }
     }
 
+    // The frontier is rebuilt from a HashMap, so its order is unstable;
+    // break cost ties on the choice vector (which identifies a partial
+    // uniquely) to make the selected plan independent of iteration order,
+    // and use total_cmp so a NaN-costed alternative loses instead of
+    // panicking the comparator.
     let best = frontier
         .into_iter()
-        .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap())
+        .min_by(|a, b| a.cost.total_cmp(&b.cost).then_with(|| a.choice.cmp(&b.choice)))
         .ok_or_else(|| RheemError::Optimizer("enumeration produced no plan".into()))?;
 
     // Assemble the optimized plan.

@@ -37,6 +37,10 @@ pub struct Optimizer<'a> {
     /// exhausted its retry budget is blacklisted for the rest of the job;
     /// the driver's control operators are never excluded).
     pub blacklist: Vec<PlatformId>,
+    /// Cross-job result cache. When set, inflation injects zero-upstream
+    /// [`crate::cache::CachedSource`] candidates for subplan-fingerprint
+    /// hits, letting enumeration choose reuse when it beats recomputation.
+    pub cache: Option<std::sync::Arc<crate::cache::ResultCache>>,
 }
 
 /// The result of optimization: one execution alternative chosen per plan
@@ -74,7 +78,14 @@ impl OptimizedPlan {
 impl<'a> Optimizer<'a> {
     /// New optimizer over a context's registry/profiles/model.
     pub fn new(registry: &'a Registry, profiles: &'a Profiles, model: &'a CostModel) -> Self {
-        Self { registry, profiles, model, forced_platform: None, blacklist: Vec::new() }
+        Self {
+            registry,
+            profiles,
+            model,
+            forced_platform: None,
+            blacklist: Vec::new(),
+            cache: None,
+        }
     }
 
     /// Optimize a plan end-to-end: validate, estimate, inflate, enumerate.

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::cache::{plan_fingerprints, ResultCache};
 use crate::cardinality::Estimator;
 use crate::cost::CostModel;
 use crate::error::{Result, RheemError};
@@ -139,6 +140,7 @@ pub fn run_progressive(
     config: &ExecConfig,
     monitor: &Monitor,
     forced_platform: Option<PlatformId>,
+    cache: Option<Arc<ResultCache>>,
 ) -> Result<ProgressiveOutcome> {
     const MAX_REPLANS: u32 = 5;
     /// Virtual driver-side cost per re-optimization (the paper reports a
@@ -181,6 +183,7 @@ pub fn run_progressive(
         let mut optimizer = Optimizer::new(registry, profiles, model);
         optimizer.forced_platform = forced_platform;
         optimizer.blacklist = blacklist.clone();
+        optimizer.cache = cache.clone();
         let estimator = base_estimator();
         let opt = optimizer.optimize(phase_plan, &estimator)?;
         if let (Some(t), Some(ps)) = (&trace, phase_span) {
@@ -207,6 +210,24 @@ pub fn run_progressive(
             }
         }
         let eplan = build_exec_plan(phase_plan, &opt, registry, profiles, model)?;
+        // Publication map: per exec node, the fingerprint to publish its
+        // committed value under — tails of fingerprintable subplans whose
+        // output channel kind is reusable (per the registry's reusability
+        // rules; a non-reusable channel is consumed exactly once and has no
+        // after-job identity).
+        let publish = cache.as_ref().map(|c| {
+            let fps = plan_fingerprints(phase_plan);
+            let node_fps = eplan
+                .nodes
+                .iter()
+                .map(|nd| {
+                    nd.tail()
+                        .and_then(|t| fps[t.index()])
+                        .filter(|_| registry.channel(nd.exec.output_kind()).reusable)
+                })
+                .collect();
+            (Arc::clone(c), node_fps)
+        });
         let handle = match (&trace, phase_span) {
             (Some(t), Some(ps)) => {
                 Some(TraceHandle { trace: Arc::clone(t), parent: ps, base_ms: virtual_ms })
@@ -215,7 +236,8 @@ pub fn run_progressive(
         };
         let executor = Executor::new(phase_plan, &opt, &eplan, profiles, config, monitor)
             .with_faults(faults.clone())
-            .with_trace(handle);
+            .with_trace(handle)
+            .with_cache(publish);
         monitor.begin_phase();
         match executor.run()? {
             Outcome::Finished(Execution {

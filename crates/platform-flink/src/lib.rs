@@ -359,12 +359,14 @@ impl ExecutionOperator for FlinkOperator {
                     let (combined, t1) = par_each(&parts, workers, |_pi, data| {
                         let mut state = kernels::ReduceByState::new(key, agg);
                         pipeline.run_each(data, bc, |v| state.feed_owned(v));
-                        Ok(state.finish())
+                        Ok(state.finish_keyed())
                     })?;
+                    // Partials travel as (key, acc) pairs: the merge must
+                    // group by the carried key, never re-extract from accs.
                     let n = combined.len();
-                    let (ex, bytes) = exchange(&combined, key, n);
-                    let (out, t2) =
-                        par_each(&ex, workers, |_i, d| Ok(kernels::reduce_by(d, key, agg)))?;
+                    let carry = KeyUdf::field(0);
+                    let (ex, bytes) = exchange(&combined, &carry, n);
+                    let (out, t2) = par_each(&ex, workers, |_i, d| Ok(kernels::merge_by(d, agg)))?;
                     parts = out;
                     virtual_ms +=
                         profile.parallel_ms(&t1) + profile.net_ms(bytes) + profile.parallel_ms(&t2);
@@ -408,11 +410,13 @@ impl ExecutionOperator for FlinkOperator {
                 LogicalOp::ReduceBy { key, agg } => {
                     let start = Instant::now();
                     let (combined, t1) =
-                        par_each(&parts, workers, |_i, d| Ok(kernels::reduce_by(d, key, agg)))?;
+                        par_each(&parts, workers, |_i, d| Ok(kernels::combine_by(d, key, agg)))?;
+                    // (key, acc) partials; merge on the carried key (see
+                    // the fused terminal-aggregation path above).
                     let n = combined.len();
-                    let (ex, bytes) = exchange(&combined, key, n);
-                    let (out, t2) =
-                        par_each(&ex, workers, |_i, d| Ok(kernels::reduce_by(d, key, agg)))?;
+                    let carry = KeyUdf::field(0);
+                    let (ex, bytes) = exchange(&combined, &carry, n);
+                    let (out, t2) = par_each(&ex, workers, |_i, d| Ok(kernels::merge_by(d, agg)))?;
                     parts = out;
                     virtual_ms +=
                         profile.parallel_ms(&t1) + profile.net_ms(bytes) + profile.parallel_ms(&t2);

@@ -393,13 +393,16 @@ impl ExecutionOperator for SparkOperator {
                     let (combined, t1) = par_map_partitions_pooled(&parts, workers, |_i, data| {
                         let mut state = kernels::ReduceByState::new(key, agg);
                         pipeline.run_each(data, bc, |v| state.feed_owned(v));
-                        Ok(state.finish())
+                        Ok(state.finish_keyed())
                     })?;
+                    // Partials travel as (key, acc) pairs: the merge must
+                    // group by the carried key, never re-extract from accs.
                     let n = combined.len();
-                    let (exchanged, bytes) = shuffle(&combined, key, n);
+                    let carry = KeyUdf::field(0);
+                    let (exchanged, bytes) = shuffle(&combined, &carry, n);
                     shuffle_event(ctx, "FusedReduceBy", bytes, n);
                     let (out, t2) = par_map_partitions_pooled(&exchanged, workers, |_i, d| {
-                        Ok(kernels::reduce_by(d, key, agg))
+                        Ok(kernels::merge_by(d, agg))
                     })?;
                     parts = out;
                     virtual_ms +=
@@ -445,15 +448,17 @@ impl ExecutionOperator for SparkOperator {
                 // ---- wide operators: shuffle then per-partition work ----
                 LogicalOp::ReduceBy { key, agg } => {
                     let start = Instant::now();
-                    // map-side combine
+                    // map-side combine into (key, acc) partials; reduce-side
+                    // merge on the carried key (see fused path above).
                     let (combined, t1) = par_map_partitions_pooled(&parts, workers, |_i, d| {
-                        Ok(kernels::reduce_by(d, key, agg))
+                        Ok(kernels::combine_by(d, key, agg))
                     })?;
                     let n = combined.len();
-                    let (exchanged, bytes) = shuffle(&combined, key, n);
+                    let carry = KeyUdf::field(0);
+                    let (exchanged, bytes) = shuffle(&combined, &carry, n);
                     shuffle_event(ctx, "ReduceBy", bytes, n);
                     let (out, t2) = par_map_partitions_pooled(&exchanged, workers, |_i, d| {
-                        Ok(kernels::reduce_by(d, key, agg))
+                        Ok(kernels::merge_by(d, agg))
                     })?;
                     parts = out;
                     virtual_ms +=

@@ -94,7 +94,22 @@ pub struct Resolved {
 pub fn resolve(path: &Path) -> Resolved {
     let s = path.to_string_lossy();
     if let Some(rest) = s.strip_prefix("hdfs://") {
-        Resolved { real: hdfs_root().join(rest), store: StoreKind::Hdfs }
+        // The URI authority (`namenode:8020` in `hdfs://namenode:8020/x/y`)
+        // names the cluster, not a directory: strip it before joining so
+        // every authority spelling resolves to the same sandbox file. Only
+        // `host:port` (or the empty authority of `hdfs:///x/y`) is treated
+        // as an authority — a bare first component stays a path segment,
+        // preserving the sandbox-wide `hdfs://dir/file` shorthand.
+        let (authority, file_path) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i + 1..]),
+            None => (rest, ""),
+        };
+        let joined = if authority.is_empty() || authority.contains(':') {
+            hdfs_root().join(file_path)
+        } else {
+            hdfs_root().join(rest)
+        };
+        Resolved { real: joined, store: StoreKind::Hdfs }
     } else if let Some(rest) = s.strip_prefix("file://") {
         Resolved { real: PathBuf::from(rest), store: StoreKind::Local }
     } else {
@@ -108,6 +123,34 @@ pub fn stat(path: &Path) -> io::Result<(u64, StoreKind)> {
     Ok((fs::metadata(&r.real)?.len(), r.store))
 }
 
+/// Identity metadata of a file: length, modification time and store. The
+/// (path, len, mtime) triple is the invalidation key for results derived
+/// from the file (see `rheem_core::cache`): any rewrite bumps the mtime, so
+/// stale cached derivations can never be served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FileMeta {
+    /// File length in bytes.
+    pub len: u64,
+    /// Modification time in nanoseconds since the Unix epoch (0 when the
+    /// filesystem reports none).
+    pub mtime_ns: u128,
+    /// Which store the path addressed.
+    pub store: StoreKind,
+}
+
+/// Length + mtime + store of a file (cache invalidation).
+pub fn stat_meta(path: &Path) -> io::Result<FileMeta> {
+    let r = resolve(path);
+    let md = fs::metadata(&r.real)?;
+    let mtime_ns = md
+        .modified()
+        .ok()
+        .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    Ok(FileMeta { len: md.len(), mtime_ns, store: r.store })
+}
+
 /// Read a whole text file as lines.
 pub fn read_lines(path: &Path) -> io::Result<Vec<String>> {
     let r = resolve(path);
@@ -116,12 +159,14 @@ pub fn read_lines(path: &Path) -> io::Result<Vec<String>> {
 }
 
 /// Read the first `max_bytes` of a file (cardinality sampling probes).
+/// Reads in a loop: a single `read` may legally return fewer bytes than
+/// available (pipes, network filesystems, signal interruption), which would
+/// destabilize sampling probes built on the head.
 pub fn read_head(path: &Path, max_bytes: usize) -> io::Result<Vec<u8>> {
     let r = resolve(path);
-    let mut f = fs::File::open(&r.real)?;
-    let mut buf = vec![0u8; max_bytes];
-    let n = f.read(&mut buf)?;
-    buf.truncate(n);
+    let f = fs::File::open(&r.real)?;
+    let mut buf = Vec::with_capacity(max_bytes.min(1 << 20));
+    f.take(max_bytes as u64).read_to_end(&mut buf)?;
     Ok(buf)
 }
 
@@ -204,6 +249,54 @@ mod tests {
         assert_eq!(read_lines(&uri).unwrap(), vec!["x"]);
         let (_, kind) = stat(&uri).unwrap();
         assert_eq!(kind, StoreKind::Hdfs);
+    }
+
+    #[test]
+    fn hdfs_authority_is_not_a_directory() {
+        let dir = sandbox();
+        set_hdfs_root(&dir);
+        // All authority spellings of the same HDFS path hit the same file
+        // (`hdfs:///a/b.txt` is the empty-authority spelling).
+        let plain = resolve(Path::new("hdfs:///a/b.txt"));
+        let with_auth = resolve(Path::new("hdfs://namenode:8020/a/b.txt"));
+        assert_eq!(with_auth.real, plain.real);
+        assert!(!with_auth.real.to_string_lossy().contains("namenode:8020"));
+        assert_eq!(with_auth.store, StoreKind::Hdfs);
+        // Round-trip through one spelling, read through the other.
+        write_lines(Path::new("hdfs://namenode:8020/a/b.txt"), ["auth"]).unwrap();
+        assert_eq!(read_lines(Path::new("hdfs:///a/b.txt")).unwrap(), vec!["auth"]);
+        // Degenerate: no path after the authority resolves to the root.
+        assert_eq!(resolve(Path::new("hdfs://host:9000")).real, dir);
+        // A bare first component without a port stays a path segment
+        // (sandbox shorthand used across the repo, e.g. `hdfs://bench/x`).
+        assert_eq!(resolve(Path::new("hdfs://bench/x.txt")).real, dir.join("bench/x.txt"));
+    }
+
+    #[test]
+    fn stat_meta_tracks_mtime() {
+        let dir = sandbox();
+        let p = dir.join("meta.txt");
+        write_lines(&p, ["v1"]).unwrap();
+        let m1 = stat_meta(&p).unwrap();
+        assert_eq!(m1.len, 3);
+        assert_eq!(m1.store, StoreKind::Local);
+        assert!(m1.mtime_ns > 0);
+        // Rewrite with same length after a pause: len equal, mtime bumped.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        write_lines(&p, ["v2"]).unwrap();
+        let m2 = stat_meta(&p).unwrap();
+        assert_eq!(m2.len, m1.len);
+        assert!(m2.mtime_ns > m1.mtime_ns);
+    }
+
+    #[test]
+    fn read_head_fills_up_to_limit() {
+        let dir = sandbox();
+        let p = dir.join("head_full.txt");
+        write_lines(&p, vec!["abcdefghij"; 10]).unwrap(); // 110 bytes
+        assert_eq!(read_head(&p, 64).unwrap().len(), 64);
+        // Asking beyond EOF returns the whole file, not a short buffer.
+        assert_eq!(read_head(&p, 4096).unwrap().len(), 110);
     }
 
     #[test]

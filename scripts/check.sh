@@ -17,10 +17,16 @@ echo "== tier-1 under both forced scheduler modes"
 RHEEM_SCHED=conc cargo test -q
 RHEEM_SCHED=seq cargo test -q
 
+echo "== tier-1 with the cross-job result cache enabled"
+RHEEM_CACHE=on cargo test -q
+
 echo "== trace round-trip (native JSON + chrome export)"
 cargo run --release -q -p rheem-bench --bin trace_dump
 
 echo "== scheduler bench gate (makespan < sequential sum; pool < spawn)"
 cargo run --release -q -p rheem-bench --bin sched_bench
+
+echo "== result-cache bench gate (warm rerun >= 2x, byte-identical results)"
+cargo run --release -q -p rheem-bench --bin cache_bench
 
 echo "== all checks passed"

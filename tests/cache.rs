@@ -1,0 +1,413 @@
+//! Cross-job result-cache suite (PR 5).
+//!
+//! Covers the cache's observable contract end to end: a warm rerun replays
+//! published intermediates through `CachedSource` (visible in the trace and
+//! cheaper in virtual time), source-file rewrites invalidate by mtime/len,
+//! UDF identity participates in the fingerprint, eviction respects the byte
+//! budget, and — the load-bearing invariant — results are *byte-identical*
+//! with the cache on and off, cold and warm, across the fixed chaos-seed
+//! matrix. Also regression-tests deterministic plan selection on exact cost
+//! ties (100 in-process optimizations must agree) and NaN cost robustness.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rheem::prelude::*;
+use rheem_core::cache::ResultCache;
+use rheem_core::channel::{kinds, ChannelData, ChannelKind};
+use rheem_core::cost::{CostModel, Load};
+use rheem_core::exec::{ExecCtx, ExecutionOperator};
+use rheem_core::kernels::SplitMix64;
+use rheem_core::mapping::{Candidate, FnMapping};
+use rheem_core::udf::FlatMapUdf;
+
+/// Fixed chaos-seed matrix (mirrors `tests/differential.rs` and CI).
+const CHAOS_SEEDS: [u64; 3] = [0xC0FFEE, 42, 7];
+
+/// A context with the cache explicitly OFF, regardless of `RHEEM_CACHE` in
+/// the environment (CI runs this suite under both legs of the matrix).
+fn ctx_without_cache() -> RheemContext {
+    let mut ctx = rheem::default_context();
+    ctx.set_cache(None);
+    ctx
+}
+
+/// A context sharing `cache`, regardless of the environment.
+fn ctx_with(cache: &Arc<ResultCache>) -> RheemContext {
+    rheem::default_context().with_shared_cache(Arc::clone(cache))
+}
+
+fn wordcount(path: &std::path::Path) -> (RheemPlan, OperatorId) {
+    let mut b = PlanBuilder::new();
+    let sink = b
+        .read_text_file(path)
+        .flat_map(FlatMapUdf::new("split", |v| {
+            v.as_str().unwrap_or("").split_whitespace().map(Value::from).collect()
+        }))
+        .map(MapUdf::new("pair", |w| Value::pair(w.clone(), Value::from(1))))
+        .reduce_by_key(KeyUdf::field(0), ReduceUdf::sum())
+        .collect();
+    (b.build().unwrap(), sink)
+}
+
+fn run(ctx: &RheemContext, plan: &RheemPlan, sink: OperatorId) -> Result<(Vec<Value>, JobMetrics)> {
+    let result = ctx.execute(plan)?;
+    let mut out = result.sink(sink)?.to_vec();
+    out.sort();
+    Ok((out, result.metrics))
+}
+
+// ---- hit / replay -------------------------------------------------------
+
+/// Rerunning an identical job against a shared cache replays published
+/// intermediates: the trace shows a `CachedSource`, virtual time does not
+/// regress, and the answer is byte-identical to the cold run.
+#[test]
+fn warm_rerun_replays_from_cache() {
+    let path = std::path::PathBuf::from("hdfs://tests/cache/warm_corpus.txt");
+    rheem_datagen::text::write_corpus(&path, 400, 11).unwrap();
+    let (plan, sink) = wordcount(&path);
+
+    let cache = Arc::new(ResultCache::new(64 << 20));
+    let ctx = ctx_with(&cache);
+
+    let (cold, cold_m) = run(&ctx, &plan, sink).unwrap();
+    let after_cold = cache.stats();
+    assert_eq!(after_cold.hits, 0, "first run cannot hit");
+    assert!(after_cold.inserts >= 1, "commit must publish reusable channels");
+
+    let warm_result = ctx.execute(&plan).unwrap();
+    let mut warm = warm_result.sink(sink).unwrap().to_vec();
+    warm.sort();
+    assert_eq!(warm, cold, "cache replay changed the answer");
+
+    let after_warm = cache.stats();
+    assert!(after_warm.hits >= 1, "identical rerun must hit: {after_warm:?}");
+    let trace = warm_result.trace.as_ref().expect("tracing is on by default");
+    assert!(
+        trace.profiles.iter().any(|p| p.name == "CachedSource"),
+        "warm plan must execute a CachedSource, got {:?}",
+        trace.profiles.iter().map(|p| p.name.clone()).collect::<Vec<_>>()
+    );
+    assert!(
+        warm_result.metrics.virtual_ms <= cold_m.virtual_ms,
+        "replay may not cost more than recomputation ({} > {})",
+        warm_result.metrics.virtual_ms,
+        cold_m.virtual_ms
+    );
+}
+
+// ---- invalidation -------------------------------------------------------
+
+/// Rewriting the source file (same byte length, newer mtime) changes the
+/// fingerprint: the rerun misses the cache and sees the new content.
+#[test]
+fn source_rewrite_invalidates_by_mtime() {
+    let path = std::path::PathBuf::from("hdfs://tests/cache/mtime_corpus.txt");
+    rheem_storage::write_lines(&path, ["alpha alpha beta"]).unwrap();
+    let (plan, sink) = wordcount(&path);
+
+    let cache = Arc::new(ResultCache::new(64 << 20));
+    let ctx = ctx_with(&cache);
+    let (old, _) = run(&ctx, &plan, sink).unwrap();
+
+    // Same length, different content; sleep so the mtime visibly advances.
+    std::thread::sleep(Duration::from_millis(25));
+    rheem_storage::write_lines(&path, ["alpha betaa beta"]).unwrap();
+
+    let before = cache.stats();
+    let (new, _) = run(&ctx, &plan, sink).unwrap();
+    assert_eq!(cache.stats().hits, before.hits, "stale fingerprint must not hit");
+    assert_ne!(new, old, "rerun must reflect the rewritten file");
+    let (fresh, _) = run(&ctx_without_cache(), &wordcount(&path).0, sink).unwrap();
+    assert_eq!(new, fresh, "post-rewrite answer must match an uncached run");
+}
+
+/// The UDF's identity (name) is part of the fingerprint: a structurally
+/// identical plan with a different UDF must not reuse the cached result.
+#[test]
+fn udf_identity_is_part_of_the_fingerprint() {
+    let data: Vec<Value> = (0..64).map(|i| Value::from(i as i64)).collect();
+    let plan_with = |name: &'static str, delta: i64| {
+        let mut b = PlanBuilder::new();
+        let sink = b
+            .collection(data.clone())
+            .map(MapUdf::new(name, move |v| Value::from(v.as_int().unwrap_or(0) + delta)))
+            .collect();
+        (b.build().unwrap(), sink)
+    };
+
+    let cache = Arc::new(ResultCache::new(64 << 20));
+    let ctx = ctx_with(&cache);
+    let (a_plan, a_sink) = plan_with("inc", 1);
+    run(&ctx, &a_plan, a_sink).unwrap();
+
+    let (b_plan, b_sink) = plan_with("inc2", 2);
+    let (out, _) = run(&ctx, &b_plan, b_sink).unwrap();
+    assert_eq!(cache.stats().hits, 0, "different UDF must miss");
+    assert_eq!(out, (2..66).map(|i| Value::from(i as i64)).collect::<Vec<_>>());
+}
+
+// ---- eviction -----------------------------------------------------------
+
+/// Under a small byte budget, publishing results from several distinct jobs
+/// evicts LRU entries; the cache never exceeds its budget.
+#[test]
+fn eviction_respects_the_byte_budget() {
+    let make_data = |job: i64| -> Vec<Value> {
+        (0..300).map(|i| Value::from(format!("job{job}-row{i}-{}", "x".repeat(24)))).collect()
+    };
+    // Budget sized to the actual datasets: roomy enough for two published
+    // results, too tight for a third — forcing LRU eviction, not rejection.
+    let budget = (2.2 * rheem_core::exec::dataset_bytes(&make_data(0))) as u64;
+    let cache = Arc::new(ResultCache::new(budget));
+    let ctx = ctx_with(&cache);
+    for job in 0..6i64 {
+        let mut b = PlanBuilder::new();
+        let sink = b
+            .collection(make_data(job))
+            .map(MapUdf::new(format!("tag{job}"), |v| v.clone()))
+            .collect();
+        let plan = b.build().unwrap();
+        run(&ctx, &plan, sink).unwrap();
+    }
+    let stats = cache.stats();
+    assert!(stats.inserts >= 2, "jobs must publish: {stats:?}");
+    assert!(stats.evictions >= 1, "budget pressure must evict: {stats:?}");
+    assert!(
+        stats.bytes <= cache.budget_bytes(),
+        "cache exceeded its budget: {} > {}",
+        stats.bytes,
+        cache.budget_bytes()
+    );
+}
+
+// ---- differential: cache on/off, cold/warm, under chaos ------------------
+
+/// Seeded random plan generator (same shape as `tests/differential.rs`).
+fn gen_case(case: u64) -> (RheemPlan, OperatorId) {
+    let mut rng = SplitMix64(0xCAC4E ^ case.wrapping_mul(0x9E37_79B9));
+    let len = 20 + rng.range_usize(40);
+    let data: Vec<Value> = (0..len)
+        .map(|_| {
+            Value::pair(
+                Value::from(rng.range_usize(8) as i64),
+                Value::from(rng.range_usize(200) as i64 - 100),
+            )
+        })
+        .collect();
+    let mut b = PlanBuilder::new();
+    let mut q = b.collection(data);
+    let n_ops = 2 + rng.range_usize(3);
+    for _ in 0..n_ops {
+        q = match rng.range_usize(4) {
+            0 => q.map(MapUdf::new("inc", |v| {
+                Value::pair(v.field(0).clone(), Value::from(v.field(1).as_int().unwrap_or(0) + 1))
+            })),
+            1 => q.filter(PredicateUdf::new("pos", |v| v.field(1).as_int().unwrap_or(0) > 0)),
+            2 => q.flat_map(FlatMapUdf::new("dup", |v| vec![v.clone(), v.clone()])),
+            _ => q.map(MapUdf::new("rekey", |v| {
+                let k = v.field(0).as_int().unwrap_or(0);
+                let x = v.field(1).as_int().unwrap_or(0);
+                Value::pair(Value::from((k + x).rem_euclid(7)), v.field(1).clone())
+            })),
+        };
+    }
+    q = match rng.range_usize(3) {
+        0 => q.reduce_by_key(KeyUdf::field(0), ReduceUdf::sum()),
+        1 => q.distinct(),
+        _ => q,
+    };
+    let sink = q.collect();
+    (b.build().unwrap(), sink)
+}
+
+/// The cache must be invisible in every answer: for random plans, cache-off,
+/// cache-on-cold and cache-on-warm runs are byte-identical.
+#[test]
+fn results_identical_with_cache_on_and_off() {
+    for case in 0u64..8 {
+        let (plan, sink) = gen_case(case);
+        let (reference, _) = run(&ctx_without_cache(), &plan, sink).unwrap();
+        let cache = Arc::new(ResultCache::new(64 << 20));
+        let ctx = ctx_with(&cache);
+        let (cold, _) = run(&ctx, &plan, sink).unwrap();
+        assert_eq!(cold, reference, "case {case}: cold cached run diverged");
+        let (warm, _) = run(&ctx, &plan, sink).unwrap();
+        assert_eq!(warm, reference, "case {case}: warm cached run diverged");
+    }
+    // The matrix must actually exercise reuse somewhere (deterministic).
+    let (plan, sink) = gen_case(0);
+    let cache = Arc::new(ResultCache::new(64 << 20));
+    let ctx = ctx_with(&cache);
+    run(&ctx, &plan, sink).unwrap();
+    run(&ctx, &plan, sink).unwrap();
+    assert!(cache.stats().hits >= 1, "differential matrix never hit the cache");
+}
+
+/// Under seeded chaos, a cached run (cold or warm) either survives with the
+/// exact fault-free answer or dies with a typed error — never a wrong
+/// answer, exactly like the cache-off harness.
+#[test]
+fn chaos_with_cache_never_produces_wrong_answers() {
+    let mut survived = 0usize;
+    for &chaos_seed in &CHAOS_SEEDS {
+        for case in 0u64..5 {
+            let (plan, sink) = gen_case(case);
+            let (baseline, _) = run(&ctx_without_cache(), &plan, sink).unwrap();
+            let cache = Arc::new(ResultCache::new(64 << 20));
+            let mut ctx = ctx_with(&cache);
+            ctx.config_mut().chaos_seed = Some(chaos_seed);
+            for leg in ["cold", "warm"] {
+                match run(&ctx, &plan, sink) {
+                    Ok((out, _)) => {
+                        assert_eq!(
+                            out, baseline,
+                            "chaos {chaos_seed:#x} case {case} ({leg}): cached run changed the answer"
+                        );
+                        survived += 1;
+                    }
+                    Err(
+                        RheemError::Fault(_) | RheemError::Exhausted(_) | RheemError::Optimizer(_),
+                    ) => {}
+                    Err(other) => {
+                        panic!("chaos {chaos_seed:#x} case {case} ({leg}): untyped error {other}")
+                    }
+                }
+            }
+        }
+    }
+    assert!(survived > 0, "chaos matrix never survived a cached run");
+}
+
+// ---- deterministic tie-breaking -----------------------------------------
+
+/// A zero-cost execution operator used to manufacture *exact* cost ties.
+struct TieMap {
+    udf: MapUdf,
+    tag: &'static str,
+}
+
+impl ExecutionOperator for TieMap {
+    fn name(&self) -> &str {
+        self.tag
+    }
+    fn platform(&self) -> PlatformId {
+        ids::JAVA_STREAMS
+    }
+    fn accepted_inputs(&self, _slot: usize) -> Vec<ChannelKind> {
+        vec![kinds::COLLECTION]
+    }
+    fn output_kind(&self) -> ChannelKind {
+        kinds::COLLECTION
+    }
+    fn load(&self, _in: &[f64], _avg: f64, _m: &CostModel) -> Load {
+        Load::default()
+    }
+    fn execute(
+        &self,
+        _ctx: &mut ExecCtx<'_>,
+        inputs: &[ChannelData],
+        bc: &rheem_core::udf::BroadcastCtx,
+    ) -> Result<ChannelData> {
+        let data = inputs[0].flatten()?;
+        let out: Vec<Value> = data.iter().map(|v| self.udf.call(v, bc)).collect();
+        Ok(ChannelData::Collection(Arc::new(out)))
+    }
+}
+
+fn register_tie_mapping(ctx: &mut RheemContext, tag: &'static str) {
+    ctx.registry_mut().add_mapping(Arc::new(FnMapping(move |_plan: &RheemPlan, node: &_| {
+        let rheem_core::plan::OperatorNode { id, op, .. } = node;
+        match op {
+            LogicalOp::Map(udf) => {
+                vec![Candidate::single(*id, Arc::new(TieMap { udf: udf.clone(), tag }))]
+            }
+            _ => Vec::new(),
+        }
+    })));
+}
+
+/// Exact cost ties must break deterministically: with two identical
+/// zero-cost alternatives registered for every `Map`, 100 consecutive
+/// optimizations (each building fresh hash maps, hence fresh iteration
+/// orders) must choose the same candidate and the same platform set.
+/// Regression test for the `total_cmp` + choice-vector tie-break.
+#[test]
+fn cost_ties_break_deterministically_over_100_runs() {
+    let mut ctx = ctx_without_cache();
+    register_tie_mapping(&mut ctx, "TieMapA");
+    register_tie_mapping(&mut ctx, "TieMapB");
+
+    let mut b = PlanBuilder::new();
+    let q = b
+        .collection((0..128).map(|i| Value::from(i as i64)).collect::<Vec<_>>())
+        .map(MapUdf::new("m1", |v| Value::from(v.as_int().unwrap_or(0) + 1)))
+        .filter(PredicateUdf::new("pos", |v| v.as_int().unwrap_or(0) > 3))
+        .map(MapUdf::new("m2", |v| Value::from(v.as_int().unwrap_or(0) * 2)));
+    let sink = q.collect();
+    let plan = b.build().unwrap();
+
+    let fingerprint = |opt: &rheem_core::optimizer::OptimizedPlan| {
+        let mut names: Vec<String> = Vec::new();
+        for node in plan.operators() {
+            let c = opt.candidate_of(node.id);
+            names.push(format!("{}@{}", c.exec.name(), c.exec.platform()));
+        }
+        (names, opt.platforms.clone())
+    };
+
+    let first = fingerprint(&ctx.optimize(&plan).unwrap());
+    assert!(
+        first.0.iter().any(|n| n.starts_with("TieMap")),
+        "tie candidates must be competitive, got {:?}",
+        first.0
+    );
+    for run in 1..100 {
+        let choice = fingerprint(&ctx.optimize(&plan).unwrap());
+        assert_eq!(choice, first, "run {run}: plan selection flapped on a cost tie");
+    }
+
+    // The tied winner must also execute correctly.
+    let result = ctx.execute(&plan).unwrap();
+    let mut out = result.sink(sink).unwrap().to_vec();
+    out.sort();
+    let expect: Vec<Value> =
+        (4..129).map(|i| Value::from(2 * i as i64)).collect::<Vec<_>>().into_iter().collect();
+    let mut expect = expect;
+    expect.sort();
+    assert_eq!(out, expect);
+}
+
+/// A NaN cost hint (pathological calibration) must not panic the
+/// enumerator, and selection must stay deterministic: `total_cmp` gives NaN
+/// a fixed place in the order instead of poisoning comparisons.
+#[test]
+fn nan_costs_do_not_panic_and_stay_deterministic() {
+    let ctx = ctx_without_cache();
+    let mut b = PlanBuilder::new();
+    let sink = b
+        .collection((0..32).map(|i| Value::from(i as i64)).collect::<Vec<_>>())
+        .map(MapUdf::new("poisoned", |v| Value::from(v.as_int().unwrap_or(0) + 1)).cost(f64::NAN))
+        .map(MapUdf::new("sane", |v| Value::from(v.as_int().unwrap_or(0) * 3)))
+        .collect();
+    let plan = b.build().unwrap();
+
+    let first = ctx.optimize(&plan).unwrap();
+    let first_names: Vec<String> =
+        plan.operators().iter().map(|n| first.candidate_of(n.id).exec.name().to_string()).collect();
+    for _ in 0..20 {
+        let opt = ctx.optimize(&plan).unwrap();
+        let names: Vec<String> = plan
+            .operators()
+            .iter()
+            .map(|n| opt.candidate_of(n.id).exec.name().to_string())
+            .collect();
+        assert_eq!(names, first_names, "NaN cost made selection nondeterministic");
+    }
+    let result = ctx.execute(&plan).unwrap();
+    let mut out = result.sink(sink).unwrap().to_vec();
+    out.sort();
+    assert_eq!(out.len(), 32);
+    assert!(out.contains(&Value::from(3i64)), "execution under NaN costs must stay correct");
+}
