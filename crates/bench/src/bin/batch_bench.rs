@@ -1,0 +1,252 @@
+//! Columnar batch-execution benchmark: vectorized fused pipelines over
+//! typed column slices (`rheem_core::batch`) vs. the row-at-a-time
+//! interpreter, on the two workloads the PR optimizes for —
+//!
+//! * **wordcount** — tokenize → pair → sum-by-key, where the batched path
+//!   tokenizes each distinct line once and sums through dictionary ids
+//!   instead of hashing every row, and
+//! * **scan** — sargable filter → integer arithmetic → projection, where the
+//!   batched path runs tight typed loops and carries survivors in a
+//!   selection vector.
+//!
+//! Kernel speedups are measured wall-clock over in-memory collections (no
+//! I/O, forced single platform) and must clear **1.5x** on both workloads —
+//! `scripts/check.sh` runs this as a gate. End-to-end forced-JavaStreams
+//! runs are also recorded, and every batched result is asserted
+//! byte-identical to its row-mode twin. Writes `BENCH_PR6.json`.
+//!
+//! Run with `cargo run --release --bin batch_bench`.
+
+use std::fmt::Write as _;
+
+use rheem_bench::*;
+use rheem_core::batch::{self, VectorKernel};
+use rheem_core::fused::{FusedPipeline, FusedStep};
+use rheem_core::kernels::{ReduceByState, SplitMix64};
+use rheem_core::plan::{OperatorId, PlanBuilder, RheemPlan};
+use rheem_core::platform::ids;
+use rheem_core::udf::{
+    BroadcastCtx, CmpOp, FlatMapUdf, KeyUdf, MapUdf, PredicateUdf, ReduceUdf, Sarg,
+};
+use rheem_core::value::Value;
+
+const ITERS: u32 = 5;
+const GATE: f64 = 1.5;
+
+struct Row {
+    task: &'static str,
+    row_ms: f64,
+    batch_ms: f64,
+    e2e_row_virtual_ms: f64,
+    e2e_batch_virtual_ms: f64,
+    rows: usize,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.row_ms / self.batch_ms.max(1e-9)
+    }
+}
+
+fn wordcount_lines(s: f64) -> Vec<Value> {
+    let lines = ((20_000.0 * s) as usize).max(2_000);
+    rheem_datagen::generate_text(lines, 10, 5_000, 17).into_iter().map(Value::from).collect()
+}
+
+fn scan_pairs(s: f64) -> Vec<Value> {
+    let n = ((400_000.0 * s) as usize).max(40_000);
+    let mut rng = SplitMix64(0xBA7C6);
+    (0..n)
+        .map(|_| {
+            Value::pair(
+                Value::from(rng.range_usize(1_000) as i64),
+                Value::from(rng.range_usize(2_000) as i64 - 1_000),
+            )
+        })
+        .collect()
+}
+
+fn wordcount_collection_plan(lines: Vec<Value>) -> (RheemPlan, OperatorId) {
+    let mut b = PlanBuilder::new();
+    let sink = b
+        .collection(lines)
+        .flat_map(FlatMapUdf::split_whitespace("split"))
+        .map(MapUdf::pair_with_int("pair", 1))
+        .reduce_by_key(KeyUdf::field(0), ReduceUdf::pair_int_sum("sum"))
+        .collect();
+    (b.build().expect("wordcount plan"), sink)
+}
+
+/// Filter + arithmetic chain of the sargable-scan task: quarter-selective
+/// sarg, then three integer adjustments before the projection.
+fn scan_steps() -> Vec<FusedStep> {
+    let sarg = Sarg { field: 1, op: CmpOp::Gt, literal: Value::from(500i64) };
+    let sp = PredicateUdf::from_sarg("hot", sarg);
+    vec![
+        FusedStep::Filter(sp.pred),
+        FusedStep::Map(MapUdf::field_add_int("bump", 1, 5)),
+        FusedStep::Map(MapUdf::field_add_int("rebase", 0, -3)),
+        FusedStep::Map(MapUdf::field_add_int("scale", 1, 11)),
+        FusedStep::Project(vec![1, 0]),
+    ]
+}
+
+fn scan_collection_plan(data: Vec<Value>) -> (RheemPlan, OperatorId) {
+    let sarg = Sarg { field: 1, op: CmpOp::Gt, literal: Value::from(500i64) };
+    let sp = PredicateUdf::from_sarg("hot", sarg);
+    let mut b = PlanBuilder::new();
+    let sink = b
+        .collection(data)
+        .filter_sarg(sp.pred, sp.sarg)
+        .map(MapUdf::field_add_int("bump", 1, 5))
+        .map(MapUdf::field_add_int("rebase", 0, -3))
+        .map(MapUdf::field_add_int("scale", 1, 11))
+        .project([1usize, 0])
+        .collect();
+    (b.build().expect("scan plan"), sink)
+}
+
+/// Forced-JavaStreams end-to-end run; returns (sorted sink, virtual ms).
+fn run_e2e(build: impl Fn() -> (RheemPlan, OperatorId), batched: bool) -> (Vec<Value>, f64) {
+    let mut ctx = default_context().with_batch(batched);
+    ctx.forced_platform = Some(ids::JAVA_STREAMS);
+    let (plan, sink) = build();
+    let r = ctx.execute(&plan).expect("bench job");
+    let mut out = r.sink(sink).expect("sink").to_vec();
+    out.sort();
+    (out, r.metrics.virtual_ms)
+}
+
+fn main() {
+    let s = scale();
+    let bc = BroadcastCtx::new();
+    let mut rows = Vec::new();
+
+    // ---- wordcount: tokenize → pair → dictionary-keyed sum ----
+    {
+        let lines = wordcount_lines(s);
+        let pipeline = FusedPipeline::new(vec![
+            FusedStep::FlatMap(FlatMapUdf::split_whitespace("split")),
+            FusedStep::Map(MapUdf::pair_with_int("pair", 1)),
+        ]);
+        let key = KeyUdf::field(0);
+        let agg = ReduceUdf::pair_int_sum("sum");
+        let vk = VectorKernel::compile(&pipeline).expect("wordcount chain must vectorize");
+        assert!(batch::agg_vectorizable(&key, &agg), "wordcount agg must vectorize");
+
+        let mut row_out = Vec::new();
+        let row_m = harness::bench("wordcount/row", ITERS, || {
+            let mut st = ReduceByState::new(&key, &agg);
+            pipeline.run_each(&lines, &bc, |v| st.feed_owned(v));
+            row_out = st.finish();
+        });
+        let mut batch_out = Vec::new();
+        let batch_m = harness::bench("wordcount/batched", ITERS, || {
+            batch_out =
+                batch::run_reduce(&vk, &lines, &key, &agg, false).expect("wordcount vectorizes");
+        });
+        assert_eq!(batch_out, row_out, "wordcount: batched kernel diverged from row kernel");
+
+        let (e2e_row, e2e_row_ms) = run_e2e(|| wordcount_collection_plan(lines.clone()), false);
+        let (e2e_bat, e2e_bat_ms) = run_e2e(|| wordcount_collection_plan(lines.clone()), true);
+        assert_eq!(e2e_bat, e2e_row, "wordcount: batched end-to-end run diverged");
+
+        rows.push(Row {
+            task: "wordcount",
+            row_ms: row_m.min_ms,
+            batch_ms: batch_m.min_ms,
+            e2e_row_virtual_ms: e2e_row_ms,
+            e2e_batch_virtual_ms: e2e_bat_ms,
+            rows: lines.len(),
+        });
+    }
+
+    // ---- sargable scan: typed filter → int arithmetic → projection ----
+    {
+        let data = scan_pairs(s);
+        let pipeline = FusedPipeline::new(scan_steps());
+        let vk = VectorKernel::compile(&pipeline).expect("scan chain must vectorize");
+
+        let mut row_out = Vec::new();
+        let row_m = harness::bench("scan/row", ITERS, || {
+            row_out = pipeline.run(&data, &bc);
+        });
+        let mut batch_out = Vec::new();
+        let batch_m = harness::bench("scan/batched", ITERS, || {
+            batch_out = vk.run_values(&data).expect("scan vectorizes").to_values();
+        });
+        assert_eq!(batch_out, row_out, "scan: batched kernel diverged from row kernel");
+
+        let (e2e_row, e2e_row_ms) = run_e2e(|| scan_collection_plan(data.clone()), false);
+        let (e2e_bat, e2e_bat_ms) = run_e2e(|| scan_collection_plan(data.clone()), true);
+        assert_eq!(e2e_bat, e2e_row, "scan: batched end-to-end run diverged");
+
+        rows.push(Row {
+            task: "scan",
+            row_ms: row_m.min_ms,
+            batch_ms: batch_m.min_ms,
+            e2e_row_virtual_ms: e2e_row_ms,
+            e2e_batch_virtual_ms: e2e_bat_ms,
+            rows: data.len(),
+        });
+    }
+
+    // ---- gate ----
+    for r in &rows {
+        println!(
+            "{}: kernel {:.2} ms row vs {:.2} ms batched — {:.2}x ({} rows); \
+             e2e virtual {:.1} -> {:.1} ms",
+            r.task,
+            r.row_ms,
+            r.batch_ms,
+            r.speedup(),
+            r.rows,
+            r.e2e_row_virtual_ms,
+            r.e2e_batch_virtual_ms,
+        );
+        assert!(
+            r.speedup() >= GATE,
+            "{}: batched kernel speedup {:.2}x below the {GATE}x gate \
+             (row {:.2} ms, batched {:.2} ms over {} rows)",
+            r.task,
+            r.speedup(),
+            r.row_ms,
+            r.batch_ms,
+            r.rows
+        );
+    }
+
+    let mut report = Report::new("batch_bench");
+    for r in &rows {
+        report.row("row_kernel", r.task, r.row_ms, &format!("{} rows", r.rows));
+        report.row("batched_kernel", r.task, r.batch_ms, &format!("{:.2}x", r.speedup()));
+        report.row("e2e_row", r.task, r.e2e_row_virtual_ms, "");
+        report.row("e2e_batched", r.task, r.e2e_batch_virtual_ms, "");
+    }
+    report.save();
+
+    let mut json = String::from("{\n  \"bench\": \"batch_bench\",\n");
+    let _ = writeln!(json, "  \"iters\": {ITERS},");
+    let _ = writeln!(json, "  \"gate\": {GATE},");
+    json.push_str("  \"tasks\": {\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"rows\": {}, \"row_kernel_ms\": {:.3}, \
+             \"batched_kernel_ms\": {:.3}, \"kernel_speedup\": {:.3}, \
+             \"e2e_row_virtual_ms\": {:.3}, \"e2e_batched_virtual_ms\": {:.3} }}{}",
+            r.task,
+            r.rows,
+            r.row_ms,
+            r.batch_ms,
+            r.speedup(),
+            r.e2e_row_virtual_ms,
+            r.e2e_batch_virtual_ms,
+            comma
+        );
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_PR6.json", &json).expect("write BENCH_PR6.json");
+    println!("-- wrote BENCH_PR6.json ({} tasks)", rows.len());
+}

@@ -18,7 +18,6 @@ use rheem_core::error::Result;
 use rheem_core::plan::{OperatorId, PlanBuilder, RheemPlan};
 use rheem_core::platform::{ids, PlatformId};
 use rheem_core::udf::{FlatMapUdf, KeyUdf, MapUdf, ReduceUdf};
-use rheem_core::value::Value;
 
 /// A context with JavaStreams + Spark + Flink (the general-purpose trio).
 pub fn default_context() -> RheemContext {
@@ -132,25 +131,17 @@ pub fn scale() -> f64 {
 // ---------------------------------------------------------------------------
 
 /// Build the WordCount plan over a text file (Table 1's text-mining task).
+///
+/// Built from the spec'd UDF constructors, so the whole tokenize → pair →
+/// sum-by-key chain compiles to vector kernels under `RHEEM_BATCH=on`
+/// (identical row-mode semantics; see `rheem_core::batch`).
 pub fn wordcount_plan(path: impl Into<PathBuf>) -> Result<(RheemPlan, OperatorId)> {
     let mut b = PlanBuilder::new();
     let sink = b
         .read_text_file(path.into())
-        .flat_map(FlatMapUdf::new("split", |v| {
-            v.as_str().unwrap_or("").split_whitespace().map(Value::from).collect()
-        }))
-        .map(MapUdf::new("pair", |w| Value::pair(w.clone(), Value::from(1))))
-        .reduce_by_key(
-            KeyUdf::field(0),
-            ReduceUdf::new("sum", |a, b| {
-                Value::pair(
-                    a.field(0).clone(),
-                    Value::from(
-                        a.field(1).as_int().unwrap_or(0) + b.field(1).as_int().unwrap_or(0),
-                    ),
-                )
-            }),
-        )
+        .flat_map(FlatMapUdf::split_whitespace("split"))
+        .map(MapUdf::pair_with_int("pair", 1))
+        .reduce_by_key(KeyUdf::field(0), ReduceUdf::pair_int_sum("sum"))
         .collect();
     b.build().map(|p| (p, sink))
 }

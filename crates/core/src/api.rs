@@ -126,6 +126,16 @@ impl RheemContext {
         self
     }
 
+    /// Enable or disable columnar batch execution (builder style; see
+    /// [`crate::batch`]). Overrides the `RHEEM_BATCH` environment setting —
+    /// tests use this to A/B the vectorized and row interpreters without
+    /// env races. Plan choice is unaffected: the cost model's vectorization
+    /// discount depends only on static chain vectorizability.
+    pub fn with_batch(mut self, on: bool) -> Self {
+        self.config.batch = on;
+        self
+    }
+
     /// Enable the cross-job result cache with a byte budget (builder
     /// style). Overrides the `RHEEM_CACHE` environment setting.
     pub fn with_cache(mut self, budget_bytes: u64) -> Self {
@@ -364,6 +374,10 @@ impl RheemContext {
                         fused: p.logical.len(),
                         chain_tail: pos + 1 == members.len(),
                         miss: false,
+                        vec_rows: 0,
+                        vec_batches: 0,
+                        vec_steps: 0,
+                        row_steps: 0,
                     }
                 });
                 row.runs += 1;
@@ -371,6 +385,10 @@ impl RheemContext {
                 row.virtual_ms += p.virtual_ms;
                 row.measured_tuples = p.tuples_out;
                 row.tuples_in = p.tuples_in;
+                row.vec_rows += p.vec_stats.rows;
+                row.vec_batches += p.vec_stats.batches;
+                row.vec_steps += p.vec_stats.vec_steps;
+                row.row_steps += p.vec_stats.row_steps;
             }
         }
         let mut rows: Vec<AnalyzeRow> =
@@ -420,6 +438,15 @@ pub struct AnalyzeRow {
     pub chain_tail: bool,
     /// Estimate miss: the measured cardinality left `[lo/tau, hi*tau]`.
     pub miss: bool,
+    /// Rows the covering operator fed through vectorized column kernels
+    /// ([`crate::batch`]), summed over runs. 0 in row mode.
+    pub vec_rows: u64,
+    /// Column batches the covering operator processed, summed over runs.
+    pub vec_batches: u64,
+    /// Fused steps executed vectorized, summed over runs.
+    pub vec_steps: u32,
+    /// Fused steps that fell back to the row interpreter (batch mode only).
+    pub row_steps: u32,
 }
 
 /// The result of [`RheemContext::explain_analyze`].
@@ -486,6 +513,16 @@ impl fmt::Display for ExplainAnalysis {
             }
             if r.retries > 0 {
                 flags.push(format!("retries={}", r.retries));
+            }
+            if r.vec_steps > 0 || r.row_steps > 0 {
+                // Which chain segments actually vectorized: steps through
+                // column kernels vs. row-interpreter fallbacks, plus batch
+                // geometry (rows per batch).
+                let rpb = r.vec_rows.checked_div(r.vec_batches).unwrap_or(0);
+                flags.push(format!(
+                    "vec({}v/{}r,{}x{})",
+                    r.vec_steps, r.row_steps, r.vec_batches, rpb
+                ));
             }
             writeln!(
                 f,

@@ -1,0 +1,726 @@
+//! Columnar batch execution: typed column slices and vectorized kernels for
+//! fused pipelines (Flare-style tight loops instead of tuple-at-a-time
+//! interpretation).
+//!
+//! The row interpreter ([`crate::fused`]) pulls one [`Value`] enum at a time
+//! through boxed UDFs, paying dispatch, `Arc` refcount traffic and hash-map
+//! churn per tuple. This module offers the batched alternative: a [`Batch`]
+//! of aligned typed [`Column`]s with a *selection vector*, and a
+//! [`VectorKernel`] compiled from a fused chain whose steps all carry spec
+//! descriptors ([`crate::udf::MapSpec`] et al.). Predicates write selection
+//! vectors instead of materializing survivors; tokenizing flat-maps build
+//! dictionary-encoded string columns (backed by [`crate::intern`]); the
+//! fused terminal `ReduceBy` aggregates through a dictionary-keyed fast path
+//! ([`reduce_batch`]) that replaces one hash + one allocation per quantum
+//! with one slot increment.
+//!
+//! **Fallback rule:** compilation ([`VectorKernel::compile`]) fails if any
+//! step lacks a spec (opaque closure), and execution
+//! ([`VectorKernel::run_values`]) fails if the runtime column types don't
+//! match the spec (e.g. a sarg over a mixed column). In both cases engines
+//! fall back to the row interpreter for the whole segment, so batching is
+//! always semantics-preserving: both paths are derived from the same spec
+//! and produce identical values in identical order.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::fused::{FusedPipeline, FusedStep};
+use crate::intern::intern;
+use crate::udf::{CmpOp, FlatMapSpec, KeySpec, KeyUdf, MapSpec, ReduceSpec, ReduceUdf, Sarg};
+use crate::value::Value;
+
+/// A typed column of quanta (one attribute across a batch of rows).
+#[derive(Clone, Debug)]
+pub enum Column {
+    /// 64-bit integers.
+    Int64(Vec<i64>),
+    /// 64-bit floats.
+    Float64(Vec<f64>),
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// Dictionary-encoded strings: `ids[i]` indexes `dict`. Dictionary
+    /// entries are in first-occurrence order and share interned allocations
+    /// where they come from the tokenizer.
+    Str {
+        /// Distinct strings, first-occurrence order.
+        dict: Vec<Arc<str>>,
+        /// Per-row dictionary index.
+        ids: Vec<u32>,
+    },
+    /// Row fallback: arbitrary (mixed-type, nested, or null) values.
+    Row(Vec<Value>),
+}
+
+impl Column {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64(v) => v.len(),
+            Column::Float64(v) => v.len(),
+            Column::Bool(v) => v.len(),
+            Column::Str { ids, .. } => ids.len(),
+            Column::Row(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize row `i` as a [`Value`].
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            Column::Int64(v) => Value::Int(v[i]),
+            Column::Float64(v) => Value::Float(v[i]),
+            Column::Bool(v) => Value::Bool(v[i]),
+            Column::Str { dict, ids } => Value::Str(Arc::clone(&dict[ids[i] as usize])),
+            Column::Row(v) => v[i].clone(),
+        }
+    }
+}
+
+/// Columnarize one attribute: typed vector when every value shares a scalar
+/// type, [`Column::Row`] otherwise (nulls, tuples, mixed types).
+fn columnize<'a>(vals: impl Iterator<Item = &'a Value> + Clone, len: usize) -> Column {
+    let mut it = vals.clone();
+    match it.next() {
+        Some(Value::Int(_)) => {
+            let mut out = Vec::with_capacity(len);
+            for v in vals.clone() {
+                match v {
+                    Value::Int(n) => out.push(*n),
+                    _ => return Column::Row(vals.cloned().collect()),
+                }
+            }
+            Column::Int64(out)
+        }
+        Some(Value::Float(_)) => {
+            let mut out = Vec::with_capacity(len);
+            for v in vals.clone() {
+                match v {
+                    Value::Float(x) => out.push(*x),
+                    _ => return Column::Row(vals.cloned().collect()),
+                }
+            }
+            Column::Float64(out)
+        }
+        Some(Value::Bool(_)) => {
+            let mut out = Vec::with_capacity(len);
+            for v in vals.clone() {
+                match v {
+                    Value::Bool(b) => out.push(*b),
+                    _ => return Column::Row(vals.cloned().collect()),
+                }
+            }
+            Column::Bool(out)
+        }
+        Some(Value::Str(_)) => {
+            let mut dict: Vec<Arc<str>> = Vec::new();
+            let mut map: HashMap<Arc<str>, u32> = HashMap::new();
+            let mut ids = Vec::with_capacity(len);
+            for v in vals.clone() {
+                match v {
+                    Value::Str(s) => {
+                        let id = match map.get(s.as_ref()) {
+                            Some(&id) => id,
+                            None => {
+                                let id = dict.len() as u32;
+                                dict.push(Arc::clone(s));
+                                map.insert(Arc::clone(s), id);
+                                id
+                            }
+                        };
+                        ids.push(id);
+                    }
+                    _ => return Column::Row(vals.cloned().collect()),
+                }
+            }
+            Column::Str { dict, ids }
+        }
+        _ => Column::Row(vals.cloned().collect()),
+    }
+}
+
+/// Whether a batch holds scalar quanta (one column) or tuple quanta (one
+/// column per field).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shape {
+    /// Each row is the single column's value.
+    Scalar,
+    /// Each row is a tuple of the columns' values, in column order.
+    Tuple,
+}
+
+/// A batch of aligned columns with an optional selection vector.
+///
+/// Columns are shared via `Arc`, so transformations that touch one column
+/// (e.g. [`MapSpec::FieldIntAdd`]) reuse the others without copying, and
+/// cloning a batch (channel fan-out, retries) is O(columns).
+#[derive(Clone, Debug)]
+pub struct Batch {
+    cols: Vec<Arc<Column>>,
+    shape: Shape,
+    len: usize,
+    /// Surviving row indices in ascending order; `None` means all rows.
+    sel: Option<Vec<u32>>,
+}
+
+impl Batch {
+    /// Columnarize a slice of row values. Tuples of uniform arity become one
+    /// column per field; anything else becomes a single (possibly
+    /// row-fallback) column.
+    pub fn from_values(input: &[Value]) -> Batch {
+        let arity = match input.first() {
+            Some(Value::Tuple(t)) if !t.is_empty() => {
+                let n = t.len();
+                if input.iter().all(|v| matches!(v, Value::Tuple(t) if t.len() == n)) {
+                    Some(n)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        match arity {
+            Some(n) => {
+                let cols = (0..n)
+                    .map(|i| {
+                        Arc::new(columnize(input.iter().map(move |v| v.field(i)), input.len()))
+                    })
+                    .collect();
+                Batch { cols, shape: Shape::Tuple, len: input.len(), sel: None }
+            }
+            None => Batch {
+                cols: vec![Arc::new(columnize(input.iter(), input.len()))],
+                shape: Shape::Scalar,
+                len: input.len(),
+                sel: None,
+            },
+        }
+    }
+
+    /// Total rows (before selection).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no rows survive the selection.
+    pub fn is_empty(&self) -> bool {
+        self.selected_len() == 0
+    }
+
+    /// Rows surviving the selection vector.
+    pub fn selected_len(&self) -> usize {
+        self.sel.as_ref().map(Vec::len).unwrap_or(self.len)
+    }
+
+    /// The batch's shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Materialize row `i` (a physical row index, ignoring selection).
+    fn row(&self, i: usize) -> Value {
+        match self.shape {
+            Shape::Scalar => self.cols[0].get(i),
+            Shape::Tuple => Value::tuple(self.cols.iter().map(|c| c.get(i)).collect::<Vec<_>>()),
+        }
+    }
+
+    /// Materialize the surviving rows back into row values, in order.
+    pub fn to_values(&self) -> Vec<Value> {
+        match &self.sel {
+            Some(sel) => sel.iter().map(|&i| self.row(i as usize)).collect(),
+            None => (0..self.len).map(|i| self.row(i)).collect(),
+        }
+    }
+
+    /// Iterate surviving physical row indices in order.
+    fn selected(&self) -> impl Iterator<Item = usize> + '_ {
+        let sel = self.sel.as_deref();
+        (0..self.len).filter_map(move |i| match sel {
+            Some(s) => s.get(i).map(|&x| x as usize),
+            None => Some(i),
+        })
+    }
+}
+
+/// One vectorized step over column slices.
+#[derive(Clone, Debug)]
+enum VStep {
+    /// Sargable predicate → selection vector.
+    Filter(Sarg),
+    /// Recognized arithmetic / pairing map.
+    Map(MapSpec),
+    /// Whitespace tokenizer → dictionary-encoded string column.
+    Tokenize,
+    /// Column projection.
+    Project(Vec<usize>),
+}
+
+/// A fused chain compiled to vectorized steps. Produced by [`compile`]
+/// (`None` when any step is an opaque closure); executed by [`run_values`]
+/// (`None` when runtime column types don't fit — callers fall back to the
+/// row interpreter).
+///
+/// [`compile`]: VectorKernel::compile
+/// [`run_values`]: VectorKernel::run_values
+#[derive(Clone, Debug)]
+pub struct VectorKernel {
+    steps: Vec<VStep>,
+}
+
+impl VectorKernel {
+    /// Compile a fused pipeline into vector steps; `None` if any step lacks
+    /// a spec descriptor.
+    pub fn compile(p: &FusedPipeline) -> Option<VectorKernel> {
+        let steps = p
+            .steps()
+            .iter()
+            .map(|s| match s {
+                FusedStep::Filter(p) => p.spec.clone().map(VStep::Filter),
+                FusedStep::Map(m) => m.spec.clone().map(VStep::Map),
+                FusedStep::FlatMap(f) => {
+                    (f.spec == Some(FlatMapSpec::SplitWhitespace)).then_some(VStep::Tokenize)
+                }
+                FusedStep::Project(fields) => Some(VStep::Project(fields.clone())),
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(VectorKernel { steps })
+    }
+
+    /// Number of vectorized steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the kernel has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Columnarize `input` and run every step over column slices. `None` on
+    /// any runtime type mismatch (caller falls back to the row path).
+    pub fn run_values(&self, input: &[Value]) -> Option<Batch> {
+        let mut b = Batch::from_values(input);
+        for s in &self.steps {
+            b = apply(s, b)?;
+        }
+        Some(b)
+    }
+}
+
+/// Build the new selection vector for `keep` over the currently selected
+/// physical rows.
+fn filter_sel(b: &Batch, keep: impl Fn(usize) -> bool) -> Vec<u32> {
+    let mut out = Vec::with_capacity(b.selected_len());
+    match &b.sel {
+        Some(sel) => {
+            for &i in sel {
+                if keep(i as usize) {
+                    out.push(i);
+                }
+            }
+        }
+        None => {
+            for i in 0..b.len {
+                if keep(i) {
+                    out.push(i as u32);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[inline]
+fn ord_ok(op: CmpOp, o: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    matches!(
+        (op, o),
+        (CmpOp::Lt, Less)
+            | (CmpOp::Le, Less | Equal)
+            | (CmpOp::Gt, Greater)
+            | (CmpOp::Ge, Greater | Equal)
+            | (CmpOp::Eq, Equal)
+            | (CmpOp::Ne, Less | Greater)
+    )
+}
+
+/// Apply one vector step; `None` on a runtime shape/type mismatch.
+fn apply(step: &VStep, b: Batch) -> Option<Batch> {
+    match step {
+        VStep::Filter(sarg) => {
+            if b.shape != Shape::Tuple || sarg.field >= b.cols.len() {
+                return None;
+            }
+            let op = sarg.op;
+            // Tight loop per (column type, literal type) pair, matching the
+            // canonical `Value` order exactly (ints and floats cross-compare
+            // numerically via `total_cmp`).
+            let sel = match (b.cols[sarg.field].as_ref(), &sarg.literal) {
+                (Column::Int64(xs), Value::Int(l)) => {
+                    let l = *l;
+                    filter_sel(&b, |i| ord_ok(op, xs[i].cmp(&l)))
+                }
+                (Column::Int64(xs), Value::Float(l)) => {
+                    let l = *l;
+                    filter_sel(&b, |i| ord_ok(op, (xs[i] as f64).total_cmp(&l)))
+                }
+                (Column::Float64(xs), Value::Float(l)) => {
+                    let l = *l;
+                    filter_sel(&b, |i| ord_ok(op, xs[i].total_cmp(&l)))
+                }
+                (Column::Float64(xs), Value::Int(l)) => {
+                    let l = *l as f64;
+                    filter_sel(&b, |i| ord_ok(op, xs[i].total_cmp(&l)))
+                }
+                (Column::Bool(xs), Value::Bool(l)) => {
+                    let l = *l;
+                    filter_sel(&b, |i| ord_ok(op, xs[i].cmp(&l)))
+                }
+                (Column::Str { dict, ids }, Value::Str(l)) => {
+                    // Evaluate once per distinct string, then index.
+                    let keep: Vec<bool> =
+                        dict.iter().map(|s| ord_ok(op, s.as_ref().cmp(l.as_ref()))).collect();
+                    filter_sel(&b, |i| keep[ids[i] as usize])
+                }
+                _ => return None,
+            };
+            Some(Batch { sel: Some(sel), ..b })
+        }
+        VStep::Map(MapSpec::PairIntLit(lit)) => {
+            if b.shape != Shape::Scalar {
+                return None;
+            }
+            let lit_col = Arc::new(Column::Int64(vec![*lit; b.len]));
+            Some(Batch {
+                cols: vec![Arc::clone(&b.cols[0]), lit_col],
+                shape: Shape::Tuple,
+                len: b.len,
+                sel: b.sel,
+            })
+        }
+        VStep::Map(MapSpec::FieldIntAdd { field, delta }) => {
+            if b.shape != Shape::Tuple || *field >= b.cols.len() {
+                return None;
+            }
+            let Column::Int64(xs) = b.cols[*field].as_ref() else { return None };
+            let bumped =
+                Arc::new(Column::Int64(xs.iter().map(|x| x.wrapping_add(*delta)).collect()));
+            let cols = b
+                .cols
+                .iter()
+                .enumerate()
+                .map(|(i, c)| if i == *field { Arc::clone(&bumped) } else { Arc::clone(c) })
+                .collect();
+            Some(Batch { cols, shape: Shape::Tuple, len: b.len, sel: b.sel })
+        }
+        VStep::Tokenize => {
+            if b.shape != Shape::Scalar {
+                return None;
+            }
+            let Column::Str { dict, ids } = b.cols[0].as_ref() else { return None };
+            // Tokenize each distinct line once, into word ids over an
+            // interner-backed output dictionary.
+            let mut out_dict: Vec<Arc<str>> = Vec::new();
+            let mut map: HashMap<Arc<str>, u32> = HashMap::new();
+            let mut line_tokens: Vec<Vec<u32>> = Vec::with_capacity(dict.len());
+            for line in dict {
+                let toks = line
+                    .split_whitespace()
+                    .map(|w| match map.get(w) {
+                        Some(&id) => id,
+                        None => {
+                            let a = intern(w);
+                            let id = out_dict.len() as u32;
+                            out_dict.push(Arc::clone(&a));
+                            map.insert(a, id);
+                            id
+                        }
+                    })
+                    .collect();
+                line_tokens.push(toks);
+            }
+            let mut out_ids = Vec::new();
+            for i in b.selected() {
+                out_ids.extend_from_slice(&line_tokens[ids[i] as usize]);
+            }
+            let len = out_ids.len();
+            Some(Batch {
+                cols: vec![Arc::new(Column::Str { dict: out_dict, ids: out_ids })],
+                shape: Shape::Scalar,
+                len,
+                sel: None,
+            })
+        }
+        VStep::Project(fields) => {
+            if b.shape != Shape::Tuple || fields.iter().any(|&i| i >= b.cols.len()) {
+                return None;
+            }
+            let cols: Vec<_> = fields.iter().map(|&i| Arc::clone(&b.cols[i])).collect();
+            Some(Batch { cols, shape: Shape::Tuple, len: b.len, sel: b.sel })
+        }
+    }
+}
+
+/// Whether a `ReduceBy`'s key/agg pair is recognized for batched
+/// aggregation. Static property (spec presence), safe for cost models.
+pub fn agg_vectorizable(key: &KeyUdf, agg: &ReduceUdf) -> bool {
+    key.spec == Some(KeySpec::Field(0)) && agg.spec == Some(ReduceSpec::PairIntSum)
+}
+
+/// Batched hash aggregation over a `(key, int)` tuple batch: the fused
+/// terminal `ReduceBy` fast path.
+///
+/// Emits exactly what the row path's [`crate::kernels::ReduceByState`]
+/// would: one `(key, sum)` pair per distinct key in first-occurrence order
+/// of the surviving rows — or, with `keyed`, `(key, (key, sum))` pairs as
+/// [`finish_keyed`] produces for shuffle routing. Dictionary-encoded keys
+/// aggregate with one slot increment per row (no `Value` hashing at all);
+/// integer keys pay one `i64` hash per row. `None` when the batch is not a
+/// two-column tuple with an integer value column (callers fall back to the
+/// row accumulator).
+///
+/// [`finish_keyed`]: crate::kernels::ReduceByState::finish_keyed
+pub fn reduce_batch(b: &Batch, keyed: bool) -> Option<Vec<Value>> {
+    if b.shape != Shape::Tuple || b.cols.len() != 2 {
+        return None;
+    }
+    let Column::Int64(vals) = b.cols[1].as_ref() else { return None };
+    let pair = |k: Value, sum: i64| {
+        if keyed {
+            Value::pair(k.clone(), Value::pair(k, Value::Int(sum)))
+        } else {
+            Value::pair(k, Value::Int(sum))
+        }
+    };
+    match b.cols[0].as_ref() {
+        Column::Str { dict, ids } => {
+            // Dictionary-keyed fast path: slot per distinct key, no hashing.
+            let mut sums = vec![0i64; dict.len()];
+            let mut seen = vec![false; dict.len()];
+            let mut order: Vec<u32> = Vec::new();
+            for i in b.selected() {
+                let id = ids[i] as usize;
+                if !seen[id] {
+                    seen[id] = true;
+                    order.push(id as u32);
+                }
+                sums[id] = sums[id].wrapping_add(vals[i]);
+            }
+            Some(
+                order
+                    .into_iter()
+                    .map(|id| pair(Value::Str(Arc::clone(&dict[id as usize])), sums[id as usize]))
+                    .collect(),
+            )
+        }
+        Column::Int64(keys) => {
+            let mut slot: HashMap<i64, usize> = HashMap::new();
+            let mut order: Vec<i64> = Vec::new();
+            let mut sums: Vec<i64> = Vec::new();
+            for i in b.selected() {
+                let k = keys[i];
+                let s = *slot.entry(k).or_insert_with(|| {
+                    order.push(k);
+                    sums.push(0);
+                    sums.len() - 1
+                });
+                sums[s] = sums[s].wrapping_add(vals[i]);
+            }
+            Some(order.into_iter().zip(sums).map(|(k, sum)| pair(Value::Int(k), sum)).collect())
+        }
+        _ => None,
+    }
+}
+
+/// One-shot helper for engines: vectorize the chain, then aggregate the
+/// terminal `ReduceBy` in one batched pass. `None` (→ row fallback) when the
+/// key/agg pair is unrecognized, the chain doesn't vectorize at runtime, or
+/// the reduced batch has the wrong shape.
+pub fn run_reduce(
+    vk: &VectorKernel,
+    input: &[Value],
+    key: &KeyUdf,
+    agg: &ReduceUdf,
+    keyed: bool,
+) -> Option<Vec<Value>> {
+    if !agg_vectorizable(key, agg) {
+        return None;
+    }
+    let b = vk.run_values(input)?;
+    reduce_batch(&b, keyed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::ReduceByState;
+    use crate::plan::LogicalOp;
+    use crate::udf::{BroadcastCtx, FlatMapUdf, MapUdf, PredicateUdf};
+
+    fn rows(n: i64) -> Vec<Value> {
+        (0..n).map(|i| Value::tuple(vec![Value::Int(i), Value::Int(i * i)])).collect()
+    }
+
+    fn sarg_lt(field: usize, lit: i64) -> LogicalOp {
+        let sp = PredicateUdf::from_sarg(
+            format!("f{field}<{lit}"),
+            Sarg { field, op: CmpOp::Lt, literal: Value::from(lit) },
+        );
+        LogicalOp::SargFilter { pred: sp.pred, sarg: sp.sarg }
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let data = vec![Value::from(1), Value::from(2), Value::from(3)];
+        assert_eq!(Batch::from_values(&data).to_values(), data);
+        let strs = vec![Value::from("a"), Value::from("b"), Value::from("a")];
+        assert_eq!(Batch::from_values(&strs).to_values(), strs);
+        let tups = rows(5);
+        assert_eq!(Batch::from_values(&tups).to_values(), tups);
+        let mixed = vec![Value::from(1), Value::from("x"), Value::Null];
+        assert_eq!(Batch::from_values(&mixed).to_values(), mixed);
+        let empty: Vec<Value> = vec![];
+        assert!(Batch::from_values(&empty).to_values().is_empty());
+    }
+
+    #[test]
+    fn vector_filter_project_matches_row_path() {
+        let ops = vec![sarg_lt(0, 6), LogicalOp::Project { fields: vec![1, 0] }];
+        let p = FusedPipeline::from_ops(&ops).unwrap();
+        assert!(p.vectorizable());
+        let data = rows(10);
+        let vk = VectorKernel::compile(&p).unwrap();
+        let batched = vk.run_values(&data).unwrap().to_values();
+        let row = p.run(&data, &BroadcastCtx::new());
+        assert_eq!(batched, row);
+    }
+
+    #[test]
+    fn vector_field_add_matches_row_path() {
+        let ops = vec![sarg_lt(1, 50), LogicalOp::Map(MapUdf::field_add_int("bump", 1, 7))];
+        let p = FusedPipeline::from_ops(&ops).unwrap();
+        let data = rows(12);
+        let vk = VectorKernel::compile(&p).unwrap();
+        let batched = vk.run_values(&data).unwrap().to_values();
+        assert_eq!(batched, p.run(&data, &BroadcastCtx::new()));
+    }
+
+    #[test]
+    fn tokenize_pair_matches_row_path() {
+        let ops = vec![
+            LogicalOp::FlatMap(FlatMapUdf::split_whitespace("split")),
+            LogicalOp::Map(MapUdf::pair_with_int("pair", 1)),
+        ];
+        let p = FusedPipeline::from_ops(&ops).unwrap();
+        let lines: Vec<Value> = ["the quick fox", "the lazy dog", "the quick dog", ""]
+            .iter()
+            .map(|&s| Value::from(s))
+            .collect();
+        let vk = VectorKernel::compile(&p).unwrap();
+        let batched = vk.run_values(&lines).unwrap().to_values();
+        assert_eq!(batched, p.run(&lines, &BroadcastCtx::new()));
+    }
+
+    #[test]
+    fn batched_wordcount_matches_reduce_by_state() {
+        let ops = vec![
+            LogicalOp::FlatMap(FlatMapUdf::split_whitespace("split")),
+            LogicalOp::Map(MapUdf::pair_with_int("pair", 1)),
+        ];
+        let p = FusedPipeline::from_ops(&ops).unwrap();
+        let lines: Vec<Value> =
+            ["a b a c", "b a", "c c c a"].iter().map(|&s| Value::from(s)).collect();
+        let key = KeyUdf::field(0);
+        let agg = ReduceUdf::pair_int_sum("sum");
+        let vk = VectorKernel::compile(&p).unwrap();
+
+        let mut state = ReduceByState::new(&key, &agg);
+        p.run_each(&lines, &BroadcastCtx::new(), |v| state.feed_owned(v));
+
+        let batched = run_reduce(&vk, &lines, &key, &agg, false).unwrap();
+        assert_eq!(batched, state.finish());
+    }
+
+    #[test]
+    fn batched_keyed_reduce_matches_finish_keyed() {
+        let ops = vec![
+            LogicalOp::FlatMap(FlatMapUdf::split_whitespace("split")),
+            LogicalOp::Map(MapUdf::pair_with_int("pair", 1)),
+        ];
+        let p = FusedPipeline::from_ops(&ops).unwrap();
+        let lines: Vec<Value> = ["x y x", "z y"].iter().map(|&s| Value::from(s)).collect();
+        let key = KeyUdf::field(0);
+        let agg = ReduceUdf::pair_int_sum("sum");
+        let vk = VectorKernel::compile(&p).unwrap();
+
+        let mut state = ReduceByState::new(&key, &agg);
+        p.run_each(&lines, &BroadcastCtx::new(), |v| state.feed_owned(v));
+
+        let batched = run_reduce(&vk, &lines, &key, &agg, true).unwrap();
+        assert_eq!(batched, state.finish_keyed());
+    }
+
+    #[test]
+    fn int_keyed_reduce_matches_row_path() {
+        // (i % 4, i) pairs: int-keyed batched aggregation.
+        let data: Vec<Value> =
+            (0..20).map(|i| Value::pair(Value::Int(i % 4), Value::Int(i))).collect();
+        let p = FusedPipeline::new(vec![]);
+        let vk = VectorKernel::compile(&p).unwrap();
+        let key = KeyUdf::field(0);
+        let agg = ReduceUdf::pair_int_sum("sum");
+        let mut state = ReduceByState::new(&key, &agg);
+        for v in &data {
+            state.feed(v);
+        }
+        let batched = run_reduce(&vk, &data, &key, &agg, false).unwrap();
+        assert_eq!(batched, state.finish());
+    }
+
+    #[test]
+    fn opaque_closures_refuse_to_compile() {
+        let ops = vec![LogicalOp::Map(MapUdf::new("opaque", |v| v.clone()))];
+        let p = FusedPipeline::from_ops(&ops).unwrap();
+        assert!(VectorKernel::compile(&p).is_none());
+        assert!(!p.vectorizable());
+    }
+
+    #[test]
+    fn runtime_type_mismatch_falls_back() {
+        // Sarg over a string column with an int literal: compile succeeds,
+        // execution refuses (row path would compare via canonical rank).
+        let ops = vec![sarg_lt(0, 5)];
+        let p = FusedPipeline::from_ops(&ops).unwrap();
+        let vk = VectorKernel::compile(&p).unwrap();
+        let data = vec![Value::tuple(vec![Value::from("a"), Value::from(1)])];
+        assert!(vk.run_values(&data).is_none());
+        // Scalar input into a tuple-field sarg: also a fallback.
+        assert!(vk.run_values(&[Value::from(3)]).is_none());
+    }
+
+    #[test]
+    fn unrecognized_agg_falls_back() {
+        let p = FusedPipeline::new(vec![]);
+        let vk = VectorKernel::compile(&p).unwrap();
+        let key = KeyUdf::new("custom", |v| v.clone());
+        let agg = ReduceUdf::pair_int_sum("sum");
+        assert!(!agg_vectorizable(&key, &agg));
+        assert!(run_reduce(&vk, &[], &key, &agg, false).is_none());
+    }
+
+    #[test]
+    fn selection_vector_survives_chained_filters() {
+        let ops = vec![sarg_lt(0, 8), sarg_lt(1, 40)];
+        let p = FusedPipeline::from_ops(&ops).unwrap();
+        let data = rows(10);
+        let vk = VectorKernel::compile(&p).unwrap();
+        let b = vk.run_values(&data).unwrap();
+        assert_eq!(b.to_values(), p.run(&data, &BroadcastCtx::new()));
+        assert!(b.selected_len() < b.len());
+    }
+}

@@ -68,6 +68,12 @@ pub enum ChannelData {
     Partitions(Arc<Vec<Dataset>>),
     /// A file produced/readable by file channels.
     File(Arc<PathBuf>),
+    /// Columnar batches ([`crate::batch::Batch`]), one per producing run
+    /// (e.g. per partition). Zero-copy to clone (columns are `Arc`-shared)
+    /// and lazily materializable: [`ChannelData::flatten`] and
+    /// [`ChannelData::sample`] rebuild row values on demand, so consumers
+    /// that only understand collections keep working unchanged.
+    Batches(Arc<Vec<crate::batch::Batch>>),
     /// Platform-specific payload (e.g. a Postgres relation handle, a Giraph
     /// graph). `kind` tells the owner platform how to interpret it.
     Opaque {
@@ -86,6 +92,7 @@ impl ChannelData {
         match self {
             ChannelData::Collection(d) => Some(d.len()),
             ChannelData::Partitions(p) => Some(p.iter().map(|d| d.len()).sum()),
+            ChannelData::Batches(b) => Some(b.iter().map(|x| x.selected_len()).sum()),
             _ => None,
         }
     }
@@ -151,6 +158,19 @@ impl ChannelData {
             ChannelData::Partitions(p) => {
                 Some(p.iter().flat_map(|d| d.iter()).take(limit).cloned().collect())
             }
+            ChannelData::Batches(b) => {
+                let mut out = Vec::with_capacity(limit);
+                for batch in b.iter() {
+                    // Materialize per batch; stop as soon as the limit fills.
+                    for v in batch.to_values() {
+                        if out.len() == limit {
+                            return Some(out);
+                        }
+                        out.push(v);
+                    }
+                }
+                Some(out)
+            }
             _ => None,
         }
     }
@@ -171,6 +191,14 @@ impl ChannelData {
                 }
                 Ok(Arc::new(out))
             }
+            ChannelData::Batches(b) => {
+                let total: usize = b.iter().map(|x| x.selected_len()).sum();
+                let mut out: Vec<Value> = Vec::with_capacity(total);
+                for batch in b.iter() {
+                    out.append(&mut batch.to_values());
+                }
+                Ok(Arc::new(out))
+            }
             other => Err(RheemError::Execution(format!("cannot flatten channel {other:?}"))),
         }
     }
@@ -185,6 +213,12 @@ impl fmt::Debug for ChannelData {
                 "Partitions({} x {} quanta)",
                 p.len(),
                 p.iter().map(|d| d.len()).sum::<usize>()
+            ),
+            ChannelData::Batches(b) => write!(
+                f,
+                "Batches({} x {} quanta)",
+                b.len(),
+                b.iter().map(|x| x.selected_len()).sum::<usize>()
             ),
             ChannelData::File(p) => write!(f, "File({})", p.display()),
             ChannelData::Opaque { kind, .. } => write!(f, "Opaque({kind})"),
@@ -234,6 +268,20 @@ mod tests {
         assert_eq!(p.sample(9).unwrap().len(), 3);
         assert!(ChannelData::None.first().is_err());
         assert!(ChannelData::None.sample(1).is_none());
+    }
+
+    #[test]
+    fn batches_flatten_sample_and_count() {
+        let a = crate::batch::Batch::from_values(&[Value::from(1), Value::from(2)]);
+        let b = crate::batch::Batch::from_values(&[Value::from(3)]);
+        let ch = ChannelData::Batches(Arc::new(vec![a, b]));
+        assert_eq!(ch.cardinality(), Some(3));
+        assert_eq!(
+            ch.flatten().unwrap().as_ref(),
+            &vec![Value::from(1), Value::from(2), Value::from(3)]
+        );
+        assert_eq!(ch.sample(2).unwrap(), vec![Value::from(1), Value::from(2)]);
+        assert_eq!(format!("{ch:?}"), "Batches(2 x 3 quanta)");
     }
 
     #[test]

@@ -104,6 +104,31 @@ pub struct ExecCtx<'a> {
     virtual_ms: f64,
     tracing: bool,
     events: Vec<TraceEvent>,
+    batch: bool,
+    vec_stats: VecStats,
+}
+
+/// Vectorization counters accumulated while executing one node: how much of
+/// the work ran through [`crate::batch`] kernels vs. the row interpreter.
+/// Surfaced on [`crate::trace::OpProfile`]s (never in trace *structure*, so
+/// batched and row runs stay byte-identical there).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VecStats {
+    /// Rows fed into vectorized kernels.
+    pub rows: u64,
+    /// Column batches processed.
+    pub batches: u64,
+    /// Fused steps executed vectorized.
+    pub vec_steps: u32,
+    /// Fused steps that fell back to the row interpreter.
+    pub row_steps: u32,
+}
+
+impl VecStats {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == VecStats::default()
+    }
 }
 
 impl<'a> ExecCtx<'a> {
@@ -119,7 +144,40 @@ impl<'a> ExecCtx<'a> {
             virtual_ms: 0.0,
             tracing: false,
             events: Vec::new(),
+            batch: true,
+            vec_stats: VecStats::default(),
         }
+    }
+
+    /// Enable or disable columnar batch execution for this context (the
+    /// executor forwards [`crate::executor::ExecConfig::batch`], i.e. the
+    /// `RHEEM_BATCH` switch). Defaults to on.
+    pub fn set_batch(&mut self, on: bool) {
+        self.batch = on;
+    }
+
+    /// Whether operators should try the vectorized path for fused segments.
+    pub fn batch(&self) -> bool {
+        self.batch
+    }
+
+    /// Report a fused segment executed through vectorized kernels.
+    pub fn report_vectorized(&mut self, rows: u64, batches: u64, steps: u32) {
+        self.vec_stats.rows += rows;
+        self.vec_stats.batches += batches;
+        self.vec_stats.vec_steps += steps;
+    }
+
+    /// Report a fused segment that fell back to the row interpreter (only
+    /// meaningful in batch mode — row mode reports nothing).
+    pub fn report_row_fallback(&mut self, steps: u32) {
+        self.vec_stats.row_steps += steps;
+    }
+
+    /// Drain the vectorization counters (executor moves them onto the
+    /// node's profile).
+    pub fn take_vec_stats(&mut self) -> VecStats {
+        std::mem::take(&mut self.vec_stats)
     }
 
     /// Enable or disable trace-event collection (the executor turns it on

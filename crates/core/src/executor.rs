@@ -76,6 +76,13 @@ pub struct ExecConfig {
     /// results, traces and virtual times; the env var `RHEEM_SCHED`
     /// (`conc` / `seq`) pins the default for A/B matrices.
     pub concurrent: Option<bool>,
+    /// Columnar batch execution ([`crate::batch`]): fused chains whose steps
+    /// carry spec descriptors run as vectorized kernels over typed column
+    /// slices; everything else falls back to the row interpreter. Both modes
+    /// produce byte-identical results, traces and virtual-time structure.
+    /// Defaults to on; the env var `RHEEM_BATCH` (`on` / `off`) pins it for
+    /// A/B matrices.
+    pub batch: bool,
 }
 
 impl ExecConfig {
@@ -112,6 +119,10 @@ impl Default for ExecConfig {
             concurrent: std::env::var("RHEEM_SCHED")
                 .ok()
                 .map(|v| !matches!(v.as_str(), "seq" | "sequential" | "off" | "0")),
+            batch: !matches!(
+                std::env::var("RHEEM_BATCH").ok().as_deref(),
+                Some("off" | "0" | "row" | "false")
+            ),
         }
     }
 }
@@ -267,6 +278,7 @@ struct NodeExec {
     events: Vec<TraceEvent>,
     real_ms: f64,
     node_retries: u32,
+    vec_stats: crate::exec::VecStats,
 }
 
 /// Execution outcome of one node, including the retry history that must be
@@ -520,8 +532,13 @@ impl<'a> Executor<'a> {
                 h.trace.end(sid, h.base_ms + state_vfinish);
             }
             if let Some(cond) = &cond {
-                let done =
-                    state.first()?.map(|v| cond.call(v, &BroadcastCtx::new())).unwrap_or(true);
+                // Batched feedback has no borrowable rows; materialize the
+                // probe element (one batch at most) instead of erroring.
+                let probe = match &state {
+                    ChannelData::Batches(_) => state.sample(1).and_then(|s| s.into_iter().next()),
+                    _ => state.first()?.cloned(),
+                };
+                let done = probe.map(|v| cond.call(&v, &BroadcastCtx::new())).unwrap_or(true);
                 if done {
                     break;
                 }
@@ -627,6 +644,7 @@ impl<'a> Executor<'a> {
             ctx.stage = node.stage;
             ctx.set_tracing(self.trace.is_some());
             ctx.set_faults(self.faults.clone());
+            ctx.set_batch(self.config.batch);
             // Stage crashes strike the submission itself, before any
             // operator code runs; operator/transfer faults strike inside
             // `execute` via the context's gates.
@@ -671,6 +689,7 @@ impl<'a> Executor<'a> {
         let real_ms = wall.elapsed().as_secs_f64() * 1000.0;
         let (mut ops, mut vdur) = ctx.take_metrics();
         let events = ctx.take_events();
+        let vec_stats = ctx.take_vec_stats();
         if ops.is_empty() {
             // Operators that do not self-report get wall-clock attribution.
             let scaled = real_ms * self.profiles.get(platform).cpu_scale;
@@ -701,7 +720,7 @@ impl<'a> Executor<'a> {
         NodeOutcome {
             retries,
             failures_after: *stage_failures,
-            result: Ok(NodeExec { out, ops, vdur, events, real_ms, node_retries }),
+            result: Ok(NodeExec { out, ops, vdur, events, real_ms, node_retries, vec_stats }),
         }
     }
 
@@ -828,7 +847,7 @@ impl<'a> Executor<'a> {
         if failures_after > 0 {
             st.stage_attempts.insert((node.stage, st.iteration), failures_after);
         }
-        let NodeExec { out, mut ops, mut vdur, events, real_ms, node_retries } = result?;
+        let NodeExec { out, mut ops, mut vdur, events, real_ms, node_retries, vec_stats } = result?;
 
         // Exploration sniffer (Fig. 7): multiplex a sample of the output.
         if self.config.exploration && !node.logical.is_empty() {
@@ -903,6 +922,11 @@ impl<'a> Executor<'a> {
                     tuples_out: m.out_card,
                     virtual_ms: m.virtual_ms,
                     retries: if first_main { node_retries } else { 0 },
+                    vec_stats: if first_main {
+                        vec_stats
+                    } else {
+                        crate::exec::VecStats::default()
+                    },
                     superseded: false,
                 });
             }
@@ -1352,7 +1376,9 @@ impl<'a> Executor<'a> {
             let needed = self.plan.consumers()[op.index()].iter().any(|c| !executed.contains(c));
             if needed {
                 match &st.values[nid] {
-                    Some(ChannelData::Collection(_)) | Some(ChannelData::Partitions(_)) => {}
+                    Some(ChannelData::Collection(_))
+                    | Some(ChannelData::Partitions(_))
+                    | Some(ChannelData::Batches(_)) => {}
                     _ => return false,
                 }
             }

@@ -47,7 +47,13 @@ impl FusedStep {
             LogicalOp::Map(u) => Some(FusedStep::Map(u.clone())),
             LogicalOp::FlatMap(u) => Some(FusedStep::FlatMap(u.clone())),
             LogicalOp::Filter(p) => Some(FusedStep::Filter(p.clone())),
-            LogicalOp::SargFilter { pred, .. } => Some(FusedStep::Filter(pred.clone())),
+            LogicalOp::SargFilter { pred, sarg } => {
+                // Carry the sargable description into the fused step so the
+                // vectorized path can evaluate it over column slices.
+                let mut p = pred.clone();
+                p.spec = Some(sarg.clone());
+                Some(FusedStep::Filter(p))
+            }
             LogicalOp::Project { fields } => Some(FusedStep::Project(fields.clone())),
             _ => None,
         }
@@ -129,6 +135,19 @@ impl FusedPipeline {
     /// Display name, e.g. `"split∘pair"`.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The compiled steps, in execution order.
+    pub fn steps(&self) -> &[FusedStep] {
+        &self.steps
+    }
+
+    /// Whether every step carries a recognized spec, i.e. the chain compiles
+    /// to a [`crate::batch::VectorKernel`]. Static property of the plan —
+    /// used by platform cost models for the vectorization discount, so it
+    /// must not depend on the runtime `RHEEM_BATCH` switch.
+    pub fn vectorizable(&self) -> bool {
+        crate::batch::VectorKernel::compile(self).is_some()
     }
 
     /// Combined UDF cost hint (one per-tuple overhead term for the whole

@@ -1,0 +1,87 @@
+//! Thread-safe string interner for hot tokenization paths.
+//!
+//! WordCount-shaped workloads allocate the same handful of words millions of
+//! times; interning collapses each distinct token to one shared `Arc<str>` so
+//! row-mode tokenizers stop allocating duplicates and dictionary columns
+//! ([`crate::batch::Column::Str`]) reuse the same backing allocations across
+//! batches. The pool is sharded to keep parallel partition workers (spark /
+//! flink simulacra on the PR 4 pool) from serializing on one lock.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, OnceLock};
+
+const SHARDS: usize = 16;
+
+fn pool() -> &'static [Mutex<HashSet<Arc<str>>>; SHARDS] {
+    static POOL: OnceLock<[Mutex<HashSet<Arc<str>>>; SHARDS]> = OnceLock::new();
+    POOL.get_or_init(|| std::array::from_fn(|_| Mutex::new(HashSet::new())))
+}
+
+fn shard_of(s: &str) -> usize {
+    // FNV-1a over the first/last bytes is enough to spread shards; the
+    // HashSet inside does the real hashing.
+    let b = s.as_bytes();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &c in b.iter().take(8).chain(b.iter().rev().take(4)) {
+        h = (h ^ c as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) % SHARDS
+}
+
+/// Intern `s`, returning a shared `Arc<str>`. Repeated calls with equal
+/// content return clones of the same allocation.
+pub fn intern(s: &str) -> Arc<str> {
+    let mut shard = pool()[shard_of(s)].lock().expect("interner shard poisoned");
+    if let Some(a) = shard.get(s) {
+        return Arc::clone(a);
+    }
+    let a: Arc<str> = Arc::from(s);
+    shard.insert(Arc::clone(&a));
+    a
+}
+
+/// Number of distinct strings currently interned (across all shards).
+pub fn interned_count() -> usize {
+    pool().iter().map(|m| m.lock().expect("interner shard poisoned").len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups_allocations() {
+        let a = intern("hello-intern-test");
+        let b = intern("hello-intern-test");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(&*a, "hello-intern-test");
+    }
+
+    #[test]
+    fn intern_distinct_strings_differ() {
+        let a = intern("alpha-intern");
+        let b = intern("beta-intern");
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn intern_is_thread_safe() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let w = format!("w{}", (i + t) % 50);
+                        let a = intern(&w);
+                        assert_eq!(&*a, w.as_str());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let x = intern("w0");
+        let y = intern("w0");
+        assert!(Arc::ptr_eq(&x, &y));
+    }
+}

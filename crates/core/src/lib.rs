@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod batch;
 pub mod builtin;
 pub mod cache;
 pub mod cardinality;
@@ -43,6 +44,7 @@ pub mod execplan;
 pub mod executor;
 pub mod fault;
 pub mod fused;
+pub mod intern;
 pub mod kernels;
 pub mod learner;
 pub mod mapping;

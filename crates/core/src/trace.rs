@@ -252,6 +252,11 @@ pub struct OpProfile {
     pub virtual_ms: f64,
     /// Transient-failure retries absorbed executing this node in this run.
     pub retries: u32,
+    /// Vectorization counters ([`crate::batch`]): rows/batches through
+    /// column kernels and vectorized-vs-fallback step counts. All zero in
+    /// row mode — and excluded from [`JobTrace::render_structure`], so
+    /// batched and row traces stay structurally identical.
+    pub vec_stats: crate::exec::VecStats,
     /// A later failover re-executed this run's work.
     pub superseded: bool,
 }
@@ -520,11 +525,15 @@ impl JobTrace {
             }
             let _ = write!(
                 out,
-                "],\"tuples_in\":{},\"tuples_out\":{},\"virtual_ms\":{},\"retries\":{},\"superseded\":{}}}",
+                "],\"tuples_in\":{},\"tuples_out\":{},\"virtual_ms\":{},\"retries\":{},\"vec_rows\":{},\"vec_batches\":{},\"vec_steps\":{},\"row_steps\":{},\"superseded\":{}}}",
                 p.tuples_in,
                 p.tuples_out,
                 json_f64(p.virtual_ms),
                 p.retries,
+                p.vec_stats.rows,
+                p.vec_stats.batches,
+                p.vec_stats.vec_steps,
+                p.vec_stats.row_steps,
                 p.superseded
             );
         }
@@ -616,6 +625,20 @@ impl JobTrace {
                 tuples_out: json::get(p, "tuples_out")?.as_f64("tuples_out")? as u64,
                 virtual_ms: json::get(p, "virtual_ms")?.as_f64("virtual_ms")?,
                 retries: json::get(p, "retries")?.as_f64("retries")? as u32,
+                // Vectorization counters: absent in pre-batch traces → 0.
+                vec_stats: crate::exec::VecStats {
+                    rows: json::get(p, "vec_rows").and_then(|v| v.as_f64("vec_rows")).unwrap_or(0.0)
+                        as u64,
+                    batches: json::get(p, "vec_batches")
+                        .and_then(|v| v.as_f64("vec_batches"))
+                        .unwrap_or(0.0) as u64,
+                    vec_steps: json::get(p, "vec_steps")
+                        .and_then(|v| v.as_f64("vec_steps"))
+                        .unwrap_or(0.0) as u32,
+                    row_steps: json::get(p, "row_steps")
+                        .and_then(|v| v.as_f64("row_steps"))
+                        .unwrap_or(0.0) as u32,
+                },
                 superseded: json::get(p, "superseded")?.as_bool("superseded")?,
             });
         }
@@ -1091,6 +1114,7 @@ mod tests {
             tuples_out: 50,
             virtual_ms: 2.5,
             retries: 1,
+            vec_stats: crate::exec::VecStats { rows: 100, batches: 1, vec_steps: 2, row_steps: 0 },
             superseded: false,
         });
         t.add_run(RunProfile {
@@ -1181,6 +1205,7 @@ mod tests {
             tuples_out: 0,
             virtual_ms: 1.0,
             retries: 0,
+            vec_stats: crate::exec::VecStats::default(),
             superseded: false,
         });
         t.supersede_current_phase(&HashSet::from([3]));

@@ -63,7 +63,7 @@ impl fmt::Debug for BroadcastCtx {
 }
 
 macro_rules! udf_type {
-    ($(#[$doc:meta])* $name:ident, $fnty:ty) => {
+    ($(#[$doc:meta])* $name:ident, $fnty:ty, $specty:ty) => {
         $(#[$doc])*
         #[derive(Clone)]
         pub struct $name {
@@ -72,6 +72,12 @@ macro_rules! udf_type {
             f: Arc<$fnty>,
             /// CPU cost hint in abstract cycles per quantum (the `β` of §4.5).
             pub cost_hint: f64,
+            /// Structured description of what the closure computes, when the
+            /// UDF was built from a recognized builtin. `None` for opaque
+            /// closures. Spec'd UDFs are eligible for vectorized execution
+            /// ([`crate::batch`]); the closure and spec are derived from the
+            /// same description, so they agree by construction.
+            pub spec: Option<$specty>,
         }
 
         impl fmt::Debug for $name {
@@ -82,10 +88,53 @@ macro_rules! udf_type {
     };
 }
 
+/// Structured form of a recognized map transformation (see [`MapUdf::spec`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum MapSpec {
+    /// `v ↦ (v, lit)` — pair each quantum with an integer literal
+    /// (the WordCount "pair with 1" shape).
+    PairIntLit(i64),
+    /// `(…, fᵢ, …) ↦ (…, fᵢ + delta, …)` — add a constant to integer tuple
+    /// field `field`, leaving other fields (and non-int values) untouched.
+    FieldIntAdd {
+        /// Tuple field index to increment.
+        field: usize,
+        /// Constant added to the field.
+        delta: i64,
+    },
+}
+
+/// Structured form of a recognized flat-map (see [`FlatMapUdf::spec`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlatMapSpec {
+    /// Tokenize a string quantum on ASCII whitespace; non-strings yield
+    /// nothing. Tokens are interned ([`crate::intern`]).
+    SplitWhitespace,
+}
+
+/// Structured form of a recognized key extractor (see [`KeyUdf::spec`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KeySpec {
+    /// Project tuple field `i` (non-tuples key on `Null`).
+    Field(usize),
+    /// The quantum is its own key.
+    Identity,
+}
+
+/// Structured form of a recognized combiner (see [`ReduceUdf::spec`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReduceSpec {
+    /// `(k, a) ⊕ (k, b) = (k, a + b)` over integer second fields — the
+    /// WordCount count-merge shape. Non-int fields combine to `(k, 0)`-style
+    /// sums exactly like the derived closure (`as_int().unwrap_or(0)`).
+    PairIntSum,
+}
+
 udf_type!(
     /// One-to-one transformation UDF (the `Map` operator payload).
     MapUdf,
-    dyn Fn(&Value, &BroadcastCtx) -> Value + Send + Sync
+    dyn Fn(&Value, &BroadcastCtx) -> Value + Send + Sync,
+    MapSpec
 );
 
 impl MapUdf {
@@ -94,7 +143,7 @@ impl MapUdf {
         name: impl Into<Arc<str>>,
         f: impl Fn(&Value) -> Value + Send + Sync + 'static,
     ) -> Self {
-        Self { name: name.into(), f: Arc::new(move |v, _| f(v)), cost_hint: 1.0 }
+        Self { name: name.into(), f: Arc::new(move |v, _| f(v)), cost_hint: 1.0, spec: None }
     }
 
     /// Wrap a closure that reads broadcast variables.
@@ -102,7 +151,33 @@ impl MapUdf {
         name: impl Into<Arc<str>>,
         f: impl Fn(&Value, &BroadcastCtx) -> Value + Send + Sync + 'static,
     ) -> Self {
-        Self { name: name.into(), f: Arc::new(f), cost_hint: 1.0 }
+        Self { name: name.into(), f: Arc::new(f), cost_hint: 1.0, spec: None }
+    }
+
+    /// Spec'd map `v ↦ (v, lit)` — the WordCount "pair with 1" shape.
+    pub fn pair_with_int(name: impl Into<Arc<str>>, lit: i64) -> Self {
+        let mut m = Self::new(name, move |v| Value::pair(v.clone(), Value::from(lit)));
+        m.spec = Some(MapSpec::PairIntLit(lit));
+        m
+    }
+
+    /// Spec'd map adding `delta` to integer tuple field `field`; other
+    /// fields, non-int fields and non-tuple quanta pass through unchanged.
+    pub fn field_add_int(name: impl Into<Arc<str>>, field: usize, delta: i64) -> Self {
+        let mut m = Self::new(name, move |v| match v.fields() {
+            Some(fs) => Value::tuple(
+                fs.iter()
+                    .enumerate()
+                    .map(|(i, x)| match (i == field, x) {
+                        (true, Value::Int(n)) => Value::Int(n.wrapping_add(delta)),
+                        _ => x.clone(),
+                    })
+                    .collect::<Vec<_>>(),
+            ),
+            None => v.clone(),
+        });
+        m.spec = Some(MapSpec::FieldIntAdd { field, delta });
+        m
     }
 
     /// Attach a CPU cost hint (abstract cycles per quantum).
@@ -121,7 +196,8 @@ impl MapUdf {
 udf_type!(
     /// One-to-many transformation UDF (the `FlatMap` operator payload).
     FlatMapUdf,
-    dyn Fn(&Value, &BroadcastCtx) -> Vec<Value> + Send + Sync
+    dyn Fn(&Value, &BroadcastCtx) -> Vec<Value> + Send + Sync,
+    FlatMapSpec
 );
 
 impl FlatMapUdf {
@@ -130,7 +206,7 @@ impl FlatMapUdf {
         name: impl Into<Arc<str>>,
         f: impl Fn(&Value) -> Vec<Value> + Send + Sync + 'static,
     ) -> Self {
-        Self { name: name.into(), f: Arc::new(move |v, _| f(v)), cost_hint: 1.0 }
+        Self { name: name.into(), f: Arc::new(move |v, _| f(v)), cost_hint: 1.0, spec: None }
     }
 
     /// Wrap a closure that reads broadcast variables.
@@ -138,7 +214,21 @@ impl FlatMapUdf {
         name: impl Into<Arc<str>>,
         f: impl Fn(&Value, &BroadcastCtx) -> Vec<Value> + Send + Sync + 'static,
     ) -> Self {
-        Self { name: name.into(), f: Arc::new(f), cost_hint: 1.0 }
+        Self { name: name.into(), f: Arc::new(f), cost_hint: 1.0, spec: None }
+    }
+
+    /// Spec'd tokenizer: split string quanta on whitespace into interned
+    /// string tokens; non-string quanta yield no tokens.
+    pub fn split_whitespace(name: impl Into<Arc<str>>) -> Self {
+        let mut fm = Self::new(name, |v| {
+            v.as_str()
+                .map(|s| {
+                    s.split_whitespace().map(|w| Value::Str(crate::intern::intern(w))).collect()
+                })
+                .unwrap_or_default()
+        });
+        fm.spec = Some(FlatMapSpec::SplitWhitespace);
+        fm
     }
 
     /// Attach a CPU cost hint (abstract cycles per quantum).
@@ -221,7 +311,8 @@ impl Sarg {
 udf_type!(
     /// Boolean predicate UDF (the `Filter` operator payload).
     PredicateUdf,
-    dyn Fn(&Value, &BroadcastCtx) -> bool + Send + Sync
+    dyn Fn(&Value, &BroadcastCtx) -> bool + Send + Sync,
+    Sarg
 );
 
 impl PredicateUdf {
@@ -230,7 +321,7 @@ impl PredicateUdf {
         name: impl Into<Arc<str>>,
         f: impl Fn(&Value) -> bool + Send + Sync + 'static,
     ) -> Self {
-        Self { name: name.into(), f: Arc::new(move |v, _| f(v)), cost_hint: 1.0 }
+        Self { name: name.into(), f: Arc::new(move |v, _| f(v)), cost_hint: 1.0, spec: None }
     }
 
     /// Wrap a closure that reads broadcast variables.
@@ -238,14 +329,19 @@ impl PredicateUdf {
         name: impl Into<Arc<str>>,
         f: impl Fn(&Value, &BroadcastCtx) -> bool + Send + Sync + 'static,
     ) -> Self {
-        Self { name: name.into(), f: Arc::new(f), cost_hint: 1.0 }
+        Self { name: name.into(), f: Arc::new(f), cost_hint: 1.0, spec: None }
     }
 
     /// Build a predicate directly from a sargable description.
     pub fn from_sarg(name: impl Into<Arc<str>>, sarg: Sarg) -> SargPredicate {
         let s = sarg.clone();
         SargPredicate {
-            pred: Self { name: name.into(), f: Arc::new(move |v, _| s.eval(v)), cost_hint: 1.0 },
+            pred: Self {
+                name: name.into(),
+                f: Arc::new(move |v, _| s.eval(v)),
+                cost_hint: 1.0,
+                spec: Some(sarg.clone()),
+            },
             sarg,
         }
     }
@@ -275,7 +371,8 @@ pub struct SargPredicate {
 udf_type!(
     /// Key extraction UDF (payload of `ReduceBy`, `GroupBy`, `SortBy`, `Join`).
     KeyUdf,
-    dyn Fn(&Value) -> Value + Send + Sync
+    dyn Fn(&Value) -> Value + Send + Sync,
+    KeySpec
 );
 
 impl KeyUdf {
@@ -284,17 +381,21 @@ impl KeyUdf {
         name: impl Into<Arc<str>>,
         f: impl Fn(&Value) -> Value + Send + Sync + 'static,
     ) -> Self {
-        Self { name: name.into(), f: Arc::new(f), cost_hint: 1.0 }
+        Self { name: name.into(), f: Arc::new(f), cost_hint: 1.0, spec: None }
     }
 
     /// Key extractor that projects tuple field `i`.
     pub fn field(i: usize) -> Self {
-        Self::new(format!("field{i}"), move |v| v.field(i).clone())
+        let mut k = Self::new(format!("field{i}"), move |v| v.field(i).clone());
+        k.spec = Some(KeySpec::Field(i));
+        k
     }
 
     /// Identity key extractor (the quantum is its own key).
     pub fn identity() -> Self {
-        Self::new("identity", |v| v.clone())
+        let mut k = Self::new("identity", |v| v.clone());
+        k.spec = Some(KeySpec::Identity);
+        k
     }
 
     /// Attach a CPU cost hint (abstract cycles per quantum).
@@ -313,7 +414,8 @@ impl KeyUdf {
 udf_type!(
     /// Binary, associative aggregation UDF (payload of `Reduce`/`ReduceBy`).
     ReduceUdf,
-    dyn Fn(&Value, &Value) -> Value + Send + Sync
+    dyn Fn(&Value, &Value) -> Value + Send + Sync,
+    ReduceSpec
 );
 
 impl ReduceUdf {
@@ -322,7 +424,22 @@ impl ReduceUdf {
         name: impl Into<Arc<str>>,
         f: impl Fn(&Value, &Value) -> Value + Send + Sync + 'static,
     ) -> Self {
-        Self { name: name.into(), f: Arc::new(f), cost_hint: 1.0 }
+        Self { name: name.into(), f: Arc::new(f), cost_hint: 1.0, spec: None }
+    }
+
+    /// Spec'd pair-sum combiner: `(k, a) ⊕ (k, b) = (k, a + b)` with integer
+    /// second fields (`as_int().unwrap_or(0)`), key taken from the left.
+    pub fn pair_int_sum(name: impl Into<Arc<str>>) -> Self {
+        let mut r = Self::new(name, |a, b| {
+            Value::pair(
+                a.field(0).clone(),
+                Value::from(
+                    a.field(1).as_int().unwrap_or(0).wrapping_add(b.field(1).as_int().unwrap_or(0)),
+                ),
+            )
+        });
+        r.spec = Some(ReduceSpec::PairIntSum);
+        r
     }
 
     /// Integer/float addition combiner.
@@ -416,6 +533,51 @@ mod tests {
         let s = ReduceUdf::sum();
         assert_eq!(s.call(&Value::from(2), &Value::from(3)).as_int(), Some(5));
         assert_eq!(s.call(&Value::from(2.5), &Value::from(3)).as_f64(), Some(5.5));
+    }
+
+    #[test]
+    fn specd_constructors_agree_with_specs() {
+        let pair = MapUdf::pair_with_int("pair", 1);
+        assert_eq!(pair.spec, Some(MapSpec::PairIntLit(1)));
+        assert_eq!(
+            pair.call(&Value::from("w"), &BroadcastCtx::new()),
+            Value::pair(Value::from("w"), Value::from(1))
+        );
+
+        let add = MapUdf::field_add_int("bump", 1, 7);
+        assert_eq!(add.spec, Some(MapSpec::FieldIntAdd { field: 1, delta: 7 }));
+        let row = Value::tuple(vec![Value::from("k"), Value::from(3), Value::from("z")]);
+        assert_eq!(
+            add.call(&row, &BroadcastCtx::new()),
+            Value::tuple(vec![Value::from("k"), Value::from(10), Value::from("z")])
+        );
+        // Non-tuple and non-int fields pass through untouched.
+        assert_eq!(add.call(&Value::from(5), &BroadcastCtx::new()), Value::from(5));
+
+        let split = FlatMapUdf::split_whitespace("split");
+        assert_eq!(split.spec, Some(FlatMapSpec::SplitWhitespace));
+        assert_eq!(
+            split.call(&Value::from("a b  a"), &BroadcastCtx::new()),
+            vec![Value::from("a"), Value::from("b"), Value::from("a")]
+        );
+        assert!(split.call(&Value::from(9), &BroadcastCtx::new()).is_empty());
+
+        let sum = ReduceUdf::pair_int_sum("sum");
+        assert_eq!(sum.spec, Some(ReduceSpec::PairIntSum));
+        let a = Value::pair(Value::from("w"), Value::from(2));
+        let b = Value::pair(Value::from("w"), Value::from(3));
+        assert_eq!(sum.call(&a, &b), Value::pair(Value::from("w"), Value::from(5)));
+
+        assert_eq!(KeyUdf::field(0).spec, Some(KeySpec::Field(0)));
+        assert_eq!(KeyUdf::identity().spec, Some(KeySpec::Identity));
+        assert!(KeyUdf::new("custom", |v| v.clone()).spec.is_none());
+        assert!(PredicateUdf::from_sarg(
+            "f0<5",
+            Sarg { field: 0, op: CmpOp::Lt, literal: Value::from(5) }
+        )
+        .pred
+        .spec
+        .is_some());
     }
 
     #[test]

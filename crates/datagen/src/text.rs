@@ -24,6 +24,10 @@ pub fn generate_text(lines: usize, words_per_line: usize, vocab: usize, seed: u6
             Ok(i) | Err(i) => i.min(vocab - 1),
         }
     };
+    // Each rank's word is derived once and parked in the shared string
+    // interner, so the tokenizing flat-map downstream dedups against the
+    // very same pool instead of re-allocating every occurrence.
+    let mut words: Vec<Option<std::sync::Arc<str>>> = vec![None; vocab];
     (0..lines)
         .map(|_| {
             let n = words_per_line.max(1) + (rng.below(5) as usize);
@@ -32,7 +36,9 @@ pub fn generate_text(lines: usize, words_per_line: usize, vocab: usize, seed: u6
                 if i > 0 {
                     line.push(' ');
                 }
-                line.push_str(&word_for(pick(&mut rng)));
+                let r = pick(&mut rng);
+                let w = words[r].get_or_insert_with(|| rheem_core::intern::intern(&word_for(r)));
+                line.push_str(w);
             }
             line
         })

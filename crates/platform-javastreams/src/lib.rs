@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use rheem_core::batch;
 use rheem_core::channel::{kinds, ChannelData, ChannelKind};
 use rheem_core::cost::{linear_cpu, CostModel, Load};
 use rheem_core::error::{Result, RheemError};
@@ -193,6 +194,7 @@ impl ExecutionOperator for JavaOperator {
         let mut card = c_in;
         let mut first = true;
         let mut after_fused = false;
+        let mut after_vectorized = false;
         for seg in fused::segment_chain(&self.ops) {
             match seg {
                 // A fused run pays its setup δ once and one per-tuple term
@@ -200,17 +202,23 @@ impl ExecutionOperator for JavaOperator {
                 // buys (no per-operator scheduling/materialization).
                 Segment::Fused { pipeline, .. } if pipeline.len() > 1 => {
                     let delta = if first { 2_000.0 } else { 0.0 };
+                    // Statically vectorizable chains run on typed column
+                    // slices instead of the row interpreter. The discount
+                    // keys off the *plan* only — never the RHEEM_BATCH
+                    // runtime switch — so plan choice is mode-independent.
+                    let alpha = if pipeline.vectorizable() { 150.0 * 0.55 } else { 150.0 };
                     cycles += linear_cpu(
                         model,
                         "java.streams",
                         "fused",
                         card,
                         pipeline.cost_hint() * 50.0,
-                        150.0,
+                        alpha,
                         delta,
                     );
                     card *= pipeline.selectivity();
                     after_fused = true;
+                    after_vectorized = pipeline.vectorizable();
                     first = false;
                     continue;
                 }
@@ -236,7 +244,15 @@ impl ExecutionOperator for JavaOperator {
                     // first-occurrence clone — cheaper per tuple than the
                     // standalone kernel.
                     let alpha = if after_fused && kind == OpKind::ReduceBy {
-                        default_alpha(kind) * 0.75
+                        // A recognized sum-by-key terminal after a vectorized
+                        // chain additionally skips per-row hashing (dictionary
+                        // ids index the accumulator array directly).
+                        let vec_agg = after_vectorized
+                            && matches!(
+                                op,
+                                LogicalOp::ReduceBy { key, agg } if batch::agg_vectorizable(key, agg)
+                            );
+                        default_alpha(kind) * if vec_agg { 0.6 } else { 0.75 }
                     } else {
                         default_alpha(kind)
                     };
@@ -260,6 +276,7 @@ impl ExecutionOperator for JavaOperator {
                 }
             }
             after_fused = false;
+            after_vectorized = false;
             first = false;
         }
         Load::cpu(cycles)
@@ -298,12 +315,18 @@ impl ExecutionOperator for JavaOperator {
                 }
             }
         }
-        ctx.timed_seq(self, in_card, || {
+        let batched = ctx.batch();
+        let mut vec_rows = 0u64;
+        let mut vec_batches = 0u64;
+        let mut vec_steps = 0u32;
+        let mut row_steps = 0u32;
+        let result = ctx.timed_seq(self, in_card, || {
             // Fused runs of narrow operators execute in one traversal with
             // no intermediate collection; only wide/sampling operators
             // materialize between segments.
             let segs = fused::segment_chain(ops);
             let mut current: Option<Vec<Value>> = None;
+            let mut final_batch: Option<batch::Batch> = None;
             let mut si = 0;
             while si < segs.len() {
                 current = Some(match &segs[si] {
@@ -313,6 +336,8 @@ impl ExecutionOperator for JavaOperator {
                         } else {
                             current.as_deref().unwrap_or(&[])
                         };
+                        let vk =
+                            if batched { batch::VectorKernel::compile(pipeline) } else { None };
                         // Fused terminal aggregation: a chain feeding a
                         // ReduceBy streams its survivors straight into the
                         // hash accumulator — the dataset between chain and
@@ -321,13 +346,51 @@ impl ExecutionOperator for JavaOperator {
                             op: LogicalOp::ReduceBy { key, agg }, ..
                         }) = segs.get(si + 1)
                         {
-                            let mut state = kernels::ReduceByState::new(key, agg);
-                            pipeline.run_each(input, bc, |v| state.feed_owned(v));
                             si += 2;
-                            state.finish()
+                            match vk
+                                .as_ref()
+                                .and_then(|k| batch::run_reduce(k, input, key, agg, false))
+                            {
+                                Some(out) => {
+                                    vec_rows += input.len() as u64;
+                                    vec_batches += 1;
+                                    vec_steps += pipeline.len() as u32 + 1;
+                                    out
+                                }
+                                None => {
+                                    if batched {
+                                        row_steps += pipeline.len() as u32 + 1;
+                                    }
+                                    let mut state = kernels::ReduceByState::new(key, agg);
+                                    pipeline.run_each(input, bc, |v| state.feed_owned(v));
+                                    state.finish()
+                                }
+                            }
                         } else {
                             si += 1;
-                            pipeline.run(input, bc)
+                            match vk.as_ref().and_then(|k| k.run_values(input)) {
+                                Some(b) => {
+                                    vec_rows += input.len() as u64;
+                                    vec_batches += 1;
+                                    vec_steps += pipeline.len() as u32;
+                                    if si == segs.len() {
+                                        // Terminal vectorized segment: hand
+                                        // the columns downstream as-is; any
+                                        // row-only consumer materializes them
+                                        // lazily via flatten/sample.
+                                        final_batch = Some(b);
+                                        Vec::new()
+                                    } else {
+                                        b.to_values()
+                                    }
+                                }
+                                None => {
+                                    if batched {
+                                        row_steps += pipeline.len() as u32;
+                                    }
+                                    pipeline.run(input, bc)
+                                }
+                            }
                         }
                     }
                     Segment::Single { op, .. } => {
@@ -341,10 +404,21 @@ impl ExecutionOperator for JavaOperator {
                     }
                 });
             }
+            if let Some(b) = final_batch {
+                let n = b.selected_len() as u64;
+                return Ok((ChannelData::Batches(Arc::new(vec![b])), n));
+            }
             let out = current.unwrap_or_default();
             let n = out.len() as u64;
             Ok((ChannelData::Collection(Arc::new(out)), n))
-        })
+        });
+        if vec_steps > 0 {
+            ctx.report_vectorized(vec_rows, vec_batches, vec_steps);
+        }
+        if row_steps > 0 {
+            ctx.report_row_fallback(row_steps);
+        }
+        result
     }
 }
 

@@ -17,6 +17,7 @@ use std::time::Instant;
 
 use std::sync::RwLock;
 
+use rheem_core::batch;
 use rheem_core::channel::{kinds, ChannelData, ChannelDescriptor, ChannelKind};
 use rheem_core::cost::{linear_cpu, CostModel, Load};
 use rheem_core::error::{Result, RheemError};
@@ -326,7 +327,9 @@ impl ExecutionOperator for PgOperator {
                 let mut steps = Vec::new();
                 if let Some(sarg) = filter {
                     let s = sarg.clone();
-                    steps.push(FusedStep::Filter(PredicateUdf::new("sarg", move |v| s.eval(v))));
+                    let mut pred = PredicateUdf::new("sarg", move |v| s.eval(v));
+                    pred.spec = Some(sarg.clone());
+                    steps.push(FusedStep::Filter(pred));
                 }
                 if let Some(fields) = project {
                     steps.push(FusedStep::Project(fields.clone()));
@@ -334,7 +337,27 @@ impl ExecutionOperator for PgOperator {
                 let rows = if steps.is_empty() {
                     data.to_vec()
                 } else {
-                    FusedPipeline::new(steps).run(&data, bc)
+                    let pipeline = FusedPipeline::new(steps);
+                    // Scans are sargable by construction: evaluate the
+                    // predicate over typed column slices when enabled.
+                    let vectorized = if ctx.batch() {
+                        batch::VectorKernel::compile(&pipeline)
+                            .and_then(|k| k.run_values(&data).map(|b| (b, pipeline.len() as u32)))
+                    } else {
+                        None
+                    };
+                    match vectorized {
+                        Some((b, steps)) => {
+                            ctx.report_vectorized(data.len() as u64, 1, steps);
+                            b.to_values()
+                        }
+                        None => {
+                            if ctx.batch() {
+                                ctx.report_row_fallback(pipeline.len() as u32);
+                            }
+                            pipeline.run(&data, bc)
+                        }
+                    }
                 };
                 (rows, data.len() as u64, disk_ms)
             }

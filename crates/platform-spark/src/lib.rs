@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use rheem_core::batch;
 use rheem_core::channel::{kinds, ChannelData, ChannelDescriptor, ChannelKind};
 use rheem_core::cost::{linear_cpu, CostModel, Load};
 use rheem_core::error::{Result, RheemError};
@@ -195,10 +196,16 @@ impl SparkOperator {
     fn input_partitions(&self, input: &ChannelData, max_parts: u32) -> Result<Vec<Dataset>> {
         match input {
             ChannelData::Partitions(p) => Ok(p.as_ref().clone()),
-            ChannelData::Collection(d) => {
+            ChannelData::Collection(_) | ChannelData::Batches(_) => {
+                let d = input.flatten()?;
                 let n = partition_count(d.len(), max_parts);
                 let chunk = d.len().div_ceil(n).max(1);
-                let parts: Vec<Dataset> = d.chunks(chunk).map(|c| Arc::new(c.to_vec())).collect();
+                let parts: Vec<Dataset> = if n <= 1 {
+                    // Single partition: share the incoming Arc outright.
+                    vec![Arc::clone(&d)]
+                } else {
+                    d.chunks(chunk).map(|c| Arc::new(c.to_vec())).collect()
+                };
                 Ok(if parts.is_empty() { vec![Arc::new(Vec::new())] } else { parts })
             }
             other => Err(RheemError::Execution(format!(
@@ -273,23 +280,30 @@ impl ExecutionOperator for SparkOperator {
         let mut net_bytes = 0.0;
         let mut card = c_in;
         let mut after_fused = false;
+        let mut after_vectorized = false;
         for (si, seg) in fused::segment_chain(&self.ops).into_iter().enumerate() {
             let delta = if si == 0 { 20_000.0 } else { 0.0 };
             match seg {
                 // A fused chain pays its job-submission δ once and one
                 // per-tuple term whose UDF weight is the summed step cost.
                 Segment::Fused { pipeline, .. } if pipeline.len() > 1 => {
+                    // Static vectorization discount: recognized chains run on
+                    // typed column slices. Keys off the plan only, never the
+                    // RHEEM_BATCH runtime switch, so plan choice is
+                    // mode-independent.
+                    let alpha = if pipeline.vectorizable() { 220.0 * 0.55 } else { 220.0 };
                     cycles += linear_cpu(
                         model,
                         "spark",
                         "fused",
                         card,
                         pipeline.cost_hint() * 50.0,
-                        220.0,
+                        alpha,
                         delta,
                     );
                     card *= pipeline.selectivity();
                     after_fused = true;
+                    after_vectorized = pipeline.vectorizable();
                     continue;
                 }
                 _ => {}
@@ -312,11 +326,18 @@ impl ExecutionOperator for SparkOperator {
             // map-side combine inside the pipeline pass (fused terminal
             // aggregation): no materialized narrow output, no input re-scan.
             let alpha = if after_fused && kind == OpKind::ReduceBy {
-                default_alpha(kind) * 0.75
+                // Dictionary-keyed vectorized combine skips per-row hashing.
+                let vec_agg = after_vectorized
+                    && matches!(
+                        op,
+                        LogicalOp::ReduceBy { key, agg } if batch::agg_vectorizable(key, agg)
+                    );
+                default_alpha(kind) * if vec_agg { 0.6 } else { 0.75 }
             } else {
                 default_alpha(kind)
             };
             after_fused = false;
+            after_vectorized = false;
             cycles += linear_cpu(
                 model,
                 "spark",
@@ -356,6 +377,7 @@ impl ExecutionOperator for SparkOperator {
         let workers = pool_size(&profile);
         let seed = ctx.seed;
         let iteration = ctx.iteration;
+        let batched = ctx.batch();
 
         // Broadcast variables ship once per executor node (~10 nodes).
         if !bc.is_empty() {
@@ -390,11 +412,50 @@ impl ExecutionOperator for SparkOperator {
                 {
                     si += 1;
                     let start = Instant::now();
+                    // Map-side combine over typed columns when both the chain
+                    // and the aggregation are recognized; partitions whose
+                    // runtime types refuse to columnize fall back per-partition.
+                    let vk = if batched {
+                        batch::VectorKernel::compile(pipeline)
+                            .filter(|_| batch::agg_vectorizable(key, agg))
+                    } else {
+                        None
+                    };
+                    let vrows = AtomicUsize::new(0);
+                    let vparts = AtomicUsize::new(0);
+                    let rparts = AtomicUsize::new(0);
                     let (combined, t1) = par_map_partitions_pooled(&parts, workers, |_i, data| {
+                        if let Some(k) = vk.as_ref() {
+                            if let Some(out) = batch::run_reduce(k, data, key, agg, true) {
+                                vrows.fetch_add(data.len(), Ordering::Relaxed);
+                                vparts.fetch_add(1, Ordering::Relaxed);
+                                return Ok(out);
+                            }
+                            rparts.fetch_add(1, Ordering::Relaxed);
+                        }
                         let mut state = kernels::ReduceByState::new(key, agg);
                         pipeline.run_each(data, bc, |v| state.feed_owned(v));
                         Ok(state.finish_keyed())
                     })?;
+                    let steps = pipeline.len() as u32 + 1;
+                    let vb = vparts.into_inner();
+                    if vb > 0 {
+                        ctx.report_vectorized(
+                            vrows.into_inner() as u64,
+                            vb as u64,
+                            steps * vb as u32,
+                        );
+                    }
+                    let rb = if vk.is_some() {
+                        rparts.into_inner()
+                    } else if batched {
+                        parts.len()
+                    } else {
+                        0
+                    };
+                    if rb > 0 {
+                        ctx.report_row_fallback(steps * rb as u32);
+                    }
                     // Partials travel as (key, acc) pairs: the merge must
                     // group by the carried key, never re-extract from accs.
                     let n = combined.len();
@@ -410,9 +471,36 @@ impl ExecutionOperator for SparkOperator {
                     real_ms += start.elapsed().as_secs_f64() * 1000.0;
                     continue;
                 }
+                let vk = if batched { batch::VectorKernel::compile(pipeline) } else { None };
+                let vrows = AtomicUsize::new(0);
+                let vparts = AtomicUsize::new(0);
+                let rparts = AtomicUsize::new(0);
                 let (out, times) = par_map_partitions_pooled(&parts, workers, |_i, data| {
+                    if let Some(k) = vk.as_ref() {
+                        if let Some(b) = k.run_values(data) {
+                            vrows.fetch_add(data.len(), Ordering::Relaxed);
+                            vparts.fetch_add(1, Ordering::Relaxed);
+                            return Ok(b.to_values());
+                        }
+                        rparts.fetch_add(1, Ordering::Relaxed);
+                    }
                     Ok(pipeline.run(data, bc))
                 })?;
+                let steps = pipeline.len() as u32;
+                let vb = vparts.into_inner();
+                if vb > 0 {
+                    ctx.report_vectorized(vrows.into_inner() as u64, vb as u64, steps * vb as u32);
+                }
+                let rb = if vk.is_some() {
+                    rparts.into_inner()
+                } else if batched {
+                    parts.len()
+                } else {
+                    0
+                };
+                if rb > 0 {
+                    ctx.report_row_fallback(steps * rb as u32);
+                }
                 parts = out;
                 virtual_ms += profile.parallel_ms(&times);
                 real_ms += times.iter().sum::<f64>();

@@ -20,6 +20,9 @@ RHEEM_SCHED=seq cargo test -q
 echo "== tier-1 with the cross-job result cache enabled"
 RHEEM_CACHE=on cargo test -q
 
+echo "== tier-1 with columnar batch execution disabled (row interpreter)"
+RHEEM_BATCH=off cargo test -q
+
 echo "== trace round-trip (native JSON + chrome export)"
 cargo run --release -q -p rheem-bench --bin trace_dump
 
@@ -28,5 +31,8 @@ cargo run --release -q -p rheem-bench --bin sched_bench
 
 echo "== result-cache bench gate (warm rerun >= 2x, byte-identical results)"
 cargo run --release -q -p rheem-bench --bin cache_bench
+
+echo "== columnar batch bench gate (>= 1.5x on wordcount + sargable scan)"
+cargo run --release -q -p rheem-bench --bin batch_bench
 
 echo "== all checks passed"

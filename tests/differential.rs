@@ -15,7 +15,7 @@ use std::sync::Arc;
 use rheem::prelude::*;
 use rheem_core::fault::{FaultKind, FaultPlan, FaultRule, PERSISTENT};
 use rheem_core::kernels::SplitMix64;
-use rheem_core::udf::FlatMapUdf;
+use rheem_core::udf::{CmpOp, FlatMapUdf, Sarg};
 
 const PLATFORMS: [PlatformId; 3] = [ids::JAVA_STREAMS, ids::SPARK, ids::FLINK];
 /// Fixed chaos-seed matrix (mirrored in CI).
@@ -279,6 +279,176 @@ fn scheduler_modes_agree_under_chaos() {
                      failed (seq ok={}, conc ok={})",
                     seq.is_ok(),
                     conc.is_ok()
+                ),
+            }
+        }
+    }
+}
+
+// ---- batch modes ---------------------------------------------------------
+
+/// Run the spec with columnar batch execution forced on or off; returns the
+/// canonical (sorted) sink output and the deterministic span-tree structure.
+fn run_spec_batch(
+    spec: &Spec,
+    batch: bool,
+    forced: Option<PlatformId>,
+    chaos_seed: Option<u64>,
+) -> Result<(Vec<Value>, String)> {
+    let mut ctx = rheem::default_context().with_batch(batch);
+    ctx.forced_platform = forced;
+    ctx.config_mut().chaos_seed = chaos_seed;
+    let (plan, sink) = build_plan(spec);
+    let result = ctx.execute(&plan)?;
+    let mut out = result.sink(sink)?.to_vec();
+    out.sort();
+    let structure = result.trace.as_ref().map(|t| t.render_structure()).unwrap_or_default();
+    Ok((out, structure))
+}
+
+/// A plan built entirely from spec'd builtins, so every fused segment
+/// compiles to a vector kernel: WordCount over tokenized lines.
+fn vectorizable_wordcount() -> (rheem_core::plan::RheemPlan, rheem_core::plan::OperatorId) {
+    let lines: Vec<Value> =
+        rheem_datagen::generate_text(300, 8, 500, 11).into_iter().map(Value::from).collect();
+    let mut b = PlanBuilder::new();
+    let sink = b
+        .collection(lines)
+        .flat_map(FlatMapUdf::split_whitespace("split"))
+        .map(MapUdf::pair_with_int("pair", 1))
+        .reduce_by_key(KeyUdf::field(0), ReduceUdf::pair_int_sum("sum"))
+        .collect();
+    (b.build().unwrap(), sink)
+}
+
+/// A sargable scan + arithmetic + projection chain over int pairs.
+fn vectorizable_scan() -> (rheem_core::plan::RheemPlan, rheem_core::plan::OperatorId) {
+    let mut rng = SplitMix64(0xBA7C4);
+    let data: Vec<Value> = (0..400)
+        .map(|_| {
+            Value::pair(
+                Value::from(rng.range_usize(64) as i64),
+                Value::from(rng.range_usize(200) as i64 - 100),
+            )
+        })
+        .collect();
+    let sarg = Sarg { field: 1, op: CmpOp::Gt, literal: Value::from(0i64) };
+    let sp = PredicateUdf::from_sarg("pos", sarg);
+    let mut b = PlanBuilder::new();
+    let sink = b
+        .collection(data)
+        .filter_sarg(sp.pred, sp.sarg)
+        .map(MapUdf::field_add_int("bump", 1, 5))
+        .project([1usize, 0])
+        .collect();
+    (b.build().unwrap(), sink)
+}
+
+/// Batched and row execution must be observationally identical on every
+/// engine: byte-identical sink outputs and byte-identical span trees, for
+/// random (opaque, fallback-exercising) plans.
+#[test]
+fn batch_modes_agree_on_random_plans_and_traces() {
+    for case in 0u64..8 {
+        let spec = gen_spec(case);
+        for forced in PLATFORMS {
+            let (row_out, row_trace) = run_spec_batch(&spec, false, Some(forced), None).unwrap();
+            let (bat_out, bat_trace) = run_spec_batch(&spec, true, Some(forced), None).unwrap();
+            assert_eq!(
+                bat_out, row_out,
+                "case {case}: batch mode changed the answer on {forced:?}: {spec:?}"
+            );
+            assert_eq!(
+                bat_trace, row_trace,
+                "case {case}: batch mode changed the span tree on {forced:?}: {spec:?}"
+            );
+        }
+    }
+}
+
+/// Fully vectorizable plans (WordCount, sargable scan) agree across modes on
+/// every engine — this is the path that actually runs the column kernels.
+#[test]
+fn batch_modes_agree_on_vectorizable_plans() {
+    for (label, build) in [
+        ("wordcount", vectorizable_wordcount as fn() -> _),
+        ("scan", vectorizable_scan as fn() -> _),
+    ] {
+        for forced in PLATFORMS {
+            let run = |batch: bool| -> (Vec<Value>, String) {
+                let mut ctx = rheem::default_context().with_batch(batch);
+                ctx.forced_platform = Some(forced);
+                let (plan, sink) = build();
+                let result = ctx.execute(&plan).unwrap();
+                let mut out = result.sink(sink).unwrap().to_vec();
+                out.sort();
+                let structure =
+                    result.trace.as_ref().map(|t| t.render_structure()).unwrap_or_default();
+                (out, structure)
+            };
+            let (row_out, row_trace) = run(false);
+            let (bat_out, bat_trace) = run(true);
+            assert!(!row_out.is_empty(), "{label} on {forced:?} produced nothing");
+            assert_eq!(bat_out, row_out, "{label}: batch mode changed the answer on {forced:?}");
+            assert_eq!(bat_trace, row_trace, "{label}: batch mode changed the trace on {forced:?}");
+        }
+    }
+}
+
+/// The vectorized path must actually engage on vectorizable plans (guards
+/// against silently falling back to the row interpreter everywhere) and must
+/// stay fully dormant in row mode.
+#[test]
+fn vectorizable_plans_report_vectorized_steps() {
+    for (label, build) in [
+        ("wordcount", vectorizable_wordcount as fn() -> _),
+        ("scan", vectorizable_scan as fn() -> _),
+    ] {
+        let (plan, _) = build();
+        let analysis = rheem::default_context().with_batch(true).explain_analyze(&plan).unwrap();
+        assert!(
+            analysis.rows.iter().any(|r| r.vec_steps > 0),
+            "{label}: no operator reported vectorized steps"
+        );
+        let analysis = rheem::default_context().with_batch(false).explain_analyze(&plan).unwrap();
+        assert!(
+            analysis.rows.iter().all(|r| r.vec_steps == 0 && r.row_steps == 0),
+            "{label}: row mode reported batch statistics"
+        );
+    }
+}
+
+/// Mode agreement must survive the chaos matrix: with an active fault plan,
+/// batched and row execution either survive with identical answers and span
+/// trees or die with the same typed error.
+#[test]
+fn batch_modes_agree_under_chaos() {
+    for chaos_seed in chaos_seeds() {
+        for case in 0u64..6 {
+            let spec = gen_spec(case);
+            let row = run_spec_batch(&spec, false, None, Some(chaos_seed));
+            let bat = run_spec_batch(&spec, true, None, Some(chaos_seed));
+            match (row, bat) {
+                (Ok((ro, rt)), Ok((bo, bt))) => {
+                    assert_eq!(
+                        bo, ro,
+                        "chaos seed {chaos_seed:#x} case {case}: batch modes disagree on the answer"
+                    );
+                    assert_eq!(
+                        bt, rt,
+                        "chaos seed {chaos_seed:#x} case {case}: batch modes disagree on the trace"
+                    );
+                }
+                (Err(re), Err(be)) => assert_eq!(
+                    re.to_string(),
+                    be.to_string(),
+                    "chaos seed {chaos_seed:#x} case {case}: batch modes fail differently"
+                ),
+                (row, bat) => panic!(
+                    "chaos seed {chaos_seed:#x} case {case}: one batch mode survived, the other \
+                     failed (row ok={}, batch ok={})",
+                    row.is_ok(),
+                    bat.is_ok()
                 ),
             }
         }

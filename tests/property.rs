@@ -136,6 +136,116 @@ fn fused_terminal_aggregation_matches_unfused() {
     }
 }
 
+/// Columnar batch execution is observationally identical to row execution:
+/// the same spec'd pipeline produces byte-identical output (same values,
+/// same order) with `RHEEM_BATCH` on and off, on every platform.
+#[test]
+fn batch_mode_matches_row_mode_on_all_platforms() {
+    use rheem_core::udf::{FlatMapUdf, Sarg};
+    for case in 0u64..8 {
+        let mut rng = SplitMix64(0xBA7C ^ case);
+        let data = rows_to_values(&int_rows(&mut rng));
+        let lit = rng.range_usize(100) as i64 - 50;
+        for forced in [
+            rheem_core::platform::ids::JAVA_STREAMS,
+            rheem_core::platform::ids::SPARK,
+            rheem_core::platform::ids::FLINK,
+        ] {
+            let run = |batch: bool| -> Vec<Value> {
+                let mut ctx = rheem::default_context().with_batch(batch);
+                ctx.forced_platform = Some(forced);
+                let sarg = Sarg { field: 1, op: CmpOp::Gt, literal: Value::from(lit) };
+                let sp = PredicateUdf::from_sarg("gt", sarg);
+                let mut b = PlanBuilder::new();
+                let sink = b
+                    .collection(data.clone())
+                    .filter_sarg(sp.pred, sp.sarg)
+                    .map(MapUdf::field_add_int("bump", 1, 3))
+                    .project(vec![1, 0])
+                    .collect();
+                let plan = b.build().unwrap();
+                ctx.execute(&plan).unwrap().sink(sink).unwrap().to_vec()
+            };
+            assert_eq!(run(true), run(false), "case {case} on {forced:?}");
+        }
+        // Tokenizing flat-map into a dictionary-keyed word count.
+        let lines: Vec<Value> =
+            rheem_datagen::generate_text(40, 6, 60, case).into_iter().map(Value::from).collect();
+        let run = |batch: bool| -> Vec<Value> {
+            let ctx = rheem::default_context().with_batch(batch);
+            let mut b = PlanBuilder::new();
+            let sink = b
+                .collection(lines.clone())
+                .flat_map(FlatMapUdf::split_whitespace("split"))
+                .map(MapUdf::pair_with_int("pair", 1))
+                .reduce_by_key(KeyUdf::field(0), ReduceUdf::pair_int_sum("sum"))
+                .collect();
+            let plan = b.build().unwrap();
+            ctx.execute(&plan).unwrap().sink(sink).unwrap().to_vec()
+        };
+        assert_eq!(run(true), run(false), "case {case}: wordcount diverged across batch modes");
+    }
+}
+
+/// The vector kernel agrees with the row interpreter on arbitrarily typed
+/// data — and refuses (returns `None`, falling back) rather than computing
+/// wrong answers when runtime types don't columnize.
+#[test]
+fn vector_kernel_matches_row_pipeline_on_random_typed_data() {
+    use rheem_core::batch::VectorKernel;
+    use rheem_core::fused::{FusedPipeline, FusedStep};
+    use rheem_core::udf::Sarg;
+    let bc = rheem_core::udf::BroadcastCtx::new();
+    let mut vectorized = 0usize;
+    let mut refused = 0usize;
+    for case in 0u64..32 {
+        let mut rng = SplitMix64(0x7B1D ^ case);
+        let len = rng.range_usize(80);
+        // Mix types per case: uniform int pairs columnize; per-row type
+        // mixtures and scalars must make the kernel refuse.
+        let flavor = rng.range_usize(4);
+        let data: Vec<Value> = (0..len)
+            .map(|_| match flavor {
+                0 => Value::pair(
+                    Value::from(rng.range_usize(10) as i64),
+                    Value::from(rng.range_usize(100) as i64 - 50),
+                ),
+                1 => Value::pair(
+                    Value::from(rng.range_usize(10) as i64),
+                    Value::from(rng.range_f64(-5.0, 5.0)),
+                ),
+                2 => {
+                    // per-row type mixture in field 1
+                    if rng.chance(0.5) {
+                        Value::pair(Value::from(1i64), Value::from(2i64))
+                    } else {
+                        Value::pair(Value::from(1i64), Value::from("str"))
+                    }
+                }
+                _ => Value::from(rng.range_usize(50) as i64), // scalar rows
+            })
+            .collect();
+        let sarg = Sarg { field: 1, op: CmpOp::Gt, literal: Value::from(0i64) };
+        let sp = PredicateUdf::from_sarg("gt", sarg);
+        let pipeline = FusedPipeline::new(vec![
+            FusedStep::Filter(sp.pred),
+            FusedStep::Map(MapUdf::field_add_int("bump", 1, 7)),
+            FusedStep::Project(vec![1, 0]),
+        ]);
+        let vk = VectorKernel::compile(&pipeline).expect("spec'd steps must compile");
+        let row_out = pipeline.run(&data, &bc);
+        match vk.run_values(&data) {
+            Some(b) => {
+                vectorized += 1;
+                assert_eq!(b.to_values(), row_out, "case {case} flavor {flavor}");
+            }
+            None => refused = refused.saturating_add(1),
+        }
+    }
+    assert!(vectorized > 0, "no case exercised the vector path");
+    assert!(refused > 0, "no case exercised the refusal/fallback path");
+}
+
 /// The distributed reduce_by kernel path (partition + shuffle + merge)
 /// agrees with the sequential kernel for any associative combiner.
 #[test]
