@@ -74,6 +74,34 @@ impl JobResult {
     }
 }
 
+/// Per-job tenancy scope for [`RheemContext::execute_scoped`]: who the job
+/// runs for, which cache namespace it reads/publishes, and which stage gate
+/// (if any) bounds its concurrent stage work. The default scope reproduces
+/// [`RheemContext::execute`]'s single-tenant behaviour except for the
+/// private per-job monitor.
+#[derive(Clone, Debug)]
+pub struct JobScope {
+    /// Tenant name (labels metrics, stamps the job trace span).
+    pub tenant: Option<String>,
+    /// Cache namespace lookups/publishes are scoped to.
+    pub cache_ns: crate::cache::Namespace,
+    /// Fall back to the shared namespace on a tenant-namespace miss.
+    pub cache_shared_read: bool,
+    /// Fair-share stage gate to execute under, if any.
+    pub stage_gate: Option<crate::service::TenantGate>,
+}
+
+impl Default for JobScope {
+    fn default() -> Self {
+        Self {
+            tenant: None,
+            cache_ns: crate::cache::Namespace::SHARED,
+            cache_shared_read: true,
+            stage_gate: None,
+        }
+    }
+}
+
 /// The Rheem context: registered platforms, cost model, profiles, executor
 /// configuration and monitor.
 pub struct RheemContext {
@@ -256,6 +284,110 @@ impl RheemContext {
     /// Execute a plan end-to-end (Algorithm 1).
     pub fn execute(&self, plan: &RheemPlan) -> Result<JobResult> {
         self.execute_with(plan, &self.config)
+    }
+
+    /// Execute a plan under a multi-tenant scope (see
+    /// [`crate::service::JobService`]): tenant-scoped cache namespace,
+    /// optional stage gate, per-tenant metric labels, and — crucially for
+    /// concurrent submissions — a *private* monitor per job, merged into
+    /// the context's monitor at completion. Without the private monitor,
+    /// two concurrent jobs would cross-contaminate retry/replan deltas and
+    /// phase stamps (the bug `execute_with`'s before/after delta has when
+    /// racing); with it, each job's [`JobMetrics`] reflects exactly its own
+    /// execution, and the shared monitor still ends up with every record.
+    pub fn execute_scoped(&self, plan: &RheemPlan, scope: &JobScope) -> Result<JobResult> {
+        let mut config = self.config.clone();
+        config.tenant = scope.tenant.clone();
+        config.cache_ns = scope.cache_ns;
+        config.cache_shared_read = scope.cache_shared_read;
+        config.stage_gate = scope.stage_gate.clone();
+        let job_monitor = Monitor::new();
+        let outcome = match run_progressive(
+            plan,
+            &self.registry,
+            &self.profiles,
+            &self.model,
+            || self.estimator(),
+            &config,
+            &job_monitor,
+            self.forced_platform,
+            self.cache.clone(),
+        ) {
+            Ok(o) => o,
+            Err(e) => {
+                self.monitor.merge(&job_monitor);
+                return Err(e);
+            }
+        };
+        let result = JobResult {
+            sinks: outcome.sink_data,
+            metrics: JobMetrics {
+                virtual_ms: outcome.virtual_ms,
+                real_ms: outcome.real_ms,
+                replans: outcome.replans,
+                retries: job_monitor.retries(),
+                failovers: outcome.failovers,
+                platforms: outcome.platforms,
+                est_ms: outcome.est_ms,
+            },
+            exploration: outcome.exploration,
+            trace: outcome.trace,
+        };
+        self.monitor.merge(&job_monitor);
+        self.record_job_metrics(&result);
+        // Cache counters publish the cache's own cumulative stats
+        // monotonically instead of racing read-modify-write deltas.
+        if let Some(c) = &self.cache {
+            let s = c.stats();
+            self.metrics.set_counter_max("rheem_cache_hits_total", s.hits);
+            self.metrics.set_counter_max("rheem_cache_misses_total", s.misses);
+            self.metrics.set_counter_max("rheem_cache_inserts_total", s.inserts);
+            self.metrics.set_counter_max("rheem_cache_evictions_total", s.evictions);
+        }
+        if let Some(tenant) = &scope.tenant {
+            let m = &result.metrics;
+            self.metrics.inc(&format!("rheem_jobs_total{{tenant=\"{tenant}\"}}"), 1);
+            self.metrics
+                .inc(&format!("rheem_replans_total{{tenant=\"{tenant}\"}}"), m.replans as u64);
+            self.metrics
+                .inc(&format!("rheem_retries_total{{tenant=\"{tenant}\"}}"), m.retries as u64);
+            self.metrics
+                .inc(&format!("rheem_failovers_total{{tenant=\"{tenant}\"}}"), m.failovers as u64);
+            if let Some(c) = &self.cache {
+                let st = c.stats_of(scope.cache_ns);
+                self.metrics.set_counter_max(
+                    &format!("rheem_cache_hits_total{{tenant=\"{tenant}\"}}"),
+                    st.hits,
+                );
+                self.metrics.set_counter_max(
+                    &format!("rheem_cache_misses_total{{tenant=\"{tenant}\"}}"),
+                    st.misses,
+                );
+                self.metrics.set_counter_max(
+                    &format!("rheem_cache_inserts_total{{tenant=\"{tenant}\"}}"),
+                    st.inserts,
+                );
+                self.metrics.set_counter_max(
+                    &format!("rheem_cache_evictions_total{{tenant=\"{tenant}\"}}"),
+                    st.evictions,
+                );
+                self.metrics.set_gauge(
+                    &format!("rheem_cache_bytes{{tenant=\"{tenant}\"}}"),
+                    st.bytes as f64,
+                );
+                self.metrics.set_gauge(
+                    &format!("rheem_cache_entries{{tenant=\"{tenant}\"}}"),
+                    st.entries as f64,
+                );
+                if let Some(q) = c.quota_of(scope.cache_ns) {
+                    self.metrics.set_gauge(
+                        &format!("rheem_cache_quota_bytes{{tenant=\"{tenant}\"}}"),
+                        q as f64,
+                    );
+                }
+            }
+        }
+        Ok(result)
     }
 
     /// Execute a plan with an explicit executor configuration (used by

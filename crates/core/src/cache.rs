@@ -179,6 +179,35 @@ fn hash_udf(h: &mut DefaultHasher, name: &str, cost_hint: f64) {
     cost_hint.to_bits().hash(h);
 }
 
+/// A cache namespace. Entries live in exactly one namespace; lookups and
+/// inserts are namespace-scoped so one tenant's working set can neither
+/// read nor evict another tenant's entries beyond the global budget rules.
+/// [`Namespace::SHARED`] is the default namespace used by the single-tenant
+/// API — public datasets published there are visible to every tenant that
+/// opts into shared reads.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Namespace(pub u64);
+
+impl Namespace {
+    /// The default, shared namespace (single-tenant API, public datasets).
+    pub const SHARED: Namespace = Namespace(0);
+
+    /// Deterministic namespace for a tenant name (never collides with
+    /// [`Namespace::SHARED`]).
+    pub fn tenant(name: &str) -> Namespace {
+        let mut h = DefaultHasher::new();
+        "rheem.cache.ns".hash(&mut h);
+        name.hash(&mut h);
+        let v = h.finish();
+        Namespace(if v == 0 { 1 } else { v })
+    }
+
+    /// Whether this is the shared namespace.
+    pub fn is_shared(&self) -> bool {
+        self.0 == 0
+    }
+}
+
 /// A successful cache lookup.
 #[derive(Clone)]
 pub struct CacheHit {
@@ -211,15 +240,49 @@ struct Entry {
     last_used: u64,
 }
 
+/// Per-namespace resident accounting and cumulative counters.
+#[derive(Default, Clone, Copy)]
+struct NsState {
+    bytes: u64,
+    entries: u64,
+    hits: u64,
+    misses: u64,
+    inserts: u64,
+    evictions: u64,
+}
+
 #[derive(Default)]
 struct Inner {
-    map: HashMap<u64, Entry>,
+    map: HashMap<(u64, u64), Entry>,
+    ns: HashMap<u64, NsState>,
+    quotas: HashMap<u64, u64>,
     clock: u64,
     bytes: u64,
     hits: u64,
     misses: u64,
     inserts: u64,
     evictions: u64,
+}
+
+impl Inner {
+    fn evict(&mut self, key: (u64, u64)) {
+        let evicted = self.map.remove(&key).expect("victim exists");
+        self.bytes -= evicted.bytes;
+        self.evictions += 1;
+        let st = self.ns.entry(key.0).or_default();
+        st.bytes -= evicted.bytes;
+        st.entries -= 1;
+        st.evictions += 1;
+    }
+
+    /// LRU victim among entries matching `pred` on the namespace id.
+    fn victim_where(&self, pred: impl Fn(u64) -> bool) -> Option<(u64, u64)> {
+        self.map
+            .iter()
+            .filter(|((ns, _), _)| pred(*ns))
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(&k, _)| k)
+    }
 }
 
 /// Default byte budget (256 MB), overridable via `RHEEM_CACHE_MB`.
@@ -259,59 +322,107 @@ impl ResultCache {
         self.budget
     }
 
-    /// Look up a fingerprint; counts a hit or miss and refreshes LRU age.
+    /// Reserve `quota_bytes` for a namespace. A quoted namespace is bounded
+    /// above by its quota (within-namespace LRU eviction keeps it there) and
+    /// protected below it: global-budget pressure evicts from *unquoted*
+    /// namespaces first, so as long as the quotas sum to at most the budget,
+    /// no tenant can force another tenant's entries out.
+    pub fn set_quota(&self, ns: Namespace, quota_bytes: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.quotas.insert(ns.0, quota_bytes.min(self.budget));
+    }
+
+    /// The quota configured for a namespace, if any.
+    pub fn quota_of(&self, ns: Namespace) -> Option<u64> {
+        self.inner.lock().unwrap().quotas.get(&ns.0).copied()
+    }
+
+    /// Look up a fingerprint in the shared namespace; counts a hit or miss
+    /// and refreshes LRU age.
     pub fn lookup(&self, fp: Fingerprint) -> Option<CacheHit> {
+        self.lookup_in(Namespace::SHARED, fp)
+    }
+
+    /// Namespace-scoped lookup: only entries published into `ns` are
+    /// visible. The hit/miss is counted both globally and against `ns`.
+    pub fn lookup_in(&self, ns: Namespace, fp: Fingerprint) -> Option<CacheHit> {
         let mut inner = self.inner.lock().unwrap();
         inner.clock += 1;
         let clock = inner.clock;
-        match inner.map.get_mut(&fp.0) {
+        match inner.map.get_mut(&(ns.0, fp.0)) {
             Some(e) => {
                 e.last_used = clock;
                 let hit = CacheHit { data: Arc::clone(&e.data), bytes: e.bytes };
                 inner.hits += 1;
+                inner.ns.entry(ns.0).or_default().hits += 1;
                 Some(hit)
             }
             None => {
                 inner.misses += 1;
+                inner.ns.entry(ns.0).or_default().misses += 1;
                 None
             }
         }
     }
 
-    /// Publish a result. Re-publishing an existing fingerprint only
-    /// refreshes its age; results over the whole budget are rejected.
-    /// Evicts least-recently-used entries until the budget holds (the
-    /// LRU clock is unique per operation, so eviction order is
-    /// deterministic).
+    /// Publish a result into the shared namespace. See [`Self::insert_in`].
     pub fn insert(&self, fp: Fingerprint, data: Dataset) {
+        self.insert_in(Namespace::SHARED, fp, data)
+    }
+
+    /// Publish a result into a namespace. Re-publishing an existing
+    /// fingerprint only refreshes its age; results over the whole budget —
+    /// or over the namespace quota, when one is set — are rejected.
+    /// Eviction order is deterministic (the LRU clock is unique per
+    /// operation): first within-namespace LRU until the quota holds, then
+    /// global LRU restricted to unquoted namespaces until the budget holds,
+    /// falling back to all namespaces only when no unquoted entry remains.
+    pub fn insert_in(&self, ns: Namespace, fp: Fingerprint, data: Dataset) {
         let bytes = (dataset_bytes(&data).ceil() as u64).max(1);
         if bytes > self.budget {
             return;
         }
         let mut inner = self.inner.lock().unwrap();
+        let quota = inner.quotas.get(&ns.0).copied();
+        if quota.is_some_and(|q| bytes > q) {
+            return;
+        }
         inner.clock += 1;
         let clock = inner.clock;
-        if let Some(e) = inner.map.get_mut(&fp.0) {
+        if let Some(e) = inner.map.get_mut(&(ns.0, fp.0)) {
             e.last_used = clock;
             return;
         }
-        inner.map.insert(fp.0, Entry { data, bytes, last_used: clock });
+        inner.map.insert((ns.0, fp.0), Entry { data, bytes, last_used: clock });
         inner.bytes += bytes;
         inner.inserts += 1;
+        {
+            let st = inner.ns.entry(ns.0).or_default();
+            st.bytes += bytes;
+            st.entries += 1;
+            st.inserts += 1;
+        }
+        if let Some(q) = quota {
+            while inner.ns.get(&ns.0).map(|s| s.bytes).unwrap_or(0) > q {
+                let victim = inner
+                    .victim_where(|n| n == ns.0)
+                    .expect("over quota implies non-empty namespace");
+                inner.evict(victim);
+            }
+        }
         while inner.bytes > self.budget {
+            // Quoted namespaces are protected from cross-tenant pressure;
+            // spill from unquoted ones first.
+            let quotas = &inner.quotas;
             let victim = inner
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(&k, _)| k)
+                .victim_where(|n| !quotas.contains_key(&n))
+                .or_else(|| inner.victim_where(|_| true))
                 .expect("over budget implies non-empty");
-            let evicted = inner.map.remove(&victim).unwrap();
-            inner.bytes -= evicted.bytes;
-            inner.evictions += 1;
+            inner.evict(victim);
         }
     }
 
-    /// Snapshot the counters.
+    /// Snapshot the global counters (all namespaces combined).
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().unwrap();
         CacheStats {
@@ -324,11 +435,29 @@ impl ResultCache {
         }
     }
 
-    /// Drop all entries (counters are kept).
+    /// Snapshot one namespace's counters and resident footprint.
+    pub fn stats_of(&self, ns: Namespace) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        let st = inner.ns.get(&ns.0).copied().unwrap_or_default();
+        CacheStats {
+            hits: st.hits,
+            misses: st.misses,
+            inserts: st.inserts,
+            evictions: st.evictions,
+            entries: st.entries,
+            bytes: st.bytes,
+        }
+    }
+
+    /// Drop all entries in every namespace (counters are kept).
     pub fn clear(&self) {
         let mut inner = self.inner.lock().unwrap();
         inner.bytes = 0;
         inner.map.clear();
+        for st in inner.ns.values_mut() {
+            st.bytes = 0;
+            st.entries = 0;
+        }
     }
 }
 

@@ -26,6 +26,16 @@ pub enum RheemError {
     /// A stage exhausted its retry budget on one platform; carries what the
     /// failover machinery needs to blacklist the platform and re-plan.
     Exhausted(crate::fault::BudgetExhausted),
+    /// A job submission was rejected by the [`crate::service::JobService`]
+    /// admission controller (service saturated or per-tenant cap hit).
+    /// Deliberately typed so clients can distinguish back-pressure from
+    /// execution failures and retry with their own policy.
+    Rejected {
+        /// The tenant whose submission was rejected.
+        tenant: String,
+        /// Why admission refused the job.
+        reason: String,
+    },
 }
 
 impl RheemError {
@@ -56,6 +66,9 @@ impl fmt::Display for RheemError {
             RheemError::Config(m) => write!(f, "configuration error: {m}"),
             RheemError::Fault(i) => write!(f, "fault: {i}"),
             RheemError::Exhausted(b) => write!(f, "exhausted: {b}"),
+            RheemError::Rejected { tenant, reason } => {
+                write!(f, "submission rejected for tenant {tenant}: {reason}")
+            }
         }
     }
 }

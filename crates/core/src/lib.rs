@@ -57,13 +57,17 @@ pub mod platform;
 pub mod pool;
 pub mod progressive;
 pub mod registry;
+pub mod service;
 pub mod trace;
 pub mod udf;
 pub mod value;
 
 /// Convenient re-exports for application code.
 pub mod prelude {
-    pub use crate::api::{AnalyzeRow, ExplainAnalysis, JobMetrics, JobResult, RheemContext};
+    pub use crate::api::{
+        AnalyzeRow, ExplainAnalysis, JobMetrics, JobResult, JobScope, RheemContext,
+    };
+    pub use crate::cache::Namespace;
     pub use crate::error::{Result, RheemError};
     pub use crate::metrics::MetricsRegistry;
     pub use crate::plan::{
@@ -71,6 +75,10 @@ pub mod prelude {
         SampleSize,
     };
     pub use crate::platform::{ids, Platform, PlatformId};
+    pub use crate::service::{
+        simulate_fair_share, FairShare, JobHandle, JobService, ServiceConfig, SimJob, SimOutcome,
+        StageGate, TenantSpec,
+    };
     pub use crate::trace::{JobTrace, OpProfile, Span, SpanKind};
     pub use crate::udf::{
         BroadcastCtx, CmpOp, FlatMapUdf, KeyUdf, MapUdf, PredicateUdf, ReduceUdf, Sarg,

@@ -44,6 +44,14 @@ impl Histogram {
 struct Inner {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
+    gauges: BTreeMap<String, f64>,
+}
+
+/// The Prometheus metric-family name of a key: the part before any `{...}`
+/// label set, so `rheem_cache_bytes{tenant="a"}` and `...{tenant="b"}`
+/// share one `# TYPE` line.
+fn family(key: &str) -> &str {
+    key.split('{').next().unwrap_or(key)
 }
 
 /// Thread-safe metrics registry (counters + histograms).
@@ -73,6 +81,27 @@ impl MetricsRegistry {
             .entry(name.to_string())
             .or_insert_with(|| Histogram::new(&DEFAULT_MS_BOUNDS))
             .observe(value);
+    }
+
+    /// Raise counter `name` to `value` if it is below it (no-op otherwise).
+    /// Lets concurrent publishers export an externally-maintained cumulative
+    /// counter (e.g. per-tenant cache stats) without read-modify-write
+    /// races: the counter stays monotonic no matter the interleaving.
+    pub fn set_counter_max(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let c = inner.counters.entry(name.to_string()).or_insert(0);
+        *c = (*c).max(value);
+    }
+
+    /// Set gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of a gauge, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner.lock().unwrap().gauges.get(name).copied()
     }
 
     /// Current value of a counter (0 if never incremented).
@@ -114,6 +143,13 @@ impl MetricsRegistry {
             }
             let _ = write!(out, "[null,{}]]}}", h.counts[h.bounds.len()]);
         }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in inner.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{v:.6}");
+        }
         out.push_str("}}");
         out
     }
@@ -123,8 +159,21 @@ impl MetricsRegistry {
     pub fn snapshot_prometheus(&self) -> String {
         let inner = self.inner.lock().unwrap();
         let mut out = String::new();
+        // Labeled keys (`name{tenant="a"}`) share their family's TYPE line.
+        let mut typed = std::collections::BTreeSet::new();
         for (k, v) in &inner.counters {
-            let _ = writeln!(out, "# TYPE {k} counter");
+            let fam = family(k);
+            if typed.insert(fam) {
+                let _ = writeln!(out, "# TYPE {fam} counter");
+            }
+            let _ = writeln!(out, "{k} {v}");
+        }
+        typed.clear();
+        for (k, v) in &inner.gauges {
+            let fam = family(k);
+            if typed.insert(fam) {
+                let _ = writeln!(out, "# TYPE {fam} gauge");
+            }
             let _ = writeln!(out, "{k} {v}");
         }
         for (k, h) in &inner.histograms {
@@ -147,6 +196,7 @@ impl MetricsRegistry {
         let mut inner = self.inner.lock().unwrap();
         inner.counters.clear();
         inner.histograms.clear();
+        inner.gauges.clear();
     }
 }
 

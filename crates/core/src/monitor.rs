@@ -183,6 +183,33 @@ impl Monitor {
         self.runs.lock().unwrap().iter().filter(|r| !r.superseded).map(|r| r.virtual_ms).sum()
     }
 
+    /// Absorb another monitor's records, re-stamping its phases after this
+    /// monitor's current phase counter so phase numbers stay unique and
+    /// ordered. The [`crate::service::JobService`] gives every job a
+    /// private monitor (so concurrent jobs can't cross-contaminate retry
+    /// and replan counts) and merges it into the context's monitor at
+    /// completion — after which the context monitor reads exactly as if
+    /// the jobs had run sequentially through it.
+    pub fn merge(&self, other: &Monitor) {
+        let offset = {
+            let mut p = self.phase.lock().unwrap();
+            let offset = *p;
+            *p += *other.phase.lock().unwrap();
+            offset
+        };
+        {
+            let mut runs = self.runs.lock().unwrap();
+            for mut run in other.runs.lock().unwrap().iter().cloned() {
+                run.phase += offset;
+                runs.push(run);
+            }
+        }
+        self.faults.lock().unwrap().extend(other.faults.lock().unwrap().iter().cloned());
+        *self.replans.lock().unwrap() += *other.replans.lock().unwrap();
+        *self.retries.lock().unwrap() += *other.retries.lock().unwrap();
+        *self.failovers.lock().unwrap() += *other.failovers.lock().unwrap();
+    }
+
     /// Clear all records (between jobs).
     pub fn reset(&self) {
         self.runs.lock().unwrap().clear();

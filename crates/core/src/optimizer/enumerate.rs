@@ -132,7 +132,14 @@ fn build_inflated(opt: &Optimizer<'_>, plan: &RheemPlan, estimates: Estimates) -
             if matches!(node.op, crate::plan::LogicalOp::CollectionSource { .. }) {
                 continue;
             }
-            let Some(hit) = cache.lookup(fp) else { continue };
+            // Namespace-scoped: the tenant's own entries first, the shared
+            // namespace (public datasets) only when the scope opts in.
+            let hit = cache.lookup_in(opt.cache_ns, fp).or_else(|| {
+                (opt.cache_shared_read && !opt.cache_ns.is_shared())
+                    .then(|| cache.lookup(fp))
+                    .flatten()
+            });
+            let Some(hit) = hit else { continue };
             // Transitive input closure of the hit operator (fingerprintable
             // ops only, so no loop edges and no cycles).
             let mut covered = vec![false; n];

@@ -41,6 +41,10 @@ pub struct Optimizer<'a> {
     /// [`crate::cache::CachedSource`] candidates for subplan-fingerprint
     /// hits, letting enumeration choose reuse when it beats recomputation.
     pub cache: Option<std::sync::Arc<crate::cache::ResultCache>>,
+    /// Cache namespace lookups are scoped to (multi-tenant isolation).
+    pub cache_ns: crate::cache::Namespace,
+    /// Fall back to the shared namespace on a miss in `cache_ns`.
+    pub cache_shared_read: bool,
 }
 
 /// The result of optimization: one execution alternative chosen per plan
@@ -85,6 +89,8 @@ impl<'a> Optimizer<'a> {
             forced_platform: None,
             blacklist: Vec::new(),
             cache: None,
+            cache_ns: crate::cache::Namespace::SHARED,
+            cache_shared_read: true,
         }
     }
 

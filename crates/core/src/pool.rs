@@ -48,10 +48,18 @@ struct ScopeState {
     panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
-/// Number of worker threads in the shared pool.
+/// Number of worker threads in the shared pool. `RHEEM_POOL=<n>` overrides
+/// the detected parallelism (CI uses it to exercise 2-core and 8-core
+/// schedules on any host); read once — the pool is process-wide.
 pub fn size() -> usize {
     static SIZE: OnceLock<usize> = OnceLock::new();
-    *SIZE.get_or_init(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4))
+    *SIZE.get_or_init(|| {
+        std::env::var("RHEEM_POOL")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4))
+    })
 }
 
 fn shared() -> &'static Arc<Shared> {

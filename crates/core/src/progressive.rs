@@ -170,6 +170,9 @@ pub fn run_progressive(
     let trace = if config.tracing { Some(Arc::new(Trace::new())) } else { None };
     let job_span = trace.as_ref().map(|t| {
         let sid = t.begin(None, SpanKind::Job, "job", None, 0.0);
+        if let Some(tenant) = &config.tenant {
+            t.attr(sid, "tenant", tenant.clone().into());
+        }
         t.instant(Some(sid), SpanKind::Submit, "submit", None, 0.0);
         sid
     });
@@ -184,6 +187,8 @@ pub fn run_progressive(
         optimizer.forced_platform = forced_platform;
         optimizer.blacklist = blacklist.clone();
         optimizer.cache = cache.clone();
+        optimizer.cache_ns = config.cache_ns;
+        optimizer.cache_shared_read = config.cache_shared_read;
         let estimator = base_estimator();
         let opt = optimizer.optimize(phase_plan, &estimator)?;
         if let (Some(t), Some(ps)) = (&trace, phase_span) {

@@ -1,0 +1,929 @@
+//! Multi-tenant job service: concurrent submissions on one context.
+//!
+//! The paper pitches cross-platform processing as a *shared service* many
+//! applications submit jobs to (the RHEEM system papers describe exactly
+//! that deployment shape). [`JobService`] wraps one [`RheemContext`] behind
+//! a submission queue and a pool of runner threads:
+//!
+//! - **Admission control**: a global in-flight cap plus per-tenant caps;
+//!   saturation surfaces as the typed [`RheemError::Rejected`] so clients
+//!   can distinguish back-pressure from execution failures.
+//! - **Fair-share scheduling**: ready jobs — and, through the optional
+//!   [`StageGate`], ready *stage-jobs* — are granted to tenants by weighted
+//!   virtual-time fair queueing ([`FairShare`]): the backlogged tenant with
+//!   the smallest served-virtual-time-over-weight goes first, with a seeded
+//!   deterministic tie-break. A tenant that was idle re-enters at the
+//!   backlogged minimum, so past idleness is not a claim on the future and
+//!   no backlogged tenant starves.
+//! - **Cache isolation**: every tenant publishes into its own
+//!   [`Namespace`] on the shared [`crate::cache::ResultCache`], bounded by
+//!   an optional byte quota; reads fall back to the shared namespace for
+//!   public datasets when the tenant opts in.
+//! - **Attribution**: each job runs with a private [`crate::monitor::
+//!   Monitor`] merged into the context's after completion, a `tenant`
+//!   attribute on its trace's job span, and tenant-labelled counters and
+//!   gauges in the context's Prometheus snapshot.
+//!
+//! Per-job results stay byte-identical to an isolated run of the same plan
+//! because the executor's commit-in-order design makes results and traces
+//! independent of *when* stages physically execute — the gate and the
+//! runner pool only reorder wall-clock work, never virtual-time accounting.
+//!
+//! [`simulate_fair_share`] is the same scheduling policy run as a
+//! discrete-event simulation over virtual stage durations; the property
+//! suite asserts the fair-share invariant on it and `service_bench` uses it
+//! for deterministic throughput gates on single-CPU hosts.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::api::{JobResult, JobScope, RheemContext};
+use crate::cache::Namespace;
+use crate::error::{Result, RheemError};
+use crate::kernels::SplitMix64;
+use crate::plan::RheemPlan;
+
+// ---------------------------------------------------------------------------
+// Fair-share policy
+// ---------------------------------------------------------------------------
+
+/// Weighted virtual-time fair queueing over a fixed set of tenants.
+///
+/// Every grant charges `cost / weight` to the tenant's virtual time; the
+/// next grant goes to the backlogged tenant with the smallest virtual time.
+/// Ties break by a seeded per-tenant rank (then index), so the schedule is
+/// a pure function of `(seed, arrival sequence, costs)` — differential
+/// tests can assert it. While a set of tenants stays backlogged, any two of
+/// them are served within one grant granularity of their weight ratio (the
+/// classic start-time fair queueing bound).
+#[derive(Clone, Debug)]
+pub struct FairShare {
+    weights: Vec<f64>,
+    vtime: Vec<f64>,
+    tie: Vec<u64>,
+    seed: u64,
+}
+
+impl FairShare {
+    /// Empty policy with a tie-break seed.
+    pub fn new(seed: u64) -> Self {
+        Self { weights: Vec::new(), vtime: Vec::new(), tie: Vec::new(), seed }
+    }
+
+    /// Register a tenant; returns its index. `weight` is clamped positive.
+    pub fn add_tenant(&mut self, name: &str, weight: f64) -> usize {
+        let idx = self.weights.len();
+        self.weights.push(weight.max(1e-9));
+        self.vtime.push(0.0);
+        let mut h = 0xcbf29ce484222325u64; // FNV-1a over the name
+        for b in name.as_bytes() {
+            h = (h ^ *b as u64).wrapping_mul(0x100000001b3);
+        }
+        self.tie.push(SplitMix64(self.seed ^ h).next_u64());
+        idx
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The backlogged tenant to serve next: minimum normalized virtual
+    /// time, seeded tie-break, then index. `None` when `ready` is empty.
+    pub fn pick(&self, ready: &[usize]) -> Option<usize> {
+        ready.iter().copied().min_by(|&a, &b| {
+            self.vtime[a]
+                .total_cmp(&self.vtime[b])
+                .then(self.tie[a].cmp(&self.tie[b]))
+                .then(a.cmp(&b))
+        })
+    }
+
+    /// Charge a served grant: `cost` virtual ms normalized by weight.
+    pub fn charge(&mut self, tenant: usize, cost: f64) {
+        self.vtime[tenant] += cost.max(0.0) / self.weights[tenant];
+    }
+
+    /// A tenant transitioned idle → backlogged: raise its virtual time to
+    /// the minimum over the *other* backlogged tenants, so idle periods do
+    /// not accrue credit it could later spend to monopolize the service.
+    pub fn activate(&mut self, tenant: usize, backlogged: &[usize]) {
+        let floor = backlogged
+            .iter()
+            .copied()
+            .filter(|&t| t != tenant)
+            .map(|t| self.vtime[t])
+            .fold(f64::INFINITY, f64::min);
+        if floor.is_finite() {
+            self.vtime[tenant] = self.vtime[tenant].max(floor);
+        }
+    }
+
+    /// Current normalized virtual time of a tenant.
+    pub fn vtime(&self, tenant: usize) -> f64 {
+        self.vtime[tenant]
+    }
+
+    /// Configured weight of a tenant.
+    pub fn weight(&self, tenant: usize) -> f64 {
+        self.weights[tenant]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage gate
+// ---------------------------------------------------------------------------
+
+/// Bounded stage-execution slots, granted to waiting tenants by
+/// [`FairShare`]. The executor acquires a slot before running each stage
+/// (on whichever thread executes it) and releases it — charged with the
+/// stage's virtual time — when the stage run closes, so *stage-jobs*, not
+/// whole jobs, are the unit of inter-tenant scheduling.
+///
+/// Deadlock-free by construction: a slot is only ever held by a thread
+/// actively executing a stage (never by one blocked on another slot —
+/// release always precedes the next acquire), so every held slot is
+/// eventually released, and the fair-share pick only chooses among tenants
+/// that have a waiting thread, so every grant is claimed.
+pub struct StageGate {
+    slots: usize,
+    inner: Mutex<GateInner>,
+    freed: Condvar,
+}
+
+struct GateInner {
+    fair: FairShare,
+    /// Waiting acquirers per tenant.
+    waiting: Vec<usize>,
+    in_use: usize,
+    /// Tenant per grant, in grant order (starvation assertions in tests).
+    grants: Vec<usize>,
+}
+
+impl StageGate {
+    /// A gate with `slots` concurrent stage executions over the tenants
+    /// already registered in `fair`.
+    pub fn new(slots: usize, fair: FairShare) -> Self {
+        let n = fair.len();
+        Self {
+            slots: slots.max(1),
+            inner: Mutex::new(GateInner {
+                fair,
+                waiting: vec![0; n],
+                in_use: 0,
+                grants: Vec::new(),
+            }),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Concurrent stage executions admitted.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Block until the fair share grants `tenant` a slot.
+    fn acquire_for(self: &Arc<Self>, tenant: usize) -> GatePermit {
+        let mut g = self.inner.lock().unwrap();
+        g.waiting[tenant] += 1;
+        loop {
+            if g.in_use < self.slots {
+                let ready: Vec<usize> =
+                    (0..g.waiting.len()).filter(|&t| g.waiting[t] > 0).collect();
+                if g.fair.pick(&ready) == Some(tenant) {
+                    g.waiting[tenant] -= 1;
+                    g.in_use += 1;
+                    g.grants.push(tenant);
+                    if g.in_use < self.slots {
+                        // Remaining capacity may now belong to a different
+                        // tenant's waiter: let them re-evaluate.
+                        self.freed.notify_all();
+                    }
+                    return GatePermit { gate: Arc::clone(self), tenant, released: false };
+                }
+            }
+            g = self.freed.wait(g).unwrap();
+        }
+    }
+
+    fn release_slot(&self, tenant: usize, cost: f64) {
+        let mut g = self.inner.lock().unwrap();
+        g.in_use -= 1;
+        g.fair.charge(tenant, cost);
+        drop(g);
+        self.freed.notify_all();
+    }
+
+    /// The grant log so far: one tenant index per granted slot, in order.
+    pub fn grant_log(&self) -> Vec<usize> {
+        self.inner.lock().unwrap().grants.clone()
+    }
+
+    /// A tenant's charged (normalized) virtual service time so far.
+    pub fn served_vtime(&self, tenant: usize) -> f64 {
+        self.inner.lock().unwrap().fair.vtime(tenant)
+    }
+}
+
+impl fmt::Debug for StageGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = self.inner.lock().unwrap();
+        write!(f, "StageGate({}/{} slots in use, {} grants)", g.in_use, self.slots, g.grants.len())
+    }
+}
+
+/// A held stage slot. Release with the stage's virtual cost; dropping
+/// without an explicit release frees the slot at zero cost (error paths).
+pub struct GatePermit {
+    gate: Arc<StageGate>,
+    tenant: usize,
+    released: bool,
+}
+
+impl GatePermit {
+    /// Free the slot, charging `cost` virtual ms to the holder's tenant.
+    pub fn release(mut self, cost: f64) {
+        self.gate.release_slot(self.tenant, cost);
+        self.released = true;
+    }
+}
+
+impl Drop for GatePermit {
+    fn drop(&mut self) {
+        if !self.released {
+            self.gate.release_slot(self.tenant, 0.0);
+        }
+    }
+}
+
+impl fmt::Debug for GatePermit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GatePermit(tenant={})", self.tenant)
+    }
+}
+
+/// A tenant's handle onto a shared [`StageGate`]; rides inside
+/// [`crate::executor::ExecConfig`] so the executor can acquire slots on the
+/// submitting tenant's behalf.
+#[derive(Clone)]
+pub struct TenantGate {
+    gate: Arc<StageGate>,
+    tenant: usize,
+}
+
+impl TenantGate {
+    /// Bind a tenant index to a gate.
+    pub fn new(gate: Arc<StageGate>, tenant: usize) -> Self {
+        Self { gate, tenant }
+    }
+
+    /// Acquire one stage slot for this tenant (blocking).
+    pub fn acquire(&self) -> GatePermit {
+        self.gate.acquire_for(self.tenant)
+    }
+}
+
+impl fmt::Debug for TenantGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TenantGate(tenant={})", self.tenant)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-time schedule simulator
+// ---------------------------------------------------------------------------
+
+/// One job for [`simulate_fair_share`]: a chain of virtual stage durations
+/// belonging to a tenant, arriving at a virtual instant.
+#[derive(Clone, Debug)]
+pub struct SimJob {
+    /// Tenant index (into the weight vector).
+    pub tenant: usize,
+    /// Virtual arrival time, ms.
+    pub arrival_ms: f64,
+    /// Virtual duration of each stage, in chain order.
+    pub stages: Vec<f64>,
+}
+
+/// Outcome of a simulated schedule.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// Per-job completion instant (virtual ms).
+    pub completion_ms: Vec<f64>,
+    /// Per-tenant completed virtual service time (raw, not normalized).
+    pub served_ms: Vec<f64>,
+    /// Latest completion instant.
+    pub makespan_ms: f64,
+}
+
+/// Discrete-event simulation of the service's fair-share policy: `lanes`
+/// stage slots, stage-jobs granted by [`FairShare`] (FIFO within a
+/// tenant), stages of one job strictly chained. Deterministic — wall time
+/// never enters — so benchmarks can gate on its throughput and latency
+/// figures on any host, and the property suite can assert the fair-share
+/// invariant for arbitrary seeded arrival sequences.
+pub fn simulate_fair_share(
+    jobs: &[SimJob],
+    weights: &[f64],
+    lanes: usize,
+    seed: u64,
+) -> SimOutcome {
+    let lanes = lanes.max(1);
+    let n = jobs.len();
+    let nt = weights.len();
+    let mut fair = FairShare::new(seed);
+    for (i, w) in weights.iter().enumerate() {
+        fair.add_tenant(&format!("tenant{i}"), *w);
+    }
+    let mut completion = vec![0.0f64; n];
+    let mut served = vec![0.0f64; nt];
+    let mut next_stage = vec![0usize; n];
+    let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); nt];
+    let mut busy: Vec<(f64, usize)> = Vec::new(); // (finish instant, job)
+    let mut arrivals: Vec<usize> = (0..n).collect();
+    arrivals.sort_by(|&a, &b| jobs[a].arrival_ms.total_cmp(&jobs[b].arrival_ms).then(a.cmp(&b)));
+    let mut ai = 0usize;
+    let mut done = 0usize;
+    let mut now = 0.0f64;
+    const EPS: f64 = 1e-9;
+
+    while done < n {
+        // Admit arrivals due now.
+        while ai < n && jobs[arrivals[ai]].arrival_ms <= now + EPS {
+            let j = arrivals[ai];
+            ai += 1;
+            if jobs[j].stages.is_empty() {
+                completion[j] = jobs[j].arrival_ms;
+                done += 1;
+                continue;
+            }
+            let t = jobs[j].tenant;
+            let was_idle = queues[t].is_empty() && !busy.iter().any(|&(_, b)| jobs[b].tenant == t);
+            if was_idle {
+                let backlogged: Vec<usize> = (0..nt).filter(|&o| !queues[o].is_empty()).collect();
+                fair.activate(t, &backlogged);
+            }
+            queues[t].push_back(j);
+        }
+        // Grant free lanes by fair share.
+        while busy.len() < lanes {
+            let ready: Vec<usize> = (0..nt).filter(|&t| !queues[t].is_empty()).collect();
+            let Some(t) = fair.pick(&ready) else { break };
+            let j = queues[t].pop_front().expect("picked tenant is backlogged");
+            let dur = jobs[j].stages[next_stage[j]];
+            fair.charge(t, dur);
+            busy.push((now + dur, j));
+        }
+        // Advance to the next event.
+        let next_busy = busy.iter().map(|&(f, _)| f).fold(f64::INFINITY, f64::min);
+        let next_arrival = if ai < n { jobs[arrivals[ai]].arrival_ms } else { f64::INFINITY };
+        let next = next_busy.min(next_arrival);
+        if !next.is_finite() {
+            break; // all remaining jobs are empty-stage arrivals (handled above)
+        }
+        now = now.max(next);
+        // Complete stages due now, in deterministic (finish, job) order.
+        let mut finished: Vec<(f64, usize)> =
+            busy.iter().copied().filter(|&(f, _)| f <= now + EPS).collect();
+        finished.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        busy.retain(|&(f, _)| f > now + EPS);
+        for (f, j) in finished {
+            let t = jobs[j].tenant;
+            served[t] += jobs[j].stages[next_stage[j]];
+            next_stage[j] += 1;
+            if next_stage[j] == jobs[j].stages.len() {
+                completion[j] = f;
+                done += 1;
+            } else {
+                // The tenant stayed backlogged (this job was in service).
+                queues[t].push_back(j);
+            }
+        }
+    }
+    let makespan_ms = completion.iter().copied().fold(0.0, f64::max);
+    SimOutcome { completion_ms: completion, served_ms: served, makespan_ms }
+}
+
+// ---------------------------------------------------------------------------
+// The job service
+// ---------------------------------------------------------------------------
+
+/// One tenant of a [`JobService`].
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Unique tenant name (labels metrics; derives the cache namespace).
+    pub name: String,
+    /// Fair-share weight (relative service rate while backlogged).
+    pub weight: f64,
+    /// Max jobs this tenant may have admitted (queued + running) at once.
+    pub max_in_flight: usize,
+    /// Byte quota for the tenant's cache namespace (`None` = unquoted).
+    pub cache_quota_bytes: Option<u64>,
+    /// Whether cache lookups fall back to the shared namespace (public
+    /// datasets). Publishes always go to the tenant's own namespace.
+    pub share_cache: bool,
+}
+
+impl TenantSpec {
+    /// A tenant with weight 1, in-flight cap 8, no quota, no shared reads.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            weight: 1.0,
+            max_in_flight: 8,
+            cache_quota_bytes: None,
+            share_cache: false,
+        }
+    }
+
+    /// Set the fair-share weight (builder style).
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Set the per-tenant in-flight cap (builder style).
+    pub fn with_max_in_flight(mut self, cap: usize) -> Self {
+        self.max_in_flight = cap;
+        self
+    }
+
+    /// Set a cache byte quota (builder style).
+    pub fn with_cache_quota(mut self, bytes: u64) -> Self {
+        self.cache_quota_bytes = Some(bytes);
+        self
+    }
+
+    /// Allow shared-namespace cache reads (builder style).
+    pub fn with_shared_cache_reads(mut self, on: bool) -> Self {
+        self.share_cache = on;
+        self
+    }
+
+    /// The cache namespace this tenant publishes into.
+    pub fn namespace(&self) -> Namespace {
+        Namespace::tenant(&self.name)
+    }
+}
+
+/// Service-level configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Global admission cap: jobs admitted (queued + running) at once.
+    pub max_in_flight: usize,
+    /// Runner threads executing jobs.
+    pub runners: usize,
+    /// Stage-gate slots (concurrent stage executions across all jobs).
+    /// `0` = auto: the shared worker pool's size. [`ServiceConfig::gate`]
+    /// must be true for the gate to exist at all.
+    pub stage_slots: usize,
+    /// Whether to interpose the [`StageGate`] (stage-job granularity fair
+    /// share). Without it fairness still applies at job pick granularity.
+    pub gate: bool,
+    /// Seed for the fair-share tie-breaks (job pick and stage gate).
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self { max_in_flight: 64, runners: 4, stage_slots: 0, gate: true, seed: 0xC0FFEE }
+    }
+}
+
+/// Handle onto one submitted job.
+pub struct JobHandle {
+    /// Service-assigned job id (monotonic per service).
+    pub id: u64,
+    /// Owning tenant's name.
+    pub tenant: String,
+    rx: mpsc::Receiver<Result<JobResult>>,
+}
+
+impl JobHandle {
+    /// Block until the job completes; returns its result.
+    pub fn wait(self) -> Result<JobResult> {
+        self.rx.recv().map_err(|_| {
+            RheemError::Execution("job service shut down before the job completed".into())
+        })?
+    }
+}
+
+struct Queued {
+    id: u64,
+    plan: RheemPlan,
+    tx: mpsc::Sender<Result<JobResult>>,
+}
+
+struct SvcState {
+    queues: Vec<VecDeque<Queued>>,
+    fair: FairShare,
+    in_flight: Vec<usize>,
+    total_in_flight: usize,
+    next_id: u64,
+    shutdown: bool,
+    /// `(job id, tenant index)` in completion order.
+    completions: Vec<(u64, usize)>,
+}
+
+struct SvcInner {
+    ctx: RheemContext,
+    tenants: Vec<TenantSpec>,
+    gate: Option<Arc<StageGate>>,
+    state: Mutex<SvcState>,
+    work: Condvar,
+}
+
+impl SvcInner {
+    fn scope_for(&self, tenant: usize) -> JobScope {
+        let spec = &self.tenants[tenant];
+        JobScope {
+            tenant: Some(spec.name.clone()),
+            cache_ns: spec.namespace(),
+            cache_shared_read: spec.share_cache,
+            stage_gate: self.gate.as_ref().map(|g| TenantGate::new(Arc::clone(g), tenant)),
+        }
+    }
+
+    fn runner_loop(self: &Arc<Self>) {
+        loop {
+            let (tenant, job) = {
+                let mut st = self.state.lock().unwrap();
+                loop {
+                    let ready: Vec<usize> =
+                        (0..st.queues.len()).filter(|&t| !st.queues[t].is_empty()).collect();
+                    if let Some(t) = st.fair.pick(&ready) {
+                        let job = st.queues[t].pop_front().expect("picked tenant has work");
+                        break (t, job);
+                    }
+                    if st.shutdown {
+                        return;
+                    }
+                    st = self.work.wait(st).unwrap();
+                }
+            };
+            let scope = self.scope_for(tenant);
+            let result = self.ctx.execute_scoped(&job.plan, &scope);
+            {
+                let mut st = self.state.lock().unwrap();
+                // Charge the served job at its virtual cost so the next
+                // pick reflects actual consumption (failed jobs charge a
+                // token amount — admission work isn't free either).
+                let cost = result.as_ref().map(|r| r.metrics.virtual_ms).unwrap_or(1.0);
+                st.fair.charge(tenant, cost);
+                st.in_flight[tenant] -= 1;
+                st.total_in_flight -= 1;
+                st.completions.push((job.id, tenant));
+            }
+            // Wake runners (more queued work may be pickable) and any
+            // submitter waiting on capacity semantics in tests.
+            self.work.notify_all();
+            let _ = job.tx.send(result);
+        }
+    }
+}
+
+/// A long-running, multi-tenant job service over one [`RheemContext`].
+/// See the module docs for the admission, fair-share and quota model.
+pub struct JobService {
+    inner: Arc<SvcInner>,
+    runners: Vec<JoinHandle<()>>,
+    cap: usize,
+}
+
+impl JobService {
+    /// Build a service over `ctx` for a fixed tenant set. Registers cache
+    /// quotas on the context's result cache (when one is enabled) and
+    /// spawns the runner threads.
+    pub fn new(ctx: RheemContext, config: ServiceConfig, tenants: Vec<TenantSpec>) -> Result<Self> {
+        if tenants.is_empty() {
+            return Err(RheemError::Config("job service needs at least one tenant".into()));
+        }
+        for (i, t) in tenants.iter().enumerate() {
+            if tenants[..i].iter().any(|o| o.name == t.name) {
+                return Err(RheemError::Config(format!("duplicate tenant name: {}", t.name)));
+            }
+        }
+        let runners = config.runners.max(1);
+        let mut job_fair = FairShare::new(config.seed);
+        let mut gate_fair = FairShare::new(config.seed.wrapping_add(1));
+        for t in &tenants {
+            job_fair.add_tenant(&t.name, t.weight);
+            gate_fair.add_tenant(&t.name, t.weight);
+        }
+        if let Some(cache) = ctx.cache() {
+            for t in &tenants {
+                if let Some(q) = t.cache_quota_bytes {
+                    cache.set_quota(t.namespace(), q);
+                }
+            }
+        }
+        let gate = config.gate.then(|| {
+            let slots =
+                if config.stage_slots == 0 { crate::pool::size() } else { config.stage_slots };
+            Arc::new(StageGate::new(slots, gate_fair))
+        });
+        let n = tenants.len();
+        let inner = Arc::new(SvcInner {
+            ctx,
+            tenants,
+            gate,
+            state: Mutex::new(SvcState {
+                queues: (0..n).map(|_| VecDeque::new()).collect(),
+                fair: job_fair,
+                in_flight: vec![0; n],
+                total_in_flight: 0,
+                next_id: 0,
+                shutdown: false,
+                completions: Vec::new(),
+            }),
+            work: Condvar::new(),
+        });
+        let mut handles = Vec::with_capacity(runners);
+        for i in 0..runners {
+            let inner = Arc::clone(&inner);
+            let h = std::thread::Builder::new()
+                .name(format!("rheem-svc-{i}"))
+                .spawn(move || inner.runner_loop())
+                .map_err(|e| RheemError::Execution(format!("spawn service runner: {e}")))?;
+            handles.push(h);
+        }
+        Ok(Self { inner, runners: handles, cap: config.max_in_flight.max(1) })
+    }
+
+    /// Submit a job for `tenant`. Admission control applies *here*:
+    /// saturation (global or per-tenant) returns [`RheemError::Rejected`]
+    /// immediately instead of queueing unboundedly.
+    pub fn submit(&self, tenant: &str, plan: RheemPlan) -> Result<JobHandle> {
+        let Some(t) = self.inner.tenants.iter().position(|s| s.name == tenant) else {
+            return Err(RheemError::Rejected {
+                tenant: tenant.to_string(),
+                reason: "unknown tenant".into(),
+            });
+        };
+        let (tx, rx) = mpsc::channel();
+        let id = {
+            let mut st = self.inner.state.lock().unwrap();
+            if st.shutdown {
+                return Err(RheemError::Rejected {
+                    tenant: tenant.to_string(),
+                    reason: "service is shutting down".into(),
+                });
+            }
+            let cap = self.max_in_flight();
+            if st.total_in_flight >= cap {
+                return Err(RheemError::Rejected {
+                    tenant: tenant.to_string(),
+                    reason: format!("service saturated ({cap} jobs in flight)"),
+                });
+            }
+            let tcap = self.inner.tenants[t].max_in_flight;
+            if st.in_flight[t] >= tcap {
+                return Err(RheemError::Rejected {
+                    tenant: tenant.to_string(),
+                    reason: format!("tenant saturated ({tcap} jobs in flight)"),
+                });
+            }
+            let id = st.next_id;
+            st.next_id += 1;
+            st.in_flight[t] += 1;
+            st.total_in_flight += 1;
+            if st.queues[t].is_empty() {
+                let backlogged: Vec<usize> =
+                    (0..st.queues.len()).filter(|&o| !st.queues[o].is_empty()).collect();
+                st.fair.activate(t, &backlogged);
+            }
+            st.queues[t].push_back(Queued { id, plan, tx });
+            id
+        };
+        self.inner.work.notify_all();
+        Ok(JobHandle { id, tenant: tenant.to_string(), rx })
+    }
+
+    /// The global in-flight cap.
+    fn max_in_flight(&self) -> usize {
+        self.cap
+    }
+
+    /// The wrapped context (metrics, monitor, cache inspection).
+    pub fn context(&self) -> &RheemContext {
+        &self.inner.ctx
+    }
+
+    /// The stage gate, when enabled.
+    pub fn gate(&self) -> Option<&Arc<StageGate>> {
+        self.inner.gate.as_ref()
+    }
+
+    /// `(job id, tenant name)` in completion order so far.
+    pub fn completions(&self) -> Vec<(u64, String)> {
+        let st = self.inner.state.lock().unwrap();
+        st.completions.iter().map(|&(id, t)| (id, self.inner.tenants[t].name.clone())).collect()
+    }
+
+    /// Jobs admitted and not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.inner.state.lock().unwrap().total_in_flight
+    }
+
+    /// Stop accepting work, drain queued jobs, and join the runners.
+    /// Called automatically on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.inner.work.notify_all();
+        for h in self.runners.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for JobService {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_share_respects_weights_and_ties_deterministically() {
+        let mut f = FairShare::new(0xC0FFEE);
+        let a = f.add_tenant("a", 2.0);
+        let b = f.add_tenant("b", 1.0);
+        // Serve 300 equal-cost grants with both tenants always backlogged:
+        // tenant a (weight 2) should get ~2x the grants of tenant b.
+        let mut grants = [0usize; 2];
+        for _ in 0..300 {
+            let t = f.pick(&[a, b]).unwrap();
+            grants[t] += 1;
+            f.charge(t, 1.0);
+        }
+        assert_eq!(grants[a], 200);
+        assert_eq!(grants[b], 100);
+        // Determinism: replay with the same seed gives the same schedule.
+        let mut f2 = FairShare::new(0xC0FFEE);
+        f2.add_tenant("a", 2.0);
+        f2.add_tenant("b", 1.0);
+        let mut replay = [0usize; 2];
+        for _ in 0..300 {
+            let t = f2.pick(&[0, 1]).unwrap();
+            replay[t] += 1;
+            f2.charge(t, 1.0);
+        }
+        assert_eq!(grants, replay);
+    }
+
+    #[test]
+    fn activation_floors_idle_credit() {
+        let mut f = FairShare::new(7);
+        let a = f.add_tenant("a", 1.0);
+        let b = f.add_tenant("b", 1.0);
+        // Tenant a consumes 100 virtual ms while b is idle.
+        for _ in 0..100 {
+            f.charge(a, 1.0);
+        }
+        // b wakes up: without flooring it would monopolize the next 100
+        // grants. Activation raises b to a's level.
+        f.activate(b, &[a]);
+        assert!((f.vtime(b) - f.vtime(a)).abs() < 1e-9);
+        let mut grants = [0usize; 2];
+        for _ in 0..100 {
+            let t = f.pick(&[a, b]).unwrap();
+            grants[t] += 1;
+            f.charge(t, 1.0);
+        }
+        assert_eq!(grants[a], 50);
+        assert_eq!(grants[b], 50);
+    }
+
+    #[test]
+    fn stage_gate_grants_are_fair_and_logged() {
+        let mut fair = FairShare::new(42);
+        fair.add_tenant("a", 1.0);
+        fair.add_tenant("b", 1.0);
+        let gate = Arc::new(StageGate::new(1, fair));
+        // Two threads per tenant, each acquiring/releasing 20 times.
+        std::thread::scope(|s| {
+            for tenant in 0..2 {
+                let gate = Arc::clone(&gate);
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        let p = gate.acquire_for(tenant);
+                        p.release(1.0);
+                    }
+                });
+            }
+        });
+        let log = gate.grant_log();
+        assert_eq!(log.len(), 40);
+        assert_eq!(log.iter().filter(|&&t| t == 0).count(), 20);
+        // Equal weights + equal costs: no tenant ever falls more than one
+        // grant behind while both are backlogged, so the served virtual
+        // times end equal.
+        assert!((gate.served_vtime(0) - gate.served_vtime(1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_permit_drop_frees_slot() {
+        let mut fair = FairShare::new(1);
+        fair.add_tenant("only", 1.0);
+        let gate = Arc::new(StageGate::new(1, fair));
+        {
+            let _p = gate.acquire_for(0); // dropped without release()
+        }
+        // Slot must be free again or this would deadlock.
+        let p = gate.acquire_for(0);
+        p.release(2.0);
+        assert_eq!(gate.grant_log(), vec![0, 0]);
+        assert!((gate.served_vtime(0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulator_single_lane_serializes_with_fair_interleave() {
+        // Two tenants, one job each of two 10ms stages, both arrive at 0.
+        let jobs = vec![
+            SimJob { tenant: 0, arrival_ms: 0.0, stages: vec![10.0, 10.0] },
+            SimJob { tenant: 1, arrival_ms: 0.0, stages: vec![10.0, 10.0] },
+        ];
+        let out = simulate_fair_share(&jobs, &[1.0, 1.0], 1, 7);
+        assert!((out.makespan_ms - 40.0).abs() < 1e-9, "one lane: work serializes");
+        assert!((out.served_ms[0] - 20.0).abs() < 1e-9);
+        assert!((out.served_ms[1] - 20.0).abs() < 1e-9);
+        // Fair share interleaves the stage-jobs, so both finish in the last
+        // two slots (30/40), not one tenant hogging 10/20.
+        let mut done = out.completion_ms.clone();
+        done.sort_by(f64::total_cmp);
+        assert!((done[0] - 30.0).abs() < 1e-9);
+        assert!((done[1] - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulator_short_job_not_starved_behind_long_one() {
+        // A long job (10 x 50ms) is in service; a 1-stage 5ms job arrives.
+        let jobs = vec![
+            SimJob { tenant: 0, arrival_ms: 0.0, stages: vec![50.0; 10] },
+            SimJob { tenant: 1, arrival_ms: 60.0, stages: vec![5.0] },
+        ];
+        let out = simulate_fair_share(&jobs, &[1.0, 1.0], 1, 0xC0FFEE);
+        // The short job waits at most for the in-flight stage to finish
+        // (fair share grants the newly-backlogged tenant next), so it
+        // completes by 105ms — not after the long job's 500ms.
+        assert!(
+            out.completion_ms[1] <= 105.0 + 1e-9,
+            "short job finished at {} — starved",
+            out.completion_ms[1]
+        );
+        assert!((out.makespan_ms - 505.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulator_more_lanes_shrink_makespan_deterministically() {
+        let mut rng = SplitMix64(99);
+        let jobs: Vec<SimJob> = (0..24)
+            .map(|i| SimJob {
+                tenant: i % 4,
+                arrival_ms: (i as f64) * 3.0,
+                stages: (0..1 + (rng.next_u64() % 4) as usize)
+                    .map(|_| 5.0 + rng.next_f64() * 20.0)
+                    .collect(),
+            })
+            .collect();
+        let serial = simulate_fair_share(&jobs, &[1.0; 4], 1, 5);
+        let wide = simulate_fair_share(&jobs, &[1.0; 4], 8, 5);
+        assert!(wide.makespan_ms < serial.makespan_ms, "extra lanes must help");
+        // Replays are bit-identical.
+        let replay = simulate_fair_share(&jobs, &[1.0; 4], 8, 5);
+        assert_eq!(wide.completion_ms, replay.completion_ms);
+        assert_eq!(wide.served_ms, replay.served_ms);
+        // Served virtual time is schedule-invariant (total stage work).
+        for t in 0..4 {
+            assert!((wide.served_ms[t] - serial.served_ms[t]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn simulator_handles_empty_stage_jobs() {
+        let jobs = vec![
+            SimJob { tenant: 0, arrival_ms: 2.0, stages: vec![] },
+            SimJob { tenant: 0, arrival_ms: 0.0, stages: vec![4.0] },
+        ];
+        let out = simulate_fair_share(&jobs, &[1.0], 2, 1);
+        assert!((out.completion_ms[0] - 2.0).abs() < 1e-9);
+        assert!((out.completion_ms[1] - 4.0).abs() < 1e-9);
+    }
+}

@@ -35,4 +35,11 @@ cargo run --release -q -p rheem-bench --bin cache_bench
 echo "== columnar batch bench gate (>= 1.5x on wordcount + sargable scan)"
 cargo run --release -q -p rheem-bench --bin batch_bench
 
+echo "== multi-tenant service stress suite (2-core and 8-core pool shapes)"
+RHEEM_POOL=2 cargo test -q --release --test service -- --test-threads=1
+RHEEM_POOL=8 cargo test -q --release --test service -- --test-threads=1
+
+echo "== job-service bench gate (>= 2x jobs/sec at 16 tenants vs serial)"
+cargo run --release -q -p rheem-bench --bin service_bench
+
 echo "== all checks passed"

@@ -559,3 +559,89 @@ fn persistent_fault_fails_over_and_matches_baseline() {
         assert!(ctx.monitor().failovers() >= 1, "case {case}: expected a failover");
     }
 }
+
+// ---- service mode ---------------------------------------------------------
+
+/// Run a seeded batch of specs through a [`JobService`], round-robined over
+/// three tenants; returns per-job (sorted output, span-tree structure).
+/// `concurrent_service` picks the submission style: the sequential reference
+/// runs one runner and waits for each job before submitting the next, the
+/// concurrent run submits everything up front against four runners. The
+/// cross-job cache stays off so answers cannot depend on inter-job reuse.
+fn run_specs_service(
+    specs: &[Spec],
+    concurrent_service: bool,
+    sched_concurrent: bool,
+    batch: bool,
+) -> Vec<(Vec<Value>, String)> {
+    let mut ctx = rheem::default_context().with_batch(batch);
+    ctx.set_cache(None);
+    ctx.config_mut().concurrent = Some(sched_concurrent);
+    let tenants: Vec<TenantSpec> = (0..3)
+        .map(|t| TenantSpec::new(&format!("t{t}")).with_max_in_flight(specs.len().max(1)))
+        .collect();
+    let config = ServiceConfig {
+        runners: if concurrent_service { 4 } else { 1 },
+        ..ServiceConfig::default()
+    };
+    let service = JobService::new(ctx, config, tenants).unwrap();
+
+    let collect = |handle: JobHandle, sink: rheem_core::plan::OperatorId| {
+        let result = handle.wait().unwrap();
+        let mut out = result.sink(sink).unwrap().to_vec();
+        out.sort();
+        let structure = result.trace.as_ref().map(|t| t.render_structure()).unwrap_or_default();
+        (out, structure)
+    };
+
+    if concurrent_service {
+        let handles: Vec<_> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let (plan, sink) = build_plan(spec);
+                (service.submit(&format!("t{}", i % 3), plan).unwrap(), sink)
+            })
+            .collect();
+        handles.into_iter().map(|(h, sink)| collect(h, sink)).collect()
+    } else {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let (plan, sink) = build_plan(spec);
+                let h = service.submit(&format!("t{}", i % 3), plan).unwrap();
+                collect(h, sink)
+            })
+            .collect()
+    }
+}
+
+/// The job service must be invisible per job: a seeded batch of random
+/// plans submitted concurrently (4 runners, fair-share gate active) returns
+/// exactly the outputs and span-tree structures of strictly sequential
+/// submission — under both scheduler modes and with batch execution on and
+/// off.
+#[test]
+fn service_concurrent_submission_matches_sequential() {
+    let specs: Vec<Spec> = (0..6).map(|case| gen_spec(0x5E51 ^ (case * 31))).collect();
+    for sched_concurrent in [false, true] {
+        for batch in [false, true] {
+            let seq = run_specs_service(&specs, false, sched_concurrent, batch);
+            let conc = run_specs_service(&specs, true, sched_concurrent, batch);
+            for (i, (s, c)) in seq.iter().zip(&conc).enumerate() {
+                assert!(!s.0.is_empty(), "case {i}: sequential reference produced nothing");
+                assert_eq!(
+                    c.0, s.0,
+                    "case {i} (sched={sched_concurrent}, batch={batch}): \
+                     concurrent submission changed the answer"
+                );
+                assert_eq!(
+                    c.1, s.1,
+                    "case {i} (sched={sched_concurrent}, batch={batch}): \
+                     concurrent submission changed the span tree"
+                );
+            }
+        }
+    }
+}

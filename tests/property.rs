@@ -381,3 +381,143 @@ fn collect_deliveries(node: &rheem_core::movement::ConvNode, out: &mut Vec<usize
         collect_deliveries(child, out);
     }
 }
+
+/// Fair-share invariant at the granularity the gate actually schedules —
+/// one stage-job per grant: with every tenant continuously backlogged, the
+/// weighted virtual times of all tenants stay within one grant's normalized
+/// cost of each other, for any seeded weight vector and cost sequence.
+#[test]
+fn fair_share_virtual_times_stay_within_one_grant() {
+    use rheem_core::service::FairShare;
+
+    for case in 0u64..24 {
+        let mut rng = SplitMix64(0xFA17 ^ case.wrapping_mul(0x9E37_79B9));
+        let tenants = 2 + rng.range_usize(3); // 2..=4
+        let weights: Vec<f64> = (0..tenants).map(|_| [1.0, 2.0, 4.0][rng.range_usize(3)]).collect();
+        let mut fair = FairShare::new(rng.next_u64());
+        for (i, w) in weights.iter().enumerate() {
+            fair.add_tenant(&format!("t{i}"), *w);
+        }
+        let all: Vec<usize> = (0..tenants).collect();
+        // The spread of an always-backlogged min-pick schedule is bounded by
+        // the largest single normalized increment ever applied.
+        let mut max_step = 0.0f64;
+        for _ in 0..200 {
+            let t = fair.pick(&all).expect("backlogged set is non-empty");
+            let cost = 1.0 + rng.next_f64() * 9.0;
+            max_step = max_step.max(cost / weights[t]);
+            fair.charge(t, cost);
+            for a in 0..tenants {
+                for b in 0..tenants {
+                    let spread = fair.vtime(a) - fair.vtime(b);
+                    assert!(
+                        spread.abs() <= max_step + 1e-9,
+                        "case {case}: tenants {a}/{b} drifted {spread:.3} share-ms \
+                         apart (max grant {max_step:.3}) — fairness broken"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Fair-share invariant of the end-to-end schedule: for any seeded arrival
+/// sequence, weight vector, and lane count, each tenant's *completed*
+/// virtual-time share stays within its configured weight ratio up to
+/// in-flight-job granularity (completions credit whole jobs, so up to one
+/// job per lane is legitimately uncredited at any instant). Also pins
+/// conservation (served time equals submitted work) and bitwise determinism.
+#[test]
+fn fair_share_respects_weight_ratios_with_stage_granularity() {
+    use rheem_core::service::{simulate_fair_share, SimJob};
+
+    for case in 0u64..24 {
+        let mut rng = SplitMix64(0xFA15 ^ case.wrapping_mul(0x9E37_79B9));
+        let tenants = 2 + rng.range_usize(3); // 2..=4
+        let weights: Vec<f64> = (0..tenants).map(|_| [1.0, 2.0, 4.0][rng.range_usize(3)]).collect();
+        let lanes = 1 + rng.range_usize(3); // 1..=3
+        let seed = rng.next_u64();
+
+        // Saturating workload: every tenant has all its work queued at t=0,
+        // with plenty of stage-jobs, so all tenants stay backlogged until
+        // near the end of the run.
+        let mut jobs = Vec::new();
+        let mut submitted = vec![0.0f64; tenants];
+        let mut max_job = 0.0f64;
+        for t in 0..tenants {
+            for _ in 0..6 {
+                let stages: Vec<f64> =
+                    (0..1 + rng.range_usize(4)).map(|_| 1.0 + rng.next_f64() * 9.0).collect();
+                let total: f64 = stages.iter().sum();
+                submitted[t] += total;
+                max_job = max_job.max(total);
+                jobs.push(SimJob { tenant: t, arrival_ms: 0.0, stages });
+            }
+        }
+
+        let outcome = simulate_fair_share(&jobs, &weights, lanes, seed);
+        let replay = simulate_fair_share(&jobs, &weights, lanes, seed);
+        assert_eq!(
+            outcome.completion_ms, replay.completion_ms,
+            "case {case}: simulator is nondeterministic"
+        );
+        assert_eq!(outcome.served_ms, replay.served_ms);
+        assert_eq!(outcome.makespan_ms, replay.makespan_ms);
+
+        // Conservation: each tenant is served exactly the work it submitted.
+        for t in 0..tenants {
+            assert!(
+                (outcome.served_ms[t] - submitted[t]).abs() < 1e-6,
+                "case {case}: tenant {t} served {} of submitted {}",
+                outcome.served_ms[t],
+                submitted[t]
+            );
+        }
+        let last = outcome.completion_ms.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            (outcome.makespan_ms - last).abs() < 1e-9,
+            "case {case}: makespan disagrees with the last completion"
+        );
+
+        // Weight-proportional progress at every prefix of the run: walk
+        // completion events in time order and compare each pair of tenants'
+        // cumulative completed virtual time against their weight ratio, with
+        // one in-flight job of slack per lane (completions credit whole
+        // jobs, so that much service is legitimately invisible here).
+        let mut events: Vec<(f64, usize, f64)> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, job)| (outcome.completion_ms[i], job.tenant, job.stages.iter().sum::<f64>()))
+            .collect();
+        events.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut done = vec![0.0f64; tenants];
+        let slack = max_job * (lanes as f64 + 1.0) + 1e-6;
+        for (now, tenant, served_ms) in events {
+            done[tenant] += served_ms;
+            // Only check while every tenant is still backlogged (has work
+            // left); after a tenant drains, its share legitimately stops.
+            let all_backlogged = (0..tenants).all(|t| submitted[t] - done[t] > slack);
+            if !all_backlogged {
+                continue;
+            }
+            for a in 0..tenants {
+                for b in 0..tenants {
+                    if a == b {
+                        continue;
+                    }
+                    // done[a]/w[a] may lead done[b]/w[b] by at most the
+                    // uncredited in-flight service (one job per lane),
+                    // normalized by the smaller weight.
+                    let lead = done[a] / weights[a] - done[b] / weights[b];
+                    assert!(
+                        lead <= slack / weights[a].min(weights[b]),
+                        "case {case} t={now:.2}: tenant {a} (w={}) leads tenant {b} (w={}) \
+                         by {lead:.3} share-ms — starvation beyond in-flight granularity",
+                        weights[a],
+                        weights[b]
+                    );
+                }
+            }
+        }
+    }
+}

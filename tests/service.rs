@@ -1,0 +1,578 @@
+//! Concurrency stress suite for the multi-tenant `JobService` (PR 7).
+//!
+//! The load-bearing claims, each locked down here under real OS-thread
+//! concurrency:
+//!
+//! 1. **Per-job byte-identity**: a job submitted to a busy service returns
+//!    exactly what the same plan returns alone on a fresh context — the
+//!    commit-in-order executor makes concurrency invisible per job.
+//! 2. **Admission control**: saturation (global or per-tenant) surfaces as
+//!    the typed [`RheemError::Rejected`], deterministically.
+//! 3. **Cache quotas**: a tenant's resident cache bytes never exceed its
+//!    quota (polled through the `rheem_cache_*{tenant=...}` gauges), and a
+//!    quota-thrashing tenant cannot evict a quoted neighbour's entries.
+//! 4. **No starvation**: a 1-stage job submitted behind a long
+//!    critical-path job of another tenant completes while the long job is
+//!    still running.
+//! 5. **Chaos determinism**: under the fixed chaos-seed matrix, every job's
+//!    outcome (answer or typed error, and its retry count) is
+//!    byte-reproducible under concurrent load.
+//! 6. **Monitor/metrics isolation** (regression): concurrent jobs can no
+//!    longer cross-contaminate per-job retry counts — each scoped job runs
+//!    on a private monitor merged in at completion.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use rheem::prelude::*;
+use rheem_core::cache::ResultCache;
+use rheem_core::kernels::SplitMix64;
+
+/// Fixed chaos-seed matrix (mirrors `tests/differential.rs` and CI).
+const CHAOS_SEEDS: [u64; 3] = [0xC0FFEE, 42, 7];
+
+/// A service context: general-purpose platforms, cache explicitly off so
+/// results do not depend on the `RHEEM_CACHE` leg of the CI matrix.
+fn ctx_without_cache() -> RheemContext {
+    let mut ctx = rheem::default_context();
+    ctx.set_cache(None);
+    ctx
+}
+
+// ---- seeded job generator ------------------------------------------------
+
+/// Deterministic per-(tenant, job) plan: map/filter chain over int pairs,
+/// with an optional keyed reduction. Returns the plan and its sink.
+fn gen_job(tenant: usize, job: usize) -> (RheemPlan, OperatorId) {
+    let mut rng = SplitMix64(0x5E41 ^ ((tenant as u64) << 32) ^ (job as u64).wrapping_mul(0x9E37));
+    let data: Vec<Value> = (0..40 + rng.range_usize(80))
+        .map(|_| {
+            Value::pair(
+                Value::from(rng.range_usize(8) as i64),
+                Value::from(rng.range_usize(200) as i64 - 100),
+            )
+        })
+        .collect();
+    let mut b = PlanBuilder::new();
+    let mut q = b.collection(data);
+    for _ in 0..1 + rng.range_usize(3) {
+        q = match rng.range_usize(3) {
+            0 => q.map(MapUdf::new("inc", |v| {
+                Value::pair(v.field(0).clone(), Value::from(v.field(1).as_int().unwrap_or(0) + 1))
+            })),
+            1 => q.filter(PredicateUdf::new("even", |v| v.field(1).as_int().unwrap_or(0) % 2 == 0)),
+            _ => q.map(MapUdf::new("rekey", |v| {
+                Value::pair(
+                    Value::from(
+                        (v.field(0).as_int().unwrap_or(0) + v.field(1).as_int().unwrap_or(0))
+                            .rem_euclid(5),
+                    ),
+                    v.field(1).clone(),
+                )
+            })),
+        };
+    }
+    if rng.chance(0.5) {
+        q = q.reduce_by_key(
+            KeyUdf::field(0),
+            ReduceUdf::new("sum", |a, b| {
+                Value::pair(
+                    a.field(0).clone(),
+                    Value::from(
+                        a.field(1).as_int().unwrap_or(0) + b.field(1).as_int().unwrap_or(0),
+                    ),
+                )
+            }),
+        );
+    }
+    let sink = q.collect();
+    (b.build().unwrap(), sink)
+}
+
+fn tenant_name(t: usize) -> String {
+    format!("tenant{t}")
+}
+
+// ---- 1. per-job byte-identity under concurrent load ----------------------
+
+/// N tenants × M jobs, submitted from one OS thread per tenant: every job's
+/// sink output is byte-identical (same values, same order) to the same plan
+/// executed alone on a fresh single-tenant context.
+#[test]
+fn concurrent_jobs_match_isolated_runs_byte_for_byte() {
+    const TENANTS: usize = 4;
+    const JOBS: usize = 5;
+
+    // Isolated baselines: fresh context per job, nothing shared.
+    let mut baselines: Vec<Vec<Vec<Value>>> = Vec::new();
+    for t in 0..TENANTS {
+        let mut per_tenant = Vec::new();
+        for j in 0..JOBS {
+            let (plan, sink) = gen_job(t, j);
+            let result = ctx_without_cache().execute(&plan).unwrap();
+            per_tenant.push(result.sink(sink).unwrap().to_vec());
+        }
+        baselines.push(per_tenant);
+    }
+
+    let tenants: Vec<TenantSpec> =
+        (0..TENANTS).map(|t| TenantSpec::new(&tenant_name(t)).with_max_in_flight(JOBS)).collect();
+    let service = JobService::new(ctx_without_cache(), ServiceConfig::default(), tenants).unwrap();
+
+    let outputs: Vec<Vec<Vec<Value>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..TENANTS)
+            .map(|t| {
+                let service = &service;
+                s.spawn(move || {
+                    let name = tenant_name(t);
+                    let submitted: Vec<(JobHandle, OperatorId)> = (0..JOBS)
+                        .map(|j| {
+                            let (plan, sink) = gen_job(t, j);
+                            (service.submit(&name, plan).unwrap(), sink)
+                        })
+                        .collect();
+                    submitted
+                        .into_iter()
+                        .map(|(h, sink)| h.wait().unwrap().sink(sink).unwrap().to_vec())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for t in 0..TENANTS {
+        for j in 0..JOBS {
+            assert_eq!(
+                outputs[t][j], baselines[t][j],
+                "tenant {t} job {j}: concurrent submission changed the answer"
+            );
+        }
+    }
+    assert_eq!(service.in_flight(), 0, "all jobs must have drained");
+    assert_eq!(service.completions().len(), TENANTS * JOBS);
+}
+
+// ---- 2. admission control -------------------------------------------------
+
+/// A plan whose single map UDF blocks until the test releases it — pins a
+/// job "running" deterministically so in-flight counts are controllable.
+fn blocking_plan(latch: &Arc<(Mutex<bool>, Condvar)>) -> (RheemPlan, OperatorId) {
+    let latch = Arc::clone(latch);
+    let mut b = PlanBuilder::new();
+    let sink = b
+        .collection(vec![Value::from(1i64)])
+        .map(MapUdf::new("block", move |v| {
+            let (lock, cv) = &*latch;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            v.clone()
+        }))
+        .collect();
+    (b.build().unwrap(), sink)
+}
+
+fn trivial_plan() -> (RheemPlan, OperatorId) {
+    let mut b = PlanBuilder::new();
+    let sink = b.collection(vec![Value::from(7i64)]).collect();
+    (b.build().unwrap(), sink)
+}
+
+/// Saturation is typed and deterministic: per-tenant caps and the global
+/// in-flight cap reject at submission time with [`RheemError::Rejected`];
+/// unknown tenants are rejected outright; draining the blocker completes
+/// every admitted job.
+#[test]
+fn admission_control_rejects_typed_at_caps() {
+    let latch = Arc::new((Mutex::new(false), Condvar::new()));
+    let tenants = vec![
+        TenantSpec::new("a").with_max_in_flight(2),
+        TenantSpec::new("b").with_max_in_flight(8),
+    ];
+    let config =
+        ServiceConfig { max_in_flight: 3, runners: 1, gate: false, ..ServiceConfig::default() };
+    let service = JobService::new(ctx_without_cache(), config, tenants).unwrap();
+
+    // Unknown tenant: rejected before any capacity is consumed.
+    let (plan, _) = trivial_plan();
+    match service.submit("nobody", plan) {
+        Err(RheemError::Rejected { tenant, .. }) => assert_eq!(tenant, "nobody"),
+        other => panic!("unknown tenant must be rejected, got ok={}", other.is_ok()),
+    }
+
+    // Fill tenant a to its cap: one blocker + one queued job. The blocker
+    // UDF parks the single runner, so nothing drains underneath us.
+    let (bplan, bsink) = blocking_plan(&latch);
+    let h_block = service.submit("a", bplan).unwrap();
+    let (p2, s2) = trivial_plan();
+    let h2 = service.submit("a", p2).unwrap();
+    let (p3, _) = trivial_plan();
+    match service.submit("a", p3) {
+        Err(RheemError::Rejected { tenant, reason }) => {
+            assert_eq!(tenant, "a");
+            assert!(reason.contains("tenant saturated"), "unexpected reason: {reason}");
+        }
+        other => panic!("tenant cap must reject, got ok={}", other.is_ok()),
+    }
+
+    // One more job fills the global cap (3 in flight), then tenant b — well
+    // under its own cap — is rejected on service saturation.
+    let (p4, s4) = trivial_plan();
+    let h4 = service.submit("b", p4).unwrap();
+    let (p5, _) = trivial_plan();
+    match service.submit("b", p5) {
+        Err(RheemError::Rejected { tenant, reason }) => {
+            assert_eq!(tenant, "b");
+            assert!(reason.contains("service saturated"), "unexpected reason: {reason}");
+        }
+        other => panic!("global cap must reject, got ok={}", other.is_ok()),
+    }
+
+    // Release the blocker: every admitted job completes.
+    {
+        let (lock, cv) = &*latch;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+    assert_eq!(h_block.wait().unwrap().sink(bsink).unwrap().len(), 1);
+    assert_eq!(h2.wait().unwrap().sink(s2).unwrap().len(), 1);
+    assert_eq!(h4.wait().unwrap().sink(s4).unwrap().len(), 1);
+    // Capacity freed: the same tenant is admitted again.
+    let (p6, s6) = trivial_plan();
+    let h6 = service.submit("a", p6).unwrap();
+    assert_eq!(h6.wait().unwrap().sink(s6).unwrap().len(), 1);
+}
+
+// ---- 3. cache quotas -------------------------------------------------------
+
+/// A cache-churning wordcount over a per-(tenant, job) corpus: distinct
+/// fingerprints per job, so every job publishes fresh entries.
+fn corpus_job(tenant: &str, job: usize) -> (RheemPlan, OperatorId) {
+    let path = std::path::PathBuf::from(format!("hdfs://tests/service/{tenant}_{job}.txt"));
+    rheem_datagen::text::write_corpus(&path, 160, 7 + job as u64).unwrap();
+    corpus_plan(&path)
+}
+
+/// The wordcount plan alone — for warm reruns over an *unchanged* corpus
+/// (re-writing the file would advance its version and miss on staleness).
+fn corpus_plan(path: &std::path::Path) -> (RheemPlan, OperatorId) {
+    let mut b = PlanBuilder::new();
+    let sink = b
+        .read_text_file(path)
+        .flat_map(FlatMapUdf::new("split", |v| {
+            v.as_str().unwrap_or("").split_whitespace().map(Value::from).collect()
+        }))
+        .map(MapUdf::new("pair", |w| Value::pair(w.clone(), Value::from(1))))
+        .reduce_by_key(KeyUdf::field(0), ReduceUdf::sum())
+        .collect();
+    (b.build().unwrap(), sink)
+}
+
+/// Tenant quotas hold at every observation point: the `rheem_cache_bytes`
+/// gauge for a quoted tenant never exceeds its quota while job after job
+/// churns the namespace, and the churn cannot evict a quoted neighbour's
+/// entries (its namespace sees zero evictions).
+#[test]
+fn cache_quotas_hold_and_do_not_cross_namespaces() {
+    let cache = Arc::new(ResultCache::new(64 << 20));
+
+    // Calibrate the quota in units of what one corpus job actually
+    // publishes, so the test is robust to channel/Value representation
+    // changes: 2.5 jobs' worth admits every individual entry but cannot
+    // hold six jobs resident.
+    let calib_ns = rheem_core::cache::Namespace::tenant("calib");
+    {
+        let mut ctx = rheem::default_context();
+        ctx.set_cache(Some(Arc::clone(&cache)));
+        let (plan, sink) = corpus_job("calib", 0);
+        let scope =
+            JobScope { tenant: Some("calib".into()), cache_ns: calib_ns, ..JobScope::default() };
+        let r = ctx.execute_scoped(&plan, &scope).unwrap();
+        assert!(!r.sink(sink).unwrap().is_empty());
+    }
+    let per_job = cache.stats_of(calib_ns).bytes;
+    assert!(per_job > 0, "calibration job must publish cacheable channels");
+    let quota = per_job * 5 / 2;
+
+    let mut ctx = rheem::default_context();
+    ctx.set_cache(Some(Arc::clone(&cache)));
+    let churn_ns = rheem_core::cache::Namespace::tenant("churn");
+    let neighbour_ns = rheem_core::cache::Namespace::tenant("neighbour");
+    let tenants = vec![
+        TenantSpec::new("churn").with_cache_quota(quota),
+        TenantSpec::new("neighbour").with_cache_quota(quota * 4),
+    ];
+    let service = JobService::new(ctx, ServiceConfig::default(), tenants).unwrap();
+    assert_eq!(cache.quota_of(churn_ns), Some(quota), "service must register quotas");
+
+    // The neighbour publishes once, then stays idle.
+    let (nplan, nsink) = corpus_job("neighbour", 0);
+    let nh = service.submit("neighbour", nplan).unwrap();
+    let nout = nh.wait().unwrap().sink(nsink).unwrap().to_vec();
+    let neighbour_resident = cache.stats_of(neighbour_ns).bytes;
+    assert!(neighbour_resident > 0, "neighbour job must publish into its namespace");
+
+    // The churner runs 6 distinct jobs; after each, poll the exported
+    // metrics — the quota gauge must hold at every observation point.
+    for job in 0..6 {
+        let (plan, sink) = corpus_job("churn", job);
+        let h = service.submit("churn", plan).unwrap();
+        assert!(!h.wait().unwrap().sink(sink).unwrap().is_empty());
+        let metrics = service.context().metrics();
+        let resident = metrics.gauge("rheem_cache_bytes{tenant=\"churn\"}").unwrap();
+        let quota_gauge = metrics.gauge("rheem_cache_quota_bytes{tenant=\"churn\"}").unwrap();
+        assert_eq!(quota_gauge as u64, quota);
+        assert!(
+            resident as u64 <= quota,
+            "job {job}: churn tenant resident {resident} exceeds quota {quota}"
+        );
+    }
+
+    // The churner was actually constrained (its namespace evicted), while
+    // the quoted neighbour lost nothing to the churn.
+    let churn = cache.stats_of(churn_ns);
+    assert!(churn.inserts >= 6, "churn jobs must publish: {churn:?}");
+    assert!(churn.evictions > 0, "quota must force within-namespace eviction: {churn:?}");
+    let neighbour = cache.stats_of(neighbour_ns);
+    assert_eq!(neighbour.evictions, 0, "churn evicted a quoted neighbour: {neighbour:?}");
+    assert_eq!(neighbour.bytes, neighbour_resident, "neighbour residency changed");
+
+    // And the neighbour still replays from its untouched namespace. Build
+    // the plan over the *unchanged* corpus: re-writing the file would
+    // advance its version and the stale fingerprint would (correctly) miss.
+    let (nplan, nsink) = corpus_plan(std::path::Path::new("hdfs://tests/service/neighbour_0.txt"));
+    let hits_before = cache.stats_of(neighbour_ns).hits;
+    let nh = service.submit("neighbour", nplan).unwrap();
+    assert_eq!(nh.wait().unwrap().sink(nsink).unwrap().to_vec(), nout);
+    assert!(cache.stats_of(neighbour_ns).hits > hits_before, "warm rerun must hit");
+}
+
+// ---- 4. no starvation ------------------------------------------------------
+
+/// A short 1-stage job submitted behind another tenant's long critical-path
+/// job completes while the long job is still running: the fair-share stage
+/// gate grants the newly backlogged tenant the very next slot instead of
+/// letting the long job's stages monopolize the service.
+#[test]
+fn short_job_is_not_starved_behind_long_critical_path() {
+    // Long job: a deep chain of keyed reductions over a large collection —
+    // many dependent stages, so it holds the service for a while.
+    let long_plan = || {
+        let mut rng = SplitMix64(0x10A11CE);
+        let data: Vec<Value> = (0..60_000)
+            .map(|_| {
+                Value::pair(
+                    Value::from(rng.range_usize(512) as i64),
+                    Value::from(rng.range_usize(100) as i64),
+                )
+            })
+            .collect();
+        let mut b = PlanBuilder::new();
+        let mut q = b.collection(data);
+        for round in 0..6 {
+            q = q
+                .map(MapUdf::new("fold", move |v| {
+                    Value::pair(
+                        Value::from(v.field(0).as_int().unwrap_or(0) / 2),
+                        v.field(1).clone(),
+                    )
+                }))
+                .reduce_by_key(
+                    KeyUdf::field(0),
+                    ReduceUdf::new("sum", |a, b| {
+                        Value::pair(
+                            a.field(0).clone(),
+                            Value::from(
+                                a.field(1).as_int().unwrap_or(0) + b.field(1).as_int().unwrap_or(0),
+                            ),
+                        )
+                    }),
+                );
+            let _ = round;
+        }
+        let sink = q.collect();
+        (b.build().unwrap(), sink)
+    };
+
+    let tenants = vec![TenantSpec::new("long"), TenantSpec::new("short")];
+    let config = ServiceConfig { runners: 2, ..ServiceConfig::default() };
+    // The deep reduce chain compounds cardinality mis-estimates; keep the
+    // job long rather than replanned by disabling progressive reopt here.
+    let mut ctx = ctx_without_cache();
+    ctx.config_mut().progressive = false;
+    let service = JobService::new(ctx, config, tenants).unwrap();
+
+    let (lp, _) = long_plan();
+    let lh = service.submit("long", lp).unwrap();
+    let (sp, ssink) = trivial_plan();
+    let sh = service.submit("short", sp).unwrap();
+
+    // The short job completes correctly...
+    assert_eq!(sh.wait().unwrap().sink(ssink).unwrap().len(), 1);
+    // ...and strictly before the long job in the service's completion log.
+    lh.wait().unwrap();
+    let completions = service.completions();
+    let short_pos = completions.iter().position(|(_, t)| t == "short").unwrap();
+    let long_pos = completions.iter().position(|(_, t)| t == "long").unwrap();
+    assert!(short_pos < long_pos, "short job starved: completions ran {completions:?}");
+}
+
+// ---- 5. chaos determinism under concurrent load ---------------------------
+
+/// Under the fixed chaos-seed matrix, each job's outcome — the answer (or
+/// the typed error) and its retry count — is byte-reproducible when the
+/// same jobs run concurrently on a busy service: fault plans resolve once
+/// per job, so concurrency cannot re-deal the fault schedule.
+#[test]
+fn chaos_outcomes_reproduce_under_concurrent_load() {
+    const TENANTS: usize = 3;
+    const JOBS: usize = 3;
+    for &chaos_seed in &CHAOS_SEEDS {
+        // Isolated baselines: outcome + per-job retry count.
+        let mut baseline: Vec<Vec<Result<(Vec<Value>, u32)>>> = Vec::new();
+        for t in 0..TENANTS {
+            let mut per_tenant = Vec::new();
+            for j in 0..JOBS {
+                let (plan, sink) = gen_job(t, j);
+                let mut ctx = ctx_without_cache();
+                ctx.config_mut().chaos_seed = Some(chaos_seed);
+                per_tenant.push(
+                    ctx.execute(&plan).map(|r| (r.sink(sink).unwrap().to_vec(), r.metrics.retries)),
+                );
+            }
+            baseline.push(per_tenant);
+        }
+
+        let mut ctx = ctx_without_cache();
+        ctx.config_mut().chaos_seed = Some(chaos_seed);
+        let tenants: Vec<TenantSpec> =
+            (0..TENANTS).map(|t| TenantSpec::new(&tenant_name(t))).collect();
+        let service = JobService::new(ctx, ServiceConfig::default(), tenants).unwrap();
+
+        let outcomes: Vec<Vec<Result<(Vec<Value>, u32)>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..TENANTS)
+                .map(|t| {
+                    let service = &service;
+                    s.spawn(move || {
+                        let name = tenant_name(t);
+                        let submitted: Vec<(JobHandle, OperatorId)> = (0..JOBS)
+                            .map(|j| {
+                                let (plan, sink) = gen_job(t, j);
+                                (service.submit(&name, plan).unwrap(), sink)
+                            })
+                            .collect();
+                        submitted
+                            .into_iter()
+                            .map(|(h, sink)| {
+                                h.wait()
+                                    .map(|r| (r.sink(sink).unwrap().to_vec(), r.metrics.retries))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for t in 0..TENANTS {
+            for j in 0..JOBS {
+                match (&baseline[t][j], &outcomes[t][j]) {
+                    (Ok((bout, bretries)), Ok((out, retries))) => {
+                        assert_eq!(
+                            out, bout,
+                            "seed {chaos_seed:#x} tenant {t} job {j}: answer changed under load"
+                        );
+                        assert_eq!(
+                            retries, bretries,
+                            "seed {chaos_seed:#x} tenant {t} job {j}: retry count changed \
+                             (monitor isolation regression)"
+                        );
+                    }
+                    (Err(be), Err(e)) => assert_eq!(
+                        e.to_string(),
+                        be.to_string(),
+                        "seed {chaos_seed:#x} tenant {t} job {j}: error changed under load"
+                    ),
+                    (b, o) => panic!(
+                        "seed {chaos_seed:#x} tenant {t} job {j}: outcome flipped under load \
+                         (isolated ok={}, service ok={})",
+                        b.is_ok(),
+                        o.is_ok()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+// ---- 6. monitor/metrics isolation regression -------------------------------
+
+/// Before PR 7, `execute` computed per-job retries as a before/after delta
+/// on the context-shared monitor — racing jobs bled retries into each
+/// other's metrics. `execute_scoped` runs each job on a private monitor:
+/// per-job counts match isolated runs exactly (asserted per job in the
+/// chaos test above); here we assert the merge side — the shared monitor
+/// and metrics registry still account for *everything*, exactly once.
+#[test]
+fn scoped_jobs_merge_into_shared_monitor_exactly_once() {
+    const THREADS: usize = 4;
+    const JOBS: usize = 3;
+    let mut ctx = ctx_without_cache();
+    ctx.config_mut().chaos_seed = Some(0xC0FFEE);
+    let ctx = Arc::new(ctx);
+
+    let per_job: Vec<(u32, u32, usize)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let ctx = Arc::clone(&ctx);
+                s.spawn(move || {
+                    let mut acc = Vec::new();
+                    for j in 0..JOBS {
+                        let (plan, _) = gen_job(t, j);
+                        let scope =
+                            JobScope { tenant: Some(tenant_name(t)), ..JobScope::default() };
+                        match ctx.execute_scoped(&plan, &scope) {
+                            Ok(r) => acc.push((
+                                r.metrics.retries,
+                                r.metrics.failovers,
+                                r.trace.map(|t| t.runs.len()).unwrap_or(0),
+                            )),
+                            Err(_) => acc.push((0, 0, 0)),
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+
+    // Isolated reruns agree per job (determinism), and the shared monitor
+    // holds exactly the sum of the per-job records.
+    let total_retries: u32 = per_job.iter().map(|(r, _, _)| r).sum();
+    let total_failovers: u32 = per_job.iter().map(|(_, f, _)| f).sum();
+    let total_runs: usize = per_job.iter().map(|(_, _, n)| n).sum();
+    assert_eq!(ctx.monitor().retries(), total_retries, "shared monitor lost/duplicated retries");
+    assert_eq!(ctx.monitor().failovers(), total_failovers);
+    assert_eq!(
+        ctx.monitor().stage_runs().len(),
+        total_runs,
+        "merged stage-run records must equal the sum of per-job traces"
+    );
+    // Per-tenant job counters each saw exactly JOBS completions.
+    let metrics = ctx.metrics();
+    for t in 0..THREADS {
+        let key = format!("rheem_jobs_total{{tenant=\"{}\"}}", tenant_name(t));
+        assert_eq!(metrics.counter(&key), JOBS as u64, "mislabelled tenant counter {key}");
+    }
+    // The Prometheus snapshot stays well-formed with labelled families: one
+    // TYPE line per family, label sets intact.
+    let prom = metrics.snapshot_prometheus();
+    assert_eq!(
+        prom.matches("# TYPE rheem_jobs_total counter").count(),
+        1,
+        "labelled counters must share one TYPE line:\n{prom}"
+    );
+    assert!(prom.contains("rheem_jobs_total{tenant=\"tenant0\"}"));
+}
