@@ -1,0 +1,212 @@
+//! Observability-plane overhead benchmark: the PR 7 multi-tenant service
+//! mix (polystore Q5, join task, WordCount; 16 tenants on 8 runners) run
+//! three ways per repetition —
+//!
+//! * **off**: recorder disabled (`RheemContext::set_recorder(None)`), no
+//!   endpoint — the watchdog also idles, since sweeps ride the recorder;
+//! * **on**: flight recorder + SLO metrics + watchdog enabled (the
+//!   context defaults), endpoint not serving; and
+//! * **scraped**: as `on`, plus the TCP endpoint live with a scraper
+//!   polling `/metrics` and `/flight` throughout the run.
+//!
+//! Modes are interleaved and each takes its best-of-N wall time, so the
+//! gate — **`on` within 5% of `off`** — compares the fastest run either
+//! mode achieved rather than whatever the noisy mean happened to be. The
+//! `scraped` mode is reported, not gated: the scraper client and the
+//! per-connection threads share the host CPU with the runners, which is
+//! real scrape load, not recorder overhead. Mid-run scrapes are validated
+//! against the Prometheus exposition invariants
+//! ([`rheem_core::obs::validate_exposition`]), which makes this bench the
+//! live-scrape leg of `scripts/check.sh`.
+//!
+//! Writes `BENCH_PR8.json` at the repo root and the last scraped
+//! exposition to `target/obs/bench_metrics.txt`.
+//!
+//! Run with `cargo run --release --bin obs_bench`.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use platform_postgres::{PgDatabase, PostgresPlatform};
+use rheem_bench::*;
+use rheem_core::obs::{scrape, validate_exposition};
+use rheem_core::plan::RheemPlan;
+use rheem_core::service::{JobService, ServiceConfig, TenantSpec};
+
+/// Jobs per run (the PR 7 tenants16 scenario).
+const TOTAL_JOBS: usize = 48;
+/// Tenants sharing the service.
+const TENANTS: usize = 16;
+/// Runner threads.
+const RUNNERS: usize = 8;
+/// Interleaved repetitions per mode. Per-run wall is a few seconds, so
+/// host-load noise between runs exceeds the true recorder cost; best-of
+/// needs enough samples for the minima to converge.
+const REPS: usize = 7;
+/// Overhead gate: recorder + SLO metrics on vs off, best-of-REPS wall.
+const MAX_OVERHEAD: f64 = 0.05;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Off,
+    On,
+    Scraped,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Off => "off",
+            Mode::On => "on",
+            Mode::Scraped => "scraped",
+        }
+    }
+}
+
+fn service_ctx(db: &Arc<PgDatabase>, mode: Mode) -> rheem_core::api::RheemContext {
+    let mut ctx = default_context();
+    ctx.register_platform(&PostgresPlatform::new(Arc::clone(db)));
+    ctx.set_cache(None); // jobs/sec must measure the service, not the cache
+    if mode == Mode::Off {
+        ctx.set_recorder(None);
+    }
+    ctx
+}
+
+/// Drive one full service run; returns its wall seconds.
+fn run_once(
+    db: &Arc<PgDatabase>,
+    build: &[Box<dyn Fn() -> RheemPlan + Sync + '_>],
+    mode: Mode,
+    scraped_metrics: &mut String,
+    scrape_count: &AtomicU64,
+) -> f64 {
+    let specs: Vec<TenantSpec> = (0..TENANTS)
+        .map(|t| TenantSpec::new(&format!("t{t}")).with_max_in_flight(TOTAL_JOBS))
+        .collect();
+    let config =
+        ServiceConfig { max_in_flight: TOTAL_JOBS, runners: RUNNERS, ..ServiceConfig::default() };
+    let service = JobService::new(service_ctx(db, mode), config, specs).expect("service");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = (mode == Mode::Scraped).then(|| {
+        let addr = service.serve("127.0.0.1:0").expect("serve").to_string();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut last = String::new();
+            while !stop.load(Ordering::Relaxed) {
+                if let Ok(body) = scrape(&addr, "/metrics") {
+                    validate_exposition(&body).expect("mid-run exposition is well-formed");
+                    last = body;
+                }
+                let _ = scrape(&addr, "/flight?n=64");
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            last
+        })
+    });
+
+    let jobs: Vec<(usize, usize)> = {
+        let per_tenant = TOTAL_JOBS / TENANTS;
+        (0..TENANTS)
+            .flat_map(|t| (0..per_tenant).map(move |j| (t, (t + j) % build.len())))
+            .collect()
+    };
+    let start = Instant::now();
+    let handles: Vec<_> = jobs
+        .into_iter()
+        .map(|(t, kind)| service.submit(&format!("t{t}"), build[kind]()).expect("submit"))
+        .collect();
+    for h in handles {
+        h.wait().expect("job");
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    stop.store(true, Ordering::Relaxed);
+    if let Some(s) = scraper {
+        let last = s.join().expect("scraper");
+        if !last.is_empty() {
+            scrape_count.fetch_add(1, Ordering::Relaxed);
+            *scraped_metrics = last;
+        }
+    }
+    wall_s
+}
+
+fn main() {
+    let s = scale();
+    let data = rheem_datagen::tpch::generate((1.0 * s).max(0.01), 17);
+    let p = dataciv::place(&data, "obs_bench").expect("placement");
+    let corpus = corpus_file("obs_bench", ((64.0 * s) as usize).max(8), 7);
+    let placement = &p;
+    let db = Arc::clone(&p.db);
+    let corpus_path = corpus.clone();
+    let build: Vec<Box<dyn Fn() -> RheemPlan + Sync + '_>> = vec![
+        Box::new(move || dataciv::build_q5_plan(placement, "ASIA", 1995).expect("q5 plan").0),
+        Box::new(move || dataciv::build_join_task(&db).expect("join plan").0),
+        Box::new(move || wordcount_plan(&corpus_path).expect("wordcount plan").0),
+    ];
+
+    const MODES: [Mode; 3] = [Mode::Off, Mode::On, Mode::Scraped];
+    let mut scraped = String::new();
+    let live_scrapes = AtomicU64::new(0);
+    let mut best = [f64::INFINITY; 3];
+    // Warm page cache, allocator, and pools before the timed reps.
+    run_once(&p.db, &build, Mode::Off, &mut scraped, &live_scrapes);
+    for rep in 0..REPS {
+        // Rotate mode order per rep so no mode systematically runs first
+        // (slot-position drift would otherwise bias the comparison).
+        for slot in 0..MODES.len() {
+            let i = (slot + rep) % MODES.len();
+            let wall = run_once(&p.db, &build, MODES[i], &mut scraped, &live_scrapes);
+            best[i] = best[i].min(wall);
+            println!("rep {rep}: {} {wall:.3}s", MODES[i].label());
+        }
+    }
+    let [best_off, best_on, best_scraped] = best;
+    assert!(
+        live_scrapes.load(Ordering::Relaxed) > 0,
+        "the endpoint was never successfully scraped mid-run"
+    );
+    validate_exposition(&scraped).expect("final scraped exposition is well-formed");
+    std::fs::create_dir_all("target/obs").expect("target/obs");
+    std::fs::write("target/obs/bench_metrics.txt", &scraped).expect("write scrape artifact");
+
+    let overhead = best_on / best_off.max(1e-9) - 1.0;
+    let scrape_overhead = best_scraped / best_off.max(1e-9) - 1.0;
+    let jobs_per_s_off = TOTAL_JOBS as f64 / best_off.max(1e-9);
+    let jobs_per_s_on = TOTAL_JOBS as f64 / best_on.max(1e-9);
+    println!(
+        "best-of-{REPS}: off {best_off:.3}s ({jobs_per_s_off:.1} jobs/s), \
+         on {best_on:.3}s ({jobs_per_s_on:.1} jobs/s, {:+.2}%), \
+         scraped {best_scraped:.3}s ({:+.2}%)",
+        overhead * 100.0,
+        scrape_overhead * 100.0
+    );
+    assert!(
+        overhead < MAX_OVERHEAD,
+        "recorder + SLO overhead {:.2}% exceeds the {:.0}% gate \
+         (on {best_on:.3}s vs off {best_off:.3}s)",
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"obs_bench\",\n");
+    let _ = writeln!(json, "  \"total_jobs\": {TOTAL_JOBS},");
+    let _ = writeln!(json, "  \"tenants\": {TENANTS},");
+    let _ = writeln!(json, "  \"runners\": {RUNNERS},");
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    let _ = writeln!(json, "  \"wall_s_obs_off\": {best_off:.4},");
+    let _ = writeln!(json, "  \"wall_s_obs_on\": {best_on:.4},");
+    let _ = writeln!(json, "  \"wall_s_obs_scraped\": {best_scraped:.4},");
+    let _ = writeln!(json, "  \"jobs_per_s_obs_off\": {jobs_per_s_off:.3},");
+    let _ = writeln!(json, "  \"jobs_per_s_obs_on\": {jobs_per_s_on:.3},");
+    let _ = writeln!(json, "  \"overhead_fraction\": {overhead:.4},");
+    let _ = writeln!(json, "  \"scrape_overhead_fraction\": {scrape_overhead:.4},");
+    let _ = writeln!(json, "  \"overhead_gate\": {MAX_OVERHEAD}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_PR8.json", &json).expect("write BENCH_PR8.json");
+    println!("-- wrote BENCH_PR8.json ({:.2}% recorder overhead)", overhead * 100.0);
+}

@@ -89,6 +89,9 @@ pub struct JobScope {
     pub cache_shared_read: bool,
     /// Fair-share stage gate to execute under, if any.
     pub stage_gate: Option<crate::service::TenantGate>,
+    /// Service job id stamped on flight-recorder events (lets the
+    /// watchdog group stage commits per job).
+    pub job: Option<u64>,
 }
 
 impl Default for JobScope {
@@ -98,6 +101,7 @@ impl Default for JobScope {
             cache_ns: crate::cache::Namespace::SHARED,
             cache_shared_read: true,
             stage_gate: None,
+            job: None,
         }
     }
 }
@@ -112,6 +116,9 @@ pub struct RheemContext {
     monitor: Monitor,
     metrics: MetricsRegistry,
     cache: Option<Arc<ResultCache>>,
+    /// Always-on flight recorder ([`crate::obs`]); `None` only after an
+    /// explicit [`RheemContext::set_recorder`] ablation.
+    recorder: Option<Arc<crate::obs::FlightRecorder>>,
     /// Force every mappable operator onto one platform (platform-
     /// independence experiments; `None` = free choice).
     pub forced_platform: Option<PlatformId>,
@@ -128,6 +135,11 @@ impl RheemContext {
     pub fn new() -> Self {
         let mut registry = Registry::new();
         register_builtins(&mut registry);
+        let recorder = Some(Arc::new(crate::obs::FlightRecorder::default()));
+        let cache = ResultCache::from_env();
+        if let (Some(c), Some(r)) = (&cache, &recorder) {
+            c.set_recorder(Some(Arc::clone(r)));
+        }
         Self {
             registry,
             profiles: Profiles::paper_testbed(),
@@ -135,7 +147,8 @@ impl RheemContext {
             config: ExecConfig::default(),
             monitor: Monitor::new(),
             metrics: MetricsRegistry::new(),
-            cache: ResultCache::from_env(),
+            cache,
+            recorder,
             forced_platform: None,
         }
     }
@@ -167,7 +180,7 @@ impl RheemContext {
     /// Enable the cross-job result cache with a byte budget (builder
     /// style). Overrides the `RHEEM_CACHE` environment setting.
     pub fn with_cache(mut self, budget_bytes: u64) -> Self {
-        self.cache = Some(Arc::new(ResultCache::new(budget_bytes)));
+        self.set_cache(Some(Arc::new(ResultCache::new(budget_bytes))));
         self
     }
 
@@ -175,7 +188,7 @@ impl RheemContext {
     /// how several contexts of one interactive session reuse each other's
     /// intermediate results.
     pub fn with_shared_cache(mut self, cache: Arc<ResultCache>) -> Self {
-        self.cache = Some(cache);
+        self.set_cache(Some(cache));
         self
     }
 
@@ -184,9 +197,28 @@ impl RheemContext {
         self.cache.as_ref()
     }
 
-    /// Replace or disable the cross-job result cache.
+    /// Replace or disable the cross-job result cache. The context's flight
+    /// recorder follows the cache handle.
     pub fn set_cache(&mut self, cache: Option<Arc<ResultCache>>) {
+        if let Some(c) = &cache {
+            c.set_recorder(self.recorder.clone());
+        }
         self.cache = cache;
+    }
+
+    /// The context's flight recorder ([`crate::obs`]), unless ablated.
+    pub fn recorder(&self) -> Option<&Arc<crate::obs::FlightRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Replace or disable (`None`) the flight recorder — the ablation knob
+    /// the observability bench uses to measure recorder overhead. The
+    /// attached cache's recorder hook follows.
+    pub fn set_recorder(&mut self, recorder: Option<Arc<crate::obs::FlightRecorder>>) {
+        if let Some(c) = &self.cache {
+            c.set_recorder(recorder.clone());
+        }
+        self.recorder = recorder;
     }
 
     /// Register a platform.
@@ -301,6 +333,8 @@ impl RheemContext {
         config.cache_ns = scope.cache_ns;
         config.cache_shared_read = scope.cache_shared_read;
         config.stage_gate = scope.stage_gate.clone();
+        config.recorder = self.recorder.clone();
+        config.job = scope.job;
         let job_monitor = Monitor::new();
         let outcome = match run_progressive(
             plan,
@@ -396,13 +430,17 @@ impl RheemContext {
         // The monitor accumulates across jobs; report this job's delta.
         let retries_before = self.monitor.retries();
         let cache_before = self.cache.as_ref().map(|c| c.stats());
+        let mut config = config.clone();
+        if config.recorder.is_none() {
+            config.recorder = self.recorder.clone();
+        }
         let outcome = run_progressive(
             plan,
             &self.registry,
             &self.profiles,
             &self.model,
             || self.estimator(),
-            config,
+            &config,
             &self.monitor,
             self.forced_platform,
             self.cache.clone(),

@@ -34,6 +34,7 @@ use crate::channel::{kinds, ChannelData, ChannelKind};
 use crate::cost::Load;
 use crate::error::Result;
 use crate::exec::{dataset_bytes, ExecCtx, ExecutionOperator, OpMetrics};
+use crate::obs::{EventKind, FlightRecorder};
 use crate::plan::{LogicalOp, OperatorNode, RheemPlan};
 use crate::platform::PlatformId;
 use crate::udf::BroadcastCtx;
@@ -265,7 +266,8 @@ struct Inner {
 }
 
 impl Inner {
-    fn evict(&mut self, key: (u64, u64)) {
+    /// Evict `key`; returns the freed byte count for event reporting.
+    fn evict(&mut self, key: (u64, u64)) -> u64 {
         let evicted = self.map.remove(&key).expect("victim exists");
         self.bytes -= evicted.bytes;
         self.evictions += 1;
@@ -273,6 +275,7 @@ impl Inner {
         st.bytes -= evicted.bytes;
         st.entries -= 1;
         st.evictions += 1;
+        evicted.bytes
     }
 
     /// LRU victim among entries matching `pred` on the namespace id.
@@ -294,12 +297,29 @@ pub const DEFAULT_BUDGET_BYTES: u64 = 256 << 20;
 pub struct ResultCache {
     budget: u64,
     inner: Mutex<Inner>,
+    /// Optional flight recorder fed hit/insert/evict events; held in its
+    /// own lock so recording never happens under the cache lock.
+    recorder: Mutex<Option<Arc<FlightRecorder>>>,
 }
 
 impl ResultCache {
     /// A cache with an explicit byte budget.
     pub fn new(budget_bytes: u64) -> Self {
-        Self { budget: budget_bytes.max(1), inner: Mutex::new(Inner::default()) }
+        Self {
+            budget: budget_bytes.max(1),
+            inner: Mutex::new(Inner::default()),
+            recorder: Mutex::new(None),
+        }
+    }
+
+    /// Attach (or detach, with `None`) a flight recorder. Hit, insert and
+    /// eviction events are recorded outside the cache lock.
+    pub fn set_recorder(&self, recorder: Option<Arc<FlightRecorder>>) {
+        *self.recorder.lock().unwrap() = recorder;
+    }
+
+    fn rec(&self) -> Option<Arc<FlightRecorder>> {
+        self.recorder.lock().unwrap().clone()
     }
 
     /// Build from the environment: `Some` iff `RHEEM_CACHE` is `on`/`1`/
@@ -346,23 +366,29 @@ impl ResultCache {
     /// Namespace-scoped lookup: only entries published into `ns` are
     /// visible. The hit/miss is counted both globally and against `ns`.
     pub fn lookup_in(&self, ns: Namespace, fp: Fingerprint) -> Option<CacheHit> {
-        let mut inner = self.inner.lock().unwrap();
-        inner.clock += 1;
-        let clock = inner.clock;
-        match inner.map.get_mut(&(ns.0, fp.0)) {
-            Some(e) => {
-                e.last_used = clock;
-                let hit = CacheHit { data: Arc::clone(&e.data), bytes: e.bytes };
-                inner.hits += 1;
-                inner.ns.entry(ns.0).or_default().hits += 1;
-                Some(hit)
+        let hit = {
+            let mut inner = self.inner.lock().unwrap();
+            inner.clock += 1;
+            let clock = inner.clock;
+            match inner.map.get_mut(&(ns.0, fp.0)) {
+                Some(e) => {
+                    e.last_used = clock;
+                    let hit = CacheHit { data: Arc::clone(&e.data), bytes: e.bytes };
+                    inner.hits += 1;
+                    inner.ns.entry(ns.0).or_default().hits += 1;
+                    Some(hit)
+                }
+                None => {
+                    inner.misses += 1;
+                    inner.ns.entry(ns.0).or_default().misses += 1;
+                    None
+                }
             }
-            None => {
-                inner.misses += 1;
-                inner.ns.entry(ns.0).or_default().misses += 1;
-                None
-            }
+        };
+        if let (Some(h), Some(r)) = (&hit, self.rec()) {
+            r.record(EventKind::CacheHit, None, None, None, h.bytes as f64, &format!("fp:{fp}"));
         }
+        hit
     }
 
     /// Publish a result into the shared namespace. See [`Self::insert_in`].
@@ -382,43 +408,61 @@ impl ResultCache {
         if bytes > self.budget {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
-        let quota = inner.quotas.get(&ns.0).copied();
-        if quota.is_some_and(|q| bytes > q) {
-            return;
-        }
-        inner.clock += 1;
-        let clock = inner.clock;
-        if let Some(e) = inner.map.get_mut(&(ns.0, fp.0)) {
-            e.last_used = clock;
-            return;
-        }
-        inner.map.insert((ns.0, fp.0), Entry { data, bytes, last_used: clock });
-        inner.bytes += bytes;
-        inner.inserts += 1;
+        let mut evicted: Vec<(u64, u64, u64)> = Vec::new();
         {
-            let st = inner.ns.entry(ns.0).or_default();
-            st.bytes += bytes;
-            st.entries += 1;
-            st.inserts += 1;
-        }
-        if let Some(q) = quota {
-            while inner.ns.get(&ns.0).map(|s| s.bytes).unwrap_or(0) > q {
+            let mut inner = self.inner.lock().unwrap();
+            let quota = inner.quotas.get(&ns.0).copied();
+            if quota.is_some_and(|q| bytes > q) {
+                return;
+            }
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(e) = inner.map.get_mut(&(ns.0, fp.0)) {
+                e.last_used = clock;
+                return;
+            }
+            inner.map.insert((ns.0, fp.0), Entry { data, bytes, last_used: clock });
+            inner.bytes += bytes;
+            inner.inserts += 1;
+            {
+                let st = inner.ns.entry(ns.0).or_default();
+                st.bytes += bytes;
+                st.entries += 1;
+                st.inserts += 1;
+            }
+            if let Some(q) = quota {
+                while inner.ns.get(&ns.0).map(|s| s.bytes).unwrap_or(0) > q {
+                    let victim = inner
+                        .victim_where(|n| n == ns.0)
+                        .expect("over quota implies non-empty namespace");
+                    let freed = inner.evict(victim);
+                    evicted.push((victim.0, victim.1, freed));
+                }
+            }
+            while inner.bytes > self.budget {
+                // Quoted namespaces are protected from cross-tenant pressure;
+                // spill from unquoted ones first.
+                let quotas = &inner.quotas;
                 let victim = inner
-                    .victim_where(|n| n == ns.0)
-                    .expect("over quota implies non-empty namespace");
-                inner.evict(victim);
+                    .victim_where(|n| !quotas.contains_key(&n))
+                    .or_else(|| inner.victim_where(|_| true))
+                    .expect("over budget implies non-empty");
+                let freed = inner.evict(victim);
+                evicted.push((victim.0, victim.1, freed));
             }
         }
-        while inner.bytes > self.budget {
-            // Quoted namespaces are protected from cross-tenant pressure;
-            // spill from unquoted ones first.
-            let quotas = &inner.quotas;
-            let victim = inner
-                .victim_where(|n| !quotas.contains_key(&n))
-                .or_else(|| inner.victim_where(|_| true))
-                .expect("over budget implies non-empty");
-            inner.evict(victim);
+        if let Some(r) = self.rec() {
+            r.record(EventKind::CacheInsert, None, None, None, bytes as f64, &format!("fp:{fp}"));
+            for (_, vfp, freed) in &evicted {
+                r.record(
+                    EventKind::CacheEvicted,
+                    None,
+                    None,
+                    None,
+                    *freed as f64,
+                    &format!("fp:{:016x}", vfp),
+                );
+            }
         }
     }
 

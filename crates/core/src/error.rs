@@ -36,6 +36,9 @@ pub enum RheemError {
         /// Why admission refused the job.
         reason: String,
     },
+    /// The observability plane ([`crate::obs`]) could not come up or serve
+    /// (scrape endpoint bind failure, double-serve, bad `RHEEM_OBS_ADDR`).
+    Obs(String),
 }
 
 impl RheemError {
@@ -69,6 +72,7 @@ impl fmt::Display for RheemError {
             RheemError::Rejected { tenant, reason } => {
                 write!(f, "submission rejected for tenant {tenant}: {reason}")
             }
+            RheemError::Obs(m) => write!(f, "observability error: {m}"),
         }
     }
 }
@@ -100,6 +104,8 @@ mod tests {
         assert!(RheemError::Plan("no sink".into()).to_string().contains("no sink"));
         assert!(RheemError::Optimizer("x".into()).to_string().starts_with("optimizer"));
         assert!(RheemError::Unsupported("y".into()).to_string().contains("unsupported"));
+        assert!(RheemError::Obs("bind failed".into()).to_string().contains("observability"));
+        assert!(!RheemError::Obs("x".into()).is_transient());
     }
 
     #[test]

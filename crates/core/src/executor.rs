@@ -99,6 +99,13 @@ pub struct ExecConfig {
     /// concurrent stage work across tenants without touching results or
     /// virtual-time accounting.
     pub stage_gate: Option<crate::service::TenantGate>,
+    /// Flight recorder fed stage dispatch/commit and retry events
+    /// ([`crate::obs`]); injected by [`crate::api::RheemContext`], which
+    /// owns one recorder per context by default.
+    pub recorder: Option<Arc<crate::obs::FlightRecorder>>,
+    /// Service job id stamped on recorder events, so the watchdog can group
+    /// stage commits per job. `None` outside the [`crate::service`] path.
+    pub job: Option<u64>,
 }
 
 impl ExecConfig {
@@ -143,6 +150,8 @@ impl Default for ExecConfig {
             cache_ns: crate::cache::Namespace::SHARED,
             cache_shared_read: true,
             stage_gate: None,
+            recorder: None,
+            job: None,
         }
     }
 }
@@ -843,6 +852,12 @@ impl<'a> Executor<'a> {
                 }
                 st.run_span = Some((sid, run_id));
             }
+            self.record_event(
+                crate::obs::EventKind::StageDispatched,
+                Some(node.stage as u64),
+                st.run_base,
+                &platform.to_string(),
+            );
         }
 
         // Replay the retry history: monitor records and retry spans, in the
@@ -880,6 +895,17 @@ impl<'a> Executor<'a> {
                 self.monitor.count_retry();
                 st.run_retries += 1;
             }
+            let fault_kind = rec
+                .fault
+                .as_ref()
+                .map(|i| format!("{:?}", i.kind))
+                .unwrap_or_else(|| "organic".to_string());
+            self.record_event(
+                crate::obs::EventKind::JobRetried,
+                Some(node.stage as u64),
+                rec.failures as f64,
+                &fault_kind,
+            );
         }
         if failures_after > 0 {
             st.stage_attempts.insert((node.stage, st.iteration), failures_after);
@@ -1288,6 +1314,20 @@ impl<'a> Executor<'a> {
         outcome
     }
 
+    /// Record a flight-recorder event attributed to this job's tenant and
+    /// service job id, when a recorder is attached.
+    fn record_event(
+        &self,
+        kind: crate::obs::EventKind,
+        stage: Option<u64>,
+        value: f64,
+        detail: &str,
+    ) {
+        if let Some(r) = &self.config.recorder {
+            r.record(kind, self.config.tenant.as_deref(), self.config.job, stage, value, detail);
+        }
+    }
+
     fn close_stage_run(&self, st: &mut RunState) {
         if let Some(stage) = st.open_stage.take() {
             // Free the stage-gate slot held for this run, charging its
@@ -1328,6 +1368,12 @@ impl<'a> Executor<'a> {
                 phase: 0, // stamped by Monitor::record
                 superseded: false,
             };
+            self.record_event(
+                crate::obs::EventKind::StageCommitted,
+                Some(stage as u64),
+                run.virtual_ms,
+                &run.platform.to_string(),
+            );
             st.run_virtual_ms = 0.0;
             st.run_real_ms = 0.0;
             st.run_retries = 0;

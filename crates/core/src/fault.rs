@@ -170,6 +170,10 @@ pub struct FaultPlan {
     rules: Vec<FaultRule>,
     /// Failed attempts per `(site, iteration)` key.
     attempts: Mutex<HashMap<u64, u32>>,
+    /// Flight recorder fed a `fault.injected` event per injection. Events
+    /// are physical records: speculative attempts later rolled back via
+    /// [`FaultPlan::undo`] stay recorded (they did strike).
+    recorder: Mutex<Option<std::sync::Arc<crate::obs::FlightRecorder>>>,
 }
 
 impl FaultPlan {
@@ -189,6 +193,7 @@ impl FaultPlan {
             density_millis: (density.clamp(0.0, 1.0) * 1000.0).round() as u32,
             rules: Vec::new(),
             attempts: Mutex::new(HashMap::new()),
+            recorder: Mutex::new(None),
         }
     }
 
@@ -202,6 +207,12 @@ impl FaultPlan {
     /// The seed (0 for rule-only plans).
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Attach (or detach, with `None`) a flight recorder. Plans shared
+    /// across contexts record to whichever recorder was attached last.
+    pub fn set_recorder(&self, recorder: Option<std::sync::Arc<crate::obs::FlightRecorder>>) {
+        *self.recorder.lock().unwrap() = recorder;
     }
 
     /// Decide whether the attempt happening right now at the described site
@@ -232,7 +243,21 @@ impl FaultPlan {
             return None; // site already failed its quota: succeed now
         }
         *a += 1;
-        Some(InjectedFault { kind, platform, op: op.to_string(), stage, iteration, attempt: *a })
+        let fault =
+            InjectedFault { kind, platform, op: op.to_string(), stage, iteration, attempt: *a };
+        drop(attempts);
+        let rec = self.recorder.lock().unwrap().clone();
+        if let Some(r) = rec {
+            r.record(
+                crate::obs::EventKind::FaultInjected,
+                None,
+                None,
+                Some(stage as u64),
+                fault.attempt as f64,
+                &fault.to_string(),
+            );
+        }
+        Some(fault)
     }
 
     /// Roll back the attempt-counter increment behind one injected fault.

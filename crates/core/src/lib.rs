@@ -51,6 +51,7 @@ pub mod mapping;
 pub mod metrics;
 pub mod monitor;
 pub mod movement;
+pub mod obs;
 pub mod optimizer;
 pub mod plan;
 pub mod platform;
@@ -70,6 +71,9 @@ pub mod prelude {
     pub use crate::cache::Namespace;
     pub use crate::error::{Result, RheemError};
     pub use crate::metrics::MetricsRegistry;
+    pub use crate::obs::{
+        Diagnosis, Event, EventKind, FlightRecorder, ObsServer, ObsSource, Watchdog, WatchdogConfig,
+    };
     pub use crate::plan::{
         DataQuanta, IneqCond, LogicalOp, OperatorId, PlanBuilder, RheemPlan, SampleMethod,
         SampleSize,

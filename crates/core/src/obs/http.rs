@@ -1,0 +1,215 @@
+//! Dependency-free TCP scrape endpoint: `std::net`, one blocking accept
+//! thread, plain HTTP/1.0, `Connection: close` per request.
+//!
+//! Routes: `/metrics` (Prometheus text exposition), `/healthz`, `/jobs`,
+//! `/tenants` (JSON), and `/flight?n=K` (flight-recorder dump of the most
+//! recent K events). Anything else is 404. The server is opt-in via
+//! [`crate::service::JobService::serve`] or the `RHEEM_OBS_ADDR` env var.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::error::{Result, RheemError};
+
+/// What a scrape endpoint serves. Implemented by the service's shared
+/// state; a trait so the HTTP plumbing stays free of service internals and
+/// unit-testable with a stub.
+pub trait ObsSource: Send + Sync + 'static {
+    /// Prometheus text exposition for `/metrics`.
+    fn metrics_text(&self) -> String;
+    /// Liveness JSON for `/healthz`.
+    fn healthz_json(&self) -> String;
+    /// Queue/in-flight/completion JSON for `/jobs`.
+    fn jobs_json(&self) -> String;
+    /// Per-tenant share + SLO JSON for `/tenants`.
+    fn tenants_json(&self) -> String;
+    /// Flight-recorder dump of the most recent `n` events for `/flight`.
+    fn flight_json(&self, n: usize) -> String;
+}
+
+/// Default event count for `/flight` without an `n` query parameter.
+const DEFAULT_FLIGHT_N: usize = 256;
+/// Per-connection socket timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Route `path` (with optional query string) against `source`. Returns
+/// `(status_line_suffix, content_type, body)`. Pure so tests can exercise
+/// routing without sockets.
+pub fn handle_request(source: &dyn ObsSource, path: &str) -> (u16, &'static str, String) {
+    let (route, query) = match path.split_once('?') {
+        Some((r, q)) => (r, Some(q)),
+        None => (path, None),
+    };
+    match route {
+        "/metrics" => (200, "text/plain; version=0.0.4", source.metrics_text()),
+        "/healthz" => (200, "application/json", source.healthz_json()),
+        "/jobs" => (200, "application/json", source.jobs_json()),
+        "/tenants" => (200, "application/json", source.tenants_json()),
+        "/flight" => {
+            let n = query
+                .and_then(|q| {
+                    q.split('&').find_map(|kv| kv.strip_prefix("n=")).map(str::parse::<usize>)
+                })
+                .transpose()
+                .unwrap_or(None)
+                .unwrap_or(DEFAULT_FLIGHT_N);
+            (200, "application/json", source.flight_json(n))
+        }
+        _ => (404, "text/plain; version=0.0.4", format!("no such route: {route}\n")),
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        _ => "Not Found",
+    }
+}
+
+fn handle_conn(source: &dyn ObsSource, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain headers until the blank line so well-behaved clients don't see
+    // a reset while still writing.
+    let mut header = String::new();
+    while reader.read_line(&mut header).is_ok() {
+        if header == "\r\n" || header == "\n" || header.is_empty() {
+            break;
+        }
+        header.clear();
+    }
+    let mut parts = request_line.split_whitespace();
+    let (status, ctype, body) = match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => handle_request(source, path),
+        _ => (400, "text/plain; version=0.0.4", String::from("malformed request\n")),
+    };
+    let mut stream = reader.into_inner();
+    let _ = write!(
+        stream,
+        "HTTP/1.0 {status} {}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_text(status),
+        body.len(),
+    );
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// A running scrape endpoint. Dropping it stops the accept loop and joins
+/// the listener thread.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ObsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl ObsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+    /// `source` from a background accept thread, one short-lived thread per
+    /// connection.
+    pub fn bind(addr: &str, source: Arc<dyn ObsSource>) -> Result<Self> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| RheemError::Obs(format!("bind {addr}: {e}")))?;
+        let local =
+            listener.local_addr().map_err(|e| RheemError::Obs(format!("local_addr: {e}")))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_loop = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("rheem-obs".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_loop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let src = Arc::clone(&source);
+                    let _ = thread::Builder::new()
+                        .name("rheem-obs-conn".into())
+                        .spawn(move || handle_conn(src.as_ref(), stream));
+                }
+            })
+            .map_err(|e| RheemError::Obs(format!("spawn accept thread: {e}")))?;
+        Ok(Self { addr: local, stop, handle: Some(handle) })
+    }
+
+    /// The bound socket address (resolves port 0 to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call so the loop observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Stub;
+    impl ObsSource for Stub {
+        fn metrics_text(&self) -> String {
+            "# TYPE x counter\nx 1\n".into()
+        }
+        fn healthz_json(&self) -> String {
+            "{\"status\":\"ok\"}".into()
+        }
+        fn jobs_json(&self) -> String {
+            "{\"in_flight\":0}".into()
+        }
+        fn tenants_json(&self) -> String {
+            "{\"tenants\":[]}".into()
+        }
+        fn flight_json(&self, n: usize) -> String {
+            format!("{{\"n\":{n}}}")
+        }
+    }
+
+    #[test]
+    fn routes_resolve_and_flight_parses_n() {
+        let s = Stub;
+        assert_eq!(handle_request(&s, "/metrics").0, 200);
+        assert_eq!(handle_request(&s, "/healthz").2, "{\"status\":\"ok\"}");
+        assert_eq!(handle_request(&s, "/jobs").0, 200);
+        assert_eq!(handle_request(&s, "/tenants").0, 200);
+        assert_eq!(handle_request(&s, "/flight?n=7").2, "{\"n\":7}");
+        assert_eq!(handle_request(&s, "/flight").2, format!("{{\"n\":{DEFAULT_FLIGHT_N}}}"));
+        assert_eq!(
+            handle_request(&s, "/flight?n=bogus").2,
+            format!("{{\"n\":{DEFAULT_FLIGHT_N}}}")
+        );
+        assert_eq!(handle_request(&s, "/nope").0, 404);
+    }
+
+    #[test]
+    fn server_binds_serves_and_shuts_down() {
+        let srv = ObsServer::bind("127.0.0.1:0", Arc::new(Stub)).unwrap();
+        let addr = srv.addr();
+        let body = crate::obs::scrape(&addr.to_string(), "/metrics").unwrap();
+        assert!(body.contains("x 1"));
+        drop(srv); // joins the accept thread; port is released
+        assert!(crate::obs::scrape(&addr.to_string(), "/metrics").is_err());
+    }
+}

@@ -23,6 +23,13 @@
 //!   Monitor`] merged into the context's after completion, a `tenant`
 //!   attribute on its trace's job span, and tenant-labelled counters and
 //!   gauges in the context's Prometheus snapshot.
+//! - **Observability**: job lifecycle events feed the context's
+//!   [`FlightRecorder`], per-tenant SLO phase histograms
+//!   ([`crate::obs::slo`]) decompose every job into queue / admission /
+//!   exec / commit, a [`Watchdog`] sweeps for starvation, stragglers and
+//!   cache thrash on a virtual-time cadence, and [`JobService::serve`] (or
+//!   the `RHEEM_OBS_ADDR` env var) exposes it all over a dependency-free
+//!   TCP scrape endpoint ([`crate::obs::http`]).
 //!
 //! Per-job results stay byte-identical to an isolated run of the same plan
 //! because the executor's commit-in-order design makes results and traces
@@ -36,13 +43,19 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::net::SocketAddr;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crate::api::{JobResult, JobScope, RheemContext};
 use crate::cache::Namespace;
 use crate::error::{Result, RheemError};
 use crate::kernels::SplitMix64;
+use crate::obs::{
+    self, EventKind, FlightRecorder, JobPhases, ObsServer, ObsSource, TenantState, Watchdog,
+    WatchdogConfig, WatchdogSnapshot,
+};
 use crate::plan::RheemPlan;
 
 // ---------------------------------------------------------------------------
@@ -489,11 +502,20 @@ pub struct ServiceConfig {
     pub gate: bool,
     /// Seed for the fair-share tie-breaks (job pick and stage gate).
     pub seed: u64,
+    /// Watchdog thresholds (starvation / straggler / cache-thrash sweeps).
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        Self { max_in_flight: 64, runners: 4, stage_slots: 0, gate: true, seed: 0xC0FFEE }
+        Self {
+            max_in_flight: 64,
+            runners: 4,
+            stage_slots: 0,
+            gate: true,
+            seed: 0xC0FFEE,
+            watchdog: WatchdogConfig::default(),
+        }
     }
 }
 
@@ -519,6 +541,10 @@ struct Queued {
     id: u64,
     plan: RheemPlan,
     tx: mpsc::Sender<Result<JobResult>>,
+    /// When admission completed (queue-wait starts here).
+    admitted_at: Instant,
+    /// Wall ms spent in admission control at submit time.
+    admission_ms: f64,
 }
 
 struct SvcState {
@@ -538,6 +564,9 @@ struct SvcInner {
     gate: Option<Arc<StageGate>>,
     state: Mutex<SvcState>,
     work: Condvar,
+    /// The context's flight recorder (`None` when recording is disabled).
+    recorder: Option<Arc<FlightRecorder>>,
+    watchdog: Watchdog,
 }
 
 impl SvcInner {
@@ -548,7 +577,42 @@ impl SvcInner {
             cache_ns: spec.namespace(),
             cache_shared_read: spec.share_cache,
             stage_gate: self.gate.as_ref().map(|g| TenantGate::new(Arc::clone(g), tenant)),
+            job: None,
         }
+    }
+
+    /// Record a job-lifecycle event; no-op when recording is disabled.
+    fn record(
+        &self,
+        kind: EventKind,
+        tenant: Option<&str>,
+        job: Option<u64>,
+        value: f64,
+        detail: &str,
+    ) {
+        if let Some(r) = &self.recorder {
+            r.record(kind, tenant, job, None, value, detail);
+        }
+    }
+
+    /// Scheduler state for a watchdog sweep. Caller holds the state lock.
+    fn watchdog_snapshot(&self, st: &SvcState) -> WatchdogSnapshot {
+        let tenants = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let queued = st.queues[i].len();
+                TenantState {
+                    name: spec.name.clone(),
+                    vtime: st.fair.vtime(i),
+                    queued,
+                    running: st.in_flight[i].saturating_sub(queued),
+                }
+            })
+            .collect();
+        let cache = self.ctx.cache().map(|c| c.stats());
+        WatchdogSnapshot { tenants, cache }
     }
 
     fn runner_loop(self: &Arc<Self>) {
@@ -568,23 +632,147 @@ impl SvcInner {
                     st = self.work.wait(st).unwrap();
                 }
             };
-            let scope = self.scope_for(tenant);
+            let tname = self.tenants[tenant].name.clone();
+            let queue_ms = job.admitted_at.elapsed().as_secs_f64() * 1e3;
+            self.record(EventKind::JobStarted, Some(&tname), Some(job.id), queue_ms, "");
+            let mut scope = self.scope_for(tenant);
+            scope.job = Some(job.id);
             let result = self.ctx.execute_scoped(&job.plan, &scope);
-            {
+            let commit_t0 = Instant::now();
+            let exec_ms = result.as_ref().map(|r| r.metrics.virtual_ms).unwrap_or(0.0);
+            // Charge the served job at its virtual cost so the next pick
+            // reflects actual consumption (failed jobs charge a token
+            // amount — admission work isn't free either).
+            let cost = result.as_ref().map(|r| r.metrics.virtual_ms).unwrap_or(1.0);
+            let (in_flight_now, vtime_now, sweep) = {
                 let mut st = self.state.lock().unwrap();
-                // Charge the served job at its virtual cost so the next
-                // pick reflects actual consumption (failed jobs charge a
-                // token amount — admission work isn't free either).
-                let cost = result.as_ref().map(|r| r.metrics.virtual_ms).unwrap_or(1.0);
                 st.fair.charge(tenant, cost);
                 st.in_flight[tenant] -= 1;
                 st.total_in_flight -= 1;
                 st.completions.push((job.id, tenant));
-            }
+                let due = self.recorder.is_some() && self.watchdog.on_served(cost);
+                let snap = due.then(|| self.watchdog_snapshot(&st));
+                (st.in_flight[tenant], st.fair.vtime(tenant), snap)
+            };
             // Wake runners (more queued work may be pickable) and any
             // submitter waiting on capacity semantics in tests.
             self.work.notify_all();
+            let metrics = self.ctx.metrics();
+            metrics.set_gauge(&obs::slo::in_flight_key(&tname), in_flight_now as f64);
+            metrics.set_gauge(&obs::slo::vtime_key(&tname), vtime_now);
+            let commit_ms = commit_t0.elapsed().as_secs_f64() * 1e3;
+            let phases = JobPhases { queue_ms, admission_ms: job.admission_ms, exec_ms, commit_ms };
+            obs::slo::observe_job(metrics, &tname, &phases);
+            match &result {
+                Ok(r) => self.record(
+                    EventKind::JobCompleted,
+                    Some(&tname),
+                    Some(job.id),
+                    r.metrics.virtual_ms,
+                    "",
+                ),
+                Err(e) => self.record(
+                    EventKind::JobFailed,
+                    Some(&tname),
+                    Some(job.id),
+                    0.0,
+                    &e.to_string(),
+                ),
+            }
+            // Sweep outside the state lock: the watchdog walks the recorder
+            // (which the executor threads also feed) and must never hold up
+            // submissions. The completion event above is already visible,
+            // so straggler analysis for this job happens in this sweep.
+            if let (Some(snap), Some(rec)) = (&sweep, &self.recorder) {
+                self.watchdog.sweep(snap, rec, metrics);
+            }
             let _ = job.tx.send(result);
+        }
+    }
+}
+
+impl ObsSource for SvcInner {
+    fn metrics_text(&self) -> String {
+        self.ctx.metrics().snapshot_prometheus()
+    }
+
+    fn healthz_json(&self) -> String {
+        let st = self.state.lock().unwrap();
+        format!(
+            "{{\"status\":\"ok\",\"tenants\":{},\"in_flight\":{},\"shutdown\":{}}}",
+            self.tenants.len(),
+            st.total_in_flight,
+            st.shutdown,
+        )
+    }
+
+    fn jobs_json(&self) -> String {
+        let st = self.state.lock().unwrap();
+        let queued: usize = st.queues.iter().map(|q| q.len()).sum();
+        let mut out = format!(
+            "{{\"in_flight\":{},\"queued\":{},\"completed\":{},\"recent_completions\":[",
+            st.total_in_flight,
+            queued,
+            st.completions.len(),
+        );
+        let tail = st.completions.len().saturating_sub(64);
+        for (i, (id, t)) in st.completions[tail..].iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"job\":");
+            out.push_str(&id.to_string());
+            out.push_str(",\"tenant\":");
+            crate::trace::json_string(&mut out, &self.tenants[*t].name);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn tenants_json(&self) -> String {
+        let metrics = self.ctx.metrics();
+        let st = self.state.lock().unwrap();
+        let mut out = String::from("{\"tenants\":[");
+        for (i, spec) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            crate::trace::json_string(&mut out, &spec.name);
+            out.push_str(&format!(
+                ",\"weight\":{},\"vtime\":{},\"queued\":{},\"in_flight\":{},\"slo\":{{",
+                crate::trace::json_f64(spec.weight),
+                crate::trace::json_f64(st.fair.vtime(i)),
+                st.queues[i].len(),
+                st.in_flight[i],
+            ));
+            for (j, phase) in obs::slo::PHASES.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(phase);
+                out.push_str("\":");
+                match obs::slo::phase_quantiles(metrics, &spec.name, phase) {
+                    Some((p50, p99)) => out.push_str(&format!(
+                        "{{\"p50_ms\":{},\"p99_ms\":{}}}",
+                        crate::trace::json_f64(p50),
+                        crate::trace::json_f64(p99),
+                    )),
+                    None => out.push_str("null"),
+                }
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn flight_json(&self, n: usize) -> String {
+        match &self.recorder {
+            Some(r) => r.dump_json(Some(n)),
+            None => String::from("{\"recorded\":0,\"dropped\":0,\"events\":[]}"),
         }
     }
 }
@@ -595,6 +783,7 @@ pub struct JobService {
     inner: Arc<SvcInner>,
     runners: Vec<JoinHandle<()>>,
     cap: usize,
+    obs: Mutex<Option<ObsServer>>,
 }
 
 impl JobService {
@@ -630,6 +819,7 @@ impl JobService {
             Arc::new(StageGate::new(slots, gate_fair))
         });
         let n = tenants.len();
+        let recorder = ctx.recorder().cloned();
         let inner = Arc::new(SvcInner {
             ctx,
             tenants,
@@ -644,6 +834,8 @@ impl JobService {
                 completions: Vec::new(),
             }),
             work: Condvar::new(),
+            recorder,
+            watchdog: Watchdog::new(config.watchdog),
         });
         let mut handles = Vec::with_capacity(runners);
         for i in 0..runners {
@@ -654,54 +846,88 @@ impl JobService {
                 .map_err(|e| RheemError::Execution(format!("spawn service runner: {e}")))?;
             handles.push(h);
         }
-        Ok(Self { inner, runners: handles, cap: config.max_in_flight.max(1) })
+        let svc = Self {
+            inner,
+            runners: handles,
+            cap: config.max_in_flight.max(1),
+            obs: Mutex::new(None),
+        };
+        if let Ok(addr) = std::env::var("RHEEM_OBS_ADDR") {
+            svc.serve(&addr)?;
+        }
+        Ok(svc)
+    }
+
+    /// Start the TCP scrape endpoint on `addr` (e.g. `127.0.0.1:0` for an
+    /// ephemeral port); returns the bound address. Errors when already
+    /// serving or when the bind fails. Also reachable via the
+    /// `RHEEM_OBS_ADDR` env var at construction time.
+    pub fn serve(&self, addr: &str) -> Result<SocketAddr> {
+        let mut obs = self.obs.lock().unwrap();
+        if obs.is_some() {
+            return Err(RheemError::Obs("scrape endpoint is already serving".into()));
+        }
+        let server = ObsServer::bind(addr, Arc::clone(&self.inner) as Arc<dyn ObsSource>)?;
+        let bound = server.addr();
+        *obs = Some(server);
+        Ok(bound)
+    }
+
+    /// The scrape endpoint's bound address, when serving.
+    pub fn obs_addr(&self) -> Option<SocketAddr> {
+        self.obs.lock().unwrap().as_ref().map(|s| s.addr())
     }
 
     /// Submit a job for `tenant`. Admission control applies *here*:
     /// saturation (global or per-tenant) returns [`RheemError::Rejected`]
     /// immediately instead of queueing unboundedly.
     pub fn submit(&self, tenant: &str, plan: RheemPlan) -> Result<JobHandle> {
+        let t0 = Instant::now();
+        let reject = |reason: String| {
+            self.inner.record(EventKind::JobRejected, Some(tenant), None, 0.0, &reason);
+            Err(RheemError::Rejected { tenant: tenant.to_string(), reason })
+        };
         let Some(t) = self.inner.tenants.iter().position(|s| s.name == tenant) else {
-            return Err(RheemError::Rejected {
-                tenant: tenant.to_string(),
-                reason: "unknown tenant".into(),
-            });
+            return reject("unknown tenant".into());
         };
         let (tx, rx) = mpsc::channel();
-        let id = {
+        let admitted: std::result::Result<(u64, f64), String> = {
             let mut st = self.inner.state.lock().unwrap();
-            if st.shutdown {
-                return Err(RheemError::Rejected {
-                    tenant: tenant.to_string(),
-                    reason: "service is shutting down".into(),
-                });
-            }
             let cap = self.max_in_flight();
-            if st.total_in_flight >= cap {
-                return Err(RheemError::Rejected {
-                    tenant: tenant.to_string(),
-                    reason: format!("service saturated ({cap} jobs in flight)"),
-                });
-            }
             let tcap = self.inner.tenants[t].max_in_flight;
-            if st.in_flight[t] >= tcap {
-                return Err(RheemError::Rejected {
-                    tenant: tenant.to_string(),
-                    reason: format!("tenant saturated ({tcap} jobs in flight)"),
+            if st.shutdown {
+                Err("service is shutting down".into())
+            } else if st.total_in_flight >= cap {
+                Err(format!("service saturated ({cap} jobs in flight)"))
+            } else if st.in_flight[t] >= tcap {
+                Err(format!("tenant saturated ({tcap} jobs in flight)"))
+            } else {
+                let id = st.next_id;
+                st.next_id += 1;
+                st.in_flight[t] += 1;
+                st.total_in_flight += 1;
+                if st.queues[t].is_empty() {
+                    let backlogged: Vec<usize> =
+                        (0..st.queues.len()).filter(|&o| !st.queues[o].is_empty()).collect();
+                    st.fair.activate(t, &backlogged);
+                }
+                let admission_ms = t0.elapsed().as_secs_f64() * 1e3;
+                st.queues[t].push_back(Queued {
+                    id,
+                    plan,
+                    tx,
+                    admitted_at: Instant::now(),
+                    admission_ms,
                 });
+                Ok((id, admission_ms))
             }
-            let id = st.next_id;
-            st.next_id += 1;
-            st.in_flight[t] += 1;
-            st.total_in_flight += 1;
-            if st.queues[t].is_empty() {
-                let backlogged: Vec<usize> =
-                    (0..st.queues.len()).filter(|&o| !st.queues[o].is_empty()).collect();
-                st.fair.activate(t, &backlogged);
-            }
-            st.queues[t].push_back(Queued { id, plan, tx });
-            id
         };
+        let (id, admission_ms) = match admitted {
+            Ok(ok) => ok,
+            Err(reason) => return reject(reason),
+        };
+        self.inner.record(EventKind::JobAdmitted, Some(tenant), Some(id), admission_ms, "");
+        self.inner.record(EventKind::JobQueued, Some(tenant), Some(id), 0.0, "");
         self.inner.work.notify_all();
         Ok(JobHandle { id, tenant: tenant.to_string(), rx })
     }
@@ -739,6 +965,8 @@ impl JobService {
     }
 
     fn shutdown_impl(&mut self) {
+        // Stop the scrape endpoint first so no scrape races the teardown.
+        *self.obs.lock().unwrap() = None;
         {
             let mut st = self.inner.state.lock().unwrap();
             st.shutdown = true;

@@ -662,7 +662,9 @@ impl JobTrace {
 /// Shortest representation of `f` that parses back to the identical f64
 /// (Rust's float `Display` is round-trip by construction); JSON requires a
 /// finite decimal, so non-finite values are clamped to sentinel strings.
-fn json_f64(f: f64) -> String {
+/// Shared with [`crate::obs`], whose flight-recorder dumps must parse via
+/// [`json::parse`].
+pub(crate) fn json_f64(f: f64) -> String {
     if f.is_finite() {
         format!("{f}")
     } else {
@@ -670,7 +672,7 @@ fn json_f64(f: f64) -> String {
     }
 }
 
-fn json_string(out: &mut String, s: &str) {
+pub(crate) fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -42,4 +42,10 @@ RHEEM_POOL=8 cargo test -q --release --test service -- --test-threads=1
 echo "== job-service bench gate (>= 2x jobs/sec at 16 tenants vs serial)"
 cargo run --release -q -p rheem-bench --bin service_bench
 
+echo "== observability suite (recorder, exposition, watchdog over live TCP scrapes)"
+cargo test -q --release --test obs -- --test-threads=1
+
+echo "== observability bench gate (recorder+SLO overhead < 5%; live scrape leg)"
+cargo run --release -q -p rheem-bench --bin obs_bench
+
 echo "== all checks passed"
