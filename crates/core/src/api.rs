@@ -548,6 +548,10 @@ impl RheemContext {
                         vec_batches: 0,
                         vec_steps: 0,
                         row_steps: 0,
+                        exch_batches: 0,
+                        exch_rows: 0,
+                        exch_row_rows: 0,
+                        fallback: None,
                     }
                 });
                 row.runs += 1;
@@ -559,6 +563,12 @@ impl RheemContext {
                 row.vec_batches += p.vec_stats.batches;
                 row.vec_steps += p.vec_stats.vec_steps;
                 row.row_steps += p.vec_stats.row_steps;
+                row.exch_batches += p.vec_stats.exch_batches;
+                row.exch_rows += p.vec_stats.exch_rows;
+                row.exch_row_rows += p.vec_stats.exch_row_rows;
+                if row.fallback.is_none() {
+                    row.fallback = p.vec_stats.fallback;
+                }
             }
         }
         let mut rows: Vec<AnalyzeRow> =
@@ -617,6 +627,16 @@ pub struct AnalyzeRow {
     pub vec_steps: u32,
     /// Fused steps that fell back to the row interpreter (batch mode only).
     pub row_steps: u32,
+    /// Column batches shipped through an exchange without row
+    /// materialization (columnar shuffle), summed over runs.
+    pub exch_batches: u64,
+    /// Rows that crossed an exchange in columnar form, summed over runs.
+    pub exch_rows: u64,
+    /// Rows that crossed an exchange via the row fallback path while batch
+    /// mode was on, summed over runs. 0 in row mode.
+    pub exch_row_rows: u64,
+    /// First reason the covering operator fell back to rows, if any.
+    pub fallback: Option<crate::exec::Fallback>,
 }
 
 /// The result of [`RheemContext::explain_analyze`].
@@ -693,6 +713,17 @@ impl fmt::Display for ExplainAnalysis {
                     "vec({}v/{}r,{}x{})",
                     r.vec_steps, r.row_steps, r.vec_batches, rpb
                 ));
+            }
+            if r.exch_batches > 0 || r.exch_row_rows > 0 {
+                // Exchange-level batch stats: batches/rows that crossed the
+                // shuffle in columnar form vs. rows that fell back.
+                flags.push(format!(
+                    "xch({}b/{}c/{}r)",
+                    r.exch_batches, r.exch_rows, r.exch_row_rows
+                ));
+            }
+            if let Some(why) = r.fallback {
+                flags.push(format!("fallback={}", why.as_str()));
             }
             writeln!(
                 f,

@@ -23,12 +23,15 @@
 //! and produce identical values in identical order.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::fused::{FusedPipeline, FusedStep};
-use crate::intern::intern;
-use crate::udf::{CmpOp, FlatMapSpec, KeySpec, KeyUdf, MapSpec, ReduceSpec, ReduceUdf, Sarg};
-use crate::value::Value;
+use crate::intern::{intern, intern_id};
+use crate::kernels::bucket_of_key;
+use crate::udf::{
+    CmpOp, FlatMapSpec, KeySpec, KeyUdf, MapSpec, PredSpec, ReduceSpec, ReduceUdf, Sarg,
+};
+use crate::value::{Dataset, Value};
 
 /// A typed column of quanta (one attribute across a batch of rows).
 #[derive(Clone, Debug)]
@@ -47,6 +50,11 @@ pub enum Column {
         dict: Vec<Arc<str>>,
         /// Per-row dictionary index.
         ids: Vec<u32>,
+        /// Global interner ids for `dict`, resolved once per column
+        /// allocation on first use. Bucket batches from [`partition_batch`]
+        /// share the source chunk's column `Arc`s, so the cache makes key
+        /// resolution per-chunk instead of per-bucket-contribution.
+        gids: OnceLock<Vec<u32>>,
     },
     /// Row fallback: arbitrary (mixed-type, nested, or null) values.
     Row(Vec<Value>),
@@ -75,10 +83,22 @@ impl Column {
             Column::Int64(v) => Value::Int(v[i]),
             Column::Float64(v) => Value::Float(v[i]),
             Column::Bool(v) => Value::Bool(v[i]),
-            Column::Str { dict, ids } => Value::Str(Arc::clone(&dict[ids[i] as usize])),
+            Column::Str { dict, ids, .. } => Value::Str(Arc::clone(&dict[ids[i] as usize])),
             Column::Row(v) => v[i].clone(),
         }
     }
+}
+
+/// Build a dictionary column with an empty global-id cache.
+fn str_col(dict: Vec<Arc<str>>, ids: Vec<u32>) -> Column {
+    Column::Str { dict, ids, gids: OnceLock::new() }
+}
+
+/// The cached global interner ids for a dictionary column, resolving the
+/// whole dictionary on first use. All selections sharing the column `Arc`
+/// (e.g. every bucket cut from one chunk) reuse the same resolution.
+fn dict_gids<'a>(dict: &[Arc<str>], gids: &'a OnceLock<Vec<u32>>) -> &'a [u32] {
+    gids.get_or_init(|| dict.iter().map(|s| intern_id(s).1).collect())
 }
 
 /// Columnarize one attribute: typed vector when every value shares a scalar
@@ -137,7 +157,7 @@ fn columnize<'a>(vals: impl Iterator<Item = &'a Value> + Clone, len: usize) -> C
                     _ => return Column::Row(vals.cloned().collect()),
                 }
             }
-            Column::Str { dict, ids }
+            str_col(dict, ids)
         }
         _ => Column::Row(vals.cloned().collect()),
     }
@@ -225,7 +245,12 @@ impl Batch {
     fn row(&self, i: usize) -> Value {
         match self.shape {
             Shape::Scalar => self.cols[0].get(i),
-            Shape::Tuple => Value::tuple(self.cols.iter().map(|c| c.get(i)).collect::<Vec<_>>()),
+            // Pairs are the dominant tuple width (key/value operators);
+            // build them without the intermediate Vec.
+            Shape::Tuple => match self.cols.as_slice() {
+                [a, b] => Value::pair(a.get(i), b.get(i)),
+                cols => Value::tuple(cols.iter().map(|c| c.get(i)).collect::<Vec<_>>()),
+            },
         }
     }
 
@@ -250,8 +275,9 @@ impl Batch {
 /// One vectorized step over column slices.
 #[derive(Clone, Debug)]
 enum VStep {
-    /// Sargable predicate → selection vector.
-    Filter(Sarg),
+    /// Structured predicate (sarg, conjunction, or string match) →
+    /// selection vector.
+    Filter(PredSpec),
     /// Recognized arithmetic / pairing map.
     Map(MapSpec),
     /// Whitespace tokenizer → dictionary-encoded string column.
@@ -304,7 +330,14 @@ impl VectorKernel {
     /// Columnarize `input` and run every step over column slices. `None` on
     /// any runtime type mismatch (caller falls back to the row path).
     pub fn run_values(&self, input: &[Value]) -> Option<Batch> {
-        let mut b = Batch::from_values(input);
+        self.run_batch(Batch::from_values(input))
+    }
+
+    /// Run every step over an already-columnar batch (e.g. one that arrived
+    /// through a columnar exchange) — no row round-trip. `None` on any
+    /// runtime type mismatch (caller falls back to the row path).
+    pub fn run_batch(&self, b: Batch) -> Option<Batch> {
+        let mut b = b;
         for s in &self.steps {
             b = apply(s, b)?;
         }
@@ -349,48 +382,76 @@ fn ord_ok(op: CmpOp, o: std::cmp::Ordering) -> bool {
     )
 }
 
+/// Apply one sargable comparison as a selection pass; `None` on a runtime
+/// shape/type mismatch.
+fn apply_sarg(sarg: &Sarg, b: Batch) -> Option<Batch> {
+    if b.shape != Shape::Tuple || sarg.field >= b.cols.len() {
+        return None;
+    }
+    let op = sarg.op;
+    // Tight loop per (column type, literal type) pair, matching the
+    // canonical `Value` order exactly (ints and floats cross-compare
+    // numerically via `total_cmp`).
+    let sel = match (b.cols[sarg.field].as_ref(), &sarg.literal) {
+        (Column::Int64(xs), Value::Int(l)) => {
+            let l = *l;
+            filter_sel(&b, |i| ord_ok(op, xs[i].cmp(&l)))
+        }
+        (Column::Int64(xs), Value::Float(l)) => {
+            let l = *l;
+            filter_sel(&b, |i| ord_ok(op, (xs[i] as f64).total_cmp(&l)))
+        }
+        (Column::Float64(xs), Value::Float(l)) => {
+            let l = *l;
+            filter_sel(&b, |i| ord_ok(op, xs[i].total_cmp(&l)))
+        }
+        (Column::Float64(xs), Value::Int(l)) => {
+            let l = *l as f64;
+            filter_sel(&b, |i| ord_ok(op, xs[i].total_cmp(&l)))
+        }
+        (Column::Bool(xs), Value::Bool(l)) => {
+            let l = *l;
+            filter_sel(&b, |i| ord_ok(op, xs[i].cmp(&l)))
+        }
+        (Column::Str { dict, ids, .. }, Value::Str(l)) => {
+            // Evaluate once per distinct string, then index.
+            let keep: Vec<bool> =
+                dict.iter().map(|s| ord_ok(op, s.as_ref().cmp(l.as_ref()))).collect();
+            filter_sel(&b, |i| keep[ids[i] as usize])
+        }
+        _ => return None,
+    };
+    Some(Batch { sel: Some(sel), ..b })
+}
+
+/// Apply a structured predicate; conjunctions chain selection passes and
+/// string predicates evaluate once per distinct dictionary entry.
+fn apply_pred(spec: &PredSpec, b: Batch) -> Option<Batch> {
+    match spec {
+        PredSpec::Sarg(s) => apply_sarg(s, b),
+        PredSpec::All(ss) => {
+            let mut b = b;
+            for s in ss {
+                b = apply_sarg(s, b)?;
+            }
+            Some(b)
+        }
+        PredSpec::Str(sp) => {
+            if b.shape != Shape::Tuple || sp.field >= b.cols.len() {
+                return None;
+            }
+            let Column::Str { dict, ids, .. } = b.cols[sp.field].as_ref() else { return None };
+            let keep: Vec<bool> = dict.iter().map(|s| sp.op.eval(s, &sp.needle)).collect();
+            let sel = filter_sel(&b, |i| keep[ids[i] as usize]);
+            Some(Batch { sel: Some(sel), ..b })
+        }
+    }
+}
+
 /// Apply one vector step; `None` on a runtime shape/type mismatch.
 fn apply(step: &VStep, b: Batch) -> Option<Batch> {
     match step {
-        VStep::Filter(sarg) => {
-            if b.shape != Shape::Tuple || sarg.field >= b.cols.len() {
-                return None;
-            }
-            let op = sarg.op;
-            // Tight loop per (column type, literal type) pair, matching the
-            // canonical `Value` order exactly (ints and floats cross-compare
-            // numerically via `total_cmp`).
-            let sel = match (b.cols[sarg.field].as_ref(), &sarg.literal) {
-                (Column::Int64(xs), Value::Int(l)) => {
-                    let l = *l;
-                    filter_sel(&b, |i| ord_ok(op, xs[i].cmp(&l)))
-                }
-                (Column::Int64(xs), Value::Float(l)) => {
-                    let l = *l;
-                    filter_sel(&b, |i| ord_ok(op, (xs[i] as f64).total_cmp(&l)))
-                }
-                (Column::Float64(xs), Value::Float(l)) => {
-                    let l = *l;
-                    filter_sel(&b, |i| ord_ok(op, xs[i].total_cmp(&l)))
-                }
-                (Column::Float64(xs), Value::Int(l)) => {
-                    let l = *l as f64;
-                    filter_sel(&b, |i| ord_ok(op, xs[i].total_cmp(&l)))
-                }
-                (Column::Bool(xs), Value::Bool(l)) => {
-                    let l = *l;
-                    filter_sel(&b, |i| ord_ok(op, xs[i].cmp(&l)))
-                }
-                (Column::Str { dict, ids }, Value::Str(l)) => {
-                    // Evaluate once per distinct string, then index.
-                    let keep: Vec<bool> =
-                        dict.iter().map(|s| ord_ok(op, s.as_ref().cmp(l.as_ref()))).collect();
-                    filter_sel(&b, |i| keep[ids[i] as usize])
-                }
-                _ => return None,
-            };
-            Some(Batch { sel: Some(sel), ..b })
-        }
+        VStep::Filter(spec) => apply_pred(spec, b),
         VStep::Map(MapSpec::PairIntLit(lit)) => {
             if b.shape != Shape::Scalar {
                 return None;
@@ -418,11 +479,39 @@ fn apply(step: &VStep, b: Batch) -> Option<Batch> {
                 .collect();
             Some(Batch { cols, shape: Shape::Tuple, len: b.len, sel: b.sel })
         }
+        VStep::Map(MapSpec::FieldFloatAdd { field, delta }) => {
+            if b.shape != Shape::Tuple || *field >= b.cols.len() {
+                return None;
+            }
+            let Column::Float64(xs) = b.cols[*field].as_ref() else { return None };
+            let shifted = Arc::new(Column::Float64(xs.iter().map(|x| x + delta).collect()));
+            let cols = b
+                .cols
+                .iter()
+                .enumerate()
+                .map(|(i, c)| if i == *field { Arc::clone(&shifted) } else { Arc::clone(c) })
+                .collect();
+            Some(Batch { cols, shape: Shape::Tuple, len: b.len, sel: b.sel })
+        }
+        VStep::Map(MapSpec::FieldFloatMul { field, factor }) => {
+            if b.shape != Shape::Tuple || *field >= b.cols.len() {
+                return None;
+            }
+            let Column::Float64(xs) = b.cols[*field].as_ref() else { return None };
+            let scaled = Arc::new(Column::Float64(xs.iter().map(|x| x * factor).collect()));
+            let cols = b
+                .cols
+                .iter()
+                .enumerate()
+                .map(|(i, c)| if i == *field { Arc::clone(&scaled) } else { Arc::clone(c) })
+                .collect();
+            Some(Batch { cols, shape: Shape::Tuple, len: b.len, sel: b.sel })
+        }
         VStep::Tokenize => {
             if b.shape != Shape::Scalar {
                 return None;
             }
-            let Column::Str { dict, ids } = b.cols[0].as_ref() else { return None };
+            let Column::Str { dict, ids, .. } = b.cols[0].as_ref() else { return None };
             // Tokenize each distinct line once, into word ids over an
             // interner-backed output dictionary.
             let mut out_dict: Vec<Arc<str>> = Vec::new();
@@ -450,7 +539,7 @@ fn apply(step: &VStep, b: Batch) -> Option<Batch> {
             }
             let len = out_ids.len();
             Some(Batch {
-                cols: vec![Arc::new(Column::Str { dict: out_dict, ids: out_ids })],
+                cols: vec![Arc::new(str_col(out_dict, out_ids))],
                 shape: Shape::Scalar,
                 len,
                 sel: None,
@@ -469,72 +558,232 @@ fn apply(step: &VStep, b: Batch) -> Option<Batch> {
 /// Whether a `ReduceBy`'s key/agg pair is recognized for batched
 /// aggregation. Static property (spec presence), safe for cost models.
 pub fn agg_vectorizable(key: &KeyUdf, agg: &ReduceUdf) -> bool {
-    key.spec == Some(KeySpec::Field(0)) && agg.spec == Some(ReduceSpec::PairIntSum)
+    key.spec == Some(KeySpec::Field(0))
+        && matches!(agg.spec, Some(ReduceSpec::PairIntSum | ReduceSpec::PairFloatSum))
 }
 
-/// Batched hash aggregation over a `(key, int)` tuple batch: the fused
+/// Assign a dense slot per distinct key of a two-column tuple batch, in
+/// first-occurrence order of the surviving rows. Returns the key column
+/// (one entry per slot), one slot index per surviving row, and the slot
+/// count. Dictionary-encoded keys get a slot-array (no hashing at all);
+/// integer keys pay one `i64` hash per row. `None` for other key columns.
+fn key_slots(b: &Batch) -> Option<(Column, Vec<usize>, usize)> {
+    match b.cols[0].as_ref() {
+        Column::Str { dict, ids, .. } => {
+            let mut slot_of = vec![usize::MAX; dict.len()];
+            let mut order: Vec<u32> = Vec::new();
+            let mut slots = Vec::with_capacity(b.selected_len());
+            for i in b.selected() {
+                let id = ids[i] as usize;
+                if slot_of[id] == usize::MAX {
+                    slot_of[id] = order.len();
+                    order.push(id as u32);
+                }
+                slots.push(slot_of[id]);
+            }
+            let out_dict: Vec<Arc<str>> =
+                order.iter().map(|&id| Arc::clone(&dict[id as usize])).collect();
+            let n = out_dict.len();
+            let ids_out: Vec<u32> = (0..n as u32).collect();
+            Some((str_col(out_dict, ids_out), slots, n))
+        }
+        Column::Int64(keys) => {
+            let mut slot: HashMap<i64, usize> = HashMap::new();
+            let mut order: Vec<i64> = Vec::new();
+            let mut slots = Vec::with_capacity(b.selected_len());
+            for i in b.selected() {
+                let k = keys[i];
+                let s = *slot.entry(k).or_insert_with(|| {
+                    order.push(k);
+                    order.len() - 1
+                });
+                slots.push(s);
+            }
+            let n = order.len();
+            Some((Column::Int64(order), slots, n))
+        }
+        _ => None,
+    }
+}
+
+/// Sum the value column by slot under the recognized combiner. Integer sums
+/// start at zero (`0 + x = x` exactly); float sums seed from the first value
+/// so single-occurrence keys reproduce the row accumulator bit-for-bit
+/// (the row path never runs the combiner for a lone key).
+fn sum_by_slots(b: &Batch, slots: &[usize], n: usize, spec: &ReduceSpec) -> Option<Column> {
+    match (spec, b.cols[1].as_ref()) {
+        (ReduceSpec::PairIntSum, Column::Int64(vals)) => {
+            let mut sums = vec![0i64; n];
+            for (pos, i) in b.selected().enumerate() {
+                sums[slots[pos]] = sums[slots[pos]].wrapping_add(vals[i]);
+            }
+            Some(Column::Int64(sums))
+        }
+        (ReduceSpec::PairFloatSum, Column::Float64(vals)) => {
+            let mut sums = vec![0f64; n];
+            let mut seen = vec![false; n];
+            for (pos, i) in b.selected().enumerate() {
+                let s = slots[pos];
+                if seen[s] {
+                    sums[s] += vals[i];
+                } else {
+                    seen[s] = true;
+                    sums[s] = vals[i];
+                }
+            }
+            Some(Column::Float64(sums))
+        }
+        _ => None,
+    }
+}
+
+/// Batched map-side combine over a `(key, value)` tuple batch: slot-array
+/// aggregation that stays columnar, producing a two-column `(key, sum)`
+/// batch with keys in first-occurrence order of the surviving rows. `None`
+/// when the batch is not a two-column tuple with a recognized key/value
+/// column pair for `spec` (callers fall back to the row accumulator).
+pub fn combine_batch(b: &Batch, spec: &ReduceSpec) -> Option<Batch> {
+    if b.shape != Shape::Tuple || b.cols.len() != 2 {
+        return None;
+    }
+    let (keys, slots, n) = key_slots(b)?;
+    let sums = sum_by_slots(b, &slots, n, spec)?;
+    Some(Batch {
+        cols: vec![Arc::new(keys), Arc::new(sums)],
+        shape: Shape::Tuple,
+        len: n,
+        sel: None,
+    })
+}
+
+/// Materialize a combined `(key, sum)` batch as the keyed pairs the row
+/// path's [`finish_keyed`] emits for shuffle routing: `(key, (key, sum))`.
+///
+/// [`finish_keyed`]: crate::kernels::ReduceByState::finish_keyed
+pub fn keyed_values(cb: &Batch) -> Vec<Value> {
+    cb.to_values().into_iter().map(|r| Value::pair(r.field(0).clone(), r)).collect()
+}
+
+/// Batched hash aggregation over a `(key, value)` tuple batch: the fused
 /// terminal `ReduceBy` fast path.
 ///
 /// Emits exactly what the row path's [`crate::kernels::ReduceByState`]
 /// would: one `(key, sum)` pair per distinct key in first-occurrence order
 /// of the surviving rows — or, with `keyed`, `(key, (key, sum))` pairs as
-/// [`finish_keyed`] produces for shuffle routing. Dictionary-encoded keys
-/// aggregate with one slot increment per row (no `Value` hashing at all);
-/// integer keys pay one `i64` hash per row. `None` when the batch is not a
-/// two-column tuple with an integer value column (callers fall back to the
-/// row accumulator).
+/// [`finish_keyed`] produces for shuffle routing. `None` when the batch is
+/// not a two-column tuple with a recognized key/value column pair (callers
+/// fall back to the row accumulator).
 ///
 /// [`finish_keyed`]: crate::kernels::ReduceByState::finish_keyed
-pub fn reduce_batch(b: &Batch, keyed: bool) -> Option<Vec<Value>> {
-    if b.shape != Shape::Tuple || b.cols.len() != 2 {
-        return None;
-    }
-    let Column::Int64(vals) = b.cols[1].as_ref() else { return None };
-    let pair = |k: Value, sum: i64| {
-        if keyed {
-            Value::pair(k.clone(), Value::pair(k, Value::Int(sum)))
-        } else {
-            Value::pair(k, Value::Int(sum))
+pub fn reduce_batch(b: &Batch, spec: &ReduceSpec, keyed: bool) -> Option<Vec<Value>> {
+    let cb = combine_batch(b, spec)?;
+    Some(if keyed { keyed_values(&cb) } else { cb.to_values() })
+}
+
+/// Reduce-side slot-array merge of combined `(key, sum)` batches arriving
+/// from producer partitions, in contribution order. Dictionary keys are
+/// unified through the global interner ids ([`crate::intern::intern_id`]),
+/// so no string content is hashed on the consumer side. Emits one merged
+/// `(key, sum)` batch with keys in first-occurrence order across the
+/// contributions — exactly what the row path's [`crate::kernels::merge_by`]
+/// produces for the same bucket. `None` when key or sum column types are
+/// mixed across contributions (callers fall back to the row merge).
+pub fn merge_batches(contribs: &[Batch]) -> Option<Batch> {
+    for cb in contribs {
+        if cb.shape != Shape::Tuple || cb.cols.len() != 2 {
+            return None;
         }
-    };
-    match b.cols[0].as_ref() {
-        Column::Str { dict, ids } => {
-            // Dictionary-keyed fast path: slot per distinct key, no hashing.
-            let mut sums = vec![0i64; dict.len()];
-            let mut seen = vec![false; dict.len()];
-            let mut order: Vec<u32> = Vec::new();
-            for i in b.selected() {
-                let id = ids[i] as usize;
-                if !seen[id] {
-                    seen[id] = true;
-                    order.push(id as u32);
+    }
+    let live: Vec<&Batch> = contribs.iter().filter(|cb| !cb.is_empty()).collect();
+    // Key and sum column types must be uniform across live contributions.
+    let str_keys = matches!(live.first().map(|cb| cb.cols[0].as_ref()), Some(Column::Str { .. }));
+    let int_sums = matches!(live.first().map(|cb| cb.cols[1].as_ref()), Some(Column::Int64(_)));
+    for cb in &live {
+        match cb.cols[0].as_ref() {
+            Column::Str { .. } if str_keys => {}
+            Column::Int64(_) if !str_keys => {}
+            _ => return None,
+        }
+        match cb.cols[1].as_ref() {
+            Column::Int64(_) if int_sums => {}
+            Column::Float64(_) if !int_sums => {}
+            _ => return None,
+        }
+    }
+    let mut slot_s: HashMap<u32, usize> = HashMap::new();
+    let mut keys_s: Vec<Arc<str>> = Vec::new();
+    let mut slot_i: HashMap<i64, usize> = HashMap::new();
+    let mut keys_i: Vec<i64> = Vec::new();
+    let mut sums_i: Vec<i64> = Vec::new();
+    let mut sums_f: Vec<f64> = Vec::new();
+    let mut seen_f: Vec<bool> = Vec::new();
+    for cb in live {
+        // Resolve each surviving row to a merged slot in contribution order.
+        let mut row_slots: Vec<usize> = Vec::with_capacity(cb.selected_len());
+        match cb.cols[0].as_ref() {
+            Column::Str { dict, ids, gids } => {
+                // Global ids come from the column's cache (resolved once per
+                // source chunk, shared by every bucket cut from it); rows
+                // then merge with no string hashing at all.
+                let gids = dict_gids(dict, gids);
+                for i in cb.selected() {
+                    let id = ids[i] as usize;
+                    let s = *slot_s.entry(gids[id]).or_insert_with(|| {
+                        keys_s.push(Arc::clone(&dict[id]));
+                        keys_s.len() - 1
+                    });
+                    row_slots.push(s);
                 }
-                sums[id] = sums[id].wrapping_add(vals[i]);
             }
-            Some(
-                order
-                    .into_iter()
-                    .map(|id| pair(Value::Str(Arc::clone(&dict[id as usize])), sums[id as usize]))
-                    .collect(),
-            )
-        }
-        Column::Int64(keys) => {
-            let mut slot: HashMap<i64, usize> = HashMap::new();
-            let mut order: Vec<i64> = Vec::new();
-            let mut sums: Vec<i64> = Vec::new();
-            for i in b.selected() {
-                let k = keys[i];
-                let s = *slot.entry(k).or_insert_with(|| {
-                    order.push(k);
-                    sums.push(0);
-                    sums.len() - 1
-                });
-                sums[s] = sums[s].wrapping_add(vals[i]);
+            Column::Int64(col) => {
+                for i in cb.selected() {
+                    let s = *slot_i.entry(col[i]).or_insert_with(|| {
+                        keys_i.push(col[i]);
+                        keys_i.len() - 1
+                    });
+                    row_slots.push(s);
+                }
             }
-            Some(order.into_iter().zip(sums).map(|(k, sum)| pair(Value::Int(k), sum)).collect())
+            _ => return None,
         }
-        _ => None,
+        let n = keys_s.len().max(keys_i.len());
+        match cb.cols[1].as_ref() {
+            Column::Int64(vals) => {
+                sums_i.resize(n, 0);
+                for (pos, i) in cb.selected().enumerate() {
+                    sums_i[row_slots[pos]] = sums_i[row_slots[pos]].wrapping_add(vals[i]);
+                }
+            }
+            Column::Float64(vals) => {
+                sums_f.resize(n, 0.0);
+                seen_f.resize(n, false);
+                for (pos, i) in cb.selected().enumerate() {
+                    let sl = row_slots[pos];
+                    if seen_f[sl] {
+                        sums_f[sl] += vals[i];
+                    } else {
+                        seen_f[sl] = true;
+                        sums_f[sl] = vals[i];
+                    }
+                }
+            }
+            _ => return None,
+        }
     }
+    let key_col = if str_keys {
+        let n = keys_s.len();
+        str_col(keys_s, (0..n as u32).collect())
+    } else {
+        Column::Int64(keys_i)
+    };
+    let sum_col = if int_sums { Column::Int64(sums_i) } else { Column::Float64(sums_f) };
+    let n = key_col.len();
+    Some(Batch {
+        cols: vec![Arc::new(key_col), Arc::new(sum_col)],
+        shape: Shape::Tuple,
+        len: n,
+        sel: None,
+    })
 }
 
 /// One-shot helper for engines: vectorize the chain, then aggregate the
@@ -551,8 +800,494 @@ pub fn run_reduce(
     if !agg_vectorizable(key, agg) {
         return None;
     }
+    let spec = agg.spec.as_ref()?;
     let b = vk.run_values(input)?;
-    reduce_batch(&b, keyed)
+    reduce_batch(&b, spec, keyed)
+}
+
+/// One engine partition: either materialized rows or a columnar batch that
+/// survived the previous segment. `Part::Cols` materializes to exactly the
+/// rows the row-mode engine would hold for the same partition, so every
+/// operator may call [`Part::rows`] and proceed row-wise without changing
+/// results — columnar-aware operators instead keep the batch.
+#[derive(Clone, Debug)]
+pub enum Part {
+    /// Row partition (the row-mode representation).
+    Rows(Dataset),
+    /// Columnar partition (batch-mode stages keep columns across segments).
+    Cols(Batch),
+}
+
+impl Part {
+    /// Rows in the partition (surviving the selection, for batches).
+    pub fn len(&self) -> usize {
+        match self {
+            Part::Rows(d) => d.len(),
+            Part::Cols(b) => b.selected_len(),
+        }
+    }
+
+    /// Whether the partition holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize the partition as rows (`Arc` clone for row partitions).
+    pub fn rows(&self) -> Dataset {
+        match self {
+            Part::Rows(d) => Arc::clone(d),
+            Part::Cols(b) => Arc::new(b.to_values()),
+        }
+    }
+
+    /// The columnar batch, when this partition stayed columnar.
+    pub fn as_batch(&self) -> Option<&Batch> {
+        match self {
+            Part::Rows(_) => None,
+            Part::Cols(b) => Some(b),
+        }
+    }
+}
+
+/// Materialize every partition as rows (row-mode view of a stage).
+pub fn rows_of(parts: &[Part]) -> Vec<Dataset> {
+    parts.iter().map(Part::rows).collect()
+}
+
+/// Wrap row partitions back into engine parts.
+pub fn into_row_parts(ds: Vec<Dataset>) -> Vec<Part> {
+    ds.into_iter().map(Part::Rows).collect()
+}
+
+/// All partitions as batches, when every partition stayed columnar.
+pub fn all_batches(parts: &[Part]) -> Option<Vec<&Batch>> {
+    parts.iter().map(Part::as_batch).collect()
+}
+
+/// Approximate wire size of the surviving rows (the columnar analogue of
+/// `dataset_bytes`: sampled average row size × row count).
+pub fn batch_bytes(b: &Batch) -> f64 {
+    let n = b.selected_len();
+    if n == 0 {
+        return 0.0;
+    }
+    let stride = (n / 64).max(1);
+    let mut sum = 0.0;
+    let mut cnt = 0usize;
+    for (pos, i) in b.selected().enumerate() {
+        if pos % stride == 0 {
+            sum += b.row(i).approx_bytes() as f64;
+            cnt += 1;
+        }
+    }
+    (sum / cnt.max(1) as f64) * n as f64
+}
+
+/// The key column a [`KeySpec`] projects out of a batch, when it is typed
+/// enough to drive a columnar exchange: `Field(i)` over tuple batches,
+/// `Identity` over scalar batches. Anything else (identity over tuples,
+/// field keys on scalars — which key on `Null` row-side) falls back.
+fn key_col<'a>(b: &'a Batch, key: &KeySpec) -> Option<&'a Column> {
+    match (key, b.shape) {
+        (KeySpec::Field(i), Shape::Tuple) if *i < b.cols.len() => Some(b.cols[*i].as_ref()),
+        (KeySpec::Identity, Shape::Scalar) => Some(b.cols[0].as_ref()),
+        _ => None,
+    }
+}
+
+/// Hash-partition a batch into `n` per-bucket selection batches on the key
+/// column `key` projects — no row round-trip; every bucket shares the same
+/// column `Arc`s with its own selection vector. Routing reproduces the row
+/// shuffle exactly ([`crate::kernels::bucket_of`]): each key value hashes
+/// identically to what `KeyUdf::call` would have produced. Dictionary keys
+/// hash once per distinct entry. `None` when the key column is untyped
+/// (callers fall back to the row shuffle).
+pub fn partition_batch(b: &Batch, key: &KeySpec, n: usize) -> Option<Vec<Batch>> {
+    let n = n.max(1);
+    let col = key_col(b, key)?;
+    let mut sels: Vec<Vec<u32>> = vec![Vec::new(); n];
+    match col {
+        Column::Int64(xs) => {
+            for i in b.selected() {
+                sels[bucket_of_key(&Value::Int(xs[i]), n)].push(i as u32);
+            }
+        }
+        Column::Float64(xs) => {
+            for i in b.selected() {
+                sels[bucket_of_key(&Value::Float(xs[i]), n)].push(i as u32);
+            }
+        }
+        Column::Bool(xs) => {
+            let buckets =
+                [bucket_of_key(&Value::Bool(false), n), bucket_of_key(&Value::Bool(true), n)];
+            for i in b.selected() {
+                sels[buckets[xs[i] as usize]].push(i as u32);
+            }
+        }
+        Column::Str { dict, ids, .. } => {
+            // Hash once per distinct dictionary entry, then route by id.
+            let buckets: Vec<usize> =
+                dict.iter().map(|s| bucket_of_key(&Value::Str(Arc::clone(s)), n)).collect();
+            for i in b.selected() {
+                sels[buckets[ids[i] as usize]].push(i as u32);
+            }
+        }
+        Column::Row(_) => return None,
+    }
+    Some(
+        sels.into_iter()
+            .map(|sel| Batch { cols: b.cols.clone(), shape: b.shape, len: b.len, sel: Some(sel) })
+            .collect(),
+    )
+}
+
+/// Stable per-partition sort by the key column `key` projects: a selection
+/// permutation, zero copy. Dictionary keys compare by precomputed rank so
+/// the sort never touches string content per row. `None` for untyped key
+/// columns (callers fall back to the row sort).
+pub fn sort_batch(b: &Batch, key: &KeySpec) -> Option<Batch> {
+    let col = key_col(b, key)?;
+    let mut idx: Vec<u32> = b.selected().map(|i| i as u32).collect();
+    match col {
+        Column::Int64(xs) => idx.sort_by(|&a, &c| xs[a as usize].cmp(&xs[c as usize])),
+        Column::Float64(xs) => idx.sort_by(|&a, &c| xs[a as usize].total_cmp(&xs[c as usize])),
+        Column::Bool(xs) => idx.sort_by(|&a, &c| xs[a as usize].cmp(&xs[c as usize])),
+        Column::Str { dict, ids, .. } => {
+            // Rank each distinct entry once; rows then compare by integer
+            // rank exactly as the row path compares string content.
+            let mut order: Vec<u32> = (0..dict.len() as u32).collect();
+            order.sort_by(|&x, &y| dict[x as usize].cmp(&dict[y as usize]));
+            let mut rank = vec![0u32; dict.len()];
+            for (r, &e) in order.iter().enumerate() {
+                rank[e as usize] = r as u32;
+            }
+            idx.sort_by(|&a, &c| {
+                rank[ids[a as usize] as usize].cmp(&rank[ids[c as usize] as usize])
+            });
+        }
+        Column::Row(_) => return None,
+    }
+    Some(Batch { sel: Some(idx), ..b.clone() })
+}
+
+/// Per-row sort key view used to merge sorted batches across partitions.
+enum KeyView<'a> {
+    I(&'a [i64]),
+    F(&'a [f64]),
+    B(&'a [bool]),
+    S { dict: &'a [Arc<str>], ids: &'a [u32] },
+}
+
+impl KeyView<'_> {
+    fn cmp_rows(&self, i: usize, other: &Self, j: usize) -> std::cmp::Ordering {
+        match (self, other) {
+            (KeyView::I(a), KeyView::I(b)) => a[i].cmp(&b[j]),
+            (KeyView::F(a), KeyView::F(b)) => a[i].total_cmp(&b[j]),
+            (KeyView::B(a), KeyView::B(b)) => a[i].cmp(&b[j]),
+            (KeyView::S { dict: da, ids: ia }, KeyView::S { dict: db, ids: ib }) => {
+                da[ia[i] as usize].cmp(&db[ib[j] as usize])
+            }
+            // Uniform key column types are checked before merging.
+            _ => unreachable!("mixed key column types in merge"),
+        }
+    }
+}
+
+fn key_view<'a>(b: &'a Batch, key: &KeySpec) -> Option<KeyView<'a>> {
+    match key_col(b, key)? {
+        Column::Int64(xs) => Some(KeyView::I(xs)),
+        Column::Float64(xs) => Some(KeyView::F(xs)),
+        Column::Bool(xs) => Some(KeyView::B(xs)),
+        Column::Str { dict, ids, .. } => Some(KeyView::S { dict, ids }),
+        Column::Row(_) => None,
+    }
+}
+
+/// K-way merge of per-partition sorted batches into output batches whose
+/// row chunking matches the row path exactly (`ceil(total / n)` rows per
+/// output partition, one empty partition when no rows survive). Ties break
+/// toward the lowest partition index, which reproduces a stable global sort
+/// of the concatenated partitions. Gathered string columns rebuild their
+/// dictionaries by global interner id — no string re-hashing. `None` when
+/// key columns are untyped or column types/shapes are mixed across
+/// partitions (callers fall back to the row sort).
+pub fn merge_sorted(parts: &[Batch], key: &KeySpec, n: usize) -> Option<Vec<Batch>> {
+    let first = parts.first()?;
+    let shape = first.shape;
+    let width = first.cols.len();
+    for p in parts {
+        if p.shape != shape || p.cols.len() != width {
+            return None;
+        }
+        for (c, col) in p.cols.iter().enumerate() {
+            let same = matches!(
+                (first.cols[c].as_ref(), col.as_ref()),
+                (Column::Int64(_), Column::Int64(_))
+                    | (Column::Float64(_), Column::Float64(_))
+                    | (Column::Bool(_), Column::Bool(_))
+                    | (Column::Str { .. }, Column::Str { .. })
+                    | (Column::Row(_), Column::Row(_))
+            );
+            if !same {
+                return None;
+            }
+        }
+    }
+    let views: Vec<KeyView<'_>> = parts.iter().map(|p| key_view(p, key)).collect::<Option<_>>()?;
+    let sels: Vec<Vec<usize>> = parts.iter().map(|p| p.selected().collect()).collect();
+    let total: usize = sels.iter().map(Vec::len).sum();
+
+    // K-way merge over (already sorted) partitions; lowest partition index
+    // wins ties, draining each equal-key run in partition order.
+    let mut cursor = vec![0usize; parts.len()];
+    let mut order: Vec<(u32, u32)> = Vec::with_capacity(total);
+    for _ in 0..total {
+        let mut best: Option<usize> = None;
+        for (p, cur) in cursor.iter().enumerate() {
+            if *cur >= sels[p].len() {
+                continue;
+            }
+            match best {
+                None => best = Some(p),
+                Some(bp) => {
+                    let o = views[p].cmp_rows(sels[p][*cur], &views[bp], sels[bp][cursor[bp]]);
+                    if o == std::cmp::Ordering::Less {
+                        best = Some(p);
+                    }
+                }
+            }
+        }
+        let p = best?;
+        order.push((p as u32, sels[p][cursor[p]] as u32));
+        cursor[p] += 1;
+    }
+
+    if total == 0 {
+        // Row path emits one empty partition when nothing survives.
+        return Some(vec![Batch { sel: Some(Vec::new()), ..first.clone() }]);
+    }
+    // Global interner ids let gathered dictionary columns merge without
+    // re-hashing string content; resolved once per column allocation and
+    // cached on the column itself.
+    let gids: Vec<Vec<Option<&[u32]>>> = parts
+        .iter()
+        .map(|p| {
+            p.cols
+                .iter()
+                .map(|c| match c.as_ref() {
+                    Column::Str { dict, gids, .. } => Some(dict_gids(dict, gids)),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+    let chunk = total.div_ceil(n.max(1)).max(1);
+    let mut out = Vec::with_capacity(total.div_ceil(chunk));
+    for rows in order.chunks(chunk) {
+        let cols: Vec<Arc<Column>> = (0..width)
+            .map(|c| {
+                Arc::new(match first.cols[c].as_ref() {
+                    Column::Int64(_) => Column::Int64(
+                        rows.iter()
+                            .map(|&(p, i)| match parts[p as usize].cols[c].as_ref() {
+                                Column::Int64(xs) => xs[i as usize],
+                                _ => unreachable!(),
+                            })
+                            .collect(),
+                    ),
+                    Column::Float64(_) => Column::Float64(
+                        rows.iter()
+                            .map(|&(p, i)| match parts[p as usize].cols[c].as_ref() {
+                                Column::Float64(xs) => xs[i as usize],
+                                _ => unreachable!(),
+                            })
+                            .collect(),
+                    ),
+                    Column::Bool(_) => Column::Bool(
+                        rows.iter()
+                            .map(|&(p, i)| match parts[p as usize].cols[c].as_ref() {
+                                Column::Bool(xs) => xs[i as usize],
+                                _ => unreachable!(),
+                            })
+                            .collect(),
+                    ),
+                    Column::Str { .. } => {
+                        let mut local: HashMap<u32, u32> = HashMap::new();
+                        let mut dict: Vec<Arc<str>> = Vec::new();
+                        let mut ids: Vec<u32> = Vec::with_capacity(rows.len());
+                        for &(p, i) in rows {
+                            let Column::Str { dict: sd, ids: si, .. } =
+                                parts[p as usize].cols[c].as_ref()
+                            else {
+                                unreachable!()
+                            };
+                            let entry = si[i as usize] as usize;
+                            let gid = gids[p as usize][c].expect("str gids")[entry];
+                            let id = *local.entry(gid).or_insert_with(|| {
+                                dict.push(Arc::clone(&sd[entry]));
+                                dict.len() as u32 - 1
+                            });
+                            ids.push(id);
+                        }
+                        str_col(dict, ids)
+                    }
+                    Column::Row(_) => Column::Row(
+                        rows.iter()
+                            .map(|&(p, i)| match parts[p as usize].cols[c].as_ref() {
+                                Column::Row(xs) => xs[i as usize].clone(),
+                                _ => unreachable!(),
+                            })
+                            .collect(),
+                    ),
+                })
+            })
+            .collect();
+        out.push(Batch { cols, shape, len: rows.len(), sel: None });
+    }
+    Some(out)
+}
+
+/// Hashable key of a typed column row for the batched join build/probe.
+/// Variants mirror [`Value`]'s structural equality: `Int(1)` and
+/// `Float(1.0)` never match, floats compare by bit pattern, and strings
+/// compare by global interner id.
+#[derive(PartialEq, Eq, Hash, Clone, Copy)]
+enum JoinKey {
+    I(i64),
+    F(u64),
+    B(bool),
+    S(u32),
+}
+
+/// Multiply-rotate hasher for the join build/probe table. [`JoinKey`]s are
+/// at most nine bytes of typed content, so SipHash's per-key setup cost
+/// dominates; a Fx-style mix is plenty for a table that never sees
+/// attacker-controlled keys (interner ids and typed payloads only).
+#[derive(Default)]
+struct JoinKeyHasher(u64);
+
+impl JoinKeyHasher {
+    #[inline]
+    fn add(&mut self, w: u64) {
+        self.0 = (self.0.rotate_left(5) ^ w).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl std::hash::Hasher for JoinKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+type JoinKeyMap<V> = HashMap<JoinKey, V, std::hash::BuildHasherDefault<JoinKeyHasher>>;
+
+/// Per-row join keys for a batch's key column; string entries resolve to
+/// global interner ids once per distinct dictionary entry. `None` for
+/// untyped key columns.
+fn join_keys(b: &Batch, key: &KeySpec) -> Option<Vec<JoinKey>> {
+    let col = key_col(b, key)?;
+    let mut out = Vec::with_capacity(b.selected_len());
+    match col {
+        Column::Int64(xs) => {
+            for i in b.selected() {
+                out.push(JoinKey::I(xs[i]));
+            }
+        }
+        Column::Float64(xs) => {
+            for i in b.selected() {
+                out.push(JoinKey::F(xs[i].to_bits()));
+            }
+        }
+        Column::Bool(xs) => {
+            for i in b.selected() {
+                out.push(JoinKey::B(xs[i]));
+            }
+        }
+        Column::Str { dict, ids, gids } => {
+            let gids = dict_gids(dict, gids);
+            for i in b.selected() {
+                out.push(JoinKey::S(gids[ids[i] as usize]));
+            }
+        }
+        Column::Row(_) => return None,
+    }
+    Some(out)
+}
+
+/// Batched hash join over one co-partitioned bucket: build a slot table
+/// over the right contributions (dictionary keys resolve to interner ids —
+/// no `Value` hashing), then probe the left contributions with streaming
+/// selection order, emitting `(left, right)` pairs exactly as
+/// [`crate::kernels::hash_join`] does: left-major, right matches in right
+/// input order. `None` when any key column is untyped (callers fall back to
+/// the row join; differing typed key families simply never match, exactly
+/// like structural `Value` equality).
+pub fn join_buckets(
+    left: &[Batch],
+    right: &[Batch],
+    left_key: &KeySpec,
+    right_key: &KeySpec,
+) -> Option<Vec<Value>> {
+    // Validate both key columns up front so no work is wasted on a bucket
+    // that falls back anyway.
+    let rkeys: Vec<Vec<JoinKey>> =
+        right.iter().map(|rb| join_keys(rb, right_key)).collect::<Option<_>>()?;
+    let lkeys: Vec<Vec<JoinKey>> =
+        left.iter().map(|lb| join_keys(lb, left_key)).collect::<Option<_>>()?;
+    // Materialize each build-side row once (not once per match).
+    let mut table: JoinKeyMap<Vec<u32>> = JoinKeyMap::default();
+    let mut rvals: Vec<Value> = Vec::new();
+    for (rb, keys) in right.iter().zip(&rkeys) {
+        for (pos, i) in rb.selected().enumerate() {
+            table.entry(keys[pos]).or_default().push(rvals.len() as u32);
+            rvals.push(rb.row(i));
+        }
+    }
+    let mut out = Vec::new();
+    for (lb, keys) in left.iter().zip(&lkeys) {
+        for (pos, i) in lb.selected().enumerate() {
+            if let Some(matches) = table.get(&keys[pos]) {
+                let l = lb.row(i);
+                for &ri in matches {
+                    out.push(Value::pair(l.clone(), rvals[ri as usize].clone()));
+                }
+            }
+        }
+    }
+    Some(out)
 }
 
 #[cfg(test)]

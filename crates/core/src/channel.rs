@@ -74,6 +74,13 @@ pub enum ChannelData {
     /// [`ChannelData::sample`] rebuild row values on demand, so consumers
     /// that only understand collections keep working unchanged.
     Batches(Arc<Vec<crate::batch::Batch>>),
+    /// Columnar batches with *partition* semantics: exactly one batch per
+    /// engine partition, produced when a whole distributed stage stayed
+    /// columnar. Unlike [`ChannelData::Batches`] (collection semantics,
+    /// rechunked on consumption), these map 1:1 onto the consumer's
+    /// partitions — the columnar exchange handoff between spark/flink
+    /// stages. Row-mode consumers materialize via [`ChannelData::flatten`].
+    BatchParts(Arc<Vec<crate::batch::Batch>>),
     /// Platform-specific payload (e.g. a Postgres relation handle, a Giraph
     /// graph). `kind` tells the owner platform how to interpret it.
     Opaque {
@@ -92,7 +99,9 @@ impl ChannelData {
         match self {
             ChannelData::Collection(d) => Some(d.len()),
             ChannelData::Partitions(p) => Some(p.iter().map(|d| d.len()).sum()),
-            ChannelData::Batches(b) => Some(b.iter().map(|x| x.selected_len()).sum()),
+            ChannelData::Batches(b) | ChannelData::BatchParts(b) => {
+                Some(b.iter().map(|x| x.selected_len()).sum())
+            }
             _ => None,
         }
     }
@@ -158,7 +167,7 @@ impl ChannelData {
             ChannelData::Partitions(p) => {
                 Some(p.iter().flat_map(|d| d.iter()).take(limit).cloned().collect())
             }
-            ChannelData::Batches(b) => {
+            ChannelData::Batches(b) | ChannelData::BatchParts(b) => {
                 let mut out = Vec::with_capacity(limit);
                 for batch in b.iter() {
                     // Materialize per batch; stop as soon as the limit fills.
@@ -191,7 +200,7 @@ impl ChannelData {
                 }
                 Ok(Arc::new(out))
             }
-            ChannelData::Batches(b) => {
+            ChannelData::Batches(b) | ChannelData::BatchParts(b) => {
                 let total: usize = b.iter().map(|x| x.selected_len()).sum();
                 let mut out: Vec<Value> = Vec::with_capacity(total);
                 for batch in b.iter() {
@@ -217,6 +226,12 @@ impl fmt::Debug for ChannelData {
             ChannelData::Batches(b) => write!(
                 f,
                 "Batches({} x {} quanta)",
+                b.len(),
+                b.iter().map(|x| x.selected_len()).sum::<usize>()
+            ),
+            ChannelData::BatchParts(b) => write!(
+                f,
+                "BatchParts({} x {} quanta)",
                 b.len(),
                 b.iter().map(|x| x.selected_len()).sum::<usize>()
             ),

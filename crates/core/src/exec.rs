@@ -122,6 +122,55 @@ pub struct VecStats {
     pub vec_steps: u32,
     /// Fused steps that fell back to the row interpreter.
     pub row_steps: u32,
+    /// Column batches shipped through a columnar exchange (no row
+    /// materialization at the partition boundary).
+    pub exch_batches: u64,
+    /// Rows exchanged in columnar form.
+    pub exch_rows: u64,
+    /// Rows exchanged through the row-materialized path while batch mode
+    /// was on (the exchange fallback).
+    pub exch_row_rows: u64,
+    /// Why this node left the vectorized path, when it did (first reason
+    /// wins; `None` when fully vectorized or in row mode).
+    pub fallback: Option<Fallback>,
+}
+
+/// Why a batched segment or exchange fell back to the row path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fallback {
+    /// A fused step had no spec descriptor (opaque closure), or runtime
+    /// column types didn't match the spec.
+    OpaqueSegment,
+    /// The exchange input arrived as rows (an upstream segment already
+    /// fell back), so there was nothing columnar to ship.
+    RowInput,
+    /// Key or value column types were untyped or mixed across partitions.
+    TypeMismatch,
+    /// The key extractor had no spec usable over columns.
+    OpaqueKey,
+}
+
+impl Fallback {
+    /// Stable short name (used in trace JSON and recorder events).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Fallback::OpaqueSegment => "opaque-segment",
+            Fallback::RowInput => "row-input",
+            Fallback::TypeMismatch => "type-mismatch",
+            Fallback::OpaqueKey => "opaque-key",
+        }
+    }
+
+    /// Parse a short name back (trace JSON round-trip).
+    pub fn parse(s: &str) -> Option<Fallback> {
+        match s {
+            "opaque-segment" => Some(Fallback::OpaqueSegment),
+            "row-input" => Some(Fallback::RowInput),
+            "type-mismatch" => Some(Fallback::TypeMismatch),
+            "opaque-key" => Some(Fallback::OpaqueKey),
+            _ => None,
+        }
+    }
 }
 
 impl VecStats {
@@ -172,6 +221,21 @@ impl<'a> ExecCtx<'a> {
     /// meaningful in batch mode — row mode reports nothing).
     pub fn report_row_fallback(&mut self, steps: u32) {
         self.vec_stats.row_steps += steps;
+        self.vec_stats.fallback.get_or_insert(Fallback::OpaqueSegment);
+    }
+
+    /// Report an exchange that shipped columns across the partition
+    /// boundary: `batches` non-empty bucket batches carrying `rows` rows.
+    pub fn report_exchange(&mut self, batches: u64, rows: u64) {
+        self.vec_stats.exch_batches += batches;
+        self.vec_stats.exch_rows += rows;
+    }
+
+    /// Report an exchange that fell back to row materialization while batch
+    /// mode was on, and why (only meaningful in batch mode).
+    pub fn report_exchange_fallback(&mut self, rows: u64, why: Fallback) {
+        self.vec_stats.exch_row_rows += rows;
+        self.vec_stats.fallback.get_or_insert(why);
     }
 
     /// Drain the vectorization counters (executor moves them onto the

@@ -569,7 +569,9 @@ impl<'a> Executor<'a> {
                 // Batched feedback has no borrowable rows; materialize the
                 // probe element (one batch at most) instead of erroring.
                 let probe = match &state {
-                    ChannelData::Batches(_) => state.sample(1).and_then(|s| s.into_iter().next()),
+                    ChannelData::Batches(_) | ChannelData::BatchParts(_) => {
+                        state.sample(1).and_then(|s| s.into_iter().next())
+                    }
                     _ => state.first()?.cloned(),
                 };
                 let done = probe.map(|v| cond.call(&v, &BroadcastCtx::new())).unwrap_or(true);
@@ -911,6 +913,18 @@ impl<'a> Executor<'a> {
             st.stage_attempts.insert((node.stage, st.iteration), failures_after);
         }
         let NodeExec { out, mut ops, mut vdur, events, real_ms, node_retries, vec_stats } = result?;
+
+        // Columnar execution fell back to rows somewhere inside this node:
+        // surface it on the flight recorder so operators can spot plans that
+        // silently lose their batch shape (satellite of the columnar shuffle).
+        if let Some(why) = vec_stats.fallback {
+            self.record_event(
+                crate::obs::EventKind::BatchFallback,
+                Some(node.stage as u64),
+                (vec_stats.row_steps as u64).max(vec_stats.exch_row_rows) as f64,
+                why.as_str(),
+            );
+        }
 
         // Exploration sniffer (Fig. 7): multiplex a sample of the output.
         if self.config.exploration && !node.logical.is_empty() {
@@ -1493,7 +1507,8 @@ impl<'a> Executor<'a> {
                 match &st.values[nid] {
                     Some(ChannelData::Collection(_))
                     | Some(ChannelData::Partitions(_))
-                    | Some(ChannelData::Batches(_)) => {}
+                    | Some(ChannelData::Batches(_))
+                    | Some(ChannelData::BatchParts(_)) => {}
                     _ => return false,
                 }
             }

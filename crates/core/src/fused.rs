@@ -51,7 +51,7 @@ impl FusedStep {
                 // Carry the sargable description into the fused step so the
                 // vectorized path can evaluate it over column slices.
                 let mut p = pred.clone();
-                p.spec = Some(sarg.clone());
+                p.spec = Some(crate::udf::PredSpec::Sarg(sarg.clone()));
                 Some(FusedStep::Filter(p))
             }
             LogicalOp::Project { fields } => Some(FusedStep::Project(fields.clone())),

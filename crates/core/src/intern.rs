@@ -6,20 +6,35 @@
 //! ([`crate::batch::Column::Str`]) reuse the same backing allocations across
 //! batches. The pool is sharded to keep parallel partition workers (spark /
 //! flink simulacra on the PR 4 pool) from serializing on one lock.
+//!
+//! Since PR 9 the pool also hands out a **stable process-wide id** per
+//! distinct string ([`intern_id`]). Columnar exchanges use these global ids
+//! to merge dictionary columns coming from different producer partitions
+//! without re-hashing string content on the consumer side: two dictionary
+//! entries refer to the same key iff their global ids are equal, regardless
+//! of which partition (or which platform simulacrum) interned them first.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 const SHARDS: usize = 16;
 
-fn pool() -> &'static [Mutex<HashSet<Arc<str>>>; SHARDS] {
-    static POOL: OnceLock<[Mutex<HashSet<Arc<str>>>; SHARDS]> = OnceLock::new();
-    POOL.get_or_init(|| std::array::from_fn(|_| Mutex::new(HashSet::new())))
+/// Monotonic id source shared by all shards. Ids are dense-ish but their
+/// only contract is *stability*: one string maps to one id for the lifetime
+/// of the process.
+static NEXT_ID: AtomicU32 = AtomicU32::new(0);
+
+type Shard = Mutex<HashMap<Arc<str>, u32>>;
+
+fn pool() -> &'static [Shard; SHARDS] {
+    static POOL: OnceLock<[Shard; SHARDS]> = OnceLock::new();
+    POOL.get_or_init(|| std::array::from_fn(|_| Mutex::new(HashMap::new())))
 }
 
 fn shard_of(s: &str) -> usize {
     // FNV-1a over the first/last bytes is enough to spread shards; the
-    // HashSet inside does the real hashing.
+    // HashMap inside does the real hashing.
     let b = s.as_bytes();
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &c in b.iter().take(8).chain(b.iter().rev().take(4)) {
@@ -31,13 +46,28 @@ fn shard_of(s: &str) -> usize {
 /// Intern `s`, returning a shared `Arc<str>`. Repeated calls with equal
 /// content return clones of the same allocation.
 pub fn intern(s: &str) -> Arc<str> {
+    intern_id(s).0
+}
+
+/// Intern `s` and return both the shared allocation and its stable global
+/// id. The id is assigned on first sight and never changes afterwards, so
+/// dictionary columns built on different partitions can be merged by id
+/// without consulting string content again.
+pub fn intern_id(s: &str) -> (Arc<str>, u32) {
     let mut shard = pool()[shard_of(s)].lock().expect("interner shard poisoned");
-    if let Some(a) = shard.get(s) {
-        return Arc::clone(a);
+    if let Some((a, id)) = shard.get_key_value(s) {
+        return (Arc::clone(a), *id);
     }
     let a: Arc<str> = Arc::from(s);
-    shard.insert(Arc::clone(&a));
-    a
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    shard.insert(Arc::clone(&a), id);
+    (a, id)
+}
+
+/// Global id for an already-or-newly interned string. Shorthand for
+/// `intern_id(s).1`.
+pub fn global_id(s: &str) -> u32 {
+    intern_id(s).1
 }
 
 /// Number of distinct strings currently interned (across all shards).
@@ -62,6 +92,40 @@ mod tests {
         let a = intern("alpha-intern");
         let b = intern("beta-intern");
         assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn intern_ids_are_stable_across_partition_boundaries() {
+        // Simulate producer partitions interning the same token set from
+        // different threads, then a consumer re-deriving ids: every path
+        // must observe the same id for the same content.
+        let words: Vec<String> = (0..64).map(|i| format!("stable-id-{i}")).collect();
+        let baseline: Vec<u32> = words.iter().map(|w| global_id(w)).collect();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let words = words.clone();
+                std::thread::spawn(move || {
+                    words
+                        .iter()
+                        .skip(t % 3)
+                        .map(|w| intern_id(w))
+                        .map(|(a, id)| {
+                            assert_eq!(global_id(&a), id);
+                            id
+                        })
+                        .collect::<Vec<u32>>()
+                })
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            let ids = h.join().unwrap();
+            assert_eq!(ids.as_slice(), &baseline[t % 3..]);
+        }
+        // Distinct strings never share an id.
+        let mut seen = std::collections::HashSet::new();
+        for id in baseline {
+            assert!(seen.insert(id));
+        }
     }
 
     #[test]

@@ -347,9 +347,16 @@ impl SplitMix64 {
 /// routing function).
 #[inline]
 pub fn bucket_of(v: &Value, key: &KeyUdf, n: usize) -> usize {
+    bucket_of_key(&key.call(v), n)
+}
+
+/// Bucket for an already-extracted key value. Columnar exchanges route
+/// selection vectors through this so batched and row shuffles agree on the
+/// destination partition for every row.
+pub fn bucket_of_key(k: &Value, n: usize) -> usize {
     use std::hash::{Hash, Hasher};
     let mut h = std::collections::hash_map::DefaultHasher::new();
-    key.call(v).hash(&mut h);
+    k.hash(&mut h);
     (h.finish() as usize) % n.max(1)
 }
 

@@ -56,6 +56,8 @@ pub enum EventKind {
     FaultInjected,
     /// The watchdog emitted a diagnosis.
     Watchdog,
+    /// A batched (columnar) stage fell back to row execution.
+    BatchFallback,
 }
 
 impl EventKind {
@@ -76,6 +78,7 @@ impl EventKind {
             EventKind::CacheEvicted => "cache.evicted",
             EventKind::FaultInjected => "fault.injected",
             EventKind::Watchdog => "watchdog",
+            EventKind::BatchFallback => "batch.fallback",
         }
     }
 }

@@ -525,7 +525,7 @@ impl JobTrace {
             }
             let _ = write!(
                 out,
-                "],\"tuples_in\":{},\"tuples_out\":{},\"virtual_ms\":{},\"retries\":{},\"vec_rows\":{},\"vec_batches\":{},\"vec_steps\":{},\"row_steps\":{},\"superseded\":{}}}",
+                "],\"tuples_in\":{},\"tuples_out\":{},\"virtual_ms\":{},\"retries\":{},\"vec_rows\":{},\"vec_batches\":{},\"vec_steps\":{},\"row_steps\":{},\"exch_batches\":{},\"exch_rows\":{},\"exch_row_rows\":{},\"fallback\":",
                 p.tuples_in,
                 p.tuples_out,
                 json_f64(p.virtual_ms),
@@ -534,8 +534,15 @@ impl JobTrace {
                 p.vec_stats.batches,
                 p.vec_stats.vec_steps,
                 p.vec_stats.row_steps,
-                p.superseded
+                p.vec_stats.exch_batches,
+                p.vec_stats.exch_rows,
+                p.vec_stats.exch_row_rows,
             );
+            match p.vec_stats.fallback {
+                Some(why) => json_string(&mut out, why.as_str()),
+                None => out.push_str("null"),
+            }
+            let _ = write!(out, ",\"superseded\":{}}}", p.superseded);
         }
         out.push_str("],\"runs\":[");
         for (i, r) in self.runs.iter().enumerate() {
@@ -638,6 +645,19 @@ impl JobTrace {
                     row_steps: json::get(p, "row_steps")
                         .and_then(|v| v.as_f64("row_steps"))
                         .unwrap_or(0.0) as u32,
+                    exch_batches: json::get(p, "exch_batches")
+                        .and_then(|v| v.as_f64("exch_batches"))
+                        .unwrap_or(0.0) as u64,
+                    exch_rows: json::get(p, "exch_rows")
+                        .and_then(|v| v.as_f64("exch_rows"))
+                        .unwrap_or(0.0) as u64,
+                    exch_row_rows: json::get(p, "exch_row_rows")
+                        .and_then(|v| v.as_f64("exch_row_rows"))
+                        .unwrap_or(0.0) as u64,
+                    fallback: json::get(p, "fallback")
+                        .ok()
+                        .and_then(|v| v.as_str("fallback").ok())
+                        .and_then(crate::exec::Fallback::parse),
                 },
                 superseded: json::get(p, "superseded")?.as_bool("superseded")?,
             });
@@ -1116,7 +1136,16 @@ mod tests {
             tuples_out: 50,
             virtual_ms: 2.5,
             retries: 1,
-            vec_stats: crate::exec::VecStats { rows: 100, batches: 1, vec_steps: 2, row_steps: 0 },
+            vec_stats: crate::exec::VecStats {
+                rows: 100,
+                batches: 1,
+                vec_steps: 2,
+                row_steps: 0,
+                exch_batches: 4,
+                exch_rows: 100,
+                exch_row_rows: 0,
+                fallback: Some(crate::exec::Fallback::OpaqueSegment),
+            },
             superseded: false,
         });
         t.add_run(RunProfile {

@@ -102,6 +102,22 @@ pub enum MapSpec {
         /// Constant added to the field.
         delta: i64,
     },
+    /// `(…, fᵢ, …) ↦ (…, fᵢ + delta, …)` — add a constant to float tuple
+    /// field `field`, leaving other fields (and non-float values) untouched.
+    FieldFloatAdd {
+        /// Tuple field index to shift.
+        field: usize,
+        /// Constant added to the field.
+        delta: f64,
+    },
+    /// `(…, fᵢ, …) ↦ (…, fᵢ · factor, …)` — scale float tuple field `field`,
+    /// leaving other fields (and non-float values) untouched.
+    FieldFloatMul {
+        /// Tuple field index to scale.
+        field: usize,
+        /// Constant the field is multiplied by.
+        factor: f64,
+    },
 }
 
 /// Structured form of a recognized flat-map (see [`FlatMapUdf::spec`]).
@@ -128,6 +144,9 @@ pub enum ReduceSpec {
     /// WordCount count-merge shape. Non-int fields combine to `(k, 0)`-style
     /// sums exactly like the derived closure (`as_int().unwrap_or(0)`).
     PairIntSum,
+    /// `(k, a) ⊕ (k, b) = (k, a + b)` over float second fields
+    /// (`as_f64().unwrap_or(0.0)`), key taken from the left.
+    PairFloatSum,
 }
 
 udf_type!(
@@ -177,6 +196,44 @@ impl MapUdf {
             None => v.clone(),
         });
         m.spec = Some(MapSpec::FieldIntAdd { field, delta });
+        m
+    }
+
+    /// Spec'd map adding `delta` to float tuple field `field`; other fields,
+    /// non-float fields and non-tuple quanta pass through unchanged.
+    pub fn field_add_float(name: impl Into<Arc<str>>, field: usize, delta: f64) -> Self {
+        let mut m = Self::new(name, move |v| match v.fields() {
+            Some(fs) => Value::tuple(
+                fs.iter()
+                    .enumerate()
+                    .map(|(i, x)| match (i == field, x) {
+                        (true, Value::Float(n)) => Value::Float(n + delta),
+                        _ => x.clone(),
+                    })
+                    .collect::<Vec<_>>(),
+            ),
+            None => v.clone(),
+        });
+        m.spec = Some(MapSpec::FieldFloatAdd { field, delta });
+        m
+    }
+
+    /// Spec'd map scaling float tuple field `field` by `factor`; other
+    /// fields, non-float fields and non-tuple quanta pass through unchanged.
+    pub fn field_mul_float(name: impl Into<Arc<str>>, field: usize, factor: f64) -> Self {
+        let mut m = Self::new(name, move |v| match v.fields() {
+            Some(fs) => Value::tuple(
+                fs.iter()
+                    .enumerate()
+                    .map(|(i, x)| match (i == field, x) {
+                        (true, Value::Float(n)) => Value::Float(n * factor),
+                        _ => x.clone(),
+                    })
+                    .collect::<Vec<_>>(),
+            ),
+            None => v.clone(),
+        });
+        m.spec = Some(MapSpec::FieldFloatMul { field, factor });
         m
     }
 
@@ -308,11 +365,85 @@ impl Sarg {
     }
 }
 
+/// String matching operators a structured string predicate may use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StrOp {
+    /// Substring containment.
+    Contains,
+    /// Prefix match.
+    StartsWith,
+    /// Suffix match.
+    EndsWith,
+}
+
+impl StrOp {
+    /// Evaluate the match on a haystack string.
+    pub fn eval(self, hay: &str, needle: &str) -> bool {
+        match self {
+            StrOp::Contains => hay.contains(needle),
+            StrOp::StartsWith => hay.starts_with(needle),
+            StrOp::EndsWith => hay.ends_with(needle),
+        }
+    }
+}
+
+/// Structured description of a string predicate over one tuple field.
+/// Non-string fields (and non-tuples, whose `field(i)` is `Null`) never
+/// match, exactly like the derived closure.
+#[derive(Clone, Debug)]
+pub struct StrPred {
+    /// Tuple field index the predicate constrains.
+    pub field: usize,
+    /// Match operator.
+    pub op: StrOp,
+    /// Needle the field is matched against.
+    pub needle: Arc<str>,
+}
+
+impl StrPred {
+    /// Evaluate the predicate against a quantum.
+    pub fn eval(&self, v: &Value) -> bool {
+        v.field(self.field).as_str().map(|s| self.op.eval(s, &self.needle)).unwrap_or(false)
+    }
+}
+
+/// Structured form of a recognized predicate (see [`PredicateUdf::spec`]).
+/// Sargable single comparisons stay pushdown-eligible on relational
+/// platforms; conjunctions and string predicates are vectorization-only.
+#[derive(Clone, Debug)]
+pub enum PredSpec {
+    /// A single sargable comparison.
+    Sarg(Sarg),
+    /// Conjunction of sargable comparisons (all must hold).
+    All(Vec<Sarg>),
+    /// A string match over one tuple field.
+    Str(StrPred),
+}
+
+impl PredSpec {
+    /// The single sarg, when this spec is pushdown-eligible.
+    pub fn as_sarg(&self) -> Option<&Sarg> {
+        match self {
+            PredSpec::Sarg(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Evaluate the structured predicate against a quantum.
+    pub fn eval(&self, v: &Value) -> bool {
+        match self {
+            PredSpec::Sarg(s) => s.eval(v),
+            PredSpec::All(ss) => ss.iter().all(|s| s.eval(v)),
+            PredSpec::Str(sp) => sp.eval(v),
+        }
+    }
+}
+
 udf_type!(
     /// Boolean predicate UDF (the `Filter` operator payload).
     PredicateUdf,
     dyn Fn(&Value, &BroadcastCtx) -> bool + Send + Sync,
-    Sarg
+    PredSpec
 );
 
 impl PredicateUdf {
@@ -340,9 +471,39 @@ impl PredicateUdf {
                 name: name.into(),
                 f: Arc::new(move |v, _| s.eval(v)),
                 cost_hint: 1.0,
-                spec: Some(sarg.clone()),
+                spec: Some(PredSpec::Sarg(sarg.clone())),
             },
             sarg,
+        }
+    }
+
+    /// Build a conjunctive predicate from several sargable comparisons (all
+    /// must hold). Not pushdown-eligible as a unit, but vectorizable.
+    pub fn from_sargs(name: impl Into<Arc<str>>, sargs: Vec<Sarg>) -> Self {
+        let ss = sargs.clone();
+        Self {
+            name: name.into(),
+            f: Arc::new(move |v, _| ss.iter().all(|s| s.eval(v))),
+            cost_hint: 1.0,
+            spec: Some(PredSpec::All(sargs)),
+        }
+    }
+
+    /// Build a string-match predicate over tuple field `field`. Non-string
+    /// fields never match.
+    pub fn str_match(
+        name: impl Into<Arc<str>>,
+        field: usize,
+        op: StrOp,
+        needle: impl Into<Arc<str>>,
+    ) -> Self {
+        let sp = StrPred { field, op, needle: needle.into() };
+        let s = sp.clone();
+        Self {
+            name: name.into(),
+            f: Arc::new(move |v, _| s.eval(v)),
+            cost_hint: 1.0,
+            spec: Some(PredSpec::Str(sp)),
         }
     }
 
@@ -439,6 +600,21 @@ impl ReduceUdf {
             )
         });
         r.spec = Some(ReduceSpec::PairIntSum);
+        r
+    }
+
+    /// Spec'd pair-sum combiner over float second fields
+    /// (`as_f64().unwrap_or(0.0)`), key taken from the left.
+    pub fn pair_float_sum(name: impl Into<Arc<str>>) -> Self {
+        let mut r = Self::new(name, |a, b| {
+            Value::pair(
+                a.field(0).clone(),
+                Value::Float(
+                    a.field(1).as_f64().unwrap_or(0.0) + b.field(1).as_f64().unwrap_or(0.0),
+                ),
+            )
+        });
+        r.spec = Some(ReduceSpec::PairFloatSum);
         r
     }
 
@@ -578,6 +754,47 @@ mod tests {
         .pred
         .spec
         .is_some());
+    }
+
+    #[test]
+    fn widened_specs_agree_with_closures() {
+        let ctx = BroadcastCtx::new();
+        let row = Value::tuple(vec![Value::from("alpha"), Value::from(2.5), Value::from(3)]);
+
+        let fadd = MapUdf::field_add_float("fadd", 1, 0.5);
+        assert_eq!(fadd.spec, Some(MapSpec::FieldFloatAdd { field: 1, delta: 0.5 }));
+        assert_eq!(fadd.call(&row, &ctx).field(1).as_f64(), Some(3.0));
+        // Non-float target field passes through untouched.
+        assert_eq!(
+            MapUdf::field_add_float("x", 2, 1.0).call(&row, &ctx).field(2).as_int(),
+            Some(3)
+        );
+
+        let fmul = MapUdf::field_mul_float("fmul", 1, 2.0);
+        assert_eq!(fmul.call(&row, &ctx).field(1).as_f64(), Some(5.0));
+
+        let conj = PredicateUdf::from_sargs(
+            "band",
+            vec![
+                Sarg { field: 2, op: CmpOp::Ge, literal: Value::from(2) },
+                Sarg { field: 2, op: CmpOp::Lt, literal: Value::from(5) },
+            ],
+        );
+        assert!(conj.call(&row, &ctx));
+        assert!(matches!(conj.spec, Some(PredSpec::All(ref v)) if v.len() == 2));
+
+        let has = PredicateUdf::str_match("has", 0, StrOp::Contains, "lph");
+        assert!(has.call(&row, &ctx));
+        assert!(!PredicateUdf::str_match("pre", 0, StrOp::StartsWith, "lph").call(&row, &ctx));
+        assert!(PredicateUdf::str_match("suf", 0, StrOp::EndsWith, "pha").call(&row, &ctx));
+        // Non-string field never matches.
+        assert!(!PredicateUdf::str_match("n", 2, StrOp::Contains, "3").call(&row, &ctx));
+
+        let fsum = ReduceUdf::pair_float_sum("fsum");
+        assert_eq!(fsum.spec, Some(ReduceSpec::PairFloatSum));
+        let a = Value::pair(Value::from("w"), Value::from(1.5));
+        let b = Value::pair(Value::from("w"), Value::from(2.25));
+        assert_eq!(fsum.call(&a, &b), Value::pair(Value::from("w"), Value::from(3.75)));
     }
 
     #[test]

@@ -40,7 +40,8 @@ impl Value {
 
     /// Build a pair quantum (2-tuple), the shape used by key/value operators.
     pub fn pair(a: Value, b: Value) -> Value {
-        Value::Tuple(Arc::from(vec![a, b]))
+        // Arc straight from the array: one allocation, no intermediate Vec.
+        Value::Tuple(Arc::from([a, b]))
     }
 
     /// Integer payload, if this quantum is an `Int`.

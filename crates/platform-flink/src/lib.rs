@@ -18,14 +18,16 @@ use rheem_core::batch;
 use rheem_core::channel::{kinds, ChannelData, ChannelDescriptor, ChannelKind};
 use rheem_core::cost::{linear_cpu, CostModel, Load};
 use rheem_core::error::{Result, RheemError};
+use rheem_core::exec::Fallback;
 use rheem_core::exec::{dataset_bytes, ExecCtx, ExecutionOperator, OpMetrics};
 use rheem_core::fused::{self, Segment};
 use rheem_core::kernels;
 use rheem_core::mapping::{upstream_chain, Candidate, FnMapping};
 use rheem_core::plan::{LogicalOp, OpKind, OperatorNode, RheemPlan, SampleSize};
+use rheem_core::platform::PlatformProfile;
 use rheem_core::platform::{ids, Platform, PlatformId};
 use rheem_core::registry::Registry;
-use rheem_core::udf::{BroadcastCtx, KeyUdf};
+use rheem_core::udf::{BroadcastCtx, KeySpec, KeyUdf, ReduceUdf};
 use rheem_core::value::{Dataset, Value};
 
 /// Flink's pipelined DataSet channel (consumed once).
@@ -52,10 +54,6 @@ fn pool_size(profile: &rheem_core::platform::PlatformProfile) -> usize {
     (profile.cores as usize).clamp(1, rheem_core::pool::size())
 }
 
-/// One worker's output: `(partition index, output, elapsed ms)` per
-/// partition it processed, or the first error it hit.
-type WorkerBatch = Result<Vec<(usize, Dataset, f64)>>;
-
 /// Run `f` over each partition on the process-wide shared pool
 /// ([`rheem_core::pool`]) — no per-call thread spawns. Indices keep the
 /// merge order-stable no matter which worker produced what.
@@ -63,11 +61,21 @@ fn par_each<F>(parts: &[Dataset], workers: usize, f: F) -> Result<(Vec<Dataset>,
 where
     F: Fn(usize, &[Value]) -> Result<Vec<Value>> + Send + Sync,
 {
-    let n = parts.len();
+    par_each_idx(parts.len(), workers, |i| f(i, &parts[i]).map(Arc::new))
+}
+
+/// The generic task runner behind [`par_each`], generic over the slot type
+/// so columnar stages can map [`batch::Part`] partitions without a row
+/// round-trip.
+fn par_each_idx<U, F>(n: usize, workers: usize, f: F) -> Result<(Vec<U>, Vec<f64>)>
+where
+    U: Send,
+    F: Fn(usize) -> Result<U> + Send + Sync,
+{
     let workers = workers.clamp(1, n.max(1));
     let next = &AtomicUsize::new(0);
     let f = &f;
-    let batches: Mutex<Vec<WorkerBatch>> = Mutex::new(Vec::with_capacity(workers));
+    let batches: Mutex<Vec<Result<Vec<(usize, U, f64)>>>> = Mutex::new(Vec::with_capacity(workers));
     rheem_core::pool::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
@@ -79,10 +87,10 @@ where
                         break;
                     }
                     let start = Instant::now();
-                    match f(i, &parts[i]) {
+                    match f(i) {
                         Ok(out) => {
                             let ms = start.elapsed().as_secs_f64() * 1000.0;
-                            mine.push((i, Arc::new(out), ms));
+                            mine.push((i, out, ms));
                         }
                         Err(e) => {
                             failed = Some(e);
@@ -98,17 +106,17 @@ where
             });
         }
     });
-    // Placeholder slots all share one empty Arc; every slot is overwritten.
-    let empty: Dataset = Arc::new(Vec::new());
-    let mut out_parts: Vec<Dataset> = vec![empty; n];
+    let mut out_parts: Vec<Option<U>> = (0..n).map(|_| None).collect();
     let mut times = vec![0.0; n];
     for batch in batches.into_inner().unwrap() {
         for (i, d, ms) in batch? {
-            out_parts[i] = d;
+            out_parts[i] = Some(d);
             times[i] = ms;
         }
     }
-    Ok((out_parts, times))
+    // Every slot is written exactly once: the queue hands out each index to
+    // one worker, and an error short-circuits above.
+    Ok((out_parts.into_iter().map(|o| o.expect("slot filled")).collect(), times))
 }
 
 fn exchange(parts: &[Dataset], key: &KeyUdf, n: usize) -> (Vec<Dataset>, f64) {
@@ -128,6 +136,101 @@ fn flatten_parts(parts: &[Dataset]) -> Vec<Value> {
         out.extend(p.iter().cloned());
     }
     out
+}
+
+/// Hash-partition every batch into `n` per-destination contribution lists
+/// (the columnar exchange; see the spark simulacrum for the routing
+/// argument). `None` when any key column is untyped.
+fn bucketize(bs: &[&batch::Batch], key: &KeySpec, n: usize) -> Option<Vec<Vec<batch::Batch>>> {
+    let mut buckets: Vec<Vec<batch::Batch>> = (0..n.max(1)).map(|_| Vec::new()).collect();
+    for b in bs {
+        let pb = batch::partition_batch(b, key, n)?;
+        for (j, x) in pb.into_iter().enumerate() {
+            buckets[j].push(x);
+        }
+    }
+    Some(buckets)
+}
+
+fn bucket_bytes(buckets: &[Vec<batch::Batch>]) -> f64 {
+    buckets.iter().flatten().map(batch::batch_bytes).sum::<f64>() * 0.9
+}
+
+fn shipped(buckets: &[Vec<batch::Batch>]) -> (u64, u64) {
+    let mut batches = 0u64;
+    let mut rows = 0u64;
+    for b in buckets.iter().flatten() {
+        let l = b.selected_len() as u64;
+        if l > 0 {
+            batches += 1;
+        }
+        rows += l;
+    }
+    (batches, rows)
+}
+
+/// Reduce-side exchange shared by `ReduceBy` and the fused terminal
+/// aggregation: columnar `(key, sum)` batches hash-partition on their key
+/// column and merge through slot arrays when every partial stayed columnar;
+/// otherwise the partials travel as carried-key pairs through the row
+/// exchange. Both paths route identically (results and partition counts are
+/// byte-identical). Returns merged partitions and exchange + reduce-side
+/// virtual ms.
+fn reduce_exchange(
+    ctx: &mut ExecCtx<'_>,
+    profile: &PlatformProfile,
+    workers: usize,
+    combined: &[batch::Part],
+    agg: &ReduceUdf,
+    batched: bool,
+) -> Result<(Vec<batch::Part>, f64)> {
+    let n = combined.len();
+    if batched {
+        if let Some(bs) = batch::all_batches(combined) {
+            if let Some(buckets) = bucketize(&bs, &KeySpec::Field(0), n) {
+                let bytes = bucket_bytes(&buckets);
+                let (sb, srows) = shipped(&buckets);
+                ctx.report_exchange(sb, srows);
+                let fell = AtomicUsize::new(0);
+                let fell_rows = AtomicUsize::new(0);
+                let (out, t2) = par_each_idx(buckets.len(), workers, |j| {
+                    let contribs = &buckets[j];
+                    if let Some(m) = batch::merge_batches(contribs) {
+                        return Ok(batch::Part::Cols(m));
+                    }
+                    fell.fetch_add(1, Ordering::Relaxed);
+                    let mut rows = Vec::new();
+                    for b in contribs {
+                        rows.extend(batch::keyed_values(b));
+                    }
+                    fell_rows.fetch_add(rows.len(), Ordering::Relaxed);
+                    Ok(batch::Part::Rows(Arc::new(kernels::merge_by(&rows, agg))))
+                })?;
+                if fell.into_inner() > 0 {
+                    ctx.report_exchange_fallback(
+                        fell_rows.into_inner() as u64,
+                        Fallback::TypeMismatch,
+                    );
+                }
+                return Ok((out, profile.net_ms(bytes) + profile.parallel_ms(&t2)));
+            }
+        }
+    }
+    let keyed: Vec<Dataset> = combined
+        .iter()
+        .map(|p| match p {
+            batch::Part::Rows(d) => Arc::clone(d),
+            batch::Part::Cols(b) => Arc::new(batch::keyed_values(b)),
+        })
+        .collect();
+    let carry = KeyUdf::field(0);
+    let (ex, bytes) = exchange(&keyed, &carry, n);
+    if batched {
+        let rows: u64 = ex.iter().map(|d| d.len() as u64).sum();
+        ctx.report_exchange_fallback(rows, Fallback::RowInput);
+    }
+    let (out, t2) = par_each(&ex, workers, |_i, d| Ok(kernels::merge_by(d, agg)))?;
+    Ok((batch::into_row_parts(out), profile.net_ms(bytes) + profile.parallel_ms(&t2)))
 }
 
 /// Per-quantum cycle costs on Flink: cheaper narrow operators than Spark
@@ -213,6 +316,20 @@ impl FlinkOperator {
                 "flink operator expects a DataSet, found {other:?}"
             ))),
         }
+    }
+
+    /// Stage input as engine parts: columnar partitions arrive 1:1 through
+    /// the exchange (`BatchParts`, no row round-trip); everything else takes
+    /// the row route of [`Self::input_partitions`].
+    fn input_parts(&self, input: &ChannelData, max_parts: u32) -> Result<Vec<batch::Part>> {
+        if let ChannelData::BatchParts(bs) = input {
+            return Ok(if bs.is_empty() {
+                vec![batch::Part::Rows(Arc::new(Vec::new()))]
+            } else {
+                bs.iter().map(|b| batch::Part::Cols(b.clone())).collect()
+            });
+        }
+        Ok(batch::into_row_parts(self.input_partitions(input, max_parts)?))
     }
 }
 
@@ -343,10 +460,10 @@ impl ExecutionOperator for FlinkOperator {
             ctx.add_virtual_ms(profile.net_ms(bytes * 10.0) + 0.5);
         }
 
-        let mut parts: Vec<Dataset> = if self.ops[0].kind().is_source() {
+        let mut parts: Vec<batch::Part> = if self.ops[0].kind().is_source() {
             Vec::new()
         } else {
-            self.input_partitions(&inputs[0], profile.partitions)?
+            self.input_parts(&inputs[0], profile.partitions)?
         };
         let in_card: u64 = parts.iter().map(|p| p.len() as u64).sum::<u64>()
             + inputs.get(1).and_then(|c| c.cardinality()).unwrap_or(0) as u64;
@@ -387,21 +504,28 @@ impl ExecutionOperator for FlinkOperator {
                     } else {
                         None
                     };
+                    let spec = agg.spec.clone();
                     let vrows = AtomicUsize::new(0);
                     let vparts = AtomicUsize::new(0);
                     let rparts = AtomicUsize::new(0);
-                    let (combined, t1) = par_each(&parts, workers, |_pi, data| {
-                        if let Some(k) = vk.as_ref() {
-                            if let Some(out) = batch::run_reduce(k, data, key, agg, true) {
-                                vrows.fetch_add(data.len(), Ordering::Relaxed);
+                    let (combined, t1) = par_each_idx(parts.len(), workers, |i| {
+                        let part = &parts[i];
+                        if let (Some(k), Some(spec)) = (vk.as_ref(), spec.as_ref()) {
+                            let run = match part {
+                                batch::Part::Cols(b) => k.run_batch(b.clone()),
+                                batch::Part::Rows(d) => k.run_values(d),
+                            };
+                            if let Some(cb) = run.and_then(|b| batch::combine_batch(&b, spec)) {
+                                vrows.fetch_add(part.len(), Ordering::Relaxed);
                                 vparts.fetch_add(1, Ordering::Relaxed);
-                                return Ok(out);
+                                return Ok(batch::Part::Cols(cb));
                             }
                             rparts.fetch_add(1, Ordering::Relaxed);
                         }
+                        let rows = part.rows();
                         let mut state = kernels::ReduceByState::new(key, agg);
-                        pipeline.run_each(data, bc, |v| state.feed_owned(v));
-                        Ok(state.finish_keyed())
+                        pipeline.run_each(&rows, bc, |v| state.feed_owned(v));
+                        Ok(batch::Part::Rows(Arc::new(state.finish_keyed())))
                     })?;
                     let steps = pipeline.len() as u32 + 1;
                     let vb = vparts.into_inner();
@@ -422,15 +546,10 @@ impl ExecutionOperator for FlinkOperator {
                     if rb > 0 {
                         ctx.report_row_fallback(steps * rb as u32);
                     }
-                    // Partials travel as (key, acc) pairs: the merge must
-                    // group by the carried key, never re-extract from accs.
-                    let n = combined.len();
-                    let carry = KeyUdf::field(0);
-                    let (ex, bytes) = exchange(&combined, &carry, n);
-                    let (out, t2) = par_each(&ex, workers, |_i, d| Ok(kernels::merge_by(d, agg)))?;
+                    let (out, vms) =
+                        reduce_exchange(ctx, &profile, workers, &combined, agg, batched)?;
                     parts = out;
-                    virtual_ms +=
-                        profile.parallel_ms(&t1) + profile.net_ms(bytes) + profile.parallel_ms(&t2);
+                    virtual_ms += profile.parallel_ms(&t1) + vms;
                     real_ms += start.elapsed().as_secs_f64() * 1000.0;
                     continue;
                 }
@@ -438,16 +557,23 @@ impl ExecutionOperator for FlinkOperator {
                 let vrows = AtomicUsize::new(0);
                 let vparts = AtomicUsize::new(0);
                 let rparts = AtomicUsize::new(0);
-                let (out, times) = par_each(&parts, workers, |_pi, data| {
+                let (out, times) = par_each_idx(parts.len(), workers, |i| {
+                    let part = &parts[i];
                     if let Some(k) = vk.as_ref() {
-                        if let Some(b) = k.run_values(data) {
-                            vrows.fetch_add(data.len(), Ordering::Relaxed);
+                        // Columnar inputs run the kernel over the shipped
+                        // batch directly; row inputs columnize first.
+                        let run = match part {
+                            batch::Part::Cols(b) => k.run_batch(b.clone()),
+                            batch::Part::Rows(d) => k.run_values(d),
+                        };
+                        if let Some(b) = run {
+                            vrows.fetch_add(part.len(), Ordering::Relaxed);
                             vparts.fetch_add(1, Ordering::Relaxed);
-                            return Ok(b.to_values());
+                            return Ok(batch::Part::Cols(b));
                         }
                         rparts.fetch_add(1, Ordering::Relaxed);
                     }
-                    Ok(pipeline.run(data, bc))
+                    Ok(batch::Part::Rows(Arc::new(pipeline.run(&part.rows(), bc))))
                 })?;
                 let steps = pipeline.len() as u32;
                 let vb = vparts.into_inner();
@@ -478,7 +604,8 @@ impl ExecutionOperator for FlinkOperator {
                     let total: usize = parts.iter().map(|p| p.len()).sum();
                     let want = size.resolve(total);
                     let base_seed = s.unwrap_or(seed) ^ iteration.wrapping_mul(0x9E37_79B9);
-                    let (out, times) = par_each(&parts, workers, |pi, data| {
+                    let rows = batch::rows_of(&parts);
+                    let (out, times) = par_each(&rows, workers, |pi, data| {
                         let share =
                             if total == 0 { 0 } else { (want * data.len()).div_ceil(total.max(1)) };
                         Ok(kernels::sample(
@@ -488,88 +615,216 @@ impl ExecutionOperator for FlinkOperator {
                             base_seed.wrapping_add(pi as u64),
                         ))
                     })?;
-                    parts = out;
+                    parts = batch::into_row_parts(out);
                     virtual_ms += profile.parallel_ms(&times);
                     real_ms += times.iter().sum::<f64>();
                 }
                 LogicalOp::Union => {
-                    let other = self.input_partitions(&inputs[1], profile.partitions)?;
+                    let other = self.input_parts(&inputs[1], profile.partitions)?;
                     parts.extend(other);
                 }
                 LogicalOp::ReduceBy { key, agg } => {
                     let start = Instant::now();
-                    let (combined, t1) =
-                        par_each(&parts, workers, |_i, d| Ok(kernels::combine_by(d, key, agg)))?;
-                    // (key, acc) partials; merge on the carried key (see
-                    // the fused terminal-aggregation path above).
-                    let n = combined.len();
-                    let carry = KeyUdf::field(0);
-                    let (ex, bytes) = exchange(&combined, &carry, n);
-                    let (out, t2) = par_each(&ex, workers, |_i, d| Ok(kernels::merge_by(d, agg)))?;
+                    // Map-side combine into (key, acc) partials; columnar
+                    // inputs combine through the slot-array kernel and keep
+                    // their (key, sum) batch for the exchange.
+                    let vec_ok = batched && batch::agg_vectorizable(key, agg);
+                    let spec = agg.spec.clone();
+                    let (combined, t1) = par_each_idx(parts.len(), workers, |i| {
+                        let part = &parts[i];
+                        if vec_ok {
+                            if let (Some(b), Some(spec)) = (part.as_batch(), spec.as_ref()) {
+                                if let Some(cb) = batch::combine_batch(b, spec) {
+                                    return Ok(batch::Part::Cols(cb));
+                                }
+                            }
+                        }
+                        Ok(batch::Part::Rows(Arc::new(kernels::combine_by(&part.rows(), key, agg))))
+                    })?;
+                    let (out, vms) =
+                        reduce_exchange(ctx, &profile, workers, &combined, agg, batched)?;
                     parts = out;
-                    virtual_ms +=
-                        profile.parallel_ms(&t1) + profile.net_ms(bytes) + profile.parallel_ms(&t2);
+                    virtual_ms += profile.parallel_ms(&t1) + vms;
                     real_ms += start.elapsed().as_secs_f64() * 1000.0;
                 }
                 LogicalOp::GroupBy(key) => {
                     let start = Instant::now();
                     let n = parts.len();
-                    let (ex, bytes) = exchange(&parts, key, n);
+                    let rows = batch::rows_of(&parts);
+                    if batched && parts.iter().any(|p| p.as_batch().is_some()) {
+                        let total: u64 = rows.iter().map(|d| d.len() as u64).sum();
+                        ctx.report_exchange_fallback(total, Fallback::OpaqueSegment);
+                    }
+                    let (ex, bytes) = exchange(&rows, key, n);
                     let (out, t) = par_each(&ex, workers, |_i, d| Ok(kernels::group_by(d, key)))?;
-                    parts = out;
+                    parts = batch::into_row_parts(out);
                     virtual_ms += profile.net_ms(bytes) + profile.parallel_ms(&t);
                     real_ms += start.elapsed().as_secs_f64() * 1000.0;
                 }
                 LogicalOp::Distinct => {
                     let start = Instant::now();
                     let n = parts.len();
-                    let (ex, bytes) = exchange(&parts, &KeyUdf::identity(), n);
+                    let rows = batch::rows_of(&parts);
+                    if batched && parts.iter().any(|p| p.as_batch().is_some()) {
+                        let total: u64 = rows.iter().map(|d| d.len() as u64).sum();
+                        ctx.report_exchange_fallback(total, Fallback::OpaqueSegment);
+                    }
+                    let (ex, bytes) = exchange(&rows, &KeyUdf::identity(), n);
                     let (out, t) = par_each(&ex, workers, |_i, d| Ok(kernels::distinct(d)))?;
-                    parts = out;
+                    parts = batch::into_row_parts(out);
                     virtual_ms += profile.net_ms(bytes) + profile.parallel_ms(&t);
                     real_ms += start.elapsed().as_secs_f64() * 1000.0;
                 }
                 LogicalOp::SortBy(key) => {
                     let start = Instant::now();
-                    let (sorted, t) =
-                        par_each(&parts, workers, |_i, d| Ok(kernels::sort_by(d, key)))?;
-                    let mut all = flatten_parts(&sorted);
-                    all = kernels::sort_by(&all, key);
-                    let bytes = dataset_bytes(&all) * 0.9;
                     let n = parts.len();
-                    let chunk = all.len().div_ceil(n.max(1)).max(1);
-                    parts = all.chunks(chunk).map(|c| Arc::new(c.to_vec())).collect();
-                    if parts.is_empty() {
-                        parts.push(Arc::new(Vec::new()));
+                    // Columnar path: per-partition batch sort (selection
+                    // vector permutation), then a k-way merge that re-chunks
+                    // exactly like the row path.
+                    let mut columnar: Option<(Vec<batch::Part>, f64, f64)> = None;
+                    if batched {
+                        if let (Some(ks), Some(bs)) =
+                            (key.spec.as_ref(), batch::all_batches(&parts))
+                        {
+                            let (sorted, t) = par_each_idx(bs.len(), workers, |i| {
+                                Ok(batch::sort_batch(bs[i], ks))
+                            })?;
+                            if let Some(sorted) = sorted.into_iter().collect::<Option<Vec<_>>>() {
+                                if let Some(merged) = batch::merge_sorted(&sorted, ks, n) {
+                                    let bytes =
+                                        sorted.iter().map(batch::batch_bytes).sum::<f64>() * 0.9;
+                                    let rows: u64 =
+                                        merged.iter().map(|b| b.selected_len() as u64).sum();
+                                    ctx.report_exchange(merged.len() as u64, rows);
+                                    columnar = Some((
+                                        merged.into_iter().map(batch::Part::Cols).collect(),
+                                        profile.parallel_ms(&t),
+                                        bytes,
+                                    ));
+                                }
+                            }
+                        }
                     }
-                    virtual_ms += profile.parallel_ms(&t) + profile.net_ms(bytes);
+                    if let Some((out, tpar, bytes)) = columnar {
+                        parts = out;
+                        virtual_ms += tpar + profile.net_ms(bytes);
+                    } else {
+                        let rows = batch::rows_of(&parts);
+                        if batched {
+                            let total: u64 = rows.iter().map(|d| d.len() as u64).sum();
+                            let why = if key.spec.is_none() {
+                                Fallback::OpaqueKey
+                            } else if parts.iter().any(|p| p.as_batch().is_none()) {
+                                Fallback::RowInput
+                            } else {
+                                Fallback::TypeMismatch
+                            };
+                            ctx.report_exchange_fallback(total, why);
+                        }
+                        let (sorted, t) =
+                            par_each(&rows, workers, |_i, d| Ok(kernels::sort_by(d, key)))?;
+                        let mut all = flatten_parts(&sorted);
+                        all = kernels::sort_by(&all, key);
+                        let bytes = dataset_bytes(&all) * 0.9;
+                        let chunk = all.len().div_ceil(n.max(1)).max(1);
+                        let mut rparts: Vec<Dataset> =
+                            all.chunks(chunk).map(|c| Arc::new(c.to_vec())).collect();
+                        if rparts.is_empty() {
+                            rparts.push(Arc::new(Vec::new()));
+                        }
+                        parts = batch::into_row_parts(rparts);
+                        virtual_ms += profile.parallel_ms(&t) + profile.net_ms(bytes);
+                    }
                     real_ms += start.elapsed().as_secs_f64() * 1000.0;
                 }
                 LogicalOp::Count => {
                     let total: usize = parts.iter().map(|p| p.len()).sum();
-                    parts = vec![Arc::new(vec![Value::from(total)])];
+                    parts = vec![batch::Part::Rows(Arc::new(vec![Value::from(total)]))];
                     virtual_ms += profile.task_overhead_ms;
                 }
                 LogicalOp::Reduce(agg) => {
                     let start = Instant::now();
+                    let rows = batch::rows_of(&parts);
                     let (partials, t) =
-                        par_each(&parts, workers, |_i, d| Ok(kernels::reduce(d, agg)))?;
+                        par_each(&rows, workers, |_i, d| Ok(kernels::reduce(d, agg)))?;
                     let all = flatten_parts(&partials);
-                    parts = vec![Arc::new(kernels::reduce(&all, agg))];
+                    parts = vec![batch::Part::Rows(Arc::new(kernels::reduce(&all, agg)))];
                     virtual_ms += profile.parallel_ms(&t) + profile.task_overhead_ms;
                     real_ms += start.elapsed().as_secs_f64() * 1000.0;
                 }
                 LogicalOp::Join { left_key, right_key } => {
                     let start = Instant::now();
-                    let right = self.input_partitions(&inputs[1], profile.partitions)?;
+                    let right = self.input_parts(&inputs[1], profile.partitions)?;
                     let n = parts.len().max(right.len());
-                    let (le, b1) = exchange(&parts, left_key, n);
-                    let (re, b2) = exchange(&right, right_key, n);
-                    let (out, t) = par_each(&le, workers, |i, d| {
-                        Ok(kernels::hash_join(d, &re[i], left_key, right_key))
-                    })?;
-                    parts = out;
-                    virtual_ms += profile.net_ms(b1 + b2) + profile.parallel_ms(&t);
+                    // Columnar path: hash-partition both sides on their key
+                    // columns (selection vectors only), then build/probe per
+                    // destination bucket. Routing and output order match the
+                    // row exchange + hash join exactly.
+                    let mut columnar = None;
+                    if batched {
+                        if let (Some(lks), Some(rks)) =
+                            (left_key.spec.as_ref(), right_key.spec.as_ref())
+                        {
+                            if let (Some(lbs), Some(rbs)) =
+                                (batch::all_batches(&parts), batch::all_batches(&right))
+                            {
+                                if let (Some(lb), Some(rb)) =
+                                    (bucketize(&lbs, lks, n), bucketize(&rbs, rks, n))
+                                {
+                                    columnar = Some((lb, rb, lks.clone(), rks.clone()));
+                                }
+                            }
+                        }
+                    }
+                    if let Some((lb, rb, lks, rks)) = columnar {
+                        let bytes = bucket_bytes(&lb) + bucket_bytes(&rb);
+                        let (sl, rl) = shipped(&lb);
+                        let (sr, rr) = shipped(&rb);
+                        ctx.report_exchange(sl + sr, rl + rr);
+                        let (out, t) = par_each_idx(lb.len(), workers, |j| {
+                            match batch::join_buckets(&lb[j], &rb[j], &lks, &rks) {
+                                Some(rows) => Ok(batch::Part::Rows(Arc::new(rows))),
+                                None => {
+                                    // Bucket refused to columnize: flatten its
+                                    // contributions (same record order as the
+                                    // row exchange) and hash-join row-wise.
+                                    let mut l = Vec::new();
+                                    for b in &lb[j] {
+                                        l.extend(b.to_values());
+                                    }
+                                    let mut r = Vec::new();
+                                    for b in &rb[j] {
+                                        r.extend(b.to_values());
+                                    }
+                                    Ok(batch::Part::Rows(Arc::new(kernels::hash_join(
+                                        &l, &r, left_key, right_key,
+                                    ))))
+                                }
+                            }
+                        })?;
+                        parts = out;
+                        virtual_ms += profile.net_ms(bytes) + profile.parallel_ms(&t);
+                    } else {
+                        let lrows = batch::rows_of(&parts);
+                        let rrows = batch::rows_of(&right);
+                        if batched {
+                            let total: u64 =
+                                lrows.iter().chain(rrows.iter()).map(|d| d.len() as u64).sum();
+                            let why = if left_key.spec.is_none() || right_key.spec.is_none() {
+                                Fallback::OpaqueKey
+                            } else {
+                                Fallback::RowInput
+                            };
+                            ctx.report_exchange_fallback(total, why);
+                        }
+                        let (le, b1) = exchange(&lrows, left_key, n);
+                        let (re, b2) = exchange(&rrows, right_key, n);
+                        let (out, t) = par_each(&le, workers, |i, d| {
+                            Ok(kernels::hash_join(d, &re[i], left_key, right_key))
+                        })?;
+                        parts = batch::into_row_parts(out);
+                        virtual_ms += profile.net_ms(b1 + b2) + profile.parallel_ms(&t);
+                    }
                     real_ms += start.elapsed().as_secs_f64() * 1000.0;
                 }
                 LogicalOp::Cartesian | LogicalOp::InequalityJoin { .. } => {
@@ -577,7 +832,8 @@ impl ExecutionOperator for FlinkOperator {
                     let right = self.input_partitions(&inputs[1], profile.partitions)?;
                     let right_all = Arc::new(flatten_parts(&right));
                     let bytes = dataset_bytes(&right_all) * parts.len() as f64 * 0.9;
-                    let (out, t) = par_each(&parts, workers, |_i, d| {
+                    let rows = batch::rows_of(&parts);
+                    let (out, t) = par_each(&rows, workers, |_i, d| {
                         Ok(match op {
                             LogicalOp::Cartesian => kernels::cartesian(d, &right_all),
                             LogicalOp::InequalityJoin { conds } => {
@@ -586,15 +842,15 @@ impl ExecutionOperator for FlinkOperator {
                             _ => unreachable!(),
                         })
                     })?;
-                    parts = out;
+                    parts = batch::into_row_parts(out);
                     virtual_ms += profile.net_ms(bytes) + profile.parallel_ms(&t);
                     real_ms += start.elapsed().as_secs_f64() * 1000.0;
-                    let out_bytes: f64 = parts.iter().map(|p| dataset_bytes(p)).sum();
+                    let out_bytes: f64 = parts.iter().map(|p| dataset_bytes(&p.rows())).sum();
                     ctx.check_mem(ids::FLINK, out_bytes)?;
                 }
                 LogicalOp::PageRank { iterations, damping } => {
                     let start = Instant::now();
-                    let edges = flatten_parts(&parts);
+                    let edges = flatten_parts(&batch::rows_of(&parts));
                     let t0 = Instant::now();
                     let ranks = platform_spark_free_pagerank(&edges, *iterations, *damping);
                     let compute_ms = t0.elapsed().as_secs_f64() * 1000.0;
@@ -609,9 +865,12 @@ impl ExecutionOperator for FlinkOperator {
                                 + profile.task_overhead_ms * n as f64
                                     / profile.cores.max(1) as f64);
                     let chunk = ranks.len().div_ceil(n.max(1)).max(1);
-                    parts = ranks.chunks(chunk).map(|c| Arc::new(c.to_vec())).collect();
+                    parts = ranks
+                        .chunks(chunk)
+                        .map(|c| batch::Part::Rows(Arc::new(c.to_vec())))
+                        .collect();
                     if parts.is_empty() {
-                        parts.push(Arc::new(Vec::new()));
+                        parts.push(batch::Part::Rows(Arc::new(Vec::new())));
                     }
                     real_ms += start.elapsed().as_secs_f64() * 1000.0;
                 }
@@ -625,7 +884,11 @@ impl ExecutionOperator for FlinkOperator {
                     .map_err(RheemError::Io)?;
                     parts = lines
                         .into_iter()
-                        .map(|ls| Arc::new(ls.into_iter().map(Value::from).collect::<Vec<_>>()))
+                        .map(|ls| {
+                            batch::Part::Rows(Arc::new(
+                                ls.into_iter().map(Value::from).collect::<Vec<_>>(),
+                            ))
+                        })
                         .collect();
                     virtual_ms += rheem_storage::default_costs(store).read_ms(bytes)
                         + profile.task_overhead_ms * parts.len() as f64
@@ -650,7 +913,16 @@ impl ExecutionOperator for FlinkOperator {
             virtual_ms,
             real_ms,
         });
-        Ok(ChannelData::Partitions(Arc::new(parts)))
+        // Ship columns across the vertex boundary when every partition stayed
+        // columnar: the consumer maps them 1:1 back onto engine parts, so
+        // partition counts (and hence trace structure) match the row mode.
+        if batched && !parts.is_empty() {
+            if let Some(bs) = batch::all_batches(&parts) {
+                let owned: Vec<batch::Batch> = bs.into_iter().cloned().collect();
+                return Ok(ChannelData::BatchParts(Arc::new(owned)));
+            }
+        }
+        Ok(ChannelData::Partitions(Arc::new(batch::rows_of(&parts))))
     }
 }
 

@@ -328,7 +328,7 @@ impl ExecutionOperator for PgOperator {
                 if let Some(sarg) = filter {
                     let s = sarg.clone();
                     let mut pred = PredicateUdf::new("sarg", move |v| s.eval(v));
-                    pred.spec = Some(sarg.clone());
+                    pred.spec = Some(rheem_core::udf::PredSpec::Sarg(sarg.clone()));
                     steps.push(FusedStep::Filter(pred));
                 }
                 if let Some(fields) = project {

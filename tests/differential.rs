@@ -418,6 +418,226 @@ fn vectorizable_plans_report_vectorized_steps() {
     }
 }
 
+// ---- shuffle/join/sort axis ---------------------------------------------
+
+/// One randomly generated *shuffle-heavy* plan: vectorizable (spec'd builtin)
+/// or opaque (closure) narrow chains feeding a wide exchange — Join, SortBy,
+/// ReduceBy, or a composition. Vectorizable cases drive the columnar
+/// exchange; opaque cases drive its row fallback. Both must be invisible.
+#[derive(Clone, Debug)]
+struct ShuffleSpec {
+    pre_a: Vec<u8>,
+    pre_b: Vec<u8>,
+    wide: u8, // 0 join, 1 sort, 2 reduce_by, 3 join+reduce_by, 4 reduce_by+sort
+    opaque: bool,
+    data_a: Vec<Value>,
+    data_b: Vec<Value>,
+}
+
+fn gen_shuffle_spec(case: u64) -> ShuffleSpec {
+    let mut rng = SplitMix64(0x5AFE ^ case.wrapping_mul(0x9E37_79B9));
+    let chain = |rng: &mut SplitMix64| -> Vec<u8> {
+        let len = 1 + rng.range_usize(3);
+        (0..len).map(|_| rng.range_usize(4) as u8).collect()
+    };
+    ShuffleSpec {
+        pre_a: chain(&mut rng),
+        pre_b: chain(&mut rng),
+        wide: rng.range_usize(5) as u8,
+        opaque: rng.chance(0.3),
+        data_a: pairs(&mut rng, 80),
+        data_b: pairs(&mut rng, 50),
+    }
+}
+
+/// Narrow ops drawn entirely from spec'd builtins, so the whole pre-exchange
+/// segment compiles to a vector kernel and partitions arrive columnar at the
+/// wide operator.
+fn apply_vec_op(q: rheem_core::plan::DataQuanta, code: u8) -> rheem_core::plan::DataQuanta {
+    match code {
+        0 => q.map(MapUdf::field_add_int("vbump", 1, 3)),
+        1 => q.filter(PredicateUdf::from_sargs(
+            "vpos",
+            vec![Sarg { field: 1, op: CmpOp::Gt, literal: Value::from(-50i64) }],
+        )),
+        2 => q.map(MapUdf::field_add_float("vfadd", 1, 0.5)),
+        _ => q.map(MapUdf::field_mul_float("vfmul", 1, 2.0)),
+    }
+}
+
+fn build_shuffle_plan(
+    spec: &ShuffleSpec,
+) -> (rheem_core::plan::RheemPlan, rheem_core::plan::OperatorId) {
+    let apply = |mut q: rheem_core::plan::DataQuanta, chain: &[u8]| {
+        for &code in chain {
+            q = if spec.opaque { apply_op(q, code) } else { apply_vec_op(q, code) };
+        }
+        q
+    };
+    let mut b = PlanBuilder::new();
+    let mut q = apply(b.collection(spec.data_a.clone()), &spec.pre_a);
+    let join = |q: rheem_core::plan::DataQuanta, b: &mut PlanBuilder| {
+        let r = apply(b.collection(spec.data_b.clone()), &spec.pre_b);
+        // Flatten the (l, r) join pairs back into (key, combined) shape so
+        // downstream wide ops compose.
+        q.join(&r, KeyUdf::field(0), KeyUdf::field(0)).map(MapUdf::new("flat", |v| {
+            let (l, r) = (v.field(0), v.field(1));
+            Value::pair(
+                l.field(0).clone(),
+                Value::from(l.field(1).as_int().unwrap_or(0) + r.field(1).as_int().unwrap_or(0)),
+            )
+        }))
+    };
+    q = match spec.wide {
+        0 => join(q, &mut b),
+        1 => q.sort_by(KeyUdf::field(0)),
+        2 => q.reduce_by_key(KeyUdf::field(0), ReduceUdf::pair_int_sum("vsum")),
+        3 => join(q, &mut b).reduce_by_key(KeyUdf::field(0), ReduceUdf::pair_int_sum("vsum")),
+        _ => q
+            .reduce_by_key(KeyUdf::field(0), ReduceUdf::pair_int_sum("vsum"))
+            .sort_by(KeyUdf::field(0)),
+    };
+    let sink = q.collect();
+    (b.build().unwrap(), sink)
+}
+
+/// Run a shuffle spec under explicit batch/scheduler modes; returns the
+/// *unsorted* sink output (order is part of the contract for SortBy) and the
+/// span-tree structure.
+fn run_shuffle_spec(
+    spec: &ShuffleSpec,
+    batch: bool,
+    concurrent: bool,
+    forced: Option<PlatformId>,
+    chaos_seed: Option<u64>,
+) -> Result<(Vec<Value>, String)> {
+    let mut ctx = rheem::default_context().with_batch(batch);
+    ctx.forced_platform = forced;
+    ctx.config_mut().concurrent = Some(concurrent);
+    ctx.config_mut().chaos_seed = chaos_seed;
+    let (plan, sink) = build_shuffle_plan(spec);
+    let result = ctx.execute(&plan)?;
+    let out = result.sink(sink)?.to_vec();
+    let structure = result.trace.as_ref().map(|t| t.render_structure()).unwrap_or_default();
+    Ok((out, structure))
+}
+
+/// Shuffle-heavy random plans (Join / SortBy / ReduceBy over typed key
+/// columns) must be byte-identical — including output *order* — between the
+/// columnar exchange and the row exchange, on every engine and under both
+/// scheduler modes.
+#[test]
+fn shuffle_plans_agree_across_batch_and_scheduler_modes() {
+    for case in 0u64..10 {
+        let spec = gen_shuffle_spec(case);
+        for forced in PLATFORMS {
+            let (row_out, row_trace) =
+                run_shuffle_spec(&spec, false, false, Some(forced), None).unwrap();
+            for (batch, concurrent) in [(true, false), (false, true), (true, true)] {
+                let (out, trace) =
+                    run_shuffle_spec(&spec, batch, concurrent, Some(forced), None).unwrap();
+                assert_eq!(
+                    out, row_out,
+                    "case {case} on {forced:?} (batch={batch}, conc={concurrent}) \
+                     changed the answer: {spec:?}"
+                );
+                assert_eq!(
+                    trace, row_trace,
+                    "case {case} on {forced:?} (batch={batch}, conc={concurrent}) \
+                     changed the span tree: {spec:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The shuffle axis must also survive the chaos matrix: batched and row
+/// exchanges either recover to identical answers and traces or die with the
+/// same typed error — across all chaos seeds.
+#[test]
+fn shuffle_plans_agree_under_chaos() {
+    for chaos_seed in chaos_seeds() {
+        for case in 0u64..6 {
+            let spec = gen_shuffle_spec(case);
+            let row = run_shuffle_spec(&spec, false, false, None, Some(chaos_seed));
+            let bat = run_shuffle_spec(&spec, true, false, None, Some(chaos_seed));
+            match (row, bat) {
+                (Ok((ro, rt)), Ok((bo, bt))) => {
+                    assert_eq!(
+                        bo, ro,
+                        "chaos seed {chaos_seed:#x} case {case}: shuffle modes disagree on the \
+                         answer: {spec:?}"
+                    );
+                    assert_eq!(
+                        bt, rt,
+                        "chaos seed {chaos_seed:#x} case {case}: shuffle modes disagree on the \
+                         trace: {spec:?}"
+                    );
+                }
+                (Err(re), Err(be)) => assert_eq!(
+                    re.to_string(),
+                    be.to_string(),
+                    "chaos seed {chaos_seed:#x} case {case}: shuffle modes fail differently"
+                ),
+                (row, bat) => panic!(
+                    "chaos seed {chaos_seed:#x} case {case}: one shuffle mode survived, the \
+                     other failed (row ok={}, batch ok={})",
+                    row.is_ok(),
+                    bat.is_ok()
+                ),
+            }
+        }
+    }
+}
+
+/// Vectorizable shuffle plans must actually ship batches across the exchange
+/// (guards against the columnar path silently falling back to rows), and
+/// opaque plans must report the fallback instead.
+#[test]
+fn shuffle_plans_report_columnar_exchange() {
+    // Deterministic fully-vectorizable specs, one per wide-op shape: an
+    // all-int chain (float maps would knock the int-sum combine back to
+    // rows) feeding each exchange. Every one must ship batches.
+    for wide in 0u8..5 {
+        let mut spec = gen_shuffle_spec(wide as u64);
+        spec.pre_a = vec![0, 1];
+        spec.pre_b = vec![1, 0];
+        spec.wide = wide;
+        spec.opaque = false;
+        let (plan, _) = build_shuffle_plan(&spec);
+        // Force a distributed engine: only spark/flink run a real exchange.
+        let mut ctx = rheem::default_context().with_batch(true);
+        ctx.forced_platform = Some(ids::SPARK);
+        let analysis = ctx.explain_analyze(&plan).unwrap();
+        assert!(
+            analysis.rows.iter().any(|r| r.exch_batches > 0),
+            "wide op {wide}: columnar exchange never shipped a batch"
+        );
+        // Row mode must stay fully dormant.
+        let mut ctx = rheem::default_context().with_batch(false);
+        ctx.forced_platform = Some(ids::SPARK);
+        let analysis = ctx.explain_analyze(&plan).unwrap();
+        assert!(
+            analysis.rows.iter().all(|r| r.exch_batches == 0 && r.exch_row_rows == 0),
+            "wide op {wide}: row mode reported exchange batch statistics"
+        );
+    }
+    // Opaque random specs must instead surface the row-exchange fallback
+    // (and its reason) in the analyze output.
+    let mut fallback_cases = 0usize;
+    for case in 0u64..10 {
+        let mut spec = gen_shuffle_spec(case);
+        spec.opaque = true;
+        let (plan, _) = build_shuffle_plan(&spec);
+        let mut ctx = rheem::default_context().with_batch(true);
+        ctx.forced_platform = Some(ids::SPARK);
+        let analysis = ctx.explain_analyze(&plan).unwrap();
+        fallback_cases +=
+            usize::from(analysis.rows.iter().any(|r| r.exch_row_rows > 0 && r.fallback.is_some()));
+    }
+    assert!(fallback_cases > 0, "no opaque case reported a row-exchange fallback");
+}
+
 /// Mode agreement must survive the chaos matrix: with an active fault plan,
 /// batched and row execution either survive with identical answers and span
 /// trees or die with the same typed error.

@@ -246,6 +246,244 @@ fn vector_kernel_matches_row_pipeline_on_random_typed_data() {
     assert!(refused > 0, "no case exercised the refusal/fallback path");
 }
 
+/// `partition_batch` routes every row to exactly the bucket the row
+/// shuffle would pick (`bucket_of_key` on the key field) and preserves
+/// intra-bucket input order — for int and dictionary (string) keys.
+#[test]
+fn partition_batch_matches_row_shuffle_routing() {
+    use rheem_core::batch::{self, Batch};
+    use rheem_core::udf::KeySpec;
+    for case in 0u64..24 {
+        let mut rng = SplitMix64(0x9A27 ^ case);
+        // Non-empty: an empty slice columnizes as an (untyped) scalar batch
+        // and legitimately refuses to partition.
+        let data: Vec<Value> = if case % 2 == 0 {
+            (0..1 + rng.range_usize(119))
+                .map(|_| {
+                    Value::pair(
+                        Value::from(rng.range_usize(40) as i64),
+                        Value::from(rng.range_usize(200) as i64 - 100),
+                    )
+                })
+                .collect()
+        } else {
+            (0..1 + rng.range_usize(119))
+                .map(|_| {
+                    Value::pair(
+                        Value::from(format!("k{}", rng.range_usize(12))),
+                        Value::from(rng.range_usize(200) as i64 - 100),
+                    )
+                })
+                .collect()
+        };
+        let n = 1 + rng.range_usize(6);
+        let b = Batch::from_values(&data);
+        let buckets = batch::partition_batch(&b, &KeySpec::Field(0), n)
+            .expect("typed pairs must partition columnar");
+        assert_eq!(buckets.len(), n, "case {case}: bucket count");
+        let mut want: Vec<Vec<Value>> = vec![Vec::new(); n];
+        for v in &data {
+            want[kernels::bucket_of_key(v.field(0), n)].push(v.clone());
+        }
+        for (j, bucket) in buckets.iter().enumerate() {
+            assert_eq!(bucket.to_values(), want[j], "case {case} bucket {j}");
+        }
+    }
+}
+
+/// The columnar two-phase reduce — `combine_batch` → `partition_batch` →
+/// `merge_batches` — agrees byte-for-byte (values *and* first-occurrence
+/// order, per reduce partition) with the row path `combine_by` → `shuffle`
+/// → `merge_by`.
+#[test]
+fn columnar_reduce_exchange_matches_row_exchange() {
+    use rheem_core::batch::{self, Batch};
+    use rheem_core::udf::KeySpec;
+    for case in 0u64..24 {
+        let mut rng = SplitMix64(0xC0B1 ^ case);
+        let data = rows_to_values(&int_rows(&mut rng));
+        let parts_n = 1 + rng.range_usize(5);
+        let chunks: Vec<Vec<Value>> =
+            data.chunks(data.len().div_ceil(parts_n).max(1)).map(|c| c.to_vec()).collect();
+        let n = chunks.len().max(1);
+        let agg = ReduceUdf::pair_int_sum("sum");
+        // Row reference: keyed partials, hash exchange, carried-key merge.
+        let combined: Vec<Arc<Vec<Value>>> = chunks
+            .iter()
+            .map(|c| Arc::new(kernels::combine_by(c, &KeyUdf::field(0), &agg)))
+            .collect();
+        let (ex, _) = platform_spark::shuffle(&combined, &KeyUdf::field(0), n);
+        let row_out: Vec<Vec<Value>> = ex.iter().map(|p| kernels::merge_by(p, &agg)).collect();
+        // Columnar path: slot-array combine, batch partition, slot merge.
+        let spec = agg.spec.clone().expect("pair_int_sum is spec'd");
+        let mut contribs: Vec<Vec<Batch>> = vec![Vec::new(); n];
+        for c in &chunks {
+            let cb = batch::combine_batch(&Batch::from_values(c), &spec)
+                .expect("int pairs must combine columnar");
+            let parts = batch::partition_batch(&cb, &KeySpec::Field(0), n)
+                .expect("combined batch must partition");
+            for (j, part) in parts.into_iter().enumerate() {
+                contribs[j].push(part);
+            }
+        }
+        for (j, bucket) in contribs.iter().enumerate() {
+            let merged = batch::merge_batches(bucket).expect("uniform int contributions merge");
+            assert_eq!(merged.to_values(), row_out[j], "case {case} reduce partition {j} (of {n})");
+        }
+    }
+}
+
+/// Batched sort — per-partition `sort_batch` plus the k-way `merge_sorted`
+/// re-chunk — produces exactly the row path's partitions: per-partition
+/// sort, global merge-sort, contiguous `div_ceil` re-chunk.
+#[test]
+fn sort_batch_merge_matches_row_sort() {
+    use rheem_core::batch::{self, Batch};
+    use rheem_core::udf::KeySpec;
+    for case in 0u64..24 {
+        let mut rng = SplitMix64(0x50B7 ^ case);
+        let data = rows_to_values(&int_rows(&mut rng));
+        let parts_n = 1 + rng.range_usize(5);
+        let chunks: Vec<Vec<Value>> =
+            data.chunks(data.len().div_ceil(parts_n).max(1)).map(|c| c.to_vec()).collect();
+        let n = chunks.len().max(1);
+        let key = KeyUdf::field(0);
+        // Row reference: local sorts, one global stable sort, re-chunk.
+        let mut all: Vec<Value> = chunks.iter().flat_map(|c| kernels::sort_by(c, &key)).collect();
+        all = kernels::sort_by(&all, &key);
+        let chunk = all.len().div_ceil(n).max(1);
+        let mut want: Vec<Vec<Value>> = all.chunks(chunk).map(|c| c.to_vec()).collect();
+        if want.is_empty() {
+            want.push(Vec::new());
+        }
+        // Columnar path.
+        let sorted: Vec<Batch> = chunks
+            .iter()
+            .map(|c| {
+                batch::sort_batch(&Batch::from_values(c), &KeySpec::Field(0))
+                    .expect("int pairs must sort columnar")
+            })
+            .collect();
+        let merged = batch::merge_sorted(&sorted, &KeySpec::Field(0), n)
+            .expect("sorted int batches must merge");
+        assert_eq!(merged.len(), want.len(), "case {case}: partition count");
+        for (j, b) in merged.iter().enumerate() {
+            assert_eq!(b.to_values(), want[j], "case {case} sort partition {j}");
+        }
+    }
+}
+
+/// `join_buckets` (batched build/probe over co-partitioned buckets) emits
+/// exactly what the row `shuffle` + `hash_join` pipeline does — same pairs,
+/// same left-major/right-input order — for int and string keys.
+#[test]
+fn join_buckets_matches_row_hash_join() {
+    use rheem_core::batch::{self, Batch};
+    use rheem_core::udf::KeySpec;
+    for case in 0u64..24 {
+        let mut rng = SplitMix64(0x701A ^ case);
+        let gen = |rng: &mut SplitMix64, strings: bool| -> Vec<Value> {
+            (0..rng.range_usize(80))
+                .map(|_| {
+                    let k = rng.range_usize(8);
+                    Value::pair(
+                        if strings { Value::from(format!("k{k}")) } else { Value::from(k as i64) },
+                        Value::from(rng.range_usize(100) as i64),
+                    )
+                })
+                .collect()
+        };
+        let strings = case % 2 == 1;
+        let left = gen(&mut rng, strings);
+        let right = gen(&mut rng, strings);
+        let n = 1 + rng.range_usize(5);
+        let lchunks: Vec<Arc<Vec<Value>>> =
+            left.chunks(left.len().div_ceil(n).max(1)).map(|c| Arc::new(c.to_vec())).collect();
+        let rchunks: Vec<Arc<Vec<Value>>> =
+            right.chunks(right.len().div_ceil(n).max(1)).map(|c| Arc::new(c.to_vec())).collect();
+        let key = KeyUdf::field(0);
+        // Row reference: hash exchange both sides, per-partition hash join.
+        let (le, _) = platform_spark::shuffle(&lchunks, &key, n);
+        let (re, _) = platform_spark::shuffle(&rchunks, &key, n);
+        let row_out: Vec<Vec<Value>> =
+            le.iter().zip(&re).map(|(l, r)| kernels::hash_join(l, r, &key, &key)).collect();
+        // Columnar path: partition each input batch, join per bucket.
+        let ks = KeySpec::Field(0);
+        let mut lb: Vec<Vec<Batch>> = vec![Vec::new(); n];
+        let mut rb: Vec<Vec<Batch>> = vec![Vec::new(); n];
+        for (chunks, buckets) in [(&lchunks, &mut lb), (&rchunks, &mut rb)] {
+            for c in chunks.iter() {
+                let parts = batch::partition_batch(&Batch::from_values(c), &ks, n)
+                    .expect("typed pairs must partition");
+                for (j, p) in parts.into_iter().enumerate() {
+                    buckets[j].push(p);
+                }
+            }
+        }
+        for j in 0..n {
+            let out = batch::join_buckets(&lb[j], &rb[j], &ks, &ks)
+                .expect("typed key columns must join columnar");
+            assert_eq!(out, row_out[j], "case {case} join bucket {j} (strings={strings})");
+        }
+    }
+}
+
+/// Float arithmetic, conjunctive sargs, and string-predicate kernels agree
+/// with the row closures they mirror, element for element — and refuse
+/// (fall back) rather than diverge on untyped data.
+#[test]
+fn float_and_string_kernels_match_row_closures() {
+    use rheem_core::batch::VectorKernel;
+    use rheem_core::fused::{FusedPipeline, FusedStep};
+    use rheem_core::udf::{Sarg, StrOp};
+    let bc = rheem_core::udf::BroadcastCtx::new();
+    let mut vectorized = 0usize;
+    for case in 0u64..24 {
+        let mut rng = SplitMix64(0xF10A ^ case);
+        // (word, float) pairs: string predicate on field 0, float math on 1.
+        let words = ["alpha", "beta", "axiom", "gamma", "apex", "delta"];
+        let data: Vec<Value> = (0..rng.range_usize(100))
+            .map(|_| {
+                Value::pair(
+                    Value::from(words[rng.range_usize(words.len())]),
+                    Value::from(rng.range_f64(-10.0, 10.0)),
+                )
+            })
+            .collect();
+        let pipeline = FusedPipeline::new(vec![
+            FusedStep::Filter(PredicateUdf::str_match("pre", 0, StrOp::StartsWith, "a")),
+            FusedStep::Map(MapUdf::field_add_float("fadd", 1, 0.25)),
+            FusedStep::Map(MapUdf::field_mul_float("fmul", 1, 1.5)),
+            FusedStep::Filter(PredicateUdf::from_sargs(
+                "band",
+                vec![Sarg { field: 1, op: CmpOp::Gt, literal: Value::from(-9.0f64) }],
+            )),
+        ]);
+        let vk = VectorKernel::compile(&pipeline).expect("spec'd steps must compile");
+        let row_out = pipeline.run(&data, &bc);
+        if let Some(b) = vk.run_values(&data) {
+            vectorized += 1;
+            assert_eq!(b.to_values(), row_out, "case {case}: float/string kernels diverged");
+        }
+        // Conjunctive sargs over int pairs (both conditions must apply).
+        let ints = rows_to_values(&int_rows(&mut rng));
+        let conj = FusedPipeline::new(vec![FusedStep::Filter(PredicateUdf::from_sargs(
+            "band2",
+            vec![
+                Sarg { field: 1, op: CmpOp::Gt, literal: Value::from(-20i64) },
+                Sarg { field: 1, op: CmpOp::Le, literal: Value::from(40i64) },
+            ],
+        ))]);
+        let vk2 = VectorKernel::compile(&conj).expect("conjunctive sargs must compile");
+        let row_out2 = conj.run(&ints, &bc);
+        if let Some(b) = vk2.run_values(&ints) {
+            vectorized += 1;
+            assert_eq!(b.to_values(), row_out2, "case {case}: conjunctive sarg diverged");
+        }
+    }
+    assert!(vectorized > 0, "no case exercised the float/string vector kernels");
+}
+
 /// The distributed reduce_by kernel path (partition + shuffle + merge)
 /// agrees with the sequential kernel for any associative combiner.
 #[test]
