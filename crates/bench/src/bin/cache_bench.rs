@@ -15,6 +15,18 @@
 //! exploration is not at least 2x cheaper in virtual time than the cold
 //! run — `scripts/check.sh` runs this as a gate.
 //!
+//! PR 10 adds two workloads, reported to `BENCH_PR10.json` and gated the
+//! same way:
+//!
+//! * **structural sharing** — a *different* query that only shares the
+//!   tokenize prefix with the wordcount must replay that prefix from the
+//!   interior cut-point fingerprint and run at least 2x cheaper than
+//!   uncached, and
+//! * **spill replay** — with a memory budget below the working set and a
+//!   disk tier configured, publications spill instead of evicting; warm
+//!   reruns replay from disk (promoting back to memory), stay at least 2x
+//!   cheaper than cold, and resident bytes never exceed the memory budget.
+//!
 //! Run with `cargo run --release --bin cache_bench`.
 
 use std::fmt::Write as _;
@@ -76,6 +88,140 @@ fn bench_rerun(task: &'static str, plan: &RheemPlan, sink: OperatorId) -> Row {
     Row { task, off_ms, cold_ms, warm_ms, hits: stats.hits, inserts: stats.inserts }
 }
 
+/// The expensive normalization step both exploration queries share: an
+/// opaque per-word "stemming" UDF whose cost hint dominates the pipeline.
+fn stem_udf() -> rheem_core::udf::MapUdf {
+    rheem_core::udf::MapUdf::new("stem", |v| {
+        Value::from(v.as_str().unwrap_or("").trim_matches(|c: char| !c.is_alphanumeric()))
+    })
+    .cost(64.0)
+}
+
+/// First query of the session: tokenize -> stem -> count words.
+fn stemmed_wordcount_plan(path: &std::path::Path) -> (RheemPlan, OperatorId) {
+    let mut b = rheem_core::plan::PlanBuilder::new();
+    let sink = b
+        .read_text_file(path)
+        .flat_map(rheem_core::udf::FlatMapUdf::split_whitespace("split"))
+        .map(stem_udf())
+        .map(rheem_core::udf::MapUdf::pair_with_int("pair", 1))
+        .reduce_by_key(
+            rheem_core::udf::KeyUdf::field(0),
+            rheem_core::udf::ReduceUdf::pair_int_sum("sum"),
+        )
+        .collect();
+    (b.build().expect("stemmed wordcount plan"), sink)
+}
+
+/// Second query of the session: shares only the tokenize -> stem prefix, so
+/// reuse must come from the interior cut-point fingerprint published inside
+/// the first query's fused chain.
+fn long_stems_plan(path: &std::path::Path) -> (RheemPlan, OperatorId) {
+    let mut b = rheem_core::plan::PlanBuilder::new();
+    let sink = b
+        .read_text_file(path)
+        .flat_map(rheem_core::udf::FlatMapUdf::split_whitespace("split"))
+        .map(stem_udf())
+        .filter(rheem_core::udf::PredicateUdf::new("long", |v| {
+            v.as_str().map(|s| s.len() > 6).unwrap_or(false)
+        }))
+        .count()
+        .collect();
+    (b.build().expect("long-stems plan"), sink)
+}
+
+/// Structural-sharing leg: run the stemmed wordcount against a fresh cache,
+/// then a structurally different query over the same corpus whose only
+/// overlap is the tokenize -> stem prefix. Returns (uncached ms, shared ms,
+/// prefix hits).
+fn bench_structural_sharing(path: &std::path::Path) -> (f64, f64, u64) {
+    let (wc_plan, wc_sink) = stemmed_wordcount_plan(path);
+    let (lw_plan, lw_sink) = long_stems_plan(path);
+
+    let mut off_ctx = default_context();
+    off_ctx.set_cache(None);
+    let (reference, off_ms) = sorted_sink(&off_ctx, &lw_plan, lw_sink);
+
+    let cache = Arc::new(ResultCache::new(256 << 20));
+    let ctx = default_context().with_shared_cache(Arc::clone(&cache));
+    sorted_sink(&ctx, &wc_plan, wc_sink);
+    let before = cache.stats();
+
+    let (shared, shared_ms) = sorted_sink(&ctx, &lw_plan, lw_sink);
+    assert_eq!(shared, reference, "structural sharing changed the answer");
+    let hits = cache.stats().hits - before.hits;
+    println!(
+        "structural_sharing: uncached {off_ms:.1} ms, shared-prefix {shared_ms:.1} ms \
+         ({hits} hits) — speedup {:.1}x",
+        off_ms / shared_ms.max(1e-9)
+    );
+    (off_ms, shared_ms, hits)
+}
+
+/// Spill-replay leg: a two-tier cache whose memory budget holds less than
+/// the session's working set. Cold runs over distinct corpora spill earlier
+/// publications to disk; warm reruns replay them (promoting back) and must
+/// stay >= 2x cheaper. Returns (cold ms, warm ms, final stats, mem budget).
+fn bench_spill_replay(kb: usize) -> (f64, f64, rheem_core::cache::CacheStats, u64) {
+    // Probe: publish one job into an unbounded cache to size the budget.
+    let probe_path = corpus_file("cache_spill_0", kb, 101);
+    let probe_cache = Arc::new(ResultCache::new(1 << 30));
+    let probe_ctx = default_context().with_shared_cache(Arc::clone(&probe_cache));
+    let (probe_plan, probe_sink) = wordcount_plan(&probe_path).expect("probe plan");
+    sorted_sink(&probe_ctx, &probe_plan, probe_sink);
+    let per_job = probe_cache.stats().bytes.max(1);
+
+    // Memory holds ~1.5 jobs of the 4-job session; disk holds the rest.
+    let budget = per_job + per_job / 2;
+    let cache = Arc::new(ResultCache::with_disk(budget, 64 << 20));
+    let ctx = default_context().with_shared_cache(Arc::clone(&cache));
+
+    let jobs: Vec<(RheemPlan, OperatorId)> = (0..4)
+        .map(|i| {
+            let path = corpus_file(&format!("cache_spill_{i}"), kb, 101 + i as u64);
+            wordcount_plan(&path).expect("spill job plan")
+        })
+        .collect();
+
+    let mut cold_ms = 0.0;
+    let mut references = Vec::new();
+    for (plan, sink) in &jobs {
+        let (out, v) = sorted_sink(&ctx, plan, *sink);
+        references.push(out);
+        cold_ms += v;
+    }
+    let after_cold = cache.stats();
+    assert!(after_cold.spills > 0, "memory pressure never spilled: {after_cold:?}");
+    assert!(
+        after_cold.bytes <= budget,
+        "resident bytes {} exceed the memory budget {budget}",
+        after_cold.bytes
+    );
+
+    let mut warm_ms = 0.0;
+    for ((plan, sink), reference) in jobs.iter().zip(&references) {
+        let (out, v) = sorted_sink(&ctx, plan, *sink);
+        assert_eq!(&out, reference, "spill replay changed the answer");
+        warm_ms += v;
+    }
+    let stats = cache.stats();
+    assert!(stats.promotions > 0, "warm reruns never promoted from disk: {stats:?}");
+    assert!(
+        stats.bytes <= budget,
+        "resident bytes {} exceed the memory budget {budget} after warm reruns",
+        stats.bytes
+    );
+    println!(
+        "spill_replay: cold {cold_ms:.1} ms, warm {warm_ms:.1} ms \
+         ({} spills, {} promotions, resident {} / budget {budget} bytes) — speedup {:.1}x",
+        stats.spills,
+        stats.promotions,
+        stats.bytes,
+        cold_ms / warm_ms.max(1e-9)
+    );
+    (cold_ms, warm_ms, stats, budget)
+}
+
 fn main() {
     let s = scale();
     let mut rows = Vec::new();
@@ -134,12 +280,42 @@ fn main() {
         wc.warm_ms
     );
 
+    // PR 10 legs: structural subplan sharing and the disk spill tier.
+    let kb = ((2048.0 * s) as usize).max(64);
+    let share_path = corpus_file("cache_bench", kb, 23);
+    let (share_off, share_warm, share_hits) = bench_structural_sharing(&share_path);
+    assert!(share_hits > 0, "shared-prefix query never hit the cut-point fingerprint");
+    let share_speedup = share_off / share_warm.max(1e-9);
+    assert!(
+        share_speedup >= 2.0,
+        "structural-sharing speedup {share_speedup:.2}x below the 2x gate \
+         (uncached {share_off:.1} ms, shared {share_warm:.1} ms)"
+    );
+
+    let spill_kb = ((512.0 * s) as usize).max(64);
+    let (spill_cold, spill_warm, spill_stats, spill_budget) = bench_spill_replay(spill_kb);
+    let spill_speedup = spill_cold / spill_warm.max(1e-9);
+    assert!(
+        spill_speedup >= 2.0,
+        "spill-replay speedup {spill_speedup:.2}x below the 2x gate \
+         (cold {spill_cold:.1} ms, warm {spill_warm:.1} ms)"
+    );
+
     let mut report = Report::new("cache_bench");
     for r in &rows {
         report.row("off", r.task, r.off_ms, "");
         report.row("cold", r.task, r.cold_ms, "");
         report.row("warm", r.task, r.warm_ms, &format!("{} hits", r.hits));
     }
+    report.row("uncached", "structural_sharing", share_off, "");
+    report.row("shared", "structural_sharing", share_warm, &format!("{share_hits} hits"));
+    report.row("cold", "spill_replay", spill_cold, &format!("{} spills", spill_stats.spills));
+    report.row(
+        "warm",
+        "spill_replay",
+        spill_warm,
+        &format!("{} promotions", spill_stats.promotions),
+    );
     report.save();
 
     let mut json = String::from("{\n  \"bench\": \"cache_bench\",\n");
@@ -165,4 +341,23 @@ fn main() {
     json.push_str("  }\n}\n");
     std::fs::write("BENCH_PR5.json", &json).expect("write BENCH_PR5.json");
     println!("-- wrote BENCH_PR5.json ({} tasks)", rows.len());
+
+    let mut json = String::from("{\n  \"bench\": \"cache_bench_pr10\",\n");
+    let _ = writeln!(
+        json,
+        "  \"structural_sharing\": {{ \"uncached_virtual_ms\": {share_off:.3}, \
+         \"shared_virtual_ms\": {share_warm:.3}, \"speedup\": {share_speedup:.3}, \
+         \"prefix_hits\": {share_hits} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"spill_replay\": {{ \"cold_virtual_ms\": {spill_cold:.3}, \
+         \"warm_virtual_ms\": {spill_warm:.3}, \"speedup\": {spill_speedup:.3}, \
+         \"spills\": {}, \"promotions\": {}, \"resident_bytes\": {}, \
+         \"memory_budget_bytes\": {spill_budget}, \"spilled_bytes\": {} }}",
+        spill_stats.spills, spill_stats.promotions, spill_stats.bytes, spill_stats.spilled_bytes
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_PR10.json", &json).expect("write BENCH_PR10.json");
+    println!("-- wrote BENCH_PR10.json (structural sharing + spill replay)");
 }

@@ -377,6 +377,9 @@ impl RheemContext {
             self.metrics.set_counter_max("rheem_cache_misses_total", s.misses);
             self.metrics.set_counter_max("rheem_cache_inserts_total", s.inserts);
             self.metrics.set_counter_max("rheem_cache_evictions_total", s.evictions);
+            self.metrics.set_counter_max("rheem_cache_spills_total", s.spills);
+            self.metrics.set_counter_max("rheem_cache_promotions_total", s.promotions);
+            self.metrics.set_gauge("rheem_cache_spilled_bytes", s.spilled_bytes as f64);
         }
         if let Some(tenant) = &scope.tenant {
             let m = &result.metrics;
@@ -405,9 +408,21 @@ impl RheemContext {
                     &format!("rheem_cache_evictions_total{{tenant=\"{tenant}\"}}"),
                     st.evictions,
                 );
+                self.metrics.set_counter_max(
+                    &format!("rheem_cache_spills_total{{tenant=\"{tenant}\"}}"),
+                    st.spills,
+                );
+                self.metrics.set_counter_max(
+                    &format!("rheem_cache_promotions_total{{tenant=\"{tenant}\"}}"),
+                    st.promotions,
+                );
                 self.metrics.set_gauge(
                     &format!("rheem_cache_bytes{{tenant=\"{tenant}\"}}"),
                     st.bytes as f64,
+                );
+                self.metrics.set_gauge(
+                    &format!("rheem_cache_spilled_bytes{{tenant=\"{tenant}\"}}"),
+                    st.spilled_bytes as f64,
                 );
                 self.metrics.set_gauge(
                     &format!("rheem_cache_entries{{tenant=\"{tenant}\"}}"),
@@ -466,6 +481,8 @@ impl RheemContext {
             self.metrics.inc("rheem_cache_misses_total", after.misses - before.misses);
             self.metrics.inc("rheem_cache_inserts_total", after.inserts - before.inserts);
             self.metrics.inc("rheem_cache_evictions_total", after.evictions - before.evictions);
+            self.metrics.inc("rheem_cache_spills_total", after.spills - before.spills);
+            self.metrics.inc("rheem_cache_promotions_total", after.promotions - before.promotions);
         }
         Ok(result)
     }

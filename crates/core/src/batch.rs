@@ -241,6 +241,19 @@ impl Batch {
         self.shape
     }
 
+    /// The underlying columns (shared allocations — bucket batches and
+    /// cached batches alias the producing chunk's columns). Exposed so byte
+    /// accounting can size shared column allocations once.
+    pub fn columns(&self) -> &[Arc<Column>] {
+        &self.cols
+    }
+
+    /// Surviving row indices when a selection vector is present (`None`
+    /// means every physical row survives).
+    pub fn selection(&self) -> Option<&[u32]> {
+        self.sel.as_deref()
+    }
+
     /// Materialize row `i` (a physical row index, ignoring selection).
     fn row(&self, i: usize) -> Value {
         match self.shape {

@@ -19,27 +19,46 @@
 //! the fingerprint (samplers, loop heads and bodies, mutable table scans)
 //! have no fingerprint, and neither does anything downstream of them.
 //!
+//! Publication goes beyond node tails: [`publish_map`] also exposes the
+//! *interior cut points* of fused chains ([`crate::fused::cut_points`]), so
+//! a later job that shares only a structural prefix of a chain — the same
+//! source → tokenize but a different downstream aggregate — still hits.
+//!
+//! Storage is two-tiered. The memory budget bounds *resident* bytes; under
+//! pressure cold entries are demoted to a disk [`spill`] tier (bounded by
+//! its own byte budget) instead of dropped, and promoted back on their next
+//! hit. [`CachedSource`] prices a disk-tier replay at the slower
+//! [`rheem_storage::spill_costs`] rate so enumeration still weighs the
+//! spilled read against recomputation honestly. Entry sizes are *unique*
+//! bytes: interned strings and shared column allocations are sized once,
+//! not once per reference.
+//!
 //! The cache is off unless `RHEEM_CACHE=on` (budget: `RHEEM_CACHE_MB`,
-//! default 256); entries are evicted least-recently-used under the byte
-//! budget.
+//! default 256; disk tier: `RHEEM_CACHE_DISK_MB`, default off); entries are
+//! evicted least-recently-used under the byte budgets.
+
+pub mod spill;
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 
+use crate::batch::{Batch, Column};
 use crate::builtin::CONTROL;
 use crate::channel::{kinds, ChannelData, ChannelKind};
 use crate::cost::Load;
 use crate::error::Result;
-use crate::exec::{dataset_bytes, ExecCtx, ExecutionOperator, OpMetrics};
+use crate::exec::{ExecCtx, ExecutionOperator, OpMetrics};
+use crate::execplan::ExecPlan;
 use crate::obs::{EventKind, FlightRecorder};
-use crate::plan::{LogicalOp, OperatorNode, RheemPlan};
+use crate::plan::{LogicalOp, OperatorId, OperatorNode, RheemPlan};
 use crate::platform::PlatformId;
+use crate::registry::Registry;
 use crate::udf::BroadcastCtx;
 use crate::value::Dataset;
-use rheem_storage::{default_costs, StoreKind};
+use rheem_storage::{default_costs, spill_costs, StoreKind};
 
 /// Canonical fingerprint of an operator subplan: a hash over the operator
 /// chain, UDF identities, parameters and source-file identity of the whole
@@ -71,12 +90,29 @@ const COLLECTION_HASH_CAP: usize = 1 << 20;
 /// Per-operator fingerprints for a plan, indexed by operator id. `None`
 /// marks operators whose result is not safely reusable across jobs.
 pub fn plan_fingerprints(plan: &RheemPlan) -> Vec<Option<Fingerprint>> {
+    plan_fingerprints_with(plan, &HashMap::new())
+}
+
+/// [`plan_fingerprints`] with per-operator overrides. Progressive
+/// re-planning rewrites materialized subplans into [`LogicalOp::
+/// CollectionSource`]s, which would structurally change every downstream
+/// fingerprint; pinning the rewritten operators to the fingerprints they
+/// carried in the original plan keeps the downstream identities stable, so
+/// mid-job replans still hit entries published before the rewrite.
+pub fn plan_fingerprints_with(
+    plan: &RheemPlan,
+    overrides: &HashMap<OperatorId, Fingerprint>,
+) -> Vec<Option<Fingerprint>> {
     let n = plan.len();
     let mut fps: Vec<Option<Fingerprint>> = vec![None; n];
     let Ok(topo) = plan.topological_order() else {
         return fps;
     };
     for id in topo {
+        if let Some(fp) = overrides.get(&id) {
+            fps[id.index()] = Some(*fp);
+            continue;
+        }
         let node = plan.node(id);
         fps[id.index()] = node_fingerprint(node, &fps);
     }
@@ -180,6 +216,63 @@ fn hash_udf(h: &mut DefaultHasher, name: &str, cost_hint: f64) {
     cost_hint.to_bits().hash(h);
 }
 
+/// What one exec node publishes after committing: the fingerprint of its
+/// tail (the full covered subplan) plus the fingerprints of every interior
+/// fused-chain cut point — prefixes `ops[..len]` of the node's logical
+/// chain that are themselves valid fused pipelines. A later job sharing
+/// only the prefix (same source → tokenize, different aggregate) then hits
+/// on the cut entry even though no single node of the first job produced
+/// exactly that result.
+#[derive(Clone, Debug, Default)]
+pub struct NodePublish {
+    /// Fingerprint of the node's full covered subplan, when its output
+    /// channel is reusable and the subplan is fingerprintable.
+    pub tail: Option<Fingerprint>,
+    /// Interior cut points as `(prefix_len, fingerprint)` pairs, shortest
+    /// first. The executor recomputes `ops[..prefix_len]` from the node's
+    /// input via [`crate::fused::FusedPipeline`] and publishes the result.
+    pub cuts: Vec<(usize, Fingerprint)>,
+}
+
+/// Publication schedule for a whole exec plan, indexed like `eplan.nodes`.
+/// Cut points are only emitted for nodes whose logical chain is *linear*
+/// (each member feeds exactly the next, no broadcasts) — the shape fused
+/// chains have by construction — and land on fusable prefixes, so they can
+/// be recomputed from the node's single input.
+pub fn publish_map(
+    plan: &RheemPlan,
+    fps: &[Option<Fingerprint>],
+    eplan: &ExecPlan,
+    registry: &Registry,
+) -> Vec<NodePublish> {
+    eplan
+        .nodes
+        .iter()
+        .map(|nd| {
+            let reusable = registry.channel(nd.exec.output_kind()).reusable;
+            let tail = if reusable { nd.tail().and_then(|t| fps[t.index()]) } else { None };
+            let mut cuts = Vec::new();
+            if nd.logical.len() > 1 && nd.inputs.len() == 1 && nd.broadcasts.is_empty() {
+                let linear = plan.node(nd.logical[0]).broadcasts.is_empty()
+                    && nd.logical.windows(2).all(|w| {
+                        let m = plan.node(w[1]);
+                        m.inputs.len() == 1 && m.inputs[0] == w[0] && m.broadcasts.is_empty()
+                    });
+                if linear {
+                    let ops: Vec<LogicalOp> =
+                        nd.logical.iter().map(|&id| plan.node(id).op.clone()).collect();
+                    for len in crate::fused::cut_points(&ops) {
+                        if let Some(fp) = fps[nd.logical[len - 1].index()] {
+                            cuts.push((len, fp));
+                        }
+                    }
+                }
+            }
+            NodePublish { tail, cuts }
+        })
+        .collect()
+}
+
 /// A cache namespace. Entries live in exactly one namespace; lookups and
 /// inserts are namespace-scoped so one tenant's working set can neither
 /// read nor evict another tenant's entries beyond the global budget rules.
@@ -209,39 +302,186 @@ impl Namespace {
     }
 }
 
+/// A cached result in whichever layout the producer committed: row datasets
+/// stay row datasets, columnar batches stay columnar — a warm replay hands
+/// the consumer the same channel shape the original run produced, so
+/// vectorized pipelines downstream of a hit stay vectorized.
+#[derive(Clone)]
+pub enum CachedPayload {
+    /// Row values (collection channel).
+    Rows(Dataset),
+    /// Columnar batches, kept zero-copy via the shared `Arc`.
+    Batches(Arc<Vec<Batch>>),
+}
+
+impl CachedPayload {
+    /// Capture a committed channel's data for publication. `None` for
+    /// channel layouts that are not cacheable (files, opaque payloads).
+    pub fn from_channel(data: &ChannelData) -> Option<CachedPayload> {
+        match data {
+            ChannelData::Collection(d) => Some(CachedPayload::Rows(Arc::clone(d))),
+            ChannelData::Batches(b) | ChannelData::BatchParts(b) => {
+                Some(CachedPayload::Batches(Arc::clone(b)))
+            }
+            ChannelData::Partitions(_) => data.flatten().ok().map(CachedPayload::Rows),
+            _ => None,
+        }
+    }
+
+    /// Number of quanta in the payload.
+    pub fn len(&self) -> usize {
+        match self {
+            CachedPayload::Rows(d) => d.len(),
+            CachedPayload::Batches(b) => b.iter().map(|x| x.selected_len()).sum(),
+        }
+    }
+
+    /// Whether the payload holds no quanta.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The payload as row values (columnar payloads materialize).
+    pub fn rows(&self) -> Dataset {
+        match self {
+            CachedPayload::Rows(d) => Arc::clone(d),
+            CachedPayload::Batches(b) => {
+                let total: usize = b.iter().map(|x| x.selected_len()).sum();
+                let mut out = Vec::with_capacity(total);
+                for batch in b.iter() {
+                    out.append(&mut batch.to_values());
+                }
+                Arc::new(out)
+            }
+        }
+    }
+
+    /// The payload as channel data, preserving its layout.
+    pub fn to_channel(&self) -> ChannelData {
+        match self {
+            CachedPayload::Rows(d) => ChannelData::Collection(Arc::clone(d)),
+            CachedPayload::Batches(b) => ChannelData::Batches(Arc::clone(b)),
+        }
+    }
+
+    /// Accounted byte size: unique allocation bytes, so interned strings
+    /// and shared column `Arc`s are charged once, not once per reference.
+    pub fn accounted_bytes(&self) -> u64 {
+        match self {
+            CachedPayload::Rows(d) => rows_unique_bytes(d),
+            CachedPayload::Batches(b) => batches_unique_bytes(b),
+        }
+    }
+}
+
+/// Unique-allocation byte size of a row dataset: shared `Arc` allocations
+/// (interned strings, shared tuples) are sized once and charged a pointer
+/// per further reference.
+pub fn rows_unique_bytes(rows: &Dataset) -> u64 {
+    let mut seen = HashSet::new();
+    rows.iter().map(|v| v.unique_bytes(&mut seen)).sum::<usize>() as u64
+}
+
+fn column_unique_bytes(col: &Column, seen: &mut HashSet<usize>) -> usize {
+    match col {
+        Column::Int64(v) => 8 * v.len(),
+        Column::Float64(v) => 8 * v.len(),
+        Column::Bool(v) => v.len(),
+        Column::Str { dict, ids, .. } => {
+            let mut b = 4 * ids.len();
+            for s in dict {
+                b += if seen.insert(Arc::as_ptr(s) as *const u8 as usize) {
+                    24 + s.len()
+                } else {
+                    8
+                };
+            }
+            b
+        }
+        Column::Row(v) => v.iter().map(|x| x.unique_bytes(seen)).sum(),
+    }
+}
+
+/// Unique-allocation byte size of a batch vector: bucket batches cut from
+/// one chunk share the chunk's column `Arc`s, which are sized once.
+pub fn batches_unique_bytes(batches: &[Batch]) -> u64 {
+    let mut seen = HashSet::new();
+    let mut total = 0usize;
+    for b in batches {
+        for col in b.columns() {
+            total += if seen.insert(Arc::as_ptr(col) as usize) {
+                column_unique_bytes(col, &mut seen)
+            } else {
+                8
+            };
+        }
+        if let Some(sel) = b.selection() {
+            total += 4 * sel.len();
+        }
+    }
+    total as u64
+}
+
+/// Which storage tier a lookup was served from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// Resident in memory: replay is priced at the local store rate.
+    Memory,
+    /// Read back from the disk spill tier (and promoted): replay is priced
+    /// at the slower [`rheem_storage::spill_costs`] rate.
+    Disk,
+}
+
 /// A successful cache lookup.
 #[derive(Clone)]
 pub struct CacheHit {
-    /// The cached result (shared, never copied).
-    pub data: Dataset,
+    /// The cached result (shared, never copied for memory hits).
+    pub payload: CachedPayload,
     /// Its accounted byte size.
     pub bytes: u64,
+    /// The tier the entry was served from.
+    pub tier: Tier,
 }
 
 /// Counters of a [`ResultCache`], cumulative since creation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups that found an entry.
+    /// Lookups that found an entry (either tier).
     pub hits: u64,
     /// Lookups that found nothing.
     pub misses: u64,
     /// Entries inserted.
     pub inserts: u64,
-    /// Entries evicted under the byte budget.
+    /// Entries dropped entirely (quota, budget or disk-budget pressure).
     pub evictions: u64,
-    /// Entries currently resident.
+    /// Entries demoted from memory to the disk spill tier.
+    pub spills: u64,
+    /// Spilled entries promoted back to memory on a hit.
+    pub promotions: u64,
+    /// Entries currently resident (both tiers).
     pub entries: u64,
-    /// Bytes currently resident.
+    /// Bytes currently resident in memory.
     pub bytes: u64,
+    /// Entries currently on the disk spill tier.
+    pub spilled_entries: u64,
+    /// Bytes currently on the disk spill tier.
+    pub spilled_bytes: u64,
+}
+
+enum Stored {
+    Mem(CachedPayload),
+    Disk(spill::SpillSlot),
 }
 
 struct Entry {
-    data: Dataset,
+    stored: Stored,
     bytes: u64,
     last_used: u64,
 }
 
-/// Per-namespace resident accounting and cumulative counters.
+/// Per-namespace resident accounting and cumulative counters. `bytes`
+/// spans both tiers — a namespace quota bounds the tenant's total cache
+/// footprint, spilled or not.
 #[derive(Default, Clone, Copy)]
 struct NsState {
     bytes: u64,
@@ -250,6 +490,9 @@ struct NsState {
     misses: u64,
     inserts: u64,
     evictions: u64,
+    spilled_bytes: u64,
+    spills: u64,
+    promotions: u64,
 }
 
 #[derive(Default)]
@@ -259,32 +502,118 @@ struct Inner {
     quotas: HashMap<u64, u64>,
     clock: u64,
     bytes: u64,
+    disk_bytes: u64,
     hits: u64,
     misses: u64,
     inserts: u64,
     evictions: u64,
+    spills: u64,
+    promotions: u64,
+    spill: Option<spill::SpillStore>,
 }
 
 impl Inner {
-    /// Evict `key`; returns the freed byte count for event reporting.
+    /// Evict `key` from whichever tier holds it; returns the freed byte
+    /// count for event reporting.
     fn evict(&mut self, key: (u64, u64)) -> u64 {
         let evicted = self.map.remove(&key).expect("victim exists");
-        self.bytes -= evicted.bytes;
+        match &evicted.stored {
+            Stored::Mem(_) => self.bytes -= evicted.bytes,
+            Stored::Disk(slot) => {
+                self.disk_bytes -= evicted.bytes;
+                if let Some(sp) = &self.spill {
+                    sp.remove(*slot);
+                }
+            }
+        }
         self.evictions += 1;
         let st = self.ns.entry(key.0).or_default();
         st.bytes -= evicted.bytes;
         st.entries -= 1;
         st.evictions += 1;
+        if matches!(evicted.stored, Stored::Disk(_)) {
+            st.spilled_bytes -= evicted.bytes;
+        }
         evicted.bytes
     }
 
-    /// LRU victim among entries matching `pred` on the namespace id.
-    fn victim_where(&self, pred: impl Fn(u64) -> bool) -> Option<(u64, u64)> {
+    /// LRU victim among entries matching `pred` on the namespace id,
+    /// optionally restricted to one storage tier.
+    fn victim_where(&self, tier: Option<Tier>, pred: impl Fn(u64) -> bool) -> Option<(u64, u64)> {
         self.map
             .iter()
-            .filter(|((ns, _), _)| pred(*ns))
+            .filter(|((ns, _), e)| {
+                pred(*ns)
+                    && match tier {
+                        None => true,
+                        Some(Tier::Memory) => matches!(e.stored, Stored::Mem(_)),
+                        Some(Tier::Disk) => matches!(e.stored, Stored::Disk(_)),
+                    }
+            })
             .min_by_key(|(_, e)| e.last_used)
             .map(|(&k, _)| k)
+    }
+
+    /// Demote `key` from memory to the spill tier. `false` when spilling is
+    /// disabled, the entry is not in memory, or the write failed (the
+    /// caller falls back to eviction).
+    fn spill_victim(&mut self, key: (u64, u64)) -> bool {
+        let Some(sp) = self.spill.as_mut() else { return false };
+        let Some(entry) = self.map.get_mut(&key) else { return false };
+        let Stored::Mem(payload) = &entry.stored else { return false };
+        match sp.write(payload) {
+            Ok(slot) => {
+                let bytes = entry.bytes;
+                entry.stored = Stored::Disk(slot);
+                self.bytes -= bytes;
+                self.disk_bytes += bytes;
+                self.spills += 1;
+                let st = self.ns.entry(key.0).or_default();
+                st.spilled_bytes += bytes;
+                st.spills += 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Bring both tiers back under budget: memory pressure demotes LRU
+    /// entries to disk (falling back to eviction when the spill tier is
+    /// off, full, or failing), then disk pressure evicts LRU spilled
+    /// entries outright. Quoted namespaces are victimized last in both
+    /// loops so cross-tenant pressure lands on unquoted entries first.
+    fn enforce(
+        &mut self,
+        mem_budget: u64,
+        disk_budget: u64,
+        events: &mut Vec<(EventKind, u64, u64)>,
+    ) {
+        while self.bytes > mem_budget {
+            let quotas = &self.quotas;
+            let victim = self
+                .victim_where(Some(Tier::Memory), |n| !quotas.contains_key(&n))
+                .or_else(|| self.victim_where(Some(Tier::Memory), |_| true))
+                .expect("over budget implies a resident entry");
+            let vbytes = self.map.get(&victim).map(|e| e.bytes).unwrap_or(0);
+            if self.spill.is_some()
+                && self.disk_bytes + vbytes <= disk_budget
+                && self.spill_victim(victim)
+            {
+                events.push((EventKind::CacheSpilled, victim.1, vbytes));
+            } else {
+                let freed = self.evict(victim);
+                events.push((EventKind::CacheEvicted, victim.1, freed));
+            }
+        }
+        while self.disk_bytes > disk_budget {
+            let quotas = &self.quotas;
+            let victim = self
+                .victim_where(Some(Tier::Disk), |n| !quotas.contains_key(&n))
+                .or_else(|| self.victim_where(Some(Tier::Disk), |_| true))
+                .expect("over disk budget implies a spilled entry");
+            let freed = self.evict(victim);
+            events.push((EventKind::CacheEvicted, victim.1, freed));
+        }
     }
 }
 
@@ -296,24 +625,37 @@ pub const DEFAULT_BUDGET_BYTES: u64 = 256 << 20;
 /// contexts via [`crate::api::RheemContext::with_shared_cache`].
 pub struct ResultCache {
     budget: u64,
+    disk_budget: u64,
     inner: Mutex<Inner>,
-    /// Optional flight recorder fed hit/insert/evict events; held in its
-    /// own lock so recording never happens under the cache lock.
+    /// Optional flight recorder fed hit/insert/evict/spill events; held in
+    /// its own lock so recording never happens under the cache lock.
     recorder: Mutex<Option<Arc<FlightRecorder>>>,
 }
 
 impl ResultCache {
-    /// A cache with an explicit byte budget.
+    /// A memory-only cache with an explicit byte budget.
     pub fn new(budget_bytes: u64) -> Self {
+        Self::with_disk(budget_bytes, 0)
+    }
+
+    /// A two-tier cache: `budget_bytes` bounds resident memory and
+    /// `disk_budget_bytes` bounds the spill tier (0 disables spilling).
+    pub fn with_disk(budget_bytes: u64, disk_budget_bytes: u64) -> Self {
+        let mut inner = Inner::default();
+        if disk_budget_bytes > 0 {
+            inner.spill = Some(spill::SpillStore::new());
+        }
         Self {
             budget: budget_bytes.max(1),
-            inner: Mutex::new(Inner::default()),
+            disk_budget: disk_budget_bytes,
+            inner: Mutex::new(inner),
             recorder: Mutex::new(None),
         }
     }
 
-    /// Attach (or detach, with `None`) a flight recorder. Hit, insert and
-    /// eviction events are recorded outside the cache lock.
+    /// Attach (or detach, with `None`) a flight recorder. Hit, insert,
+    /// eviction, spill and promotion events are recorded outside the cache
+    /// lock.
     pub fn set_recorder(&self, recorder: Option<Arc<FlightRecorder>>) {
         *self.recorder.lock().unwrap() = recorder;
     }
@@ -322,8 +664,21 @@ impl ResultCache {
         self.recorder.lock().unwrap().clone()
     }
 
+    fn record_events(&self, events: &[(EventKind, u64, u64)]) {
+        if events.is_empty() {
+            return;
+        }
+        if let Some(r) = self.rec() {
+            for (kind, vfp, bytes) in events {
+                r.record(*kind, None, None, None, *bytes as f64, &format!("fp:{vfp:016x}"));
+            }
+        }
+    }
+
     /// Build from the environment: `Some` iff `RHEEM_CACHE` is `on`/`1`/
-    /// `true` (case-insensitive), with the budget from `RHEEM_CACHE_MB`.
+    /// `true` (case-insensitive), with the memory budget from
+    /// `RHEEM_CACHE_MB` and the spill-tier budget from
+    /// `RHEEM_CACHE_DISK_MB` (unset or 0: spilling off).
     pub fn from_env() -> Option<Arc<ResultCache>> {
         let v = std::env::var("RHEEM_CACHE").ok()?;
         if !matches!(v.to_ascii_lowercase().as_str(), "on" | "1" | "true") {
@@ -334,27 +689,45 @@ impl ResultCache {
             .and_then(|s| s.parse::<u64>().ok())
             .map(|mb| mb << 20)
             .unwrap_or(DEFAULT_BUDGET_BYTES);
-        Some(Arc::new(ResultCache::new(budget)))
+        let disk = std::env::var("RHEEM_CACHE_DISK_MB")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .map(|mb| mb << 20)
+            .unwrap_or(0);
+        Some(Arc::new(ResultCache::with_disk(budget, disk)))
     }
 
-    /// The configured byte budget.
+    /// The configured memory byte budget.
     pub fn budget_bytes(&self) -> u64 {
         self.budget
+    }
+
+    /// The configured spill-tier byte budget (0 when spilling is off).
+    pub fn disk_budget_bytes(&self) -> u64 {
+        self.disk_budget
     }
 
     /// Reserve `quota_bytes` for a namespace. A quoted namespace is bounded
     /// above by its quota (within-namespace LRU eviction keeps it there) and
     /// protected below it: global-budget pressure evicts from *unquoted*
     /// namespaces first, so as long as the quotas sum to at most the budget,
-    /// no tenant can force another tenant's entries out.
+    /// no tenant can force another tenant's entries out. The quota spans
+    /// both tiers: spilling an entry does not shrink its owner's footprint.
     pub fn set_quota(&self, ns: Namespace, quota_bytes: u64) {
         let mut inner = self.inner.lock().unwrap();
-        inner.quotas.insert(ns.0, quota_bytes.min(self.budget));
+        inner.quotas.insert(ns.0, quota_bytes.min(self.budget + self.disk_budget));
     }
 
     /// The quota configured for a namespace, if any.
     pub fn quota_of(&self, ns: Namespace) -> Option<u64> {
         self.inner.lock().unwrap().quotas.get(&ns.0).copied()
+    }
+
+    /// Whether a fingerprint is resident in `ns` (either tier). Unlike
+    /// [`Self::lookup_in`] this counts nothing and refreshes nothing — the
+    /// executor uses it to skip recomputing already-published cut points.
+    pub fn contains_in(&self, ns: Namespace, fp: Fingerprint) -> bool {
+        self.inner.lock().unwrap().map.contains_key(&(ns.0, fp.0))
     }
 
     /// Look up a fingerprint in the shared namespace; counts a hit or miss
@@ -365,29 +738,88 @@ impl ResultCache {
 
     /// Namespace-scoped lookup: only entries published into `ns` are
     /// visible. The hit/miss is counted both globally and against `ns`.
+    /// A hit on a spilled entry reads it back, promotes it to memory
+    /// (re-running budget enforcement, so some other cold entry may spill)
+    /// and reports [`Tier::Disk`] so the caller prices the replay at the
+    /// disk rate. An unreadable spill file degrades to a miss.
     pub fn lookup_in(&self, ns: Namespace, fp: Fingerprint) -> Option<CacheHit> {
+        enum Found {
+            Miss,
+            Mem(CachedPayload, u64),
+            Disk(spill::SpillSlot, u64),
+        }
+        let mut events: Vec<(EventKind, u64, u64)> = Vec::new();
         let hit = {
             let mut inner = self.inner.lock().unwrap();
             inner.clock += 1;
             let clock = inner.clock;
-            match inner.map.get_mut(&(ns.0, fp.0)) {
+            let found = match inner.map.get_mut(&(ns.0, fp.0)) {
                 Some(e) => {
                     e.last_used = clock;
-                    let hit = CacheHit { data: Arc::clone(&e.data), bytes: e.bytes };
+                    match &e.stored {
+                        Stored::Mem(p) => Found::Mem(p.clone(), e.bytes),
+                        Stored::Disk(slot) => Found::Disk(*slot, e.bytes),
+                    }
+                }
+                None => Found::Miss,
+            };
+            match found {
+                Found::Mem(payload, bytes) => {
                     inner.hits += 1;
                     inner.ns.entry(ns.0).or_default().hits += 1;
-                    Some(hit)
+                    Some(CacheHit { payload, bytes, tier: Tier::Memory })
                 }
-                None => {
+                Found::Disk(slot, bytes) => match inner.spill.as_ref().map(|sp| sp.read(slot)) {
+                    Some(Ok(payload)) => {
+                        if let Some(sp) = &inner.spill {
+                            sp.remove(slot);
+                        }
+                        let e = inner.map.get_mut(&(ns.0, fp.0)).expect("entry exists");
+                        e.stored = Stored::Mem(payload.clone());
+                        inner.disk_bytes -= bytes;
+                        inner.bytes += bytes;
+                        inner.promotions += 1;
+                        inner.hits += 1;
+                        {
+                            let st = inner.ns.entry(ns.0).or_default();
+                            st.spilled_bytes -= bytes;
+                            st.promotions += 1;
+                            st.hits += 1;
+                        }
+                        events.push((EventKind::CachePromoted, fp.0, bytes));
+                        inner.enforce(self.budget, self.disk_budget, &mut events);
+                        Some(CacheHit { payload, bytes, tier: Tier::Disk })
+                    }
+                    _ => {
+                        // The spill file is gone or corrupt: the entry is
+                        // unrecoverable. Drop it and count a miss.
+                        let freed = inner.evict((ns.0, fp.0));
+                        events.push((EventKind::CacheEvicted, fp.0, freed));
+                        inner.misses += 1;
+                        inner.ns.entry(ns.0).or_default().misses += 1;
+                        None
+                    }
+                },
+                Found::Miss => {
                     inner.misses += 1;
                     inner.ns.entry(ns.0).or_default().misses += 1;
                     None
                 }
             }
         };
-        if let (Some(h), Some(r)) = (&hit, self.rec()) {
-            r.record(EventKind::CacheHit, None, None, None, h.bytes as f64, &format!("fp:{fp}"));
+        if let Some(h) = &hit {
+            if let Some(r) = self.rec() {
+                r.record(
+                    EventKind::CacheHit,
+                    None,
+                    None,
+                    None,
+                    h.bytes as f64,
+                    &format!("fp:{fp}"),
+                );
+            }
         }
+        self.record_events(&events);
         hit
     }
 
@@ -396,19 +828,34 @@ impl ResultCache {
         self.insert_in(Namespace::SHARED, fp, data)
     }
 
-    /// Publish a result into a namespace. Re-publishing an existing
-    /// fingerprint only refreshes its age; results over the whole budget —
-    /// or over the namespace quota, when one is set — are rejected.
-    /// Eviction order is deterministic (the LRU clock is unique per
-    /// operation): first within-namespace LRU until the quota holds, then
-    /// global LRU restricted to unquoted namespaces until the budget holds,
-    /// falling back to all namespaces only when no unquoted entry remains.
+    /// Publish a row dataset into a namespace. See
+    /// [`Self::insert_payload_in`].
     pub fn insert_in(&self, ns: Namespace, fp: Fingerprint, data: Dataset) {
-        let bytes = (dataset_bytes(&data).ceil() as u64).max(1);
+        self.insert_payload_in(ns, fp, CachedPayload::Rows(data))
+    }
+
+    /// Publish a committed channel into a namespace, preserving its layout
+    /// (columnar stays columnar). Non-cacheable layouts are ignored.
+    pub fn insert_channel_in(&self, ns: Namespace, fp: Fingerprint, data: &ChannelData) {
+        if let Some(payload) = CachedPayload::from_channel(data) {
+            self.insert_payload_in(ns, fp, payload);
+        }
+    }
+
+    /// Publish a result into a namespace. Re-publishing an existing
+    /// fingerprint only refreshes its age; results over the whole memory
+    /// budget — or over the namespace quota, when one is set — are
+    /// rejected. Eviction order is deterministic (the LRU clock is unique
+    /// per operation): first within-namespace LRU eviction until the quota
+    /// holds, then memory-budget enforcement, which demotes LRU entries
+    /// from unquoted namespaces to the spill tier (or evicts, when
+    /// spilling is off or the disk budget is exhausted).
+    pub fn insert_payload_in(&self, ns: Namespace, fp: Fingerprint, payload: CachedPayload) {
+        let bytes = payload.accounted_bytes().max(1);
         if bytes > self.budget {
             return;
         }
-        let mut evicted: Vec<(u64, u64, u64)> = Vec::new();
+        let mut events: Vec<(EventKind, u64, u64)> = Vec::new();
         {
             let mut inner = self.inner.lock().unwrap();
             let quota = inner.quotas.get(&ns.0).copied();
@@ -421,7 +868,10 @@ impl ResultCache {
                 e.last_used = clock;
                 return;
             }
-            inner.map.insert((ns.0, fp.0), Entry { data, bytes, last_used: clock });
+            inner.map.insert(
+                (ns.0, fp.0),
+                Entry { stored: Stored::Mem(payload), bytes, last_used: clock },
+            );
             inner.bytes += bytes;
             inner.inserts += 1;
             {
@@ -433,49 +883,36 @@ impl ResultCache {
             if let Some(q) = quota {
                 while inner.ns.get(&ns.0).map(|s| s.bytes).unwrap_or(0) > q {
                     let victim = inner
-                        .victim_where(|n| n == ns.0)
+                        .victim_where(None, |n| n == ns.0)
                         .expect("over quota implies non-empty namespace");
                     let freed = inner.evict(victim);
-                    evicted.push((victim.0, victim.1, freed));
+                    events.push((EventKind::CacheEvicted, victim.1, freed));
                 }
             }
-            while inner.bytes > self.budget {
-                // Quoted namespaces are protected from cross-tenant pressure;
-                // spill from unquoted ones first.
-                let quotas = &inner.quotas;
-                let victim = inner
-                    .victim_where(|n| !quotas.contains_key(&n))
-                    .or_else(|| inner.victim_where(|_| true))
-                    .expect("over budget implies non-empty");
-                let freed = inner.evict(victim);
-                evicted.push((victim.0, victim.1, freed));
-            }
+            inner.enforce(self.budget, self.disk_budget, &mut events);
         }
         if let Some(r) = self.rec() {
             r.record(EventKind::CacheInsert, None, None, None, bytes as f64, &format!("fp:{fp}"));
-            for (_, vfp, freed) in &evicted {
-                r.record(
-                    EventKind::CacheEvicted,
-                    None,
-                    None,
-                    None,
-                    *freed as f64,
-                    &format!("fp:{:016x}", vfp),
-                );
-            }
         }
+        self.record_events(&events);
     }
 
     /// Snapshot the global counters (all namespaces combined).
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().unwrap();
+        let spilled_entries =
+            inner.map.values().filter(|e| matches!(e.stored, Stored::Disk(_))).count() as u64;
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
             inserts: inner.inserts,
             evictions: inner.evictions,
+            spills: inner.spills,
+            promotions: inner.promotions,
             entries: inner.map.len() as u64,
             bytes: inner.bytes,
+            spilled_entries,
+            spilled_bytes: inner.disk_bytes,
         }
     }
 
@@ -483,24 +920,38 @@ impl ResultCache {
     pub fn stats_of(&self, ns: Namespace) -> CacheStats {
         let inner = self.inner.lock().unwrap();
         let st = inner.ns.get(&ns.0).copied().unwrap_or_default();
+        let spilled_entries = inner
+            .map
+            .iter()
+            .filter(|((n, _), e)| *n == ns.0 && matches!(e.stored, Stored::Disk(_)))
+            .count() as u64;
         CacheStats {
             hits: st.hits,
             misses: st.misses,
             inserts: st.inserts,
             evictions: st.evictions,
+            spills: st.spills,
+            promotions: st.promotions,
             entries: st.entries,
             bytes: st.bytes,
+            spilled_entries,
+            spilled_bytes: st.spilled_bytes,
         }
     }
 
-    /// Drop all entries in every namespace (counters are kept).
+    /// Drop all entries in every namespace, both tiers (counters are kept).
     pub fn clear(&self) {
         let mut inner = self.inner.lock().unwrap();
         inner.bytes = 0;
+        inner.disk_bytes = 0;
         inner.map.clear();
+        if let Some(sp) = inner.spill.as_mut() {
+            sp.clear();
+        }
         for st in inner.ns.values_mut() {
             st.bytes = 0;
             st.entries = 0;
+            st.spilled_bytes = 0;
         }
     }
 }
@@ -510,8 +961,8 @@ impl fmt::Debug for ResultCache {
         let s = self.stats();
         write!(
             f,
-            "ResultCache({} entries, {}/{} bytes, {} hits, {} misses)",
-            s.entries, s.bytes, self.budget, s.hits, s.misses
+            "ResultCache({} entries, {}/{} bytes, {} spilled, {} hits, {} misses)",
+            s.entries, s.bytes, self.budget, s.spilled_bytes, s.hits, s.misses
         )
     }
 }
@@ -519,22 +970,54 @@ impl fmt::Debug for ResultCache {
 /// Zero-input execution operator replaying a cached subplan result. The
 /// optimizer injects one per fingerprint hit, covering the hit operator's
 /// whole input closure; enumeration picks it only when the replay cost
-/// (local-store read via [`rheem_storage::StoreCosts`] plus conversion out
-/// of the collection channel) undercuts recomputation.
+/// (store read via [`rheem_storage::StoreCosts`] at the hit tier's rate,
+/// plus conversion out of the collection channel) undercuts recomputation.
+/// The CPU charge goes through [`crate::cost::linear_cpu`] under the
+/// `rheem.driver.cachedsource` key, so measured replays calibrate it like
+/// any other operator.
 pub struct CachedSource {
-    data: Dataset,
+    payload: CachedPayload,
     bytes: u64,
     card: u64,
     read_ms: f64,
+    /// Ratio of the local read rate to the hit tier's read rate: 1.0 for
+    /// memory hits, >1 for disk hits — scales the costed disk traffic.
+    disk_factor: f64,
+    tier: Tier,
     fp: Fingerprint,
 }
 
 impl CachedSource {
-    /// Wrap a cache hit for operator-level replay.
+    /// Wrap a cache hit for operator-level replay, priced at the tier the
+    /// hit was served from.
     pub fn new(hit: CacheHit, fp: Fingerprint) -> Self {
-        let card = hit.data.len() as u64;
-        let read_ms = default_costs(StoreKind::Local).read_ms(hit.bytes);
-        Self { data: hit.data, bytes: hit.bytes, card, read_ms, fp }
+        let card = hit.payload.len() as u64;
+        let local = default_costs(StoreKind::Local);
+        let costs = match hit.tier {
+            Tier::Memory => local,
+            Tier::Disk => spill_costs(),
+        };
+        let read_ms = costs.read_ms(hit.bytes);
+        let disk_factor = local.read_mb_per_sec / costs.read_mb_per_sec;
+        Self {
+            payload: hit.payload,
+            bytes: hit.bytes,
+            card,
+            read_ms,
+            disk_factor,
+            tier: hit.tier,
+            fp,
+        }
+    }
+
+    /// The fixed virtual replay charge (tier-priced store read).
+    pub fn read_ms(&self) -> f64 {
+        self.read_ms
+    }
+
+    /// The tier the wrapped hit was served from.
+    pub fn tier(&self) -> Tier {
+        self.tier
     }
 }
 
@@ -551,12 +1034,21 @@ impl ExecutionOperator for CachedSource {
     fn output_kind(&self) -> ChannelKind {
         kinds::COLLECTION
     }
-    fn load(&self, _in_cards: &[f64], _avg_bytes: f64, _model: &crate::cost::CostModel) -> Load {
-        // Mirror the runtime charge: a local-store read of the cached bytes
-        // plus a token per-quantum touch.
+    fn load(&self, _in_cards: &[f64], _avg_bytes: f64, model: &crate::cost::CostModel) -> Load {
+        // Mirror the runtime charge: a store read of the cached bytes (at
+        // the tier's rate) plus a learnable per-quantum touch. Defaults
+        // reproduce the historical 10 cycles/quantum until calibration.
         Load {
-            cpu_cycles: self.card as f64 * 10.0,
-            disk_bytes: self.bytes as f64,
+            cpu_cycles: crate::cost::linear_cpu(
+                model,
+                CONTROL.0,
+                "cachedsource",
+                self.card as f64,
+                0.0,
+                10.0,
+                0.0,
+            ),
+            disk_bytes: self.bytes as f64 * self.disk_factor,
             net_bytes: 0.0,
             mem_bytes: self.bytes as f64,
             tasks: 1,
@@ -573,25 +1065,37 @@ impl ExecutionOperator for CachedSource {
                 ("fingerprint".to_string(), self.fp.to_string().into()),
                 ("tuples".to_string(), (self.card as usize).into()),
                 ("bytes".to_string(), (self.bytes as usize).into()),
+                (
+                    "tier".to_string(),
+                    match self.tier {
+                        Tier::Memory => "memory",
+                        Tier::Disk => "disk",
+                    }
+                    .to_string()
+                    .into(),
+                ),
             ]
         });
         // Fixed virtual charge (not wall time): replays must cost the same
         // in every scheduler mode for results and traces to stay identical.
+        // in_card carries the replayed cardinality so the learner can fit
+        // the per-quantum replay cost from measured samples.
         ctx.record(OpMetrics {
             name: "CachedSource".to_string(),
             platform: CONTROL,
-            in_card: 0,
+            in_card: self.card,
             out_card: self.card,
             virtual_ms: self.read_ms,
             real_ms: 0.0,
         });
-        Ok(ChannelData::Collection(Arc::clone(&self.data)))
+        Ok(self.payload.to_channel())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::dataset_bytes;
     use crate::plan::PlanBuilder;
     use crate::udf::{KeyUdf, MapUdf, ReduceUdf};
     use crate::value::Value;
@@ -610,7 +1114,8 @@ mod tests {
         assert!(cache.lookup(fp(1)).is_none());
         cache.insert(fp(1), dataset(10));
         let hit = cache.lookup(fp(1)).expect("hit");
-        assert_eq!(hit.data.len(), 10);
+        assert_eq!(hit.payload.len(), 10);
+        assert_eq!(hit.tier, Tier::Memory);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.inserts, s.entries), (1, 1, 1, 1));
     }
@@ -618,8 +1123,10 @@ mod tests {
     #[test]
     fn lru_eviction_under_budget() {
         // Each 100-int dataset accounts a few hundred bytes; a small budget
-        // holds roughly two of them.
+        // holds roughly two of them. Int datasets share no allocations, so
+        // unique accounting matches the sampled estimate exactly.
         let one = (dataset_bytes(&dataset(100)).ceil() as u64).max(1);
+        assert_eq!(one, rows_unique_bytes(&dataset(100)));
         let cache = ResultCache::new(2 * one + one / 2);
         cache.insert(fp(1), dataset(100));
         cache.insert(fp(2), dataset(100));
@@ -631,6 +1138,7 @@ mod tests {
         assert!(cache.lookup(fp(3)).is_some());
         let s = cache.stats();
         assert_eq!(s.evictions, 1);
+        assert_eq!(s.spills, 0, "no spill tier configured");
         assert!(s.bytes <= cache.budget_bytes());
     }
 
@@ -649,6 +1157,109 @@ mod tests {
         cache.insert(fp(1), dataset(5));
         let s = cache.stats();
         assert_eq!((s.inserts, s.entries), (1, 1));
+    }
+
+    #[test]
+    fn shared_strings_accounted_once() {
+        let s: Arc<str> = Arc::from("a-long-shared-token");
+        let rows: Dataset = Arc::new(
+            (0..100i64).map(|i| Value::pair(Value::Str(Arc::clone(&s)), Value::from(i))).collect(),
+        );
+        let bytes = rows_unique_bytes(&rows);
+        // First row pays the string allocation (24 + len); the other 99
+        // references pay one pointer each.
+        let expect = (24 + (24 + 19) + 16) + 99 * (24 + 8 + 16);
+        assert_eq!(bytes, expect as u64);
+        // The sampled per-row estimate charges the allocation every row.
+        let naive = dataset_bytes(&rows).ceil() as u64;
+        assert!(naive > bytes, "naive {naive} <= unique {bytes}");
+    }
+
+    #[test]
+    fn contains_does_not_count_stats() {
+        let cache = ResultCache::new(1 << 20);
+        assert!(!cache.contains_in(Namespace::SHARED, fp(1)));
+        cache.insert(fp(1), dataset(3));
+        assert!(cache.contains_in(Namespace::SHARED, fp(1)));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+    }
+
+    #[test]
+    fn spill_keeps_entries_reachable_and_promotes() {
+        let one = rows_unique_bytes(&dataset(100)).max(1);
+        let cache = ResultCache::with_disk(2 * one + one / 2, 10 * one);
+        for i in 0..5 {
+            cache.insert(fp(i), dataset(100));
+        }
+        let s = cache.stats();
+        assert!(s.bytes <= cache.budget_bytes(), "resident bytes bounded");
+        assert_eq!(s.evictions, 0, "pressure spills instead of dropping");
+        assert_eq!(s.spills, 3);
+        assert_eq!(s.spilled_entries, 3);
+        assert_eq!(s.entries, 5, "every insert still reachable");
+        // A spilled entry still hits; the hit reports the disk tier and
+        // promotes the entry back to memory.
+        let hit = cache.lookup(fp(0)).expect("spilled entry reachable");
+        assert_eq!(hit.tier, Tier::Disk);
+        assert_eq!(hit.payload.len(), 100);
+        let s2 = cache.stats();
+        assert_eq!(s2.promotions, 1);
+        assert!(s2.bytes <= cache.budget_bytes(), "promotion re-enforces the budget");
+        // The promoted entry is now a memory hit.
+        assert_eq!(cache.lookup(fp(0)).unwrap().tier, Tier::Memory);
+    }
+
+    #[test]
+    fn disk_budget_bounds_spill_tier() {
+        let one = rows_unique_bytes(&dataset(100)).max(1);
+        let cache = ResultCache::with_disk(one + one / 2, 2 * one + one / 2);
+        for i in 0..5 {
+            cache.insert(fp(i), dataset(100));
+        }
+        let s = cache.stats();
+        assert!(s.bytes <= cache.budget_bytes());
+        assert!(s.spilled_bytes <= cache.disk_budget_bytes());
+        assert_eq!(s.entries, 3, "one resident + two spilled");
+        assert!(s.evictions >= 1, "disk overflow evicts the oldest spilled entries");
+        assert!(cache.lookup(fp(0)).is_none(), "oldest entry aged out of both tiers");
+    }
+
+    #[test]
+    fn batch_payload_survives_publish_and_replay() {
+        use crate::platform::Profiles;
+        let cache = ResultCache::new(1 << 20);
+        let vals: Vec<Value> = (0..64i64).map(Value::from).collect();
+        let ch = ChannelData::Batches(Arc::new(vec![Batch::from_values(&vals)]));
+        cache.insert_channel_in(Namespace::SHARED, fp(9), &ch);
+        let hit = cache.lookup(fp(9)).unwrap();
+        assert!(matches!(hit.payload, CachedPayload::Batches(_)), "columnar stays columnar");
+        let src = CachedSource::new(hit, fp(9));
+        let profiles = Profiles::bare();
+        let mut ctx = ExecCtx::new(&profiles, 0);
+        let out = src.execute(&mut ctx, &[], &BroadcastCtx::new()).unwrap();
+        assert!(matches!(out, ChannelData::Batches(_)), "replay emits batches");
+        assert_eq!(out.cardinality(), Some(64));
+    }
+
+    #[test]
+    fn disk_tier_replay_costs_more() {
+        let rows = dataset(1000);
+        let bytes = rows_unique_bytes(&rows);
+        let mem = CachedSource::new(
+            CacheHit { payload: CachedPayload::Rows(Arc::clone(&rows)), bytes, tier: Tier::Memory },
+            fp(1),
+        );
+        let disk = CachedSource::new(
+            CacheHit { payload: CachedPayload::Rows(rows), bytes, tier: Tier::Disk },
+            fp(1),
+        );
+        assert!(disk.read_ms() > mem.read_ms(), "spilled replay priced at the slower store");
+        let model = crate::cost::CostModel::new();
+        let lm = mem.load(&[], 0.0, &model);
+        let ld = disk.load(&[], 0.0, &model);
+        assert!(ld.disk_bytes > lm.disk_bytes, "disk factor scales costed traffic");
+        assert_eq!(lm.cpu_cycles, ld.cpu_cycles);
     }
 
     fn wordcount_like(udf_name: &str) -> crate::plan::RheemPlan {
@@ -677,6 +1288,30 @@ mod tests {
         assert_eq!(f1[0], f3[0], "shared source keeps its fingerprint");
         assert_ne!(f1[1], f3[1]);
         assert_ne!(f1[2], f3[2]);
+    }
+
+    #[test]
+    fn fingerprint_overrides_pin_downstream_identity() {
+        let p1 = wordcount_like("tokenize");
+        let f1 = plan_fingerprints(&p1);
+        // A plan whose source differs would fingerprint differently, but
+        // pinning the source to the original fingerprint restores every
+        // downstream identity — the progressive-replan invariant.
+        let mut b = PlanBuilder::new();
+        let data: Vec<Value> = (0..50i64).map(Value::from).collect();
+        b.collection(data)
+            .map(MapUdf::new("tokenize".to_string(), |v| v.clone()))
+            .reduce_by_key(KeyUdf::identity(), ReduceUdf::sum())
+            .collect();
+        let p2 = b.build().unwrap();
+        let plain = plan_fingerprints(&p2);
+        assert_ne!(f1[1], plain[1], "different source changes downstream");
+        let mut overrides = HashMap::new();
+        overrides.insert(crate::plan::OperatorId(0), f1[0].unwrap());
+        let pinned = plan_fingerprints_with(&p2, &overrides);
+        assert_eq!(pinned[0], f1[0]);
+        assert_eq!(pinned[1], f1[1], "override restores downstream identity");
+        assert_eq!(pinned[2], f1[2]);
     }
 
     #[test]

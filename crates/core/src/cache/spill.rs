@@ -1,0 +1,331 @@
+//! Disk spill tier of the cross-job result cache.
+//!
+//! The memory budget of [`super::ResultCache`] bounds *resident* bytes;
+//! entries evicted under memory pressure are demoted here — serialized to a
+//! per-cache spill directory on the local filesystem — instead of dropped,
+//! so the reuse horizon is bounded by the (much larger) disk budget. A
+//! lookup that lands on a spilled entry reads it back, promotes it to
+//! memory, and reports [`super::Tier::Disk`] so [`super::CachedSource`]
+//! prices the replay at the slower [`rheem_storage::spill_costs`] rate.
+//!
+//! The codec is a small self-contained binary format (no serde — the crate
+//! has no serialization dependency): a tag byte per value variant with
+//! length-prefixed payloads. Columnar payloads additionally record their
+//! per-batch row boundaries so a read reconstructs the batches via
+//! [`Batch::from_values`] and the replay stays columnar through the disk
+//! tier. Duplicate strings are re-interned on read, so a promoted dataset
+//! regains the shared allocations its accounted byte size was computed
+//! from.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::batch::Batch;
+use crate::value::Value;
+
+use super::CachedPayload;
+
+/// Distinguishes spill directories of caches created in one process.
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+const MAGIC: &[u8; 4] = b"RSP1";
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL_FALSE: u8 = 1;
+const TAG_BOOL_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_TUPLE: u8 = 6;
+
+const KIND_ROWS: u8 = 0;
+const KIND_BATCHES: u8 = 1;
+
+/// Handle of one spilled payload; the file path derives from the id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpillSlot(u64);
+
+/// File-backed store for demoted cache entries. One per [`super::ResultCache`];
+/// owns a unique temp directory that is removed on drop.
+pub struct SpillStore {
+    dir: PathBuf,
+    seq: u64,
+    created: bool,
+}
+
+impl SpillStore {
+    /// A store with a fresh process-unique spill directory (created lazily
+    /// on first write).
+    pub fn new() -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "rheem-spill-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        Self { dir, seq: 0, created: false }
+    }
+
+    fn path_of(&self, slot: SpillSlot) -> PathBuf {
+        self.dir.join(format!("{:016x}.spill", slot.0))
+    }
+
+    /// Serialize a payload to a new spill file.
+    pub fn write(&mut self, payload: &CachedPayload) -> io::Result<SpillSlot> {
+        if !self.created {
+            fs::create_dir_all(&self.dir)?;
+            self.created = true;
+        }
+        let slot = SpillSlot(self.seq);
+        self.seq += 1;
+        let mut w = BufWriter::new(fs::File::create(self.path_of(slot))?);
+        w.write_all(MAGIC)?;
+        match payload {
+            CachedPayload::Rows(rows) => {
+                w.write_all(&[KIND_ROWS])?;
+                write_u64(&mut w, rows.len() as u64)?;
+                for v in rows.iter() {
+                    write_value(&mut w, v)?;
+                }
+            }
+            CachedPayload::Batches(batches) => {
+                w.write_all(&[KIND_BATCHES])?;
+                write_u64(&mut w, batches.len() as u64)?;
+                for b in batches.iter() {
+                    write_u64(&mut w, b.selected_len() as u64)?;
+                }
+                for b in batches.iter() {
+                    for v in b.to_values() {
+                        write_value(&mut w, &v)?;
+                    }
+                }
+            }
+        }
+        w.flush()?;
+        Ok(slot)
+    }
+
+    /// Read a spilled payload back. Strings are re-interned (duplicates
+    /// share one allocation) and columnar payloads are rebuilt batch by
+    /// batch, preserving their layout through the disk round trip.
+    pub fn read(&self, slot: SpillSlot) -> io::Result<CachedPayload> {
+        let mut r = BufReader::new(fs::File::open(self.path_of(slot))?);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad spill magic"));
+        }
+        let kind = read_u8(&mut r)?;
+        let mut interner: HashMap<Box<str>, Arc<str>> = HashMap::new();
+        match kind {
+            KIND_ROWS => {
+                let n = read_u64(&mut r)? as usize;
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rows.push(read_value(&mut r, &mut interner)?);
+                }
+                Ok(CachedPayload::Rows(Arc::new(rows)))
+            }
+            KIND_BATCHES => {
+                let nb = read_u64(&mut r)? as usize;
+                let mut lens = Vec::with_capacity(nb);
+                for _ in 0..nb {
+                    lens.push(read_u64(&mut r)? as usize);
+                }
+                let mut batches = Vec::with_capacity(nb);
+                let mut buf = Vec::new();
+                for len in lens {
+                    buf.clear();
+                    buf.reserve(len);
+                    for _ in 0..len {
+                        buf.push(read_value(&mut r, &mut interner)?);
+                    }
+                    batches.push(Batch::from_values(&buf));
+                }
+                Ok(CachedPayload::Batches(Arc::new(batches)))
+            }
+            other => {
+                Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad spill kind {other}")))
+            }
+        }
+    }
+
+    /// Delete a spill file (entry evicted or promoted back to memory).
+    pub fn remove(&self, slot: SpillSlot) {
+        let _ = fs::remove_file(self.path_of(slot));
+    }
+
+    /// Delete every spill file (cache cleared).
+    pub fn clear(&mut self) {
+        if self.created {
+            let _ = fs::remove_dir_all(&self.dir);
+            self.created = false;
+        }
+    }
+}
+
+impl Default for SpillStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for SpillStore {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u8(r: &mut impl Read) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn write_value(w: &mut impl Write, v: &Value) -> io::Result<()> {
+    match v {
+        Value::Null => w.write_all(&[TAG_NULL]),
+        Value::Bool(false) => w.write_all(&[TAG_BOOL_FALSE]),
+        Value::Bool(true) => w.write_all(&[TAG_BOOL_TRUE]),
+        Value::Int(i) => {
+            w.write_all(&[TAG_INT])?;
+            w.write_all(&i.to_le_bytes())
+        }
+        Value::Float(f) => {
+            w.write_all(&[TAG_FLOAT])?;
+            w.write_all(&f.to_bits().to_le_bytes())
+        }
+        Value::Str(s) => {
+            w.write_all(&[TAG_STR])?;
+            write_u32(w, s.len() as u32)?;
+            w.write_all(s.as_bytes())
+        }
+        Value::Tuple(t) => {
+            w.write_all(&[TAG_TUPLE])?;
+            write_u32(w, t.len() as u32)?;
+            for x in t.iter() {
+                write_value(w, x)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn read_value(r: &mut impl Read, interner: &mut HashMap<Box<str>, Arc<str>>) -> io::Result<Value> {
+    match read_u8(r)? {
+        TAG_NULL => Ok(Value::Null),
+        TAG_BOOL_FALSE => Ok(Value::Bool(false)),
+        TAG_BOOL_TRUE => Ok(Value::Bool(true)),
+        TAG_INT => {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            Ok(Value::Int(i64::from_le_bytes(b)))
+        }
+        TAG_FLOAT => {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            Ok(Value::Float(f64::from_bits(u64::from_le_bytes(b))))
+        }
+        TAG_STR => {
+            let len = read_u32(r)? as usize;
+            let mut buf = vec![0u8; len];
+            r.read_exact(&mut buf)?;
+            let s = String::from_utf8(buf)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            if let Some(a) = interner.get(s.as_str()) {
+                return Ok(Value::Str(Arc::clone(a)));
+            }
+            let a: Arc<str> = Arc::from(s.as_str());
+            interner.insert(s.into_boxed_str(), Arc::clone(&a));
+            Ok(Value::Str(a))
+        }
+        TAG_TUPLE => {
+            let n = read_u32(r)? as usize;
+            let mut parts = Vec::with_capacity(n);
+            for _ in 0..n {
+                parts.push(read_value(r, interner)?);
+            }
+            Ok(Value::Tuple(parts.into()))
+        }
+        other => Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad value tag {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word_rows() -> Arc<Vec<Value>> {
+        let hello: Arc<str> = Arc::from("hello");
+        Arc::new(
+            (0..10)
+                .map(|i| Value::pair(Value::Str(Arc::clone(&hello)), Value::from(i)))
+                .chain([Value::Null, Value::Bool(true), Value::from(1.5), Value::from(f64::NAN)])
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn rows_roundtrip_and_reintern() {
+        let mut store = SpillStore::new();
+        let rows = word_rows();
+        let slot = store.write(&CachedPayload::Rows(Arc::clone(&rows))).unwrap();
+        let back = store.read(slot).unwrap();
+        let CachedPayload::Rows(out) = back else { panic!("rows expected") };
+        assert_eq!(*out, *rows);
+        // Duplicate strings share one allocation after the round trip.
+        let (Value::Tuple(a), Value::Tuple(b)) = (&out[0], &out[1]) else { panic!() };
+        let (Value::Str(x), Value::Str(y)) = (&a[0], &b[0]) else { panic!() };
+        assert!(Arc::ptr_eq(x, y), "strings re-interned on read");
+    }
+
+    #[test]
+    fn batches_roundtrip_preserving_boundaries() {
+        let mut store = SpillStore::new();
+        let b1 = Batch::from_values(&[Value::from(1), Value::from(2)]);
+        let b2 = Batch::from_values(&[Value::from(3)]);
+        let payload = CachedPayload::Batches(Arc::new(vec![b1, b2]));
+        let slot = store.write(&payload).unwrap();
+        let CachedPayload::Batches(out) = store.read(slot).unwrap() else {
+            panic!("batches expected")
+        };
+        assert_eq!(out.len(), 2, "per-batch boundaries preserved");
+        assert_eq!(out[0].to_values(), vec![Value::from(1), Value::from(2)]);
+        assert_eq!(out[1].to_values(), vec![Value::from(3)]);
+    }
+
+    #[test]
+    fn remove_then_read_fails_and_drop_cleans_dir() {
+        let mut store = SpillStore::new();
+        let slot = store.write(&CachedPayload::Rows(word_rows())).unwrap();
+        let dir = store.dir.clone();
+        assert!(dir.exists());
+        store.remove(slot);
+        assert!(store.read(slot).is_err());
+        drop(store);
+        assert!(!dir.exists(), "spill dir removed on drop");
+    }
+}

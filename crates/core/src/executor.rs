@@ -234,9 +234,10 @@ pub struct Executor<'a> {
     monitor: &'a Monitor,
     faults: Option<Arc<FaultPlan>>,
     trace: Option<TraceHandle>,
-    /// Cross-job result cache plus per-node publication fingerprints
-    /// (computed by the progressive driver from the phase plan).
-    cache: Option<(Arc<crate::cache::ResultCache>, Vec<Option<crate::cache::Fingerprint>>)>,
+    /// Cross-job result cache plus the per-node publication schedule
+    /// (computed by the progressive driver from the phase plan): tail
+    /// fingerprints and interior fused-chain cut points.
+    cache: Option<(Arc<crate::cache::ResultCache>, Vec<crate::cache::NodePublish>)>,
 }
 
 struct RunState {
@@ -361,11 +362,12 @@ impl<'a> Executor<'a> {
     }
 
     /// Publish committed node values into a cross-job result cache. The
-    /// vector maps each exec-plan node to the subplan fingerprint its value
-    /// is published under (`None` = not reusable).
+    /// vector maps each exec-plan node to its publication schedule: the
+    /// tail fingerprint its value is published under plus any interior
+    /// fused-chain cut points (see [`crate::cache::publish_map`]).
     pub fn with_cache(
         mut self,
-        cache: Option<(Arc<crate::cache::ResultCache>, Vec<Option<crate::cache::Fingerprint>>)>,
+        cache: Option<(Arc<crate::cache::ResultCache>, Vec<crate::cache::NodePublish>)>,
     ) -> Self {
         self.cache = cache;
         self
@@ -1039,15 +1041,51 @@ impl<'a> Executor<'a> {
         // scheduler modes: publish reusable committed results cross-job.
         // (Errors returned above never reach here, so only correct values
         // are ever published.)
-        if let Some((cache, fps)) = &self.cache {
-            if let Some(fp) = fps[nid] {
-                if let Ok(data) = out.flatten() {
-                    cache.insert_in(self.config.cache_ns, fp, data);
-                }
+        if let Some((cache, pubs)) = &self.cache {
+            let publish = &pubs[nid];
+            if let Some(fp) = publish.tail {
+                // Publish the channel as-is: columnar batches stay columnar
+                // (zero-copy via the shared Arc), so a warm replay feeds
+                // vectorized consumers without a row detour.
+                cache.insert_channel_in(self.config.cache_ns, fp, &out);
+            }
+            if !publish.cuts.is_empty() {
+                self.publish_cuts(st, nid, cache, publish);
             }
         }
         st.values[nid] = Some(out);
         Ok(())
+    }
+
+    /// Publish the interior fused-chain cut points of a committed node:
+    /// structurally shared *prefixes* of its logical chain that no single
+    /// node produced. Each prefix is recomputed from the node's input via a
+    /// fused pipeline — bounded extra work, done once per distinct
+    /// fingerprint (already-resident cuts are skipped).
+    fn publish_cuts(
+        &self,
+        st: &RunState,
+        nid: usize,
+        cache: &crate::cache::ResultCache,
+        publish: &crate::cache::NodePublish,
+    ) {
+        let node = &self.eplan.nodes[nid];
+        let Some(&inp) = node.inputs.first() else { return };
+        let Some(input) = st.values[inp].as_ref() else { return };
+        let Ok(rows) = input.flatten() else { return };
+        let ops: Vec<crate::plan::LogicalOp> =
+            node.logical.iter().map(|&id| self.plan.node(id).op.clone()).collect();
+        let bc = BroadcastCtx::new();
+        for &(len, fp) in &publish.cuts {
+            if cache.contains_in(self.config.cache_ns, fp) {
+                continue;
+            }
+            let Some(pipeline) = crate::fused::FusedPipeline::from_ops(&ops[..len]) else {
+                continue;
+            };
+            let vals = pipeline.run(&rows, &bc);
+            cache.insert_in(self.config.cache_ns, fp, Arc::new(vals));
+        }
     }
 
     /// Execute every node of one stage on the calling thread (a pool

@@ -97,6 +97,23 @@ pub fn fusable(op: &LogicalOp) -> bool {
     )
 }
 
+/// Interior *cut points* of an operator chain: every proper prefix length
+/// `l` (`1 ≤ l < ops.len()`) such that `ops[..l]` is entirely fusable. At a
+/// cut point the chain's intermediate value is exactly the output of the
+/// prefix pipeline, so it can be reproduced from the chain's input with one
+/// [`FusedPipeline`] pass — the hook the result cache uses to publish
+/// interior fingerprints of fused chains (structural subplan sharing).
+pub fn cut_points(ops: &[LogicalOp]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for l in 1..ops.len() {
+        if !fusable(&ops[l - 1]) {
+            break;
+        }
+        out.push(l);
+    }
+    out
+}
+
 fn project_one(v: &Value, fields: &[usize]) -> Value {
     Value::Tuple(fields.iter().map(|&i| v.field(i).clone()).collect::<Vec<_>>().into())
 }

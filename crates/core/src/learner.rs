@@ -518,6 +518,37 @@ mod tests {
     }
 
     #[test]
+    fn learner_calibrates_cached_source_replay() {
+        // Replay samples recorded by CachedSource executions carry the
+        // driver platform and the cached cardinality as in_card, so the
+        // learner fits rheem.driver.cachedsource.{alpha,delta} like any
+        // other operator key and the optimizer's reuse pricing calibrates.
+        let samples: Vec<StageSample> = (1..=20)
+            .map(|i| {
+                let card = i as f64 * 1000.0;
+                StageSample {
+                    ops: vec![OpObs {
+                        platform: "rheem.driver".into(),
+                        op: "CachedSource".into(),
+                        in_card: card,
+                        out_card: card,
+                    }],
+                    // Ground truth: replay ≈ 1500 cycles/row + fixed open cost.
+                    measured_ms: (2_000_000.0 + 1500.0 * card) / 1_000_000.0,
+                }
+            })
+            .collect();
+        assert_eq!(samples[0].ops[0].key("alpha"), "rheem.driver.cachedsource.alpha");
+        let learner = CostLearner { generations: 250, population: 64, ..Default::default() };
+        let profiles = Profiles::bare();
+        let model = learner.fit(&samples, &profiles);
+        let loss = learner.evaluate(&model, &samples, &profiles);
+        assert!(loss < 0.12, "loss {loss}");
+        assert!(model.get("rheem.driver.cachedsource.alpha", 0.0) > 0.0);
+        assert!(model.get("rheem.driver.cachedsource.delta", 0.0) > 0.0);
+    }
+
+    #[test]
     fn relative_loss_properties() {
         assert!(relative_loss(100.0, 100.0, 1.0) < 0.001);
         assert!(relative_loss(100.0, 200.0, 1.0) > relative_loss(100.0, 110.0, 1.0));

@@ -52,6 +52,10 @@ pub enum EventKind {
     CacheInsert,
     /// A cache entry was evicted (quota or budget pressure).
     CacheEvicted,
+    /// A cold cache entry was demoted from memory to the disk spill tier.
+    CacheSpilled,
+    /// A spilled cache entry was read back and promoted to memory.
+    CachePromoted,
     /// The deterministic chaos plan injected a fault.
     FaultInjected,
     /// The watchdog emitted a diagnosis.
@@ -76,6 +80,8 @@ impl EventKind {
             EventKind::CacheHit => "cache.hit",
             EventKind::CacheInsert => "cache.insert",
             EventKind::CacheEvicted => "cache.evicted",
+            EventKind::CacheSpilled => "cache.spilled",
+            EventKind::CachePromoted => "cache.promoted",
             EventKind::FaultInjected => "fault.injected",
             EventKind::Watchdog => "watchdog",
             EventKind::BatchFallback => "batch.fallback",

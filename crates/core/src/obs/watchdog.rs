@@ -227,12 +227,14 @@ impl Watchdog {
             }
         }
 
-        // Cache thrash over the window since the previous sweep.
+        // Cache thrash over the window since the previous sweep. Spills
+        // count as churn alongside evictions: a cache that demotes nearly
+        // everything it admits is undersized even if nothing is dropped.
         if let Some(cs) = &snapshot.cache {
             let d_ins = cs.inserts.saturating_sub(st.last_inserts);
-            let d_ev = cs.evictions.saturating_sub(st.last_evictions);
+            let d_ev = (cs.evictions + cs.spills).saturating_sub(st.last_evictions);
             st.last_inserts = cs.inserts;
-            st.last_evictions = cs.evictions;
+            st.last_evictions = cs.evictions + cs.spills;
             if d_ins >= self.config.thrash_min_inserts {
                 let ratio = d_ev as f64 / d_ins as f64;
                 if ratio > self.config.thrash_ratio {

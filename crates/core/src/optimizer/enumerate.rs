@@ -124,7 +124,10 @@ fn build_inflated(opt: &Optimizer<'_>, plan: &RheemPlan, estimates: Estimates) -
     // recomputation. Skipped under a forced platform — a driver-side replay
     // would bypass the pin.
     if let Some(cache) = opt.cache.as_ref().filter(|_| opt.forced_platform.is_none()) {
-        let fps = crate::cache::plan_fingerprints(plan);
+        // Overridden fingerprints pin progressive-replan boundaries to
+        // their original identities, so a re-planned remainder still hits
+        // entries published before the rewrite.
+        let fps = crate::cache::plan_fingerprints_with(plan, &opt.fp_overrides);
         for node in plan.operators() {
             let i = node.id.index();
             let Some(fp) = fps[i] else { continue };

@@ -45,6 +45,10 @@ pub struct Optimizer<'a> {
     pub cache_ns: crate::cache::Namespace,
     /// Fall back to the shared namespace on a miss in `cache_ns`.
     pub cache_shared_read: bool,
+    /// Fingerprint overrides for cache lookups: pins rewritten operators
+    /// (progressive re-planning boundaries) to the subplan fingerprints
+    /// they carried in the original plan.
+    pub fp_overrides: std::collections::HashMap<OperatorId, crate::cache::Fingerprint>,
 }
 
 /// The result of optimization: one execution alternative chosen per plan
@@ -91,6 +95,7 @@ impl<'a> Optimizer<'a> {
             cache: None,
             cache_ns: crate::cache::Namespace::SHARED,
             cache_shared_read: true,
+            fp_overrides: std::collections::HashMap::new(),
         }
     }
 

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::cache::{plan_fingerprints, ResultCache};
+use crate::cache::{plan_fingerprints_with, publish_map, Fingerprint, ResultCache};
 use crate::cardinality::Estimator;
 use crate::cost::CostModel;
 use crate::error::{Result, RheemError};
@@ -51,17 +51,29 @@ pub struct ProgressiveOutcome {
     pub trace: Option<JobTrace>,
 }
 
+/// A rewritten phase plan: the plan itself, `new sink id -> old sink id`,
+/// and the fingerprint overrides for its surviving operators.
+type RewrittenPlan = (RheemPlan, HashMap<OperatorId, OperatorId>, HashMap<OperatorId, Fingerprint>);
+
 /// Rewrite a plan at a checkpoint: executed operators with still-needed
 /// outputs become collection sources holding the materialized data;
 /// fully-consumed executed operators are dropped; everything else is copied.
-/// Returns the new plan plus `new sink id -> old sink id`.
+/// Returns the new plan, `new sink id -> old sink id`, and the fingerprint
+/// overrides pinning every surviving operator to the subplan fingerprint it
+/// carried in `plan` (`fps`, indexed by old operator id). Without the
+/// overrides the rewrite would change every fingerprint downstream of a
+/// materialized boundary — a CollectionSource hashes its *content*, not the
+/// subplan it replaced — and mid-job replans could neither hit nor publish
+/// entries consistent with the original plan's identities.
 fn rewrite_plan(
     plan: &RheemPlan,
     cp: &Checkpoint,
-) -> Result<(RheemPlan, HashMap<OperatorId, OperatorId>)> {
+    fps: &[Option<Fingerprint>],
+) -> Result<RewrittenPlan> {
     let mut out = RheemPlan::new();
     let mut remap: HashMap<OperatorId, OperatorId> = HashMap::new();
     let mut sink_map = HashMap::new();
+    let mut overrides: HashMap<OperatorId, Fingerprint> = HashMap::new();
     // A loop head's feedback producer (input slot 1) orders *after* the head
     // in the feedback-free topological order, so it cannot be resolved while
     // copying the head — collect and patch once its body has been copied.
@@ -72,6 +84,9 @@ fn rewrite_plan(
             if let Some(data) = cp.materialized.get(&id) {
                 let new_id = out.add(LogicalOp::CollectionSource { data: Arc::clone(data) }, &[]);
                 remap.insert(id, new_id);
+                if let Some(fp) = fps.get(id.index()).copied().flatten() {
+                    overrides.insert(new_id, fp);
+                }
             }
             continue;
         }
@@ -115,6 +130,9 @@ fn rewrite_plan(
             out.set_loop(new_id, nl);
         }
         remap.insert(id, new_id);
+        if let Some(fp) = fps.get(id.index()).copied().flatten() {
+            overrides.insert(new_id, fp);
+        }
         if node.op.kind().is_sink() {
             sink_map.insert(new_id, id);
         }
@@ -125,7 +143,7 @@ fn rewrite_plan(
         })?;
         out.node_mut(new_id).inputs[1] = nfb;
     }
-    Ok((out, sink_map))
+    Ok((out, sink_map, overrides))
 }
 
 /// Run Algorithm 1: optimize, execute until checkpoint, re-optimize with
@@ -170,6 +188,11 @@ pub fn run_progressive(
     }
     // Platforms that exhausted a retry budget; excluded from re-enumeration.
     let mut blacklist: Vec<PlatformId> = Vec::new();
+    // Fingerprint identities pinned across plan rewrites: maps operators of
+    // the *current* phase plan to the subplan fingerprints they carried in
+    // the original plan, so mid-job replans keep consulting and feeding the
+    // cache under stable identities.
+    let mut fp_overrides: HashMap<OperatorId, Fingerprint> = HashMap::new();
     // Job trace: one shared collector; every phase parents its spans under
     // a fresh phase span at the cumulative virtual-time offset.
     let trace = if config.tracing { Some(Arc::new(Trace::new())) } else { None };
@@ -194,6 +217,10 @@ pub fn run_progressive(
         optimizer.cache = cache.clone();
         optimizer.cache_ns = config.cache_ns;
         optimizer.cache_shared_read = config.cache_shared_read;
+        // Mid-job replan boundaries consult the cache under the *original*
+        // identities: results published before the rewrite (by this job or
+        // a concurrent one) are visible to the re-planned remainder.
+        optimizer.fp_overrides = fp_overrides.clone();
         let estimator = base_estimator();
         let opt = optimizer.optimize(phase_plan, &estimator)?;
         if let (Some(t), Some(ps)) = (&trace, phase_span) {
@@ -220,24 +247,19 @@ pub fn run_progressive(
             }
         }
         let eplan = build_exec_plan(phase_plan, &opt, registry, profiles, model)?;
-        // Publication map: per exec node, the fingerprint to publish its
-        // committed value under — tails of fingerprintable subplans whose
-        // output channel kind is reusable (per the registry's reusability
-        // rules; a non-reusable channel is consumed exactly once and has no
-        // after-job identity).
-        let publish = cache.as_ref().map(|c| {
-            let fps = plan_fingerprints(phase_plan);
-            let node_fps = eplan
-                .nodes
-                .iter()
-                .map(|nd| {
-                    nd.tail()
-                        .and_then(|t| fps[t.index()])
-                        .filter(|_| registry.channel(nd.exec.output_kind()).reusable)
-                })
-                .collect();
-            (Arc::clone(c), node_fps)
-        });
+        // Phase fingerprints under the pinned identities (identity map on
+        // the first phase). Also drives the rewrite below, so the next
+        // phase inherits stable identities.
+        let fps = plan_fingerprints_with(phase_plan, &fp_overrides);
+        // Publication schedule: per exec node, the tail fingerprint to
+        // publish its committed value under (when the subplan is
+        // fingerprintable and its output channel kind is reusable — a
+        // non-reusable channel is consumed exactly once and has no
+        // after-job identity) plus the interior fused-chain cut points for
+        // structural subplan sharing.
+        let publish = cache
+            .as_ref()
+            .map(|c| (Arc::clone(c), publish_map(phase_plan, &fps, &eplan, registry)));
         let handle = match (&trace, phase_span) {
             (Some(t), Some(ps)) => {
                 Some(TraceHandle { trace: Arc::clone(t), parent: ps, base_ms: virtual_ms })
@@ -328,7 +350,7 @@ pub fn run_progressive(
                         "progressive optimizer exceeded replan budget".into(),
                     ));
                 }
-                let (next, next_sinks) = rewrite_plan(phase_plan, &cp)?;
+                let (next, next_sinks, next_overrides) = rewrite_plan(phase_plan, &cp, &fps)?;
                 // Compose sink maps: next-phase sink -> current-phase sink
                 // -> original sink.
                 let composed: HashMap<OperatorId, OperatorId> = next_sinks
@@ -336,8 +358,60 @@ pub fn run_progressive(
                     .map(|(n, mid)| (n, sink_map.get(&mid).copied().unwrap_or(mid)))
                     .collect();
                 sink_map = composed;
+                fp_overrides = next_overrides;
                 current = Some(next);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::plan_fingerprints;
+    use crate::executor::Checkpoint;
+    use crate::plan::PlanBuilder;
+    use crate::udf::{KeyUdf, MapUdf, ReduceUdf};
+    use crate::value::Value;
+    use std::collections::HashSet;
+
+    #[test]
+    fn rewrite_pins_downstream_fingerprints() {
+        let mut b = PlanBuilder::new();
+        let data: Vec<Value> = (0..100i64).map(Value::from).collect();
+        b.collection(data)
+            .map(MapUdf::new("tokenize", |v| v.clone()))
+            .reduce_by_key(KeyUdf::identity(), ReduceUdf::sum())
+            .collect();
+        let plan = b.build().unwrap();
+        let fps = plan_fingerprints(&plan);
+        let (src, map, agg) = (OperatorId(0), OperatorId(1), OperatorId(2));
+        assert!(fps[agg.index()].is_some());
+        // Pause after the map committed: the source is fully consumed, the
+        // map's output is materialized for the remainder.
+        let cp = Checkpoint {
+            executed: HashSet::from([src, map]),
+            materialized: HashMap::from([(map, Arc::new(vec![Value::from(1i64)]) as Dataset)]),
+            measured: HashMap::new(),
+            sink_data: HashMap::new(),
+            virtual_ms: 0.0,
+            real_ms: 0.0,
+            exploration: ExplorationBuffer::default(),
+        };
+        let (next, _sinks, overrides) = rewrite_plan(&plan, &cp, &fps).unwrap();
+        // The materialized boundary is pinned to the map's original
+        // subplan fingerprint...
+        assert_eq!(overrides.get(&OperatorId(0)), fps[map.index()].as_ref());
+        // ...and recomputation through the pinned source alone reproduces
+        // the original downstream identity (drop the downstream pins to
+        // prove it is derived, not copied).
+        let mut source_only = overrides.clone();
+        source_only.retain(|id, _| *id == OperatorId(0));
+        let next_fps = plan_fingerprints_with(&next, &source_only);
+        assert_eq!(next_fps[1], fps[agg.index()], "downstream identity survives the rewrite");
+        // Without the overrides, the rewrite would change the identity: a
+        // CollectionSource hashes its content, not the subplan it replaced.
+        let plain = plan_fingerprints(&next);
+        assert_ne!(plain[1], fps[agg.index()]);
     }
 }

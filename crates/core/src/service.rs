@@ -438,6 +438,8 @@ pub struct TenantSpec {
     /// Max jobs this tenant may have admitted (queued + running) at once.
     pub max_in_flight: usize,
     /// Byte quota for the tenant's cache namespace (`None` = unquoted).
+    /// The quota spans both storage tiers: spilling an entry to disk does
+    /// not free quota, only eviction does.
     pub cache_quota_bytes: Option<u64>,
     /// Whether cache lookups fall back to the shared namespace (public
     /// datasets). Publishes always go to the tenant's own namespace.

@@ -108,6 +108,33 @@ impl Value {
         }
     }
 
+    /// Footprint in bytes counting each shared allocation **once**: repeated
+    /// occurrences of the same interned `Arc<str>` / `Arc<[Value]>` payload
+    /// cost only their pointer. `seen` carries the allocation identities
+    /// already accounted, so callers can dedup across a whole dataset (or
+    /// across datasets sharing one interner). This is the accounting the
+    /// result cache uses — [`Value::approx_bytes`] sizes every occurrence at
+    /// full payload, which overstates dictionary-interned datasets.
+    pub fn unique_bytes(&self, seen: &mut std::collections::HashSet<usize>) -> usize {
+        match self {
+            Value::Str(s) => {
+                if seen.insert(Arc::as_ptr(s) as *const u8 as usize) {
+                    24 + s.len()
+                } else {
+                    8
+                }
+            }
+            Value::Tuple(t) => {
+                if seen.insert(Arc::as_ptr(t) as *const u8 as usize) {
+                    24 + t.iter().map(|v| v.unique_bytes(seen)).sum::<usize>()
+                } else {
+                    8
+                }
+            }
+            other => other.approx_bytes(),
+        }
+    }
+
     /// Variant discriminant used for canonical cross-type ordering.
     fn rank(&self) -> u8 {
         match self {

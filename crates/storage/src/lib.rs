@@ -64,6 +64,17 @@ pub fn default_costs(kind: StoreKind) -> StoreCosts {
     }
 }
 
+/// Access costs of the cache **spill tier**: cold results demoted from the
+/// in-memory result cache onto local disk (see `rheem_core::cache::spill`).
+/// Spill files are written/read whole through one spindle and pay a small
+/// open cost plus serialization overhead, so the tier is priced below the
+/// streaming local-FS rate — slow enough that the optimizer prefers memory
+/// hits and recomputation of trivial subplans, cheap enough that replaying a
+/// spilled heavyweight result still beats recomputing it.
+pub fn spill_costs() -> StoreCosts {
+    StoreCosts { open_ms: 0.2, read_mb_per_sec: 80.0, write_mb_per_sec: 60.0 }
+}
+
 static HDFS_ROOT: OnceLock<RwLock<PathBuf>> = OnceLock::new();
 
 fn hdfs_root_lock() -> &'static RwLock<PathBuf> {

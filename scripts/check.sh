@@ -20,6 +20,9 @@ RHEEM_SCHED=seq cargo test -q
 echo "== tier-1 with the cross-job result cache enabled"
 RHEEM_CACHE=on cargo test -q
 
+echo "== tier-1 with the cache spilling to disk (tight memory, 64 MB spill tier)"
+RHEEM_CACHE=on RHEEM_CACHE_MB=1 RHEEM_CACHE_DISK_MB=64 cargo test -q
+
 echo "== tier-1 with columnar batch execution disabled (row interpreter)"
 RHEEM_BATCH=off cargo test -q
 
@@ -29,7 +32,7 @@ cargo run --release -q -p rheem-bench --bin trace_dump
 echo "== scheduler bench gate (makespan < sequential sum; pool < spawn)"
 cargo run --release -q -p rheem-bench --bin sched_bench
 
-echo "== result-cache bench gate (warm rerun >= 2x, byte-identical results)"
+echo "== result-cache bench gate (warm rerun >= 2x; structural sharing >= 2x; spill replay >= 2x)"
 cargo run --release -q -p rheem-bench --bin cache_bench
 
 echo "== columnar batch bench gate (>= 1.5x on wordcount, scan, shuffle exchange, join)"

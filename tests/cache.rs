@@ -280,6 +280,222 @@ fn chaos_with_cache_never_produces_wrong_answers() {
     assert!(survived > 0, "chaos matrix never survived a cached run");
 }
 
+// ---- structural subplan sharing (PR 10) ---------------------------------
+
+/// Interior cut points of fused chains are published as additional
+/// fingerprints: a *different* job sharing only a structural prefix with an
+/// earlier one replays that prefix from the cache instead of recomputing.
+#[test]
+fn structurally_shared_prefix_hits_across_different_jobs() {
+    let data: Vec<Value> = (0..120)
+        .map(|i| Value::pair(Value::from(i as i64 % 9), Value::from(i as i64 - 60)))
+        .collect();
+    let bump = || {
+        MapUdf::new("share_bump", |v| {
+            Value::pair(v.field(0).clone(), Value::from(v.field(1).as_int().unwrap_or(0) + 1))
+        })
+    };
+
+    // Job A: source -> bump -> square -> collect (bump ∘ square fuse).
+    let mut b = PlanBuilder::new();
+    let a_sink = b
+        .collection(data.clone())
+        .map(bump())
+        .map(MapUdf::new("share_square", |v| {
+            let x = v.field(1).as_int().unwrap_or(0);
+            Value::pair(v.field(0).clone(), Value::from(x * x))
+        }))
+        .collect();
+    let a_plan = b.build().unwrap();
+
+    // Job B: source -> bump -> filter -> collect. Only the `bump` prefix is
+    // shared with job A — reuse requires the interior cut-point fingerprint.
+    let job_b = || {
+        let mut b = PlanBuilder::new();
+        let sink = b
+            .collection(data.clone())
+            .map(bump())
+            .filter(PredicateUdf::new("share_pos", |v| v.field(1).as_int().unwrap_or(0) > 0))
+            .collect();
+        (b.build().unwrap(), sink)
+    };
+
+    let (b_plan, b_sink) = job_b();
+    let (reference, _) = run(&ctx_without_cache(), &b_plan, b_sink).unwrap();
+
+    let cache = Arc::new(ResultCache::new(64 << 20));
+    let ctx = ctx_with(&cache);
+    run(&ctx, &a_plan, a_sink).unwrap();
+    assert!(cache.stats().inserts >= 2, "job A must publish interior cut points too");
+
+    let before = cache.stats();
+    let (out, _) = run(&ctx, &b_plan, b_sink).unwrap();
+    assert!(
+        cache.stats().hits > before.hits,
+        "job B must hit job A's shared prefix: {:?}",
+        cache.stats()
+    );
+    assert_eq!(out, reference, "prefix replay changed job B's answer");
+}
+
+// ---- disk spill (PR 10) -------------------------------------------------
+
+/// With a disk tier configured, memory pressure spills cold entries instead
+/// of evicting them: resident bytes stay within the memory budget, spilled
+/// entries remain reachable, and a hit promotes back to memory.
+#[test]
+fn spilled_entries_replay_and_promote_within_memory_budget() {
+    let make_data = |job: i64| -> Vec<Value> {
+        (0..300).map(|i| Value::from(format!("spill{job}-row{i}-{}", "y".repeat(24)))).collect()
+    };
+    let one = rheem_core::cache::rows_unique_bytes(&Arc::new(make_data(0)));
+    // Memory holds ~2 published results; disk holds the rest of the sweep.
+    let cache = Arc::new(ResultCache::with_disk(2 * one + one / 2, 16 * one));
+    let ctx = ctx_with(&cache);
+
+    let job = |j: i64| {
+        let mut b = PlanBuilder::new();
+        let sink = b
+            .collection(make_data(j))
+            .map(MapUdf::new(format!("spill_tag{j}"), |v| v.clone()))
+            .collect();
+        (b.build().unwrap(), sink)
+    };
+
+    let (first_plan, first_sink) = job(0);
+    let (cold, _) = run(&ctx, &first_plan, first_sink).unwrap();
+    for j in 1..6i64 {
+        let (plan, sink) = job(j);
+        run(&ctx, &plan, sink).unwrap();
+    }
+    let st = cache.stats();
+    assert!(st.spills >= 1, "memory pressure must spill, not drop: {st:?}");
+    assert_eq!(st.evictions, 0, "disk budget was roomy; nothing may be evicted: {st:?}");
+    assert!(st.bytes <= cache.budget_bytes(), "resident bytes exceed the memory budget: {st:?}");
+    assert!(
+        st.spilled_bytes <= cache.disk_budget_bytes(),
+        "spill tier exceeds the disk budget: {st:?}"
+    );
+    assert!(st.spilled_entries >= 1, "spilled entries must stay registered: {st:?}");
+
+    // Job 0 is the coldest entry — replaying it must hit the disk tier,
+    // reproduce the cold answer exactly, and promote back to memory.
+    let (warm, _) = run(&ctx, &first_plan, first_sink).unwrap();
+    assert_eq!(warm, cold, "disk-tier replay changed the answer");
+    let st = cache.stats();
+    assert!(st.hits >= 1, "spilled entry must stay reachable: {st:?}");
+    assert!(st.promotions >= 1, "disk hit must promote to memory: {st:?}");
+}
+
+// ---- unique-bytes accounting (PR 10) ------------------------------------
+
+/// `dataset_bytes` prices every row as if it owned its payload; cache
+/// accounting must charge shared `Arc` allocations (interned dictionary
+/// strings) once. Regression test for the budget overstatement.
+#[test]
+fn interned_strings_are_accounted_once() {
+    let shared = Value::from("shared-dictionary-entry-".repeat(4));
+    let rows: Dataset = Arc::new((0..200).map(|_| shared.clone()).collect());
+    let unique = rheem_core::cache::rows_unique_bytes(&rows);
+    let naive = rheem_core::exec::dataset_bytes(&rows) as u64;
+    assert!(unique < naive / 4, "shared allocation charged per row: unique={unique} naive={naive}");
+
+    // Distinct strings of the same shape must still be charged in full.
+    let distinct: Dataset = Arc::new(
+        (0..200).map(|i| Value::from(format!("distinct-dictionary-entry-{i:072}"))).collect(),
+    );
+    let distinct_unique = rheem_core::cache::rows_unique_bytes(&distinct);
+    assert!(
+        distinct_unique > unique * 4,
+        "distinct allocations under-charged: {distinct_unique} vs shared {unique}"
+    );
+
+    // And the cache books exactly the deduplicated size.
+    let cache = ResultCache::new(64 << 20);
+    cache.insert(rheem_core::cache::Fingerprint(0xACC0), Arc::clone(&rows));
+    assert_eq!(cache.stats().bytes, unique, "cache must account unique bytes");
+}
+
+// ---- cache × batch differential matrix (PR 10) ---------------------------
+
+/// The cache must stay invisible across the execution-mode matrix: for the
+/// fixed seeds, cache-{off,cold,warm} × batch-{on,off} runs are all
+/// byte-identical, and warm batch replays keep the columnar path engaged.
+#[test]
+fn results_identical_across_cache_and_batch_matrix() {
+    for &seed in &CHAOS_SEEDS {
+        let (plan, sink) = gen_case(seed);
+        let mut reference: Option<Vec<Value>> = None;
+        for batch in [false, true] {
+            let mut off = ctx_without_cache();
+            off.config_mut().batch = batch;
+            let (base, _) = run(&off, &plan, sink).unwrap();
+            let cache = Arc::new(ResultCache::new(64 << 20));
+            let mut ctx = ctx_with(&cache);
+            ctx.config_mut().batch = batch;
+            let (cold, _) = run(&ctx, &plan, sink).unwrap();
+            let (warm, _) = run(&ctx, &plan, sink).unwrap();
+            assert!(cache.stats().hits >= 1, "seed {seed:#x} batch={batch}: warm leg never hit");
+            let r = reference.get_or_insert_with(|| base.clone());
+            assert_eq!(&base, r, "seed {seed:#x} batch={batch}: cache-off diverged");
+            assert_eq!(&cold, r, "seed {seed:#x} batch={batch}: cold cached run diverged");
+            assert_eq!(&warm, r, "seed {seed:#x} batch={batch}: warm cached run diverged");
+        }
+    }
+}
+
+/// Columnar payloads survive publish/replay: a warm run whose downstream
+/// chain is vectorizable executes a `CachedSource` *and* still reports
+/// vectorized steps — the replay feeds batches, not flattened rows.
+#[test]
+fn cached_replay_feeds_vectorized_downstream_chain() {
+    let data: Vec<Value> = (0..400)
+        .map(|i| Value::pair(Value::from(i as i64 % 32), Value::from(i as i64 - 200)))
+        .collect();
+    let sarg = Sarg { field: 1, op: CmpOp::Gt, literal: Value::from(0i64) };
+
+    // Job A: source -> sargable filter -> collect (publishes the filter's
+    // columnar output).
+    let mut b = PlanBuilder::new();
+    let sp = PredicateUdf::from_sarg("vec_pos", sarg.clone());
+    let a_sink = b.collection(data.clone()).filter_sarg(sp.pred, sp.sarg).collect();
+    let a_plan = b.build().unwrap();
+
+    // Job B extends the shared prefix with a vectorizable arithmetic chain.
+    let job_b = || {
+        let mut b = PlanBuilder::new();
+        let sp = PredicateUdf::from_sarg("vec_pos", sarg.clone());
+        let sink = b
+            .collection(data.clone())
+            .filter_sarg(sp.pred, sp.sarg)
+            .map(MapUdf::field_add_int("vec_bump", 1, 5))
+            .project([1usize, 0])
+            .collect();
+        (b.build().unwrap(), sink)
+    };
+
+    let (b_plan, b_sink) = job_b();
+    let (reference, _) = run(&ctx_without_cache(), &b_plan, b_sink).unwrap();
+
+    let cache = Arc::new(ResultCache::new(64 << 20));
+    let ctx = ctx_with(&cache).with_batch(true);
+    run(&ctx, &a_plan, a_sink).unwrap();
+
+    let analysis = ctx.explain_analyze(&b_plan).unwrap();
+    assert!(
+        analysis.rows.iter().any(|r| r.exec_name == "CachedSource"),
+        "warm job B must replay the shared prefix, got {:?}",
+        analysis.rows.iter().map(|r| r.exec_name.clone()).collect::<Vec<_>>()
+    );
+    assert!(
+        analysis.rows.iter().any(|r| r.vec_steps > 0),
+        "downstream of the replay must stay vectorized: {:?}",
+        analysis.rows.iter().map(|r| (r.exec_name.clone(), r.vec_steps)).collect::<Vec<_>>()
+    );
+    let (warm, _) = run(&ctx, &b_plan, b_sink).unwrap();
+    assert_eq!(warm, reference, "columnar replay changed job B's answer");
+}
+
 // ---- deterministic tie-breaking -----------------------------------------
 
 /// A zero-cost execution operator used to manufacture *exact* cost ties.
